@@ -1,0 +1,182 @@
+//! Common types shared by all reconstructed baseline miners.
+
+use serde::{Deserialize, Serialize};
+use skinny_graph::{GraphDatabase, LabeledGraph};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// A pattern reported by a baseline miner.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MinedPattern {
+    /// The pattern graph.
+    pub graph: LabeledGraph,
+    /// Support under the miner's own support semantics (embeddings for
+    /// single-graph miners, transactions for transaction miners).
+    pub support: usize,
+    /// Optional miner-specific score (e.g. SUBDUE's compression value).
+    pub score: f64,
+}
+
+impl MinedPattern {
+    /// Creates a pattern with a neutral score.
+    pub fn new(graph: LabeledGraph, support: usize) -> Self {
+        MinedPattern { graph, support, score: 0.0 }
+    }
+
+    /// Number of vertices — the pattern size `|V|` plotted in Figures 4–10.
+    pub fn vertex_count(&self) -> usize {
+        self.graph.vertex_count()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+}
+
+/// The input of a mining run: the paper's two settings.
+#[derive(Debug, Clone, Copy)]
+pub enum MinerInput<'a> {
+    /// Single-graph setting.
+    Single(&'a LabeledGraph),
+    /// Graph-transaction setting.
+    Database(&'a GraphDatabase),
+}
+
+impl<'a> From<&'a LabeledGraph> for MinerInput<'a> {
+    fn from(g: &'a LabeledGraph) -> Self {
+        MinerInput::Single(g)
+    }
+}
+
+impl<'a> From<&'a GraphDatabase> for MinerInput<'a> {
+    fn from(db: &'a GraphDatabase) -> Self {
+        MinerInput::Database(db)
+    }
+}
+
+/// The output of a mining run.
+#[derive(Debug, Clone, Default)]
+pub struct MinerOutput {
+    /// The reported patterns.
+    pub patterns: Vec<MinedPattern>,
+    /// Wall-clock runtime of the run.
+    pub runtime: Duration,
+    /// True when the miner finished within its configured budget; false when
+    /// it had to stop early (the paper reports MoSS not completing within 5
+    /// hours on some settings).
+    pub completed: bool,
+}
+
+impl MinerOutput {
+    /// Histogram of pattern sizes by vertex count — the quantity plotted in
+    /// the effectiveness figures.
+    pub fn size_distribution(&self) -> BTreeMap<usize, usize> {
+        let mut hist = BTreeMap::new();
+        for p in &self.patterns {
+            *hist.entry(p.vertex_count()).or_insert(0) += 1;
+        }
+        hist
+    }
+
+    /// The largest pattern by vertex count, if any.
+    pub fn largest(&self) -> Option<&MinedPattern> {
+        self.patterns.iter().max_by_key(|p| p.vertex_count())
+    }
+}
+
+/// The interface every reconstructed baseline implements.
+pub trait GraphMiner {
+    /// Short miner name used in reports ("SUBDUE", "MoSS", …).
+    fn name(&self) -> &str;
+
+    /// Runs the miner on the given input.
+    fn mine(&self, input: MinerInput<'_>) -> MinerOutput;
+
+    /// Convenience wrapper for the single-graph setting.
+    fn mine_single(&self, graph: &LabeledGraph) -> MinerOutput {
+        self.mine(MinerInput::Single(graph))
+    }
+
+    /// Convenience wrapper for the transaction setting.
+    fn mine_database(&self, db: &GraphDatabase) -> MinerOutput {
+        self.mine(MinerInput::Database(db))
+    }
+}
+
+/// A soft budget for miners whose search space is exponential: the miner
+/// checks the budget periodically and reports `completed = false` when it had
+/// to stop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Budget {
+    /// Maximum number of patterns to examine.
+    pub max_candidates: u64,
+    /// Maximum wall-clock time.
+    pub max_duration: Duration,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget { max_candidates: 2_000_000, max_duration: Duration::from_secs(300) }
+    }
+}
+
+impl Budget {
+    /// A tight budget for unit tests.
+    pub fn tiny() -> Self {
+        Budget { max_candidates: 20_000, max_duration: Duration::from_secs(5) }
+    }
+
+    /// True when the budget is exhausted.
+    pub fn exhausted(&self, candidates: u64, started: std::time::Instant) -> bool {
+        candidates >= self.max_candidates || started.elapsed() >= self.max_duration
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skinny_graph::Label;
+
+    fn pattern(n: usize) -> MinedPattern {
+        let labels = vec![Label(0); n];
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        MinedPattern::new(LabeledGraph::from_unlabeled_edges(&labels, edges).unwrap(), 2)
+    }
+
+    #[test]
+    fn size_distribution_counts() {
+        let out = MinerOutput { patterns: vec![pattern(3), pattern(3), pattern(6)], runtime: Duration::ZERO, completed: true };
+        let hist = out.size_distribution();
+        assert_eq!(hist.get(&3), Some(&2));
+        assert_eq!(hist.get(&6), Some(&1));
+        assert_eq!(out.largest().unwrap().vertex_count(), 6);
+    }
+
+    #[test]
+    fn budget_exhaustion() {
+        let b = Budget { max_candidates: 10, max_duration: Duration::from_secs(100) };
+        let start = std::time::Instant::now();
+        assert!(!b.exhausted(5, start));
+        assert!(b.exhausted(10, start));
+        let b2 = Budget { max_candidates: 1000, max_duration: Duration::ZERO };
+        assert!(b2.exhausted(0, start));
+        assert!(Budget::tiny().max_candidates < Budget::default().max_candidates);
+    }
+
+    #[test]
+    fn mined_pattern_accessors() {
+        let p = pattern(4);
+        assert_eq!(p.vertex_count(), 4);
+        assert_eq!(p.edge_count(), 3);
+        assert_eq!(p.support, 2);
+    }
+
+    #[test]
+    fn input_conversions() {
+        let g = LabeledGraph::new();
+        let _: MinerInput<'_> = (&g).into();
+        let db = GraphDatabase::new();
+        let _: MinerInput<'_> = (&db).into();
+    }
+}

@@ -1,0 +1,39 @@
+//! # skinny-baselines
+//!
+//! Reconstructions of the baseline graph miners the SkinnyMine paper
+//! evaluates against (§6): **gSpan**, **SpiderMine**, **SUBDUE**, **SEuS**,
+//! **MoSS** and **ORIGAMI**, all behind the common [`GraphMiner`] trait.
+//!
+//! These are re-implementations of each algorithm's published core idea, not
+//! ports of the original binaries (which are not redistributable).  What the
+//! reproduction relies on is each paradigm's qualitative behaviour:
+//!
+//! | Miner | Paradigm | Behaviour reproduced |
+//! |---|---|---|
+//! | [`Moss`] | complete enumerate-and-check | exhaustive but exponential; may not finish |
+//! | [`GSpan`] | complete DFS-code mining | complete over transactions, exponential in pattern size |
+//! | [`Subdue`] | MDL beam search | reports small, highly frequent substructures |
+//! | [`Seus`] | summary-collapsed candidates | reports very small patterns only |
+//! | [`SpiderMine`] | spider growth, diameter-bounded | finds large but *fat* patterns; misses skinny ones |
+//! | [`Origami`] | output-space sampling | scattered sample, dominated by small maximal patterns |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod common;
+pub mod extend;
+pub mod gspan;
+pub mod moss;
+pub mod origami;
+pub mod seus;
+pub mod spidermine;
+pub mod subdue;
+
+pub use common::{Budget, GraphMiner, MinedPattern, MinerInput, MinerOutput};
+pub use extend::{Data, EmbeddedPattern, Growth};
+pub use gspan::{GSpan, GSpanConfig};
+pub use moss::{Moss, MossConfig};
+pub use origami::{Origami, OrigamiConfig};
+pub use seus::{Seus, SeusConfig};
+pub use spidermine::{SpiderMine, SpiderMineConfig};
+pub use subdue::{Subdue, SubdueConfig};

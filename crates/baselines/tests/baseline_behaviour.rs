@@ -1,0 +1,104 @@
+//! Integration tests of the reconstructed baselines on generated data:
+//! each miner must exhibit the qualitative behaviour the paper's evaluation
+//! relies on, and the complete miners must agree with each other.
+
+use skinny_baselines::{
+    Budget, GSpan, GSpanConfig, GraphMiner, MinedPattern, Moss, MossConfig, Origami, OrigamiConfig,
+    Seus, SeusConfig, SpiderMine, SpiderMineConfig, Subdue, SubdueConfig,
+};
+use skinny_datagen::{erdos_renyi, inject_patterns, skinny_pattern, ErConfig, SkinnyPatternConfig};
+use skinny_graph::{canonical_key, GraphDatabase, LabeledGraph};
+use std::collections::HashSet;
+
+fn injected_graph(seed: u64) -> (LabeledGraph, LabeledGraph) {
+    let background = erdos_renyi(&ErConfig::new(350, 2.0, 50, seed));
+    let pattern = skinny_pattern(&SkinnyPatternConfig::new(14, 8, 2, 50, seed + 1));
+    let data = inject_patterns(&background, &[(pattern.clone(), 2)], seed + 2).graph;
+    (data, pattern)
+}
+
+/// MoSS and gSpan are both complete miners; on the same transaction database
+/// with the same threshold they must report the same pattern set.
+#[test]
+fn complete_miners_agree_on_transactions() {
+    let t0 = LabeledGraph::from_unlabeled_edges(
+        &[skinny_graph::Label(0), skinny_graph::Label(1), skinny_graph::Label(2), skinny_graph::Label(1)],
+        [(0, 1), (1, 2), (2, 3)],
+    )
+    .unwrap();
+    let t1 = LabeledGraph::from_unlabeled_edges(
+        &[skinny_graph::Label(0), skinny_graph::Label(1), skinny_graph::Label(2)],
+        [(0, 1), (1, 2), (0, 2)],
+    )
+    .unwrap();
+    let db = GraphDatabase::from_graphs(vec![t0.clone(), t1.clone(), t0]);
+
+    let keys = |patterns: &[MinedPattern]| -> HashSet<_> {
+        patterns.iter().map(|p| canonical_key(&p.graph)).collect()
+    };
+    let moss = Moss::new(MossConfig::new(2)).mine_database(&db);
+    let gspan = GSpan::new(GSpanConfig::new(2)).mine_database(&db);
+    assert!(moss.completed && gspan.completed);
+    assert_eq!(keys(&moss.patterns), keys(&gspan.patterns));
+    assert!(!moss.patterns.is_empty());
+}
+
+/// SUBDUE and SEuS report small patterns; the injected 14-vertex skinny
+/// pattern stays out of their reach, while a complete miner with enough
+/// budget does find larger fragments.
+#[test]
+fn small_pattern_bias_of_subdue_and_seus() {
+    let (data, pattern) = injected_graph(77);
+    let subdue = Subdue::new(SubdueConfig { budget: Budget::tiny(), ..Default::default() }).mine_single(&data);
+    let seus = Seus::new(SeusConfig { budget: Budget::tiny(), ..SeusConfig::new(2) }).mine_single(&data);
+    let max_subdue = subdue.patterns.iter().map(MinedPattern::vertex_count).max().unwrap_or(0);
+    let max_seus = seus.patterns.iter().map(MinedPattern::vertex_count).max().unwrap_or(0);
+    assert!(max_subdue < pattern.vertex_count(), "SUBDUE reported a {}-vertex pattern", max_subdue);
+    assert!(max_seus <= 4, "SEuS reported a {}-vertex pattern", max_seus);
+    assert!(!subdue.patterns.is_empty());
+    assert!(!seus.patterns.is_empty());
+}
+
+/// SpiderMine's diameter bound keeps every reported pattern fat.
+#[test]
+fn spidermine_diameter_bound_holds_on_generated_data() {
+    let (data, _) = injected_graph(123);
+    let out = SpiderMine::new(SpiderMineConfig::paper_defaults().with_seeds(40)).mine_single(&data);
+    for p in &out.patterns {
+        let d = skinny_graph::diameter(&p.graph).unwrap_or(0);
+        assert!(d <= 4, "SpiderMine reported a pattern of diameter {d}");
+    }
+}
+
+/// ORIGAMI reports a subset of the maximal frequent patterns: every reported
+/// pattern must be frequent and have no frequent one-edge extension reachable
+/// through its own embeddings.
+#[test]
+fn origami_reports_frequent_maximal_samples() {
+    let t = |seed: u64| {
+        let background = erdos_renyi(&ErConfig::new(120, 2.5, 30, seed));
+        let pattern = skinny_pattern(&SkinnyPatternConfig::new(8, 5, 1, 30, 99));
+        inject_patterns(&background, &[(pattern, 1)], seed + 7).graph
+    };
+    let db = GraphDatabase::from_graphs((0..4).map(|i| t(i as u64)).collect());
+    let out = Origami::new(OrigamiConfig::new(3).with_walks(40)).mine_database(&db);
+    assert!(out.completed);
+    for p in &out.patterns {
+        assert!(p.support >= 3);
+        assert!(db.transaction_support(&p.graph) >= 3, "reported pattern is not actually frequent");
+    }
+}
+
+/// The budget machinery works across miners: with a 0-candidate budget every
+/// miner still terminates and reports incompleteness where it applies.
+#[test]
+fn zero_budget_terminates_quickly() {
+    let (data, _) = injected_graph(5);
+    let tight = Budget { max_candidates: 0, max_duration: std::time::Duration::from_secs(60) };
+    let moss = Moss::new(MossConfig::new(2).with_budget(tight)).mine_single(&data);
+    assert!(!moss.completed);
+    let subdue = Subdue::new(SubdueConfig { budget: tight, ..Default::default() }).mine_single(&data);
+    assert!(!subdue.completed);
+    let gspan = GSpan::new(GSpanConfig::new(2).with_budget(tight)).mine_single(&data);
+    assert!(!gspan.completed);
+}

@@ -1,0 +1,56 @@
+//! Criterion benches for the graph-transaction effectiveness experiments
+//! (Figures 9–10): ORIGAMI, SpiderMine and SkinnyMine on a reduced
+//! transaction database with and without extra small injected patterns.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skinny_baselines::{GraphMiner, Origami, OrigamiConfig, SpiderMine, SpiderMineConfig};
+use skinny_datagen::{generate_transaction_database, TransactionSetting};
+use skinny_graph::{GraphDatabase, SupportMeasure};
+use skinnymine::{Exploration, LengthConstraint, ReportMode, SkinnyMine, SkinnyMineConfig};
+
+fn reduced_db(more_small: bool) -> GraphDatabase {
+    let base = if more_small { TransactionSetting::figure10() } else { TransactionSetting::figure9() };
+    let setting = TransactionSetting {
+        transactions: 6,
+        vertices: 200,
+        skinny_patterns: 3,
+        skinny_vertices: 24,
+        skinny_diameter: 12,
+        skinny_support: 4,
+        small_patterns: if more_small { 20 } else { 0 },
+        ..base
+    };
+    generate_transaction_database(&setting, 9)
+}
+
+fn skinny_config() -> SkinnyMineConfig {
+    SkinnyMineConfig::new(8, 3, 3)
+        .with_length(LengthConstraint::AtLeast(8))
+        .with_support_measure(SupportMeasure::Transactions)
+        .with_report(ReportMode::Closed)
+        .with_exploration(Exploration::ClosureJump)
+}
+
+fn bench_transactions(c: &mut Criterion) {
+    for more_small in [false, true] {
+        let db = reduced_db(more_small);
+        let label = if more_small { "fig10_more_small" } else { "fig9_fewer_small" };
+        let mut group = c.benchmark_group(label);
+        group.sample_size(10);
+
+        group.bench_function("origami", |b| {
+            b.iter(|| Origami::new(OrigamiConfig::new(3).with_walks(30)).mine_database(&db))
+        });
+        group.bench_function("spidermine", |b| {
+            let config = SpiderMineConfig::paper_defaults().with_sigma(3).with_seeds(30).with_dmax(6);
+            b.iter(|| SpiderMine::new(config.clone()).mine_database(&db))
+        });
+        group.bench_function("skinnymine", |b| {
+            b.iter(|| SkinnyMine::new(skinny_config()).mine_database(&db).expect("mining succeeds"))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_transactions);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench for the Table-3 experiment: recovering injected patterns
+//! of varied skinniness with SkinnyMine (long-diameter request) and
+//! SpiderMine (top-K largest under a diameter bound), on a reduced version
+//! of the 2 000-vertex setting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skinny_baselines::{GraphMiner, SpiderMine, SpiderMineConfig};
+use skinny_datagen::{erdos_renyi, inject_patterns, table3_pattern, ErConfig};
+use skinny_graph::LabeledGraph;
+use skinnymine::{Exploration, LengthConstraint, ReportMode, SkinnyMine, SkinnyMineConfig};
+
+/// A reduced Table-3 data set: five patterns of decreasing skinniness
+/// (diameters 24, 18, 12, 6, 6) in an 800-vertex background.
+fn reduced_table3() -> LabeledGraph {
+    let background = erdos_renyi(&ErConfig::new(800, 3.0, 100, 33));
+    let rows = [(30usize, 24usize), (30, 18), (30, 12), (20, 6), (30, 6)];
+    let patterns: Vec<(LabeledGraph, usize)> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, &(v, d))| (table3_pattern(v, d, 100, 50 + i as u64), 2))
+        .collect();
+    inject_patterns(&background, &patterns, 77).graph
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let graph = reduced_table3();
+    let mut group = c.benchmark_group("table3_skinniness_recovery");
+    group.sample_size(10);
+
+    group.bench_function("skinnymine_long_diameters", |b| {
+        let config = SkinnyMineConfig::new(12, 3, 2)
+            .with_length(LengthConstraint::AtLeast(12))
+            .with_report(ReportMode::Closed)
+            .with_exploration(Exploration::ClosureJump);
+        b.iter(|| SkinnyMine::new(config.clone()).mine(&graph).expect("mining succeeds"))
+    });
+
+    group.bench_function("spidermine_topk", |b| {
+        let config = SpiderMineConfig::paper_defaults().with_k(10).with_dmax(8).with_seeds(60);
+        b.iter(|| SpiderMine::new(config.clone()).mine_single(&graph))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! `figures` — regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! Usage: figures [--exp <id> ...] [--paper-scale] [--divisor N] [--seed S] [--csv]
+//!
+//!   --exp <id>       run only the listed experiments; ids:
+//!                    table1 table3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
+//!                    fig11 fig12 fig13 fig14 fig16 fig17 fig18 fig20
+//!                    dblp weibo all      (default: all)
+//!   --paper-scale    use the paper's full data sizes (slow)
+//!   --divisor N      custom down-scaling divisor for the large sweeps
+//!   --seed S         RNG seed (default 20130622)
+//!   --csv            additionally print each table as CSV
+//! ```
+
+use skinny_bench::experiments as exp;
+use skinny_bench::report::Table;
+use skinny_bench::{RuntimeFigure, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut requested: Vec<String> = Vec::new();
+    let mut scale = Scale::quick();
+    let mut csv = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--exp" => {
+                i += 1;
+                while i < args.len() && !args[i].starts_with("--") {
+                    requested.push(args[i].clone());
+                    i += 1;
+                }
+                continue;
+            }
+            "--paper-scale" => scale = Scale::paper(),
+            "--divisor" => {
+                i += 1;
+                scale.divisor = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(scale.divisor).max(1);
+            }
+            "--seed" => {
+                i += 1;
+                scale.seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(scale.seed);
+            }
+            "--csv" => csv = true,
+            "--help" | "-h" => {
+                print_help();
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                print_help();
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if requested.is_empty() || requested.iter().any(|r| r == "all") {
+        requested = vec![
+            "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "table3", "fig9", "fig10", "fig11", "fig12",
+            "fig13", "fig14", "fig16", "fig17", "fig18", "fig20", "dblp", "weibo",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
+    }
+
+    println!("SkinnyMine reproduction — experiment harness");
+    println!("scale: divisor {} (1 = paper scale), seed {}", scale.divisor, scale.seed);
+    println!();
+
+    for id in &requested {
+        for table in run_experiment(id, scale) {
+            println!("{}", table.render());
+            if csv {
+                println!("CSV:\n{}", table.to_csv());
+            }
+        }
+    }
+}
+
+fn run_experiment(id: &str, scale: Scale) -> Vec<Table> {
+    let started = std::time::Instant::now();
+    let tables = match id {
+        "table1" | "table2" => exp::table1_and_2(),
+        "fig4" | "fig5" | "fig6" | "fig7" | "fig8" => {
+            let gid = match id {
+                "fig4" => 1,
+                "fig5" => 2,
+                "fig6" => 3,
+                "fig7" => 4,
+                _ => 5,
+            };
+            exp::run_gid_effectiveness(gid, scale).tables()
+        }
+        "table3" => vec![exp::run_table3(scale).table()],
+        "fig9" => exp::run_transaction_effectiveness(false, scale).tables(),
+        "fig10" => exp::run_transaction_effectiveness(true, scale).tables(),
+        "fig11" => vec![exp::run_runtime_sweep(RuntimeFigure::VsMoss, scale).table()],
+        "fig12" => vec![exp::run_runtime_sweep(RuntimeFigure::VsSubdue, scale).table()],
+        "fig13" => vec![exp::run_runtime_sweep(RuntimeFigure::VsSpiderMine, scale).table()],
+        "fig14" | "fig15" => exp::run_scalability(scale).tables(),
+        "fig16" => vec![exp::run_diammine_vs_l(scale).table()],
+        "fig17" => vec![exp::run_levelgrow_vs_l(scale).table()],
+        "fig18" | "fig19" => vec![exp::run_levelgrow_vs_delta(scale).table()],
+        "fig20" => vec![exp::run_runtime_table(&[1, 2, 3, 4, 5], scale).table()],
+        "dblp" => vec![exp::run_dblp_case_study(scale).table()],
+        "weibo" => vec![exp::run_weibo_case_study(scale).table()],
+        other => {
+            eprintln!("unknown experiment id: {other}");
+            return Vec::new();
+        }
+    };
+    eprintln!("[{} finished in {:.2}s]", id, started.elapsed().as_secs_f64());
+    tables
+}
+
+fn print_help() {
+    println!(
+        "figures — regenerate the SkinnyMine paper's tables and figures\n\n\
+         usage: figures [--exp <id> ...] [--paper-scale] [--divisor N] [--seed S] [--csv]\n\
+         experiment ids: table1 table3 fig4..fig20 dblp weibo all"
+    );
+}

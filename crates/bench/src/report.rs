@@ -1,0 +1,221 @@
+//! Lightweight plain-text reporting helpers used by the `figures` binary and
+//! the Criterion benches: aligned tables and numeric series rendered the way
+//! the paper's tables and figure axes read.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A plain-text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Table title (e.g. "Figure 20: Runtime comparison").
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with a title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row<I, S>(&mut self, cells: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i >= widths.len() {
+                    widths.push(cell.len());
+                } else {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        writeln!(out, "== {} ==", self.title).expect("writing to String cannot fail");
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(out, "{}", fmt_row(&self.headers, &widths)).expect("writing to String cannot fail");
+        writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)))
+            .expect("writing to String cannot fail");
+        for row in &self.rows {
+            writeln!(out, "{}", fmt_row(row, &widths)).expect("writing to String cannot fail");
+        }
+        out
+    }
+
+    /// Renders the table as CSV (headers included).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "{}", self.headers.join(",")).expect("writing to String cannot fail");
+        for row in &self.rows {
+            writeln!(out, "{}", row.join(",")).expect("writing to String cannot fail");
+        }
+        out
+    }
+}
+
+/// A named numeric series (one curve of a figure).
+#[derive(Debug, Clone, Default)]
+pub struct Series {
+    /// Series name (e.g. "SkinnyMine").
+    pub name: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series { name: name.into(), points: Vec::new() }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// The last y value, if any.
+    pub fn last_y(&self) -> Option<f64> {
+        self.points.last().map(|&(_, y)| y)
+    }
+
+    /// True when the series is (weakly) monotonically non-decreasing in y.
+    pub fn non_decreasing(&self) -> bool {
+        self.points.windows(2).all(|w| w[1].1 >= w[0].1 - 1e-9)
+    }
+}
+
+/// Renders a set of series sharing an x axis as a table (one row per x).
+pub fn series_table(title: &str, x_label: &str, series: &[Series]) -> Table {
+    let mut headers = vec![x_label];
+    for s in series {
+        headers.push(&s.name);
+    }
+    let mut table = Table::new(title, &headers);
+    let mut xs: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|&(x, _)| x)).collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("x values are finite"));
+    xs.dedup();
+    for x in xs {
+        let mut row = vec![format_num(x)];
+        for s in series {
+            let y = s.points.iter().find(|&&(px, _)| (px - x).abs() < 1e-9).map(|&(_, y)| y);
+            row.push(y.map(format_num).unwrap_or_else(|| "-".to_string()));
+        }
+        table.rows.push(row);
+    }
+    table
+}
+
+/// Renders a size-distribution histogram (pattern size -> count) as a table
+/// with one column per miner, mirroring Figures 4–10.
+pub fn distribution_table(title: &str, distributions: &[(String, BTreeMap<usize, usize>)]) -> Table {
+    let mut headers = vec!["pattern size |V|".to_string()];
+    headers.extend(distributions.iter().map(|(n, _)| n.clone()));
+    let mut table = Table { title: title.to_string(), headers, rows: Vec::new() };
+    let mut sizes: Vec<usize> = distributions.iter().flat_map(|(_, d)| d.keys().copied()).collect();
+    sizes.sort();
+    sizes.dedup();
+    for size in sizes {
+        let mut row = vec![size.to_string()];
+        for (_, d) in distributions {
+            row.push(d.get(&size).map(|c| c.to_string()).unwrap_or_else(|| "0".to_string()));
+        }
+        table.rows.push(row);
+    }
+    table
+}
+
+/// Formats a number compactly (integers without decimals, floats with 3
+/// significant decimals).
+pub fn format_num(x: f64) -> String {
+    if (x.fract()).abs() < 1e-9 && x.abs() < 1e12 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.push_row(["alpha", "1"]);
+        t.push_row(["b", "22"]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("alpha"));
+        assert!(s.lines().count() >= 5);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("name,value"));
+        assert!(csv.contains("alpha,1"));
+    }
+
+    #[test]
+    fn series_and_series_table() {
+        let mut a = Series::new("A");
+        a.push(1.0, 10.0);
+        a.push(2.0, 20.0);
+        let mut b = Series::new("B");
+        b.push(1.0, 5.0);
+        assert!(a.non_decreasing());
+        assert_eq!(a.last_y(), Some(20.0));
+        let t = series_table("fig", "x", &[a, b]);
+        assert_eq!(t.headers, vec!["x", "A", "B"]);
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[1][2], "-");
+    }
+
+    #[test]
+    fn distribution_table_merges_sizes() {
+        let mut d1 = BTreeMap::new();
+        d1.insert(3, 2);
+        let mut d2 = BTreeMap::new();
+        d2.insert(5, 1);
+        let t = distribution_table("sizes", &[("X".into(), d1), ("Y".into(), d2)]);
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[0], vec!["3", "2", "0"]);
+        assert_eq!(t.rows[1], vec!["5", "0", "1"]);
+    }
+
+    #[test]
+    fn format_num_behaviour() {
+        assert_eq!(format_num(3.0), "3");
+        assert_eq!(format_num(3.14159), "3.142");
+    }
+
+    #[test]
+    fn non_decreasing_detects_dips() {
+        let mut s = Series::new("s");
+        s.push(1.0, 5.0);
+        s.push(2.0, 4.0);
+        assert!(!s.non_decreasing());
+        assert!(Series::new("empty").non_decreasing());
+        assert_eq!(Series::new("empty").last_y(), None);
+    }
+}

@@ -1,0 +1,149 @@
+//! Erdős–Rényi random background graphs with vertex labels.
+//!
+//! The paper's synthetic single graphs are "generated with the well-known
+//! Erdős–Rényi random network model, using the `G(n, p)` variant", with a
+//! target average degree `deg` and `f` distinct vertex labels assigned
+//! uniformly at random.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use skinny_graph::{Label, LabeledGraph, VertexId};
+
+/// Parameters of a random background graph.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErConfig {
+    /// Number of vertices `|V|`.
+    pub vertices: usize,
+    /// Target average degree `deg` (the edge probability is
+    /// `deg / (|V| - 1)`).
+    pub average_degree: f64,
+    /// Number of distinct vertex labels `f`, assigned uniformly at random.
+    pub labels: u32,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl ErConfig {
+    /// Creates a configuration.
+    pub fn new(vertices: usize, average_degree: f64, labels: u32, seed: u64) -> Self {
+        ErConfig { vertices, average_degree, labels, seed }
+    }
+
+    /// The edge probability `p` of the `G(n, p)` model.
+    pub fn edge_probability(&self) -> f64 {
+        if self.vertices <= 1 {
+            return 0.0;
+        }
+        (self.average_degree / (self.vertices as f64 - 1.0)).clamp(0.0, 1.0)
+    }
+}
+
+/// Generates an Erdős–Rényi `G(n, p)` graph with uniformly random vertex
+/// labels.
+///
+/// For sparse graphs (the only regime used by the paper), edges are sampled
+/// with the geometric skipping technique so generation is
+/// `O(|V| + |E|)` rather than `O(|V|^2)`.
+pub fn erdos_renyi(config: &ErConfig) -> LabeledGraph {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    erdos_renyi_with_rng(config, &mut rng)
+}
+
+/// Same as [`erdos_renyi`] but drawing from a caller-provided RNG.
+pub fn erdos_renyi_with_rng(config: &ErConfig, rng: &mut impl Rng) -> LabeledGraph {
+    let n = config.vertices;
+    let mut g = LabeledGraph::with_capacity(n);
+    for _ in 0..n {
+        let label = Label(rng.gen_range(0..config.labels.max(1)));
+        g.add_vertex(label);
+    }
+    let p = config.edge_probability();
+    if n <= 1 || p <= 0.0 {
+        return g;
+    }
+    if p >= 1.0 {
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                let _ = g.add_edge(VertexId(u), VertexId(v), Label::DEFAULT_EDGE);
+            }
+        }
+        return g;
+    }
+    // geometric skipping over the upper-triangular pair enumeration
+    let log1p = (1.0 - p).ln();
+    let mut v: i64 = 1;
+    let mut w: i64 = -1;
+    let n_i = n as i64;
+    while v < n_i {
+        let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+        w += 1 + (r.ln() / log1p).floor() as i64;
+        while w >= v && v < n_i {
+            w -= v;
+            v += 1;
+        }
+        if v < n_i {
+            let _ = g.add_edge(VertexId(w as u32), VertexId(v as u32), Label::DEFAULT_EDGE);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_vertex_count() {
+        let g = erdos_renyi(&ErConfig::new(500, 3.0, 40, 7));
+        assert_eq!(g.vertex_count(), 500);
+    }
+
+    #[test]
+    fn average_degree_is_close_to_target() {
+        let g = erdos_renyi(&ErConfig::new(4000, 4.0, 10, 11));
+        let avg = g.average_degree();
+        assert!((avg - 4.0).abs() < 0.5, "average degree {avg} too far from 4.0");
+    }
+
+    #[test]
+    fn labels_within_alphabet() {
+        let g = erdos_renyi(&ErConfig::new(300, 2.0, 5, 3));
+        assert!(g.labels().iter().all(|l| l.id() < 5));
+        // with 300 vertices and 5 labels, every label should appear
+        assert_eq!(g.distinct_vertex_labels().len(), 5);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let c = ErConfig::new(200, 3.0, 10, 42);
+        let a = erdos_renyi(&c);
+        let b = erdos_renyi(&c);
+        assert_eq!(a, b);
+        let c2 = ErConfig::new(200, 3.0, 10, 43);
+        assert_ne!(a, erdos_renyi(&c2));
+    }
+
+    #[test]
+    fn degenerate_configs() {
+        let empty = erdos_renyi(&ErConfig::new(0, 3.0, 10, 1));
+        assert_eq!(empty.vertex_count(), 0);
+        let single = erdos_renyi(&ErConfig::new(1, 3.0, 10, 1));
+        assert_eq!(single.vertex_count(), 1);
+        assert_eq!(single.edge_count(), 0);
+        let zero_deg = erdos_renyi(&ErConfig::new(50, 0.0, 10, 1));
+        assert_eq!(zero_deg.edge_count(), 0);
+    }
+
+    #[test]
+    fn saturated_probability_gives_complete_graph() {
+        let g = erdos_renyi(&ErConfig::new(6, 10.0, 2, 1));
+        assert_eq!(g.edge_count(), 6 * 5 / 2);
+    }
+
+    #[test]
+    fn edge_probability_clamped() {
+        assert_eq!(ErConfig::new(1, 3.0, 1, 0).edge_probability(), 0.0);
+        assert_eq!(ErConfig::new(11, 100.0, 1, 0).edge_probability(), 1.0);
+    }
+}

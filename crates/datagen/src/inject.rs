@@ -1,0 +1,180 @@
+//! Injection of patterns into background graphs with a controlled number of
+//! embeddings — how the paper's synthetic data sets are assembled
+//! ("constructed by generating a background graph and injecting into it long
+//! (or short) skinny patterns").
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use skinny_graph::{LabeledGraph, VertexId};
+
+/// Where a single copy of a pattern was planted.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlantedCopy {
+    /// Index of the injected pattern in the injection request.
+    pub pattern_index: usize,
+    /// Data-graph vertex hosting each pattern vertex
+    /// (`vertices[p]` hosts pattern vertex `p`).
+    pub vertices: Vec<VertexId>,
+}
+
+/// Outcome of injecting patterns into a background graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Injection {
+    /// The resulting data graph.
+    pub graph: LabeledGraph,
+    /// All planted copies, in injection order.
+    pub copies: Vec<PlantedCopy>,
+}
+
+impl Injection {
+    /// The planted copies of one particular pattern.
+    pub fn copies_of(&self, pattern_index: usize) -> Vec<&PlantedCopy> {
+        self.copies.iter().filter(|c| c.pattern_index == pattern_index).collect()
+    }
+}
+
+/// Injects each `(pattern, embeddings)` pair into `background`, planting the
+/// requested number of copies of each pattern on disjoint vertex sets:
+/// host vertices are chosen at random, their labels are overwritten with the
+/// pattern's labels and the pattern's edges are added (existing background
+/// edges between host vertices are left in place).
+///
+/// Panics if the background graph does not have enough vertices to host all
+/// copies disjointly.
+pub fn inject_patterns(
+    background: &LabeledGraph,
+    patterns: &[(LabeledGraph, usize)],
+    seed: u64,
+) -> Injection {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let needed: usize = patterns.iter().map(|(p, s)| p.vertex_count() * s).sum();
+    assert!(
+        needed <= background.vertex_count(),
+        "background graph with {} vertices cannot host {} disjoint pattern vertices",
+        background.vertex_count(),
+        needed
+    );
+
+    // 1. choose disjoint host vertex sets for every copy of every pattern
+    let mut free: Vec<VertexId> = background.vertices().collect();
+    free.shuffle(&mut rng);
+    let mut copies = Vec::new();
+    for (pattern_index, (pattern, embeddings)) in patterns.iter().enumerate() {
+        for _ in 0..*embeddings {
+            let hosts: Vec<VertexId> = free.split_off(free.len() - pattern.vertex_count());
+            copies.push(PlantedCopy { pattern_index, vertices: hosts });
+        }
+    }
+
+    // 2. rebuild the graph once with the overridden labels
+    let mut labels: Vec<skinny_graph::Label> = background.labels().to_vec();
+    for copy in &copies {
+        let pattern = &patterns[copy.pattern_index].0;
+        for (p, &host) in copy.vertices.iter().enumerate() {
+            labels[host.index()] = pattern.label(VertexId(p as u32));
+        }
+    }
+    let mut graph = LabeledGraph::with_capacity(background.vertex_count());
+    for &l in &labels {
+        graph.add_vertex(l);
+    }
+    for e in background.edges() {
+        graph.add_edge(e.u, e.v, e.label).expect("copying edges of a valid graph");
+    }
+    if let Some(name) = background.name() {
+        graph.set_name(name);
+    }
+
+    // 3. plant the pattern edges (existing background edges stay)
+    for copy in &copies {
+        let pattern = &patterns[copy.pattern_index].0;
+        for e in pattern.edges() {
+            let hu = copy.vertices[e.u.index()];
+            let hv = copy.vertices[e.v.index()];
+            if !graph.has_edge(hu, hv) {
+                graph.add_edge(hu, hv, e.label).expect("host vertices are valid and edge is new");
+            }
+        }
+    }
+    Injection { graph, copies }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::er::{erdos_renyi, ErConfig};
+    use crate::patterns::{skinny_pattern, SkinnyPatternConfig};
+    use skinny_graph::{count_embeddings, Label};
+
+    fn background(n: usize) -> LabeledGraph {
+        erdos_renyi(&ErConfig::new(n, 2.0, 40, 123))
+    }
+
+    fn small_pattern() -> LabeledGraph {
+        // a distinctive path with labels outside the background alphabet
+        LabeledGraph::from_unlabeled_edges(
+            &[Label(100), Label(101), Label(102), Label(103)],
+            [(0, 1), (1, 2), (2, 3)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn injection_preserves_vertex_count() {
+        let bg = background(200);
+        let inj = inject_patterns(&bg, &[(small_pattern(), 3)], 7);
+        assert_eq!(inj.graph.vertex_count(), 200);
+        assert_eq!(inj.copies.len(), 3);
+        assert_eq!(inj.copies_of(0).len(), 3);
+    }
+
+    #[test]
+    fn injected_pattern_has_at_least_requested_embeddings() {
+        let bg = background(300);
+        let p = small_pattern();
+        let inj = inject_patterns(&bg, &[(p.clone(), 4)], 11);
+        // the asymmetric label sequence means each planted copy yields exactly
+        // one embedding (plus any accidental ones, which the label range rules out)
+        let found = count_embeddings(&p, &inj.graph, None);
+        assert!(found >= 4, "expected >= 4 embeddings, found {found}");
+    }
+
+    #[test]
+    fn copies_are_vertex_disjoint() {
+        let bg = background(300);
+        let inj = inject_patterns(&bg, &[(small_pattern(), 5)], 3);
+        let mut used = std::collections::HashSet::new();
+        for c in &inj.copies {
+            for &v in &c.vertices {
+                assert!(used.insert(v), "vertex {v:?} reused across copies");
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_patterns_injected() {
+        let bg = background(400);
+        let skinny = skinny_pattern(&SkinnyPatternConfig::new(20, 10, 2, 40, 5));
+        let inj = inject_patterns(&bg, &[(small_pattern(), 2), (skinny.clone(), 2)], 9);
+        assert_eq!(inj.copies_of(0).len(), 2);
+        assert_eq!(inj.copies_of(1).len(), 2);
+        assert!(count_embeddings(&skinny, &inj.graph, Some(2)) >= 2);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let bg = background(150);
+        let a = inject_patterns(&bg, &[(small_pattern(), 2)], 42);
+        let b = inject_patterns(&bg, &[(small_pattern(), 2)], 42);
+        assert_eq!(a.graph, b.graph);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot host")]
+    fn too_many_copies_panics() {
+        let bg = background(10);
+        inject_patterns(&bg, &[(small_pattern(), 5)], 1);
+    }
+}

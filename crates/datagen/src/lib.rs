@@ -1,0 +1,35 @@
+//! # skinny-datagen
+//!
+//! Synthetic and simulated data generators for the SkinnyMine reproduction:
+//!
+//! * [`er`] — Erdős–Rényi background graphs with random vertex labels;
+//! * [`patterns`] — skinny / compact pattern generators (the injected
+//!   patterns of Tables 1 and 3);
+//! * [`inject`] — planting patterns into a background graph with a
+//!   controlled number of embeddings;
+//! * [`presets`] — the exact data settings of the paper's evaluation
+//!   (Table 1 GID 1–5, Table 3, Figures 9–18);
+//! * [`dblp`] — simulated DBLP temporal collaboration graphs (§6.3);
+//! * [`weibo`] — simulated Sina-Weibo conversation graphs (§6.3).
+//!
+//! All generators are deterministic given their seed.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dblp;
+pub mod er;
+pub mod inject;
+pub mod patterns;
+pub mod presets;
+pub mod weibo;
+
+pub use dblp::{generate_dblp, DblpConfig};
+pub use er::{erdos_renyi, ErConfig};
+pub use inject::{inject_patterns, Injection, PlantedCopy};
+pub use patterns::{compact_pattern, skinny_pattern, table3_pattern, CompactPatternConfig, SkinnyPatternConfig};
+pub use presets::{
+    generate_gid, generate_table3, generate_transaction_database, gid_setting, GidSetting, ScalabilitySetting,
+    Table3Row, Table3Setting, TransactionSetting, GID_SETTINGS, TABLE3_ROWS,
+};
+pub use weibo::{generate_weibo, WeiboConfig};

@@ -1,0 +1,198 @@
+//! Generators for the patterns injected into synthetic data: skinny patterns
+//! (long backbone, short twigs) and compact "fat" patterns (small diameter),
+//! mirroring the long/short injected patterns of Table 1 and the
+//! varied-skinniness patterns of Table 3.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use skinny_graph::{Label, LabeledGraph, VertexId};
+
+/// Parameters of a generated skinny pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SkinnyPatternConfig {
+    /// Total number of vertices `|V_L|`.
+    pub vertices: usize,
+    /// Backbone (canonical diameter) length in edges `L_d`.
+    pub diameter: usize,
+    /// Maximum twig depth δ.
+    pub max_twig_depth: u32,
+    /// Number of distinct vertex labels to draw from.
+    pub labels: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SkinnyPatternConfig {
+    /// Creates a configuration; `vertices` must be at least `diameter + 1`.
+    pub fn new(vertices: usize, diameter: usize, max_twig_depth: u32, labels: u32, seed: u64) -> Self {
+        SkinnyPatternConfig { vertices, diameter, max_twig_depth, labels, seed }
+    }
+}
+
+/// Generates a connected pattern with a backbone of exactly `diameter` edges
+/// and the remaining vertices attached as twigs of depth at most
+/// `max_twig_depth`.
+///
+/// Labels are assigned so that the backbone stays the canonical diameter:
+/// backbone vertices receive labels drawn from the lower half of the
+/// alphabet in non-decreasing "wave" order, twig vertices from the upper
+/// half, and twigs are never attached to the backbone endpoints (which would
+/// lengthen the diameter).
+pub fn skinny_pattern(config: &SkinnyPatternConfig) -> LabeledGraph {
+    assert!(
+        config.vertices >= config.diameter + 1,
+        "a {}-long pattern needs at least {} vertices",
+        config.diameter,
+        config.diameter + 1
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let labels = config.labels.max(2);
+    let backbone_alphabet = labels / 2;
+    let mut g = LabeledGraph::with_capacity(config.vertices);
+
+    // backbone
+    for _ in 0..=config.diameter {
+        let label = Label(rng.gen_range(0..backbone_alphabet.max(1)));
+        g.add_vertex(label);
+    }
+    for i in 0..config.diameter as u32 {
+        g.add_edge(VertexId(i), VertexId(i + 1), Label::DEFAULT_EDGE)
+            .expect("backbone edges are unique");
+    }
+
+    // twigs: each remaining vertex attaches below some backbone position; a
+    // twig vertex at depth d under backbone position b keeps the backbone the
+    // diameter as long as d <= min(b, diameter - b) (its distance to either
+    // backbone endpoint then never exceeds the diameter)
+    let mut depth: Vec<u32> = vec![0; config.diameter + 1];
+    let mut anchor: Vec<usize> = (0..=config.diameter).collect();
+    while g.vertex_count() < config.vertices {
+        let candidates: Vec<u32> = (0..g.vertex_count() as u32)
+            .filter(|&v| {
+                let new_depth = depth[v as usize] + 1;
+                let b = anchor[v as usize];
+                new_depth <= config.max_twig_depth
+                    && new_depth as usize <= b.min(config.diameter - b)
+            })
+            .collect();
+        if candidates.is_empty() {
+            break;
+        }
+        let attach = candidates[rng.gen_range(0..candidates.len())];
+        let label = Label(rng.gen_range(backbone_alphabet..labels));
+        let nv = g.add_vertex(label);
+        depth.push(depth[attach as usize] + 1);
+        anchor.push(anchor[attach as usize]);
+        g.add_edge(VertexId(attach), nv, Label::DEFAULT_EDGE)
+            .expect("twig attaches to an existing vertex with a fresh edge");
+    }
+    g
+}
+
+/// Parameters of a compact ("fat") pattern: small diameter, many vertices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompactPatternConfig {
+    /// Total number of vertices.
+    pub vertices: usize,
+    /// Target diameter (small relative to the vertex count).
+    pub diameter: usize,
+    /// Number of distinct vertex labels.
+    pub labels: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Generates a compact pattern of the given diameter: a short backbone with
+/// the remaining vertices attached directly (or at shallow depth) so the
+/// pattern is "large but fat" — the kind of pattern SpiderMine prefers and
+/// SkinnyMine deliberately excludes.
+pub fn compact_pattern(config: &CompactPatternConfig) -> LabeledGraph {
+    let skinny_cfg = SkinnyPatternConfig {
+        vertices: config.vertices,
+        diameter: config.diameter,
+        max_twig_depth: (config.diameter as u32 / 2).max(1),
+        labels: config.labels,
+        seed: config.seed,
+    };
+    skinny_pattern(&skinny_cfg)
+}
+
+/// One row of Table 3: a pattern of `vertices` vertices with a prescribed
+/// `diameter`, generated with twig depth chosen to use up the vertex budget.
+pub fn table3_pattern(vertices: usize, diameter: usize, labels: u32, seed: u64) -> LabeledGraph {
+    let spare = vertices.saturating_sub(diameter + 1);
+    // deeper twigs are only needed when there are many spare vertices per
+    // backbone vertex
+    let depth = if spare == 0 {
+        0
+    } else {
+        ((spare as f64 / diameter.max(1) as f64).ceil() as u32).clamp(1, 3)
+    };
+    skinny_pattern(&SkinnyPatternConfig::new(vertices, diameter, depth, labels, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skinny_graph::analyze;
+
+    #[test]
+    fn skinny_pattern_has_requested_shape() {
+        let cfg = SkinnyPatternConfig::new(40, 18, 2, 40, 5);
+        let g = skinny_pattern(&cfg);
+        assert_eq!(g.vertex_count(), 40);
+        let a = analyze(&g).unwrap();
+        assert_eq!(a.diameter_length(), 18, "backbone must remain the diameter");
+        assert!(a.skinniness() <= 2);
+    }
+
+    #[test]
+    fn pure_backbone_when_vertices_equal_diameter_plus_one() {
+        let g = skinny_pattern(&SkinnyPatternConfig::new(19, 18, 2, 40, 1));
+        assert_eq!(g.vertex_count(), 19);
+        assert_eq!(g.edge_count(), 18);
+        let a = analyze(&g).unwrap();
+        assert_eq!(a.diameter_length(), 18);
+        assert_eq!(a.skinniness(), 0);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let cfg = SkinnyPatternConfig::new(30, 12, 2, 20, 9);
+        assert_eq!(skinny_pattern(&cfg), skinny_pattern(&cfg));
+    }
+
+    #[test]
+    fn compact_pattern_is_fat() {
+        let g = compact_pattern(&CompactPatternConfig { vertices: 20, diameter: 4, labels: 40, seed: 3 });
+        assert_eq!(g.vertex_count(), 20);
+        let a = analyze(&g).unwrap();
+        assert!(a.diameter_length() <= 6, "compact pattern diameter {} too long", a.diameter_length());
+    }
+
+    #[test]
+    fn table3_rows_have_prescribed_diameters() {
+        // Table 3: |V| = 60 with diameters 50 and 30; |V| = 20 with diameter 8
+        for (v, d) in [(60usize, 50usize), (60, 30), (20, 8), (60, 8)] {
+            let g = table3_pattern(v, d, 100, 17);
+            assert_eq!(g.vertex_count(), v);
+            let a = analyze(&g).unwrap();
+            assert_eq!(a.diameter_length(), d, "pattern |V|={v} target diameter {d}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs at least")]
+    fn too_few_vertices_panics() {
+        skinny_pattern(&SkinnyPatternConfig::new(5, 18, 2, 40, 1));
+    }
+
+    #[test]
+    fn connectivity_always_holds() {
+        for seed in 0..10 {
+            let g = skinny_pattern(&SkinnyPatternConfig::new(25, 10, 3, 15, seed));
+            assert!(skinny_graph::is_connected(&g));
+        }
+    }
+}

@@ -1,0 +1,471 @@
+//! Ready-made data settings matching the paper's evaluation section:
+//! Table 1 / Table 2 (GID 1–5), Table 3 (varied skinniness), the
+//! graph-transaction settings of Figures 9–10, and the scalability settings
+//! of Figures 11–18.
+
+use crate::er::{erdos_renyi, ErConfig};
+use crate::inject::{inject_patterns, Injection};
+use crate::patterns::{skinny_pattern, table3_pattern, SkinnyPatternConfig};
+use serde::{Deserialize, Serialize};
+use skinny_graph::{GraphDatabase, LabeledGraph};
+
+/// One row of Table 1: the parameters of a synthetic single-graph data set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GidSetting {
+    /// Data set id (1–5).
+    pub gid: u8,
+    /// `|V|` — number of vertices of the background graph.
+    pub vertices: usize,
+    /// `f` — number of distinct vertex labels.
+    pub labels: u32,
+    /// `deg` — average background degree.
+    pub degree: f64,
+    /// `m` — number of injected long patterns (5 for all settings).
+    pub long_patterns: usize,
+    /// `|V_L|` — vertices per injected long pattern.
+    pub long_vertices: usize,
+    /// `L_d` — diameter of each injected long pattern.
+    pub long_diameter: usize,
+    /// `L_s` — number of embeddings of each injected long pattern.
+    pub long_support: usize,
+    /// `n` — number of injected short patterns.
+    pub short_patterns: usize,
+    /// `|V_S|` — vertices per injected short pattern.
+    pub short_vertices: usize,
+    /// `S_d` — diameter of each injected short pattern.
+    pub short_diameter: usize,
+    /// `S_s` — number of embeddings of each injected short pattern.
+    pub short_support: usize,
+}
+
+/// The five data settings of Table 1.
+pub const GID_SETTINGS: [GidSetting; 5] = [
+    GidSetting { gid: 1, vertices: 500, labels: 80, degree: 2.0, long_patterns: 5, long_vertices: 40, long_diameter: 18, long_support: 2, short_patterns: 5, short_vertices: 4, short_diameter: 2, short_support: 2 },
+    GidSetting { gid: 2, vertices: 500, labels: 80, degree: 4.0, long_patterns: 5, long_vertices: 40, long_diameter: 18, long_support: 2, short_patterns: 5, short_vertices: 4, short_diameter: 2, short_support: 2 },
+    GidSetting { gid: 3, vertices: 1000, labels: 240, degree: 2.0, long_patterns: 5, long_vertices: 40, long_diameter: 18, long_support: 2, short_patterns: 5, short_vertices: 4, short_diameter: 2, short_support: 20 },
+    GidSetting { gid: 4, vertices: 1000, labels: 240, degree: 4.0, long_patterns: 5, long_vertices: 40, long_diameter: 18, long_support: 2, short_patterns: 5, short_vertices: 4, short_diameter: 2, short_support: 20 },
+    GidSetting { gid: 5, vertices: 600, labels: 150, degree: 4.0, long_patterns: 5, long_vertices: 40, long_diameter: 18, long_support: 2, short_patterns: 20, short_vertices: 4, short_diameter: 2, short_support: 2 },
+];
+
+/// Returns the Table 1 setting for a GID (1–5).
+pub fn gid_setting(gid: u8) -> Option<GidSetting> {
+    GID_SETTINGS.iter().copied().find(|s| s.gid == gid)
+}
+
+/// Human readable description of the differences between settings (Table 2).
+pub fn setting_difference(gid: u8) -> &'static str {
+    match gid {
+        1 => "baseline setting",
+        2 => "GID 2 doubles the average degree (vs GID 1)",
+        3 => "GID 3 increases the support of short patterns (vs GID 1)",
+        4 => "GID 4 doubles the average degree (vs GID 3)",
+        5 => "GID 5 increases the number of short patterns (vs GID 2)",
+        _ => "unknown GID",
+    }
+}
+
+/// Generates the full GID data set: background graph plus injected long and
+/// short patterns, exactly as described in §6.2.
+pub fn generate_gid(setting: &GidSetting, seed: u64) -> Injection {
+    let background = erdos_renyi(&ErConfig::new(setting.vertices, setting.degree, setting.labels, seed));
+    let mut to_inject: Vec<(LabeledGraph, usize)> = Vec::new();
+    for i in 0..setting.long_patterns {
+        let p = skinny_pattern(&SkinnyPatternConfig::new(
+            setting.long_vertices,
+            setting.long_diameter,
+            2,
+            setting.labels,
+            seed.wrapping_add(100 + i as u64),
+        ));
+        to_inject.push((p, setting.long_support));
+    }
+    for i in 0..setting.short_patterns {
+        let p = skinny_pattern(&SkinnyPatternConfig::new(
+            setting.short_vertices,
+            setting.short_diameter,
+            1,
+            setting.labels,
+            seed.wrapping_add(500 + i as u64),
+        ));
+        to_inject.push((p, setting.short_support));
+    }
+    inject_patterns(&background, &to_inject, seed.wrapping_add(999))
+}
+
+/// One row of Table 3: 10 injected patterns of decreasing skinniness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table3Row {
+    /// Pattern id (1–10).
+    pub pid: u8,
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Diameter of the injected pattern.
+    pub diameter: usize,
+}
+
+/// The ten pattern shapes of Table 3.
+pub const TABLE3_ROWS: [Table3Row; 10] = [
+    Table3Row { pid: 1, vertices: 60, diameter: 50 },
+    Table3Row { pid: 2, vertices: 60, diameter: 45 },
+    Table3Row { pid: 3, vertices: 60, diameter: 40 },
+    Table3Row { pid: 4, vertices: 60, diameter: 35 },
+    Table3Row { pid: 5, vertices: 60, diameter: 30 },
+    Table3Row { pid: 6, vertices: 20, diameter: 8 },
+    Table3Row { pid: 7, vertices: 30, diameter: 8 },
+    Table3Row { pid: 8, vertices: 40, diameter: 8 },
+    Table3Row { pid: 9, vertices: 50, diameter: 8 },
+    Table3Row { pid: 10, vertices: 60, diameter: 8 },
+];
+
+/// Parameters of the Table 3 experiment ("10 graphs of varied skinniness"):
+/// a 2 000-vertex background with degree 3 and 100 labels, each pattern
+/// injected with support 2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table3Setting {
+    /// Background vertices (2 000 in the paper).
+    pub vertices: usize,
+    /// Background average degree.
+    pub degree: f64,
+    /// Label alphabet size.
+    pub labels: u32,
+    /// Embeddings per injected pattern.
+    pub support: usize,
+}
+
+impl Default for Table3Setting {
+    fn default() -> Self {
+        Table3Setting { vertices: 2000, degree: 3.0, labels: 100, support: 2 }
+    }
+}
+
+/// Generates the Table 3 data set: background plus the ten injected patterns
+/// of varied skinniness.  Returns the injection and the generated pattern
+/// graphs (indexed by PID - 1).
+pub fn generate_table3(setting: &Table3Setting, seed: u64) -> (Injection, Vec<LabeledGraph>) {
+    let background = erdos_renyi(&ErConfig::new(setting.vertices, setting.degree, setting.labels, seed));
+    let patterns: Vec<LabeledGraph> = TABLE3_ROWS
+        .iter()
+        .map(|row| table3_pattern(row.vertices, row.diameter, setting.labels, seed.wrapping_add(row.pid as u64)))
+        .collect();
+    let to_inject: Vec<(LabeledGraph, usize)> = patterns.iter().map(|p| (p.clone(), setting.support)).collect();
+    let injection = inject_patterns(&background, &to_inject, seed.wrapping_add(77));
+    (injection, patterns)
+}
+
+/// Parameters of the graph-transaction experiments (Figures 9–10): 10
+/// Erdős–Rényi transactions of 800 vertices (degree 5, 80 labels) with 5
+/// injected skinny patterns (40 vertices, diameter 20, support 5), plus —
+/// for Figure 10 — 120 small patterns of 5 vertices with support 5.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransactionSetting {
+    /// Number of transactions.
+    pub transactions: usize,
+    /// Vertices per transaction.
+    pub vertices: usize,
+    /// Average degree per transaction.
+    pub degree: f64,
+    /// Label alphabet size.
+    pub labels: u32,
+    /// Number of injected skinny patterns.
+    pub skinny_patterns: usize,
+    /// Vertices per skinny pattern.
+    pub skinny_vertices: usize,
+    /// Diameter of each skinny pattern.
+    pub skinny_diameter: usize,
+    /// Transactions each skinny pattern is planted in.
+    pub skinny_support: usize,
+    /// Number of injected small patterns (0 for Figure 9, 120 for Figure 10).
+    pub small_patterns: usize,
+    /// Vertices per small pattern.
+    pub small_vertices: usize,
+    /// Transactions each small pattern is planted in.
+    pub small_support: usize,
+}
+
+impl TransactionSetting {
+    /// The Figure 9 setting (no extra small patterns).
+    pub fn figure9() -> Self {
+        TransactionSetting {
+            transactions: 10,
+            vertices: 800,
+            degree: 5.0,
+            labels: 80,
+            skinny_patterns: 5,
+            skinny_vertices: 40,
+            skinny_diameter: 20,
+            skinny_support: 5,
+            small_patterns: 0,
+            small_vertices: 5,
+            small_support: 5,
+        }
+    }
+
+    /// The Figure 10 setting (120 extra small patterns).
+    pub fn figure10() -> Self {
+        TransactionSetting { small_patterns: 120, ..Self::figure9() }
+    }
+
+    /// A proportionally scaled-down copy (divide sizes by `factor`) used by
+    /// the benchmark harness to keep run times reasonable.
+    pub fn scaled_down(&self, factor: usize) -> Self {
+        let factor = factor.max(1);
+        TransactionSetting {
+            transactions: self.transactions,
+            vertices: (self.vertices / factor).max(self.skinny_vertices * 2),
+            degree: self.degree,
+            labels: self.labels,
+            skinny_patterns: (self.skinny_patterns).max(1),
+            skinny_vertices: self.skinny_vertices,
+            skinny_diameter: self.skinny_diameter,
+            skinny_support: self.skinny_support,
+            small_patterns: self.small_patterns / factor,
+            small_vertices: self.small_vertices,
+            small_support: self.small_support,
+        }
+    }
+}
+
+/// Generates the graph-transaction database of Figures 9–10.
+pub fn generate_transaction_database(setting: &TransactionSetting, seed: u64) -> GraphDatabase {
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // generate the injected pattern graphs
+    let skinny: Vec<LabeledGraph> = (0..setting.skinny_patterns)
+        .map(|i| {
+            skinny_pattern(&SkinnyPatternConfig::new(
+                setting.skinny_vertices,
+                setting.skinny_diameter,
+                2,
+                setting.labels,
+                seed.wrapping_add(1000 + i as u64),
+            ))
+        })
+        .collect();
+    let small: Vec<LabeledGraph> = (0..setting.small_patterns)
+        .map(|i| {
+            skinny_pattern(&SkinnyPatternConfig::new(
+                setting.small_vertices,
+                2,
+                1,
+                setting.labels,
+                seed.wrapping_add(5000 + i as u64),
+            ))
+        })
+        .collect();
+
+    // decide which transactions host which pattern
+    let mut assignment: Vec<Vec<(LabeledGraph, usize)>> = vec![Vec::new(); setting.transactions];
+    let mut assign = |pattern: &LabeledGraph, support: usize, rng: &mut StdRng| {
+        let mut t: Vec<usize> = (0..setting.transactions).collect();
+        t.shuffle(rng);
+        for &ti in t.iter().take(support.min(setting.transactions)) {
+            assignment[ti].push((pattern.clone(), 1));
+        }
+    };
+    for p in &skinny {
+        assign(p, setting.skinny_support, &mut rng);
+    }
+    for p in &small {
+        assign(p, setting.small_support, &mut rng);
+    }
+
+    // build each transaction: background + its assigned patterns
+    let mut db = GraphDatabase::new();
+    for (t, planted) in assignment.into_iter().enumerate() {
+        let background = erdos_renyi(&ErConfig::new(
+            setting.vertices,
+            setting.degree,
+            setting.labels,
+            seed.wrapping_add(70 + t as u64),
+        ));
+        let graph = if planted.is_empty() {
+            background
+        } else {
+            inject_patterns(&background, &planted, seed.wrapping_add(900 + t as u64)).graph
+        };
+        db.push(graph);
+    }
+    db
+}
+
+/// Scalability settings for the single-graph runtime figures
+/// (Figures 11–14): background size sweep with fixed degree and alphabet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalabilitySetting {
+    /// Background sizes to sweep.
+    pub sizes: [usize; 6],
+    /// Average degree.
+    pub degree: f64,
+    /// Label alphabet size.
+    pub labels: u32,
+    /// Number of injected skinny patterns per size.
+    pub injected: usize,
+    /// Vertices per injected pattern.
+    pub injected_vertices: usize,
+    /// Diameter per injected pattern.
+    pub injected_diameter: usize,
+    /// Embeddings per injected pattern.
+    pub injected_support: usize,
+}
+
+impl ScalabilitySetting {
+    /// Figure 11 (vs MoSS): small graphs, degree 2, 70 labels.
+    pub fn figure11() -> Self {
+        ScalabilitySetting {
+            sizes: [100, 180, 260, 340, 420, 500],
+            degree: 2.0,
+            labels: 70,
+            injected: 2,
+            injected_vertices: 12,
+            injected_diameter: 8,
+            injected_support: 2,
+        }
+    }
+
+    /// Figure 12 (vs SUBDUE): medium graphs, degree 3, 100 labels.
+    pub fn figure12() -> Self {
+        ScalabilitySetting {
+            sizes: [500, 1500, 3000, 4500, 6000, 7500],
+            degree: 3.0,
+            labels: 100,
+            injected: 3,
+            injected_vertices: 20,
+            injected_diameter: 12,
+            injected_support: 2,
+        }
+    }
+
+    /// Figure 13 (vs SpiderMine): larger graphs, degree 3, 100 labels.
+    pub fn figure13() -> Self {
+        ScalabilitySetting {
+            sizes: [1000, 5000, 10_000, 20_000, 35_000, 50_000],
+            degree: 3.0,
+            labels: 100,
+            injected: 3,
+            injected_vertices: 20,
+            injected_diameter: 12,
+            injected_support: 2,
+        }
+    }
+
+    /// Figure 14/15 (SkinnyMine alone): up to 300k vertices, degree 3, 80 labels.
+    pub fn figure14() -> Self {
+        ScalabilitySetting {
+            sizes: [50_000, 100_000, 150_000, 200_000, 250_000, 300_000],
+            degree: 3.0,
+            labels: 80,
+            injected: 5,
+            injected_vertices: 20,
+            injected_diameter: 10,
+            injected_support: 2,
+        }
+    }
+
+    /// Generates the data graph for one swept size.
+    pub fn generate(&self, size: usize, seed: u64) -> LabeledGraph {
+        let background = erdos_renyi(&ErConfig::new(size, self.degree, self.labels, seed));
+        let patterns: Vec<(LabeledGraph, usize)> = (0..self.injected)
+            .map(|i| {
+                (
+                    skinny_pattern(&SkinnyPatternConfig::new(
+                        self.injected_vertices,
+                        self.injected_diameter,
+                        2,
+                        self.labels,
+                        seed.wrapping_add(i as u64 + 1),
+                    )),
+                    self.injected_support,
+                )
+            })
+            .collect();
+        inject_patterns(&background, &patterns, seed.wrapping_add(31)).graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skinny_graph::analyze;
+
+    #[test]
+    fn gid_settings_match_table1() {
+        assert_eq!(GID_SETTINGS.len(), 5);
+        let g3 = gid_setting(3).unwrap();
+        assert_eq!(g3.vertices, 1000);
+        assert_eq!(g3.labels, 240);
+        assert_eq!(g3.short_support, 20);
+        assert!(gid_setting(9).is_none());
+        assert!(setting_difference(2).contains("degree"));
+        assert!(setting_difference(5).contains("number of short patterns"));
+    }
+
+    #[test]
+    fn generate_gid1_has_expected_size_and_patterns() {
+        let setting = gid_setting(1).unwrap();
+        let inj = generate_gid(&setting, 42);
+        assert_eq!(inj.graph.vertex_count(), 500);
+        // 5 long * 2 + 5 short * 2 = 20 planted copies
+        assert_eq!(inj.copies.len(), 20);
+        assert_eq!(inj.copies_of(0).len(), 2);
+    }
+
+    #[test]
+    fn table3_rows_cover_both_shapes() {
+        assert_eq!(TABLE3_ROWS.len(), 10);
+        assert_eq!(TABLE3_ROWS[0].diameter, 50);
+        assert_eq!(TABLE3_ROWS[9].diameter, 8);
+        let setting = Table3Setting { vertices: 1200, ..Default::default() };
+        let (inj, patterns) = generate_table3(&setting, 5);
+        assert_eq!(patterns.len(), 10);
+        assert_eq!(inj.copies.len(), 20);
+        // the first pattern really is skinnier than the last
+        let a0 = analyze(&patterns[0]).unwrap();
+        let a9 = analyze(&patterns[9]).unwrap();
+        assert!(a0.diameter_length() > a9.diameter_length());
+    }
+
+    #[test]
+    fn transaction_settings() {
+        let f9 = TransactionSetting::figure9();
+        let f10 = TransactionSetting::figure10();
+        assert_eq!(f9.small_patterns, 0);
+        assert_eq!(f10.small_patterns, 120);
+        assert_eq!(f9.transactions, 10);
+        let scaled = f10.scaled_down(4);
+        assert_eq!(scaled.vertices, 200);
+        assert_eq!(scaled.small_patterns, 30);
+    }
+
+    #[test]
+    fn transaction_database_generation() {
+        let setting = TransactionSetting {
+            transactions: 4,
+            vertices: 120,
+            degree: 3.0,
+            labels: 30,
+            skinny_patterns: 2,
+            skinny_vertices: 12,
+            skinny_diameter: 8,
+            skinny_support: 3,
+            small_patterns: 3,
+            small_vertices: 4,
+            small_support: 2,
+        };
+        let db = generate_transaction_database(&setting, 9);
+        assert_eq!(db.len(), 4);
+        assert!(db.iter().all(|(_, g)| g.vertex_count() == 120));
+    }
+
+    #[test]
+    fn scalability_settings_generate() {
+        let s = ScalabilitySetting::figure11();
+        let g = s.generate(200, 3);
+        assert_eq!(g.vertex_count(), 200);
+        assert!(ScalabilitySetting::figure12().sizes[0] >= 500);
+        assert!(ScalabilitySetting::figure13().sizes[5] == 50_000);
+        assert!(ScalabilitySetting::figure14().sizes[5] == 300_000);
+    }
+}

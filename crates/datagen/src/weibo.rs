@@ -1,0 +1,185 @@
+//! Simulated Sina-Weibo conversation graphs (§6.3 of the paper).
+//!
+//! The real experiment turns every popular tweet into a *conversation graph*:
+//! the author of the original tweet is the root; every retweet or comment
+//! adds an edge between the acting user and the target user; users carry one
+//! of four role labels (root user, follower of the root, followee of the
+//! root, other).  Skinny patterns mined from these conversations are long
+//! information-diffusion chains with short interaction twigs — the paper
+//! showcases a 13-long 3-skinny chain in which the root user repeatedly
+//! re-engages.
+//!
+//! We do not have the Weibo dataset, so this module synthesizes conversation
+//! graphs of that schema: a long diffusion chain (the backbone), root
+//! re-engagement twigs, and random comment twigs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use skinny_graph::{GraphDatabase, Label, LabelTable, LabeledGraph, VertexId};
+
+/// Role label: the author of the original tweet.
+pub const ROOT: Label = Label(0);
+/// Role label: a user who follows the root user.
+pub const FOLLOWER: Label = Label(1);
+/// Role label: a user the root user follows.
+pub const FOLLOWEE: Label = Label(2);
+/// Role label: any other user.
+pub const OTHER: Label = Label(3);
+
+/// Builds the label table naming the four user roles.
+pub fn weibo_label_table() -> LabelTable {
+    let mut t = LabelTable::new();
+    t.intern("root");
+    t.intern("follower");
+    t.intern("followee");
+    t.intern("other");
+    t
+}
+
+/// Configuration of the simulated conversation data set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeiboConfig {
+    /// Number of conversation graphs.
+    pub conversations: usize,
+    /// Minimum diffusion-chain length (edges) of a conversation.
+    pub min_chain: usize,
+    /// Maximum diffusion-chain length (edges) of a conversation.
+    pub max_chain: usize,
+    /// Fraction of conversations exhibiting the planted "root re-engagement"
+    /// diffusion pattern (the paper's Figure 24).
+    pub engagement_fraction: f64,
+    /// Expected number of random comment twigs per chain node.
+    pub comment_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WeiboConfig {
+    fn default() -> Self {
+        WeiboConfig {
+            conversations: 200,
+            min_chain: 10,
+            max_chain: 16,
+            engagement_fraction: 0.3,
+            comment_rate: 0.4,
+            seed: 2013,
+        }
+    }
+}
+
+/// Generates the simulated conversation database: one graph per popular tweet.
+pub fn generate_weibo(config: &WeiboConfig) -> GraphDatabase {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut db = GraphDatabase::new();
+    for c in 0..config.conversations {
+        let engaged = (c as f64) < config.engagement_fraction * config.conversations as f64;
+        let chain = rng.gen_range(config.min_chain..=config.max_chain);
+        db.push(conversation_graph(chain, engaged, config.comment_rate, &mut rng));
+    }
+    db
+}
+
+/// Builds one conversation graph.
+///
+/// * The diffusion chain is a path of `chain + 1` user nodes: the root, then
+///   a follower, then alternating followers/others as the tweet travels.
+/// * When `root_engagement` is set, every third chain node also receives a
+///   follower twig (the root user's repeated dialogue with her audience),
+///   which is the planted frequent skinny pattern.
+/// * Random `other`-labeled comment twigs are added at rate `comment_rate`.
+pub fn conversation_graph(chain: usize, root_engagement: bool, comment_rate: f64, rng: &mut impl Rng) -> LabeledGraph {
+    let mut g = LabeledGraph::with_capacity(chain + 1);
+    let mut chain_nodes: Vec<VertexId> = Vec::with_capacity(chain + 1);
+    for i in 0..=chain {
+        let label = if i == 0 {
+            ROOT
+        } else if i == 1 || i % 3 == 1 {
+            FOLLOWER
+        } else if i % 3 == 2 {
+            OTHER
+        } else {
+            FOLLOWEE
+        };
+        chain_nodes.push(g.add_vertex(label));
+    }
+    for w in chain_nodes.windows(2) {
+        g.add_edge(w[0], w[1], Label::DEFAULT_EDGE).expect("chain edges are unique");
+    }
+    for (i, &node) in chain_nodes.iter().enumerate() {
+        // never attach twigs to the chain endpoints: the diffusion chain must
+        // stay the conversation's diameter
+        if i == 0 || i == chain {
+            continue;
+        }
+        if root_engagement && i % 3 == 0 {
+            let f = g.add_vertex(FOLLOWER);
+            g.add_edge(node, f, Label::DEFAULT_EDGE).expect("fresh engagement twig");
+        }
+        if rng.gen_bool(comment_rate.clamp(0.0, 1.0)) {
+            let c = g.add_vertex(OTHER);
+            g.add_edge(node, c, Label::DEFAULT_EDGE).expect("fresh comment twig");
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skinny_graph::analyze;
+
+    #[test]
+    fn label_table_has_four_roles() {
+        let t = weibo_label_table();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.get("root"), Some(ROOT));
+        assert_eq!(t.get("other"), Some(OTHER));
+    }
+
+    #[test]
+    fn conversation_graph_is_skinny_chain() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = conversation_graph(13, true, 0.4, &mut rng);
+        let a = analyze(&g).unwrap();
+        assert_eq!(a.diameter_length(), 13);
+        assert!(a.skinniness() <= 1);
+        // exactly one root
+        assert_eq!(g.labels().iter().filter(|&&l| l == ROOT).count(), 1);
+    }
+
+    #[test]
+    fn database_size_and_chain_lengths() {
+        let config = WeiboConfig { conversations: 25, min_chain: 10, max_chain: 12, ..Default::default() };
+        let db = generate_weibo(&config);
+        assert_eq!(db.len(), 25);
+        for (_, g) in db.iter() {
+            let a = analyze(g).unwrap();
+            assert!((10..=12).contains(&a.diameter_length()));
+        }
+    }
+
+    #[test]
+    fn engagement_pattern_recurs() {
+        let config = WeiboConfig { conversations: 40, engagement_fraction: 0.5, ..Default::default() };
+        let db = generate_weibo(&config);
+        // chain segment follower-other-followee with a follower twig on the
+        // followee (positions 3k) recurs in every engaged conversation
+        let pattern = LabeledGraph::from_unlabeled_edges(
+            &[OTHER, FOLLOWEE, FOLLOWER, FOLLOWER],
+            [(0, 1), (1, 2), (1, 3)],
+        )
+        .unwrap();
+        assert!(db.transaction_support(&pattern) >= 15);
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let config = WeiboConfig { conversations: 8, ..Default::default() };
+        let a = generate_weibo(&config);
+        let b = generate_weibo(&config);
+        for i in 0..a.len() {
+            assert_eq!(a[i], b[i]);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests of the data generators: generated data must have the
+//! promised shape (sizes, degrees, injected-pattern support, skinniness),
+//! because every experiment's validity rests on it.
+
+use proptest::prelude::*;
+use skinny_datagen::{
+    erdos_renyi, generate_dblp, generate_weibo, inject_patterns, skinny_pattern, table3_pattern,
+    DblpConfig, ErConfig, SkinnyPatternConfig, WeiboConfig,
+};
+use skinny_graph::{analyze, count_embeddings, is_connected};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Erdős–Rényi generation: vertex count exact, labels within the
+    /// alphabet, average degree in a loose band around the target, and
+    /// deterministic for a fixed seed.
+    #[test]
+    fn er_generator_shape(
+        n in 50usize..400,
+        deg in 1.0f64..5.0,
+        labels in 2u32..60,
+        seed in 0u64..500,
+    ) {
+        let cfg = ErConfig::new(n, deg, labels, seed);
+        let g = erdos_renyi(&cfg);
+        prop_assert_eq!(g.vertex_count(), n);
+        prop_assert!(g.labels().iter().all(|l| l.id() < labels));
+        prop_assert_eq!(&g, &erdos_renyi(&cfg));
+        // loose degree band (small graphs have high variance)
+        let avg = g.average_degree();
+        prop_assert!(avg <= deg * 2.0 + 1.0, "avg degree {avg} too far above target {deg}");
+    }
+
+    /// Skinny-pattern generation: exact vertex count, exact diameter, twig
+    /// depth within the bound, connected.
+    #[test]
+    fn skinny_pattern_shape(
+        diameter in 4usize..20,
+        extra in 0usize..12,
+        depth in 1u32..4,
+        seed in 0u64..500,
+    ) {
+        let vertices = diameter + 1 + extra;
+        let p = skinny_pattern(&SkinnyPatternConfig::new(vertices, diameter, depth, 30, seed));
+        prop_assert!(is_connected(&p));
+        prop_assert!(p.vertex_count() <= vertices);
+        prop_assert!(p.vertex_count() >= diameter + 1);
+        let a = analyze(&p).expect("connected");
+        prop_assert_eq!(a.diameter_length(), diameter);
+        prop_assert!(a.skinniness() <= depth);
+    }
+
+    /// Injection plants the requested number of disjoint copies and the
+    /// pattern is embeddable at least that many times afterwards.
+    #[test]
+    fn injection_support(
+        copies in 1usize..4,
+        seed in 0u64..200,
+    ) {
+        let background = erdos_renyi(&ErConfig::new(200, 2.0, 40, seed));
+        // labels 100.. guarantee no accidental background match
+        let pattern = skinny_graph::LabeledGraph::from_unlabeled_edges(
+            &[skinny_graph::Label(100), skinny_graph::Label(101), skinny_graph::Label(102)],
+            [(0, 1), (1, 2)],
+        ).expect("valid pattern");
+        let inj = inject_patterns(&background, &[(pattern.clone(), copies)], seed);
+        prop_assert_eq!(inj.graph.vertex_count(), 200);
+        prop_assert_eq!(inj.copies.len(), copies);
+        prop_assert!(count_embeddings(&pattern, &inj.graph, None) >= copies);
+    }
+
+    /// Table-3 pattern rows always hit their prescribed diameter exactly.
+    #[test]
+    fn table3_pattern_diameters(seed in 0u64..100) {
+        for &(v, d) in &[(60usize, 50usize), (60, 30), (30, 8), (60, 8)] {
+            let p = table3_pattern(v, d, 100, seed);
+            prop_assert_eq!(analyze(&p).expect("connected").diameter_length(), d);
+            prop_assert_eq!(p.vertex_count(), v);
+        }
+    }
+}
+
+/// The simulated corpora have the schema §6.3 describes.
+#[test]
+fn simulated_corpora_schema() {
+    let dblp = generate_dblp(&DblpConfig { authors: 25, ..Default::default() });
+    assert_eq!(dblp.len(), 25);
+    for (_, g) in dblp.iter() {
+        assert!(is_connected(g));
+        // labels within the 13-label DBLP alphabet
+        assert!(g.labels().iter().all(|l| l.id() < 13));
+    }
+    let weibo = generate_weibo(&WeiboConfig { conversations: 25, ..Default::default() });
+    assert_eq!(weibo.len(), 25);
+    for (_, g) in weibo.iter() {
+        assert!(is_connected(g));
+        assert!(g.labels().iter().all(|l| l.id() < 4));
+        // exactly one root per conversation
+        assert_eq!(g.labels().iter().filter(|l| l.id() == 0).count(), 1);
+    }
+}

@@ -1,0 +1,490 @@
+//! gSpan-style DFS codes and minimum (canonical) DFS codes.
+//!
+//! A DFS code represents a connected labeled graph as the edge sequence of a
+//! depth-first traversal; the *minimum* DFS code over all traversals is a
+//! canonical form: two connected labeled graphs are isomorphic iff their
+//! minimum DFS codes are equal.  SkinnyMine uses minimum codes to deduplicate
+//! result patterns in tests and verification, and the gSpan baseline uses
+//! them for its rightmost-path pattern growth.
+
+use crate::graph::{LabeledGraph, VertexId};
+use crate::label::Label;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+
+/// One edge of a DFS code: `(i, j, l_i, l_e, l_j)` where `i`, `j` are DFS
+/// discovery indices.  `i < j` is a forward edge, `i > j` a backward edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DfsEdge {
+    /// DFS discovery index of the source endpoint.
+    pub from: u32,
+    /// DFS discovery index of the destination endpoint.
+    pub to: u32,
+    /// Label of the source vertex.
+    pub from_label: Label,
+    /// Edge label.
+    pub edge_label: Label,
+    /// Label of the destination vertex.
+    pub to_label: Label,
+}
+
+impl DfsEdge {
+    /// True for forward (tree) edges.
+    #[inline]
+    pub fn is_forward(&self) -> bool {
+        self.from < self.to
+    }
+
+    /// True for backward edges.
+    #[inline]
+    pub fn is_backward(&self) -> bool {
+        self.from > self.to
+    }
+}
+
+/// Compares two DFS edges under the gSpan DFS-lexicographic edge order
+/// (structure first, then labels).
+pub fn cmp_dfs_edge(a: &DfsEdge, b: &DfsEdge) -> Ordering {
+    let structural = match (a.is_forward(), b.is_forward()) {
+        (false, false) => {
+            // both backward
+            a.from.cmp(&b.from).then(a.to.cmp(&b.to))
+        }
+        (true, true) => {
+            // both forward: smaller destination first; on ties, the deeper
+            // (larger) source comes first
+            a.to.cmp(&b.to).then(b.from.cmp(&a.from))
+        }
+        (false, true) => {
+            // a backward, b forward: a first iff a.from < b.to
+            if a.from < b.to {
+                Ordering::Less
+            } else {
+                Ordering::Greater
+            }
+        }
+        (true, false) => {
+            // a forward, b backward: a first iff a.to <= b.from
+            if a.to <= b.from {
+                Ordering::Less
+            } else {
+                Ordering::Greater
+            }
+        }
+    };
+    structural.then_with(|| {
+        (a.from_label, a.edge_label, a.to_label).cmp(&(b.from_label, b.edge_label, b.to_label))
+    })
+}
+
+/// A DFS code: an ordered sequence of DFS edges.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DfsCode {
+    /// The edge sequence.
+    pub edges: Vec<DfsEdge>,
+}
+
+impl DfsCode {
+    /// Creates an empty code.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of edges in the code.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if the code has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Number of distinct DFS vertex indices referenced by the code.
+    pub fn vertex_count(&self) -> usize {
+        self.edges
+            .iter()
+            .flat_map(|e| [e.from, e.to])
+            .max()
+            .map(|m| m as usize + 1)
+            .unwrap_or(0)
+    }
+
+    /// Appends an edge.
+    pub fn push(&mut self, e: DfsEdge) {
+        self.edges.push(e);
+    }
+
+    /// Lexicographic comparison of two codes under the DFS edge order, with
+    /// shorter prefixes ordered before their extensions.
+    pub fn cmp_code(&self, other: &DfsCode) -> Ordering {
+        for (a, b) in self.edges.iter().zip(other.edges.iter()) {
+            match cmp_dfs_edge(a, b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        self.edges.len().cmp(&other.edges.len())
+    }
+
+    /// Reconstructs the labeled graph this code describes.  DFS indices
+    /// become vertex ids.
+    pub fn to_graph(&self) -> LabeledGraph {
+        let mut g = LabeledGraph::with_capacity(self.vertex_count());
+        let mut labels: Vec<Option<Label>> = vec![None; self.vertex_count()];
+        for e in &self.edges {
+            labels[e.from as usize].get_or_insert(e.from_label);
+            labels[e.to as usize].get_or_insert(e.to_label);
+        }
+        for l in labels {
+            g.add_vertex(l.expect("every DFS index appears in some edge"));
+        }
+        for e in &self.edges {
+            // duplicate edges cannot occur in a valid DFS code
+            g.add_edge(VertexId(e.from), VertexId(e.to), e.edge_label)
+                .expect("valid DFS code produces a simple graph");
+        }
+        g
+    }
+}
+
+/// A search state while computing the minimum DFS code: a partial mapping
+/// from DFS indices to graph vertices, plus the rightmost path.
+#[derive(Debug, Clone)]
+struct CodeState {
+    /// `dfs_to_graph[i]` = graph vertex with DFS index `i`.
+    dfs_to_graph: Vec<VertexId>,
+    /// `graph_to_dfs[v]` = DFS index of graph vertex v (u32::MAX if unvisited).
+    graph_to_dfs: Vec<u32>,
+    /// DFS indices on the rightmost path, root first.
+    rightmost_path: Vec<u32>,
+    /// Edges (as unordered graph vertex pairs) already used by the code.
+    used_edges: Vec<(VertexId, VertexId)>,
+}
+
+impl CodeState {
+    fn edge_used(&self, a: VertexId, b: VertexId) -> bool {
+        self.used_edges.iter().any(|&(x, y)| (x == a && y == b) || (x == b && y == a))
+    }
+}
+
+/// A candidate next edge from a particular state.
+#[derive(Debug, Clone)]
+struct Candidate {
+    edge: DfsEdge,
+    state_idx: usize,
+    /// Graph vertex the new DFS index maps to (forward edges only).
+    new_vertex: Option<VertexId>,
+    /// Graph vertex pair consumed by this edge.
+    graph_edge: (VertexId, VertexId),
+}
+
+/// Computes the minimum DFS code of a connected labeled graph.
+///
+/// Runs the standard frontier construction: all DFS traversal states
+/// realizing the current minimal code prefix are kept, the globally minimal
+/// next edge is selected, and only states that can produce it survive.
+/// Patterns in this repository are small, so the state set stays tiny.
+pub fn min_dfs_code(graph: &LabeledGraph) -> DfsCode {
+    let mut code = DfsCode::new();
+    if graph.edge_count() == 0 {
+        return code;
+    }
+    // initial states: one per vertex whose label is minimal? No — the first
+    // edge decides; seed states from every vertex and let the first edge
+    // selection prune them.
+    let mut states: Vec<CodeState> = graph
+        .vertices()
+        .map(|v| {
+            let mut graph_to_dfs = vec![u32::MAX; graph.vertex_count()];
+            graph_to_dfs[v.index()] = 0;
+            CodeState {
+                dfs_to_graph: vec![v],
+                graph_to_dfs,
+                rightmost_path: vec![0],
+                used_edges: Vec::new(),
+            }
+        })
+        .collect();
+
+    for _ in 0..graph.edge_count() {
+        let mut best: Option<DfsEdge> = None;
+        let mut candidates: Vec<Candidate> = Vec::new();
+        for (si, state) in states.iter().enumerate() {
+            for cand in next_candidates(graph, state, si) {
+                match &best {
+                    None => {
+                        best = Some(cand.edge);
+                        candidates = vec![cand];
+                    }
+                    Some(b) => match cmp_dfs_edge(&cand.edge, b) {
+                        Ordering::Less => {
+                            best = Some(cand.edge);
+                            candidates = vec![cand];
+                        }
+                        Ordering::Equal => candidates.push(cand),
+                        Ordering::Greater => {}
+                    },
+                }
+            }
+        }
+        let best = best.expect("connected graph with remaining edges has an extension");
+        code.push(best);
+        // advance every surviving candidate's state
+        let mut new_states: Vec<CodeState> = Vec::with_capacity(candidates.len());
+        for cand in candidates {
+            let mut st = states[cand.state_idx].clone();
+            st.used_edges.push(cand.graph_edge);
+            if best.is_forward() {
+                let nv = cand.new_vertex.expect("forward edge introduces a vertex");
+                st.graph_to_dfs[nv.index()] = best.to;
+                st.dfs_to_graph.push(nv);
+                // rightmost path: truncate to the source, then append the new index
+                let pos = st
+                    .rightmost_path
+                    .iter()
+                    .position(|&d| d == best.from)
+                    .expect("forward source lies on rightmost path");
+                st.rightmost_path.truncate(pos + 1);
+                st.rightmost_path.push(best.to);
+            }
+            new_states.push(st);
+        }
+        states = new_states;
+    }
+    code
+}
+
+/// Enumerates the admissible next edges from one DFS state, following the
+/// gSpan growth rules: backward edges from the rightmost vertex (in
+/// increasing destination index), then forward edges from rightmost-path
+/// vertices.
+fn next_candidates(graph: &LabeledGraph, state: &CodeState, state_idx: usize) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    let rm_idx = *state.rightmost_path.last().expect("rightmost path nonempty");
+    let rm_vertex = state.dfs_to_graph[rm_idx as usize];
+
+    // Backward edges: rightmost vertex -> a vertex on the rightmost path.
+    for &anc_idx in &state.rightmost_path {
+        if anc_idx == rm_idx {
+            continue;
+        }
+        let anc_vertex = state.dfs_to_graph[anc_idx as usize];
+        if graph.has_edge(rm_vertex, anc_vertex) && !state.edge_used(rm_vertex, anc_vertex) {
+            out.push(Candidate {
+                edge: DfsEdge {
+                    from: rm_idx,
+                    to: anc_idx,
+                    from_label: graph.label(rm_vertex),
+                    edge_label: graph.edge_label(rm_vertex, anc_vertex).unwrap_or(Label::DEFAULT_EDGE),
+                    to_label: graph.label(anc_vertex),
+                },
+                state_idx,
+                new_vertex: None,
+                graph_edge: (rm_vertex, anc_vertex),
+            });
+        }
+    }
+
+    // Forward edges: from any rightmost-path vertex to an unvisited vertex.
+    let next_idx = state.dfs_to_graph.len() as u32;
+    for &src_idx in state.rightmost_path.iter() {
+        let src_vertex = state.dfs_to_graph[src_idx as usize];
+        for (nbr, el) in graph.neighbors(src_vertex) {
+            if state.graph_to_dfs[nbr.index()] != u32::MAX {
+                continue;
+            }
+            out.push(Candidate {
+                edge: DfsEdge {
+                    from: src_idx,
+                    to: next_idx,
+                    from_label: graph.label(src_vertex),
+                    edge_label: el,
+                    to_label: graph.label(nbr),
+                },
+                state_idx,
+                new_vertex: Some(nbr),
+                graph_edge: (src_vertex, nbr),
+            });
+        }
+    }
+    out
+}
+
+/// True when `code` is the minimum DFS code of the graph it encodes.
+/// Used by the gSpan baseline to prune non-canonical pattern duplicates.
+pub fn is_min_code(code: &DfsCode) -> bool {
+    if code.is_empty() {
+        return true;
+    }
+    let g = code.to_graph();
+    min_dfs_code(&g) == *code
+}
+
+/// A hashable canonical key for a connected labeled graph: its minimum DFS
+/// code.  Two connected graphs are isomorphic iff their canonical keys match.
+pub fn canonical_key(graph: &LabeledGraph) -> DfsCode {
+    min_dfs_code(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iso::are_isomorphic;
+
+    fn edge(from: u32, to: u32, fl: u32, el: u32, tl: u32) -> DfsEdge {
+        DfsEdge {
+            from,
+            to,
+            from_label: Label(fl),
+            edge_label: Label(el),
+            to_label: Label(tl),
+        }
+    }
+
+    #[test]
+    fn edge_order_backward_before_forward() {
+        let b = edge(2, 0, 0, 0, 0);
+        let f = edge(2, 3, 0, 0, 0);
+        assert_eq!(cmp_dfs_edge(&b, &f), Ordering::Less);
+        assert_eq!(cmp_dfs_edge(&f, &b), Ordering::Greater);
+    }
+
+    #[test]
+    fn edge_order_forward_deeper_source_first() {
+        let deep = edge(2, 3, 0, 0, 0);
+        let shallow = edge(1, 3, 0, 0, 0);
+        assert_eq!(cmp_dfs_edge(&deep, &shallow), Ordering::Less);
+    }
+
+    #[test]
+    fn edge_order_labels_break_ties() {
+        let a = edge(0, 1, 0, 0, 1);
+        let b = edge(0, 1, 0, 0, 2);
+        assert_eq!(cmp_dfs_edge(&a, &b), Ordering::Less);
+    }
+
+    #[test]
+    fn min_code_of_single_edge() {
+        let g = LabeledGraph::from_unlabeled_edges(&[Label(3), Label(1)], [(0, 1)]).unwrap();
+        let code = min_dfs_code(&g);
+        assert_eq!(code.len(), 1);
+        // canonical orientation starts at the smaller label
+        assert_eq!(code.edges[0].from_label, Label(1));
+        assert_eq!(code.edges[0].to_label, Label(3));
+    }
+
+    #[test]
+    fn min_code_roundtrip_reconstruction() {
+        let g = LabeledGraph::from_unlabeled_edges(
+            &[Label(0), Label(1), Label(2), Label(1)],
+            [(0, 1), (1, 2), (2, 3), (3, 0)],
+        )
+        .unwrap();
+        let code = min_dfs_code(&g);
+        let back = code.to_graph();
+        assert!(are_isomorphic(&g, &back));
+        assert!(is_min_code(&code));
+    }
+
+    #[test]
+    fn isomorphic_graphs_share_min_code() {
+        let a = LabeledGraph::from_unlabeled_edges(
+            &[Label(0), Label(1), Label(0)],
+            [(0, 1), (1, 2)],
+        )
+        .unwrap();
+        // same path with vertices permuted
+        let b = LabeledGraph::from_unlabeled_edges(
+            &[Label(1), Label(0), Label(0)],
+            [(0, 1), (0, 2)],
+        )
+        .unwrap();
+        assert!(are_isomorphic(&a, &b));
+        assert_eq!(min_dfs_code(&a), min_dfs_code(&b));
+    }
+
+    #[test]
+    fn non_isomorphic_graphs_differ() {
+        let path = LabeledGraph::from_unlabeled_edges(&[Label(0); 3], [(0, 1), (1, 2)]).unwrap();
+        let tri =
+            LabeledGraph::from_unlabeled_edges(&[Label(0); 3], [(0, 1), (1, 2), (0, 2)]).unwrap();
+        assert_ne!(min_dfs_code(&path), min_dfs_code(&tri));
+    }
+
+    #[test]
+    fn triangle_min_code_has_backward_edge() {
+        let tri =
+            LabeledGraph::from_unlabeled_edges(&[Label(0); 3], [(0, 1), (1, 2), (0, 2)]).unwrap();
+        let code = min_dfs_code(&tri);
+        assert_eq!(code.len(), 3);
+        assert!(code.edges[2].is_backward());
+        assert_eq!(code.vertex_count(), 3);
+    }
+
+    #[test]
+    fn min_code_respects_labels() {
+        // star with center label 9 and leaves 1,2,3: the code must start from
+        // the edge with the smallest (from,to) label pair
+        let mut g = LabeledGraph::new();
+        let c = g.add_vertex(Label(9));
+        let l1 = g.add_vertex(Label(1));
+        let l2 = g.add_vertex(Label(2));
+        let l3 = g.add_vertex(Label(3));
+        g.add_unlabeled_edge(c, l1).unwrap();
+        g.add_unlabeled_edge(c, l2).unwrap();
+        g.add_unlabeled_edge(c, l3).unwrap();
+        let code = min_dfs_code(&g);
+        assert_eq!(code.edges[0].from_label, Label(1));
+        assert_eq!(code.edges[0].to_label, Label(9));
+    }
+
+    #[test]
+    fn empty_graph_has_empty_code() {
+        let g = LabeledGraph::new();
+        assert!(min_dfs_code(&g).is_empty());
+        assert!(is_min_code(&DfsCode::new()));
+    }
+
+    #[test]
+    fn non_minimal_code_detected() {
+        // path a(0)-b(1)-c(2): a non-canonical code starting from the large
+        // label end must be rejected by is_min_code
+        let mut bad = DfsCode::new();
+        bad.push(edge(0, 1, 2, 0, 1));
+        bad.push(edge(1, 2, 1, 0, 0));
+        assert!(!is_min_code(&bad));
+        let mut good = DfsCode::new();
+        good.push(edge(0, 1, 0, 0, 1));
+        good.push(edge(1, 2, 1, 0, 2));
+        assert!(is_min_code(&good));
+    }
+
+    #[test]
+    fn cmp_code_prefix_is_smaller() {
+        let mut a = DfsCode::new();
+        a.push(edge(0, 1, 0, 0, 0));
+        let mut b = a.clone();
+        b.push(edge(1, 2, 0, 0, 0));
+        assert_eq!(a.cmp_code(&b), Ordering::Less);
+        assert_eq!(b.cmp_code(&a), Ordering::Greater);
+        assert_eq!(a.cmp_code(&a.clone()), Ordering::Equal);
+    }
+
+    #[test]
+    fn canonical_key_distinguishes_label_permutations() {
+        let a = LabeledGraph::from_unlabeled_edges(
+            &[Label(0), Label(0), Label(1)],
+            [(0, 1), (1, 2)],
+        )
+        .unwrap();
+        let b = LabeledGraph::from_unlabeled_edges(
+            &[Label(0), Label(1), Label(0)],
+            [(0, 1), (1, 2)],
+        )
+        .unwrap();
+        // a: path 0-0-1 ; b: path 0-1-0 — not isomorphic
+        assert!(!are_isomorphic(&a, &b));
+        assert_ne!(canonical_key(&a), canonical_key(&b));
+    }
+}

@@ -1,0 +1,393 @@
+//! Shortest-path distances, eccentricities, the graph diameter, and the
+//! **canonical diameter** of Definition 4.
+//!
+//! The canonical diameter `L_G` of a connected graph `G` is the smallest path
+//! — under the total path order of Definition 3 — among all simple paths of
+//! length `D(G)` that realize the diameter (i.e. shortest paths between some
+//! pair of vertices at distance `D(G)`).  Every connected graph has exactly
+//! one canonical diameter, which is the foundation for SkinnyMine's unique
+//! pattern generation.
+
+use crate::error::{GraphError, GraphResult};
+use crate::graph::{LabeledGraph, VertexId};
+use crate::label::Label;
+use crate::path::{total_path_order, Path};
+use crate::traversal::{bfs_distances, UNREACHABLE};
+use std::cmp::Ordering;
+
+/// All-pairs shortest path distances via one BFS per vertex.
+/// `result[u][v]` is the hop distance, [`UNREACHABLE`] when disconnected.
+pub fn all_pairs_distances(graph: &LabeledGraph) -> Vec<Vec<u32>> {
+    graph.vertices().map(|v| bfs_distances(graph, v)).collect()
+}
+
+/// Eccentricity of every vertex (max distance to any other vertex).
+/// Returns an error if the graph is empty or disconnected.
+pub fn eccentricities(graph: &LabeledGraph) -> GraphResult<Vec<u32>> {
+    if graph.vertex_count() == 0 {
+        return Err(GraphError::EmptyGraph);
+    }
+    let mut ecc = Vec::with_capacity(graph.vertex_count());
+    for v in graph.vertices() {
+        let dist = bfs_distances(graph, v);
+        let mut e = 0;
+        for &d in &dist {
+            if d == UNREACHABLE {
+                return Err(GraphError::NotConnected);
+            }
+            e = e.max(d);
+        }
+        ecc.push(e);
+    }
+    Ok(ecc)
+}
+
+/// The diameter `D(G)`: maximum over all pairwise shortest distances.
+/// Errors on empty or disconnected graphs.
+pub fn diameter(graph: &LabeledGraph) -> GraphResult<u32> {
+    Ok(eccentricities(graph)?.into_iter().max().unwrap_or(0))
+}
+
+/// Returns the smallest — under the total path order — shortest path from
+/// `s` to `t`, or `None` if `t` is unreachable from `s`.
+///
+/// The algorithm works on the shortest-path DAG between `s` and `t`:
+/// 1. a forward frontier sweep determines the lexicographically minimal
+///    *label* sequence among all shortest `s → t` paths;
+/// 2. the DAG is then restricted to vertices matching that label sequence and
+///    a greedy smallest-physical-id walk extracts the unique minimal path.
+pub fn min_shortest_path(graph: &LabeledGraph, s: VertexId, t: VertexId) -> Option<Path> {
+    if s.index() >= graph.vertex_count() || t.index() >= graph.vertex_count() {
+        return None;
+    }
+    if s == t {
+        return Some(Path::single(s));
+    }
+    let dist_s = bfs_distances(graph, s);
+    let dist_t = bfs_distances(graph, t);
+    let d = dist_s[t.index()];
+    if d == UNREACHABLE {
+        return None;
+    }
+    // position(v) = i iff v can appear at step i of some shortest s->t path
+    let on_dag = |v: VertexId, i: u32| dist_s[v.index()] == i && dist_t[v.index()] == d - i;
+
+    // Phase 1: minimal label sequence via frontier sweep.
+    let mut min_labels: Vec<Label> = Vec::with_capacity(d as usize + 1);
+    let mut frontier: Vec<VertexId> = vec![s];
+    min_labels.push(graph.label(s));
+    let mut frontiers: Vec<Vec<VertexId>> = vec![frontier.clone()];
+    for i in 0..d {
+        let mut best: Option<Label> = None;
+        let mut next: Vec<VertexId> = Vec::new();
+        for &v in &frontier {
+            for n in graph.neighbor_ids(v) {
+                if !on_dag(n, i + 1) {
+                    continue;
+                }
+                let l = graph.label(n);
+                match best {
+                    None => {
+                        best = Some(l);
+                        next.clear();
+                        next.push(n);
+                    }
+                    Some(b) => match l.cmp(&b) {
+                        Ordering::Less => {
+                            best = Some(l);
+                            next.clear();
+                            next.push(n);
+                        }
+                        Ordering::Equal => {
+                            if !next.contains(&n) {
+                                next.push(n);
+                            }
+                        }
+                        Ordering::Greater => {}
+                    },
+                }
+            }
+        }
+        let best = best?;
+        min_labels.push(best);
+        next.sort();
+        next.dedup();
+        frontier = next;
+        frontiers.push(frontier.clone());
+    }
+
+    // Phase 2: restrict to the minimal label sequence and compute, per
+    // position, the vertices that can still reach `t` through label-matching
+    // vertices (backward sweep) ...
+    let mut allowed: Vec<Vec<VertexId>> = frontiers;
+    // backward prune: allowed[i] keeps only vertices with a neighbor in allowed[i+1]
+    for i in (0..d as usize).rev() {
+        let next = allowed[i + 1].clone();
+        allowed[i].retain(|&v| graph.neighbor_ids(v).any(|n| next.contains(&n)));
+    }
+    if allowed[0].is_empty() {
+        return None;
+    }
+
+    // ... then greedily walk picking the smallest physical id at each step.
+    let mut path = Vec::with_capacity(d as usize + 1);
+    let mut current = s;
+    path.push(current);
+    for i in 0..d as usize {
+        let next_allowed = &allowed[i + 1];
+        let mut best: Option<VertexId> = None;
+        for n in graph.neighbor_ids(current) {
+            if next_allowed.contains(&n) && best.map(|b| n < b).unwrap_or(true) {
+                best = Some(n);
+            }
+        }
+        current = best?;
+        path.push(current);
+    }
+    Some(Path::new_unchecked(path))
+}
+
+/// Computes the canonical diameter `L_G` of a connected graph (Definition 4):
+/// the minimal path, under the total path order, among all shortest paths
+/// whose length equals the diameter `D(G)` — considering both orientations of
+/// every diameter-realizing pair.
+pub fn canonical_diameter(graph: &LabeledGraph) -> GraphResult<Path> {
+    if graph.vertex_count() == 0 {
+        return Err(GraphError::EmptyGraph);
+    }
+    let dists = all_pairs_distances(graph);
+    let mut d = 0u32;
+    for row in &dists {
+        for &x in row {
+            if x == UNREACHABLE {
+                return Err(GraphError::NotConnected);
+            }
+            d = d.max(x);
+        }
+    }
+    let mut best: Option<Path> = None;
+    for s in graph.vertices() {
+        for t in graph.vertices() {
+            if s == t || dists[s.index()][t.index()] != d {
+                continue;
+            }
+            if let Some(p) = min_shortest_path(graph, s, t) {
+                best = Some(match best {
+                    None => p,
+                    Some(b) => {
+                        if total_path_order(graph, &p, &b) == Ordering::Less {
+                            p
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+        }
+    }
+    match best {
+        Some(p) => Ok(p),
+        // a single-vertex graph has diameter 0; its canonical diameter is the
+        // single-vertex path
+        None if graph.vertex_count() == 1 => Ok(Path::single(VertexId(0))),
+        None => Err(GraphError::NotConnected),
+    }
+}
+
+/// Distance from every vertex to the closest vertex of `path`
+/// (`Dist(v, L)` in the paper): a multi-source BFS seeded with the path's
+/// vertices.  Vertices disconnected from the path get [`UNREACHABLE`].
+pub fn distances_to_path(graph: &LabeledGraph, path: &Path) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; graph.vertex_count()];
+    let mut queue = std::collections::VecDeque::new();
+    for &v in path.vertices() {
+        if v.index() < graph.vertex_count() {
+            dist[v.index()] = 0;
+            queue.push_back(v);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v.index()];
+        for n in graph.neighbor_ids(v) {
+            if dist[n.index()] == UNREACHABLE {
+                dist[n.index()] = dv + 1;
+                queue.push_back(n);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The example graph of Figure 3 (simplified): a 6-edge backbone
+    /// 0-1-2-3-4-5-6 plus twigs.
+    fn backbone_with_twigs() -> LabeledGraph {
+        // labels chosen so the backbone is canonical: backbone labels all 0,
+        // twig vertices have larger labels.
+        let labels = vec![
+            Label(0), // 0  backbone head
+            Label(0), // 1
+            Label(0), // 2
+            Label(0), // 3
+            Label(0), // 4
+            Label(0), // 5
+            Label(0), // 6  backbone tail
+            Label(5), // 7  twig on 2
+            Label(5), // 8  twig on 4 (level 1)
+            Label(6), // 9  twig on 8 (level 2)
+        ];
+        LabeledGraph::from_unlabeled_edges(
+            &labels,
+            [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (2, 7), (4, 8), (8, 9)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn diameter_of_path_graph() {
+        let g = LabeledGraph::from_unlabeled_edges(&[Label(0); 4], [(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(diameter(&g).unwrap(), 3);
+        assert_eq!(eccentricities(&g).unwrap(), vec![3, 2, 2, 3]);
+    }
+
+    #[test]
+    fn diameter_errors_on_disconnected() {
+        let g = LabeledGraph::from_unlabeled_edges(&[Label(0); 3], [(0, 1)]).unwrap();
+        assert_eq!(diameter(&g), Err(GraphError::NotConnected));
+    }
+
+    #[test]
+    fn diameter_errors_on_empty() {
+        assert_eq!(diameter(&LabeledGraph::new()), Err(GraphError::EmptyGraph));
+    }
+
+    #[test]
+    fn all_pairs_matches_bfs() {
+        let g = backbone_with_twigs();
+        let ap = all_pairs_distances(&g);
+        for v in g.vertices() {
+            assert_eq!(ap[v.index()], bfs_distances(&g, v));
+        }
+    }
+
+    #[test]
+    fn min_shortest_path_trivial_cases() {
+        let g = backbone_with_twigs();
+        let p = min_shortest_path(&g, VertexId(3), VertexId(3)).unwrap();
+        assert_eq!(p.len(), 0);
+        assert!(min_shortest_path(&g, VertexId(0), VertexId(99)).is_none());
+    }
+
+    #[test]
+    fn min_shortest_path_prefers_smaller_labels() {
+        // two parallel length-2 routes from 0 to 3: via 1 (label 9) or via 2 (label 1)
+        let g = LabeledGraph::from_unlabeled_edges(
+            &[Label(0), Label(9), Label(1), Label(0)],
+            [(0, 1), (1, 3), (0, 2), (2, 3)],
+        )
+        .unwrap();
+        let p = min_shortest_path(&g, VertexId(0), VertexId(3)).unwrap();
+        assert_eq!(p.vertices(), &[VertexId(0), VertexId(2), VertexId(3)]);
+    }
+
+    #[test]
+    fn min_shortest_path_breaks_label_ties_by_id() {
+        // two parallel routes with identical labels; must take the smaller id
+        let g = LabeledGraph::from_unlabeled_edges(
+            &[Label(0), Label(1), Label(1), Label(0)],
+            [(0, 1), (1, 3), (0, 2), (2, 3)],
+        )
+        .unwrap();
+        let p = min_shortest_path(&g, VertexId(0), VertexId(3)).unwrap();
+        assert_eq!(p.vertices(), &[VertexId(0), VertexId(1), VertexId(3)]);
+    }
+
+    #[test]
+    fn min_shortest_path_label_priority_over_ids() {
+        // route A: 0 -> 1(label 2) -> 4 ; route B: 0 -> 2(label 1) -> 4
+        // B has larger intermediate id but smaller label; labels win.
+        let g = LabeledGraph::from_unlabeled_edges(
+            &[Label(0), Label(2), Label(1), Label(9), Label(0)],
+            [(0, 1), (1, 4), (0, 2), (2, 4), (0, 3), (3, 4)],
+        )
+        .unwrap();
+        let p = min_shortest_path(&g, VertexId(0), VertexId(4)).unwrap();
+        assert_eq!(p.vertices(), &[VertexId(0), VertexId(2), VertexId(4)]);
+    }
+
+    #[test]
+    fn canonical_diameter_of_backbone_graph() {
+        let g = backbone_with_twigs();
+        // diameter is 0..6 plus twig 9 at distance 2 from vertex 4 -> the
+        // longest shortest path: dist(0,9)=6? dist(0->4)=4, +2 = 6; dist(0,6)=6.
+        // Canonical diameter should be the all-zero-label backbone, oriented
+        // head=0.
+        let l = canonical_diameter(&g).unwrap();
+        assert_eq!(l.len(), 6);
+        assert_eq!(l.vertices(), &[
+            VertexId(0),
+            VertexId(1),
+            VertexId(2),
+            VertexId(3),
+            VertexId(4),
+            VertexId(5),
+            VertexId(6)
+        ]);
+    }
+
+    #[test]
+    fn canonical_diameter_unique_on_symmetric_graph() {
+        // a 4-cycle with identical labels: diameter 2, canonical diameter is
+        // the id-minimal shortest path among all length-2 shortest paths
+        let g = LabeledGraph::from_unlabeled_edges(&[Label(0); 4], [(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let l = canonical_diameter(&g).unwrap();
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.vertices(), &[VertexId(0), VertexId(1), VertexId(2)]);
+    }
+
+    #[test]
+    fn canonical_diameter_single_vertex() {
+        let mut g = LabeledGraph::new();
+        g.add_vertex(Label(3));
+        let l = canonical_diameter(&g).unwrap();
+        assert_eq!(l.len(), 0);
+        assert_eq!(l.vertices(), &[VertexId(0)]);
+    }
+
+    #[test]
+    fn canonical_diameter_respects_label_order_on_endpoints() {
+        // path graph with asymmetric labels: 2-0-0-1 ; canonical orientation
+        // starts from the end with the smaller label sequence.
+        let g = LabeledGraph::from_unlabeled_edges(
+            &[Label(2), Label(0), Label(0), Label(1)],
+            [(0, 1), (1, 2), (2, 3)],
+        )
+        .unwrap();
+        let l = canonical_diameter(&g).unwrap();
+        // label sequences: forward [2,0,0,1], backward [1,0,0,2]; backward smaller
+        assert_eq!(l.vertices(), &[VertexId(3), VertexId(2), VertexId(1), VertexId(0)]);
+    }
+
+    #[test]
+    fn distances_to_path_levels() {
+        let g = backbone_with_twigs();
+        let l = canonical_diameter(&g).unwrap();
+        let levels = distances_to_path(&g, &l);
+        assert_eq!(levels[0], 0);
+        assert_eq!(levels[6], 0);
+        assert_eq!(levels[7], 1);
+        assert_eq!(levels[8], 1);
+        assert_eq!(levels[9], 2);
+    }
+
+    #[test]
+    fn distances_to_path_unreachable() {
+        let g = LabeledGraph::from_unlabeled_edges(&[Label(0); 3], [(0, 1)]).unwrap();
+        let p = Path::new_unchecked(vec![VertexId(0), VertexId(1)]);
+        let d = distances_to_path(&g, &p);
+        assert_eq!(d[2], UNREACHABLE);
+    }
+}

@@ -1,0 +1,112 @@
+//! Error types for the graph substrate.
+
+use std::fmt;
+
+/// Errors produced when constructing or manipulating labeled graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A vertex id referenced an index outside the graph.
+    VertexOutOfBounds {
+        /// The offending vertex index.
+        vertex: u32,
+        /// Number of vertices actually present.
+        len: usize,
+    },
+    /// An edge was added twice between the same pair of vertices.
+    DuplicateEdge {
+        /// First endpoint.
+        u: u32,
+        /// Second endpoint.
+        v: u32,
+    },
+    /// Self loops are not allowed in this problem setting.
+    SelfLoop {
+        /// The vertex that was connected to itself.
+        vertex: u32,
+    },
+    /// The operation requires a connected graph.
+    NotConnected,
+    /// The operation requires a non-empty graph.
+    EmptyGraph,
+    /// A path was malformed (not simple, or consecutive vertices not adjacent).
+    InvalidPath {
+        /// Human readable reason.
+        reason: String,
+    },
+    /// A transaction database index was out of range.
+    TransactionOutOfBounds {
+        /// The offending transaction index.
+        index: usize,
+        /// Number of transactions in the database.
+        len: usize,
+    },
+    /// Parsing a serialized graph failed.
+    Parse {
+        /// Line number (1-based) where parsing failed, if known.
+        line: usize,
+        /// Human readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfBounds { vertex, len } => {
+                write!(f, "vertex {vertex} out of bounds for graph with {len} vertices")
+            }
+            GraphError::DuplicateEdge { u, v } => {
+                write!(f, "edge ({u}, {v}) already exists")
+            }
+            GraphError::SelfLoop { vertex } => write!(f, "self loop on vertex {vertex} not allowed"),
+            GraphError::NotConnected => write!(f, "operation requires a connected graph"),
+            GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
+            GraphError::InvalidPath { reason } => write!(f, "invalid path: {reason}"),
+            GraphError::TransactionOutOfBounds { index, len } => {
+                write!(f, "transaction {index} out of bounds for database with {len} graphs")
+            }
+            GraphError::Parse { line, reason } => write!(f, "parse error at line {line}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Convenience result alias used across the crate.
+pub type GraphResult<T> = Result<T, GraphError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_vertex_out_of_bounds() {
+        let e = GraphError::VertexOutOfBounds { vertex: 7, len: 3 };
+        assert_eq!(e.to_string(), "vertex 7 out of bounds for graph with 3 vertices");
+    }
+
+    #[test]
+    fn display_duplicate_edge() {
+        let e = GraphError::DuplicateEdge { u: 1, v: 2 };
+        assert_eq!(e.to_string(), "edge (1, 2) already exists");
+    }
+
+    #[test]
+    fn display_self_loop() {
+        let e = GraphError::SelfLoop { vertex: 4 };
+        assert!(e.to_string().contains("self loop"));
+    }
+
+    #[test]
+    fn display_parse() {
+        let e = GraphError::Parse { line: 12, reason: "bad token".into() };
+        assert!(e.to_string().contains("line 12"));
+        assert!(e.to_string().contains("bad token"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_e: &E) {}
+        assert_err(&GraphError::NotConnected);
+    }
+}

@@ -1,0 +1,215 @@
+//! Plain-text serialization of labeled graphs and graph databases.
+//!
+//! The format follows the line-oriented convention common to graph-mining
+//! tools (gSpan's `.gspan` files):
+//!
+//! ```text
+//! t # 0            # start of transaction 0
+//! v 0 3            # vertex 0 with label 3
+//! v 1 5
+//! e 0 1 0          # edge between vertices 0 and 1 with edge label 0
+//! ```
+//!
+//! [`write_database`] / [`parse_database`] round-trip a [`GraphDatabase`];
+//! single graphs are written as a one-transaction database.
+
+use crate::error::{GraphError, GraphResult};
+use crate::graph::{LabeledGraph, VertexId};
+use crate::label::Label;
+use crate::transaction::GraphDatabase;
+use std::fmt::Write as _;
+
+/// Serializes a single graph in gSpan-like text format (as transaction `id`).
+pub fn write_graph(g: &LabeledGraph, id: usize) -> String {
+    let mut out = String::new();
+    writeln!(out, "t # {id}").expect("writing to String cannot fail");
+    for v in g.vertices() {
+        writeln!(out, "v {} {}", v.0, g.label(v).id()).expect("writing to String cannot fail");
+    }
+    for e in g.edges() {
+        writeln!(out, "e {} {} {}", e.u.0, e.v.0, e.label.id()).expect("writing to String cannot fail");
+    }
+    out
+}
+
+/// Serializes a whole database.
+pub fn write_database(db: &GraphDatabase) -> String {
+    let mut out = String::new();
+    for (i, g) in db.iter() {
+        out.push_str(&write_graph(g, i));
+    }
+    out
+}
+
+/// Parses a database from the text format produced by [`write_database`].
+/// Blank lines and lines starting with `#` are ignored.
+pub fn parse_database(text: &str) -> GraphResult<GraphDatabase> {
+    let mut db = GraphDatabase::new();
+    let mut current: Option<LabeledGraph> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = lineno + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let tag = parts.next().expect("non-empty line has a first token");
+        match tag {
+            "t" => {
+                if let Some(g) = current.take() {
+                    db.push(g);
+                }
+                current = Some(LabeledGraph::new());
+            }
+            "v" => {
+                let g = current.as_mut().ok_or(GraphError::Parse {
+                    line: lineno,
+                    reason: "vertex line before any 't' line".into(),
+                })?;
+                let id: u32 = parse_num(parts.next(), lineno, "vertex id")?;
+                let label: u32 = parse_num(parts.next(), lineno, "vertex label")?;
+                if id as usize != g.vertex_count() {
+                    return Err(GraphError::Parse {
+                        line: lineno,
+                        reason: format!("vertex ids must be sequential; expected {}, got {}", g.vertex_count(), id),
+                    });
+                }
+                g.add_vertex(Label(label));
+            }
+            "e" => {
+                let g = current.as_mut().ok_or(GraphError::Parse {
+                    line: lineno,
+                    reason: "edge line before any 't' line".into(),
+                })?;
+                let u: u32 = parse_num(parts.next(), lineno, "edge source")?;
+                let v: u32 = parse_num(parts.next(), lineno, "edge target")?;
+                let label: u32 = parts
+                    .next()
+                    .map(|s| {
+                        s.parse::<u32>().map_err(|_| GraphError::Parse {
+                            line: lineno,
+                            reason: format!("invalid edge label '{s}'"),
+                        })
+                    })
+                    .transpose()?
+                    .unwrap_or(0);
+                g.add_edge(VertexId(u), VertexId(v), Label(label)).map_err(|e| GraphError::Parse {
+                    line: lineno,
+                    reason: e.to_string(),
+                })?;
+            }
+            other => {
+                return Err(GraphError::Parse {
+                    line: lineno,
+                    reason: format!("unknown line tag '{other}'"),
+                })
+            }
+        }
+    }
+    if let Some(g) = current.take() {
+        db.push(g);
+    }
+    Ok(db)
+}
+
+/// Parses a single graph (the first transaction of the text).
+pub fn parse_graph(text: &str) -> GraphResult<LabeledGraph> {
+    let db = parse_database(text)?;
+    if db.is_empty() {
+        return Err(GraphError::Parse { line: 0, reason: "no graph found in input".into() });
+    }
+    Ok(db[0].clone())
+}
+
+fn parse_num(tok: Option<&str>, line: usize, what: &str) -> GraphResult<u32> {
+    let tok = tok.ok_or_else(|| GraphError::Parse { line, reason: format!("missing {what}") })?;
+    tok.parse::<u32>().map_err(|_| GraphError::Parse { line, reason: format!("invalid {what} '{tok}'") })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> GraphDatabase {
+        let g0 = LabeledGraph::from_parts(
+            &[Label(1), Label(2), Label(1)],
+            [(0u32, 1u32, Label(0)), (1, 2, Label(3))],
+        )
+        .unwrap();
+        let g1 = LabeledGraph::from_unlabeled_edges(&[Label(5), Label(5)], [(0, 1)]).unwrap();
+        GraphDatabase::from_graphs(vec![g0, g1])
+    }
+
+    #[test]
+    fn roundtrip_database() {
+        let db = sample_db();
+        let text = write_database(&db);
+        let back = parse_database(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].vertex_count(), 3);
+        assert_eq!(back[0].edge_label(VertexId(1), VertexId(2)), Some(Label(3)));
+        assert_eq!(back[1].label(VertexId(0)), Label(5));
+    }
+
+    #[test]
+    fn roundtrip_single_graph() {
+        let g = sample_db()[0].clone();
+        let text = write_graph(&g, 0);
+        let back = parse_graph(&text).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header\n\nt # 0\nv 0 1\nv 1 2\n\ne 0 1 0\n";
+        let db = parse_database(text).unwrap();
+        assert_eq!(db.len(), 1);
+        assert_eq!(db[0].edge_count(), 1);
+    }
+
+    #[test]
+    fn edge_label_defaults_to_zero() {
+        let text = "t # 0\nv 0 1\nv 1 1\ne 0 1\n";
+        let db = parse_database(text).unwrap();
+        assert_eq!(db[0].edge_label(VertexId(0), VertexId(1)), Some(Label(0)));
+    }
+
+    #[test]
+    fn vertex_before_transaction_is_error() {
+        assert!(parse_database("v 0 1\n").is_err());
+    }
+
+    #[test]
+    fn non_sequential_vertex_ids_rejected() {
+        let text = "t # 0\nv 1 1\n";
+        let err = parse_database(text).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { .. }));
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert!(parse_database("t # 0\nx 0 0\n").is_err());
+    }
+
+    #[test]
+    fn invalid_numbers_rejected() {
+        assert!(parse_database("t # 0\nv zero 1\n").is_err());
+        assert!(parse_database("t # 0\nv 0 1\nv 1 1\ne 0 one\n").is_err());
+    }
+
+    #[test]
+    fn duplicate_edge_reported_with_line() {
+        let text = "t # 0\nv 0 1\nv 1 1\ne 0 1 0\ne 1 0 0\n";
+        let err = parse_database(text).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 5),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_gives_empty_db_and_graph_error() {
+        assert!(parse_database("").unwrap().is_empty());
+        assert!(parse_graph("").is_err());
+    }
+}

@@ -1,0 +1,238 @@
+//! Labeled graph isomorphism (Definition 1).
+//!
+//! Two labeled graphs are isomorphic when a label-preserving bijection
+//! between their vertex sets preserves adjacency in both directions.  The
+//! check here is a straightforward backtracking search with label/degree
+//! pruning — patterns in this problem are small (tens of vertices), so no
+//! heavier machinery is needed.  The [`crate::dfscode`] module provides a
+//! canonical code that can be used for bulk deduplication instead.
+
+use crate::graph::{LabeledGraph, VertexId};
+
+/// Returns true when `a` and `b` are isomorphic labeled graphs
+/// (`a =_L b` in the paper's notation).
+pub fn are_isomorphic(a: &LabeledGraph, b: &LabeledGraph) -> bool {
+    if a.vertex_count() != b.vertex_count() || a.edge_count() != b.edge_count() {
+        return false;
+    }
+    if a.vertex_count() == 0 {
+        return true;
+    }
+    if a.signature() != b.signature() {
+        return false;
+    }
+    // degree sequence per label must match
+    let mut deg_a: Vec<(crate::label::Label, usize)> =
+        a.vertices().map(|v| (a.label(v), a.degree(v))).collect();
+    let mut deg_b: Vec<(crate::label::Label, usize)> =
+        b.vertices().map(|v| (b.label(v), b.degree(v))).collect();
+    deg_a.sort();
+    deg_b.sort();
+    if deg_a != deg_b {
+        return false;
+    }
+    let n = a.vertex_count();
+    let mut mapping: Vec<Option<VertexId>> = vec![None; n];
+    let mut used = vec![false; n];
+    backtrack(a, b, 0, &mut mapping, &mut used)
+}
+
+fn backtrack(
+    a: &LabeledGraph,
+    b: &LabeledGraph,
+    next: usize,
+    mapping: &mut Vec<Option<VertexId>>,
+    used: &mut Vec<bool>,
+) -> bool {
+    if next == a.vertex_count() {
+        return true;
+    }
+    let u = VertexId(next as u32);
+    for cand in b.vertices() {
+        if used[cand.index()] {
+            continue;
+        }
+        if b.label(cand) != a.label(u) || b.degree(cand) != a.degree(u) {
+            continue;
+        }
+        // adjacency with already-mapped vertices must match exactly
+        let mut ok = true;
+        for prev in 0..next {
+            let pv = VertexId(prev as u32);
+            let mapped = mapping[prev].expect("mapped earlier");
+            let a_adj = a.has_edge(u, pv);
+            let b_adj = b.has_edge(cand, mapped);
+            if a_adj != b_adj {
+                ok = false;
+                break;
+            }
+            if a_adj {
+                // edge labels must match too
+                if a.edge_label(u, pv) != b.edge_label(cand, mapped) {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+        mapping[next] = Some(cand);
+        used[cand.index()] = true;
+        if backtrack(a, b, next + 1, mapping, used) {
+            return true;
+        }
+        mapping[next] = None;
+        used[cand.index()] = false;
+    }
+    false
+}
+
+/// Counts the automorphisms of a graph (label-preserving isomorphisms onto
+/// itself).  Useful to reason about embedding multiplicities in tests.
+pub fn automorphism_count(g: &LabeledGraph) -> usize {
+    let n = g.vertex_count();
+    if n == 0 {
+        return 1;
+    }
+    let mut mapping: Vec<Option<VertexId>> = vec![None; n];
+    let mut used = vec![false; n];
+    let mut count = 0usize;
+    count_automorphisms(g, 0, &mut mapping, &mut used, &mut count);
+    count
+}
+
+fn count_automorphisms(
+    g: &LabeledGraph,
+    next: usize,
+    mapping: &mut Vec<Option<VertexId>>,
+    used: &mut Vec<bool>,
+    count: &mut usize,
+) {
+    if next == g.vertex_count() {
+        *count += 1;
+        return;
+    }
+    let u = VertexId(next as u32);
+    for cand in g.vertices() {
+        if used[cand.index()] || g.label(cand) != g.label(u) || g.degree(cand) != g.degree(u) {
+            continue;
+        }
+        let mut ok = true;
+        for prev in 0..next {
+            let pv = VertexId(prev as u32);
+            let mapped = mapping[prev].expect("mapped earlier");
+            if g.has_edge(u, pv) != g.has_edge(cand, mapped) {
+                ok = false;
+                break;
+            }
+            if g.has_edge(u, pv) && g.edge_label(u, pv) != g.edge_label(cand, mapped) {
+                ok = false;
+                break;
+            }
+        }
+        if !ok {
+            continue;
+        }
+        mapping[next] = Some(cand);
+        used[cand.index()] = true;
+        count_automorphisms(g, next + 1, mapping, used, count);
+        mapping[next] = None;
+        used[cand.index()] = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Label;
+
+    fn triangle(labels: [u32; 3]) -> LabeledGraph {
+        LabeledGraph::from_unlabeled_edges(
+            &[Label(labels[0]), Label(labels[1]), Label(labels[2])],
+            [(0, 1), (1, 2), (0, 2)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_graphs_are_isomorphic() {
+        let a = triangle([0, 1, 2]);
+        assert!(are_isomorphic(&a, &a.clone()));
+    }
+
+    #[test]
+    fn relabeled_vertex_order_is_isomorphic() {
+        let a = triangle([0, 1, 2]);
+        let b = triangle([2, 0, 1]);
+        assert!(are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn different_labels_not_isomorphic() {
+        let a = triangle([0, 1, 2]);
+        let b = triangle([0, 1, 1]);
+        assert!(!are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn different_structure_not_isomorphic() {
+        let a = triangle([0, 0, 0]);
+        let path = LabeledGraph::from_unlabeled_edges(&[Label(0); 3], [(0, 1), (1, 2)]).unwrap();
+        assert!(!are_isomorphic(&a, &path));
+    }
+
+    #[test]
+    fn path_vs_reversed_path_isomorphic() {
+        let a = LabeledGraph::from_unlabeled_edges(
+            &[Label(0), Label(1), Label(2)],
+            [(0, 1), (1, 2)],
+        )
+        .unwrap();
+        let b = LabeledGraph::from_unlabeled_edges(
+            &[Label(2), Label(1), Label(0)],
+            [(0, 1), (1, 2)],
+        )
+        .unwrap();
+        assert!(are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn edge_labels_respected() {
+        let a = LabeledGraph::from_parts(&[Label(0), Label(0)], [(0u32, 1u32, Label(1))]).unwrap();
+        let b = LabeledGraph::from_parts(&[Label(0), Label(0)], [(0u32, 1u32, Label(2))]).unwrap();
+        assert!(!are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn empty_graphs_isomorphic() {
+        assert!(are_isomorphic(&LabeledGraph::new(), &LabeledGraph::new()));
+    }
+
+    #[test]
+    fn different_sizes_not_isomorphic() {
+        let mut a = LabeledGraph::new();
+        a.add_vertex(Label(0));
+        assert!(!are_isomorphic(&a, &LabeledGraph::new()));
+    }
+
+    #[test]
+    fn automorphisms_of_uniform_triangle() {
+        let a = triangle([0, 0, 0]);
+        assert_eq!(automorphism_count(&a), 6);
+        let b = triangle([0, 0, 1]);
+        assert_eq!(automorphism_count(&b), 2);
+        let c = triangle([0, 1, 2]);
+        assert_eq!(automorphism_count(&c), 1);
+    }
+
+    #[test]
+    fn automorphisms_of_uniform_path() {
+        // a path with symmetric labels has exactly 2 automorphisms
+        let p = LabeledGraph::from_unlabeled_edges(&[Label(0), Label(1), Label(0)], [(0, 1), (1, 2)]).unwrap();
+        assert_eq!(automorphism_count(&p), 2);
+        // asymmetric labels: only the identity
+        let q = LabeledGraph::from_unlabeled_edges(&[Label(0), Label(1), Label(2)], [(0, 1), (1, 2)]).unwrap();
+        assert_eq!(automorphism_count(&q), 1);
+    }
+}

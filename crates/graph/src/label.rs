@@ -1,0 +1,221 @@
+//! Vertex / edge labels and label interning.
+//!
+//! The paper works with labeled graphs `G = (V, E)` together with a label
+//! function `l_G : V(G) -> Σ` over a label alphabet `Σ` that carries a total
+//! lexicographic order.  We represent labels as interned `u32` values whose
+//! numeric order *is* the lexicographic order of the alphabet (the
+//! [`LabelTable`] interns strings in a way that preserves this property for
+//! the common case of sequentially registered alphabets, and exposes
+//! [`LabelTable::intern_sorted`] to build order-preserving tables from an
+//! arbitrary set of strings).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An interned label. Ordering of `Label` values defines the lexicographic
+/// order `⊑` over the alphabet used by Definition 2 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Label(pub u32);
+
+impl Label {
+    /// The default edge label used for graphs whose edges are unlabeled.
+    pub const DEFAULT_EDGE: Label = Label(0);
+
+    /// Returns the raw interned id.
+    #[inline]
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+impl From<u32> for Label {
+    fn from(v: u32) -> Self {
+        Label(v)
+    }
+}
+
+/// A bidirectional map between human-readable label strings and interned
+/// [`Label`] ids.
+///
+/// Interned ids are assigned in registration order by [`LabelTable::intern`],
+/// or in sorted (lexicographic) order by [`LabelTable::intern_sorted`] /
+/// [`LabelTable::from_sorted_alphabet`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LabelTable {
+    names: Vec<String>,
+    index: BTreeMap<String, Label>,
+}
+
+impl LabelTable {
+    /// Creates an empty label table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a table whose interned ids follow the lexicographic order of
+    /// the given alphabet. Duplicates are collapsed.
+    pub fn from_sorted_alphabet<I, S>(alphabet: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut names: Vec<String> = alphabet.into_iter().map(Into::into).collect();
+        names.sort();
+        names.dedup();
+        let mut table = LabelTable::new();
+        for name in names {
+            table.intern(&name);
+        }
+        table
+    }
+
+    /// Interns `name`, returning its label. If the label already exists, the
+    /// existing id is returned.
+    pub fn intern(&mut self, name: &str) -> Label {
+        if let Some(&l) = self.index.get(name) {
+            return l;
+        }
+        let label = Label(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), label);
+        label
+    }
+
+    /// Interns every string of an alphabet after sorting it, so that the
+    /// resulting numeric label order matches string lexicographic order.
+    /// Strings already present keep their existing ids.
+    pub fn intern_sorted<I, S>(&mut self, alphabet: I) -> Vec<Label>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut names: Vec<String> = alphabet.into_iter().map(Into::into).collect();
+        names.sort();
+        names.dedup();
+        names.iter().map(|n| self.intern(n)).collect()
+    }
+
+    /// Looks up the label for `name` without interning.
+    pub fn get(&self, name: &str) -> Option<Label> {
+        self.index.get(name).copied()
+    }
+
+    /// Returns the string for a label, if it was interned through this table.
+    pub fn name(&self, label: Label) -> Option<&str> {
+        self.names.get(label.0 as usize).map(String::as_str)
+    }
+
+    /// Returns the string for a label, or a synthetic `"L<id>"` placeholder.
+    pub fn name_or_placeholder(&self, label: Label) -> String {
+        self.name(label).map(str::to_string).unwrap_or_else(|| format!("{label}"))
+    }
+
+    /// Number of distinct labels interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no label has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(Label, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (Label, &str)> {
+        self.names.iter().enumerate().map(|(i, n)| (Label(i as u32), n.as_str()))
+    }
+}
+
+/// Compares two label sequences lexicographically, **shorter sequences first**
+/// as required by Definition 2 of the paper (condition (I): `k1 < k2` implies
+/// `L1 ⊑_L L2`).
+pub fn compare_label_seq(a: &[Label], b: &[Label]) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match a.len().cmp(&b.len()) {
+        Ordering::Equal => a.cmp(b),
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn intern_assigns_sequential_ids() {
+        let mut t = LabelTable::new();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        let a2 = t.intern("a");
+        assert_eq!(a, Label(0));
+        assert_eq!(b, Label(1));
+        assert_eq!(a, a2);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn from_sorted_alphabet_orders_ids_lexicographically() {
+        let t = LabelTable::from_sorted_alphabet(["c", "a", "b", "a"]);
+        assert_eq!(t.get("a"), Some(Label(0)));
+        assert_eq!(t.get("b"), Some(Label(1)));
+        assert_eq!(t.get("c"), Some(Label(2)));
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        let mut t = LabelTable::new();
+        let x = t.intern("station");
+        assert_eq!(t.name(x), Some("station"));
+        assert_eq!(t.name(Label(99)), None);
+        assert_eq!(t.name_or_placeholder(Label(99)), "L99");
+    }
+
+    #[test]
+    fn intern_sorted_preserves_existing() {
+        let mut t = LabelTable::new();
+        let z = t.intern("z");
+        let labels = t.intern_sorted(["b", "a"]);
+        assert_eq!(z, Label(0));
+        assert_eq!(labels, vec![Label(1), Label(2)]);
+        assert_eq!(t.get("a"), Some(Label(1)));
+        assert_eq!(t.get("b"), Some(Label(2)));
+    }
+
+    #[test]
+    fn compare_label_seq_shorter_first() {
+        let a = vec![Label(5)];
+        let b = vec![Label(0), Label(0)];
+        assert_eq!(compare_label_seq(&a, &b), Ordering::Less);
+        assert_eq!(compare_label_seq(&b, &a), Ordering::Greater);
+    }
+
+    #[test]
+    fn compare_label_seq_same_length_lexicographic() {
+        let a = vec![Label(0), Label(2)];
+        let b = vec![Label(0), Label(3)];
+        let c = vec![Label(0), Label(2)];
+        assert_eq!(compare_label_seq(&a, &b), Ordering::Less);
+        assert_eq!(compare_label_seq(&a, &c), Ordering::Equal);
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let t = LabelTable::from_sorted_alphabet(["b", "a"]);
+        let pairs: Vec<_> = t.iter().map(|(l, n)| (l.id(), n.to_string())).collect();
+        assert_eq!(pairs, vec![(0, "a".to_string()), (1, "b".to_string())]);
+    }
+
+    #[test]
+    fn label_display() {
+        assert_eq!(Label(3).to_string(), "L3");
+    }
+}

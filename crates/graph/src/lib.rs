@@ -1,0 +1,54 @@
+//! # skinny-graph
+//!
+//! Labeled-graph substrate for the SkinnyMine reproduction
+//! (*"A Direct Mining Approach To Efficient Constrained Graph Pattern
+//! Discovery"*, Zhu, Zhang & Qu, SIGMOD 2013).
+//!
+//! This crate provides everything the mining algorithms are built on:
+//!
+//! * [`graph::LabeledGraph`] — undirected vertex/edge-labeled simple graphs;
+//! * [`path::Path`] — simple paths with the paper's lexicographical
+//!   (Definition 2) and total (Definition 3) path orders;
+//! * [`distance`] — shortest paths, diameters and the **canonical diameter**
+//!   (Definition 4);
+//! * [`skinny`] — δ-skinny / l-long δ-skinny checks (Definitions 5–7), used
+//!   as the ground-truth specification in tests;
+//! * [`iso`] / [`subiso`] — labeled graph isomorphism and VF2-style
+//!   subgraph-isomorphism embedding enumeration;
+//! * [`dfscode`] — gSpan-style minimum DFS codes (canonical forms);
+//! * [`embedding`] — embeddings, embedding sets and support measures;
+//! * [`transaction`] — graph-transaction databases;
+//! * [`io`] — gSpan-like text serialization.
+//!
+//! The crate is deliberately free of any mining logic: miners (SkinnyMine and
+//! the baselines) live in their own crates and compose these primitives.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod distance;
+pub mod dfscode;
+pub mod embedding;
+pub mod error;
+pub mod graph;
+pub mod io;
+pub mod iso;
+pub mod label;
+pub mod path;
+pub mod skinny;
+pub mod subiso;
+pub mod transaction;
+pub mod traversal;
+
+pub use distance::{all_pairs_distances, canonical_diameter, diameter, distances_to_path, min_shortest_path};
+pub use dfscode::{canonical_key, is_min_code, min_dfs_code, DfsCode, DfsEdge};
+pub use embedding::{Embedding, EmbeddingSet, SupportMeasure};
+pub use error::{GraphError, GraphResult};
+pub use graph::{Edge, GraphSignature, LabeledGraph, VertexId};
+pub use iso::{are_isomorphic, automorphism_count};
+pub use label::{Label, LabelTable};
+pub use path::{enumerate_simple_paths, lexicographic_path_order, total_path_order, Path};
+pub use skinny::{analyze, is_delta_skinny, is_l_long_delta_skinny, SkinnyAnalysis};
+pub use subiso::{count_embeddings, find_embeddings, has_embedding, SubIsoOptions};
+pub use transaction::GraphDatabase;
+pub use traversal::{ball, bfs_distances, connected_components, is_connected, UNREACHABLE};

@@ -1,0 +1,438 @@
+//! Simple paths, the lexicographical path order (Definition 2) and the total
+//! path order (Definition 3).
+//!
+//! A [`Path`] is a sequence of *physical vertex ids* of some host graph; its
+//! length is the number of edges (`|vertices| - 1`).  Paths are always simple
+//! (all vertices distinct); [`Path::new_checked`] validates simplicity and
+//! adjacency against a host graph.
+
+use crate::error::{GraphError, GraphResult};
+use crate::graph::{LabeledGraph, VertexId};
+use crate::label::{compare_label_seq, Label};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::HashSet;
+use std::fmt;
+
+/// A simple path represented as its sequence of physical vertex ids.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Path {
+    vertices: Vec<VertexId>,
+}
+
+impl Path {
+    /// Creates a path from a vertex sequence without validation.
+    ///
+    /// The caller must guarantee the sequence is a simple path of the host
+    /// graph; use [`Path::new_checked`] when in doubt.
+    pub fn new_unchecked(vertices: Vec<VertexId>) -> Self {
+        Path { vertices }
+    }
+
+    /// Creates a single-vertex path of length zero.
+    pub fn single(v: VertexId) -> Self {
+        Path { vertices: vec![v] }
+    }
+
+    /// Creates a path and validates against `graph` that (a) it is nonempty,
+    /// (b) all vertices are distinct, and (c) consecutive vertices are
+    /// adjacent.
+    pub fn new_checked(graph: &LabeledGraph, vertices: Vec<VertexId>) -> GraphResult<Self> {
+        if vertices.is_empty() {
+            return Err(GraphError::InvalidPath { reason: "empty vertex sequence".into() });
+        }
+        let mut seen = HashSet::with_capacity(vertices.len());
+        for &v in &vertices {
+            if v.index() >= graph.vertex_count() {
+                return Err(GraphError::VertexOutOfBounds {
+                    vertex: v.0,
+                    len: graph.vertex_count(),
+                });
+            }
+            if !seen.insert(v) {
+                return Err(GraphError::InvalidPath {
+                    reason: format!("vertex {} repeated; paths must be simple", v.0),
+                });
+            }
+        }
+        for w in vertices.windows(2) {
+            if !graph.has_edge(w[0], w[1]) {
+                return Err(GraphError::InvalidPath {
+                    reason: format!("vertices {} and {} are not adjacent", w[0].0, w[1].0),
+                });
+            }
+        }
+        Ok(Path { vertices })
+    }
+
+    /// The vertex sequence.
+    #[inline]
+    pub fn vertices(&self) -> &[VertexId] {
+        &self.vertices
+    }
+
+    /// Path length in edges (`#vertices - 1`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vertices.len().saturating_sub(1)
+    }
+
+    /// True for the degenerate empty path (no vertices).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// The head vertex `v_H` (first vertex).
+    pub fn head(&self) -> VertexId {
+        self.vertices[0]
+    }
+
+    /// The tail vertex `v_T` (last vertex).
+    pub fn tail(&self) -> VertexId {
+        *self.vertices.last().expect("path has at least one vertex")
+    }
+
+    /// True if `v` lies on the path.
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.vertices.contains(&v)
+    }
+
+    /// Position of `v` along the path (0-based), if present.
+    pub fn position(&self, v: VertexId) -> Option<usize> {
+        self.vertices.iter().position(|&x| x == v)
+    }
+
+    /// Returns the label sequence of the path under `graph`'s label function.
+    pub fn label_seq(&self, graph: &LabeledGraph) -> Vec<Label> {
+        self.vertices.iter().map(|&v| graph.label(v)).collect()
+    }
+
+    /// Returns the reversed path.
+    pub fn reversed(&self) -> Path {
+        let mut vs = self.vertices.clone();
+        vs.reverse();
+        Path { vertices: vs }
+    }
+
+    /// Returns the path oriented so that it is the smaller of itself and its
+    /// reverse under the total path order of Definition 3.  Frequent-path
+    /// mining uses this to avoid generating each undirected path twice.
+    pub fn oriented(&self, graph: &LabeledGraph) -> Path {
+        let rev = self.reversed();
+        match total_path_order(graph, self, &rev) {
+            Ordering::Greater => rev,
+            _ => self.clone(),
+        }
+    }
+
+    /// Concatenates `self` and `other` when the tail of `self` is adjacent in
+    /// `graph` to the head of `other` and the vertex sets are disjoint.
+    /// Returns `None` otherwise.  The resulting path has length
+    /// `self.len() + other.len() + 1`.
+    pub fn concat(&self, graph: &LabeledGraph, other: &Path) -> Option<Path> {
+        if self.is_empty() || other.is_empty() {
+            return None;
+        }
+        if !graph.has_edge(self.tail(), other.head()) {
+            return None;
+        }
+        let set: HashSet<VertexId> = self.vertices.iter().copied().collect();
+        if other.vertices.iter().any(|v| set.contains(v)) {
+            return None;
+        }
+        let mut vs = self.vertices.clone();
+        vs.extend_from_slice(&other.vertices);
+        Some(Path { vertices: vs })
+    }
+
+    /// Merges two partially overlapping paths when the suffix of `self` of
+    /// length `overlap` (in vertices) equals the prefix of `other`.  This is
+    /// the merge operation of DiamMine Step II: a path of length `l` is
+    /// obtained by overlapping two length-`2^k` paths.
+    ///
+    /// `overlap` counts **vertices** shared; the merged path length in edges
+    /// is `self.len() + other.len() - (overlap - 1)`.
+    pub fn merge_overlapping(&self, other: &Path, overlap: usize) -> Option<Path> {
+        if overlap == 0 || overlap > self.vertices.len() || overlap > other.vertices.len() {
+            return None;
+        }
+        let suffix = &self.vertices[self.vertices.len() - overlap..];
+        let prefix = &other.vertices[..overlap];
+        if suffix != prefix {
+            return None;
+        }
+        let mut vs = self.vertices.clone();
+        vs.extend_from_slice(&other.vertices[overlap..]);
+        // resulting sequence must still be simple
+        let set: HashSet<VertexId> = vs.iter().copied().collect();
+        if set.len() != vs.len() {
+            return None;
+        }
+        Some(Path { vertices: vs })
+    }
+
+    /// Returns the sub-path consisting of the first `k + 1` vertices
+    /// (a prefix of length `k` edges), or `None` if the path is too short.
+    pub fn prefix(&self, k: usize) -> Option<Path> {
+        if k + 1 > self.vertices.len() {
+            return None;
+        }
+        Some(Path { vertices: self.vertices[..k + 1].to_vec() })
+    }
+
+    /// Returns the sub-path consisting of the last `k + 1` vertices
+    /// (a suffix of length `k` edges), or `None` if the path is too short.
+    pub fn suffix(&self, k: usize) -> Option<Path> {
+        if k + 1 > self.vertices.len() {
+            return None;
+        }
+        Some(Path { vertices: self.vertices[self.vertices.len() - k - 1..].to_vec() })
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ids: Vec<String> = self.vertices.iter().map(|v| v.0.to_string()).collect();
+        write!(f, "[{}]", ids.join(" - "))
+    }
+}
+
+/// Lexicographical path order `⊑_L` of Definition 2: shorter paths first,
+/// then label-sequence comparison.
+pub fn lexicographic_path_order(graph: &LabeledGraph, a: &Path, b: &Path) -> Ordering {
+    let la = a.label_seq(graph);
+    let lb = b.label_seq(graph);
+    compare_label_seq(&la, &lb)
+}
+
+/// Total path order `≺` of Definition 3: lexicographic order first, breaking
+/// ties among lexicographically equal paths by the physical vertex-id
+/// sequences.
+pub fn total_path_order(graph: &LabeledGraph, a: &Path, b: &Path) -> Ordering {
+    match lexicographic_path_order(graph, a, b) {
+        Ordering::Equal => a.vertices().cmp(b.vertices()),
+        other => other,
+    }
+}
+
+/// Enumerates every simple path of exactly `len` edges in `graph`, calling
+/// `visit` for each (paths are produced in both directions; callers that need
+/// undirected-unique paths should canonicalize with [`Path::oriented`]).
+///
+/// `limit` optionally bounds the number of paths visited (useful in tests on
+/// dense graphs).  Returns the number of paths visited.
+pub fn enumerate_simple_paths<F>(graph: &LabeledGraph, len: usize, limit: Option<usize>, mut visit: F) -> usize
+where
+    F: FnMut(&Path),
+{
+    let mut count = 0usize;
+    let mut stack: Vec<VertexId> = Vec::with_capacity(len + 1);
+    let mut on_stack = vec![false; graph.vertex_count()];
+    for start in graph.vertices() {
+        if limit.map(|l| count >= l).unwrap_or(false) {
+            break;
+        }
+        stack.push(start);
+        on_stack[start.index()] = true;
+        dfs_paths(graph, len, limit, &mut stack, &mut on_stack, &mut count, &mut visit);
+        on_stack[start.index()] = false;
+        stack.pop();
+    }
+    count
+}
+
+fn dfs_paths<F>(
+    graph: &LabeledGraph,
+    len: usize,
+    limit: Option<usize>,
+    stack: &mut Vec<VertexId>,
+    on_stack: &mut [bool],
+    count: &mut usize,
+    visit: &mut F,
+) where
+    F: FnMut(&Path),
+{
+    if limit.map(|l| *count >= l).unwrap_or(false) {
+        return;
+    }
+    if stack.len() == len + 1 {
+        let p = Path::new_unchecked(stack.clone());
+        visit(&p);
+        *count += 1;
+        return;
+    }
+    let last = *stack.last().expect("stack nonempty");
+    let neighbors: Vec<VertexId> = graph.neighbor_ids(last).collect();
+    for n in neighbors {
+        if on_stack[n.index()] {
+            continue;
+        }
+        stack.push(n);
+        on_stack[n.index()] = true;
+        dfs_paths(graph, len, limit, stack, on_stack, count, visit);
+        on_stack[n.index()] = false;
+        stack.pop();
+        if limit.map(|l| *count >= l).unwrap_or(false) {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 5-vertex path graph a-b-c-d-e plus a chord (1,3).
+    fn host() -> LabeledGraph {
+        LabeledGraph::from_unlabeled_edges(
+            &[Label(0), Label(1), Label(2), Label(3), Label(4)],
+            [(0, 1), (1, 2), (2, 3), (3, 4), (1, 3)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn checked_construction_validates() {
+        let g = host();
+        assert!(Path::new_checked(&g, vec![VertexId(0), VertexId(1), VertexId(2)]).is_ok());
+        // not adjacent
+        assert!(Path::new_checked(&g, vec![VertexId(0), VertexId(2)]).is_err());
+        // repeated vertex
+        assert!(Path::new_checked(&g, vec![VertexId(0), VertexId(1), VertexId(0)]).is_err());
+        // empty
+        assert!(Path::new_checked(&g, vec![]).is_err());
+        // out of bounds
+        assert!(Path::new_checked(&g, vec![VertexId(42)]).is_err());
+    }
+
+    #[test]
+    fn length_head_tail() {
+        let p = Path::new_unchecked(vec![VertexId(0), VertexId(1), VertexId(2)]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.head(), VertexId(0));
+        assert_eq!(p.tail(), VertexId(2));
+        assert!(p.contains(VertexId(1)));
+        assert_eq!(p.position(VertexId(2)), Some(2));
+        assert_eq!(p.position(VertexId(9)), None);
+    }
+
+    #[test]
+    fn single_vertex_path_has_length_zero() {
+        let p = Path::single(VertexId(3));
+        assert_eq!(p.len(), 0);
+        assert_eq!(p.head(), p.tail());
+    }
+
+    #[test]
+    fn lexicographic_order_shorter_first() {
+        let g = host();
+        let short = Path::new_unchecked(vec![VertexId(4), VertexId(3)]);
+        let long = Path::new_unchecked(vec![VertexId(0), VertexId(1), VertexId(2)]);
+        assert_eq!(lexicographic_path_order(&g, &short, &long), Ordering::Less);
+    }
+
+    #[test]
+    fn lexicographic_order_uses_labels() {
+        let g = host();
+        // labels: 0->0, 1->1, ...; path [0,1] labels (0,1) < path [1,2] labels (1,2)
+        let a = Path::new_unchecked(vec![VertexId(0), VertexId(1)]);
+        let b = Path::new_unchecked(vec![VertexId(1), VertexId(2)]);
+        assert_eq!(lexicographic_path_order(&g, &a, &b), Ordering::Less);
+    }
+
+    #[test]
+    fn total_order_breaks_ties_by_ids() {
+        // graph with identical labels so lexicographic order is a tie
+        let g = LabeledGraph::from_unlabeled_edges(
+            &[Label(0), Label(0), Label(0)],
+            [(0, 1), (1, 2)],
+        )
+        .unwrap();
+        let a = Path::new_unchecked(vec![VertexId(0), VertexId(1)]);
+        let b = Path::new_unchecked(vec![VertexId(1), VertexId(2)]);
+        assert_eq!(lexicographic_path_order(&g, &a, &b), Ordering::Equal);
+        assert_eq!(total_path_order(&g, &a, &b), Ordering::Less);
+        assert_eq!(total_path_order(&g, &b, &a), Ordering::Greater);
+        assert_eq!(total_path_order(&g, &a, &a), Ordering::Equal);
+    }
+
+    #[test]
+    fn oriented_picks_smaller_direction() {
+        let g = host();
+        let p = Path::new_unchecked(vec![VertexId(4), VertexId(3), VertexId(2)]);
+        let o = p.oriented(&g);
+        // reversed has label seq (2,3,4) < (4,3,2)
+        assert_eq!(o.vertices(), &[VertexId(2), VertexId(3), VertexId(4)]);
+        // orienting an already canonical path is a no-op
+        assert_eq!(o.oriented(&g).vertices(), o.vertices());
+    }
+
+    #[test]
+    fn concat_requires_bridge_edge_and_disjointness() {
+        let g = host();
+        let a = Path::new_unchecked(vec![VertexId(0), VertexId(1)]);
+        let b = Path::new_unchecked(vec![VertexId(2), VertexId(3)]);
+        let c = a.concat(&g, &b).expect("1-2 edge exists");
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.vertices(), &[VertexId(0), VertexId(1), VertexId(2), VertexId(3)]);
+
+        // no bridge edge 1-4
+        let d = Path::new_unchecked(vec![VertexId(4)]);
+        assert!(a.concat(&g, &d).is_none());
+
+        // overlapping vertex sets rejected
+        let e = Path::new_unchecked(vec![VertexId(3), VertexId(1)]);
+        assert!(a.concat(&g, &e).is_none());
+    }
+
+    #[test]
+    fn merge_overlapping_builds_longer_path() {
+        let a = Path::new_unchecked(vec![VertexId(0), VertexId(1), VertexId(2)]);
+        let b = Path::new_unchecked(vec![VertexId(1), VertexId(2), VertexId(3)]);
+        let m = a.merge_overlapping(&b, 2).expect("suffix [1,2] == prefix [1,2]");
+        assert_eq!(m.vertices(), &[VertexId(0), VertexId(1), VertexId(2), VertexId(3)]);
+        assert_eq!(m.len(), 3);
+
+        // wrong overlap size
+        assert!(a.merge_overlapping(&b, 1).is_none());
+        // overlap larger than path
+        assert!(a.merge_overlapping(&b, 4).is_none());
+        // non-simple result rejected
+        let c = Path::new_unchecked(vec![VertexId(1), VertexId(2), VertexId(0)]);
+        assert!(a.merge_overlapping(&c, 2).is_none());
+    }
+
+    #[test]
+    fn prefix_and_suffix() {
+        let p = Path::new_unchecked(vec![VertexId(0), VertexId(1), VertexId(2), VertexId(3)]);
+        assert_eq!(p.prefix(2).unwrap().vertices(), &[VertexId(0), VertexId(1), VertexId(2)]);
+        assert_eq!(p.suffix(2).unwrap().vertices(), &[VertexId(1), VertexId(2), VertexId(3)]);
+        assert_eq!(p.prefix(3).unwrap().vertices(), p.vertices());
+        assert!(p.prefix(4).is_none());
+        assert!(p.suffix(9).is_none());
+    }
+
+    #[test]
+    fn enumerate_simple_paths_counts() {
+        // path graph 0-1-2: simple paths of length 2 are [0,1,2] and [2,1,0]
+        let g = LabeledGraph::from_unlabeled_edges(&[Label(0); 3], [(0, 1), (1, 2)]).unwrap();
+        let mut found = Vec::new();
+        let n = enumerate_simple_paths(&g, 2, None, |p| found.push(p.clone()));
+        assert_eq!(n, 2);
+        assert_eq!(found.len(), 2);
+    }
+
+    #[test]
+    fn enumerate_simple_paths_respects_limit() {
+        let g = host();
+        let n = enumerate_simple_paths(&g, 1, Some(3), |_| {});
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn display_formats_ids() {
+        let p = Path::new_unchecked(vec![VertexId(3), VertexId(7)]);
+        assert_eq!(p.to_string(), "[3 - 7]");
+    }
+}

@@ -1,0 +1,193 @@
+//! The skinny-pattern definitions of the paper (Definitions 5–7):
+//! vertex levels with respect to the canonical diameter, δ-skinny graphs and
+//! l-long δ-skinny graphs.
+//!
+//! These checks are the *specification*: the SkinnyMine miner never needs to
+//! run them during growth (it maintains the constraint incrementally), but
+//! tests, verification and data generation use them as the ground truth.
+
+use crate::distance::{canonical_diameter, distances_to_path};
+use crate::error::GraphResult;
+use crate::graph::LabeledGraph;
+use crate::path::Path;
+use crate::traversal::UNREACHABLE;
+use serde::{Deserialize, Serialize};
+
+/// A full skinny analysis of a connected graph: its canonical diameter and
+/// the level (distance to the diameter) of every vertex.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SkinnyAnalysis {
+    /// The canonical diameter `L_G` (Definition 4).
+    pub canonical_diameter: Path,
+    /// `levels[v]` = `Dist(v, L_G)` (Definition 5).
+    pub levels: Vec<u32>,
+}
+
+impl SkinnyAnalysis {
+    /// Length of the canonical diameter in edges.
+    pub fn diameter_length(&self) -> usize {
+        self.canonical_diameter.len()
+    }
+
+    /// The maximum vertex level (the graph's "skinniness"):
+    /// the smallest δ such that the graph is δ-skinny.
+    pub fn skinniness(&self) -> u32 {
+        self.levels.iter().copied().filter(|&d| d != UNREACHABLE).max().unwrap_or(0)
+    }
+
+    /// True if the analyzed graph is δ-skinny (Definition 6).
+    pub fn is_delta_skinny(&self, delta: u32) -> bool {
+        self.levels.iter().all(|&d| d != UNREACHABLE && d <= delta)
+    }
+
+    /// True if the analyzed graph is l-long δ-skinny (Definition 7).
+    pub fn is_l_long_delta_skinny(&self, l: usize, delta: u32) -> bool {
+        self.diameter_length() == l && self.is_delta_skinny(delta)
+    }
+
+    /// Number of vertices at each level, indexed by level.
+    pub fn level_histogram(&self) -> Vec<usize> {
+        let max = self.skinniness() as usize;
+        let mut hist = vec![0usize; max + 1];
+        for &d in &self.levels {
+            if d != UNREACHABLE {
+                hist[d as usize] += 1;
+            }
+        }
+        hist
+    }
+}
+
+/// Analyzes a connected graph: computes its canonical diameter and vertex
+/// levels.  Errors on empty or disconnected graphs.
+pub fn analyze(graph: &LabeledGraph) -> GraphResult<SkinnyAnalysis> {
+    let cd = canonical_diameter(graph)?;
+    let levels = distances_to_path(graph, &cd);
+    Ok(SkinnyAnalysis { canonical_diameter: cd, levels })
+}
+
+/// True if the connected graph is δ-skinny (Definition 6): every vertex is at
+/// distance at most δ from the canonical diameter.
+pub fn is_delta_skinny(graph: &LabeledGraph, delta: u32) -> GraphResult<bool> {
+    Ok(analyze(graph)?.is_delta_skinny(delta))
+}
+
+/// True if the connected graph is l-long δ-skinny (Definition 7).
+pub fn is_l_long_delta_skinny(graph: &LabeledGraph, l: usize, delta: u32) -> GraphResult<bool> {
+    Ok(analyze(graph)?.is_l_long_delta_skinny(l, delta))
+}
+
+/// The smallest δ for which the graph is δ-skinny, together with its
+/// canonical diameter length — a compact "shape" descriptor used by
+/// experiments to classify mined patterns as skinny or fat.
+pub fn shape(graph: &LabeledGraph) -> GraphResult<(usize, u32)> {
+    let a = analyze(graph)?;
+    Ok((a.diameter_length(), a.skinniness()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::VertexId;
+    use crate::label::Label;
+
+    /// Figure-3-like graph: a 6-long backbone with twigs at levels 1 and 2.
+    fn fig3_like() -> LabeledGraph {
+        LabeledGraph::from_unlabeled_edges(
+            &[
+                Label(0),
+                Label(0),
+                Label(0),
+                Label(0),
+                Label(0),
+                Label(0),
+                Label(0), // 0..=6 backbone
+                Label(4), // 7: level-1 twig on 2
+                Label(4), // 8: level-1 twig on 4
+                Label(5), // 9: level-2 twig on 8
+            ],
+            [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (2, 7), (4, 8), (8, 9)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn analysis_levels_match_definition() {
+        let g = fig3_like();
+        let a = analyze(&g).unwrap();
+        assert_eq!(a.diameter_length(), 6);
+        assert_eq!(a.levels[0], 0);
+        assert_eq!(a.levels[7], 1);
+        assert_eq!(a.levels[9], 2);
+        assert_eq!(a.skinniness(), 2);
+        assert_eq!(a.level_histogram(), vec![7, 2, 1]);
+    }
+
+    #[test]
+    fn fig3_graph_is_6_long_2_skinny() {
+        let g = fig3_like();
+        assert!(is_l_long_delta_skinny(&g, 6, 2).unwrap());
+        assert!(!is_l_long_delta_skinny(&g, 6, 1).unwrap());
+        assert!(!is_l_long_delta_skinny(&g, 5, 2).unwrap());
+        assert!(is_delta_skinny(&g, 2).unwrap());
+        assert!(is_delta_skinny(&g, 3).unwrap());
+        assert!(!is_delta_skinny(&g, 1).unwrap());
+    }
+
+    #[test]
+    fn pure_path_is_0_skinny() {
+        let g = LabeledGraph::from_unlabeled_edges(&[Label(1); 4], [(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert!(is_l_long_delta_skinny(&g, 3, 0).unwrap());
+        let (l, d) = shape(&g).unwrap();
+        assert_eq!((l, d), (3, 0));
+    }
+
+    #[test]
+    fn star_graph_is_fat_relative_to_its_diameter() {
+        // star with center 0 and 5 leaves: diameter 2, every leaf is on some
+        // diameter or at distance 1 from it
+        let mut g = LabeledGraph::new();
+        let c = g.add_vertex(Label(0));
+        for _ in 0..5 {
+            let leaf = g.add_vertex(Label(1));
+            g.add_unlabeled_edge(c, leaf).unwrap();
+        }
+        let a = analyze(&g).unwrap();
+        assert_eq!(a.diameter_length(), 2);
+        assert_eq!(a.skinniness(), 1);
+        assert!(a.is_l_long_delta_skinny(2, 1));
+        assert!(!a.is_l_long_delta_skinny(2, 0));
+    }
+
+    #[test]
+    fn disconnected_graph_errors() {
+        let g = LabeledGraph::from_unlabeled_edges(&[Label(0); 3], [(0, 1)]).unwrap();
+        assert!(analyze(&g).is_err());
+        assert!(is_delta_skinny(&g, 2).is_err());
+    }
+
+    #[test]
+    fn single_vertex_is_0_long_0_skinny() {
+        let mut g = LabeledGraph::new();
+        g.add_vertex(Label(0));
+        assert!(is_l_long_delta_skinny(&g, 0, 0).unwrap());
+    }
+
+    #[test]
+    fn levels_are_stable_under_extra_backbone_vertex_ordering() {
+        // canonical diameter orientation should not change level values
+        let g = fig3_like();
+        let a = analyze(&g).unwrap();
+        let rev_levels = distances_to_path(&g, &a.canonical_diameter.reversed());
+        assert_eq!(a.levels, rev_levels);
+    }
+
+    #[test]
+    fn example_vertex_ids_on_backbone() {
+        let g = fig3_like();
+        let a = analyze(&g).unwrap();
+        let verts = a.canonical_diameter.vertices().to_vec();
+        assert_eq!(verts.first(), Some(&VertexId(0)));
+        assert_eq!(verts.last(), Some(&VertexId(6)));
+    }
+}

@@ -1,0 +1,342 @@
+//! Subgraph-isomorphism embedding enumeration (VF2-style backtracking).
+//!
+//! [`find_embeddings`] enumerates (up to an optional limit) all embeddings of
+//! a pattern in a data graph.  The direct miner never calls this on its hot
+//! path — it maintains embedding lists incrementally — but the baselines and
+//! the verification utilities rely on it, and tests use it as ground truth
+//! for SkinnyMine's incremental embedding maintenance.
+
+use crate::embedding::{Embedding, EmbeddingSet};
+use crate::graph::{LabeledGraph, VertexId};
+
+/// Options controlling the embedding search.
+#[derive(Debug, Clone, Copy)]
+pub struct SubIsoOptions {
+    /// Stop after this many embeddings have been found (None = unlimited).
+    pub limit: Option<usize>,
+    /// Transaction index recorded on each produced embedding.
+    pub transaction: usize,
+}
+
+impl Default for SubIsoOptions {
+    fn default() -> Self {
+        SubIsoOptions { limit: None, transaction: 0 }
+    }
+}
+
+/// Enumerates embeddings of `pattern` in `data`.
+///
+/// Pattern vertices are matched in a connectivity-aware static order chosen
+/// to keep the partial mapping connected, which keeps the search space small
+/// for the sparse patterns of this problem domain.
+pub fn find_embeddings(pattern: &LabeledGraph, data: &LabeledGraph, opts: SubIsoOptions) -> EmbeddingSet {
+    let mut out = EmbeddingSet::new();
+    if pattern.vertex_count() == 0 || pattern.vertex_count() > data.vertex_count() {
+        return out;
+    }
+    let order = matching_order(pattern);
+    let mut mapping: Vec<Option<VertexId>> = vec![None; pattern.vertex_count()];
+    let mut used = vec![false; data.vertex_count()];
+    let mut state = SearchState {
+        pattern,
+        data,
+        order: &order,
+        mapping: &mut mapping,
+        used: &mut used,
+        out: &mut out,
+        limit: opts.limit,
+        transaction: opts.transaction,
+    };
+    state.recurse(0);
+    out
+}
+
+/// Counts embeddings without materializing more than necessary; equivalent to
+/// `find_embeddings(..).len()` but allows an early-exit threshold: returns as
+/// soon as `at_least` embeddings are found (if provided).
+pub fn count_embeddings(pattern: &LabeledGraph, data: &LabeledGraph, at_least: Option<usize>) -> usize {
+    find_embeddings(pattern, data, SubIsoOptions { limit: at_least, transaction: 0 }).len()
+}
+
+/// Returns true if `pattern` has at least one embedding in `data`.
+pub fn has_embedding(pattern: &LabeledGraph, data: &LabeledGraph) -> bool {
+    count_embeddings(pattern, data, Some(1)) >= 1
+}
+
+/// Chooses the order in which pattern vertices are matched: a BFS-like order
+/// that keeps each new vertex adjacent to an already ordered one whenever the
+/// pattern is connected, starting from a vertex of maximal degree.
+fn matching_order(pattern: &LabeledGraph) -> Vec<VertexId> {
+    let n = pattern.vertex_count();
+    let mut order = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    while order.len() < n {
+        // seed: highest-degree unplaced vertex (new component)
+        let seed = pattern
+            .vertices()
+            .filter(|v| !placed[v.index()])
+            .max_by_key(|&v| pattern.degree(v))
+            .expect("unplaced vertex exists");
+        placed[seed.index()] = true;
+        order.push(seed);
+        let mut frontier = vec![seed];
+        while let Some(v) = frontier.pop() {
+            // attach neighbors in degree-descending order for better pruning
+            let mut nbrs: Vec<VertexId> = pattern.neighbor_ids(v).filter(|n| !placed[n.index()]).collect();
+            nbrs.sort_by_key(|&n| std::cmp::Reverse(pattern.degree(n)));
+            for n in nbrs {
+                if !placed[n.index()] {
+                    placed[n.index()] = true;
+                    order.push(n);
+                    frontier.push(n);
+                }
+            }
+        }
+    }
+    order
+}
+
+struct SearchState<'a> {
+    pattern: &'a LabeledGraph,
+    data: &'a LabeledGraph,
+    order: &'a [VertexId],
+    mapping: &'a mut Vec<Option<VertexId>>,
+    used: &'a mut Vec<bool>,
+    out: &'a mut EmbeddingSet,
+    limit: Option<usize>,
+    transaction: usize,
+}
+
+impl SearchState<'_> {
+    fn done(&self) -> bool {
+        self.limit.map(|l| self.out.len() >= l).unwrap_or(false)
+    }
+
+    fn recurse(&mut self, depth: usize) {
+        if self.done() {
+            return;
+        }
+        if depth == self.order.len() {
+            let vertices: Vec<VertexId> =
+                self.mapping.iter().map(|m| m.expect("complete mapping")).collect();
+            self.out.push(Embedding::in_transaction(vertices, self.transaction));
+            return;
+        }
+        let pv = self.order[depth];
+        let candidates = self.candidates(pv, depth);
+        for cand in candidates {
+            if self.used[cand.index()] {
+                continue;
+            }
+            if !self.feasible(pv, cand) {
+                continue;
+            }
+            self.mapping[pv.index()] = Some(cand);
+            self.used[cand.index()] = true;
+            self.recurse(depth + 1);
+            self.mapping[pv.index()] = None;
+            self.used[cand.index()] = false;
+            if self.done() {
+                return;
+            }
+        }
+    }
+
+    /// Candidate data vertices for pattern vertex `pv`: if some neighbor of
+    /// `pv` is already mapped, only the data-neighbors of its image are
+    /// candidates; otherwise all data vertices with the right label.
+    fn candidates(&self, pv: VertexId, _depth: usize) -> Vec<VertexId> {
+        let label = self.pattern.label(pv);
+        let anchored = self
+            .pattern
+            .neighbor_ids(pv)
+            .find_map(|n| self.mapping[n.index()]);
+        match anchored {
+            Some(image) => self
+                .data
+                .neighbor_ids(image)
+                .filter(|&d| self.data.label(d) == label)
+                .collect(),
+            None => self
+                .data
+                .vertices()
+                .filter(|&d| self.data.label(d) == label)
+                .collect(),
+        }
+    }
+
+    /// Full feasibility: labels, degree bound, and consistency of every
+    /// pattern edge incident to already-mapped vertices (including edge
+    /// labels).
+    fn feasible(&self, pv: VertexId, cand: VertexId) -> bool {
+        if self.data.label(cand) != self.pattern.label(pv) {
+            return false;
+        }
+        if self.data.degree(cand) < self.pattern.degree(pv) {
+            return false;
+        }
+        for (pn, el) in self.pattern.neighbors(pv) {
+            if let Some(image) = self.mapping[pn.index()] {
+                if !self.data.has_edge(cand, image) {
+                    return false;
+                }
+                if self.data.edge_label(cand, image) != Some(el) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Label;
+
+    fn data_graph() -> LabeledGraph {
+        // labels: a=0 b=1 c=2
+        // structure:  0a - 1b - 2a - 3b - 4a   with a chord 1-3
+        LabeledGraph::from_unlabeled_edges(
+            &[Label(0), Label(1), Label(0), Label(1), Label(0)],
+            [(0, 1), (1, 2), (2, 3), (3, 4), (1, 3)],
+        )
+        .unwrap()
+    }
+
+    fn edge_pattern(a: u32, b: u32) -> LabeledGraph {
+        LabeledGraph::from_unlabeled_edges(&[Label(a), Label(b)], [(0, 1)]).unwrap()
+    }
+
+    #[test]
+    fn single_edge_embeddings() {
+        let data = data_graph();
+        let p = edge_pattern(0, 1);
+        let em = find_embeddings(&p, &data, SubIsoOptions::default());
+        // a-b edges: (0,1) (2,1) (2,3) (4,3) -> 4 embeddings (pattern is asymmetric)
+        assert_eq!(em.len(), 4);
+        for e in em.iter() {
+            assert!(e.is_valid(&p, &data));
+        }
+    }
+
+    #[test]
+    fn symmetric_pattern_counts_both_orientations() {
+        let data =
+            LabeledGraph::from_unlabeled_edges(&[Label(1), Label(1)], [(0, 1)]).unwrap();
+        let p = edge_pattern(1, 1);
+        let em = find_embeddings(&p, &data, SubIsoOptions::default());
+        assert_eq!(em.len(), 2);
+        assert_eq!(em.distinct_vertex_sets(), 1);
+    }
+
+    #[test]
+    fn path_of_length_two() {
+        let data = data_graph();
+        // pattern a-b-a
+        let p = LabeledGraph::from_unlabeled_edges(
+            &[Label(0), Label(1), Label(0)],
+            [(0, 1), (1, 2)],
+        )
+        .unwrap();
+        let em = find_embeddings(&p, &data, SubIsoOptions::default());
+        // center b=1: pairs {0,2} in both orders -> 2; center b=3: {2,4} both orders -> 2
+        assert_eq!(em.len(), 4);
+        assert_eq!(em.distinct_vertex_sets(), 2);
+    }
+
+    #[test]
+    fn no_embedding_for_absent_label() {
+        let data = data_graph();
+        let p = edge_pattern(0, 9);
+        assert!(find_embeddings(&p, &data, SubIsoOptions::default()).is_empty());
+        assert!(!has_embedding(&p, &data));
+    }
+
+    #[test]
+    fn limit_stops_early() {
+        let data = data_graph();
+        let p = edge_pattern(0, 1);
+        let em = find_embeddings(&p, &data, SubIsoOptions { limit: Some(2), transaction: 0 });
+        assert_eq!(em.len(), 2);
+        assert_eq!(count_embeddings(&p, &data, Some(1)), 1);
+        assert!(has_embedding(&p, &data));
+    }
+
+    #[test]
+    fn triangle_pattern_in_triangle_data() {
+        let data = LabeledGraph::from_unlabeled_edges(
+            &[Label(0), Label(0), Label(0)],
+            [(0, 1), (1, 2), (0, 2)],
+        )
+        .unwrap();
+        let p = data.clone();
+        let em = find_embeddings(&p, &data, SubIsoOptions::default());
+        // all 3! label-preserving mappings
+        assert_eq!(em.len(), 6);
+        assert_eq!(em.distinct_vertex_sets(), 1);
+    }
+
+    #[test]
+    fn pattern_larger_than_data_has_no_embedding() {
+        let data = edge_pattern(0, 1);
+        let p = data_graph();
+        assert!(find_embeddings(&p, &data, SubIsoOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn edge_labels_must_match() {
+        let data = LabeledGraph::from_parts(
+            &[Label(0), Label(1)],
+            [(0u32, 1u32, Label(5))],
+        )
+        .unwrap();
+        let p_match = LabeledGraph::from_parts(&[Label(0), Label(1)], [(0u32, 1u32, Label(5))]).unwrap();
+        let p_mismatch = LabeledGraph::from_parts(&[Label(0), Label(1)], [(0u32, 1u32, Label(6))]).unwrap();
+        assert_eq!(count_embeddings(&p_match, &data, None), 1);
+        assert_eq!(count_embeddings(&p_mismatch, &data, None), 0);
+    }
+
+    #[test]
+    fn transaction_index_recorded() {
+        let data = data_graph();
+        let p = edge_pattern(0, 1);
+        let em = find_embeddings(&p, &data, SubIsoOptions { limit: None, transaction: 7 });
+        assert!(em.iter().all(|e| e.transaction == 7));
+    }
+
+    #[test]
+    fn disconnected_pattern_is_handled() {
+        // two isolated vertices a and b as a pattern
+        let mut p = LabeledGraph::new();
+        p.add_vertex(Label(0));
+        p.add_vertex(Label(1));
+        let data = data_graph();
+        let em = find_embeddings(&p, &data, SubIsoOptions::default());
+        // a-vertices {0,2,4} x b-vertices {1,3} = 6 mappings
+        assert_eq!(em.len(), 6);
+    }
+
+    #[test]
+    fn empty_pattern_yields_nothing() {
+        let data = data_graph();
+        let p = LabeledGraph::new();
+        assert!(find_embeddings(&p, &data, SubIsoOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn matching_order_is_connected_for_connected_patterns() {
+        let p = data_graph();
+        let order = matching_order(&p);
+        assert_eq!(order.len(), p.vertex_count());
+        // each vertex after the first must touch an earlier one
+        for i in 1..order.len() {
+            let earlier = &order[..i];
+            assert!(
+                earlier.iter().any(|&e| p.has_edge(e, order[i])),
+                "vertex {:?} not connected to earlier prefix",
+                order[i]
+            );
+        }
+    }
+}

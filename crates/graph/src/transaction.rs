@@ -1,0 +1,212 @@
+//! Graph-transaction databases.
+//!
+//! The paper's problem is defined in the single-graph setting, but §6.2
+//! ("Graph-Transaction Setting", Figures 9–10) also evaluates against
+//! ORIGAMI and SpiderMine on a database of graphs.  [`GraphDatabase`] is a
+//! collection of labeled graphs with transaction-level support counting.
+
+use crate::embedding::EmbeddingSet;
+use crate::error::{GraphError, GraphResult};
+use crate::graph::LabeledGraph;
+use crate::label::Label;
+use crate::subiso::{find_embeddings, has_embedding, SubIsoOptions};
+use serde::{Deserialize, Serialize};
+
+/// A database of graph transactions.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GraphDatabase {
+    graphs: Vec<LabeledGraph>,
+}
+
+impl GraphDatabase {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a database from a vector of graphs.
+    pub fn from_graphs(graphs: Vec<LabeledGraph>) -> Self {
+        GraphDatabase { graphs }
+    }
+
+    /// Adds a transaction and returns its index.
+    pub fn push(&mut self, g: LabeledGraph) -> usize {
+        self.graphs.push(g);
+        self.graphs.len() - 1
+    }
+
+    /// Number of transactions.
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// True when the database holds no transaction.
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// Returns transaction `i`.
+    pub fn get(&self, i: usize) -> GraphResult<&LabeledGraph> {
+        self.graphs.get(i).ok_or(GraphError::TransactionOutOfBounds { index: i, len: self.graphs.len() })
+    }
+
+    /// Iterates over `(index, graph)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &LabeledGraph)> {
+        self.graphs.iter().enumerate()
+    }
+
+    /// Total number of vertices across all transactions.
+    pub fn total_vertices(&self) -> usize {
+        self.graphs.iter().map(LabeledGraph::vertex_count).sum()
+    }
+
+    /// Total number of edges across all transactions.
+    pub fn total_edges(&self) -> usize {
+        self.graphs.iter().map(LabeledGraph::edge_count).sum()
+    }
+
+    /// All distinct vertex labels present in the database, sorted.
+    pub fn distinct_vertex_labels(&self) -> Vec<Label> {
+        let mut labels: Vec<Label> =
+            self.graphs.iter().flat_map(|g| g.labels().iter().copied()).collect();
+        labels.sort();
+        labels.dedup();
+        labels
+    }
+
+    /// Transaction support of `pattern`: the number of transactions that
+    /// contain at least one embedding.
+    pub fn transaction_support(&self, pattern: &LabeledGraph) -> usize {
+        self.graphs.iter().filter(|g| has_embedding(pattern, g)).count()
+    }
+
+    /// Collects all embeddings of `pattern` across all transactions, with the
+    /// transaction index recorded on each embedding.
+    pub fn find_all_embeddings(&self, pattern: &LabeledGraph, per_transaction_limit: Option<usize>) -> EmbeddingSet {
+        let mut out = EmbeddingSet::new();
+        for (i, g) in self.iter() {
+            let em = find_embeddings(pattern, g, SubIsoOptions { limit: per_transaction_limit, transaction: i });
+            for e in em.embeddings {
+                out.push(e);
+            }
+        }
+        out
+    }
+
+    /// True when `pattern` is frequent at transaction support `sigma`.
+    pub fn is_frequent(&self, pattern: &LabeledGraph, sigma: usize) -> bool {
+        if sigma == 0 {
+            return true;
+        }
+        let mut count = 0;
+        for g in &self.graphs {
+            if has_embedding(pattern, g) {
+                count += 1;
+                if count >= sigma {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+impl FromIterator<LabeledGraph> for GraphDatabase {
+    fn from_iter<T: IntoIterator<Item = LabeledGraph>>(iter: T) -> Self {
+        GraphDatabase { graphs: iter.into_iter().collect() }
+    }
+}
+
+impl std::ops::Index<usize> for GraphDatabase {
+    type Output = LabeledGraph;
+    fn index(&self, i: usize) -> &LabeledGraph {
+        &self.graphs[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::LabeledGraph;
+
+    fn edge_graph(a: u32, b: u32) -> LabeledGraph {
+        LabeledGraph::from_unlabeled_edges(&[Label(a), Label(b)], [(0, 1)]).unwrap()
+    }
+
+    fn db() -> GraphDatabase {
+        // t0: a-b, t1: a-b-a path, t2: c-c
+        let t0 = edge_graph(0, 1);
+        let t1 = LabeledGraph::from_unlabeled_edges(
+            &[Label(0), Label(1), Label(0)],
+            [(0, 1), (1, 2)],
+        )
+        .unwrap();
+        let t2 = edge_graph(2, 2);
+        GraphDatabase::from_graphs(vec![t0, t1, t2])
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let d = db();
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert_eq!(d.total_vertices(), 7);
+        assert_eq!(d.total_edges(), 4);
+        assert!(d.get(0).is_ok());
+        assert!(d.get(9).is_err());
+        assert_eq!(d[1].vertex_count(), 3);
+        assert_eq!(
+            d.distinct_vertex_labels(),
+            vec![Label(0), Label(1), Label(2)]
+        );
+    }
+
+    #[test]
+    fn transaction_support_counts_transactions_not_embeddings() {
+        let d = db();
+        let ab = edge_graph(0, 1);
+        // t0 has 1 embedding, t1 has 2, t2 has none -> support 2
+        assert_eq!(d.transaction_support(&ab), 2);
+        assert!(d.is_frequent(&ab, 2));
+        assert!(!d.is_frequent(&ab, 3));
+        assert!(d.is_frequent(&ab, 0));
+    }
+
+    #[test]
+    fn find_all_embeddings_records_transactions() {
+        let d = db();
+        let ab = edge_graph(0, 1);
+        let em = d.find_all_embeddings(&ab, None);
+        assert_eq!(em.transaction_support(), 2);
+        let transactions: Vec<usize> = em.iter().map(|e| e.transaction).collect();
+        assert!(transactions.contains(&0));
+        assert!(transactions.contains(&1));
+        assert!(!transactions.contains(&2));
+    }
+
+    #[test]
+    fn per_transaction_limit_applies() {
+        let d = db();
+        let ab = edge_graph(0, 1);
+        let em = d.find_all_embeddings(&ab, Some(1));
+        // one embedding per matching transaction at most
+        assert_eq!(em.len(), 2);
+    }
+
+    #[test]
+    fn from_iterator_and_push() {
+        let mut d: GraphDatabase = vec![edge_graph(0, 0)].into_iter().collect();
+        assert_eq!(d.len(), 1);
+        let idx = d.push(edge_graph(1, 1));
+        assert_eq!(idx, 1);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn empty_database() {
+        let d = GraphDatabase::new();
+        assert!(d.is_empty());
+        assert_eq!(d.transaction_support(&edge_graph(0, 1)), 0);
+        assert!(d.distinct_vertex_labels().is_empty());
+    }
+}

@@ -1,0 +1,208 @@
+//! Breadth-first traversal, connectivity and connected components.
+
+use crate::graph::{LabeledGraph, VertexId};
+use std::collections::VecDeque;
+
+/// Distance value returned by BFS for unreachable vertices.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Single-source BFS: returns a vector of shortest hop distances from
+/// `source` to every vertex ([`UNREACHABLE`] for disconnected vertices).
+pub fn bfs_distances(graph: &LabeledGraph, source: VertexId) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; graph.vertex_count()];
+    if source.index() >= graph.vertex_count() {
+        return dist;
+    }
+    let mut queue = VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v.index()];
+        for n in graph.neighbor_ids(v) {
+            if dist[n.index()] == UNREACHABLE {
+                dist[n.index()] = dv + 1;
+                queue.push_back(n);
+            }
+        }
+    }
+    dist
+}
+
+/// BFS restricted to a subset of vertices (given as a membership mask).
+/// Distances are computed in the subgraph induced by `mask`.
+pub fn bfs_distances_masked(graph: &LabeledGraph, source: VertexId, mask: &[bool]) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; graph.vertex_count()];
+    if source.index() >= graph.vertex_count() || !mask[source.index()] {
+        return dist;
+    }
+    let mut queue = VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v.index()];
+        for n in graph.neighbor_ids(v) {
+            if mask[n.index()] && dist[n.index()] == UNREACHABLE {
+                dist[n.index()] = dv + 1;
+                queue.push_back(n);
+            }
+        }
+    }
+    dist
+}
+
+/// Returns the shortest-path distance between `u` and `v`, or `None` if they
+/// are disconnected.
+pub fn distance(graph: &LabeledGraph, u: VertexId, v: VertexId) -> Option<u32> {
+    let d = bfs_distances(graph, u);
+    match d.get(v.index()) {
+        Some(&x) if x != UNREACHABLE => Some(x),
+        _ => None,
+    }
+}
+
+/// True when the graph is connected (the empty graph counts as connected).
+pub fn is_connected(graph: &LabeledGraph) -> bool {
+    if graph.vertex_count() == 0 {
+        return true;
+    }
+    let dist = bfs_distances(graph, VertexId(0));
+    dist.iter().all(|&d| d != UNREACHABLE)
+}
+
+/// Returns the connected components as lists of vertex ids, each sorted, and
+/// the list of components sorted by their smallest vertex.
+pub fn connected_components(graph: &LabeledGraph) -> Vec<Vec<VertexId>> {
+    let n = graph.vertex_count();
+    let mut comp = vec![usize::MAX; n];
+    let mut components: Vec<Vec<VertexId>> = Vec::new();
+    for start in graph.vertices() {
+        if comp[start.index()] != usize::MAX {
+            continue;
+        }
+        let id = components.len();
+        let mut members = Vec::new();
+        let mut queue = VecDeque::new();
+        comp[start.index()] = id;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            members.push(v);
+            for nb in graph.neighbor_ids(v) {
+                if comp[nb.index()] == usize::MAX {
+                    comp[nb.index()] = id;
+                    queue.push_back(nb);
+                }
+            }
+        }
+        members.sort();
+        components.push(members);
+    }
+    components
+}
+
+/// Returns the vertices of the largest connected component (ties broken by
+/// smallest vertex id), or an empty vector for the empty graph.
+pub fn largest_component(graph: &LabeledGraph) -> Vec<VertexId> {
+    connected_components(graph)
+        .into_iter()
+        .max_by(|a, b| a.len().cmp(&b.len()).then_with(|| b[0].cmp(&a[0])))
+        .unwrap_or_default()
+}
+
+/// Collects all vertices within hop distance `radius` of `center` (including
+/// `center`), sorted by vertex id.  This is the "r-neighborhood" used by the
+/// SpiderMine baseline's spiders.
+pub fn ball(graph: &LabeledGraph, center: VertexId, radius: u32) -> Vec<VertexId> {
+    let dist = bfs_distances(graph, center);
+    let mut out: Vec<VertexId> = graph
+        .vertices()
+        .filter(|v| dist[v.index()] != UNREACHABLE && dist[v.index()] <= radius)
+        .collect();
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Label;
+
+    fn path5() -> LabeledGraph {
+        LabeledGraph::from_unlabeled_edges(&[Label(0); 5], [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap()
+    }
+
+    fn two_components() -> LabeledGraph {
+        LabeledGraph::from_unlabeled_edges(&[Label(0); 6], [(0, 1), (1, 2), (3, 4)]).unwrap()
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = path5();
+        let d = bfs_distances(&g, VertexId(0));
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        let d = bfs_distances(&g, VertexId(2));
+        assert_eq!(d, vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_unreachable_marked() {
+        let g = two_components();
+        let d = bfs_distances(&g, VertexId(0));
+        assert_eq!(d[3], UNREACHABLE);
+        assert_eq!(d[5], UNREACHABLE);
+        assert_eq!(d[2], 2);
+    }
+
+    #[test]
+    fn bfs_masked_restricts_to_subgraph() {
+        let g = path5();
+        // exclude vertex 2: 0 and 4 become disconnected
+        let mask = vec![true, true, false, true, true];
+        let d = bfs_distances_masked(&g, VertexId(0), &mask);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(d[4], UNREACHABLE);
+        // source outside mask yields all unreachable
+        let d = bfs_distances_masked(&g, VertexId(2), &mask);
+        assert!(d.iter().all(|&x| x == UNREACHABLE));
+    }
+
+    #[test]
+    fn pairwise_distance() {
+        let g = path5();
+        assert_eq!(distance(&g, VertexId(0), VertexId(4)), Some(4));
+        assert_eq!(distance(&g, VertexId(3), VertexId(3)), Some(0));
+        let h = two_components();
+        assert_eq!(distance(&h, VertexId(0), VertexId(4)), None);
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(is_connected(&path5()));
+        assert!(!is_connected(&two_components()));
+        assert!(is_connected(&LabeledGraph::new()));
+    }
+
+    #[test]
+    fn components_found() {
+        let g = two_components();
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0], vec![VertexId(0), VertexId(1), VertexId(2)]);
+        assert_eq!(comps[1], vec![VertexId(3), VertexId(4)]);
+        assert_eq!(comps[2], vec![VertexId(5)]);
+        assert_eq!(largest_component(&g).len(), 3);
+    }
+
+    #[test]
+    fn largest_component_of_empty_graph() {
+        assert!(largest_component(&LabeledGraph::new()).is_empty());
+    }
+
+    #[test]
+    fn ball_radius() {
+        let g = path5();
+        assert_eq!(ball(&g, VertexId(2), 1), vec![VertexId(1), VertexId(2), VertexId(3)]);
+        assert_eq!(ball(&g, VertexId(0), 0), vec![VertexId(0)]);
+        assert_eq!(ball(&g, VertexId(0), 10).len(), 5);
+    }
+}

@@ -1,0 +1,179 @@
+//! Property-based tests of the graph substrate: canonical forms, isomorphism,
+//! subgraph isomorphism, canonical diameters and path operations on random
+//! connected labeled graphs.
+
+use proptest::prelude::*;
+use skinny_graph::{
+    all_pairs_distances, analyze, are_isomorphic, bfs_distances, canonical_diameter, canonical_key,
+    connected_components, diameter, distances_to_path, find_embeddings, is_connected, min_dfs_code,
+    total_path_order, Label, LabeledGraph, Path, SubIsoOptions, VertexId, UNREACHABLE,
+};
+
+/// Strategy: a random connected labeled graph (spanning tree + extra edges).
+fn connected_graph(max_vertices: usize, max_labels: u32) -> impl Strategy<Value = LabeledGraph> {
+    (2..=max_vertices).prop_flat_map(move |n| {
+        let labels = proptest::collection::vec(0..max_labels, n);
+        let parents: Vec<_> = (1..n).map(|i| 0..i).collect();
+        let extra = proptest::collection::vec((0..n, 0..n), 0..=n);
+        (labels, parents, extra).prop_map(|(labels, parents, extra)| {
+            let mut g = LabeledGraph::new();
+            for l in &labels {
+                g.add_vertex(Label(*l));
+            }
+            for (child, parent) in parents.into_iter().enumerate() {
+                let _ = g.add_unlabeled_edge(VertexId((child + 1) as u32), VertexId(parent as u32));
+            }
+            for (a, b) in extra {
+                if a != b {
+                    let _ = g.add_unlabeled_edge(VertexId(a as u32), VertexId(b as u32));
+                }
+            }
+            g
+        })
+    })
+}
+
+/// Strategy: a not-necessarily-connected random labeled graph.
+fn any_graph(max_vertices: usize, max_labels: u32) -> impl Strategy<Value = LabeledGraph> {
+    (1..=max_vertices).prop_flat_map(move |n| {
+        let labels = proptest::collection::vec(0..max_labels, n);
+        let edges = proptest::collection::vec((0..n, 0..n), 0..=2 * n);
+        (labels, edges).prop_map(|(labels, edges)| {
+            let mut g = LabeledGraph::new();
+            for l in &labels {
+                g.add_vertex(Label(*l));
+            }
+            for (a, b) in edges {
+                if a != b {
+                    let _ = g.add_unlabeled_edge(VertexId(a as u32), VertexId(b as u32));
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// BFS distances are symmetric and satisfy the triangle inequality over
+    /// edges (d[u] and d[v] differ by at most 1 for every edge).
+    #[test]
+    fn bfs_distances_are_consistent(g in connected_graph(12, 4)) {
+        let ap = all_pairs_distances(&g);
+        for u in g.vertices() {
+            prop_assert_eq!(ap[u.index()][u.index()], 0);
+            for v in g.vertices() {
+                prop_assert_eq!(ap[u.index()][v.index()], ap[v.index()][u.index()]);
+            }
+            for e in g.edges() {
+                let du = ap[u.index()][e.u.index()] as i64;
+                let dv = ap[u.index()][e.v.index()] as i64;
+                prop_assert!((du - dv).abs() <= 1, "edge endpoints differ by more than 1 hop");
+            }
+        }
+    }
+
+    /// The diameter equals the maximum pairwise distance and the canonical
+    /// diameter realizes it with a valid simple path.
+    #[test]
+    fn canonical_diameter_is_a_diameter_realizing_path(g in connected_graph(12, 4)) {
+        let d = diameter(&g).expect("connected");
+        let cd = canonical_diameter(&g).expect("connected");
+        prop_assert_eq!(cd.len() as u32, d);
+        // it is a valid simple path of the graph
+        prop_assert!(Path::new_checked(&g, cd.vertices().to_vec()).is_ok());
+        // and a shortest path between its endpoints
+        let dist = bfs_distances(&g, cd.head());
+        prop_assert_eq!(dist[cd.tail().index()], d);
+        // it is minimal among the diameter paths we can easily enumerate:
+        // compare against the min shortest path of every diameter pair
+        for u in g.vertices() {
+            for v in g.vertices() {
+                if u != v && bfs_distances(&g, u)[v.index()] == d {
+                    if let Some(p) = skinny_graph::min_shortest_path(&g, u, v) {
+                        prop_assert!(total_path_order(&g, &cd, &p) != std::cmp::Ordering::Greater);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Vertex levels (distance to the canonical diameter) are zero exactly on
+    /// the diameter and bounded by the eccentricity.
+    #[test]
+    fn vertex_levels_behave(g in connected_graph(12, 4)) {
+        let a = analyze(&g).expect("connected");
+        let levels = distances_to_path(&g, &a.canonical_diameter);
+        for v in g.vertices() {
+            prop_assert!(levels[v.index()] != UNREACHABLE);
+            if a.canonical_diameter.contains(v) {
+                prop_assert_eq!(levels[v.index()], 0);
+            }
+        }
+        prop_assert!(a.is_delta_skinny(a.skinniness()));
+        if a.skinniness() > 0 {
+            prop_assert!(!a.is_delta_skinny(a.skinniness() - 1));
+        }
+    }
+
+    /// The minimum DFS code is a complete isomorphism invariant on the graphs
+    /// we generate: reconstructing the graph from its code gives an
+    /// isomorphic graph, and equal codes imply isomorphism.
+    #[test]
+    fn min_dfs_code_roundtrip(g in connected_graph(9, 3)) {
+        let code = min_dfs_code(&g);
+        prop_assert_eq!(code.len(), g.edge_count());
+        let back = code.to_graph();
+        prop_assert!(are_isomorphic(&g, &back));
+        prop_assert_eq!(canonical_key(&back), code);
+    }
+
+    /// Subgraph isomorphism finds at least the identity embedding of any
+    /// graph into itself, and every reported embedding is valid.
+    #[test]
+    fn subiso_self_embedding(g in connected_graph(8, 3)) {
+        let em = find_embeddings(&g, &g, SubIsoOptions::default());
+        prop_assert!(!em.is_empty());
+        for e in em.iter() {
+            prop_assert!(e.is_valid(&g, &g));
+        }
+        // the identity is among them
+        let identity: Vec<VertexId> = g.vertices().collect();
+        prop_assert!(em.iter().any(|e| e.vertices == identity));
+    }
+
+    /// Connected components partition the vertex set, and the graph is
+    /// connected iff there is exactly one component.
+    #[test]
+    fn components_partition_vertices(g in any_graph(12, 3)) {
+        let comps = connected_components(&g);
+        let total: usize = comps.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, g.vertex_count());
+        let mut all: Vec<VertexId> = comps.iter().flatten().copied().collect();
+        all.sort();
+        all.dedup();
+        prop_assert_eq!(all.len(), g.vertex_count());
+        prop_assert_eq!(comps.len() == 1, is_connected(&g));
+    }
+
+    /// Path orientation is idempotent and orientation-insensitive, and
+    /// reversing a path preserves its length.
+    #[test]
+    fn path_orientation_is_canonical(g in connected_graph(10, 3)) {
+        let cd = canonical_diameter(&g).expect("connected");
+        let oriented = cd.oriented(&g);
+        prop_assert_eq!(oriented.clone().oriented(&g).vertices(), oriented.vertices());
+        let rev = cd.reversed();
+        prop_assert_eq!(rev.len(), cd.len());
+        prop_assert_eq!(rev.oriented(&g).vertices(), oriented.vertices());
+    }
+
+    /// Graph text serialization round-trips.
+    #[test]
+    fn io_roundtrip(g in any_graph(10, 5)) {
+        let text = skinny_graph::io::write_graph(&g, 0);
+        let back = skinny_graph::io::parse_graph(&text).expect("own output parses");
+        prop_assert_eq!(&back, &g);
+    }
+}

@@ -1,0 +1,151 @@
+//! A unified view over the two mining settings.
+//!
+//! The paper defines the problem in the single-graph setting and notes that
+//! "the corresponding version for graph transaction setting can be easily
+//! derived".  [`MiningData`] is that derivation: both settings expose the
+//! data as a list of transaction graphs (a single graph is a one-transaction
+//! database), and embeddings always carry their transaction index.
+
+use skinny_graph::{GraphDatabase, Label, LabeledGraph, VertexId};
+
+/// The data being mined: a single large graph or a transaction database.
+#[derive(Debug, Clone)]
+pub enum MiningData<'a> {
+    /// Single-graph setting (the paper's Definition 8).
+    Single(&'a LabeledGraph),
+    /// Graph-transaction setting (Figures 9–10).
+    Transactions(&'a GraphDatabase),
+}
+
+impl<'a> MiningData<'a> {
+    /// Number of transactions (1 in the single-graph setting).
+    pub fn transaction_count(&self) -> usize {
+        match self {
+            MiningData::Single(_) => 1,
+            MiningData::Transactions(db) => db.len(),
+        }
+    }
+
+    /// The graph of transaction `t`.
+    ///
+    /// # Panics
+    /// Panics when `t` is out of range; all transaction indices produced by
+    /// this type are valid.
+    pub fn graph(&self, t: usize) -> &'a LabeledGraph {
+        match self {
+            MiningData::Single(g) => {
+                debug_assert_eq!(t, 0, "single-graph setting has only transaction 0");
+                g
+            }
+            MiningData::Transactions(db) => &db[t],
+        }
+    }
+
+    /// Iterates over `(transaction index, graph)` pairs.
+    pub fn transactions(&self) -> Box<dyn Iterator<Item = (usize, &'a LabeledGraph)> + 'a> {
+        match self {
+            MiningData::Single(g) => Box::new(std::iter::once((0usize, *g))),
+            MiningData::Transactions(db) => Box::new(db.iter()),
+        }
+    }
+
+    /// Total number of vertices across transactions.
+    pub fn total_vertices(&self) -> usize {
+        self.transactions().map(|(_, g)| g.vertex_count()).sum()
+    }
+
+    /// Total number of edges across transactions.
+    pub fn total_edges(&self) -> usize {
+        self.transactions().map(|(_, g)| g.edge_count()).sum()
+    }
+
+    /// True when there is no vertex at all.
+    pub fn is_empty(&self) -> bool {
+        self.total_vertices() == 0
+    }
+
+    /// Label of vertex `v` in transaction `t`.
+    #[inline]
+    pub fn label(&self, t: usize, v: VertexId) -> Label {
+        self.graph(t).label(v)
+    }
+
+    /// Neighbors of `v` in transaction `t`.
+    #[inline]
+    pub fn neighbors(&self, t: usize, v: VertexId) -> impl Iterator<Item = (VertexId, Label)> + 'a {
+        self.graph(t).neighbors(v)
+    }
+
+    /// True if edge `(u, v)` exists in transaction `t`.
+    #[inline]
+    pub fn has_edge(&self, t: usize, u: VertexId, v: VertexId) -> bool {
+        self.graph(t).has_edge(u, v)
+    }
+
+    /// Label of edge `(u, v)` in transaction `t`, if present.
+    #[inline]
+    pub fn edge_label(&self, t: usize, u: VertexId, v: VertexId) -> Option<Label> {
+        self.graph(t).edge_label(u, v)
+    }
+
+    /// True when the mining setting is the transaction setting.
+    pub fn is_transactional(&self) -> bool {
+        matches!(self, MiningData::Transactions(_))
+    }
+}
+
+impl<'a> From<&'a LabeledGraph> for MiningData<'a> {
+    fn from(g: &'a LabeledGraph) -> Self {
+        MiningData::Single(g)
+    }
+}
+
+impl<'a> From<&'a GraphDatabase> for MiningData<'a> {
+    fn from(db: &'a GraphDatabase) -> Self {
+        MiningData::Transactions(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph() -> LabeledGraph {
+        LabeledGraph::from_unlabeled_edges(&[Label(0), Label(1), Label(0)], [(0, 1), (1, 2)]).unwrap()
+    }
+
+    #[test]
+    fn single_graph_view() {
+        let g = graph();
+        let data: MiningData<'_> = (&g).into();
+        assert_eq!(data.transaction_count(), 1);
+        assert!(!data.is_transactional());
+        assert_eq!(data.total_vertices(), 3);
+        assert_eq!(data.total_edges(), 2);
+        assert_eq!(data.label(0, VertexId(1)), Label(1));
+        assert!(data.has_edge(0, VertexId(0), VertexId(1)));
+        assert_eq!(data.edge_label(0, VertexId(0), VertexId(1)), Some(Label(0)));
+        assert_eq!(data.neighbors(0, VertexId(1)).count(), 2);
+        assert!(!data.is_empty());
+    }
+
+    #[test]
+    fn transaction_view() {
+        let db = GraphDatabase::from_graphs(vec![graph(), graph()]);
+        let data: MiningData<'_> = (&db).into();
+        assert_eq!(data.transaction_count(), 2);
+        assert!(data.is_transactional());
+        assert_eq!(data.total_vertices(), 6);
+        let ids: Vec<usize> = data.transactions().map(|(i, _)| i).collect();
+        assert_eq!(ids, vec![0, 1]);
+        assert_eq!(data.graph(1).vertex_count(), 3);
+    }
+
+    #[test]
+    fn empty_database_is_empty() {
+        let db = GraphDatabase::new();
+        let data: MiningData<'_> = (&db).into();
+        assert!(data.is_empty());
+        assert_eq!(data.transaction_count(), 0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Error types for the SkinnyMine miner.
+
+use skinny_graph::GraphError;
+use std::fmt;
+
+/// Errors produced by the miner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MineError {
+    /// The configuration is inconsistent.
+    InvalidConfig {
+        /// Human readable reason.
+        reason: String,
+    },
+    /// The input data is unusable (empty database, etc.).
+    InvalidInput {
+        /// Human readable reason.
+        reason: String,
+    },
+    /// An underlying graph operation failed.
+    Graph(GraphError),
+}
+
+impl fmt::Display for MineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MineError::InvalidConfig { reason } => write!(f, "invalid mining configuration: {reason}"),
+            MineError::InvalidInput { reason } => write!(f, "invalid mining input: {reason}"),
+            MineError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MineError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for MineError {
+    fn from(e: GraphError) -> Self {
+        MineError::Graph(e)
+    }
+}
+
+/// Result alias for mining operations.
+pub type MineResult<T> = Result<T, MineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = MineError::InvalidConfig { reason: "bad".into() };
+        assert!(e.to_string().contains("bad"));
+        let e = MineError::InvalidInput { reason: "empty".into() };
+        assert!(e.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn graph_error_wraps_with_source() {
+        use std::error::Error as _;
+        let e: MineError = GraphError::NotConnected.into();
+        assert!(e.to_string().contains("graph error"));
+        assert!(e.source().is_some());
+        let c = MineError::InvalidConfig { reason: "x".into() };
+        assert!(c.source().is_none());
+    }
+}

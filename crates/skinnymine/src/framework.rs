@@ -1,0 +1,399 @@
+//! The general direct mining framework of Section 5.
+//!
+//! The framework applies to any graph constraint possessing two properties:
+//!
+//! * **Reducibility** (Property 1) — there is a non-trivial set of *minimal*
+//!   constraint-satisfying patterns: patterns that satisfy the constraint
+//!   while none of their sub-patterns does.  These minimal patterns can be
+//!   mined directly (Stage 1) and act as the anchors of the search.
+//! * **Continuity** (Property 2) — every constraint-satisfying pattern either
+//!   is minimal or has a one-edge-smaller sub-pattern that also satisfies the
+//!   constraint, so constraint-preserving growth (Stage 2) from the minimal
+//!   patterns reaches everything.
+//!
+//! [`GraphConstraint`] captures a constraint as a predicate; [`Reducible`]
+//! and [`Continuous`] mark the two properties and supply the stage
+//! implementations.  [`SkinnyConstraint`] is the paper's instantiation;
+//! [`MaxDegreeConstraint`] and [`RegularDegreeConstraint`] are the paper's
+//! counter-examples (not reducible / not continuous respectively), provided
+//! with empirical property checkers used in tests and benchmarks.
+
+use crate::config::{ReportMode, SkinnyMineConfig};
+use crate::error::MineResult;
+use crate::miner::SkinnyMine;
+use crate::result::MiningResult;
+use skinny_graph::{analyze, LabeledGraph, SupportMeasure};
+
+/// A boolean constraint `f_C(P)` over graph patterns.
+pub trait GraphConstraint {
+    /// Human-readable constraint name.
+    fn name(&self) -> &str;
+
+    /// `f_C(P) = 1` — does pattern `P` satisfy the constraint?
+    /// Disconnected or empty patterns are conventionally rejected.
+    fn satisfied(&self, pattern: &LabeledGraph) -> bool;
+
+    /// True when `P` satisfies the constraint and no proper connected
+    /// sub-pattern with one fewer edge does — i.e. `P` is a *minimal
+    /// constraint-satisfying pattern*.
+    fn is_minimal(&self, pattern: &LabeledGraph) -> bool {
+        if !self.satisfied(pattern) {
+            return false;
+        }
+        one_edge_subpatterns(pattern).iter().all(|sub| !self.satisfied(sub))
+    }
+}
+
+/// Property 1 (Reducibility): the constraint admits minimal satisfying
+/// patterns of non-trivial size, and they can be mined directly.
+pub trait Reducible: GraphConstraint {
+    /// A lower bound on the edge count of every minimal constraint-satisfying
+    /// pattern (the `k` of Property 1).
+    fn minimal_pattern_size(&self) -> usize;
+}
+
+/// Property 2 (Continuity): every satisfying pattern is reachable from a
+/// minimal one by single-edge extensions that stay inside the constraint.
+pub trait Continuous: GraphConstraint {
+    /// Checks the continuity condition for one concrete pattern: either `P`
+    /// is minimal, or some one-edge-smaller connected sub-pattern satisfies
+    /// the constraint.
+    fn continuity_holds_for(&self, pattern: &LabeledGraph) -> bool {
+        if !self.satisfied(pattern) {
+            return true; // vacuously
+        }
+        if self.is_minimal(pattern) {
+            return true;
+        }
+        one_edge_subpatterns(pattern).iter().any(|sub| self.satisfied(sub))
+    }
+}
+
+/// A miner that implements the two-stage direct mining framework for its
+/// constraint.
+pub trait DirectMiner {
+    /// The constraint the miner handles.
+    type Constraint: Reducible + Continuous;
+
+    /// Stage 1 + Stage 2: mine all frequent constraint-satisfying patterns.
+    fn mine_direct(&self, graph: &LabeledGraph) -> MineResult<MiningResult>;
+}
+
+/// All connected sub-patterns obtained by deleting exactly one edge (and any
+/// vertex this isolates).  Used by the default minimality / continuity
+/// checks.
+pub fn one_edge_subpatterns(pattern: &LabeledGraph) -> Vec<LabeledGraph> {
+    let edges: Vec<_> = pattern.edges().collect();
+    let mut out = Vec::new();
+    for skip in 0..edges.len() {
+        let kept: Vec<_> = edges
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != skip)
+            .map(|(_, e)| *e)
+            .collect();
+        if kept.is_empty() {
+            continue;
+        }
+        let (sub, _) = pattern.edge_subgraph(&kept);
+        if skinny_graph::is_connected(&sub) && sub.vertex_count() > 0 {
+            out.push(sub);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// The skinny constraint (the paper's instantiation)
+// ---------------------------------------------------------------------------
+
+/// The l-long δ-skinny constraint (Definition 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkinnyConstraint {
+    /// Required canonical diameter length.
+    pub l: usize,
+    /// Skinniness bound.
+    pub delta: u32,
+}
+
+impl SkinnyConstraint {
+    /// Creates the constraint.
+    pub fn new(l: usize, delta: u32) -> Self {
+        SkinnyConstraint { l, delta }
+    }
+}
+
+impl GraphConstraint for SkinnyConstraint {
+    fn name(&self) -> &str {
+        "l-long delta-skinny"
+    }
+
+    fn satisfied(&self, pattern: &LabeledGraph) -> bool {
+        match analyze(pattern) {
+            Ok(a) => a.is_l_long_delta_skinny(self.l, self.delta),
+            Err(_) => false,
+        }
+    }
+
+    fn is_minimal(&self, pattern: &LabeledGraph) -> bool {
+        // minimal constraint-satisfying patterns are exactly the simple paths
+        // of length l (Observation 1)
+        self.satisfied(pattern)
+            && pattern.vertex_count() == self.l + 1
+            && pattern.edge_count() == self.l
+    }
+}
+
+impl Reducible for SkinnyConstraint {
+    fn minimal_pattern_size(&self) -> usize {
+        self.l
+    }
+}
+
+impl Continuous for SkinnyConstraint {}
+
+/// A [`DirectMiner`] for the skinny constraint backed by [`SkinnyMine`].
+#[derive(Debug, Clone)]
+pub struct SkinnyDirectMiner {
+    constraint: SkinnyConstraint,
+    sigma: usize,
+    report: ReportMode,
+}
+
+impl SkinnyDirectMiner {
+    /// Creates the miner for an `(l, δ)`-SPM instance at support `sigma`.
+    pub fn new(constraint: SkinnyConstraint, sigma: usize) -> Self {
+        SkinnyDirectMiner { constraint, sigma, report: ReportMode::All }
+    }
+
+    /// Sets the report mode.
+    pub fn with_report(mut self, report: ReportMode) -> Self {
+        self.report = report;
+        self
+    }
+
+    /// The constraint being mined.
+    pub fn constraint(&self) -> SkinnyConstraint {
+        self.constraint
+    }
+}
+
+impl DirectMiner for SkinnyDirectMiner {
+    type Constraint = SkinnyConstraint;
+
+    fn mine_direct(&self, graph: &LabeledGraph) -> MineResult<MiningResult> {
+        let config = SkinnyMineConfig::new(self.constraint.l, self.constraint.delta, self.sigma)
+            .with_support_measure(SupportMeasure::DistinctVertexSets)
+            .with_report(self.report);
+        SkinnyMine::new(config).mine(graph)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Counter-example constraints from Section 5
+// ---------------------------------------------------------------------------
+
+/// "Maximum node degree is at most K" — the paper's example of a constraint
+/// that is **not reducible**: its only minimal satisfying patterns are the
+/// trivial single edges (or vertices), so Stage 1 cannot narrow the search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaxDegreeConstraint {
+    /// The degree bound K.
+    pub k: usize,
+}
+
+impl GraphConstraint for MaxDegreeConstraint {
+    fn name(&self) -> &str {
+        "max-degree"
+    }
+
+    fn satisfied(&self, pattern: &LabeledGraph) -> bool {
+        pattern.vertex_count() > 0 && skinny_graph::is_connected(pattern) && pattern.max_degree() <= self.k
+    }
+}
+
+/// "All vertices have the same degree" (regular graphs) — the paper's example
+/// of a constraint that is **not continuous**: a cycle satisfies it but no
+/// one-edge-smaller sub-pattern does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegularDegreeConstraint;
+
+impl GraphConstraint for RegularDegreeConstraint {
+    fn name(&self) -> &str {
+        "regular-degree"
+    }
+
+    fn satisfied(&self, pattern: &LabeledGraph) -> bool {
+        if pattern.vertex_count() == 0 || !skinny_graph::is_connected(pattern) {
+            return false;
+        }
+        let mut degrees = pattern.vertices().map(|v| pattern.degree(v));
+        let first = degrees.next().unwrap_or(0);
+        degrees.all(|d| d == first)
+    }
+}
+
+/// Empirical reducibility check: does the constraint admit a minimal
+/// satisfying pattern with at least `min_edges` edges among the provided
+/// sample patterns?  (Property 1 asks for existence; this is the testable
+/// finite version used in tests and benchmark reports.)
+pub fn reducibility_witness<'a, C: GraphConstraint>(
+    constraint: &C,
+    samples: impl IntoIterator<Item = &'a LabeledGraph>,
+    min_edges: usize,
+) -> Option<&'a LabeledGraph> {
+    samples
+        .into_iter()
+        .find(|p| p.edge_count() >= min_edges && constraint.is_minimal(p))
+}
+
+/// Empirical continuity check over a set of sample patterns with respect to a
+/// Stage-1 anchor size `anchor_edges` (the size of the minimal patterns mined
+/// in Stage 1): returns the satisfying samples that are larger than the
+/// anchors yet have no satisfying one-edge-smaller sub-pattern — exactly the
+/// patterns constraint-preserving growth from the anchors would miss.
+pub fn continuity_violations<'a, C: GraphConstraint>(
+    constraint: &C,
+    samples: impl IntoIterator<Item = &'a LabeledGraph>,
+    anchor_edges: usize,
+) -> Vec<&'a LabeledGraph> {
+    samples
+        .into_iter()
+        .filter(|p| {
+            constraint.satisfied(p)
+                && p.edge_count() > anchor_edges
+                && !one_edge_subpatterns(p).iter().any(|sub| constraint.satisfied(sub))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skinny_graph::Label;
+
+    fn l(x: u32) -> Label {
+        Label(x)
+    }
+
+    fn path(n: usize) -> LabeledGraph {
+        let labels: Vec<Label> = (0..n as u32 + 1).map(Label).collect();
+        let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, i + 1)).collect();
+        LabeledGraph::from_unlabeled_edges(&labels, edges).unwrap()
+    }
+
+    fn cycle(n: usize) -> LabeledGraph {
+        let labels = vec![l(0); n];
+        let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        LabeledGraph::from_unlabeled_edges(&labels, edges).unwrap()
+    }
+
+    fn path_with_twig() -> LabeledGraph {
+        // backbone of length 4 with a twig on the middle vertex
+        LabeledGraph::from_unlabeled_edges(
+            &[l(0), l(1), l(2), l(3), l(4), l(9)],
+            [(0, 1), (1, 2), (2, 3), (3, 4), (2, 5)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn skinny_constraint_satisfaction() {
+        let c = SkinnyConstraint::new(4, 2);
+        assert!(c.satisfied(&path(4)));
+        assert!(c.satisfied(&path_with_twig()));
+        assert!(!c.satisfied(&path(3)));
+        assert!(!c.satisfied(&LabeledGraph::new()));
+        assert_eq!(c.name(), "l-long delta-skinny");
+    }
+
+    #[test]
+    fn skinny_minimal_patterns_are_paths_of_length_l() {
+        let c = SkinnyConstraint::new(4, 2);
+        assert!(c.is_minimal(&path(4)));
+        assert!(!c.is_minimal(&path_with_twig()));
+        assert!(!c.is_minimal(&path(3)));
+        assert_eq!(c.minimal_pattern_size(), 4);
+    }
+
+    #[test]
+    fn skinny_constraint_is_continuous_on_samples() {
+        let c = SkinnyConstraint::new(4, 2);
+        let samples = [path(4), path_with_twig()];
+        assert!(continuity_violations(&c, samples.iter(), c.minimal_pattern_size()).is_empty());
+        assert!(c.continuity_holds_for(&path_with_twig()));
+    }
+
+    #[test]
+    fn skinny_constraint_reducibility_witness() {
+        let c = SkinnyConstraint::new(4, 2);
+        let samples = [path(3), path(4), path_with_twig()];
+        let witness = reducibility_witness(&c, samples.iter(), 2);
+        assert!(witness.is_some());
+        assert_eq!(witness.unwrap().edge_count(), 4);
+    }
+
+    #[test]
+    fn max_degree_constraint_is_not_reducible() {
+        // every single-edge pattern already satisfies max-degree, so no
+        // minimal satisfying pattern with >= 2 edges exists
+        let c = MaxDegreeConstraint { k: 3 };
+        let samples = [path(1), path(2), path(4), path_with_twig(), cycle(4)];
+        assert!(reducibility_witness(&c, samples.iter(), 2).is_none());
+        // but a single edge is (trivially) minimal
+        assert!(reducibility_witness(&c, samples.iter(), 1).is_some());
+        assert!(c.satisfied(&path(4)));
+        assert!(!c.satisfied(&LabeledGraph::new()));
+    }
+
+    #[test]
+    fn regular_degree_constraint_is_not_continuous() {
+        let c = RegularDegreeConstraint;
+        // a cycle is 2-regular; removing any edge yields a path whose interior
+        // vertices have degree 2 but endpoints degree 1 -> not regular, so
+        // growth from single-edge anchors can never reach a cycle
+        let samples = [cycle(4), cycle(5)];
+        let violations = continuity_violations(&c, samples.iter(), 1);
+        assert_eq!(violations.len(), 2);
+        // a single edge is 1-regular, so the anchors themselves do exist
+        assert!(c.satisfied(&path(1)));
+        assert_eq!(c.name(), "regular-degree");
+    }
+
+    #[test]
+    fn one_edge_subpatterns_keep_connectivity() {
+        let subs = one_edge_subpatterns(&path_with_twig());
+        // removing the twig edge keeps the backbone; removing an interior
+        // backbone edge disconnects the graph and is skipped; removing an end
+        // edge keeps a shorter connected pattern
+        assert!(!subs.is_empty());
+        for s in &subs {
+            assert!(skinny_graph::is_connected(s));
+            assert_eq!(s.edge_count(), 4);
+        }
+    }
+
+    #[test]
+    fn direct_miner_for_skinny_constraint() {
+        // data: two copies of the twig pattern
+        let labels = vec![
+            l(0), l(1), l(2), l(3), l(4), l(9),
+            l(0), l(1), l(2), l(3), l(4), l(9),
+        ];
+        let g = LabeledGraph::from_unlabeled_edges(
+            &labels,
+            [
+                (0, 1), (1, 2), (2, 3), (3, 4), (2, 5),
+                (6, 7), (7, 8), (8, 9), (9, 10), (8, 11),
+            ],
+        )
+        .unwrap();
+        let miner = SkinnyDirectMiner::new(SkinnyConstraint::new(4, 2), 2).with_report(ReportMode::All);
+        assert_eq!(miner.constraint().l, 4);
+        let result = miner.mine_direct(&g).unwrap();
+        assert_eq!(result.patterns.len(), 2);
+        // every reported pattern satisfies the constraint predicate
+        let c = miner.constraint();
+        assert!(result.patterns.iter().all(|p| c.satisfied(&p.graph)));
+    }
+}

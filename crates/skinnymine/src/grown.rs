@@ -1,0 +1,402 @@
+//! Patterns under growth in Stage II, with their canonical diameter, the
+//! per-vertex `D_H` / `D_T` distance indices and their embedding lists.
+
+use crate::path_pattern::PathPattern;
+use serde::{Deserialize, Serialize};
+use skinny_graph::{Embedding, EmbeddingSet, Label, LabeledGraph, SupportMeasure, VertexId};
+use std::collections::VecDeque;
+
+/// A one-edge extension of a grown pattern.
+///
+/// The derived ordering (new-vertex extensions before closing edges, then by
+/// field values) is the canonical extension order used to organize the
+/// growth: it plays the role of `P_anchor` in Algorithm 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Extension {
+    /// Attach a brand-new vertex with label `vertex_label` to the existing
+    /// pattern vertex `attach` via an edge labeled `edge_label`.
+    NewVertex {
+        /// Existing pattern vertex the new vertex attaches to.
+        attach: u32,
+        /// Label of the new vertex.
+        vertex_label: Label,
+        /// Label of the new edge.
+        edge_label: Label,
+    },
+    /// Add an edge between two existing, currently non-adjacent pattern
+    /// vertices `u < v`.
+    ClosingEdge {
+        /// Smaller pattern vertex id.
+        u: u32,
+        /// Larger pattern vertex id.
+        v: u32,
+        /// Label of the new edge.
+        edge_label: Label,
+    },
+}
+
+/// A pattern being grown from a canonical diameter.
+///
+/// Invariants maintained by construction:
+/// * pattern vertices `0..=diameter_len` are the canonical diameter in order
+///   (vertex 0 = head `v_H`, vertex `diameter_len` = tail `v_T`);
+/// * `dist_head[v]` / `dist_tail[v]` are the exact shortest distances from
+///   `v` to the head / tail within the pattern graph;
+/// * `level[v]` is the distance from `v` to the canonical diameter
+///   (Definition 5);
+/// * `embeddings` contains every occurrence of the pattern in the data
+///   (pattern vertex `p` maps to `embedding.vertices[p]`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GrownPattern {
+    /// The pattern graph.
+    pub graph: LabeledGraph,
+    /// Length of the canonical diameter in edges.
+    pub diameter_len: usize,
+    /// Shortest distance from each pattern vertex to the head `v_H`.
+    pub dist_head: Vec<u32>,
+    /// Shortest distance from each pattern vertex to the tail `v_T`.
+    pub dist_tail: Vec<u32>,
+    /// Level (distance to the canonical diameter) of each pattern vertex.
+    pub level: Vec<u32>,
+    /// All embeddings of the pattern in the data.
+    pub embeddings: EmbeddingSet,
+    /// The extension that produced this pattern, if any (`P_anchor`).
+    pub anchor: Option<Extension>,
+}
+
+impl GrownPattern {
+    /// Builds the level-0 pattern of a cluster: the canonical diameter path
+    /// itself, with one embedding per stored path occurrence.
+    pub fn from_path_pattern(path: &PathPattern) -> Self {
+        let graph = path.to_graph();
+        let l = path.len();
+        let n = graph.vertex_count();
+        let dist_head: Vec<u32> = (0..n as u32).collect();
+        let dist_tail: Vec<u32> = (0..n as u32).map(|i| l as u32 - i).collect();
+        let level = vec![0u32; n];
+        let embeddings = EmbeddingSet::from_vec(
+            path.embeddings
+                .iter()
+                .map(|e| Embedding::in_transaction(e.vertices.clone(), e.transaction))
+                .collect(),
+        );
+        GrownPattern { graph, diameter_len: l, dist_head, dist_tail, level, embeddings, anchor: None }
+    }
+
+    /// Pattern vertex id of the diameter head `v_H`.
+    #[inline]
+    pub fn head(&self) -> VertexId {
+        VertexId(0)
+    }
+
+    /// Pattern vertex id of the diameter tail `v_T`.
+    #[inline]
+    pub fn tail(&self) -> VertexId {
+        VertexId(self.diameter_len as u32)
+    }
+
+    /// The diameter length `D(P)`.
+    #[inline]
+    pub fn diameter(&self) -> u32 {
+        self.diameter_len as u32
+    }
+
+    /// Label sequence of the canonical diameter.
+    pub fn diameter_labels(&self) -> Vec<Label> {
+        (0..=self.diameter_len).map(|i| self.graph.label(VertexId(i as u32))).collect()
+    }
+
+    /// Maximum level over all vertices — the pattern's skinniness so far.
+    pub fn max_level(&self) -> u32 {
+        self.level.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Support of the pattern under `measure`.
+    pub fn support(&self, measure: SupportMeasure) -> usize {
+        self.embeddings.support(measure)
+    }
+
+    /// Number of edges of the pattern.
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// Number of vertices of the pattern.
+    pub fn vertex_count(&self) -> usize {
+        self.graph.vertex_count()
+    }
+
+    /// Applies `ext` structurally: returns the new pattern graph, the updated
+    /// distance/level vectors and the id of the new vertex (for
+    /// [`Extension::NewVertex`]).  Embeddings are *not* computed here — see
+    /// [`GrownPattern::extend_embeddings`].
+    pub fn apply_structure(&self, ext: Extension) -> StructuralExtension {
+        let mut graph = self.graph.clone();
+        let mut dist_head = self.dist_head.clone();
+        let mut dist_tail = self.dist_tail.clone();
+        let mut level = self.level.clone();
+        let new_vertex;
+        match ext {
+            Extension::NewVertex { attach, vertex_label, edge_label } => {
+                let nv = graph.add_vertex(vertex_label);
+                graph
+                    .add_edge(VertexId(attach), nv, edge_label)
+                    .expect("attaching a fresh vertex cannot duplicate an edge");
+                dist_head.push(self.dist_head[attach as usize] + 1);
+                dist_tail.push(self.dist_tail[attach as usize] + 1);
+                level.push(self.level[attach as usize] + 1);
+                new_vertex = Some(nv);
+            }
+            Extension::ClosingEdge { u, v, edge_label } => {
+                graph
+                    .add_edge(VertexId(u), VertexId(v), edge_label)
+                    .expect("closing-edge candidates are generated only for non-adjacent pairs");
+                relax_after_edge(&graph, &mut dist_head, u as usize, v as usize);
+                relax_after_edge(&graph, &mut dist_tail, u as usize, v as usize);
+                relax_after_edge(&graph, &mut level, u as usize, v as usize);
+                new_vertex = None;
+            }
+        }
+        StructuralExtension { graph, dist_head, dist_tail, level, new_vertex }
+    }
+
+    /// Computes the embeddings of the extended pattern from this pattern's
+    /// embeddings (the "direct" part: no subgraph isomorphism search).
+    ///
+    /// * For a new-vertex extension, every embedding is expanded by every
+    ///   unused data neighbor of the attachment image carrying the right
+    ///   vertex and edge labels (one parent embedding may yield several).
+    /// * For a closing edge, embeddings that do not have the required data
+    ///   edge are dropped.
+    pub fn extend_embeddings(&self, data: &crate::data::MiningData<'_>, ext: Extension) -> EmbeddingSet {
+        let mut out = EmbeddingSet::new();
+        match ext {
+            Extension::NewVertex { attach, vertex_label, edge_label } => {
+                for e in self.embeddings.iter() {
+                    let image = e.image(attach as usize);
+                    for (w, el) in data.neighbors(e.transaction, image) {
+                        if el != edge_label {
+                            continue;
+                        }
+                        if data.label(e.transaction, w) != vertex_label {
+                            continue;
+                        }
+                        if e.uses(w) {
+                            continue;
+                        }
+                        out.push(e.extended(w));
+                    }
+                }
+            }
+            Extension::ClosingEdge { u, v, edge_label } => {
+                for e in self.embeddings.iter() {
+                    let du = e.image(u as usize);
+                    let dv = e.image(v as usize);
+                    if data.edge_label(e.transaction, du, dv) == Some(edge_label) {
+                        out.push(e.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Assembles the extended pattern from the structural extension and the
+    /// already-computed embeddings.
+    pub fn assemble(&self, ext: Extension, structure: StructuralExtension, embeddings: EmbeddingSet) -> GrownPattern {
+        GrownPattern {
+            graph: structure.graph,
+            diameter_len: self.diameter_len,
+            dist_head: structure.dist_head,
+            dist_tail: structure.dist_tail,
+            level: structure.level,
+            embeddings,
+            anchor: Some(ext),
+        }
+    }
+
+    /// Recomputes `dist_head`, `dist_tail` and `level` from scratch and
+    /// compares with the maintained indices.  Test/verification helper.
+    pub fn indices_consistent(&self) -> bool {
+        let dh = skinny_graph::bfs_distances(&self.graph, self.head());
+        let dt = skinny_graph::bfs_distances(&self.graph, self.tail());
+        if dh != self.dist_head || dt != self.dist_tail {
+            return false;
+        }
+        let diameter_path = skinny_graph::Path::new_unchecked(
+            (0..=self.diameter_len as u32).map(VertexId).collect(),
+        );
+        let lv = skinny_graph::distances_to_path(&self.graph, &diameter_path);
+        lv == self.level
+    }
+}
+
+/// Result of applying an extension structurally.
+#[derive(Debug, Clone)]
+pub struct StructuralExtension {
+    /// Extended pattern graph.
+    pub graph: LabeledGraph,
+    /// Updated head distances.
+    pub dist_head: Vec<u32>,
+    /// Updated tail distances.
+    pub dist_tail: Vec<u32>,
+    /// Updated levels.
+    pub level: Vec<u32>,
+    /// The freshly added vertex for new-vertex extensions.
+    pub new_vertex: Option<VertexId>,
+}
+
+/// After inserting edge `(a, b)`, restores exactness of a distance vector by
+/// localized relaxation: distances can only shrink, and only vertices whose
+/// distance actually improves are revisited.
+fn relax_after_edge(graph: &LabeledGraph, dist: &mut Vec<u32>, a: usize, b: usize) {
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let candidates = [(a, b), (b, a)];
+    for (x, y) in candidates {
+        if dist[x] != u32::MAX && dist[x] + 1 < dist[y] {
+            dist[y] = dist[x] + 1;
+            queue.push_back(y);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v];
+        for n in graph.neighbor_ids(VertexId(v as u32)) {
+            if dv + 1 < dist[n.index()] {
+                dist[n.index()] = dv + 1;
+                queue.push_back(n.index());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::MiningData;
+    use crate::path_pattern::PathKey;
+
+    fn l(x: u32) -> Label {
+        Label(x)
+    }
+
+    /// Data graph: two copies of a length-3 backbone a-b-c-d with a twig on b.
+    fn data_graph() -> LabeledGraph {
+        // copy 1: 0(a) 1(b) 2(c) 3(d), twig 4(t) on 1
+        // copy 2: 5(a) 6(b) 7(c) 8(d), twig 9(t) on 6
+        LabeledGraph::from_unlabeled_edges(
+            &[l(0), l(1), l(2), l(3), l(9), l(0), l(1), l(2), l(3), l(9)],
+            [(0, 1), (1, 2), (2, 3), (1, 4), (5, 6), (6, 7), (7, 8), (6, 9)],
+        )
+        .unwrap()
+    }
+
+    fn seed_pattern(g: &LabeledGraph) -> GrownPattern {
+        // canonical diameter path a-b-c-d with two occurrences
+        let (key, _) = PathKey::canonical(vec![l(0), l(1), l(2), l(3)], vec![l(0); 3]);
+        let mut p = PathPattern::new(key);
+        p.add_occurrence(0, vec![VertexId(0), VertexId(1), VertexId(2), VertexId(3)], false);
+        p.add_occurrence(0, vec![VertexId(5), VertexId(6), VertexId(7), VertexId(8)], false);
+        let _ = g;
+        GrownPattern::from_path_pattern(&p)
+    }
+
+    #[test]
+    fn from_path_pattern_initializes_indices() {
+        let g = data_graph();
+        let p = seed_pattern(&g);
+        assert_eq!(p.diameter_len, 3);
+        assert_eq!(p.dist_head, vec![0, 1, 2, 3]);
+        assert_eq!(p.dist_tail, vec![3, 2, 1, 0]);
+        assert_eq!(p.level, vec![0, 0, 0, 0]);
+        assert_eq!(p.head(), VertexId(0));
+        assert_eq!(p.tail(), VertexId(3));
+        assert_eq!(p.max_level(), 0);
+        assert_eq!(p.support(SupportMeasure::DistinctVertexSets), 2);
+        assert_eq!(p.diameter_labels(), vec![l(0), l(1), l(2), l(3)]);
+        assert!(p.indices_consistent());
+    }
+
+    #[test]
+    fn new_vertex_extension_updates_structure_and_embeddings() {
+        let g = data_graph();
+        let data = MiningData::Single(&g);
+        let p = seed_pattern(&g);
+        let ext = Extension::NewVertex { attach: 1, vertex_label: l(9), edge_label: Label::DEFAULT_EDGE };
+        let st = p.apply_structure(ext);
+        assert_eq!(st.graph.vertex_count(), 5);
+        assert_eq!(st.dist_head[4], 2);
+        assert_eq!(st.dist_tail[4], 3);
+        assert_eq!(st.level[4], 1);
+        assert_eq!(st.new_vertex, Some(VertexId(4)));
+
+        let em = p.extend_embeddings(&data, ext);
+        // both occurrences have a label-9 twig on their 'b' vertex
+        assert_eq!(em.len(), 2);
+        let child = p.assemble(ext, st, em);
+        assert_eq!(child.vertex_count(), 5);
+        assert_eq!(child.max_level(), 1);
+        assert_eq!(child.anchor, Some(ext));
+        assert!(child.indices_consistent());
+        assert!(child.embeddings.iter().all(|e| e.is_valid(&child.graph, &g)));
+    }
+
+    #[test]
+    fn new_vertex_extension_with_absent_label_yields_no_embedding() {
+        let g = data_graph();
+        let data = MiningData::Single(&g);
+        let p = seed_pattern(&g);
+        let ext = Extension::NewVertex { attach: 2, vertex_label: l(9), edge_label: Label::DEFAULT_EDGE };
+        // 'c' vertices have no label-9 neighbor
+        assert!(p.extend_embeddings(&data, ext).is_empty());
+    }
+
+    #[test]
+    fn closing_edge_filters_embeddings() {
+        // add the data edge (0, 2) in copy 1 only, then a pattern closing edge
+        // between diameter positions 0 and 2 keeps just that occurrence
+        let mut g = data_graph();
+        g.add_unlabeled_edge(VertexId(0), VertexId(2)).unwrap();
+        let data = MiningData::Single(&g);
+        let p = seed_pattern(&g);
+        let ext = Extension::ClosingEdge { u: 0, v: 2, edge_label: Label::DEFAULT_EDGE };
+        let em = p.extend_embeddings(&data, ext);
+        assert_eq!(em.len(), 1);
+        assert_eq!(em.embeddings[0].vertices[0], VertexId(0));
+        let st = p.apply_structure(ext);
+        // the chord shortens the head-to-position-2 distance
+        assert_eq!(st.dist_head[2], 1);
+        // and the head-tail distance drops to 2: the canonical diameter is broken
+        assert_eq!(st.dist_head[3], 2);
+    }
+
+    #[test]
+    fn relaxation_propagates_beyond_endpoints() {
+        // path 0-1-2-3-4 ; adding edge (0,3) also improves dist_head[4]
+        let g5 = LabeledGraph::from_unlabeled_edges(&[l(0); 5], [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let mut dist: Vec<u32> = vec![0, 1, 2, 3, 4];
+        let mut g = g5;
+        g.add_unlabeled_edge(VertexId(0), VertexId(3)).unwrap();
+        relax_after_edge(&g, &mut dist, 0, 3);
+        assert_eq!(dist, vec![0, 1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn extension_ordering_new_vertex_before_closing_edge() {
+        let nv = Extension::NewVertex { attach: 5, vertex_label: l(9), edge_label: l(0) };
+        let ce = Extension::ClosingEdge { u: 0, v: 1, edge_label: l(0) };
+        assert!(nv < ce);
+        let nv2 = Extension::NewVertex { attach: 5, vertex_label: l(10), edge_label: l(0) };
+        assert!(nv < nv2);
+        let ce2 = Extension::ClosingEdge { u: 0, v: 2, edge_label: l(0) };
+        assert!(ce < ce2);
+    }
+
+    #[test]
+    fn indices_consistent_detects_corruption() {
+        let g = data_graph();
+        let mut p = seed_pattern(&g);
+        assert!(p.indices_consistent());
+        p.dist_head[2] = 9;
+        assert!(!p.indices_consistent());
+    }
+}

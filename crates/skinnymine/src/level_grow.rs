@@ -1,0 +1,572 @@
+//! Stage II — **LevelGrow**: growing each canonical diameter into the full
+//! set of l-long δ-skinny patterns of its cluster.
+//!
+//! Every pattern reported by this stage shares the cluster's canonical
+//! diameter; the growth adds twig vertices level by level and closing edges,
+//! re-checking Constraints I–III locally on every candidate extension
+//! (Algorithm 3).  Embedding lists are carried along and extended
+//! incrementally, so the stage never performs a global subgraph-isomorphism
+//! search — only "local examination of relevant candidates", which is what
+//! the paper's Continuity property buys.
+//!
+//! Generated patterns are deduplicated by their canonical (minimum DFS code)
+//! key, which guarantees each pattern of the cluster is reported exactly
+//! once even when it is reachable through several growth orders.
+
+use crate::config::{Exploration, ReportMode, SkinnyMineConfig};
+use crate::constraints::{check_extension, ConstraintViolation};
+use crate::data::MiningData;
+use crate::grown::{Extension, GrownPattern};
+use crate::path_pattern::PathPattern;
+use crate::result::SkinnyPattern;
+use crate::stats::MiningStats;
+use skinny_graph::{canonical_key, DfsCode, VertexId};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// The Stage-II grower.
+#[derive(Debug, Clone)]
+pub struct LevelGrow<'a> {
+    data: MiningData<'a>,
+    config: &'a SkinnyMineConfig,
+}
+
+/// Everything produced by growing one cluster.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterOutcome {
+    /// Reported patterns of the cluster (after the report-mode filter).
+    pub patterns: Vec<SkinnyPattern>,
+    /// Number of patterns examined in the cluster before filtering.
+    pub examined: u64,
+    /// Partial statistics counters to merge into the run's [`MiningStats`].
+    pub stats: MiningStats,
+}
+
+impl<'a> LevelGrow<'a> {
+    /// Creates a grower over `data` with the run configuration.
+    pub fn new(data: MiningData<'a>, config: &'a SkinnyMineConfig) -> Self {
+        LevelGrow { data, config }
+    }
+
+    /// Grows the cluster seeded by one canonical diameter (a frequent path of
+    /// admissible length) and returns all reported patterns of that cluster.
+    pub fn grow_cluster(&self, seed: &PathPattern) -> ClusterOutcome {
+        match self.config.exploration {
+            Exploration::Exhaustive => self.grow_cluster_exhaustive(seed),
+            Exploration::ClosureJump => self.grow_cluster_closure(seed),
+        }
+    }
+
+    /// Exhaustive exploration: every frequent constraint-satisfying pattern
+    /// of the cluster is generated exactly once (canonical-code dedup).
+    fn grow_cluster_exhaustive(&self, seed: &PathPattern) -> ClusterOutcome {
+        let mut outcome = ClusterOutcome::default();
+        let root = GrownPattern::from_path_pattern(seed);
+        let mut seen: HashSet<DfsCode> = HashSet::new();
+        seen.insert(canonical_key(&root.graph));
+        let mut worklist: Vec<GrownPattern> = vec![root];
+
+        while let Some(current) = worklist.pop() {
+            outcome.examined += 1;
+            let current_support = current.support(self.config.support);
+            let mut is_maximal = true;
+            let mut is_closed = true;
+
+            for ext in self.candidate_extensions(&current) {
+                outcome.stats.level_grow.candidates_examined += 1;
+                outcome.stats.constraint_checks += 1;
+                let structure = current.apply_structure(ext);
+                let check = check_extension(&current, ext, &structure, self.config.delta, self.config.constraint_check);
+                if check.full_recomputation {
+                    outcome.stats.full_diameter_recomputations += 1;
+                }
+                match check.verdict {
+                    Err(ConstraintViolation::DiameterIncreased) => {
+                        outcome.stats.rejected_constraint_i += 1;
+                        continue;
+                    }
+                    Err(ConstraintViolation::HeadTailShortened) => {
+                        outcome.stats.rejected_constraint_ii += 1;
+                        continue;
+                    }
+                    Err(ConstraintViolation::SmallerDiameterCreated) => {
+                        outcome.stats.rejected_constraint_iii += 1;
+                        continue;
+                    }
+                    Err(ConstraintViolation::SkinninessExceeded) => {
+                        // not a canonical-diameter violation: the extension is
+                        // simply outside the requested δ
+                        continue;
+                    }
+                    Ok(()) => {}
+                }
+                let embeddings = current.extend_embeddings(&self.data, ext);
+                let support = embeddings.support(self.config.support);
+                if support < self.config.sigma {
+                    outcome.stats.rejected_infrequent += 1;
+                    continue;
+                }
+                // a frequent constraint-preserving super-pattern exists
+                is_maximal = false;
+                if support == current_support {
+                    is_closed = false;
+                }
+                let child = current.assemble(ext, structure, embeddings);
+                let key = canonical_key(&child.graph);
+                if seen.insert(key) {
+                    worklist.push(child);
+                }
+            }
+
+            if let Some(p) = self.report(&current, current_support, is_closed, is_maximal) {
+                outcome.patterns.push(p);
+            }
+        }
+        outcome.stats.level_grow.patterns_out = outcome.patterns.len() as u64;
+        outcome
+    }
+
+    /// Closure-jumping exploration: support-preserving extensions are applied
+    /// eagerly so the search jumps straight to the closed pattern of each
+    /// support level, and branching happens only on support-dropping
+    /// extensions.  Reports the cluster's closed (and maximal) patterns
+    /// without enumerating the exponentially many non-closed sub-patterns.
+    fn grow_cluster_closure(&self, seed: &PathPattern) -> ClusterOutcome {
+        let mut outcome = ClusterOutcome::default();
+        let root = GrownPattern::from_path_pattern(seed);
+        let mut seen: HashSet<DfsCode> = HashSet::new();
+        seen.insert(canonical_key(&root.graph));
+        let mut reported: HashSet<DfsCode> = HashSet::new();
+        let mut worklist: Vec<GrownPattern> = vec![root];
+
+        while let Some(current) = worklist.pop() {
+            outcome.examined += 1;
+            // 1. closure: apply support-preserving valid extensions until none
+            //    remains; the result is a closed pattern of this support level
+            let mut closed = current;
+            let mut closed_support = closed.support(self.config.support);
+            loop {
+                let mut advanced = false;
+                for ext in self.candidate_extensions(&closed) {
+                    if let Some((child, support)) = self.try_extension(&closed, ext, &mut outcome.stats) {
+                        if support == closed_support {
+                            closed = child;
+                            closed_support = support;
+                            advanced = true;
+                            break;
+                        }
+                    }
+                }
+                if !advanced {
+                    break;
+                }
+            }
+
+            // 2. branch on support-dropping frequent extensions of the closed
+            //    pattern, and determine its maximality along the way
+            let mut is_maximal = true;
+            for ext in self.candidate_extensions(&closed) {
+                if let Some((child, support)) = self.try_extension(&closed, ext, &mut outcome.stats) {
+                    is_maximal = false;
+                    // note: embedding-based support is not anti-monotone, so a
+                    // super-pattern's support can also exceed the parent's
+                    if support != closed_support {
+                        let key = canonical_key(&child.graph);
+                        if seen.insert(key) {
+                            worklist.push(child);
+                        }
+                    }
+                }
+            }
+
+            if reported.insert(canonical_key(&closed.graph)) {
+                if let Some(p) = self.report(&closed, closed_support, true, is_maximal) {
+                    outcome.patterns.push(p);
+                }
+            }
+        }
+        outcome.stats.level_grow.patterns_out = outcome.patterns.len() as u64;
+        outcome
+    }
+
+    /// Evaluates one candidate extension: constraint checks plus the
+    /// frequency test.  Returns the extended pattern and its support when the
+    /// extension is admissible, recording statistics either way.
+    fn try_extension(
+        &self,
+        current: &GrownPattern,
+        ext: Extension,
+        stats: &mut MiningStats,
+    ) -> Option<(GrownPattern, usize)> {
+        stats.level_grow.candidates_examined += 1;
+        stats.constraint_checks += 1;
+        let structure = current.apply_structure(ext);
+        let check = check_extension(current, ext, &structure, self.config.delta, self.config.constraint_check);
+        if check.full_recomputation {
+            stats.full_diameter_recomputations += 1;
+        }
+        match check.verdict {
+            Err(ConstraintViolation::DiameterIncreased) => {
+                stats.rejected_constraint_i += 1;
+                return None;
+            }
+            Err(ConstraintViolation::HeadTailShortened) => {
+                stats.rejected_constraint_ii += 1;
+                return None;
+            }
+            Err(ConstraintViolation::SmallerDiameterCreated) => {
+                stats.rejected_constraint_iii += 1;
+                return None;
+            }
+            Err(ConstraintViolation::SkinninessExceeded) => return None,
+            Ok(()) => {}
+        }
+        let embeddings = current.extend_embeddings(&self.data, ext);
+        let support = embeddings.support(self.config.support);
+        if support < self.config.sigma {
+            stats.rejected_infrequent += 1;
+            return None;
+        }
+        Some((current.assemble(ext, structure, embeddings), support))
+    }
+
+    /// Enumerates the candidate one-edge extensions of a pattern, derived
+    /// directly from the data around its embeddings:
+    ///
+    /// * new twig vertices attached to any pattern vertex whose level is
+    ///   still below δ;
+    /// * closing edges between non-adjacent pattern vertices whose images are
+    ///   adjacent in the data.
+    fn candidate_extensions(&self, pattern: &GrownPattern) -> BTreeSet<Extension> {
+        let mut out = BTreeSet::new();
+        let delta = self.config.delta;
+        let n = pattern.graph.vertex_count();
+        for e in pattern.embeddings.iter() {
+            // reverse map: data vertex -> pattern vertex for this embedding
+            let image_of: HashMap<VertexId, u32> =
+                e.vertices.iter().enumerate().map(|(p, &d)| (d, p as u32)).collect();
+            for p in 0..n as u32 {
+                let image = e.image(p as usize);
+                for (w, el) in self.data.neighbors(e.transaction, image) {
+                    match image_of.get(&w) {
+                        Some(&q) => {
+                            // a potential closing edge between pattern vertices p and q
+                            if q <= p {
+                                continue;
+                            }
+                            if pattern.graph.has_edge(VertexId(p), VertexId(q)) {
+                                continue;
+                            }
+                            out.insert(Extension::ClosingEdge { u: p, v: q, edge_label: el });
+                        }
+                        None => {
+                            // a potential new twig vertex attached at p
+                            if pattern.level[p as usize] >= delta {
+                                continue;
+                            }
+                            out.insert(Extension::NewVertex {
+                                attach: p,
+                                vertex_label: self.data.label(e.transaction, w),
+                                edge_label: el,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Applies the report-mode filter and converts a grown pattern into a
+    /// result pattern.
+    fn report(&self, pattern: &GrownPattern, support: usize, closed: bool, maximal: bool) -> Option<SkinnyPattern> {
+        let is_bare_path = pattern.graph.vertex_count() == pattern.diameter_len + 1
+            && pattern.graph.edge_count() == pattern.diameter_len;
+        if is_bare_path && !self.config.include_diameter_paths {
+            return None;
+        }
+        let keep = match self.config.report {
+            ReportMode::All => true,
+            ReportMode::Closed => closed,
+            ReportMode::Maximal => maximal,
+        };
+        if !keep {
+            return None;
+        }
+        let mut embeddings = pattern.embeddings.clone();
+        if let Some(cap) = self.config.max_embeddings_per_pattern {
+            if embeddings.len() > cap {
+                embeddings.embeddings.truncate(cap);
+            }
+        }
+        Some(SkinnyPattern {
+            graph: pattern.graph.clone(),
+            diameter_len: pattern.diameter_len,
+            diameter_labels: pattern.diameter_labels(),
+            skinniness: pattern.max_level(),
+            support,
+            embeddings,
+            closed,
+            maximal,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ConstraintCheckMode, SkinnyMineConfig};
+    use crate::diam_mine::DiamMine;
+    use skinny_graph::{Label, LabeledGraph};
+
+    fn l(x: u32) -> Label {
+        Label(x)
+    }
+
+    /// Two disjoint copies of: backbone a-b-c-d-e (labels 0..4) with a twig
+    /// labeled 9 on the middle vertex c.
+    fn data() -> LabeledGraph {
+        let labels = vec![
+            l(0), l(1), l(2), l(3), l(4), l(9), // copy 1: 0..4 backbone, 5 twig on 2
+            l(0), l(1), l(2), l(3), l(4), l(9), // copy 2: 6..10 backbone, 11 twig on 8
+        ];
+        LabeledGraph::from_unlabeled_edges(
+            &labels,
+            [
+                (0, 1), (1, 2), (2, 3), (3, 4), (2, 5),
+                (6, 7), (7, 8), (8, 9), (9, 10), (8, 11),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn grow_with(config: &SkinnyMineConfig, g: &LabeledGraph) -> Vec<SkinnyPattern> {
+        let data = MiningData::Single(g);
+        let dm = DiamMine::new(data.clone(), config.sigma, config.support);
+        let seeds = dm.mine_exact(config.length.min_len());
+        let grower = LevelGrow::new(data, config);
+        let mut out = Vec::new();
+        for seed in &seeds {
+            out.extend(grower.grow_cluster(seed).patterns);
+        }
+        out
+    }
+
+    #[test]
+    fn grows_backbone_plus_twig() {
+        let g = data();
+        let config = SkinnyMineConfig::new(4, 2, 2).with_report(ReportMode::All);
+        let patterns = grow_with(&config, &g);
+        // expected patterns: the bare 5-vertex backbone and the backbone+twig
+        assert_eq!(patterns.len(), 2);
+        let sizes: Vec<usize> = patterns.iter().map(|p| p.vertex_count()).collect();
+        assert!(sizes.contains(&5));
+        assert!(sizes.contains(&6));
+        for p in &patterns {
+            assert_eq!(p.support, 2);
+            assert_eq!(p.diameter_len, 4);
+            // every reported pattern must genuinely satisfy the constraint
+            assert!(crate::constraints::satisfies_skinny_spec(
+                &p.graph,
+                4,
+                2,
+                &p.diameter_labels
+            ));
+            // embeddings must be genuine occurrences
+            for e in p.embeddings.iter() {
+                assert!(e.is_valid(&p.graph, &g));
+            }
+        }
+    }
+
+    #[test]
+    fn closed_mode_drops_non_closed_backbone() {
+        let g = data();
+        let config = SkinnyMineConfig::new(4, 2, 2).with_report(ReportMode::Closed);
+        let patterns = grow_with(&config, &g);
+        // the bare backbone has a same-support extension (the twig), so only
+        // the backbone+twig pattern is closed
+        assert_eq!(patterns.len(), 1);
+        assert_eq!(patterns[0].vertex_count(), 6);
+        assert!(patterns[0].closed);
+        assert!(patterns[0].maximal);
+    }
+
+    #[test]
+    fn maximal_mode_equals_closed_here() {
+        let g = data();
+        let config = SkinnyMineConfig::new(4, 2, 2).with_report(ReportMode::Maximal);
+        let patterns = grow_with(&config, &g);
+        assert_eq!(patterns.len(), 1);
+        assert_eq!(patterns[0].vertex_count(), 6);
+    }
+
+    #[test]
+    fn delta_zero_only_reports_paths() {
+        let g = data();
+        let config = SkinnyMineConfig::new(4, 0, 2).with_report(ReportMode::All);
+        let patterns = grow_with(&config, &g);
+        assert_eq!(patterns.len(), 1);
+        assert_eq!(patterns[0].vertex_count(), 5);
+        assert_eq!(patterns[0].skinniness, 0);
+    }
+
+    #[test]
+    fn exclude_diameter_paths_flag() {
+        let g = data();
+        let config = SkinnyMineConfig::new(4, 2, 2)
+            .with_report(ReportMode::All)
+            .with_diameter_paths(false);
+        let patterns = grow_with(&config, &g);
+        assert_eq!(patterns.len(), 1);
+        assert_eq!(patterns[0].vertex_count(), 6);
+    }
+
+    #[test]
+    fn fast_and_exact_modes_agree() {
+        let g = data();
+        let fast = SkinnyMineConfig::new(4, 2, 2)
+            .with_report(ReportMode::All)
+            .with_constraint_check(ConstraintCheckMode::Fast);
+        let exact = fast.clone().with_constraint_check(ConstraintCheckMode::Exact);
+        let pf = grow_with(&fast, &g);
+        let pe = grow_with(&exact, &g);
+        assert_eq!(pf.len(), pe.len());
+        let mut sf: Vec<usize> = pf.iter().map(|p| p.edge_count()).collect();
+        let mut se: Vec<usize> = pe.iter().map(|p| p.edge_count()).collect();
+        sf.sort();
+        se.sort();
+        assert_eq!(sf, se);
+    }
+
+    #[test]
+    fn infrequent_twig_not_grown() {
+        // only one copy has the twig -> twig pattern support 1 < sigma 2
+        let labels = vec![
+            l(0), l(1), l(2), l(3), l(4), l(9), // copy 1 with twig
+            l(0), l(1), l(2), l(3), l(4), // copy 2 without twig
+        ];
+        let g = LabeledGraph::from_unlabeled_edges(
+            &labels,
+            [
+                (0, 1), (1, 2), (2, 3), (3, 4), (2, 5),
+                (6, 7), (7, 8), (8, 9), (9, 10),
+            ],
+        )
+        .unwrap();
+        let config = SkinnyMineConfig::new(4, 2, 2).with_report(ReportMode::All);
+        let patterns = grow_with(&config, &g);
+        assert_eq!(patterns.len(), 1);
+        assert_eq!(patterns[0].vertex_count(), 5);
+    }
+
+    #[test]
+    fn level_two_twigs_grown_within_delta() {
+        // twig chains of length 2 on the middle vertex of both copies
+        let labels = vec![
+            l(0), l(1), l(2), l(3), l(4), l(8), l(9),
+            l(0), l(1), l(2), l(3), l(4), l(8), l(9),
+        ];
+        let g = LabeledGraph::from_unlabeled_edges(
+            &labels,
+            [
+                (0, 1), (1, 2), (2, 3), (3, 4), (2, 5), (5, 6),
+                (7, 8), (8, 9), (9, 10), (10, 11), (9, 12), (12, 13),
+            ],
+        )
+        .unwrap();
+        let all = SkinnyMineConfig::new(4, 2, 2).with_report(ReportMode::All);
+        let patterns = grow_with(&all, &g);
+        // the backbone cluster contributes: bare path, path+level1 twig,
+        // path+level1+level2 chain (other length-4 paths through the twig
+        // chain seed their own clusters and contribute further patterns)
+        let backbone: Vec<_> = patterns
+            .iter()
+            .filter(|p| p.diameter_labels == vec![l(0), l(1), l(2), l(3), l(4)])
+            .collect();
+        assert_eq!(backbone.len(), 3);
+        let max = patterns.iter().map(|p| p.vertex_count()).max().unwrap();
+        assert_eq!(max, 7);
+        // every reported pattern genuinely satisfies the constraint
+        for p in &patterns {
+            assert!(crate::constraints::satisfies_skinny_spec(&p.graph, 4, 2, &p.diameter_labels));
+        }
+        // with delta = 1 the level-2 twig is out of reach
+        let delta1 = SkinnyMineConfig::new(4, 1, 2).with_report(ReportMode::All);
+        let patterns1 = grow_with(&delta1, &g);
+        assert_eq!(patterns1.iter().map(|p| p.vertex_count()).max().unwrap(), 6);
+    }
+
+    #[test]
+    fn closure_jump_reports_the_closed_patterns() {
+        let g = data();
+        let exhaustive = SkinnyMineConfig::new(4, 2, 2).with_report(ReportMode::Closed);
+        let closure = exhaustive.clone().with_exploration(crate::config::Exploration::ClosureJump);
+        let pe = grow_with(&exhaustive, &g);
+        let pc = grow_with(&closure, &g);
+        // both report exactly the backbone+twig pattern
+        assert_eq!(pe.len(), 1);
+        assert_eq!(pc.len(), 1);
+        assert_eq!(pe[0].vertex_count(), pc[0].vertex_count());
+        assert_eq!(pe[0].support, pc[0].support);
+        assert!(pc[0].closed);
+        assert!(pc[0].maximal);
+    }
+
+    #[test]
+    fn closure_jump_finds_large_injected_pattern_without_subset_blowup() {
+        // backbone of length 6 with four twigs, two copies: the exhaustive
+        // exploration would enumerate every twig subset (2^4 patterns per
+        // copy); closure jumping must report just the full pattern while
+        // examining far fewer candidates
+        let mut labels = Vec::new();
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for _ in 0..2 {
+            let base = labels.len() as u32;
+            labels.extend((0..7u32).map(l));
+            for i in 0..6u32 {
+                edges.push((base + i, base + i + 1));
+            }
+            // twigs labeled 10..13 on interior vertices 1,2,3,4
+            for (k, pos) in [1u32, 2, 3, 4].iter().enumerate() {
+                labels.push(l(10 + k as u32));
+                let tv = labels.len() as u32 - 1;
+                edges.push((base + pos, tv));
+            }
+        }
+        let g = LabeledGraph::from_unlabeled_edges(&labels, edges).unwrap();
+        let config = SkinnyMineConfig::new(6, 2, 2)
+            .with_report(ReportMode::Closed)
+            .with_exploration(crate::config::Exploration::ClosureJump);
+        let data_view = MiningData::Single(&g);
+        let dm = DiamMine::new(data_view.clone(), 2, config.support);
+        let seeds = dm.mine_exact(6);
+        let backbone_seed = seeds
+            .iter()
+            .find(|s| s.key.vertex_labels == (0..7).map(l).collect::<Vec<_>>())
+            .expect("backbone path must be frequent");
+        let grower = LevelGrow::new(data_view, &config);
+        let outcome = grower.grow_cluster(backbone_seed);
+        assert_eq!(outcome.patterns.len(), 1);
+        assert_eq!(outcome.patterns[0].vertex_count(), 11);
+        assert!(outcome.patterns[0].closed);
+        // the exhaustive exploration of this cluster would examine >= 2^4
+        // distinct patterns; closure jumping pops only the root
+        assert!(outcome.examined <= 3, "examined {} patterns", outcome.examined);
+    }
+
+    #[test]
+    fn cluster_outcome_counters_populated() {
+        let g = data();
+        let config = SkinnyMineConfig::new(4, 2, 2).with_report(ReportMode::All);
+        let data_view = MiningData::Single(&g);
+        let dm = DiamMine::new(data_view.clone(), 2, config.support);
+        let seeds = dm.mine_exact(4);
+        assert_eq!(seeds.len(), 1);
+        let grower = LevelGrow::new(data_view, &config);
+        let outcome = grower.grow_cluster(&seeds[0]);
+        assert_eq!(outcome.patterns.len(), 2);
+        assert!(outcome.examined >= 2);
+        assert!(outcome.stats.constraint_checks > 0);
+        assert!(outcome.stats.level_grow.candidates_examined > 0);
+    }
+}

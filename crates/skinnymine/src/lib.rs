@@ -1,0 +1,80 @@
+//! # skinnymine
+//!
+//! A Rust reproduction of **SkinnyMine** from *"A Direct Mining Approach To
+//! Efficient Constrained Graph Pattern Discovery"* (Zhu, Zhang & Qu,
+//! SIGMOD 2013): direct mining of all frequent **l-long δ-skinny** graph
+//! patterns — patterns whose canonical diameter has length exactly `l` and
+//! whose every vertex lies within distance δ of that diameter.
+//!
+//! ## The two-stage algorithm
+//!
+//! 1. **DiamMine** ([`diam_mine`]) mines all frequent simple paths of length
+//!    `l` — the minimal constraint-satisfying patterns — by doubling
+//!    (concatenating paths of length `2^i`) and merging overlapping paths.
+//! 2. **LevelGrow** ([`level_grow`]) grows each such canonical diameter level
+//!    by level into every skinny pattern of its cluster, maintaining the
+//!    canonical diameter through the local Constraint I/II/III checks
+//!    ([`constraints`]) on the per-vertex `D_H` / `D_T` indices.
+//!
+//! The [`SkinnyMine`] driver runs both stages; [`MinimalPatternIndex`]
+//! pre-computes Stage I once and serves repeated requests with different `l`,
+//! which is the deployment depicted in Figure 2 of the paper.  The general
+//! direct-mining framework of §5 — constraints with **Reducibility** and
+//! **Continuity** — lives in [`framework`].
+//!
+//! ## Quick start
+//!
+//! ```
+//! use skinnymine::{SkinnyMine, SkinnyMineConfig, ReportMode};
+//! use skinny_graph::{LabeledGraph, Label};
+//!
+//! // a tiny graph with two occurrences of a 4-long backbone + twig
+//! let labels: Vec<Label> = [0, 1, 2, 3, 4, 9, 0, 1, 2, 3, 4, 9]
+//!     .iter().map(|&x| Label(x)).collect();
+//! let graph = LabeledGraph::from_unlabeled_edges(
+//!     &labels,
+//!     [(0, 1), (1, 2), (2, 3), (3, 4), (2, 5),
+//!      (6, 7), (7, 8), (8, 9), (9, 10), (8, 11)],
+//! ).unwrap();
+//!
+//! let config = SkinnyMineConfig::new(4, 2, 2).with_report(ReportMode::Closed);
+//! let result = SkinnyMine::new(config).mine(&graph).unwrap();
+//! for p in &result.patterns {
+//!     println!("{}", p.describe());
+//! }
+//! assert_eq!(result.patterns.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod constraints;
+pub mod data;
+pub mod diam_mine;
+pub mod error;
+pub mod framework;
+pub mod grown;
+pub mod level_grow;
+pub mod miner;
+pub mod path_pattern;
+pub mod pattern_index;
+pub mod result;
+pub mod stats;
+
+pub use config::{ConstraintCheckMode, Exploration, LengthConstraint, ReportMode, SkinnyMineConfig};
+pub use constraints::{check_extension, satisfies_skinny_spec, verify_canonical_diameter, ConstraintViolation};
+pub use data::MiningData;
+pub use diam_mine::DiamMine;
+pub use error::{MineError, MineResult};
+pub use framework::{
+    Continuous, DirectMiner, GraphConstraint, MaxDegreeConstraint, Reducible, RegularDegreeConstraint,
+    SkinnyConstraint, SkinnyDirectMiner,
+};
+pub use grown::{Extension, GrownPattern};
+pub use level_grow::LevelGrow;
+pub use miner::SkinnyMine;
+pub use path_pattern::{PathKey, PathPattern};
+pub use pattern_index::MinimalPatternIndex;
+pub use result::{MiningResult, SkinnyPattern};
+pub use stats::{MiningStats, StageStats};

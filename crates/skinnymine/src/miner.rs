@@ -1,0 +1,320 @@
+//! The top-level SkinnyMine driver (Algorithm 1): Stage I (DiamMine) followed
+//! by Stage II (LevelGrow) over every canonical-diameter cluster.
+
+use crate::config::SkinnyMineConfig;
+use crate::data::MiningData;
+use crate::diam_mine::DiamMine;
+use crate::error::{MineError, MineResult};
+use crate::level_grow::LevelGrow;
+use crate::path_pattern::PathPattern;
+use crate::result::{MiningResult, SkinnyPattern};
+use crate::stats::MiningStats;
+use skinny_graph::{GraphDatabase, LabeledGraph};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// The SkinnyMine miner.
+///
+/// ```
+/// use skinnymine::{SkinnyMine, SkinnyMineConfig, ReportMode};
+/// use skinny_graph::{LabeledGraph, Label};
+///
+/// // two copies of a 4-long backbone with a twig on the middle vertex
+/// let labels: Vec<Label> = [0, 1, 2, 3, 4, 9, 0, 1, 2, 3, 4, 9].iter().map(|&x| Label(x)).collect();
+/// let graph = LabeledGraph::from_unlabeled_edges(
+///     &labels,
+///     [(0, 1), (1, 2), (2, 3), (3, 4), (2, 5), (6, 7), (7, 8), (8, 9), (9, 10), (8, 11)],
+/// )
+/// .unwrap();
+///
+/// let config = SkinnyMineConfig::new(4, 2, 2).with_report(ReportMode::All);
+/// let result = SkinnyMine::new(config).mine(&graph).unwrap();
+/// assert_eq!(result.patterns.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SkinnyMine {
+    config: SkinnyMineConfig,
+}
+
+impl SkinnyMine {
+    /// Creates a miner with the given configuration.
+    pub fn new(config: SkinnyMineConfig) -> Self {
+        SkinnyMine { config }
+    }
+
+    /// The configuration of this miner.
+    pub fn config(&self) -> &SkinnyMineConfig {
+        &self.config
+    }
+
+    /// Mines a single data graph (the paper's Definition 8 setting).
+    pub fn mine(&self, graph: &LabeledGraph) -> MineResult<MiningResult> {
+        self.mine_data(MiningData::Single(graph))
+    }
+
+    /// Mines a graph-transaction database.
+    pub fn mine_database(&self, db: &GraphDatabase) -> MineResult<MiningResult> {
+        self.mine_data(MiningData::Transactions(db))
+    }
+
+    /// Mines either setting through the unified data view.
+    pub fn mine_data(&self, data: MiningData<'_>) -> MineResult<MiningResult> {
+        self.config.validate()?;
+        if data.is_empty() {
+            return Err(MineError::InvalidInput { reason: "the input data contains no vertices".into() });
+        }
+        let mut stats = MiningStats::default();
+
+        // ---------------- Stage I: DiamMine ----------------
+        let t0 = Instant::now();
+        let seeds = self.mine_seeds(&data);
+        stats.diam_mine.duration = t0.elapsed();
+        stats.diam_mine.patterns_out = seeds.len() as u64;
+        stats.clusters = seeds.len() as u64;
+
+        // ---------------- Stage II: LevelGrow ----------------
+        let t1 = Instant::now();
+        let mut patterns = if self.config.threads > 1 && seeds.len() > 1 {
+            self.grow_parallel(&data, &seeds, &mut stats)
+        } else {
+            self.grow_sequential(&data, &seeds, &mut stats)
+        };
+        stats.level_grow.duration = t1.elapsed();
+
+        // Deterministic output order: largest patterns first, then by cluster.
+        patterns.sort_by(|a, b| {
+            b.edge_count()
+                .cmp(&a.edge_count())
+                .then_with(|| b.vertex_count().cmp(&a.vertex_count()))
+                .then_with(|| a.diameter_labels.cmp(&b.diameter_labels))
+                .then_with(|| a.support.cmp(&b.support))
+        });
+        if let Some(cap) = self.config.max_patterns {
+            patterns.truncate(cap);
+        }
+        stats.reported_patterns = patterns.len() as u64;
+        stats.largest_pattern_edges = patterns.iter().map(|p| p.edge_count() as u64).max().unwrap_or(0);
+        stats.largest_pattern_vertices = patterns.iter().map(|p| p.vertex_count() as u64).max().unwrap_or(0);
+        stats.level_grow.patterns_out = patterns.len() as u64;
+        Ok(MiningResult { patterns, stats })
+    }
+
+    /// Stage I: mine the canonical-diameter seeds for every admissible length.
+    fn mine_seeds(&self, data: &MiningData<'_>) -> Vec<PathPattern> {
+        let dm = DiamMine::new(data.clone(), self.config.sigma, self.config.support);
+        let lo = self.config.length.min_len();
+        let hi = self.config.length.max_len();
+        dm.mine_range(lo, hi).into_values().flatten().collect()
+    }
+
+    fn grow_sequential(
+        &self,
+        data: &MiningData<'_>,
+        seeds: &[PathPattern],
+        stats: &mut MiningStats,
+    ) -> Vec<SkinnyPattern> {
+        let grower = LevelGrow::new(data.clone(), &self.config);
+        let mut out = Vec::new();
+        for seed in seeds {
+            let outcome = grower.grow_cluster(seed);
+            stats.merge(&outcome.stats);
+            stats.level_grow.candidates_examined += outcome.examined;
+            out.extend(outcome.patterns);
+        }
+        out
+    }
+
+    fn grow_parallel(
+        &self,
+        data: &MiningData<'_>,
+        seeds: &[PathPattern],
+        stats: &mut MiningStats,
+    ) -> Vec<SkinnyPattern> {
+        let next = AtomicUsize::new(0);
+        let workers = self.config.threads.min(seeds.len()).max(1);
+        let results = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let next = &next;
+                let config = &self.config;
+                let data = data.clone();
+                handles.push(scope.spawn(move |_| {
+                    let grower = LevelGrow::new(data, config);
+                    let mut local_patterns = Vec::new();
+                    let mut local_stats = MiningStats::default();
+                    let mut local_examined = 0u64;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= seeds.len() {
+                            break;
+                        }
+                        let outcome = grower.grow_cluster(&seeds[i]);
+                        local_stats.merge(&outcome.stats);
+                        local_examined += outcome.examined;
+                        local_patterns.extend(outcome.patterns);
+                    }
+                    (local_patterns, local_stats, local_examined)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("cluster-growth worker must not panic"))
+                .collect::<Vec<_>>()
+        })
+        .expect("crossbeam scope does not fail");
+
+        let mut out = Vec::new();
+        for (patterns, worker_stats, examined) in results {
+            stats.merge(&worker_stats);
+            stats.level_grow.candidates_examined += examined;
+            out.extend(patterns);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{LengthConstraint, ReportMode};
+    use skinny_graph::Label;
+
+    fn l(x: u32) -> Label {
+        Label(x)
+    }
+
+    /// Two copies of a 4-long backbone with a middle twig, as in the
+    /// level-grow tests, plus an extra frequent short path of length 2.
+    fn data() -> LabeledGraph {
+        let labels = vec![
+            l(0), l(1), l(2), l(3), l(4), l(9),
+            l(0), l(1), l(2), l(3), l(4), l(9),
+        ];
+        LabeledGraph::from_unlabeled_edges(
+            &labels,
+            [
+                (0, 1), (1, 2), (2, 3), (3, 4), (2, 5),
+                (6, 7), (7, 8), (8, 9), (9, 10), (8, 11),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn end_to_end_single_graph() {
+        let g = data();
+        let result = SkinnyMine::new(SkinnyMineConfig::new(4, 2, 2).with_report(ReportMode::All))
+            .mine(&g)
+            .unwrap();
+        assert_eq!(result.patterns.len(), 2);
+        assert_eq!(result.stats.clusters, 1);
+        assert_eq!(result.stats.reported_patterns, 2);
+        assert!(result.stats.diam_mine.patterns_out >= 1);
+        assert_eq!(result.stats.largest_pattern_vertices, 6);
+        // largest pattern is reported first
+        assert_eq!(result.patterns[0].vertex_count(), 6);
+    }
+
+    #[test]
+    fn length_range_request() {
+        let g = data();
+        let config = SkinnyMineConfig::new(4, 2, 2)
+            .with_length(LengthConstraint::Between(3, 4))
+            .with_report(ReportMode::All);
+        let result = SkinnyMine::new(config).mine(&g).unwrap();
+        // clusters for l = 3 (two label paths: 0..3 and 1..4) and l = 4
+        assert!(result.stats.clusters >= 3);
+        assert!(result.patterns.iter().any(|p| p.diameter_len == 3));
+        assert!(result.patterns.iter().any(|p| p.diameter_len == 4));
+        // no pattern outside the requested range
+        assert!(result.patterns.iter().all(|p| p.diameter_len >= 3 && p.diameter_len <= 4));
+    }
+
+    #[test]
+    fn at_least_request_stops_at_longest() {
+        let g = data();
+        let config = SkinnyMineConfig::new(4, 2, 2)
+            .with_length(LengthConstraint::AtLeast(4))
+            .with_report(ReportMode::All);
+        let result = SkinnyMine::new(config).mine(&g).unwrap();
+        // the longest frequent path has length 4 (twig chains break label equality)
+        assert!(result.patterns.iter().all(|p| p.diameter_len == 4));
+        assert!(!result.is_empty());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = data();
+        let base = SkinnyMineConfig::new(4, 2, 2)
+            .with_length(LengthConstraint::Between(2, 4))
+            .with_report(ReportMode::All);
+        let seq = SkinnyMine::new(base.clone()).mine(&g).unwrap();
+        let par = SkinnyMine::new(base.with_threads(4)).mine(&g).unwrap();
+        assert_eq!(seq.patterns.len(), par.patterns.len());
+        let sizes = |r: &MiningResult| {
+            let mut v: Vec<(usize, usize)> = r.patterns.iter().map(|p| (p.vertex_count(), p.edge_count())).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(sizes(&seq), sizes(&par));
+    }
+
+    #[test]
+    fn transaction_setting_end_to_end() {
+        let t = |with_twig: bool| {
+            let mut labels = vec![l(0), l(1), l(2), l(3), l(4)];
+            let mut edges = vec![(0u32, 1u32), (1, 2), (2, 3), (3, 4)];
+            if with_twig {
+                labels.push(l(9));
+                edges.push((2, 5));
+            }
+            LabeledGraph::from_unlabeled_edges(&labels, edges).unwrap()
+        };
+        let db = GraphDatabase::from_graphs(vec![t(true), t(true), t(false)]);
+        let config = SkinnyMineConfig::new(4, 2, 2)
+            .with_support_measure(skinny_graph::SupportMeasure::Transactions)
+            .with_report(ReportMode::All);
+        let result = SkinnyMine::new(config).mine_database(&db).unwrap();
+        // bare backbone: support 3; backbone+twig: support 2
+        assert_eq!(result.patterns.len(), 2);
+        let twig = result.patterns.iter().find(|p| p.vertex_count() == 6).unwrap();
+        assert_eq!(twig.support, 2);
+        let bare = result.patterns.iter().find(|p| p.vertex_count() == 5).unwrap();
+        assert_eq!(bare.support, 3);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        let g = LabeledGraph::new();
+        let err = SkinnyMine::new(SkinnyMineConfig::default()).mine(&g).unwrap_err();
+        assert!(matches!(err, MineError::InvalidInput { .. }));
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let g = data();
+        let err = SkinnyMine::new(SkinnyMineConfig::new(4, 2, 0)).mine(&g).unwrap_err();
+        assert!(matches!(err, MineError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn max_patterns_cap_applies() {
+        let g = data();
+        let config = SkinnyMineConfig::new(4, 2, 2)
+            .with_report(ReportMode::All)
+            .with_max_patterns(Some(1));
+        let result = SkinnyMine::new(config).mine(&g).unwrap();
+        assert_eq!(result.patterns.len(), 1);
+        // the cap keeps the largest pattern
+        assert_eq!(result.patterns[0].vertex_count(), 6);
+    }
+
+    #[test]
+    fn no_frequent_path_of_requested_length_gives_empty_result() {
+        let g = data();
+        let config = SkinnyMineConfig::new(10, 2, 2);
+        let result = SkinnyMine::new(config).mine(&g).unwrap();
+        assert!(result.is_empty());
+        assert_eq!(result.stats.clusters, 0);
+    }
+}

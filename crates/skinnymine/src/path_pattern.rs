@@ -1,0 +1,237 @@
+//! Frequent simple-path patterns — the minimal constraint-satisfying
+//! patterns of the skinny constraint.
+//!
+//! A [`PathPattern`] is a labeled path (vertex label sequence plus edge label
+//! sequence) together with the list of its occurrences in the data.  Patterns
+//! are stored in a canonical orientation (the smaller of the forward and
+//! reversed label sequences) so each undirected path pattern has exactly one
+//! representation, and each undirected occurrence is stored exactly once.
+
+use serde::{Deserialize, Serialize};
+use skinny_graph::{Embedding, EmbeddingSet, Label, LabeledGraph, SupportMeasure, VertexId};
+
+/// The canonical identity of a labeled path: vertex labels and edge labels in
+/// canonical orientation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PathKey {
+    /// Vertex labels along the path (length = edges + 1).
+    pub vertex_labels: Vec<Label>,
+    /// Edge labels along the path (length = edges).
+    pub edge_labels: Vec<Label>,
+}
+
+impl PathKey {
+    /// Builds the canonical key from a directed label sequence, returning the
+    /// key and whether the sequence had to be reversed to reach canonical
+    /// orientation.
+    pub fn canonical(vertex_labels: Vec<Label>, edge_labels: Vec<Label>) -> (PathKey, bool) {
+        let rev_v: Vec<Label> = vertex_labels.iter().rev().copied().collect();
+        let rev_e: Vec<Label> = edge_labels.iter().rev().copied().collect();
+        let fwd = (vertex_labels, edge_labels);
+        let rev = (rev_v, rev_e);
+        if rev < fwd {
+            (PathKey { vertex_labels: rev.0, edge_labels: rev.1 }, true)
+        } else {
+            (PathKey { vertex_labels: fwd.0, edge_labels: fwd.1 }, false)
+        }
+    }
+
+    /// Path length in edges.
+    pub fn len(&self) -> usize {
+        self.edge_labels.len()
+    }
+
+    /// True for the degenerate empty key.
+    pub fn is_empty(&self) -> bool {
+        self.vertex_labels.is_empty()
+    }
+
+    /// True when the key reads the same forwards and backwards, in which case
+    /// occurrences additionally need an id-based orientation rule.
+    pub fn is_palindromic(&self) -> bool {
+        let rev_v: Vec<Label> = self.vertex_labels.iter().rev().copied().collect();
+        let rev_e: Vec<Label> = self.edge_labels.iter().rev().copied().collect();
+        rev_v == self.vertex_labels && rev_e == self.edge_labels
+    }
+}
+
+/// A frequent simple-path pattern with its occurrences.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PathPattern {
+    /// Canonical identity of the path.
+    pub key: PathKey,
+    /// Occurrences, one per undirected occurrence in the data; the vertex
+    /// sequence of each occurrence reads in the key's canonical orientation
+    /// (palindromic keys use the smaller vertex-id sequence).
+    pub embeddings: EmbeddingSet,
+}
+
+impl PathPattern {
+    /// Creates an empty pattern for a key.
+    pub fn new(key: PathKey) -> Self {
+        PathPattern { key, embeddings: EmbeddingSet::new() }
+    }
+
+    /// Path length in edges.
+    pub fn len(&self) -> usize {
+        self.key.len()
+    }
+
+    /// True for a pattern with no occurrence recorded.
+    pub fn is_empty(&self) -> bool {
+        self.embeddings.is_empty()
+    }
+
+    /// Support of the pattern under the chosen measure.
+    pub fn support(&self, measure: SupportMeasure) -> usize {
+        self.embeddings.support(measure)
+    }
+
+    /// Adds an occurrence given as a *directed* vertex sequence in
+    /// transaction `t` whose labels follow `reversed == false` forward /
+    /// `reversed == true` backward relative to the canonical key.  The
+    /// occurrence is re-oriented into canonical form before storage.
+    pub fn add_occurrence(&mut self, t: usize, mut vertices: Vec<VertexId>, reversed: bool) {
+        if reversed {
+            vertices.reverse();
+        }
+        if self.key.is_palindromic() {
+            // palindromic pattern: both orientations match the key, pick the
+            // id-smaller one so each undirected occurrence is stored once
+            let rev: Vec<VertexId> = vertices.iter().rev().copied().collect();
+            if rev < vertices {
+                vertices = rev;
+            }
+        }
+        self.embeddings.push(Embedding::in_transaction(vertices, t));
+    }
+
+    /// Removes exact duplicate occurrences (same transaction and vertex
+    /// sequence).
+    pub fn dedup(&mut self) {
+        self.embeddings.dedup_exact();
+    }
+
+    /// Materializes the pattern as a standalone path-shaped [`LabeledGraph`]
+    /// whose vertices `0..=len` carry the canonical labels in order.
+    pub fn to_graph(&self) -> LabeledGraph {
+        let mut g = LabeledGraph::with_capacity(self.key.vertex_labels.len());
+        for &l in &self.key.vertex_labels {
+            g.add_vertex(l);
+        }
+        for (i, &el) in self.key.edge_labels.iter().enumerate() {
+            g.add_edge(VertexId(i as u32), VertexId(i as u32 + 1), el)
+                .expect("sequential path edges are always valid");
+        }
+        g
+    }
+
+    /// Builds the canonical key and orientation flag for a directed
+    /// occurrence read off a data graph.
+    pub fn key_of_occurrence(graph: &LabeledGraph, vertices: &[VertexId]) -> (PathKey, bool) {
+        let vlabels: Vec<Label> = vertices.iter().map(|&v| graph.label(v)).collect();
+        let elabels: Vec<Label> = vertices
+            .windows(2)
+            .map(|w| graph.edge_label(w[0], w[1]).unwrap_or(Label::DEFAULT_EDGE))
+            .collect();
+        PathKey::canonical(vlabels, elabels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(x: u32) -> Label {
+        Label(x)
+    }
+
+    #[test]
+    fn canonical_key_picks_smaller_orientation() {
+        let (key, reversed) = PathKey::canonical(vec![l(3), l(1), l(0)], vec![l(0), l(0)]);
+        assert!(reversed);
+        assert_eq!(key.vertex_labels, vec![l(0), l(1), l(3)]);
+        let (key2, reversed2) = PathKey::canonical(vec![l(0), l(1), l(3)], vec![l(0), l(0)]);
+        assert!(!reversed2);
+        assert_eq!(key, key2);
+    }
+
+    #[test]
+    fn canonical_key_considers_edge_labels() {
+        // vertex labels palindromic, edge labels break the tie
+        let (key, reversed) = PathKey::canonical(vec![l(0), l(1), l(0)], vec![l(5), l(2)]);
+        assert!(reversed);
+        assert_eq!(key.edge_labels, vec![l(2), l(5)]);
+    }
+
+    #[test]
+    fn palindromic_detection() {
+        let (key, _) = PathKey::canonical(vec![l(0), l(1), l(0)], vec![l(2), l(2)]);
+        assert!(key.is_palindromic());
+        let (key, _) = PathKey::canonical(vec![l(0), l(1), l(2)], vec![l(0), l(0)]);
+        assert!(!key.is_palindromic());
+        assert_eq!(key.len(), 2);
+        assert!(!key.is_empty());
+    }
+
+    #[test]
+    fn add_occurrence_reorients() {
+        let (key, _) = PathKey::canonical(vec![l(0), l(1), l(2)], vec![l(0), l(0)]);
+        let mut p = PathPattern::new(key);
+        // a reversed occurrence gets flipped into canonical orientation
+        p.add_occurrence(0, vec![VertexId(9), VertexId(5), VertexId(3)], true);
+        assert_eq!(p.embeddings.embeddings[0].vertices, vec![VertexId(3), VertexId(5), VertexId(9)]);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn palindromic_occurrences_stored_once() {
+        let (key, _) = PathKey::canonical(vec![l(1), l(1)], vec![l(0)]);
+        assert!(key.is_palindromic());
+        let mut p = PathPattern::new(key);
+        p.add_occurrence(0, vec![VertexId(4), VertexId(2)], false);
+        p.add_occurrence(0, vec![VertexId(2), VertexId(4)], false);
+        p.dedup();
+        assert_eq!(p.embeddings.len(), 1);
+        assert_eq!(p.embeddings.embeddings[0].vertices, vec![VertexId(2), VertexId(4)]);
+    }
+
+    #[test]
+    fn support_measures_delegate() {
+        let (key, _) = PathKey::canonical(vec![l(0), l(1)], vec![l(0)]);
+        let mut p = PathPattern::new(key);
+        p.add_occurrence(0, vec![VertexId(0), VertexId(1)], false);
+        p.add_occurrence(1, vec![VertexId(2), VertexId(3)], false);
+        assert_eq!(p.support(SupportMeasure::EmbeddingCount), 2);
+        assert_eq!(p.support(SupportMeasure::DistinctVertexSets), 2);
+        assert_eq!(p.support(SupportMeasure::Transactions), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn to_graph_builds_a_path() {
+        let (key, _) = PathKey::canonical(vec![l(0), l(1), l(2)], vec![l(7), l(8)]);
+        let p = PathPattern::new(key);
+        let g = p.to_graph();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.label(VertexId(1)), l(1));
+        assert_eq!(g.edge_label(VertexId(0), VertexId(1)), Some(l(7)));
+        assert_eq!(g.edge_label(VertexId(1), VertexId(2)), Some(l(8)));
+    }
+
+    #[test]
+    fn key_of_occurrence_reads_data_labels() {
+        let g = LabeledGraph::from_parts(
+            &[l(5), l(1), l(3)],
+            [(0u32, 1u32, l(9)), (1, 2, l(4))],
+        )
+        .unwrap();
+        let (key, reversed) =
+            PathPattern::key_of_occurrence(&g, &[VertexId(0), VertexId(1), VertexId(2)]);
+        // forward labels [5,1,3]; reversed [3,1,5] is smaller
+        assert!(reversed);
+        assert_eq!(key.vertex_labels, vec![l(3), l(1), l(5)]);
+        assert_eq!(key.edge_labels, vec![l(4), l(9)]);
+    }
+}

@@ -1,0 +1,291 @@
+//! The pre-computed minimal-pattern index of the direct mining framework.
+//!
+//! In the architectural view of Figure 2, the direct mining framework
+//! *pre-computes* all minimal constraint-satisfying patterns (for the skinny
+//! constraint: the frequent simple paths), indexes them by the constraint
+//! parameter `l` together with their embeddings, and then serves a sequence
+//! of mining requests with different `l` (and δ) by fetching the relevant
+//! minimal patterns and running only the constraint-preserving growth.
+//!
+//! [`MinimalPatternIndex`] is that index: build it once per data graph and
+//! support threshold, then answer any number of [`MinimalPatternIndex::request`]s
+//! without re-running Stage I.
+
+use crate::config::{LengthConstraint, ReportMode, SkinnyMineConfig};
+use crate::data::MiningData;
+use crate::diam_mine::DiamMine;
+use crate::error::{MineError, MineResult};
+use crate::level_grow::LevelGrow;
+use crate::path_pattern::PathPattern;
+use crate::result::MiningResult;
+use crate::stats::MiningStats;
+use skinny_graph::{GraphDatabase, LabeledGraph, SupportMeasure};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// The data a pattern index was built over (owned copy, so the index can
+/// outlive the borrowed input).
+#[derive(Debug, Clone)]
+enum OwnedData {
+    /// Single-graph setting.
+    Single(LabeledGraph),
+    /// Graph-transaction setting.
+    Transactions(GraphDatabase),
+}
+
+impl OwnedData {
+    fn view(&self) -> MiningData<'_> {
+        match self {
+            OwnedData::Single(g) => MiningData::Single(g),
+            OwnedData::Transactions(db) => MiningData::Transactions(db),
+        }
+    }
+}
+
+/// Pre-computed frequent paths (minimal constraint-satisfying patterns)
+/// indexed by length, with their embeddings.
+#[derive(Debug, Clone)]
+pub struct MinimalPatternIndex {
+    data: OwnedData,
+    sigma: usize,
+    support: SupportMeasure,
+    by_length: BTreeMap<usize, Vec<PathPattern>>,
+    build_time: std::time::Duration,
+}
+
+impl MinimalPatternIndex {
+    /// Builds the index over a single graph for every frequent path length up
+    /// to `max_len` (`None` = up to the longest frequent path).
+    pub fn build(graph: &LabeledGraph, sigma: usize, support: SupportMeasure, max_len: Option<usize>) -> Self {
+        Self::build_owned(OwnedData::Single(graph.clone()), sigma, support, max_len)
+    }
+
+    /// Builds the index over a graph-transaction database.
+    pub fn build_for_database(
+        db: &GraphDatabase,
+        sigma: usize,
+        support: SupportMeasure,
+        max_len: Option<usize>,
+    ) -> Self {
+        Self::build_owned(OwnedData::Transactions(db.clone()), sigma, support, max_len)
+    }
+
+    fn build_owned(data: OwnedData, sigma: usize, support: SupportMeasure, max_len: Option<usize>) -> Self {
+        let t0 = Instant::now();
+        let by_length = {
+            let view = data.view();
+            let dm = DiamMine::new(view, sigma, support);
+            dm.mine_range(1, max_len)
+        };
+        MinimalPatternIndex { data, sigma, support, by_length, build_time: t0.elapsed() }
+    }
+
+    /// Support threshold the index was built with.
+    pub fn sigma(&self) -> usize {
+        self.sigma
+    }
+
+    /// Support measure the index was built with.
+    pub fn support_measure(&self) -> SupportMeasure {
+        self.support
+    }
+
+    /// Time spent building the index (the pre-computation cost that is
+    /// amortized over all subsequent requests).
+    pub fn build_time(&self) -> std::time::Duration {
+        self.build_time
+    }
+
+    /// Lengths for which at least one frequent path exists, ascending.
+    pub fn available_lengths(&self) -> Vec<usize> {
+        self.by_length.keys().copied().collect()
+    }
+
+    /// The longest frequent path length, if any.
+    pub fn max_available_length(&self) -> Option<usize> {
+        self.by_length.keys().next_back().copied()
+    }
+
+    /// The minimal patterns (frequent paths) of length exactly `l`.
+    pub fn minimal_patterns(&self, l: usize) -> &[PathPattern] {
+        self.by_length.get(&l).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total number of indexed minimal patterns.
+    pub fn len(&self) -> usize {
+        self.by_length.values().map(Vec::len).sum()
+    }
+
+    /// True when no frequent path was found at all.
+    pub fn is_empty(&self) -> bool {
+        self.by_length.is_empty()
+    }
+
+    /// Serves one mining request: grows the pre-computed minimal patterns of
+    /// every admissible length under the request's δ / report settings.
+    ///
+    /// The request's `sigma` must not be below the index's `sigma` (the index
+    /// would be missing minimal patterns otherwise) and the support measure
+    /// must match.
+    pub fn request(&self, config: &SkinnyMineConfig) -> MineResult<MiningResult> {
+        config.validate()?;
+        if config.sigma < self.sigma {
+            return Err(MineError::InvalidConfig {
+                reason: format!(
+                    "request support threshold {} is below the index threshold {}",
+                    config.sigma, self.sigma
+                ),
+            });
+        }
+        if config.support != self.support {
+            return Err(MineError::InvalidConfig {
+                reason: "request support measure differs from the index support measure".into(),
+            });
+        }
+        let mut stats = MiningStats::default();
+        stats.diam_mine.duration = std::time::Duration::ZERO; // already pre-computed
+        let data = self.data.view();
+        let grower = LevelGrow::new(data, config);
+        let t0 = Instant::now();
+        let mut patterns = Vec::new();
+        let mut clusters = 0u64;
+        for (&l, seeds) in &self.by_length {
+            if !config.length.admits(l) {
+                continue;
+            }
+            for seed in seeds {
+                if seed.support(config.support) < config.sigma {
+                    continue;
+                }
+                clusters += 1;
+                let outcome = grower.grow_cluster(seed);
+                stats.merge(&outcome.stats);
+                patterns.extend(outcome.patterns);
+            }
+        }
+        stats.level_grow.duration = t0.elapsed();
+        stats.clusters = clusters;
+        patterns.sort_by(|a, b| b.edge_count().cmp(&a.edge_count()).then_with(|| a.diameter_labels.cmp(&b.diameter_labels)));
+        if let Some(cap) = config.max_patterns {
+            patterns.truncate(cap);
+        }
+        stats.reported_patterns = patterns.len() as u64;
+        stats.largest_pattern_edges = patterns.iter().map(|p| p.edge_count() as u64).max().unwrap_or(0);
+        stats.largest_pattern_vertices = patterns.iter().map(|p| p.vertex_count() as u64).max().unwrap_or(0);
+        Ok(MiningResult { patterns, stats })
+    }
+
+    /// Convenience request builder: mine all `l`-long `delta`-skinny patterns
+    /// from the index at the index's own support threshold.
+    pub fn request_exact(&self, l: usize, delta: u32, report: ReportMode) -> MineResult<MiningResult> {
+        let config = SkinnyMineConfig::new(l, delta, self.sigma)
+            .with_support_measure(self.support)
+            .with_report(report)
+            .with_length(LengthConstraint::Exactly(l));
+        self.request(&config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::miner::SkinnyMine;
+    use skinny_graph::Label;
+
+    fn l(x: u32) -> Label {
+        Label(x)
+    }
+
+    fn data() -> LabeledGraph {
+        // two copies of backbone 0..4 with a twig on the middle
+        let labels = vec![
+            l(0), l(1), l(2), l(3), l(4), l(9),
+            l(0), l(1), l(2), l(3), l(4), l(9),
+        ];
+        LabeledGraph::from_unlabeled_edges(
+            &labels,
+            [
+                (0, 1), (1, 2), (2, 3), (3, 4), (2, 5),
+                (6, 7), (7, 8), (8, 9), (9, 10), (8, 11),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn index_contains_all_lengths() {
+        let g = data();
+        let idx = MinimalPatternIndex::build(&g, 2, SupportMeasure::DistinctVertexSets, None);
+        assert_eq!(idx.available_lengths(), vec![1, 2, 3, 4]);
+        assert_eq!(idx.max_available_length(), Some(4));
+        assert!(!idx.is_empty());
+        assert!(idx.len() >= 4);
+        assert_eq!(idx.minimal_patterns(4).len(), 1);
+        assert!(idx.minimal_patterns(9).is_empty());
+        assert_eq!(idx.sigma(), 2);
+        assert_eq!(idx.support_measure(), SupportMeasure::DistinctVertexSets);
+    }
+
+    #[test]
+    fn request_matches_direct_mining() {
+        let g = data();
+        let idx = MinimalPatternIndex::build(&g, 2, SupportMeasure::DistinctVertexSets, None);
+        let config = SkinnyMineConfig::new(4, 2, 2).with_report(ReportMode::All);
+        let via_index = idx.request(&config).unwrap();
+        let direct = SkinnyMine::new(config).mine(&g).unwrap();
+        assert_eq!(via_index.patterns.len(), direct.patterns.len());
+        let sizes = |r: &MiningResult| {
+            let mut v: Vec<usize> = r.patterns.iter().map(|p| p.edge_count()).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(sizes(&via_index), sizes(&direct));
+        // the index serves the request without re-running Stage I
+        assert_eq!(via_index.stats.diam_mine.duration, std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn repeated_requests_with_varied_l() {
+        let g = data();
+        let idx = MinimalPatternIndex::build(&g, 2, SupportMeasure::DistinctVertexSets, None);
+        for l_req in 1..=4 {
+            let r = idx.request_exact(l_req, 2, ReportMode::All).unwrap();
+            assert!(r.patterns.iter().all(|p| p.diameter_len == l_req));
+            assert!(!r.is_empty(), "length {l_req} should yield patterns");
+        }
+        // a length with no frequent path yields an empty result, not an error
+        let r = idx.request_exact(7, 2, ReportMode::All).unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn request_rejects_lower_sigma_or_other_measure() {
+        let g = data();
+        let idx = MinimalPatternIndex::build(&g, 2, SupportMeasure::DistinctVertexSets, None);
+        let lower_sigma = SkinnyMineConfig::new(4, 2, 1);
+        assert!(idx.request(&lower_sigma).is_err());
+        let other_measure = SkinnyMineConfig::new(4, 2, 2).with_support_measure(SupportMeasure::EmbeddingCount);
+        assert!(idx.request(&other_measure).is_err());
+        // higher sigma is fine: seeds are re-filtered
+        let higher_sigma = SkinnyMineConfig::new(4, 2, 3);
+        let r = idx.request(&higher_sigma).unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn bounded_build_length() {
+        let g = data();
+        let idx = MinimalPatternIndex::build(&g, 2, SupportMeasure::DistinctVertexSets, Some(2));
+        assert_eq!(idx.available_lengths(), vec![1, 2]);
+    }
+
+    #[test]
+    fn database_index() {
+        let g = data();
+        let db = GraphDatabase::from_graphs(vec![g.clone(), g]);
+        let idx = MinimalPatternIndex::build_for_database(&db, 2, SupportMeasure::Transactions, Some(4));
+        assert!(idx.available_lengths().contains(&4));
+        let r = idx.request_exact(4, 2, ReportMode::All).unwrap();
+        assert!(!r.is_empty());
+    }
+}

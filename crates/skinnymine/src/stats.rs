@@ -1,0 +1,135 @@
+//! Runtime statistics collected during mining.
+//!
+//! The paper's scalability experiments (Figures 14–18) report the runtime of
+//! the two stages separately; [`MiningStats`] captures those break-downs plus
+//! counters that expose how much work the constraint maintenance machinery
+//! saved (used by the ablation benchmarks).
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Statistics of a single mining stage.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageStats {
+    /// Wall-clock time spent in the stage.
+    pub duration: Duration,
+    /// Number of candidate patterns examined.
+    pub candidates_examined: u64,
+    /// Number of frequent patterns produced by the stage.
+    pub patterns_out: u64,
+}
+
+impl StageStats {
+    /// Milliseconds of wall-clock time (convenience for reports).
+    pub fn millis(&self) -> f64 {
+        self.duration.as_secs_f64() * 1e3
+    }
+}
+
+/// Full statistics of a SkinnyMine run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MiningStats {
+    /// Stage I (DiamMine): mining canonical diameters.
+    pub diam_mine: StageStats,
+    /// Stage II (LevelGrow): growing canonical diameters to skinny patterns.
+    pub level_grow: StageStats,
+    /// Number of edge-extension constraint checks performed.
+    pub constraint_checks: u64,
+    /// Extensions rejected by Constraint I (diameter would grow).
+    pub rejected_constraint_i: u64,
+    /// Extensions rejected by Constraint II (head–tail distance would shrink).
+    pub rejected_constraint_ii: u64,
+    /// Extensions rejected by Constraint III (smaller canonical diameter created).
+    pub rejected_constraint_iii: u64,
+    /// Extensions rejected because the extended pattern fell below the
+    /// support threshold.
+    pub rejected_infrequent: u64,
+    /// Full canonical-diameter recomputations triggered (Fast mode fallback
+    /// or every extension in Exact mode).
+    pub full_diameter_recomputations: u64,
+    /// Number of distinct canonical-diameter clusters grown.
+    pub clusters: u64,
+    /// Number of patterns in the reported result.
+    pub reported_patterns: u64,
+    /// Largest reported pattern size in edges.
+    pub largest_pattern_edges: u64,
+    /// Largest reported pattern size in vertices.
+    pub largest_pattern_vertices: u64,
+}
+
+impl MiningStats {
+    /// Total wall-clock time across both stages.
+    pub fn total_duration(&self) -> Duration {
+        self.diam_mine.duration + self.level_grow.duration
+    }
+
+    /// Merges the counters of another stats object into this one (used when
+    /// clusters are grown in parallel and per-worker stats are combined).
+    pub fn merge(&mut self, other: &MiningStats) {
+        self.constraint_checks += other.constraint_checks;
+        self.rejected_constraint_i += other.rejected_constraint_i;
+        self.rejected_constraint_ii += other.rejected_constraint_ii;
+        self.rejected_constraint_iii += other.rejected_constraint_iii;
+        self.rejected_infrequent += other.rejected_infrequent;
+        self.full_diameter_recomputations += other.full_diameter_recomputations;
+        self.level_grow.candidates_examined += other.level_grow.candidates_examined;
+        self.level_grow.patterns_out += other.level_grow.patterns_out;
+    }
+
+    /// A one-line human readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "DiamMine {:.1} ms ({} paths) | LevelGrow {:.1} ms ({} patterns) | checks {} | rejects I/II/III/freq {}/{}/{}/{} | recomputes {}",
+            self.diam_mine.millis(),
+            self.diam_mine.patterns_out,
+            self.level_grow.millis(),
+            self.reported_patterns,
+            self.constraint_checks,
+            self.rejected_constraint_i,
+            self.rejected_constraint_ii,
+            self.rejected_constraint_iii,
+            self.rejected_infrequent,
+            self.full_diameter_recomputations,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_duration_sums_stages() {
+        let mut s = MiningStats::default();
+        s.diam_mine.duration = Duration::from_millis(30);
+        s.level_grow.duration = Duration::from_millis(70);
+        assert_eq!(s.total_duration(), Duration::from_millis(100));
+        assert!((s.diam_mine.millis() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_accumulates_counters() {
+        let mut a = MiningStats { constraint_checks: 5, rejected_constraint_i: 1, ..Default::default() };
+        let b = MiningStats {
+            constraint_checks: 7,
+            rejected_constraint_ii: 2,
+            rejected_constraint_iii: 3,
+            rejected_infrequent: 4,
+            full_diameter_recomputations: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.constraint_checks, 12);
+        assert_eq!(a.rejected_constraint_i, 1);
+        assert_eq!(a.rejected_constraint_ii, 2);
+        assert_eq!(a.rejected_constraint_iii, 3);
+        assert_eq!(a.rejected_infrequent, 4);
+        assert_eq!(a.full_diameter_recomputations, 1);
+    }
+
+    #[test]
+    fn summary_contains_counts() {
+        let s = MiningStats { reported_patterns: 42, ..Default::default() };
+        assert!(s.summary().contains("42 patterns"));
+    }
+}

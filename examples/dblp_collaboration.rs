@@ -1,0 +1,55 @@
+//! DBLP temporal collaboration scenario (§6.3): mine 20-year collaboration
+//! trajectories from a (simulated) corpus of per-author time-line graphs and
+//! read off the career patterns the paper showcases (Figures 21–22).
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example dblp_collaboration
+//! ```
+
+use skinny_datagen::{dblp, generate_dblp, DblpConfig};
+use skinny_graph::SupportMeasure;
+use skinnymine::{Exploration, LengthConstraint, ReportMode, SkinnyMine, SkinnyMineConfig};
+
+fn main() {
+    // Simulated DBLP corpus: 400 authors with 20+ year careers; 20% follow
+    // the "collaborate with increasingly senior co-authors" trajectory.
+    let corpus = generate_dblp(&DblpConfig { authors: 400, ..Default::default() });
+    println!(
+        "author corpus: {} time-line graphs, {} vertices in total",
+        corpus.len(),
+        corpus.total_vertices()
+    );
+
+    // Patterns across 20 years and above, interaction twigs of depth <= 2,
+    // appearing in at least 5 author careers.
+    let config = SkinnyMineConfig::new(20, 2, 5)
+        .with_length(LengthConstraint::AtLeast(20))
+        .with_support_measure(SupportMeasure::Transactions)
+        .with_report(ReportMode::Closed)
+        .with_exploration(Exploration::ClosureJump);
+    let started = std::time::Instant::now();
+    let result = SkinnyMine::new(config).mine_database(&corpus).expect("corpus is non-empty");
+    println!(
+        "\nfound {} frequent temporal collaboration patterns (diameter >= 20) in {:.2?}",
+        result.patterns.len(),
+        started.elapsed()
+    );
+
+    let labels = dblp::dblp_label_table();
+    for pattern in result.patterns.iter().take(3) {
+        println!("\n  {}", pattern.describe());
+        // summarize the collaboration twigs along the time-line
+        let mut twigs: Vec<String> = pattern
+            .graph
+            .labels()
+            .iter()
+            .filter(|&&l| l != dblp::YEAR_LABEL)
+            .map(|&l| labels.name_or_placeholder(l))
+            .collect();
+        twigs.sort();
+        println!("  collaboration milestones on the time-line: {}", twigs.join(", "));
+    }
+
+    println!("\ndblp example OK");
+}

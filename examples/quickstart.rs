@@ -1,0 +1,53 @@
+//! Quickstart: build a small labeled graph, mine its l-long δ-skinny
+//! patterns with SkinnyMine, and inspect the result.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use skinny_graph::{Label, LabeledGraph};
+use skinnymine::{ReportMode, SkinnyMine, SkinnyMineConfig};
+
+fn main() {
+    // A toy "trajectory" graph: two users repeat the same 6-stop route
+    // (the backbone) and each stop has a point-of-interest attached (a twig).
+    // Labels 0..6 are stops, labels 10.. are points of interest.
+    let mut graph = LabeledGraph::new();
+    for copy in 0..2 {
+        // backbone: stops 0-1-2-3-4-5-6
+        let stops: Vec<_> = (0..7).map(|s| graph.add_vertex(Label(s))).collect();
+        for w in stops.windows(2) {
+            graph.add_unlabeled_edge(w[0], w[1]).expect("fresh backbone edge");
+        }
+        // twigs: a cafe at stop 2 and a museum at stop 4
+        let cafe = graph.add_vertex(Label(10));
+        let museum = graph.add_vertex(Label(11));
+        graph.add_unlabeled_edge(stops[2], cafe).expect("fresh twig edge");
+        graph.add_unlabeled_edge(stops[4], museum).expect("fresh twig edge");
+        let _ = copy;
+    }
+    println!("data graph: {} vertices, {} edges", graph.vertex_count(), graph.edge_count());
+
+    // Mine all 6-long 2-skinny patterns that occur at least twice.
+    let config = SkinnyMineConfig::new(6, 2, 2).with_report(ReportMode::Closed);
+    let result = SkinnyMine::new(config).mine(&graph).expect("mining succeeds on this graph");
+
+    println!("\nStage I found {} canonical diameter(s)", result.stats.diam_mine.patterns_out);
+    println!("reported {} closed skinny pattern(s):\n", result.patterns.len());
+    for pattern in &result.patterns {
+        println!("  {}", pattern.describe());
+        println!(
+        "    diameter labels: {:?}",
+            pattern.diameter_labels.iter().map(|l| l.id()).collect::<Vec<_>>()
+        );
+        println!("    embeddings: {}", pattern.embeddings.len());
+    }
+    println!("\nstats: {}", result.stats.summary());
+
+    // The largest pattern recovers the full route with both points of interest.
+    let largest = result.patterns.first().expect("at least one pattern");
+    assert_eq!(largest.diameter_len, 6);
+    assert!(largest.vertex_count() >= 9);
+    println!("\nquickstart OK: recovered the {}-vertex trajectory pattern", largest.vertex_count());
+}

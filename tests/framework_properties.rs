@@ -1,0 +1,163 @@
+//! Property-based integration tests of the core invariants, spanning the
+//! graph substrate, the miner and the direct-mining framework:
+//!
+//! * the canonical diameter is unique and invariant under vertex relabeling;
+//! * the fast Constraint I–III checks agree with full canonical-diameter
+//!   recomputation (Lemma 1 / Theorems 1–3);
+//! * mined patterns always satisfy the l-long δ-skinny specification;
+//! * the skinny constraint is reducible and continuous on random patterns
+//!   (Properties 1 and 2 of §5).
+
+use proptest::prelude::*;
+use skinny_graph::{analyze, are_isomorphic, canonical_key, Label, LabeledGraph, VertexId};
+use skinnymine::{
+    ConstraintCheckMode, Continuous, Exploration, GraphConstraint, ReportMode, SkinnyConstraint,
+    SkinnyMine, SkinnyMineConfig,
+};
+
+/// Strategy: a small random connected labeled graph built from a random
+/// spanning tree plus random extra edges.
+fn connected_graph(max_vertices: usize, max_labels: u32) -> impl Strategy<Value = LabeledGraph> {
+    (2..=max_vertices).prop_flat_map(move |n| {
+        let labels = proptest::collection::vec(0..max_labels, n);
+        let parents: Vec<_> = (1..n).map(|i| 0..i).collect();
+        let extra = proptest::collection::vec((0..n, 0..n), 0..=n);
+        (labels, parents, extra).prop_map(move |(labels, parents, extra)| {
+            let labels: Vec<Label> = labels.into_iter().map(Label).collect();
+            let mut g = LabeledGraph::new();
+            for &l in &labels {
+                g.add_vertex(l);
+            }
+            for (child, parent) in parents.into_iter().enumerate() {
+                let _ = g.add_unlabeled_edge(VertexId((child + 1) as u32), VertexId(parent as u32));
+            }
+            for (a, b) in extra {
+                if a != b {
+                    let _ = g.add_unlabeled_edge(VertexId(a as u32), VertexId(b as u32));
+                }
+            }
+            g
+        })
+    })
+}
+
+/// Relabels the vertex ids of a graph with a permutation, preserving labels
+/// and adjacency.
+fn permuted(g: &LabeledGraph, perm: &[usize]) -> LabeledGraph {
+    let mut out = LabeledGraph::new();
+    // perm[i] = new position of old vertex i
+    let mut order: Vec<usize> = (0..g.vertex_count()).collect();
+    order.sort_by_key(|&i| perm[i]);
+    let mut new_of_old = vec![0u32; g.vertex_count()];
+    for (new_id, &old) in order.iter().enumerate() {
+        new_of_old[old] = new_id as u32;
+    }
+    for &old in &order {
+        out.add_vertex(g.label(VertexId(old as u32)));
+    }
+    for e in g.edges() {
+        let u = VertexId(new_of_old[e.u.index()]);
+        let v = VertexId(new_of_old[e.v.index()]);
+        let _ = out.add_edge(u, v, e.label);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The canonical diameter's label sequence is invariant under relabeling
+    /// of physical vertex ids (the pattern-level property unique generation
+    /// rests on), and the canonical key is a complete isomorphism invariant.
+    #[test]
+    fn canonical_diameter_invariant_under_permutation(
+        g in connected_graph(9, 4),
+        seed in 0u64..1000,
+    ) {
+        let a = analyze(&g).expect("generated graphs are connected");
+        // build a deterministic permutation from the seed
+        let n = g.vertex_count();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut state = seed;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            perm.swap(i, j);
+        }
+        let h = permuted(&g, &perm);
+        prop_assert!(are_isomorphic(&g, &h));
+        prop_assert_eq!(canonical_key(&g), canonical_key(&h));
+        let b = analyze(&h).expect("permuted graph stays connected");
+        prop_assert_eq!(a.diameter_length(), b.diameter_length());
+        // label sequences agree up to orientation
+        let la: Vec<Label> = a.canonical_diameter.vertices().iter().map(|&v| g.label(v)).collect();
+        let lb: Vec<Label> = b.canonical_diameter.vertices().iter().map(|&v| h.label(v)).collect();
+        let la_rev: Vec<Label> = la.iter().rev().copied().collect();
+        prop_assert!(la == lb || la_rev == lb,
+            "canonical diameter labels changed under permutation: {:?} vs {:?}", la, lb);
+    }
+
+    /// Mining with the fast local constraint checks and with exact
+    /// recomputation produces identical pattern sets (Lemma 1), and every
+    /// reported pattern satisfies the specification.
+    #[test]
+    fn fast_and_exact_constraint_checks_agree(g in connected_graph(10, 3)) {
+        let a = analyze(&g).expect("connected");
+        let l = a.diameter_length();
+        prop_assume!(l >= 2);
+        let base = SkinnyMineConfig::new(l, 2, 1)
+            .with_report(ReportMode::All)
+            .with_exploration(Exploration::Exhaustive);
+        let fast = SkinnyMine::new(base.clone().with_constraint_check(ConstraintCheckMode::Fast))
+            .mine(&g)
+            .expect("mining succeeds");
+        let exact = SkinnyMine::new(base.with_constraint_check(ConstraintCheckMode::Exact))
+            .mine(&g)
+            .expect("mining succeeds");
+        let keys = |r: &skinnymine::MiningResult| {
+            let mut v: Vec<_> = r.patterns.iter().map(|p| canonical_key(&p.graph)).collect();
+            v.sort_by(|x, y| x.cmp_code(y));
+            v
+        };
+        prop_assert_eq!(keys(&fast), keys(&exact));
+        for p in &fast.patterns {
+            prop_assert!(skinnymine::satisfies_skinny_spec(&p.graph, p.diameter_len, 2, &p.diameter_labels));
+        }
+    }
+
+    /// No pattern is reported twice (unique generation) and all reported
+    /// supports are at least the threshold.
+    #[test]
+    fn unique_generation_and_support_threshold(g in connected_graph(10, 3)) {
+        let a = analyze(&g).expect("connected");
+        let l = a.diameter_length().max(1);
+        let config = SkinnyMineConfig::new(l, 3, 1).with_report(ReportMode::All);
+        let result = SkinnyMine::new(config).mine(&g).expect("mining succeeds");
+        let mut keys: Vec<_> = result.patterns.iter().map(|p| canonical_key(&p.graph)).collect();
+        let before = keys.len();
+        keys.sort_by(|x, y| x.cmp_code(y));
+        keys.dedup();
+        prop_assert_eq!(before, keys.len(), "duplicate patterns reported");
+        prop_assert!(result.patterns.iter().all(|p| p.support >= 1));
+    }
+
+    /// Properties 1 and 2 of the framework hold for the skinny constraint on
+    /// arbitrary connected graphs: the minimal satisfying patterns are
+    /// exactly the length-l paths, and every satisfying pattern has a
+    /// satisfying one-edge-smaller sub-pattern unless it is such a path.
+    #[test]
+    fn skinny_constraint_reducible_and_continuous(g in connected_graph(9, 4)) {
+        let a = analyze(&g).expect("connected");
+        let l = a.diameter_length();
+        prop_assume!(l >= 1);
+        let c = SkinnyConstraint::new(l, u32::MAX);
+        // the graph itself satisfies the constraint with delta = infinity
+        prop_assert!(c.satisfied(&g));
+        // continuity: either it is the minimal path or some one-edge-removed
+        // connected sub-pattern still satisfies the constraint
+        prop_assert!(c.continuity_holds_for(&g), "continuity violated for a {}-vertex graph", g.vertex_count());
+        // reducibility: minimality holds exactly for bare paths of length l
+        let is_path = g.vertex_count() == l + 1 && g.edge_count() == l;
+        prop_assert_eq!(c.is_minimal(&g), is_path);
+    }
+}
