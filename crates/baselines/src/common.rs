@@ -146,7 +146,11 @@ mod tests {
 
     #[test]
     fn size_distribution_counts() {
-        let out = MinerOutput { patterns: vec![pattern(3), pattern(3), pattern(6)], runtime: Duration::ZERO, completed: true };
+        let out = MinerOutput {
+            patterns: vec![pattern(3), pattern(3), pattern(6)],
+            runtime: Duration::ZERO,
+            completed: true,
+        };
         let hist = out.size_distribution();
         assert_eq!(hist.get(&3), Some(&2));
         assert_eq!(hist.get(&6), Some(&1));

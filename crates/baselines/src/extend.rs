@@ -5,9 +5,7 @@
 //! This is the unconstrained counterpart of SkinnyMine's LevelGrow — the
 //! "enumerate-and-check" building block every traditional miner is built on.
 
-use skinny_graph::{
-    Embedding, EmbeddingSet, GraphDatabase, Label, LabeledGraph, SupportMeasure, VertexId,
-};
+use skinny_graph::{Embedding, EmbeddingSet, GraphDatabase, Label, LabeledGraph, SupportMeasure, VertexId};
 use std::collections::{BTreeSet, HashMap};
 
 /// A unified read-only view over the two mining settings (kept local to the
@@ -94,8 +92,7 @@ impl EmbeddedPattern {
         for (t, g) in data.transactions() {
             for e in g.edges() {
                 let (lu, lv) = (g.label(e.u), g.label(e.v));
-                let (a, b, first, second) =
-                    if lu <= lv { (lu, lv, e.u, e.v) } else { (lv, lu, e.v, e.u) };
+                let (a, b, first, second) = if lu <= lv { (lu, lv, e.u, e.v) } else { (lv, lu, e.v, e.u) };
                 by_key
                     .entry((a, e.label, b))
                     .or_default()
@@ -246,11 +243,8 @@ mod tests {
         assert_eq!(grown.graph.vertex_count(), 3);
         assert!(grown.support(SupportMeasure::DistinctVertexSets) >= 2);
         // closing the triangle keeps support 2
-        let close = grown
-            .candidates(data)
-            .into_iter()
-            .find(|c| matches!(c, Growth::ClosingEdge { .. }))
-            .unwrap();
+        let close =
+            grown.candidates(data).into_iter().find(|c| matches!(c, Growth::ClosingEdge { .. })).unwrap();
         let triangle = grown.apply(data, close).unwrap();
         assert_eq!(triangle.graph.edge_count(), 3);
         assert_eq!(triangle.support(SupportMeasure::DistinctVertexSets), 2);

@@ -192,10 +192,7 @@ mod tests {
         assert!(sizes.contains(&3));
         assert!(out.patterns.iter().all(|p| p.support >= 2));
         // the full path a-b-c-d must be found
-        assert!(out
-            .patterns
-            .iter()
-            .any(|p| p.edge_count() == 3 && p.vertex_count() == 4 && p.support == 2));
+        assert!(out.patterns.iter().any(|p| p.edge_count() == 3 && p.vertex_count() == 4 && p.support == 2));
     }
 
     #[test]

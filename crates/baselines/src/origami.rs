@@ -123,7 +123,7 @@ impl Origami {
 
         // Phase 2: α-orthogonal selection — greedily keep patterns that are
         // dissimilar to everything already kept, preferring larger ones.
-        sampled.sort_by(|a, b| b.graph.edge_count().cmp(&a.graph.edge_count()));
+        sampled.sort_by_key(|p| std::cmp::Reverse(p.graph.edge_count()));
         let mut kept: Vec<EmbeddedPattern> = Vec::new();
         for candidate in sampled {
             if kept.iter().all(|k| similarity(&candidate.graph, &k.graph) < self.config.alpha) {

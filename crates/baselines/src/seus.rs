@@ -119,10 +119,11 @@ impl Seus {
         // whose aggregate count passes the threshold, verify against the
         // data, then expand verified candidates while the *estimate* stays
         // frequent and the candidate stays small.
-        let mut frontier: Vec<EmbeddedPattern> = EmbeddedPattern::frequent_edges(data, self.config.sigma, measure)
-            .into_iter()
-            .filter(|p| summary.estimate_support(&p.graph) >= self.config.sigma)
-            .collect();
+        let mut frontier: Vec<EmbeddedPattern> =
+            EmbeddedPattern::frequent_edges(data, self.config.sigma, measure)
+                .into_iter()
+                .filter(|p| summary.estimate_support(&p.graph) >= self.config.sigma)
+                .collect();
         let mut seen: HashSet<DfsCode> = frontier.iter().map(|p| canonical_key(&p.graph)).collect();
         let mut reported: Vec<MinedPattern> = Vec::new();
 
@@ -158,7 +159,8 @@ impl Seus {
         }
 
         // report the most frequent (hence smallest) substructures first
-        reported.sort_by(|a, b| b.support.cmp(&a.support).then(a.graph.edge_count().cmp(&b.graph.edge_count())));
+        reported
+            .sort_by(|a, b| b.support.cmp(&a.support).then(a.graph.edge_count().cmp(&b.graph.edge_count())));
         reported.truncate(self.config.report_limit);
         MinerOutput { patterns: reported, runtime: started.elapsed(), completed }
     }

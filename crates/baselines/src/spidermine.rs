@@ -115,9 +115,27 @@ impl SpiderMine {
         let mut grown: Vec<EmbeddedPattern> = Vec::new();
         let mut seen: HashSet<DfsCode> = HashSet::new();
         for seed in edge_patterns {
-            let spider = self.grow_bounded(data, seed, self.config.spider_radius.max(1) * 2, measure, &mut rng, &mut candidates_examined, started, &mut completed);
+            let spider = self.grow_bounded(
+                data,
+                seed,
+                self.config.spider_radius.max(1) * 2,
+                measure,
+                &mut rng,
+                &mut candidates_examined,
+                started,
+                &mut completed,
+            );
             // Phase 2: keep growing the spider under the Dmax bound
-            let large = self.grow_bounded(data, spider, self.config.dmax, measure, &mut rng, &mut candidates_examined, started, &mut completed);
+            let large = self.grow_bounded(
+                data,
+                spider,
+                self.config.dmax,
+                measure,
+                &mut rng,
+                &mut candidates_examined,
+                started,
+                &mut completed,
+            );
             if seen.insert(canonical_key(&large.graph)) {
                 grown.push(large);
             }
@@ -128,7 +146,8 @@ impl SpiderMine {
 
         // Phase 3: report the K largest frequent patterns found.
         grown.sort_by(|a, b| {
-            (b.graph.vertex_count(), b.graph.edge_count()).cmp(&(a.graph.vertex_count(), a.graph.edge_count()))
+            (b.graph.vertex_count(), b.graph.edge_count())
+                .cmp(&(a.graph.vertex_count(), a.graph.edge_count()))
         });
         grown.truncate(self.config.k);
         let patterns = grown

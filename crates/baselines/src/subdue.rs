@@ -33,7 +33,13 @@ pub struct SubdueConfig {
 
 impl Default for SubdueConfig {
     fn default() -> Self {
-        SubdueConfig { beam_width: 4, iterations: 12, report_limit: 30, min_instances: 2, budget: Budget::default() }
+        SubdueConfig {
+            beam_width: 4,
+            iterations: 12,
+            report_limit: 30,
+            min_instances: 2,
+            budget: Budget::default(),
+        }
     }
 }
 
@@ -66,13 +72,14 @@ impl Subdue {
 
         // beam initialised with the frequent single edges (SUBDUE starts from
         // single vertices; single edges are the first structural candidates)
-        let mut beam: Vec<(EmbeddedPattern, f64)> = EmbeddedPattern::frequent_edges(data, self.config.min_instances, measure)
-            .into_iter()
-            .map(|p| {
-                let v = Self::compression_value(&p, measure);
-                (p, v)
-            })
-            .collect();
+        let mut beam: Vec<(EmbeddedPattern, f64)> =
+            EmbeddedPattern::frequent_edges(data, self.config.min_instances, measure)
+                .into_iter()
+                .map(|p| {
+                    let v = Self::compression_value(&p, measure);
+                    (p, v)
+                })
+                .collect();
         beam.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         beam.truncate(self.config.beam_width);
 

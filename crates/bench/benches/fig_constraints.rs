@@ -8,9 +8,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use skinny_datagen::{erdos_renyi, inject_patterns, skinny_pattern, ErConfig, SkinnyPatternConfig};
 use skinny_graph::{LabeledGraph, SupportMeasure};
-use skinnymine::{
-    DiamMine, Exploration, MinimalPatternIndex, MiningData, ReportMode, SkinnyMineConfig,
-};
+use skinnymine::{DiamMine, Exploration, MinimalPatternIndex, MiningData, ReportMode, SkinnyMineConfig};
 
 /// The Figure 16/17 style background: few labels so frequent paths abound.
 fn fig16_graph() -> LabeledGraph {
@@ -20,9 +18,8 @@ fn fig16_graph() -> LabeledGraph {
 /// The Figure 18/19 style data: injected skinny patterns with deep twigs.
 fn fig18_graph() -> LabeledGraph {
     let background = erdos_renyi(&ErConfig::new(4_000, 3.0, 100, 18));
-    let patterns: Vec<(LabeledGraph, usize)> = (0..5)
-        .map(|i| (skinny_pattern(&SkinnyPatternConfig::new(40, 16, 5, 100, 100 + i)), 3))
-        .collect();
+    let patterns: Vec<(LabeledGraph, usize)> =
+        (0..5).map(|i| (skinny_pattern(&SkinnyPatternConfig::new(40, 16, 5, 100, 100 + i)), 3)).collect();
     inject_patterns(&background, &patterns, 404).graph
 }
 

@@ -3,7 +3,9 @@
 //! SpiderMine on fixed-size backgrounds.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use skinny_baselines::{Budget, GraphMiner, Moss, MossConfig, SpiderMine, SpiderMineConfig, Subdue, SubdueConfig};
+use skinny_baselines::{
+    Budget, GraphMiner, Moss, MossConfig, SpiderMine, SpiderMineConfig, Subdue, SubdueConfig,
+};
 use skinny_datagen::ScalabilitySetting;
 use skinnymine::{Exploration, LengthConstraint, ReportMode, SkinnyMine, SkinnyMineConfig};
 
@@ -41,7 +43,9 @@ fn bench_vs_subdue(c: &mut Criterion) {
             b.iter(|| SkinnyMine::new(skinny_config()).mine(g).expect("mining succeeds"))
         });
         group.bench_with_input(BenchmarkId::new("subdue", size), &graph, |b, g| {
-            b.iter(|| Subdue::new(SubdueConfig { budget: Budget::tiny(), ..Default::default() }).mine_single(g))
+            b.iter(|| {
+                Subdue::new(SubdueConfig { budget: Budget::tiny(), ..Default::default() }).mine_single(g)
+            })
         });
     }
     group.finish();

@@ -14,11 +14,8 @@ use skinnymine::{Exploration, LengthConstraint, ReportMode, SkinnyMine, SkinnyMi
 fn reduced_table3() -> LabeledGraph {
     let background = erdos_renyi(&ErConfig::new(800, 3.0, 100, 33));
     let rows = [(30usize, 24usize), (30, 18), (30, 12), (20, 6), (30, 6)];
-    let patterns: Vec<(LabeledGraph, usize)> = rows
-        .iter()
-        .enumerate()
-        .map(|(i, &(v, d))| (table3_pattern(v, d, 100, 50 + i as u64), 2))
-        .collect();
+    let patterns: Vec<(LabeledGraph, usize)> =
+        rows.iter().enumerate().map(|(i, &(v, d))| (table3_pattern(v, d, 100, 50 + i as u64), 2)).collect();
     inject_patterns(&background, &patterns, 77).graph
 }
 

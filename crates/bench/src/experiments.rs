@@ -15,9 +15,9 @@ use skinny_baselines::{
     SpiderMineConfig, Subdue, SubdueConfig,
 };
 use skinny_datagen::{
-    generate_dblp, generate_gid, generate_table3, generate_transaction_database, generate_weibo,
-    gid_setting, DblpConfig, ScalabilitySetting, Table3Setting, TransactionSetting, WeiboConfig,
-    GID_SETTINGS, TABLE3_ROWS,
+    generate_dblp, generate_gid, generate_table3, generate_transaction_database, generate_weibo, gid_setting,
+    DblpConfig, ScalabilitySetting, Table3Setting, TransactionSetting, WeiboConfig, GID_SETTINGS,
+    TABLE3_ROWS,
 };
 use skinny_graph::{GraphDatabase, LabeledGraph, SupportMeasure};
 use skinnymine::{
@@ -184,7 +184,8 @@ pub fn run_gid_effectiveness(gid: u8, scale: Scale) -> EffectivenessReport {
     let out = SpiderMine::new(spider_cfg).mine_single(graph);
     record("SpiderMine", out.size_distribution(), secs(out.runtime));
     // SkinnyMine: long-diameter request
-    let config = skinny_config(LengthConstraint::AtLeast(setting.long_diameter.saturating_sub(3).max(4)), 3, 2);
+    let config =
+        skinny_config(LengthConstraint::AtLeast(setting.long_diameter.saturating_sub(3).max(4)), 3, 2);
     let started = Instant::now();
     let result = SkinnyMine::new(config).mine(graph).expect("valid config and non-empty data");
     let dist: BTreeMap<usize, usize> = result.size_histogram();
@@ -256,16 +257,14 @@ pub fn run_table3(scale: Scale) -> Table3Report {
         .iter()
         .zip(patterns.iter())
         .map(|(row, pattern)| {
-            let by_skinny = skinny_result
-                .patterns
-                .iter()
-                .any(|p| p.diameter_len == row.diameter && p.vertex_count() * 10 >= pattern.vertex_count() * 7);
-            let by_spider = spider_out
-                .patterns
-                .iter()
-                .any(|p| p.vertex_count() * 10 >= pattern.vertex_count() * 5
+            let by_skinny = skinny_result.patterns.iter().any(|p| {
+                p.diameter_len == row.diameter && p.vertex_count() * 10 >= pattern.vertex_count() * 7
+            });
+            let by_spider = spider_out.patterns.iter().any(|p| {
+                p.vertex_count() * 10 >= pattern.vertex_count() * 5
                     && skinny_graph::diameter(&p.graph).map(|d| d as usize <= row.diameter).unwrap_or(false)
-                    && best_label_overlap(&p.graph, pattern) >= 0.5);
+                    && best_label_overlap(&p.graph, pattern) >= 0.5
+            });
             (row.pid, row.vertices, row.diameter, by_skinny, by_spider)
         })
         .collect();
@@ -324,8 +323,9 @@ pub fn run_transaction_effectiveness(more_small: bool, scale: Scale) -> Effectiv
     let out = SpiderMine::new(spider_cfg).mine_database(&db);
     record("SpiderMine", out.size_distribution(), secs(out.runtime));
 
-    let config = skinny_config(LengthConstraint::AtLeast(setting.skinny_diameter.saturating_sub(4).max(4)), 3, 3)
-        .with_support_measure(SupportMeasure::Transactions);
+    let config =
+        skinny_config(LengthConstraint::AtLeast(setting.skinny_diameter.saturating_sub(4).max(4)), 3, 3)
+            .with_support_measure(SupportMeasure::Transactions);
     let started = Instant::now();
     let result = SkinnyMine::new(config).mine_database(&db).expect("valid config");
     record("SkinnyMine", result.size_histogram(), secs(started.elapsed()));
@@ -411,15 +411,17 @@ pub fn run_runtime_sweep(figure: RuntimeFigure, scale: Scale) -> SweepReport {
 
         let baseline_runtime = match figure {
             RuntimeFigure::VsMoss => {
-                let out = Moss::new(MossConfig::new(2).with_budget(Budget {
-                    max_candidates: 300_000,
-                    max_duration: Duration::from_secs(60),
-                }))
-                .mine_single(&graph);
+                let out =
+                    Moss::new(MossConfig::new(2).with_budget(Budget {
+                        max_candidates: 300_000,
+                        max_duration: Duration::from_secs(60),
+                    }))
+                    .mine_single(&graph);
                 out.runtime
             }
             RuntimeFigure::VsSubdue => {
-                let out = Subdue::new(SubdueConfig { budget: Budget::default(), ..Default::default() }).mine_single(&graph);
+                let out = Subdue::new(SubdueConfig { budget: Budget::default(), ..Default::default() })
+                    .mine_single(&graph);
                 out.runtime
             }
             RuntimeFigure::VsSpiderMine => {
@@ -455,8 +457,16 @@ impl ScalabilityReport {
     /// Renders Figures 14 and 15 as tables.
     pub fn tables(&self) -> Vec<Table> {
         vec![
-            series_table("Figure 14: scalability (runtime per stage)", "|V|", &[self.diam_mine.clone(), self.level_grow.clone()]),
-            series_table("Figure 15: scalability (# of patterns)", "|V|", &[self.patterns.clone()]),
+            series_table(
+                "Figure 14: scalability (runtime per stage)",
+                "|V|",
+                &[self.diam_mine.clone(), self.level_grow.clone()],
+            ),
+            series_table(
+                "Figure 15: scalability (# of patterns)",
+                "|V|",
+                std::slice::from_ref(&self.patterns),
+            ),
         ]
     }
 }
@@ -502,7 +512,11 @@ pub struct ConstraintSweepReport {
 impl ConstraintSweepReport {
     /// Renders the sweep as a table.
     pub fn table(&self) -> Table {
-        series_table(&self.title, "parameter", &[self.runtime.clone(), self.patterns.clone(), self.largest_edges.clone()])
+        series_table(
+            &self.title,
+            "parameter",
+            &[self.runtime.clone(), self.patterns.clone(), self.largest_edges.clone()],
+        )
     }
 }
 
@@ -523,7 +537,11 @@ pub fn run_diammine_vs_l(scale: Scale) -> ConstraintSweepReport {
     let parameter: Vec<usize> = (2..=18).step_by(2).collect();
     for &l in &parameter {
         let started = Instant::now();
-        let dm = skinnymine::DiamMine::new(skinnymine::MiningData::Single(&graph), 2, SupportMeasure::MinimumImage);
+        let dm = skinnymine::DiamMine::new(
+            skinnymine::MiningData::Single(&graph),
+            2,
+            SupportMeasure::MinimumImage,
+        );
         let paths = dm.mine_exact(l);
         runtime.push(l as f64, secs(started.elapsed()));
         patterns.push(l as f64, paths.len() as f64);
@@ -578,7 +596,8 @@ pub fn run_levelgrow_vs_delta(scale: Scale) -> ConstraintSweepReport {
     // delta = 6, 50 vertices, 5 embeddings each
     let vertices = scale.shrink(200_000).max(5_000);
     let injected = scale.shrink(250).max(5);
-    let background = skinny_datagen::erdos_renyi(&skinny_datagen::ErConfig::new(vertices, 3.0, 100, scale.seed));
+    let background =
+        skinny_datagen::erdos_renyi(&skinny_datagen::ErConfig::new(vertices, 3.0, 100, scale.seed));
     let patterns: Vec<(LabeledGraph, usize)> = (0..injected)
         .map(|i| {
             (
@@ -649,7 +668,8 @@ impl RuntimeTableReport {
             .unwrap_or_default();
         let mut headers = vec!["GID".to_string()];
         headers.extend(miners);
-        let mut t = Table { title: "Figure 20: runtime comparison (seconds)".to_string(), headers, rows: Vec::new() };
+        let mut t =
+            Table { title: "Figure 20: runtime comparison (seconds)".to_string(), headers, rows: Vec::new() };
         for row in &self.rows {
             let mut cells = vec![row.gid.to_string()];
             for (_, secs, completed) in &row.runtimes {
@@ -681,7 +701,8 @@ pub fn run_runtime_table(gids: &[u8], scale: Scale) -> RuntimeTableReport {
         let graph = generate_gid(&setting, scale.seed.wrapping_add(gid as u64)).graph;
         let mut runtimes = Vec::new();
 
-        let config = skinny_config(LengthConstraint::AtLeast(setting.long_diameter.saturating_sub(3).max(4)), 3, 2);
+        let config =
+            skinny_config(LengthConstraint::AtLeast(setting.long_diameter.saturating_sub(3).max(4)), 3, 2);
         let started = Instant::now();
         let _ = SkinnyMine::new(config).mine(&graph).expect("valid config");
         runtimes.push(("SkinnyMine".to_string(), secs(started.elapsed()), true));
@@ -689,7 +710,8 @@ pub fn run_runtime_table(gids: &[u8], scale: Scale) -> RuntimeTableReport {
         let out = SpiderMine::new(SpiderMineConfig::paper_defaults().with_seeds(60)).mine_single(&graph);
         runtimes.push(("SpiderMine".to_string(), secs(out.runtime), out.completed));
 
-        let out = Subdue::new(SubdueConfig { budget: Budget::tiny(), ..Default::default() }).mine_single(&graph);
+        let out =
+            Subdue::new(SubdueConfig { budget: Budget::tiny(), ..Default::default() }).mine_single(&graph);
         runtimes.push(("SUBDUE".to_string(), secs(out.runtime), out.completed));
 
         let out = Seus::new(SeusConfig { budget: Budget::tiny(), ..SeusConfig::new(2) }).mine_single(&graph);
@@ -748,7 +770,8 @@ impl CaseStudyReport {
 pub fn run_dblp_case_study(scale: Scale) -> CaseStudyReport {
     let config = DblpConfig { authors: scale.shrink(2000).max(40), ..Default::default() };
     let db = generate_dblp(&config);
-    let mining = skinny_config(LengthConstraint::AtLeast(20), 2, 2).with_support_measure(SupportMeasure::Transactions);
+    let mining =
+        skinny_config(LengthConstraint::AtLeast(20), 2, 2).with_support_measure(SupportMeasure::Transactions);
     let started = Instant::now();
     let result = SkinnyMine::new(mining).mine_database(&db).expect("valid config");
     CaseStudyReport {
@@ -766,7 +789,8 @@ pub fn run_dblp_case_study(scale: Scale) -> CaseStudyReport {
 pub fn run_weibo_case_study(scale: Scale) -> CaseStudyReport {
     let config = WeiboConfig { conversations: scale.shrink(2000).max(40), ..Default::default() };
     let db = generate_weibo(&config);
-    let mining = skinny_config(LengthConstraint::AtLeast(10), 3, 2).with_support_measure(SupportMeasure::Transactions);
+    let mining =
+        skinny_config(LengthConstraint::AtLeast(10), 3, 2).with_support_measure(SupportMeasure::Transactions);
     let started = Instant::now();
     let result = SkinnyMine::new(mining).mine_database(&db).expect("valid config");
     CaseStudyReport {

@@ -206,7 +206,7 @@ mod tests {
     #[test]
     fn format_num_behaviour() {
         assert_eq!(format_num(3.0), "3");
-        assert_eq!(format_num(3.14159), "3.142");
+        assert_eq!(format_num(3.25251), "3.253");
     }
 
     #[test]

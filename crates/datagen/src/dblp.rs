@@ -98,7 +98,12 @@ pub fn generate_dblp(config: &DblpConfig) -> GraphDatabase {
 ///   increasing strength as their career progresses (early years: `B1`/`J1`,
 ///   late years: `S2`/`P2`/`P3`), which makes the trajectory a frequent
 ///   skinny pattern across those authors.
-pub fn author_graph(years: usize, follows_trajectory: bool, density: f64, rng: &mut impl Rng) -> LabeledGraph {
+pub fn author_graph(
+    years: usize,
+    follows_trajectory: bool,
+    density: f64,
+    rng: &mut impl Rng,
+) -> LabeledGraph {
     let mut g = LabeledGraph::with_capacity(years + 1);
     let year_nodes: Vec<VertexId> = (0..=years).map(|_| g.add_vertex(YEAR_LABEL)).collect();
     for w in year_nodes.windows(2) {

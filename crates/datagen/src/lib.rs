@@ -27,9 +27,11 @@ pub mod weibo;
 pub use dblp::{generate_dblp, DblpConfig};
 pub use er::{erdos_renyi, ErConfig};
 pub use inject::{inject_patterns, Injection, PlantedCopy};
-pub use patterns::{compact_pattern, skinny_pattern, table3_pattern, CompactPatternConfig, SkinnyPatternConfig};
+pub use patterns::{
+    compact_pattern, skinny_pattern, table3_pattern, CompactPatternConfig, SkinnyPatternConfig,
+};
 pub use presets::{
-    generate_gid, generate_table3, generate_transaction_database, gid_setting, GidSetting, ScalabilitySetting,
-    Table3Row, Table3Setting, TransactionSetting, GID_SETTINGS, TABLE3_ROWS,
+    generate_gid, generate_table3, generate_transaction_database, gid_setting, GidSetting,
+    ScalabilitySetting, Table3Row, Table3Setting, TransactionSetting, GID_SETTINGS, TABLE3_ROWS,
 };
 pub use weibo::{generate_weibo, WeiboConfig};

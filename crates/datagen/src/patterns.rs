@@ -41,7 +41,7 @@ impl SkinnyPatternConfig {
 /// lengthen the diameter).
 pub fn skinny_pattern(config: &SkinnyPatternConfig) -> LabeledGraph {
     assert!(
-        config.vertices >= config.diameter + 1,
+        config.vertices > config.diameter,
         "a {}-long pattern needs at least {} vertices",
         config.diameter,
         config.diameter + 1
@@ -57,8 +57,7 @@ pub fn skinny_pattern(config: &SkinnyPatternConfig) -> LabeledGraph {
         g.add_vertex(label);
     }
     for i in 0..config.diameter as u32 {
-        g.add_edge(VertexId(i), VertexId(i + 1), Label::DEFAULT_EDGE)
-            .expect("backbone edges are unique");
+        g.add_edge(VertexId(i), VertexId(i + 1), Label::DEFAULT_EDGE).expect("backbone edges are unique");
     }
 
     // twigs: each remaining vertex attaches below some backbone position; a
@@ -72,8 +71,7 @@ pub fn skinny_pattern(config: &SkinnyPatternConfig) -> LabeledGraph {
             .filter(|&v| {
                 let new_depth = depth[v as usize] + 1;
                 let b = anchor[v as usize];
-                new_depth <= config.max_twig_depth
-                    && new_depth as usize <= b.min(config.diameter - b)
+                new_depth <= config.max_twig_depth && new_depth as usize <= b.min(config.diameter - b)
             })
             .collect();
         if candidates.is_empty() {
@@ -124,11 +122,8 @@ pub fn table3_pattern(vertices: usize, diameter: usize, labels: u32, seed: u64) 
     let spare = vertices.saturating_sub(diameter + 1);
     // deeper twigs are only needed when there are many spare vertices per
     // backbone vertex
-    let depth = if spare == 0 {
-        0
-    } else {
-        ((spare as f64 / diameter.max(1) as f64).ceil() as u32).clamp(1, 3)
-    };
+    let depth =
+        if spare == 0 { 0 } else { ((spare as f64 / diameter.max(1) as f64).ceil() as u32).clamp(1, 3) };
     skinny_pattern(&SkinnyPatternConfig::new(vertices, diameter, depth, labels, seed))
 }
 

@@ -40,11 +40,76 @@ pub struct GidSetting {
 
 /// The five data settings of Table 1.
 pub const GID_SETTINGS: [GidSetting; 5] = [
-    GidSetting { gid: 1, vertices: 500, labels: 80, degree: 2.0, long_patterns: 5, long_vertices: 40, long_diameter: 18, long_support: 2, short_patterns: 5, short_vertices: 4, short_diameter: 2, short_support: 2 },
-    GidSetting { gid: 2, vertices: 500, labels: 80, degree: 4.0, long_patterns: 5, long_vertices: 40, long_diameter: 18, long_support: 2, short_patterns: 5, short_vertices: 4, short_diameter: 2, short_support: 2 },
-    GidSetting { gid: 3, vertices: 1000, labels: 240, degree: 2.0, long_patterns: 5, long_vertices: 40, long_diameter: 18, long_support: 2, short_patterns: 5, short_vertices: 4, short_diameter: 2, short_support: 20 },
-    GidSetting { gid: 4, vertices: 1000, labels: 240, degree: 4.0, long_patterns: 5, long_vertices: 40, long_diameter: 18, long_support: 2, short_patterns: 5, short_vertices: 4, short_diameter: 2, short_support: 20 },
-    GidSetting { gid: 5, vertices: 600, labels: 150, degree: 4.0, long_patterns: 5, long_vertices: 40, long_diameter: 18, long_support: 2, short_patterns: 20, short_vertices: 4, short_diameter: 2, short_support: 2 },
+    GidSetting {
+        gid: 1,
+        vertices: 500,
+        labels: 80,
+        degree: 2.0,
+        long_patterns: 5,
+        long_vertices: 40,
+        long_diameter: 18,
+        long_support: 2,
+        short_patterns: 5,
+        short_vertices: 4,
+        short_diameter: 2,
+        short_support: 2,
+    },
+    GidSetting {
+        gid: 2,
+        vertices: 500,
+        labels: 80,
+        degree: 4.0,
+        long_patterns: 5,
+        long_vertices: 40,
+        long_diameter: 18,
+        long_support: 2,
+        short_patterns: 5,
+        short_vertices: 4,
+        short_diameter: 2,
+        short_support: 2,
+    },
+    GidSetting {
+        gid: 3,
+        vertices: 1000,
+        labels: 240,
+        degree: 2.0,
+        long_patterns: 5,
+        long_vertices: 40,
+        long_diameter: 18,
+        long_support: 2,
+        short_patterns: 5,
+        short_vertices: 4,
+        short_diameter: 2,
+        short_support: 20,
+    },
+    GidSetting {
+        gid: 4,
+        vertices: 1000,
+        labels: 240,
+        degree: 4.0,
+        long_patterns: 5,
+        long_vertices: 40,
+        long_diameter: 18,
+        long_support: 2,
+        short_patterns: 5,
+        short_vertices: 4,
+        short_diameter: 2,
+        short_support: 20,
+    },
+    GidSetting {
+        gid: 5,
+        vertices: 600,
+        labels: 150,
+        degree: 4.0,
+        long_patterns: 5,
+        long_vertices: 40,
+        long_diameter: 18,
+        long_support: 2,
+        short_patterns: 20,
+        short_vertices: 4,
+        short_diameter: 2,
+        short_support: 2,
+    },
 ];
 
 /// Returns the Table 1 setting for a GID (1–5).
@@ -145,9 +210,12 @@ pub fn generate_table3(setting: &Table3Setting, seed: u64) -> (Injection, Vec<La
     let background = erdos_renyi(&ErConfig::new(setting.vertices, setting.degree, setting.labels, seed));
     let patterns: Vec<LabeledGraph> = TABLE3_ROWS
         .iter()
-        .map(|row| table3_pattern(row.vertices, row.diameter, setting.labels, seed.wrapping_add(row.pid as u64)))
+        .map(|row| {
+            table3_pattern(row.vertices, row.diameter, setting.labels, seed.wrapping_add(row.pid as u64))
+        })
         .collect();
-    let to_inject: Vec<(LabeledGraph, usize)> = patterns.iter().map(|p| (p.clone(), setting.support)).collect();
+    let to_inject: Vec<(LabeledGraph, usize)> =
+        patterns.iter().map(|p| (p.clone(), setting.support)).collect();
     let injection = inject_patterns(&background, &to_inject, seed.wrapping_add(77));
     (injection, patterns)
 }

@@ -88,7 +88,12 @@ pub fn generate_weibo(config: &WeiboConfig) -> GraphDatabase {
 ///   follower twig (the root user's repeated dialogue with her audience),
 ///   which is the planted frequent skinny pattern.
 /// * Random `other`-labeled comment twigs are added at rate `comment_rate`.
-pub fn conversation_graph(chain: usize, root_engagement: bool, comment_rate: f64, rng: &mut impl Rng) -> LabeledGraph {
+pub fn conversation_graph(
+    chain: usize,
+    root_engagement: bool,
+    comment_rate: f64,
+    rng: &mut impl Rng,
+) -> LabeledGraph {
     let mut g = LabeledGraph::with_capacity(chain + 1);
     let mut chain_nodes: Vec<VertexId> = Vec::with_capacity(chain + 1);
     for i in 0..=chain {

@@ -72,9 +72,8 @@ pub fn cmp_dfs_edge(a: &DfsEdge, b: &DfsEdge) -> Ordering {
             }
         }
     };
-    structural.then_with(|| {
-        (a.from_label, a.edge_label, a.to_label).cmp(&(b.from_label, b.edge_label, b.to_label))
-    })
+    structural
+        .then_with(|| (a.from_label, a.edge_label, a.to_label).cmp(&(b.from_label, b.edge_label, b.to_label)))
 }
 
 /// A DFS code: an ordered sequence of DFS edges.
@@ -102,12 +101,7 @@ impl DfsCode {
 
     /// Number of distinct DFS vertex indices referenced by the code.
     pub fn vertex_count(&self) -> usize {
-        self.edges
-            .iter()
-            .flat_map(|e| [e.from, e.to])
-            .max()
-            .map(|m| m as usize + 1)
-            .unwrap_or(0)
+        self.edges.iter().flat_map(|e| [e.from, e.to]).max().map(|m| m as usize + 1).unwrap_or(0)
     }
 
     /// Appends an edge.
@@ -198,12 +192,7 @@ pub fn min_dfs_code(graph: &LabeledGraph) -> DfsCode {
         .map(|v| {
             let mut graph_to_dfs = vec![u32::MAX; graph.vertex_count()];
             graph_to_dfs[v.index()] = 0;
-            CodeState {
-                dfs_to_graph: vec![v],
-                graph_to_dfs,
-                rightmost_path: vec![0],
-                used_edges: Vec::new(),
-            }
+            CodeState { dfs_to_graph: vec![v], graph_to_dfs, rightmost_path: vec![0], used_edges: Vec::new() }
         })
         .collect();
 
@@ -333,13 +322,7 @@ mod tests {
     use crate::iso::are_isomorphic;
 
     fn edge(from: u32, to: u32, fl: u32, el: u32, tl: u32) -> DfsEdge {
-        DfsEdge {
-            from,
-            to,
-            from_label: Label(fl),
-            edge_label: Label(el),
-            to_label: Label(tl),
-        }
+        DfsEdge { from, to, from_label: Label(fl), edge_label: Label(el), to_label: Label(tl) }
     }
 
     #[test]
@@ -389,17 +372,11 @@ mod tests {
 
     #[test]
     fn isomorphic_graphs_share_min_code() {
-        let a = LabeledGraph::from_unlabeled_edges(
-            &[Label(0), Label(1), Label(0)],
-            [(0, 1), (1, 2)],
-        )
-        .unwrap();
+        let a =
+            LabeledGraph::from_unlabeled_edges(&[Label(0), Label(1), Label(0)], [(0, 1), (1, 2)]).unwrap();
         // same path with vertices permuted
-        let b = LabeledGraph::from_unlabeled_edges(
-            &[Label(1), Label(0), Label(0)],
-            [(0, 1), (0, 2)],
-        )
-        .unwrap();
+        let b =
+            LabeledGraph::from_unlabeled_edges(&[Label(1), Label(0), Label(0)], [(0, 1), (0, 2)]).unwrap();
         assert!(are_isomorphic(&a, &b));
         assert_eq!(min_dfs_code(&a), min_dfs_code(&b));
     }
@@ -407,15 +384,13 @@ mod tests {
     #[test]
     fn non_isomorphic_graphs_differ() {
         let path = LabeledGraph::from_unlabeled_edges(&[Label(0); 3], [(0, 1), (1, 2)]).unwrap();
-        let tri =
-            LabeledGraph::from_unlabeled_edges(&[Label(0); 3], [(0, 1), (1, 2), (0, 2)]).unwrap();
+        let tri = LabeledGraph::from_unlabeled_edges(&[Label(0); 3], [(0, 1), (1, 2), (0, 2)]).unwrap();
         assert_ne!(min_dfs_code(&path), min_dfs_code(&tri));
     }
 
     #[test]
     fn triangle_min_code_has_backward_edge() {
-        let tri =
-            LabeledGraph::from_unlabeled_edges(&[Label(0); 3], [(0, 1), (1, 2), (0, 2)]).unwrap();
+        let tri = LabeledGraph::from_unlabeled_edges(&[Label(0); 3], [(0, 1), (1, 2), (0, 2)]).unwrap();
         let code = min_dfs_code(&tri);
         assert_eq!(code.len(), 3);
         assert!(code.edges[2].is_backward());
@@ -473,16 +448,10 @@ mod tests {
 
     #[test]
     fn canonical_key_distinguishes_label_permutations() {
-        let a = LabeledGraph::from_unlabeled_edges(
-            &[Label(0), Label(0), Label(1)],
-            [(0, 1), (1, 2)],
-        )
-        .unwrap();
-        let b = LabeledGraph::from_unlabeled_edges(
-            &[Label(0), Label(1), Label(0)],
-            [(0, 1), (1, 2)],
-        )
-        .unwrap();
+        let a =
+            LabeledGraph::from_unlabeled_edges(&[Label(0), Label(0), Label(1)], [(0, 1), (1, 2)]).unwrap();
+        let b =
+            LabeledGraph::from_unlabeled_edges(&[Label(0), Label(1), Label(0)], [(0, 1), (1, 2)]).unwrap();
         // a: path 0-0-1 ; b: path 0-1-0 — not isomorphic
         assert!(!are_isomorphic(&a, &b));
         assert_ne!(canonical_key(&a), canonical_key(&b));

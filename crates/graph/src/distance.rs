@@ -21,6 +21,93 @@ pub fn all_pairs_distances(graph: &LabeledGraph) -> Vec<Vec<u32>> {
     graph.vertices().map(|v| bfs_distances(graph, v)).collect()
 }
 
+/// A square matrix of exact pairwise hop distances in one contiguous
+/// allocation — the representation the miner maintains incrementally per
+/// grown pattern, where cloning a `Vec<Vec<u32>>` per candidate extension
+/// would dominate the growth loop.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DistMatrix {
+    n: usize,
+    d: Vec<u32>,
+}
+
+impl DistMatrix {
+    /// The all-pairs distances of `graph` ([`UNREACHABLE`] when
+    /// disconnected).
+    pub fn all_pairs(graph: &LabeledGraph) -> Self {
+        let n = graph.vertex_count();
+        let mut d = Vec::with_capacity(n * n);
+        for v in graph.vertices() {
+            d.extend(bfs_distances(graph, v));
+        }
+        DistMatrix { n, d }
+    }
+
+    /// Builds a matrix from row vectors (all of length `rows.len()`).
+    pub fn from_rows(rows: &[Vec<u32>]) -> Self {
+        let n = rows.len();
+        let mut d = Vec::with_capacity(n * n);
+        for r in rows {
+            assert_eq!(r.len(), n, "distance matrix must be square");
+            d.extend_from_slice(r);
+        }
+        DistMatrix { n, d }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for the empty matrix.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Distance between vertices `i` and `j`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> u32 {
+        self.d[i * self.n + j]
+    }
+
+    /// Sets the distance between `i` and `j` (both orientations).
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, value: u32) {
+        self.d[i * self.n + j] = value;
+        self.d[j * self.n + i] = value;
+    }
+
+    /// Row `i` as a slice (distances from vertex `i`).
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.d[i * self.n..(i + 1) * self.n]
+    }
+
+    /// The largest entry — the graph diameter for a connected graph.
+    pub fn max(&self) -> u32 {
+        self.d.iter().copied().max().unwrap_or(0)
+    }
+
+    /// A new matrix extended by one vertex whose distances to the existing
+    /// vertices are `row` (`row.len() == len()`); the new diagonal entry is
+    /// 0.  Built in a single allocation straight from `self`.
+    pub fn with_new_vertex(&self, row: &[u32]) -> DistMatrix {
+        assert_eq!(row.len(), self.n, "new row must cover the existing vertices");
+        let n = self.n;
+        if n == 0 {
+            return DistMatrix { n: 1, d: vec![0] };
+        }
+        let mut d = Vec::with_capacity((n + 1) * (n + 1));
+        for (old_row, &new_entry) in self.d.chunks_exact(n).zip(row) {
+            d.extend_from_slice(old_row);
+            d.push(new_entry);
+        }
+        d.extend_from_slice(row);
+        d.push(0);
+        DistMatrix { n: n + 1, d }
+    }
+}
+
 /// Eccentricity of every vertex (max distance to any other vertex).
 /// Returns an error if the graph is empty or disconnected.
 pub fn eccentricities(graph: &LabeledGraph) -> GraphResult<Vec<u32>> {
@@ -145,6 +232,115 @@ pub fn min_shortest_path(graph: &LabeledGraph, s: VertexId, t: VertexId) -> Opti
         path.push(current);
     }
     Some(Path::new_unchecked(path))
+}
+
+/// Decides whether `graph` is connected, has diameter exactly `expected_len`,
+/// and the minimal vertex label sequence among its diameter-realizing
+/// shortest paths equals `bound` — i.e. whether `bound` is the canonical
+/// diameter's label sequence.
+///
+/// This is the hot verification primitive of the miner's per-extension
+/// invariant checks: each per-pair sweep is
+/// abandoned at the first label that exceeds `bound` (almost always the
+/// first step), a label below `bound` decides `false` immediately, and the
+/// sweep only runs to completion along prefixes equal to `bound`.
+pub fn diameter_label_sequence_is_canonical(
+    graph: &LabeledGraph,
+    expected_len: u32,
+    bound: &[Label],
+) -> GraphResult<bool> {
+    if graph.vertex_count() == 0 {
+        return Err(GraphError::EmptyGraph);
+    }
+    let dists = DistMatrix::all_pairs(graph);
+    if (0..dists.len()).any(|i| dists.row(i).contains(&UNREACHABLE)) {
+        return Err(GraphError::NotConnected);
+    }
+    Ok(diameter_label_sequence_is_canonical_with(graph, &dists, expected_len, bound))
+}
+
+/// [`diameter_label_sequence_is_canonical`] with a caller-provided exact
+/// all-pairs distance table (the graph must be connected) — the form the
+/// miner uses with its incrementally-maintained distances.
+pub fn diameter_label_sequence_is_canonical_with(
+    graph: &LabeledGraph,
+    dists: &DistMatrix,
+    expected_len: u32,
+    bound: &[Label],
+) -> bool {
+    let d = dists.max();
+    if d != expected_len || bound.len() != d as usize + 1 {
+        return false;
+    }
+    if d == 0 {
+        return bound == [graph.label(VertexId(0))];
+    }
+    let mut achieved = false;
+    for s in graph.vertices() {
+        if graph.label(s) > bound[0] {
+            continue;
+        }
+        for t in graph.vertices() {
+            if s == t || dists.get(s.index(), t.index()) != d {
+                continue;
+            }
+            if graph.label(s) < bound[0] {
+                // a diameter path starting below the bound's head label is
+                // already lexicographically smaller
+                return false;
+            }
+            let dist_s = dists.row(s.index());
+            let dist_t = dists.row(t.index());
+            let on_dag = |v: VertexId, i: u32| dist_s[v.index()] == i && dist_t[v.index()] == d - i;
+            let mut frontier: Vec<VertexId> = vec![s];
+            let mut verdict = Ordering::Equal;
+            for i in 0..d {
+                let mut best: Option<Label> = None;
+                let mut next: Vec<VertexId> = Vec::new();
+                for &v in &frontier {
+                    for n in graph.neighbor_ids(v) {
+                        if !on_dag(n, i + 1) {
+                            continue;
+                        }
+                        let l = graph.label(n);
+                        match best {
+                            None => {
+                                best = Some(l);
+                                next.push(n);
+                            }
+                            Some(b) => match l.cmp(&b) {
+                                Ordering::Less => {
+                                    best = Some(l);
+                                    next.clear();
+                                    next.push(n);
+                                }
+                                Ordering::Equal => next.push(n),
+                                Ordering::Greater => {}
+                            },
+                        }
+                    }
+                }
+                let best = best.expect("diameter pair frontier cannot dry up");
+                match best.cmp(&bound[i as usize + 1]) {
+                    // a strictly smaller sequence exists: every frontier
+                    // prefix extends to a full shortest path by construction
+                    Ordering::Less => return false,
+                    Ordering::Greater => {
+                        verdict = Ordering::Greater;
+                        break;
+                    }
+                    Ordering::Equal => {}
+                }
+                next.sort_unstable();
+                next.dedup();
+                frontier = next;
+            }
+            if verdict == Ordering::Equal {
+                achieved = true;
+            }
+        }
+    }
+    achieved
 }
 
 /// Computes the canonical diameter `L_G` of a connected graph (Definition 4):
@@ -327,15 +523,10 @@ mod tests {
         // head=0.
         let l = canonical_diameter(&g).unwrap();
         assert_eq!(l.len(), 6);
-        assert_eq!(l.vertices(), &[
-            VertexId(0),
-            VertexId(1),
-            VertexId(2),
-            VertexId(3),
-            VertexId(4),
-            VertexId(5),
-            VertexId(6)
-        ]);
+        assert_eq!(
+            l.vertices(),
+            &[VertexId(0), VertexId(1), VertexId(2), VertexId(3), VertexId(4), VertexId(5), VertexId(6)]
+        );
     }
 
     #[test]

@@ -106,7 +106,7 @@ impl Embedding {
 }
 
 /// How `|E[P]| >= σ` is interpreted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum SupportMeasure {
     /// Raw number of embeddings (vertex mappings).  Automorphic patterns are
     /// counted once per automorphism.
@@ -114,6 +114,7 @@ pub enum SupportMeasure {
     /// Number of distinct data-vertex sets among the embeddings.  This
     /// collapses automorphisms and matches the paper's "inject a pattern with
     /// s embeddings" semantics; it is the default for the reproduction.
+    #[default]
     DistinctVertexSets,
     /// Minimum-image-based support (MNI): the minimum, over pattern vertices,
     /// of the number of distinct data vertices that vertex maps to.  MNI is
@@ -122,12 +123,6 @@ pub enum SupportMeasure {
     /// Transaction support: number of distinct transactions containing at
     /// least one embedding (graph-transaction setting).
     Transactions,
-}
-
-impl Default for SupportMeasure {
-    fn default() -> Self {
-        SupportMeasure::DistinctVertexSets
-    }
 }
 
 /// The embeddings of one pattern, together with support computation.
@@ -151,6 +146,12 @@ impl EmbeddingSet {
     /// Adds an embedding.
     pub fn push(&mut self, e: Embedding) {
         self.embeddings.push(e);
+    }
+
+    /// Appends all embeddings of `other`, preserving their order (used by the
+    /// parallel joins' ordered partial-result merge).
+    pub fn append(&mut self, other: EmbeddingSet) {
+        self.embeddings.extend(other.embeddings);
     }
 
     /// Number of raw embeddings.
@@ -268,13 +269,10 @@ mod tests {
     #[test]
     fn validity_check() {
         // data: triangle 0(a)-1(b)-2(a); pattern: edge a-b
-        let data = LabeledGraph::from_unlabeled_edges(
-            &[Label(0), Label(1), Label(0)],
-            [(0, 1), (1, 2), (0, 2)],
-        )
-        .unwrap();
-        let pattern =
-            LabeledGraph::from_unlabeled_edges(&[Label(0), Label(1)], [(0, 1)]).unwrap();
+        let data =
+            LabeledGraph::from_unlabeled_edges(&[Label(0), Label(1), Label(0)], [(0, 1), (1, 2), (0, 2)])
+                .unwrap();
+        let pattern = LabeledGraph::from_unlabeled_edges(&[Label(0), Label(1)], [(0, 1)]).unwrap();
         assert!(Embedding::new(v(&[0, 1])).is_valid(&pattern, &data));
         assert!(Embedding::new(v(&[2, 1])).is_valid(&pattern, &data));
         // wrong label

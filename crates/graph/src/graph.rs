@@ -98,12 +98,7 @@ impl LabeledGraph {
 
     /// Creates an empty graph with capacity reserved for `n` vertices.
     pub fn with_capacity(n: usize) -> Self {
-        LabeledGraph {
-            labels: Vec::with_capacity(n),
-            adj: Vec::with_capacity(n),
-            edge_count: 0,
-            name: None,
-        }
+        LabeledGraph { labels: Vec::with_capacity(n), adj: Vec::with_capacity(n), edge_count: 0, name: None }
     }
 
     /// Builds a graph from a vertex label slice and an edge list in one call.
@@ -272,10 +267,7 @@ impl LabeledGraph {
         if u.index() >= self.adj.len() {
             return None;
         }
-        self.adj[u.index()]
-            .binary_search_by_key(&v, |&(n, _)| n)
-            .ok()
-            .map(|i| self.adj[u.index()][i].1)
+        self.adj[u.index()].binary_search_by_key(&v, |&(n, _)| n).ok().map(|i| self.adj[u.index()][i].1)
     }
 
     /// Iterates over all vertex ids `0..|V|`.
@@ -286,9 +278,7 @@ impl LabeledGraph {
     /// Iterates over all edges, each reported once with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
         self.vertices().flat_map(move |u| {
-            self.neighbors(u)
-                .filter(move |&(v, _)| u < v)
-                .map(move |(v, label)| Edge { u, v, label })
+            self.neighbors(u).filter(move |&(v, _)| u < v).map(move |(v, label)| Edge { u, v, label })
         })
     }
 
@@ -409,8 +399,7 @@ mod tests {
     use super::*;
 
     fn tri() -> LabeledGraph {
-        LabeledGraph::from_unlabeled_edges(&[Label(0), Label(1), Label(2)], [(0, 1), (1, 2), (0, 2)])
-            .unwrap()
+        LabeledGraph::from_unlabeled_edges(&[Label(0), Label(1), Label(2)], [(0, 1), (1, 2), (0, 2)]).unwrap()
     }
 
     #[test]
@@ -478,11 +467,7 @@ mod tests {
 
     #[test]
     fn edge_labels_stored() {
-        let g = LabeledGraph::from_parts(
-            &[Label(0), Label(1)],
-            [(0u32, 1u32, Label(7))],
-        )
-        .unwrap();
+        let g = LabeledGraph::from_parts(&[Label(0), Label(1)], [(0u32, 1u32, Label(7))]).unwrap();
         assert_eq!(g.edge_label(VertexId(0), VertexId(1)), Some(Label(7)));
         assert_eq!(g.edge_label(VertexId(1), VertexId(0)), Some(Label(7)));
         assert_eq!(g.edge_label(VertexId(0), VertexId(0)), None);
@@ -521,11 +506,9 @@ mod tests {
     fn signature_is_isomorphism_invariant_for_relabeling() {
         // same triangle with vertices in a different order
         let g1 = tri();
-        let g2 = LabeledGraph::from_unlabeled_edges(
-            &[Label(2), Label(0), Label(1)],
-            [(0, 1), (1, 2), (0, 2)],
-        )
-        .unwrap();
+        let g2 =
+            LabeledGraph::from_unlabeled_edges(&[Label(2), Label(0), Label(1)], [(0, 1), (1, 2), (0, 2)])
+                .unwrap();
         assert_eq!(g1.signature(), g2.signature());
     }
 

@@ -71,7 +71,11 @@ pub fn parse_database(text: &str) -> GraphResult<GraphDatabase> {
                 if id as usize != g.vertex_count() {
                     return Err(GraphError::Parse {
                         line: lineno,
-                        reason: format!("vertex ids must be sequential; expected {}, got {}", g.vertex_count(), id),
+                        reason: format!(
+                            "vertex ids must be sequential; expected {}, got {}",
+                            g.vertex_count(),
+                            id
+                        ),
                     });
                 }
                 g.add_vertex(Label(label));
@@ -93,16 +97,11 @@ pub fn parse_database(text: &str) -> GraphResult<GraphDatabase> {
                     })
                     .transpose()?
                     .unwrap_or(0);
-                g.add_edge(VertexId(u), VertexId(v), Label(label)).map_err(|e| GraphError::Parse {
-                    line: lineno,
-                    reason: e.to_string(),
-                })?;
+                g.add_edge(VertexId(u), VertexId(v), Label(label))
+                    .map_err(|e| GraphError::Parse { line: lineno, reason: e.to_string() })?;
             }
             other => {
-                return Err(GraphError::Parse {
-                    line: lineno,
-                    reason: format!("unknown line tag '{other}'"),
-                })
+                return Err(GraphError::Parse { line: lineno, reason: format!("unknown line tag '{other}'") })
             }
         }
     }

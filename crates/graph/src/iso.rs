@@ -57,9 +57,9 @@ fn backtrack(
         }
         // adjacency with already-mapped vertices must match exactly
         let mut ok = true;
-        for prev in 0..next {
+        for (prev, slot) in mapping.iter().enumerate().take(next) {
             let pv = VertexId(prev as u32);
-            let mapped = mapping[prev].expect("mapped earlier");
+            let mapped = slot.expect("mapped earlier");
             let a_adj = a.has_edge(u, pv);
             let b_adj = b.has_edge(cand, mapped);
             if a_adj != b_adj {
@@ -119,9 +119,9 @@ fn count_automorphisms(
             continue;
         }
         let mut ok = true;
-        for prev in 0..next {
+        for (prev, slot) in mapping.iter().enumerate().take(next) {
             let pv = VertexId(prev as u32);
-            let mapped = mapping[prev].expect("mapped earlier");
+            let mapped = slot.expect("mapped earlier");
             if g.has_edge(u, pv) != g.has_edge(cand, mapped) {
                 ok = false;
                 break;
@@ -184,16 +184,10 @@ mod tests {
 
     #[test]
     fn path_vs_reversed_path_isomorphic() {
-        let a = LabeledGraph::from_unlabeled_edges(
-            &[Label(0), Label(1), Label(2)],
-            [(0, 1), (1, 2)],
-        )
-        .unwrap();
-        let b = LabeledGraph::from_unlabeled_edges(
-            &[Label(2), Label(1), Label(0)],
-            [(0, 1), (1, 2)],
-        )
-        .unwrap();
+        let a =
+            LabeledGraph::from_unlabeled_edges(&[Label(0), Label(1), Label(2)], [(0, 1), (1, 2)]).unwrap();
+        let b =
+            LabeledGraph::from_unlabeled_edges(&[Label(2), Label(1), Label(0)], [(0, 1), (1, 2)]).unwrap();
         assert!(are_isomorphic(&a, &b));
     }
 
@@ -229,10 +223,12 @@ mod tests {
     #[test]
     fn automorphisms_of_uniform_path() {
         // a path with symmetric labels has exactly 2 automorphisms
-        let p = LabeledGraph::from_unlabeled_edges(&[Label(0), Label(1), Label(0)], [(0, 1), (1, 2)]).unwrap();
+        let p =
+            LabeledGraph::from_unlabeled_edges(&[Label(0), Label(1), Label(0)], [(0, 1), (1, 2)]).unwrap();
         assert_eq!(automorphism_count(&p), 2);
         // asymmetric labels: only the identity
-        let q = LabeledGraph::from_unlabeled_edges(&[Label(0), Label(1), Label(2)], [(0, 1), (1, 2)]).unwrap();
+        let q =
+            LabeledGraph::from_unlabeled_edges(&[Label(0), Label(1), Label(2)], [(0, 1), (1, 2)]).unwrap();
         assert_eq!(automorphism_count(&q), 1);
     }
 }

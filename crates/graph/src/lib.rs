@@ -26,8 +26,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-pub mod distance;
 pub mod dfscode;
+pub mod distance;
 pub mod embedding;
 pub mod error;
 pub mod graph;
@@ -40,8 +40,11 @@ pub mod subiso;
 pub mod transaction;
 pub mod traversal;
 
-pub use distance::{all_pairs_distances, canonical_diameter, diameter, distances_to_path, min_shortest_path};
 pub use dfscode::{canonical_key, is_min_code, min_dfs_code, DfsCode, DfsEdge};
+pub use distance::{
+    all_pairs_distances, canonical_diameter, diameter, diameter_label_sequence_is_canonical,
+    diameter_label_sequence_is_canonical_with, distances_to_path, min_shortest_path, DistMatrix,
+};
 pub use embedding::{Embedding, EmbeddingSet, SupportMeasure};
 pub use error::{GraphError, GraphResult};
 pub use graph::{Edge, GraphSignature, LabeledGraph, VertexId};

@@ -44,10 +44,7 @@ impl Path {
         let mut seen = HashSet::with_capacity(vertices.len());
         for &v in &vertices {
             if v.index() >= graph.vertex_count() {
-                return Err(GraphError::VertexOutOfBounds {
-                    vertex: v.0,
-                    len: graph.vertex_count(),
-                });
+                return Err(GraphError::VertexOutOfBounds { vertex: v.0, len: graph.vertex_count() });
             }
             if !seen.insert(v) {
                 return Err(GraphError::InvalidPath {
@@ -222,7 +219,12 @@ pub fn total_path_order(graph: &LabeledGraph, a: &Path, b: &Path) -> Ordering {
 ///
 /// `limit` optionally bounds the number of paths visited (useful in tests on
 /// dense graphs).  Returns the number of paths visited.
-pub fn enumerate_simple_paths<F>(graph: &LabeledGraph, len: usize, limit: Option<usize>, mut visit: F) -> usize
+pub fn enumerate_simple_paths<F>(
+    graph: &LabeledGraph,
+    len: usize,
+    limit: Option<usize>,
+    mut visit: F,
+) -> usize
 where
     F: FnMut(&Path),
 {
@@ -344,11 +346,8 @@ mod tests {
     #[test]
     fn total_order_breaks_ties_by_ids() {
         // graph with identical labels so lexicographic order is a tie
-        let g = LabeledGraph::from_unlabeled_edges(
-            &[Label(0), Label(0), Label(0)],
-            [(0, 1), (1, 2)],
-        )
-        .unwrap();
+        let g =
+            LabeledGraph::from_unlabeled_edges(&[Label(0), Label(0), Label(0)], [(0, 1), (1, 2)]).unwrap();
         let a = Path::new_unchecked(vec![VertexId(0), VertexId(1)]);
         let b = Path::new_unchecked(vec![VertexId(1), VertexId(2)]);
         assert_eq!(lexicographic_path_order(&g, &a, &b), Ordering::Equal);

@@ -10,18 +10,12 @@ use crate::embedding::{Embedding, EmbeddingSet};
 use crate::graph::{LabeledGraph, VertexId};
 
 /// Options controlling the embedding search.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct SubIsoOptions {
     /// Stop after this many embeddings have been found (None = unlimited).
     pub limit: Option<usize>,
     /// Transaction index recorded on each produced embedding.
     pub transaction: usize,
-}
-
-impl Default for SubIsoOptions {
-    fn default() -> Self {
-        SubIsoOptions { limit: None, transaction: 0 }
-    }
 }
 
 /// Enumerates embeddings of `pattern` in `data`.
@@ -117,8 +111,7 @@ impl SearchState<'_> {
             return;
         }
         if depth == self.order.len() {
-            let vertices: Vec<VertexId> =
-                self.mapping.iter().map(|m| m.expect("complete mapping")).collect();
+            let vertices: Vec<VertexId> = self.mapping.iter().map(|m| m.expect("complete mapping")).collect();
             self.out.push(Embedding::in_transaction(vertices, self.transaction));
             return;
         }
@@ -147,21 +140,10 @@ impl SearchState<'_> {
     /// candidates; otherwise all data vertices with the right label.
     fn candidates(&self, pv: VertexId, _depth: usize) -> Vec<VertexId> {
         let label = self.pattern.label(pv);
-        let anchored = self
-            .pattern
-            .neighbor_ids(pv)
-            .find_map(|n| self.mapping[n.index()]);
+        let anchored = self.pattern.neighbor_ids(pv).find_map(|n| self.mapping[n.index()]);
         match anchored {
-            Some(image) => self
-                .data
-                .neighbor_ids(image)
-                .filter(|&d| self.data.label(d) == label)
-                .collect(),
-            None => self
-                .data
-                .vertices()
-                .filter(|&d| self.data.label(d) == label)
-                .collect(),
+            Some(image) => self.data.neighbor_ids(image).filter(|&d| self.data.label(d) == label).collect(),
+            None => self.data.vertices().filter(|&d| self.data.label(d) == label).collect(),
         }
     }
 
@@ -222,8 +204,7 @@ mod tests {
 
     #[test]
     fn symmetric_pattern_counts_both_orientations() {
-        let data =
-            LabeledGraph::from_unlabeled_edges(&[Label(1), Label(1)], [(0, 1)]).unwrap();
+        let data = LabeledGraph::from_unlabeled_edges(&[Label(1), Label(1)], [(0, 1)]).unwrap();
         let p = edge_pattern(1, 1);
         let em = find_embeddings(&p, &data, SubIsoOptions::default());
         assert_eq!(em.len(), 2);
@@ -234,11 +215,8 @@ mod tests {
     fn path_of_length_two() {
         let data = data_graph();
         // pattern a-b-a
-        let p = LabeledGraph::from_unlabeled_edges(
-            &[Label(0), Label(1), Label(0)],
-            [(0, 1), (1, 2)],
-        )
-        .unwrap();
+        let p =
+            LabeledGraph::from_unlabeled_edges(&[Label(0), Label(1), Label(0)], [(0, 1), (1, 2)]).unwrap();
         let em = find_embeddings(&p, &data, SubIsoOptions::default());
         // center b=1: pairs {0,2} in both orders -> 2; center b=3: {2,4} both orders -> 2
         assert_eq!(em.len(), 4);
@@ -265,11 +243,9 @@ mod tests {
 
     #[test]
     fn triangle_pattern_in_triangle_data() {
-        let data = LabeledGraph::from_unlabeled_edges(
-            &[Label(0), Label(0), Label(0)],
-            [(0, 1), (1, 2), (0, 2)],
-        )
-        .unwrap();
+        let data =
+            LabeledGraph::from_unlabeled_edges(&[Label(0), Label(0), Label(0)], [(0, 1), (1, 2), (0, 2)])
+                .unwrap();
         let p = data.clone();
         let em = find_embeddings(&p, &data, SubIsoOptions::default());
         // all 3! label-preserving mappings
@@ -286,11 +262,7 @@ mod tests {
 
     #[test]
     fn edge_labels_must_match() {
-        let data = LabeledGraph::from_parts(
-            &[Label(0), Label(1)],
-            [(0u32, 1u32, Label(5))],
-        )
-        .unwrap();
+        let data = LabeledGraph::from_parts(&[Label(0), Label(1)], [(0u32, 1u32, Label(5))]).unwrap();
         let p_match = LabeledGraph::from_parts(&[Label(0), Label(1)], [(0u32, 1u32, Label(5))]).unwrap();
         let p_mismatch = LabeledGraph::from_parts(&[Label(0), Label(1)], [(0u32, 1u32, Label(6))]).unwrap();
         assert_eq!(count_embeddings(&p_match, &data, None), 1);

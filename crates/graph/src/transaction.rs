@@ -67,8 +67,7 @@ impl GraphDatabase {
 
     /// All distinct vertex labels present in the database, sorted.
     pub fn distinct_vertex_labels(&self) -> Vec<Label> {
-        let mut labels: Vec<Label> =
-            self.graphs.iter().flat_map(|g| g.labels().iter().copied()).collect();
+        let mut labels: Vec<Label> = self.graphs.iter().flat_map(|g| g.labels().iter().copied()).collect();
         labels.sort();
         labels.dedup();
         labels
@@ -82,10 +81,15 @@ impl GraphDatabase {
 
     /// Collects all embeddings of `pattern` across all transactions, with the
     /// transaction index recorded on each embedding.
-    pub fn find_all_embeddings(&self, pattern: &LabeledGraph, per_transaction_limit: Option<usize>) -> EmbeddingSet {
+    pub fn find_all_embeddings(
+        &self,
+        pattern: &LabeledGraph,
+        per_transaction_limit: Option<usize>,
+    ) -> EmbeddingSet {
         let mut out = EmbeddingSet::new();
         for (i, g) in self.iter() {
-            let em = find_embeddings(pattern, g, SubIsoOptions { limit: per_transaction_limit, transaction: i });
+            let em =
+                find_embeddings(pattern, g, SubIsoOptions { limit: per_transaction_limit, transaction: i });
             for e in em.embeddings {
                 out.push(e);
             }
@@ -136,11 +140,8 @@ mod tests {
     fn db() -> GraphDatabase {
         // t0: a-b, t1: a-b-a path, t2: c-c
         let t0 = edge_graph(0, 1);
-        let t1 = LabeledGraph::from_unlabeled_edges(
-            &[Label(0), Label(1), Label(0)],
-            [(0, 1), (1, 2)],
-        )
-        .unwrap();
+        let t1 =
+            LabeledGraph::from_unlabeled_edges(&[Label(0), Label(1), Label(0)], [(0, 1), (1, 2)]).unwrap();
         let t2 = edge_graph(2, 2);
         GraphDatabase::from_graphs(vec![t0, t1, t2])
     }
@@ -155,10 +156,7 @@ mod tests {
         assert!(d.get(0).is_ok());
         assert!(d.get(9).is_err());
         assert_eq!(d[1].vertex_count(), 3);
-        assert_eq!(
-            d.distinct_vertex_labels(),
-            vec![Label(0), Label(1), Label(2)]
-        );
+        assert_eq!(d.distinct_vertex_labels(), vec![Label(0), Label(1), Label(2)]);
     }
 
     #[test]

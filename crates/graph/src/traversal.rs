@@ -113,10 +113,8 @@ pub fn largest_component(graph: &LabeledGraph) -> Vec<VertexId> {
 /// SpiderMine baseline's spiders.
 pub fn ball(graph: &LabeledGraph, center: VertexId, radius: u32) -> Vec<VertexId> {
     let dist = bfs_distances(graph, center);
-    let mut out: Vec<VertexId> = graph
-        .vertices()
-        .filter(|v| dist[v.index()] != UNREACHABLE && dist[v.index()] <= radius)
-        .collect();
+    let mut out: Vec<VertexId> =
+        graph.vertices().filter(|v| dist[v.index()] != UNREACHABLE && dist[v.index()] <= radius).collect();
     out.sort();
     out
 }

@@ -1,0 +1,205 @@
+//! # skinny-pool
+//!
+//! A small dependency-free **work-stealing** scoped thread pool used by the
+//! SkinnyMine parallel paths (Stage-I join levels, Stage-II cluster growth,
+//! and index serving).
+//!
+//! Tasks are the indices `0..tasks`.  Each worker owns a deque seeded with a
+//! contiguous block of indices; it pops from the **back** of its own deque
+//! (LIFO, cache-friendly) and, when empty, **steals from the front** of the
+//! other workers' deques (FIFO, so it takes the work its victim would touch
+//! last).  Because mining tasks never spawn subtasks, the pool drains to
+//! completion without a termination protocol.
+//!
+//! Results are collected as `(index, value)` pairs and merged **in task-index
+//! order**, so the output of [`run_indexed`] / [`run_with`] is byte-identical
+//! to a sequential `(0..tasks).map(f)` regardless of thread count or steal
+//! interleaving — the property the miner's `threads ∈ {1, N}` determinism
+//! guarantee rests on.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Runs `f(i)` for every `i in 0..tasks` on up to `threads` workers and
+/// returns the results ordered by task index.
+///
+/// With `threads <= 1` or `tasks <= 1` the tasks run inline on the calling
+/// thread (no spawn cost, trivially deterministic).
+pub fn run_indexed<T, F>(threads: usize, tasks: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_with(threads, tasks, || (), move |(), i| f(i))
+}
+
+/// Like [`run_indexed`], but each worker first builds private scratch state
+/// with `init` (e.g. a per-worker grower) that is reused across all the tasks
+/// that worker executes or steals.
+pub fn run_with<S, T, F, I>(threads: usize, tasks: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    if tasks == 0 {
+        return Vec::new();
+    }
+    let workers = threads.min(tasks).max(1);
+    if workers == 1 {
+        let mut state = init();
+        return (0..tasks).map(|i| f(&mut state, i)).collect();
+    }
+
+    // One deque per worker, seeded with contiguous blocks of task indices so
+    // neighbouring tasks (which often touch related data) start on the same
+    // worker.
+    let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| {
+            let lo = w * tasks / workers;
+            let hi = (w + 1) * tasks / workers;
+            Mutex::new((lo..hi).collect())
+        })
+        .collect();
+
+    let mut collected: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let deques = &deques;
+                let init = &init;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut state = init();
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    while let Some(i) = next_task(deques, w) {
+                        local.push((i, f(&mut state, i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("pool worker must not panic")).collect()
+    });
+
+    // Deterministic ordered merge: flatten and sort by task index.
+    let mut flat: Vec<(usize, T)> = Vec::with_capacity(tasks);
+    for chunk in &mut collected {
+        flat.append(chunk);
+    }
+    flat.sort_by_key(|&(i, _)| i);
+    debug_assert_eq!(flat.len(), tasks);
+    flat.into_iter().map(|(_, v)| v).collect()
+}
+
+/// Pops from worker `w`'s own deque back, falling back to stealing from the
+/// front of the other deques (scanning from `w + 1` round-robin).
+fn next_task(deques: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
+    if let Some(i) = deques[w].lock().expect("pool deque poisoned").pop_back() {
+        return Some(i);
+    }
+    let n = deques.len();
+    for off in 1..n {
+        let victim = (w + off) % n;
+        if let Some(i) = deques[victim].lock().expect("pool deque poisoned").pop_front() {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// Splits `len` items into at most `threads * per_thread_chunks` contiguous
+/// chunk ranges of near-equal size — the task decomposition the Stage-I
+/// parallel joins use.  Returns an empty vector for `len == 0`.
+pub fn chunk_ranges(len: usize, threads: usize, per_thread_chunks: usize) -> Vec<std::ops::Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunks = (threads.max(1) * per_thread_chunks.max(1)).min(len);
+    (0..chunks)
+        .map(|c| {
+            let lo = c * len / chunks;
+            let hi = (c + 1) * len / chunks;
+            lo..hi
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_are_in_task_order() {
+        for threads in [1, 2, 3, 8] {
+            let out = run_indexed(threads, 100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let counters: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        run_indexed(4, 64, |i| counters[i].fetch_add(1, Ordering::Relaxed));
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn uneven_task_costs_are_balanced_by_stealing() {
+        // tasks with wildly different costs still produce ordered output
+        let out = run_indexed(4, 40, |i| {
+            if i % 7 == 0 {
+                // simulate a heavy task
+                let mut acc = 0u64;
+                for k in 0..50_000u64 {
+                    acc = acc.wrapping_add(k.wrapping_mul(k));
+                }
+                std::hint::black_box(acc);
+            }
+            i
+        });
+        assert_eq!(out, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn per_worker_state_is_reused() {
+        let inits = AtomicUsize::new(0);
+        let out = run_with(
+            3,
+            30,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0usize
+            },
+            |state, i| {
+                *state += 1;
+                i
+            },
+        );
+        assert_eq!(out.len(), 30);
+        assert!(inits.load(Ordering::Relaxed) <= 3);
+    }
+
+    #[test]
+    fn zero_and_one_task_edge_cases() {
+        assert!(run_indexed(4, 0, |i| i).is_empty());
+        assert_eq!(run_indexed(4, 1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn chunk_ranges_cover_everything() {
+        for len in [0usize, 1, 5, 97, 1000] {
+            for threads in [1usize, 2, 8] {
+                let ranges = chunk_ranges(len, threads, 4);
+                let covered: usize = ranges.iter().map(|r| r.len()).sum();
+                assert_eq!(covered, len);
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].end, w[1].start, "ranges must be contiguous");
+                }
+            }
+        }
+    }
+}

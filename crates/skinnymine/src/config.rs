@@ -96,7 +96,7 @@ pub enum ConstraintCheckMode {
 
 /// Configuration of one SkinnyMine run (the `(l, δ)`-SPM problem instance of
 /// Definition 8 plus implementation knobs).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct SkinnyMineConfig {
     /// Diameter length constraint `l`.
     pub length: LengthConstraint,

@@ -27,6 +27,7 @@ pub struct DiamMine<'a> {
     data: MiningData<'a>,
     sigma: usize,
     support: SupportMeasure,
+    threads: usize,
 }
 
 /// A directed view of one stored path occurrence, used while joining.
@@ -40,7 +41,15 @@ impl<'a> DiamMine<'a> {
     /// Creates a Stage-I miner over `data` with support threshold `sigma`
     /// under the given support measure.
     pub fn new(data: MiningData<'a>, sigma: usize, support: SupportMeasure) -> Self {
-        DiamMine { data, sigma, support }
+        DiamMine { data, sigma, support, threads: 1 }
+    }
+
+    /// Sets the number of worker threads used by the occurrence-level joins
+    /// (1 = sequential).  The mined patterns and their occurrence order are
+    /// identical for every thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// All frequent paths of length exactly 1 (frequent edges) — the seed set
@@ -73,10 +82,9 @@ impl<'a> DiamMine<'a> {
         for (i, o) in occs.iter().enumerate() {
             by_head.entry((o.transaction, o.vertices[0])).or_default().push(i);
         }
-        let mut by_key: HashMap<PathKey, PathPattern> = HashMap::new();
-        for a in &occs {
+        let by_key = self.join_occurrences(&occs, |a, local| {
             let tail = *a.vertices.last().expect("occurrence is nonempty");
-            let Some(candidates) = by_head.get(&(a.transaction, tail)) else { continue };
+            let Some(candidates) = by_head.get(&(a.transaction, tail)) else { return };
             for &bi in candidates {
                 let b = &occs[bi];
                 if !disjoint_except_shared(&a.vertices, &b.vertices) {
@@ -86,12 +94,13 @@ impl<'a> DiamMine<'a> {
                 combined.extend_from_slice(&b.vertices[1..]);
                 let g = self.data.graph(a.transaction);
                 let (key, reversed) = PathPattern::key_of_occurrence(g, &combined);
-                by_key
-                    .entry(key.clone())
-                    .or_insert_with(|| PathPattern::new(key))
-                    .add_occurrence(a.transaction, combined, reversed);
+                local.entry(key.clone()).or_insert_with(|| PathPattern::new(key)).add_occurrence(
+                    a.transaction,
+                    combined,
+                    reversed,
+                );
             }
-        }
+        });
         self.finalize(by_key)
     }
 
@@ -114,10 +123,9 @@ impl<'a> DiamMine<'a> {
             let prefix = o.vertices[..overlap_vertices].to_vec();
             by_prefix.entry((o.transaction, prefix)).or_default().push(i);
         }
-        let mut by_key: HashMap<PathKey, PathPattern> = HashMap::new();
-        for a in &occs {
+        let by_key = self.join_occurrences(&occs, |a, local| {
             let suffix = a.vertices[a.vertices.len() - overlap_vertices..].to_vec();
-            let Some(candidates) = by_prefix.get(&(a.transaction, suffix)) else { continue };
+            let Some(candidates) = by_prefix.get(&(a.transaction, suffix)) else { return };
             for &bi in candidates {
                 let b = &occs[bi];
                 let mut combined = a.vertices.clone();
@@ -127,13 +135,59 @@ impl<'a> DiamMine<'a> {
                 }
                 let g = self.data.graph(a.transaction);
                 let (key, reversed) = PathPattern::key_of_occurrence(g, &combined);
-                by_key
-                    .entry(key.clone())
-                    .or_insert_with(|| PathPattern::new(key))
-                    .add_occurrence(a.transaction, combined, reversed);
+                local.entry(key.clone()).or_insert_with(|| PathPattern::new(key)).add_occurrence(
+                    a.transaction,
+                    combined,
+                    reversed,
+                );
+            }
+        });
+        self.finalize(by_key)
+    }
+
+    /// Runs the per-occurrence join body over all of `occs`, sequentially
+    /// with one accumulator map when `threads == 1`, or on the work-stealing
+    /// pool over contiguous occurrence chunks otherwise.
+    ///
+    /// The per-chunk partial maps are merged **in chunk order**, so every
+    /// pattern's occurrence list ends up in the exact order the sequential
+    /// loop would have produced — Stage I is deterministic for any thread
+    /// count.
+    fn join_occurrences<F>(&self, occs: &[DirectedOcc], body: F) -> HashMap<PathKey, PathPattern>
+    where
+        F: Fn(&DirectedOcc, &mut HashMap<PathKey, PathPattern>) + Sync,
+    {
+        // Parallelism only pays once there is real join work per chunk.
+        const MIN_PARALLEL_OCCS: usize = 256;
+        if self.threads <= 1 || occs.len() < MIN_PARALLEL_OCCS {
+            let mut by_key = HashMap::new();
+            for a in occs {
+                body(a, &mut by_key);
+            }
+            return by_key;
+        }
+        let ranges = skinny_pool::chunk_ranges(occs.len(), self.threads, 4);
+        let partials = skinny_pool::run_indexed(self.threads, ranges.len(), |c| {
+            let mut local: HashMap<PathKey, PathPattern> = HashMap::new();
+            for a in &occs[ranges[c].clone()] {
+                body(a, &mut local);
+            }
+            local
+        });
+        let mut merged: HashMap<PathKey, PathPattern> = HashMap::new();
+        for partial in partials {
+            for (key, pattern) in partial {
+                match merged.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        e.get_mut().embeddings.append(pattern.embeddings);
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(pattern);
+                    }
+                }
             }
         }
-        self.finalize(by_key)
+        merged
     }
 
     /// Frequent paths of every power-of-two length `2^0 .. 2^max_exp`,
@@ -368,11 +422,9 @@ mod tests {
         // a 6-cycle with all-equal labels: every path of length 3 is an
         // occurrence of the single all-zero label path pattern; there are 6
         // undirected paths of length 3 (one per starting edge... exactly 6).
-        let g = LabeledGraph::from_unlabeled_edges(
-            &[l(0); 6],
-            [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)],
-        )
-        .unwrap();
+        let g =
+            LabeledGraph::from_unlabeled_edges(&[l(0); 6], [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
+                .unwrap();
         let m = miner(&g, 1);
         let len3 = m.mine_exact(3);
         assert_eq!(len3.len(), 1);
@@ -418,7 +470,8 @@ mod tests {
     fn branching_structure_counts_all_simple_paths() {
         // star-ish: center 0 with neighbors 1,2,3 (all label 1, center label 0);
         // paths of length 2 through the center: {1,0,2}, {1,0,3}, {2,0,3}
-        let g = LabeledGraph::from_unlabeled_edges(&[l(0), l(1), l(1), l(1)], [(0, 1), (0, 2), (0, 3)]).unwrap();
+        let g =
+            LabeledGraph::from_unlabeled_edges(&[l(0), l(1), l(1), l(1)], [(0, 1), (0, 2), (0, 3)]).unwrap();
         let m = miner(&g, 1);
         let len2 = m.mine_exact(2);
         assert_eq!(len2.len(), 1);

@@ -34,13 +34,15 @@ pub trait GraphConstraint {
     fn satisfied(&self, pattern: &LabeledGraph) -> bool;
 
     /// True when `P` satisfies the constraint and no proper connected
-    /// sub-pattern with one fewer edge does — i.e. `P` is a *minimal
-    /// constraint-satisfying pattern*.
+    /// sub-pattern one growth step smaller does — i.e. `P` is a *minimal
+    /// constraint-satisfying pattern*.  A growth step adds either one edge
+    /// or one vertex together with its incident edges, so the reductions
+    /// checked are the one-edge-removed and one-vertex-removed sub-patterns.
     fn is_minimal(&self, pattern: &LabeledGraph) -> bool {
         if !self.satisfied(pattern) {
             return false;
         }
-        one_edge_subpatterns(pattern).iter().all(|sub| !self.satisfied(sub))
+        one_step_subpatterns(pattern).iter().all(|sub| !self.satisfied(sub))
     }
 }
 
@@ -56,8 +58,10 @@ pub trait Reducible: GraphConstraint {
 /// minimal one by single-edge extensions that stay inside the constraint.
 pub trait Continuous: GraphConstraint {
     /// Checks the continuity condition for one concrete pattern: either `P`
-    /// is minimal, or some one-edge-smaller connected sub-pattern satisfies
-    /// the constraint.
+    /// is minimal, or some connected sub-pattern one growth step smaller
+    /// (one edge removed, or one vertex removed with its incident edges —
+    /// the reverse of the miner's two extension operations) satisfies the
+    /// constraint.
     fn continuity_holds_for(&self, pattern: &LabeledGraph) -> bool {
         if !self.satisfied(pattern) {
             return true; // vacuously
@@ -65,7 +69,7 @@ pub trait Continuous: GraphConstraint {
         if self.is_minimal(pattern) {
             return true;
         }
-        one_edge_subpatterns(pattern).iter().any(|sub| self.satisfied(sub))
+        one_step_subpatterns(pattern).iter().any(|sub| self.satisfied(sub))
     }
 }
 
@@ -86,12 +90,7 @@ pub fn one_edge_subpatterns(pattern: &LabeledGraph) -> Vec<LabeledGraph> {
     let edges: Vec<_> = pattern.edges().collect();
     let mut out = Vec::new();
     for skip in 0..edges.len() {
-        let kept: Vec<_> = edges
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| i != skip)
-            .map(|(_, e)| *e)
-            .collect();
+        let kept: Vec<_> = edges.iter().enumerate().filter(|&(i, _)| i != skip).map(|(_, e)| *e).collect();
         if kept.is_empty() {
             continue;
         }
@@ -100,6 +99,34 @@ pub fn one_edge_subpatterns(pattern: &LabeledGraph) -> Vec<LabeledGraph> {
             out.push(sub);
         }
     }
+    out
+}
+
+/// All connected sub-patterns obtained by deleting exactly one vertex with
+/// its incident edges — the reverse of a vertex(+edges) attachment step.
+pub fn one_vertex_subpatterns(pattern: &LabeledGraph) -> Vec<LabeledGraph> {
+    let edges: Vec<_> = pattern.edges().collect();
+    let mut out = Vec::new();
+    for v in pattern.vertices() {
+        let kept: Vec<_> = edges.iter().filter(|e| e.u != v && e.v != v).copied().collect();
+        if kept.is_empty() {
+            continue;
+        }
+        let (sub, _) = pattern.edge_subgraph(&kept);
+        // the removed vertex must actually be gone and the rest connected
+        if sub.vertex_count() == pattern.vertex_count() - 1 && skinny_graph::is_connected(&sub) {
+            out.push(sub);
+        }
+    }
+    out
+}
+
+/// All connected sub-patterns one growth step smaller: the union of the
+/// one-edge-removed and one-vertex-removed reductions, matching the miner's
+/// two extension operations (closing edge; new vertex with its edges).
+pub fn one_step_subpatterns(pattern: &LabeledGraph) -> Vec<LabeledGraph> {
+    let mut out = one_edge_subpatterns(pattern);
+    out.extend(one_vertex_subpatterns(pattern));
     out
 }
 
@@ -135,13 +162,13 @@ impl GraphConstraint for SkinnyConstraint {
         }
     }
 
-    fn is_minimal(&self, pattern: &LabeledGraph) -> bool {
-        // minimal constraint-satisfying patterns are exactly the simple paths
-        // of length l (Observation 1)
-        self.satisfied(pattern)
-            && pattern.vertex_count() == self.l + 1
-            && pattern.edge_count() == self.l
-    }
+    // `is_minimal` intentionally uses the trait's reduction-based default.
+    // The paper's Observation 1 ("minimal = the simple paths of length l")
+    // holds for almost all patterns, but short cycles realizing the diameter
+    // (e.g. C₅ for l = 2) are genuinely irreducible non-paths: removing any
+    // edge or any vertex breaks the constraint.  The miner's Stage I seeds
+    // only paths, so such cycle-minimal patterns are a documented
+    // completeness gap (see README / ROADMAP).
 }
 
 impl Reducible for SkinnyConstraint {
@@ -242,16 +269,15 @@ pub fn reducibility_witness<'a, C: GraphConstraint>(
     samples: impl IntoIterator<Item = &'a LabeledGraph>,
     min_edges: usize,
 ) -> Option<&'a LabeledGraph> {
-    samples
-        .into_iter()
-        .find(|p| p.edge_count() >= min_edges && constraint.is_minimal(p))
+    samples.into_iter().find(|p| p.edge_count() >= min_edges && constraint.is_minimal(p))
 }
 
 /// Empirical continuity check over a set of sample patterns with respect to a
 /// Stage-1 anchor size `anchor_edges` (the size of the minimal patterns mined
 /// in Stage 1): returns the satisfying samples that are larger than the
-/// anchors yet have no satisfying one-edge-smaller sub-pattern — exactly the
-/// patterns constraint-preserving growth from the anchors would miss.
+/// anchors yet have no satisfying one-growth-step-smaller sub-pattern —
+/// exactly the patterns constraint-preserving growth from the anchors would
+/// miss.
 pub fn continuity_violations<'a, C: GraphConstraint>(
     constraint: &C,
     samples: impl IntoIterator<Item = &'a LabeledGraph>,
@@ -262,7 +288,7 @@ pub fn continuity_violations<'a, C: GraphConstraint>(
         .filter(|p| {
             constraint.satisfied(p)
                 && p.edge_count() > anchor_edges
-                && !one_edge_subpatterns(p).iter().any(|sub| constraint.satisfied(sub))
+                && !one_step_subpatterns(p).iter().any(|sub| constraint.satisfied(sub))
         })
         .collect()
 }
@@ -376,16 +402,10 @@ mod tests {
     #[test]
     fn direct_miner_for_skinny_constraint() {
         // data: two copies of the twig pattern
-        let labels = vec![
-            l(0), l(1), l(2), l(3), l(4), l(9),
-            l(0), l(1), l(2), l(3), l(4), l(9),
-        ];
+        let labels = vec![l(0), l(1), l(2), l(3), l(4), l(9), l(0), l(1), l(2), l(3), l(4), l(9)];
         let g = LabeledGraph::from_unlabeled_edges(
             &labels,
-            [
-                (0, 1), (1, 2), (2, 3), (3, 4), (2, 5),
-                (6, 7), (7, 8), (8, 9), (9, 10), (8, 11),
-            ],
+            [(0, 1), (1, 2), (2, 3), (3, 4), (2, 5), (6, 7), (7, 8), (8, 9), (9, 10), (8, 11)],
         )
         .unwrap();
         let miner = SkinnyDirectMiner::new(SkinnyConstraint::new(4, 2), 2).with_report(ReportMode::All);

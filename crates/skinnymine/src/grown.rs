@@ -3,15 +3,14 @@
 
 use crate::path_pattern::PathPattern;
 use serde::{Deserialize, Serialize};
-use skinny_graph::{Embedding, EmbeddingSet, Label, LabeledGraph, SupportMeasure, VertexId};
-use std::collections::VecDeque;
+use skinny_graph::{DistMatrix, Embedding, EmbeddingSet, Label, LabeledGraph, SupportMeasure, VertexId};
 
-/// A one-edge extension of a grown pattern.
+/// A one-step extension of a grown pattern.
 ///
 /// The derived ordering (new-vertex extensions before closing edges, then by
 /// field values) is the canonical extension order used to organize the
 /// growth: it plays the role of `P_anchor` in Algorithm 3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Extension {
     /// Attach a brand-new vertex with label `vertex_label` to the existing
     /// pattern vertex `attach` via an edge labeled `edge_label`.
@@ -22,6 +21,23 @@ pub enum Extension {
         vertex_label: Label,
         /// Label of the new edge.
         edge_label: Label,
+    },
+    /// Attach a brand-new vertex with label `vertex_label` through **two or
+    /// more** edges at once.
+    ///
+    /// This reaches patterns whose every single-edge intermediate violates
+    /// the canonical-diameter invariant — e.g. a 4-cycle grown from its
+    /// diameter path: the closing vertex is adjacent to both path endpoints,
+    /// and attaching it through either single edge first would lengthen the
+    /// diameter.  Removing the vertex with all its edges is the reverse
+    /// operation, so these patterns still reduce to the cluster's minimal
+    /// path.
+    NewVertexMulti {
+        /// Label of the new vertex.
+        vertex_label: Label,
+        /// Attachment edges `(pattern vertex, edge label)`, sorted ascending,
+        /// at least two of them.
+        edges: Vec<(u32, Label)>,
     },
     /// Add an edge between two existing, currently non-adjacent pattern
     /// vertices `u < v`.
@@ -58,6 +74,11 @@ pub struct GrownPattern {
     pub dist_tail: Vec<u32>,
     /// Level (distance to the canonical diameter) of each pattern vertex.
     pub level: Vec<u32>,
+    /// Exact all-pairs shortest distances within the pattern graph,
+    /// maintained incrementally across extensions (a single added edge or
+    /// vertex admits a closed-form O(n²) update), so constraint checks never
+    /// re-run BFS.
+    pub dists: DistMatrix,
     /// All embeddings of the pattern in the data.
     pub embeddings: EmbeddingSet,
     /// The extension that produced this pattern, if any (`P_anchor`).
@@ -74,13 +95,18 @@ impl GrownPattern {
         let dist_head: Vec<u32> = (0..n as u32).collect();
         let dist_tail: Vec<u32> = (0..n as u32).map(|i| l as u32 - i).collect();
         let level = vec![0u32; n];
+        let dists = DistMatrix::from_rows(
+            &(0..n)
+                .map(|i| (0..n).map(|j| (i as i64 - j as i64).unsigned_abs() as u32).collect())
+                .collect::<Vec<_>>(),
+        );
         let embeddings = EmbeddingSet::from_vec(
             path.embeddings
                 .iter()
                 .map(|e| Embedding::in_transaction(e.vertices.clone(), e.transaction))
                 .collect(),
         );
-        GrownPattern { graph, diameter_len: l, dist_head, dist_tail, level, embeddings, anchor: None }
+        GrownPattern { graph, diameter_len: l, dist_head, dist_tail, level, dists, embeddings, anchor: None }
     }
 
     /// Pattern vertex id of the diameter head `v_H`.
@@ -130,34 +156,88 @@ impl GrownPattern {
     /// distance/level vectors and the id of the new vertex (for
     /// [`Extension::NewVertex`]).  Embeddings are *not* computed here — see
     /// [`GrownPattern::extend_embeddings`].
-    pub fn apply_structure(&self, ext: Extension) -> StructuralExtension {
+    pub fn apply_structure(&self, ext: &Extension) -> StructuralExtension {
         let mut graph = self.graph.clone();
-        let mut dist_head = self.dist_head.clone();
-        let mut dist_tail = self.dist_tail.clone();
-        let mut level = self.level.clone();
+        let n = self.dists.len();
         let new_vertex;
-        match ext {
+        let dists = match *ext {
             Extension::NewVertex { attach, vertex_label, edge_label } => {
                 let nv = graph.add_vertex(vertex_label);
                 graph
                     .add_edge(VertexId(attach), nv, edge_label)
                     .expect("attaching a fresh vertex cannot duplicate an edge");
-                dist_head.push(self.dist_head[attach as usize] + 1);
-                dist_tail.push(self.dist_tail[attach as usize] + 1);
-                level.push(self.level[attach as usize] + 1);
                 new_vertex = Some(nv);
+                // a degree-1 vertex cannot shorten any existing distance
+                let row: Vec<u32> = self.dists.row(attach as usize).iter().map(|&x| x + 1).collect();
+                self.dists.with_new_vertex(&row)
+            }
+            Extension::NewVertexMulti { vertex_label, ref edges } => {
+                let nv = graph.add_vertex(vertex_label);
+                for &(attach, edge_label) in edges {
+                    graph
+                        .add_edge(VertexId(attach), nv, edge_label)
+                        .expect("attaching a fresh vertex cannot duplicate an edge");
+                }
+                new_vertex = Some(nv);
+                // the new vertex's distances go through its nearest
+                // attachment; existing pairs may then shortcut through it
+                // (a shortest path visits the new vertex at most once, so
+                // this closed form is exact)
+                let row: Vec<u32> = (0..n)
+                    .map(|x| {
+                        edges
+                            .iter()
+                            .map(|&(a, _)| self.dists.get(a as usize, x))
+                            .min()
+                            .expect("multi attachments have at least one edge")
+                            + 1
+                    })
+                    .collect();
+                let mut dists = self.dists.with_new_vertex(&row);
+                for x in 0..n {
+                    for y in (x + 1)..n {
+                        let via = row[x] + row[y];
+                        if via < dists.get(x, y) {
+                            dists.set(x, y, via);
+                        }
+                    }
+                }
+                dists
             }
             Extension::ClosingEdge { u, v, edge_label } => {
                 graph
                     .add_edge(VertexId(u), VertexId(v), edge_label)
                     .expect("closing-edge candidates are generated only for non-adjacent pairs");
-                relax_after_edge(&graph, &mut dist_head, u as usize, v as usize);
-                relax_after_edge(&graph, &mut dist_tail, u as usize, v as usize);
-                relax_after_edge(&graph, &mut level, u as usize, v as usize);
                 new_vertex = None;
+                // a shortest path uses the new edge at most once, so every
+                // pair's new distance is the old one or a route through the
+                // edge, measured with pre-insertion segment distances
+                let (u, v) = (u as usize, v as usize);
+                let mut dists = self.dists.clone();
+                let row_u = self.dists.row(u);
+                let row_v = self.dists.row(v);
+                for x in 0..n {
+                    for y in (x + 1)..n {
+                        let via = (row_u[x] + 1 + row_v[y]).min(row_v[x] + 1 + row_u[y]);
+                        if via < dists.get(x, y) {
+                            dists.set(x, y, via);
+                        }
+                    }
+                }
+                dists
             }
-        }
-        StructuralExtension { graph, dist_head, dist_tail, level, new_vertex }
+        };
+        // head/tail distances and levels are projections of the exact
+        // all-pairs table
+        let m = dists.len();
+        let dist_head = dists.row(0).to_vec();
+        let dist_tail = dists.row(self.diameter_len).to_vec();
+        let level: Vec<u32> = (0..m)
+            .map(|x| {
+                (0..=self.diameter_len).map(|p| dists.get(x, p)).min().expect("diameter path is nonempty")
+            })
+            .collect();
+        StructuralExtension { graph, dist_head, dist_tail, level, dists, new_vertex }
     }
 
     /// Computes the embeddings of the extended pattern from this pattern's
@@ -168,9 +248,9 @@ impl GrownPattern {
     ///   vertex and edge labels (one parent embedding may yield several).
     /// * For a closing edge, embeddings that do not have the required data
     ///   edge are dropped.
-    pub fn extend_embeddings(&self, data: &crate::data::MiningData<'_>, ext: Extension) -> EmbeddingSet {
+    pub fn extend_embeddings(&self, data: &crate::data::MiningData<'_>, ext: &Extension) -> EmbeddingSet {
         let mut out = EmbeddingSet::new();
-        match ext {
+        match *ext {
             Extension::NewVertex { attach, vertex_label, edge_label } => {
                 for e in self.embeddings.iter() {
                     let image = e.image(attach as usize);
@@ -185,6 +265,31 @@ impl GrownPattern {
                             continue;
                         }
                         out.push(e.extended(w));
+                    }
+                }
+            }
+            Extension::NewVertexMulti { vertex_label, ref edges } => {
+                // candidates are the suitable neighbors of the first
+                // attachment image; each must carry *every* required edge
+                let (a0, el0) = edges[0];
+                for e in self.embeddings.iter() {
+                    let image0 = e.image(a0 as usize);
+                    for (w, el) in data.neighbors(e.transaction, image0) {
+                        if el != el0 {
+                            continue;
+                        }
+                        if data.label(e.transaction, w) != vertex_label {
+                            continue;
+                        }
+                        if e.uses(w) {
+                            continue;
+                        }
+                        let all_present = edges[1..].iter().all(|&(a, ell)| {
+                            data.edge_label(e.transaction, e.image(a as usize), w) == Some(ell)
+                        });
+                        if all_present {
+                            out.push(e.extended(w));
+                        }
                     }
                 }
             }
@@ -203,29 +308,38 @@ impl GrownPattern {
 
     /// Assembles the extended pattern from the structural extension and the
     /// already-computed embeddings.
-    pub fn assemble(&self, ext: Extension, structure: StructuralExtension, embeddings: EmbeddingSet) -> GrownPattern {
+    pub fn assemble(
+        &self,
+        ext: Extension,
+        structure: StructuralExtension,
+        embeddings: EmbeddingSet,
+    ) -> GrownPattern {
         GrownPattern {
             graph: structure.graph,
             diameter_len: self.diameter_len,
             dist_head: structure.dist_head,
             dist_tail: structure.dist_tail,
             level: structure.level,
+            dists: structure.dists,
             embeddings,
             anchor: Some(ext),
         }
     }
 
-    /// Recomputes `dist_head`, `dist_tail` and `level` from scratch and
-    /// compares with the maintained indices.  Test/verification helper.
+    /// Recomputes `dist_head`, `dist_tail`, `level` and the all-pairs table
+    /// from scratch and compares with the maintained indices.
+    /// Test/verification helper.
     pub fn indices_consistent(&self) -> bool {
         let dh = skinny_graph::bfs_distances(&self.graph, self.head());
         let dt = skinny_graph::bfs_distances(&self.graph, self.tail());
         if dh != self.dist_head || dt != self.dist_tail {
             return false;
         }
-        let diameter_path = skinny_graph::Path::new_unchecked(
-            (0..=self.diameter_len as u32).map(VertexId).collect(),
-        );
+        if DistMatrix::all_pairs(&self.graph) != self.dists {
+            return false;
+        }
+        let diameter_path =
+            skinny_graph::Path::new_unchecked((0..=self.diameter_len as u32).map(VertexId).collect());
         let lv = skinny_graph::distances_to_path(&self.graph, &diameter_path);
         lv == self.level
     }
@@ -242,31 +356,10 @@ pub struct StructuralExtension {
     pub dist_tail: Vec<u32>,
     /// Updated levels.
     pub level: Vec<u32>,
+    /// Updated exact all-pairs distances.
+    pub dists: DistMatrix,
     /// The freshly added vertex for new-vertex extensions.
     pub new_vertex: Option<VertexId>,
-}
-
-/// After inserting edge `(a, b)`, restores exactness of a distance vector by
-/// localized relaxation: distances can only shrink, and only vertices whose
-/// distance actually improves are revisited.
-fn relax_after_edge(graph: &LabeledGraph, dist: &mut Vec<u32>, a: usize, b: usize) {
-    let mut queue: VecDeque<usize> = VecDeque::new();
-    let candidates = [(a, b), (b, a)];
-    for (x, y) in candidates {
-        if dist[x] != u32::MAX && dist[x] + 1 < dist[y] {
-            dist[y] = dist[x] + 1;
-            queue.push_back(y);
-        }
-    }
-    while let Some(v) = queue.pop_front() {
-        let dv = dist[v];
-        for n in graph.neighbor_ids(VertexId(v as u32)) {
-            if dv + 1 < dist[n.index()] {
-                dist[n.index()] = dv + 1;
-                queue.push_back(n.index());
-            }
-        }
-    }
 }
 
 #[cfg(test)]
@@ -322,17 +415,17 @@ mod tests {
         let data = MiningData::Single(&g);
         let p = seed_pattern(&g);
         let ext = Extension::NewVertex { attach: 1, vertex_label: l(9), edge_label: Label::DEFAULT_EDGE };
-        let st = p.apply_structure(ext);
+        let st = p.apply_structure(&ext);
         assert_eq!(st.graph.vertex_count(), 5);
         assert_eq!(st.dist_head[4], 2);
         assert_eq!(st.dist_tail[4], 3);
         assert_eq!(st.level[4], 1);
         assert_eq!(st.new_vertex, Some(VertexId(4)));
 
-        let em = p.extend_embeddings(&data, ext);
+        let em = p.extend_embeddings(&data, &ext);
         // both occurrences have a label-9 twig on their 'b' vertex
         assert_eq!(em.len(), 2);
-        let child = p.assemble(ext, st, em);
+        let child = p.assemble(ext.clone(), st, em);
         assert_eq!(child.vertex_count(), 5);
         assert_eq!(child.max_level(), 1);
         assert_eq!(child.anchor, Some(ext));
@@ -347,7 +440,7 @@ mod tests {
         let p = seed_pattern(&g);
         let ext = Extension::NewVertex { attach: 2, vertex_label: l(9), edge_label: Label::DEFAULT_EDGE };
         // 'c' vertices have no label-9 neighbor
-        assert!(p.extend_embeddings(&data, ext).is_empty());
+        assert!(p.extend_embeddings(&data, &ext).is_empty());
     }
 
     #[test]
@@ -359,25 +452,14 @@ mod tests {
         let data = MiningData::Single(&g);
         let p = seed_pattern(&g);
         let ext = Extension::ClosingEdge { u: 0, v: 2, edge_label: Label::DEFAULT_EDGE };
-        let em = p.extend_embeddings(&data, ext);
+        let em = p.extend_embeddings(&data, &ext);
         assert_eq!(em.len(), 1);
         assert_eq!(em.embeddings[0].vertices[0], VertexId(0));
-        let st = p.apply_structure(ext);
+        let st = p.apply_structure(&ext);
         // the chord shortens the head-to-position-2 distance
         assert_eq!(st.dist_head[2], 1);
         // and the head-tail distance drops to 2: the canonical diameter is broken
         assert_eq!(st.dist_head[3], 2);
-    }
-
-    #[test]
-    fn relaxation_propagates_beyond_endpoints() {
-        // path 0-1-2-3-4 ; adding edge (0,3) also improves dist_head[4]
-        let g5 = LabeledGraph::from_unlabeled_edges(&[l(0); 5], [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
-        let mut dist: Vec<u32> = vec![0, 1, 2, 3, 4];
-        let mut g = g5;
-        g.add_unlabeled_edge(VertexId(0), VertexId(3)).unwrap();
-        relax_after_edge(&g, &mut dist, 0, 3);
-        assert_eq!(dist, vec![0, 1, 2, 1, 2]);
     }
 
     #[test]

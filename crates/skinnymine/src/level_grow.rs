@@ -72,45 +72,14 @@ impl<'a> LevelGrow<'a> {
             let mut is_closed = true;
 
             for ext in self.candidate_extensions(&current) {
-                outcome.stats.level_grow.candidates_examined += 1;
-                outcome.stats.constraint_checks += 1;
-                let structure = current.apply_structure(ext);
-                let check = check_extension(&current, ext, &structure, self.config.delta, self.config.constraint_check);
-                if check.full_recomputation {
-                    outcome.stats.full_diameter_recomputations += 1;
-                }
-                match check.verdict {
-                    Err(ConstraintViolation::DiameterIncreased) => {
-                        outcome.stats.rejected_constraint_i += 1;
-                        continue;
-                    }
-                    Err(ConstraintViolation::HeadTailShortened) => {
-                        outcome.stats.rejected_constraint_ii += 1;
-                        continue;
-                    }
-                    Err(ConstraintViolation::SmallerDiameterCreated) => {
-                        outcome.stats.rejected_constraint_iii += 1;
-                        continue;
-                    }
-                    Err(ConstraintViolation::SkinninessExceeded) => {
-                        // not a canonical-diameter violation: the extension is
-                        // simply outside the requested δ
-                        continue;
-                    }
-                    Ok(()) => {}
-                }
-                let embeddings = current.extend_embeddings(&self.data, ext);
-                let support = embeddings.support(self.config.support);
-                if support < self.config.sigma {
-                    outcome.stats.rejected_infrequent += 1;
+                let Some((child, support)) = self.try_extension(&current, ext, &mut outcome.stats) else {
                     continue;
-                }
+                };
                 // a frequent constraint-preserving super-pattern exists
                 is_maximal = false;
                 if support == current_support {
                     is_closed = false;
                 }
-                let child = current.assemble(ext, structure, embeddings);
                 let key = canonical_key(&child.graph);
                 if seen.insert(key) {
                     worklist.push(child);
@@ -141,18 +110,42 @@ impl<'a> LevelGrow<'a> {
         while let Some(current) = worklist.pop() {
             outcome.examined += 1;
             // 1. closure: apply support-preserving valid extensions until none
-            //    remains; the result is a closed pattern of this support level
+            //    remains; the result is a closed pattern of this support
+            //    level.  Each pass applies every admissible extension of its
+            //    enumerated candidate set greedily (pattern vertex ids are
+            //    stable under extension, so the remaining descriptors stay
+            //    valid) instead of re-enumerating after every single
+            //    application — the re-enumeration loop was quadratic in the
+            //    closure length, dominating Stage II on large patterns.
             let mut closed = current;
             let mut closed_support = closed.support(self.config.support);
+            // 2. the final (non-advancing) pass doubles as the branch step:
+            //    every admissible child it finds is a support-changing
+            //    extension of the now-closed pattern (a support-preserving one
+            //    would have advanced the closure), so it is exactly the
+            //    branch set, with no separate re-enumeration.
+            let mut branches: Vec<GrownPattern> = Vec::new();
             loop {
                 let mut advanced = false;
+                branches.clear();
                 for ext in self.candidate_extensions(&closed) {
+                    // an earlier application in this pass may have already
+                    // closed this pair
+                    if let Extension::ClosingEdge { u, v, .. } = ext {
+                        if closed.graph.has_edge(VertexId(u), VertexId(v)) {
+                            continue;
+                        }
+                    }
                     if let Some((child, support)) = self.try_extension(&closed, ext, &mut outcome.stats) {
                         if support == closed_support {
                             closed = child;
                             closed_support = support;
                             advanced = true;
-                            break;
+                        } else {
+                            // note: embedding-based support is not
+                            // anti-monotone, so a super-pattern's support can
+                            // also exceed the parent's
+                            branches.push(child);
                         }
                     }
                 }
@@ -160,21 +153,11 @@ impl<'a> LevelGrow<'a> {
                     break;
                 }
             }
-
-            // 2. branch on support-dropping frequent extensions of the closed
-            //    pattern, and determine its maximality along the way
-            let mut is_maximal = true;
-            for ext in self.candidate_extensions(&closed) {
-                if let Some((child, support)) = self.try_extension(&closed, ext, &mut outcome.stats) {
-                    is_maximal = false;
-                    // note: embedding-based support is not anti-monotone, so a
-                    // super-pattern's support can also exceed the parent's
-                    if support != closed_support {
-                        let key = canonical_key(&child.graph);
-                        if seen.insert(key) {
-                            worklist.push(child);
-                        }
-                    }
+            let is_maximal = branches.is_empty();
+            for child in branches {
+                let key = canonical_key(&child.graph);
+                if seen.insert(key) {
+                    worklist.push(child);
                 }
             }
 
@@ -188,8 +171,11 @@ impl<'a> LevelGrow<'a> {
         outcome
     }
 
-    /// Evaluates one candidate extension: constraint checks plus the
-    /// frequency test.  Returns the extended pattern and its support when the
+    /// Evaluates one candidate extension: the frequency test first (it is
+    /// cheap — an incremental pass over the parent's embeddings — and rejects
+    /// the overwhelming majority of candidates on noisy data), then the
+    /// constraint checks, which may require a full canonical-diameter
+    /// recomputation.  Returns the extended pattern and its support when the
     /// extension is admissible, recording statistics either way.
     fn try_extension(
         &self,
@@ -198,9 +184,16 @@ impl<'a> LevelGrow<'a> {
         stats: &mut MiningStats,
     ) -> Option<(GrownPattern, usize)> {
         stats.level_grow.candidates_examined += 1;
+        let embeddings = current.extend_embeddings(&self.data, &ext);
+        let support = embeddings.support(self.config.support);
+        if support < self.config.sigma {
+            stats.rejected_infrequent += 1;
+            return None;
+        }
         stats.constraint_checks += 1;
-        let structure = current.apply_structure(ext);
-        let check = check_extension(current, ext, &structure, self.config.delta, self.config.constraint_check);
+        let structure = current.apply_structure(&ext);
+        let check =
+            check_extension(current, &ext, &structure, self.config.delta, self.config.constraint_check);
         if check.full_recomputation {
             stats.full_diameter_recomputations += 1;
         }
@@ -220,23 +213,26 @@ impl<'a> LevelGrow<'a> {
             Err(ConstraintViolation::SkinninessExceeded) => return None,
             Ok(()) => {}
         }
-        let embeddings = current.extend_embeddings(&self.data, ext);
-        let support = embeddings.support(self.config.support);
-        if support < self.config.sigma {
-            stats.rejected_infrequent += 1;
-            return None;
-        }
         Some((current.assemble(ext, structure, embeddings), support))
     }
 
-    /// Enumerates the candidate one-edge extensions of a pattern, derived
-    /// directly from the data around its embeddings:
+    /// Enumerates the candidate extensions of a pattern, derived directly
+    /// from the data around its embeddings:
     ///
     /// * new twig vertices attached to any pattern vertex whose level is
     ///   still below δ;
+    /// * multi-edge attachments of a new vertex that is adjacent to several
+    ///   pattern images at once (subsets of its attachment edges), which
+    ///   reach patterns whose single-edge intermediates all violate the
+    ///   canonical-diameter invariant — e.g. cycle closures;
     /// * closing edges between non-adjacent pattern vertices whose images are
     ///   adjacent in the data.
     fn candidate_extensions(&self, pattern: &GrownPattern) -> BTreeSet<Extension> {
+        /// Attachment degree up to which *all* multi-edge subsets are
+        /// enumerated; beyond it only the full attachment set is tried (2^k
+        /// subsets would dominate the runtime, and high-degree attachments
+        /// are virtually always reachable through their sub-attachments).
+        const FULL_SUBSET_DEGREE: usize = 6;
         let mut out = BTreeSet::new();
         let delta = self.config.delta;
         let n = pattern.graph.vertex_count();
@@ -244,6 +240,8 @@ impl<'a> LevelGrow<'a> {
             // reverse map: data vertex -> pattern vertex for this embedding
             let image_of: HashMap<VertexId, u32> =
                 e.vertices.iter().enumerate().map(|(p, &d)| (d, p as u32)).collect();
+            // attachment edges of each outside data vertex, keyed by vertex
+            let mut attachments: HashMap<VertexId, Vec<(u32, skinny_graph::Label)>> = HashMap::new();
             for p in 0..n as u32 {
                 let image = e.image(p as usize);
                 for (w, el) in self.data.neighbors(e.transaction, image) {
@@ -268,8 +266,35 @@ impl<'a> LevelGrow<'a> {
                                 vertex_label: self.data.label(e.transaction, w),
                                 edge_label: el,
                             });
+                            attachments.entry(w).or_default().push((p, el));
                         }
                     }
+                }
+            }
+            // multi-edge attachments: subsets (size >= 2) of each outside
+            // vertex's attachment edge set
+            for (w, mut edges) in attachments {
+                if edges.len() < 2 {
+                    continue;
+                }
+                edges.sort_unstable();
+                edges.dedup();
+                let k = edges.len();
+                if k < 2 {
+                    continue;
+                }
+                let vertex_label = self.data.label(e.transaction, w);
+                if k <= FULL_SUBSET_DEGREE {
+                    for mask in 1u32..(1 << k) {
+                        if mask.count_ones() < 2 {
+                            continue;
+                        }
+                        let subset: Vec<(u32, skinny_graph::Label)> =
+                            (0..k).filter(|i| mask & (1 << i) != 0).map(|i| edges[i]).collect();
+                        out.insert(Extension::NewVertexMulti { vertex_label, edges: subset });
+                    }
+                } else {
+                    out.insert(Extension::NewVertexMulti { vertex_label, edges });
                 }
             }
         }
@@ -278,7 +303,13 @@ impl<'a> LevelGrow<'a> {
 
     /// Applies the report-mode filter and converts a grown pattern into a
     /// result pattern.
-    fn report(&self, pattern: &GrownPattern, support: usize, closed: bool, maximal: bool) -> Option<SkinnyPattern> {
+    fn report(
+        &self,
+        pattern: &GrownPattern,
+        support: usize,
+        closed: bool,
+        maximal: bool,
+    ) -> Option<SkinnyPattern> {
         let is_bare_path = pattern.graph.vertex_count() == pattern.diameter_len + 1
             && pattern.graph.edge_count() == pattern.diameter_len;
         if is_bare_path && !self.config.include_diameter_paths {
@@ -326,15 +357,22 @@ mod tests {
     /// labeled 9 on the middle vertex c.
     fn data() -> LabeledGraph {
         let labels = vec![
-            l(0), l(1), l(2), l(3), l(4), l(9), // copy 1: 0..4 backbone, 5 twig on 2
-            l(0), l(1), l(2), l(3), l(4), l(9), // copy 2: 6..10 backbone, 11 twig on 8
+            l(0),
+            l(1),
+            l(2),
+            l(3),
+            l(4),
+            l(9), // copy 1: 0..4 backbone, 5 twig on 2
+            l(0),
+            l(1),
+            l(2),
+            l(3),
+            l(4),
+            l(9), // copy 2: 6..10 backbone, 11 twig on 8
         ];
         LabeledGraph::from_unlabeled_edges(
             &labels,
-            [
-                (0, 1), (1, 2), (2, 3), (3, 4), (2, 5),
-                (6, 7), (7, 8), (8, 9), (9, 10), (8, 11),
-            ],
+            [(0, 1), (1, 2), (2, 3), (3, 4), (2, 5), (6, 7), (7, 8), (8, 9), (9, 10), (8, 11)],
         )
         .unwrap()
     }
@@ -365,12 +403,7 @@ mod tests {
             assert_eq!(p.support, 2);
             assert_eq!(p.diameter_len, 4);
             // every reported pattern must genuinely satisfy the constraint
-            assert!(crate::constraints::satisfies_skinny_spec(
-                &p.graph,
-                4,
-                2,
-                &p.diameter_labels
-            ));
+            assert!(crate::constraints::satisfies_skinny_spec(&p.graph, 4, 2, &p.diameter_labels));
             // embeddings must be genuine occurrences
             for e in p.embeddings.iter() {
                 assert!(e.is_valid(&p.graph, &g));
@@ -413,9 +446,7 @@ mod tests {
     #[test]
     fn exclude_diameter_paths_flag() {
         let g = data();
-        let config = SkinnyMineConfig::new(4, 2, 2)
-            .with_report(ReportMode::All)
-            .with_diameter_paths(false);
+        let config = SkinnyMineConfig::new(4, 2, 2).with_report(ReportMode::All).with_diameter_paths(false);
         let patterns = grow_with(&config, &g);
         assert_eq!(patterns.len(), 1);
         assert_eq!(patterns[0].vertex_count(), 6);
@@ -442,15 +473,21 @@ mod tests {
     fn infrequent_twig_not_grown() {
         // only one copy has the twig -> twig pattern support 1 < sigma 2
         let labels = vec![
-            l(0), l(1), l(2), l(3), l(4), l(9), // copy 1 with twig
-            l(0), l(1), l(2), l(3), l(4), // copy 2 without twig
+            l(0),
+            l(1),
+            l(2),
+            l(3),
+            l(4),
+            l(9), // copy 1 with twig
+            l(0),
+            l(1),
+            l(2),
+            l(3),
+            l(4), // copy 2 without twig
         ];
         let g = LabeledGraph::from_unlabeled_edges(
             &labels,
-            [
-                (0, 1), (1, 2), (2, 3), (3, 4), (2, 5),
-                (6, 7), (7, 8), (8, 9), (9, 10),
-            ],
+            [(0, 1), (1, 2), (2, 3), (3, 4), (2, 5), (6, 7), (7, 8), (8, 9), (9, 10)],
         )
         .unwrap();
         let config = SkinnyMineConfig::new(4, 2, 2).with_report(ReportMode::All);
@@ -462,15 +499,22 @@ mod tests {
     #[test]
     fn level_two_twigs_grown_within_delta() {
         // twig chains of length 2 on the middle vertex of both copies
-        let labels = vec![
-            l(0), l(1), l(2), l(3), l(4), l(8), l(9),
-            l(0), l(1), l(2), l(3), l(4), l(8), l(9),
-        ];
+        let labels = vec![l(0), l(1), l(2), l(3), l(4), l(8), l(9), l(0), l(1), l(2), l(3), l(4), l(8), l(9)];
         let g = LabeledGraph::from_unlabeled_edges(
             &labels,
             [
-                (0, 1), (1, 2), (2, 3), (3, 4), (2, 5), (5, 6),
-                (7, 8), (8, 9), (9, 10), (10, 11), (9, 12), (12, 13),
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (2, 5),
+                (5, 6),
+                (7, 8),
+                (8, 9),
+                (9, 10),
+                (10, 11),
+                (9, 12),
+                (12, 13),
             ],
         )
         .unwrap();
@@ -479,10 +523,8 @@ mod tests {
         // the backbone cluster contributes: bare path, path+level1 twig,
         // path+level1+level2 chain (other length-4 paths through the twig
         // chain seed their own clusters and contribute further patterns)
-        let backbone: Vec<_> = patterns
-            .iter()
-            .filter(|p| p.diameter_labels == vec![l(0), l(1), l(2), l(3), l(4)])
-            .collect();
+        let backbone: Vec<_> =
+            patterns.iter().filter(|p| p.diameter_labels == vec![l(0), l(1), l(2), l(3), l(4)]).collect();
         assert_eq!(backbone.len(), 3);
         let max = patterns.iter().map(|p| p.vertex_count()).max().unwrap();
         assert_eq!(max, 7);

@@ -22,6 +22,14 @@
 //! direct-mining framework of §5 — constraints with **Reducibility** and
 //! **Continuity** — lives in [`framework`].
 //!
+//! ## Parallelism
+//!
+//! [`SkinnyMineConfig::with_threads`] runs Stage I's occurrence joins, Stage
+//! II's per-cluster growth and the index's request serving on a
+//! work-stealing pool (`skinny-pool`).  All parallel paths merge their
+//! partial results in deterministic task order, so the mined output is
+//! byte-identical for every thread count.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -63,7 +71,9 @@ pub mod result;
 pub mod stats;
 
 pub use config::{ConstraintCheckMode, Exploration, LengthConstraint, ReportMode, SkinnyMineConfig};
-pub use constraints::{check_extension, satisfies_skinny_spec, verify_canonical_diameter, ConstraintViolation};
+pub use constraints::{
+    check_extension, satisfies_skinny_spec, verify_canonical_diameter, ConstraintViolation,
+};
 pub use data::MiningData;
 pub use diam_mine::DiamMine;
 pub use error::{MineError, MineResult};

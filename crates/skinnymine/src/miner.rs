@@ -10,7 +10,6 @@ use crate::path_pattern::PathPattern;
 use crate::result::{MiningResult, SkinnyPattern};
 use crate::stats::MiningStats;
 use skinny_graph::{GraphDatabase, LabeledGraph};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// The SkinnyMine miner.
@@ -101,7 +100,8 @@ impl SkinnyMine {
 
     /// Stage I: mine the canonical-diameter seeds for every admissible length.
     fn mine_seeds(&self, data: &MiningData<'_>) -> Vec<PathPattern> {
-        let dm = DiamMine::new(data.clone(), self.config.sigma, self.config.support);
+        let dm = DiamMine::new(data.clone(), self.config.sigma, self.config.support)
+            .with_threads(self.config.threads);
         let lo = self.config.length.min_len();
         let hi = self.config.length.max_len();
         dm.mine_range(lo, hi).into_values().flatten().collect()
@@ -124,50 +124,28 @@ impl SkinnyMine {
         out
     }
 
+    /// Stage II on a work-stealing pool: every seed cluster is one task, each
+    /// worker reuses a private [`LevelGrow`], and the per-seed outcomes are
+    /// merged back **in seed order** — so the result (patterns *and* stats)
+    /// is byte-identical to [`SkinnyMine::grow_sequential`] for any thread
+    /// count, while uneven cluster sizes are balanced by stealing.
     fn grow_parallel(
         &self,
         data: &MiningData<'_>,
         seeds: &[PathPattern],
         stats: &mut MiningStats,
     ) -> Vec<SkinnyPattern> {
-        let next = AtomicUsize::new(0);
-        let workers = self.config.threads.min(seeds.len()).max(1);
-        let results = crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(workers);
-            for _ in 0..workers {
-                let next = &next;
-                let config = &self.config;
-                let data = data.clone();
-                handles.push(scope.spawn(move |_| {
-                    let grower = LevelGrow::new(data, config);
-                    let mut local_patterns = Vec::new();
-                    let mut local_stats = MiningStats::default();
-                    let mut local_examined = 0u64;
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= seeds.len() {
-                            break;
-                        }
-                        let outcome = grower.grow_cluster(&seeds[i]);
-                        local_stats.merge(&outcome.stats);
-                        local_examined += outcome.examined;
-                        local_patterns.extend(outcome.patterns);
-                    }
-                    (local_patterns, local_stats, local_examined)
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("cluster-growth worker must not panic"))
-                .collect::<Vec<_>>()
-        })
-        .expect("crossbeam scope does not fail");
-
+        let outcomes = skinny_pool::run_with(
+            self.config.threads,
+            seeds.len(),
+            || LevelGrow::new(data.clone(), &self.config),
+            |grower, i| grower.grow_cluster(&seeds[i]),
+        );
         let mut out = Vec::new();
-        for (patterns, worker_stats, examined) in results {
-            stats.merge(&worker_stats);
-            stats.level_grow.candidates_examined += examined;
-            out.extend(patterns);
+        for outcome in outcomes {
+            stats.merge(&outcome.stats);
+            stats.level_grow.candidates_examined += outcome.examined;
+            out.extend(outcome.patterns);
         }
         out
     }
@@ -186,16 +164,10 @@ mod tests {
     /// Two copies of a 4-long backbone with a middle twig, as in the
     /// level-grow tests, plus an extra frequent short path of length 2.
     fn data() -> LabeledGraph {
-        let labels = vec![
-            l(0), l(1), l(2), l(3), l(4), l(9),
-            l(0), l(1), l(2), l(3), l(4), l(9),
-        ];
+        let labels = vec![l(0), l(1), l(2), l(3), l(4), l(9), l(0), l(1), l(2), l(3), l(4), l(9)];
         LabeledGraph::from_unlabeled_edges(
             &labels,
-            [
-                (0, 1), (1, 2), (2, 3), (3, 4), (2, 5),
-                (6, 7), (7, 8), (8, 9), (9, 10), (8, 11),
-            ],
+            [(0, 1), (1, 2), (2, 3), (3, 4), (2, 5), (6, 7), (7, 8), (8, 9), (9, 10), (8, 11)],
         )
         .unwrap()
     }
@@ -203,9 +175,8 @@ mod tests {
     #[test]
     fn end_to_end_single_graph() {
         let g = data();
-        let result = SkinnyMine::new(SkinnyMineConfig::new(4, 2, 2).with_report(ReportMode::All))
-            .mine(&g)
-            .unwrap();
+        let result =
+            SkinnyMine::new(SkinnyMineConfig::new(4, 2, 2).with_report(ReportMode::All)).mine(&g).unwrap();
         assert_eq!(result.patterns.len(), 2);
         assert_eq!(result.stats.clusters, 1);
         assert_eq!(result.stats.reported_patterns, 2);
@@ -252,7 +223,8 @@ mod tests {
         let par = SkinnyMine::new(base.with_threads(4)).mine(&g).unwrap();
         assert_eq!(seq.patterns.len(), par.patterns.len());
         let sizes = |r: &MiningResult| {
-            let mut v: Vec<(usize, usize)> = r.patterns.iter().map(|p| (p.vertex_count(), p.edge_count())).collect();
+            let mut v: Vec<(usize, usize)> =
+                r.patterns.iter().map(|p| (p.vertex_count(), p.edge_count())).collect();
             v.sort();
             v
         };
@@ -300,9 +272,7 @@ mod tests {
     #[test]
     fn max_patterns_cap_applies() {
         let g = data();
-        let config = SkinnyMineConfig::new(4, 2, 2)
-            .with_report(ReportMode::All)
-            .with_max_patterns(Some(1));
+        let config = SkinnyMineConfig::new(4, 2, 2).with_report(ReportMode::All).with_max_patterns(Some(1));
         let result = SkinnyMine::new(config).mine(&g).unwrap();
         assert_eq!(result.patterns.len(), 1);
         // the cap keeps the largest pattern

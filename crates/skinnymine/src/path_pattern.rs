@@ -222,13 +222,8 @@ mod tests {
 
     #[test]
     fn key_of_occurrence_reads_data_labels() {
-        let g = LabeledGraph::from_parts(
-            &[l(5), l(1), l(3)],
-            [(0u32, 1u32, l(9)), (1, 2, l(4))],
-        )
-        .unwrap();
-        let (key, reversed) =
-            PathPattern::key_of_occurrence(&g, &[VertexId(0), VertexId(1), VertexId(2)]);
+        let g = LabeledGraph::from_parts(&[l(5), l(1), l(3)], [(0u32, 1u32, l(9)), (1, 2, l(4))]).unwrap();
+        let (key, reversed) = PathPattern::key_of_occurrence(&g, &[VertexId(0), VertexId(1), VertexId(2)]);
         // forward labels [5,1,3]; reversed [3,1,5] is smaller
         assert!(reversed);
         assert_eq!(key.vertex_labels, vec![l(3), l(1), l(5)]);

@@ -20,7 +20,8 @@ use crate::path_pattern::PathPattern;
 use crate::result::MiningResult;
 use crate::stats::MiningStats;
 use skinny_graph::{GraphDatabase, LabeledGraph, SupportMeasure};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
 /// The data a pattern index was built over (owned copy, so the index can
@@ -44,19 +45,44 @@ impl OwnedData {
 
 /// Pre-computed frequent paths (minimal constraint-satisfying patterns)
 /// indexed by length, with their embeddings.
-#[derive(Debug, Clone)]
+///
+/// The index is `Sync`: one instance can serve [`MinimalPatternIndex::request`]s
+/// from many threads at once.  Results are memoized per configuration behind
+/// an interior-mutability cache, so a repeated request (the Figure-2 serving
+/// deployment: heavy repeated `l` traffic against one pre-computation) is a
+/// lock-and-clone instead of a re-mine.
+#[derive(Debug)]
 pub struct MinimalPatternIndex {
     data: OwnedData,
     sigma: usize,
     support: SupportMeasure,
     by_length: BTreeMap<usize, Vec<PathPattern>>,
     build_time: std::time::Duration,
+    cache: RwLock<HashMap<SkinnyMineConfig, Arc<MiningResult>>>,
+}
+
+impl Clone for MinimalPatternIndex {
+    fn clone(&self) -> Self {
+        MinimalPatternIndex {
+            data: self.data.clone(),
+            sigma: self.sigma,
+            support: self.support,
+            by_length: self.by_length.clone(),
+            build_time: self.build_time,
+            cache: RwLock::new(self.cache.read().expect("index cache poisoned").clone()),
+        }
+    }
 }
 
 impl MinimalPatternIndex {
     /// Builds the index over a single graph for every frequent path length up
     /// to `max_len` (`None` = up to the longest frequent path).
-    pub fn build(graph: &LabeledGraph, sigma: usize, support: SupportMeasure, max_len: Option<usize>) -> Self {
+    pub fn build(
+        graph: &LabeledGraph,
+        sigma: usize,
+        support: SupportMeasure,
+        max_len: Option<usize>,
+    ) -> Self {
         Self::build_owned(OwnedData::Single(graph.clone()), sigma, support, max_len)
     }
 
@@ -71,13 +97,41 @@ impl MinimalPatternIndex {
     }
 
     fn build_owned(data: OwnedData, sigma: usize, support: SupportMeasure, max_len: Option<usize>) -> Self {
+        Self::build_owned_with_threads(data, sigma, support, max_len, 1)
+    }
+
+    /// Builds the index over a single graph with a parallel Stage I.
+    pub fn build_with_threads(
+        graph: &LabeledGraph,
+        sigma: usize,
+        support: SupportMeasure,
+        max_len: Option<usize>,
+        threads: usize,
+    ) -> Self {
+        Self::build_owned_with_threads(OwnedData::Single(graph.clone()), sigma, support, max_len, threads)
+    }
+
+    fn build_owned_with_threads(
+        data: OwnedData,
+        sigma: usize,
+        support: SupportMeasure,
+        max_len: Option<usize>,
+        threads: usize,
+    ) -> Self {
         let t0 = Instant::now();
         let by_length = {
             let view = data.view();
-            let dm = DiamMine::new(view, sigma, support);
+            let dm = DiamMine::new(view, sigma, support).with_threads(threads);
             dm.mine_range(1, max_len)
         };
-        MinimalPatternIndex { data, sigma, support, by_length, build_time: t0.elapsed() }
+        MinimalPatternIndex {
+            data,
+            sigma,
+            support,
+            by_length,
+            build_time: t0.elapsed(),
+            cache: RwLock::new(HashMap::new()),
+        }
     }
 
     /// Support threshold the index was built with.
@@ -127,6 +181,11 @@ impl MinimalPatternIndex {
     /// The request's `sigma` must not be below the index's `sigma` (the index
     /// would be missing minimal patterns otherwise) and the support measure
     /// must match.
+    ///
+    /// Repeated requests with an identical configuration are answered from an
+    /// internal cache; cluster growth of uncached requests runs on the
+    /// work-stealing pool when `config.threads > 1`.  Both paths return
+    /// exactly what a fresh sequential serve would.
     pub fn request(&self, config: &SkinnyMineConfig) -> MineResult<MiningResult> {
         config.validate()?;
         if config.sigma < self.sigma {
@@ -142,37 +201,64 @@ impl MinimalPatternIndex {
                 reason: "request support measure differs from the index support measure".into(),
             });
         }
+        // results are thread-count-invariant by construction, so the memo key
+        // normalizes `threads` away: the same logical request served with
+        // different parallelism shares one cache slot
+        let mut key = config.clone();
+        key.threads = 1;
+        if let Some(cached) = self.cache.read().expect("index cache poisoned").get(&key) {
+            return Ok(MiningResult::clone(cached));
+        }
+        let result = self.serve_uncached(config);
+        let mut cache = self.cache.write().expect("index cache poisoned");
+        if cache.len() >= Self::CACHE_CAPACITY {
+            cache.clear();
+        }
+        let result = cache.entry(key).or_insert_with(|| Arc::new(result));
+        Ok(MiningResult::clone(result))
+    }
+
+    /// Bound on distinct memoized configurations (the cache is cleared, not
+    /// evicted, beyond this — request traffic in the serving deployment
+    /// cycles over a small set of `(l, δ)` combinations).
+    const CACHE_CAPACITY: usize = 128;
+
+    fn serve_uncached(&self, config: &SkinnyMineConfig) -> MiningResult {
         let mut stats = MiningStats::default();
         stats.diam_mine.duration = std::time::Duration::ZERO; // already pre-computed
-        let data = self.data.view();
-        let grower = LevelGrow::new(data, config);
         let t0 = Instant::now();
+        let seeds: Vec<&PathPattern> = self
+            .by_length
+            .iter()
+            .filter(|&(&l, _)| config.length.admits(l))
+            .flat_map(|(_, seeds)| seeds)
+            .filter(|seed| seed.support(config.support) >= config.sigma)
+            .collect();
+        let clusters = seeds.len() as u64;
+        let outcomes = skinny_pool::run_with(
+            config.threads,
+            seeds.len(),
+            || LevelGrow::new(self.data.view(), config),
+            |grower, i| grower.grow_cluster(seeds[i]),
+        );
         let mut patterns = Vec::new();
-        let mut clusters = 0u64;
-        for (&l, seeds) in &self.by_length {
-            if !config.length.admits(l) {
-                continue;
-            }
-            for seed in seeds {
-                if seed.support(config.support) < config.sigma {
-                    continue;
-                }
-                clusters += 1;
-                let outcome = grower.grow_cluster(seed);
-                stats.merge(&outcome.stats);
-                patterns.extend(outcome.patterns);
-            }
+        for outcome in outcomes {
+            stats.merge(&outcome.stats);
+            stats.level_grow.candidates_examined += outcome.examined;
+            patterns.extend(outcome.patterns);
         }
         stats.level_grow.duration = t0.elapsed();
         stats.clusters = clusters;
-        patterns.sort_by(|a, b| b.edge_count().cmp(&a.edge_count()).then_with(|| a.diameter_labels.cmp(&b.diameter_labels)));
+        patterns.sort_by(|a, b| {
+            b.edge_count().cmp(&a.edge_count()).then_with(|| a.diameter_labels.cmp(&b.diameter_labels))
+        });
         if let Some(cap) = config.max_patterns {
             patterns.truncate(cap);
         }
         stats.reported_patterns = patterns.len() as u64;
         stats.largest_pattern_edges = patterns.iter().map(|p| p.edge_count() as u64).max().unwrap_or(0);
         stats.largest_pattern_vertices = patterns.iter().map(|p| p.vertex_count() as u64).max().unwrap_or(0);
-        Ok(MiningResult { patterns, stats })
+        MiningResult { patterns, stats }
     }
 
     /// Convenience request builder: mine all `l`-long `delta`-skinny patterns
@@ -198,16 +284,10 @@ mod tests {
 
     fn data() -> LabeledGraph {
         // two copies of backbone 0..4 with a twig on the middle
-        let labels = vec![
-            l(0), l(1), l(2), l(3), l(4), l(9),
-            l(0), l(1), l(2), l(3), l(4), l(9),
-        ];
+        let labels = vec![l(0), l(1), l(2), l(3), l(4), l(9), l(0), l(1), l(2), l(3), l(4), l(9)];
         LabeledGraph::from_unlabeled_edges(
             &labels,
-            [
-                (0, 1), (1, 2), (2, 3), (3, 4), (2, 5),
-                (6, 7), (7, 8), (8, 9), (9, 10), (8, 11),
-            ],
+            [(0, 1), (1, 2), (2, 3), (3, 4), (2, 5), (6, 7), (7, 8), (8, 9), (9, 10), (8, 11)],
         )
         .unwrap()
     }
@@ -264,7 +344,8 @@ mod tests {
         let idx = MinimalPatternIndex::build(&g, 2, SupportMeasure::DistinctVertexSets, None);
         let lower_sigma = SkinnyMineConfig::new(4, 2, 1);
         assert!(idx.request(&lower_sigma).is_err());
-        let other_measure = SkinnyMineConfig::new(4, 2, 2).with_support_measure(SupportMeasure::EmbeddingCount);
+        let other_measure =
+            SkinnyMineConfig::new(4, 2, 2).with_support_measure(SupportMeasure::EmbeddingCount);
         assert!(idx.request(&other_measure).is_err());
         // higher sigma is fine: seeds are re-filtered
         let higher_sigma = SkinnyMineConfig::new(4, 2, 3);

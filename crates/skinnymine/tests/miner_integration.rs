@@ -92,16 +92,11 @@ fn matches_brute_force_on_structured_graph() {
     for (l, delta) in [(3usize, 1u32), (3, 2), (2, 1)] {
         let measure = SupportMeasure::DistinctVertexSets;
         let expected = brute_force_skinny(&graph, l, delta, 2, measure, 9);
-        let config = SkinnyMineConfig::new(l, delta, 2)
-            .with_support_measure(measure)
-            .with_report(ReportMode::All);
+        let config =
+            SkinnyMineConfig::new(l, delta, 2).with_support_measure(measure).with_report(ReportMode::All);
         let result = SkinnyMine::new(config).mine(&graph).unwrap();
         let got: HashSet<DfsCode> = result.patterns.iter().map(|p| canonical_key(&p.graph)).collect();
-        assert_eq!(
-            got.len(),
-            result.patterns.len(),
-            "duplicate patterns reported for l={l}, delta={delta}"
-        );
+        assert_eq!(got.len(), result.patterns.len(), "duplicate patterns reported for l={l}, delta={delta}");
         assert_eq!(got, expected, "pattern sets differ for l={l}, delta={delta}");
     }
 }

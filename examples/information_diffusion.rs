@@ -42,18 +42,10 @@ fn main() {
     let labels = weibo::weibo_label_table();
     if let Some(best) = result.largest_pattern() {
         println!("\nmost prominent pattern: {}", best.describe());
-        let roles: Vec<String> = best
-            .diameter_labels
-            .iter()
-            .map(|&l| labels.name_or_placeholder(l))
-            .collect();
+        let roles: Vec<String> =
+            best.diameter_labels.iter().map(|&l| labels.name_or_placeholder(l)).collect();
         println!("  diffusion chain roles: {}", roles.join(" -> "));
-        let followers = best
-            .graph
-            .labels()
-            .iter()
-            .filter(|&&l| l == weibo::FOLLOWER)
-            .count();
+        let followers = best.graph.labels().iter().filter(|&&l| l == weibo::FOLLOWER).count();
         println!("  follower interactions along the chain: {followers}");
     }
 

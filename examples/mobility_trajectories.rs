@@ -49,7 +49,11 @@ fn main() {
     for (l, delta) in [(8usize, 1u32), (10, 2), (12, 2)] {
         let result = index.request_exact(l, delta, ReportMode::Closed).expect("request uses the index sigma");
         println!("\nrequest: routes of length {l} with POI depth <= {delta}");
-        println!("  -> {} closed pattern(s), LevelGrow {:.2?}", result.patterns.len(), result.stats.level_grow.duration);
+        println!(
+            "  -> {} closed pattern(s), LevelGrow {:.2?}",
+            result.patterns.len(),
+            result.stats.level_grow.duration
+        );
         if let Some(best) = result.largest_pattern() {
             println!("  largest: {}", best.describe());
         }

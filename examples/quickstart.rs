@@ -38,7 +38,7 @@ fn main() {
     for pattern in &result.patterns {
         println!("  {}", pattern.describe());
         println!(
-        "    diameter labels: {:?}",
+            "    diameter labels: {:?}",
             pattern.diameter_labels.iter().map(|l| l.id()).collect::<Vec<_>>()
         );
         println!("    embeddings: {}", pattern.embeddings.len());

@@ -1,0 +1,26 @@
+//! # skinnymine-suite
+//!
+//! Thin facade over the SkinnyMine workspace, re-exporting every member
+//! crate under one roof.  The workspace-level integration tests (`tests/`)
+//! and runnable examples (`examples/`) are targets of this crate.
+//!
+//! Crate map (arrows point at dependencies):
+//!
+//! ```text
+//!   skinny-bench ──► skinny-baselines ──► skinny-graph
+//!        │                 │
+//!        ├──► skinnymine ──┼──► skinny-graph
+//!        │        │        │
+//!        │        └──► skinny-pool
+//!        └──► skinny-datagen ──► skinny-graph
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use skinny_baselines as baselines;
+pub use skinny_bench as bench;
+pub use skinny_datagen as datagen;
+pub use skinny_graph as graph;
+pub use skinny_pool as pool;
+pub use skinnymine as miner;

@@ -7,9 +7,7 @@ use skinny_datagen::{
     skinny_pattern, DblpConfig, ErConfig, SkinnyPatternConfig, TransactionSetting, WeiboConfig,
 };
 use skinny_graph::{analyze, SupportMeasure};
-use skinnymine::{
-    Exploration, LengthConstraint, ReportMode, SkinnyMine, SkinnyMineConfig,
-};
+use skinnymine::{Exploration, LengthConstraint, ReportMode, SkinnyMine, SkinnyMineConfig};
 
 /// Injecting a known skinny pattern into a random background and mining with
 /// the matching (l, delta) request must recover it.
@@ -29,10 +27,9 @@ fn recovers_injected_pattern_from_background() {
 
     assert!(!result.is_empty(), "no pattern mined at all");
     // some reported pattern must cover (most of) the injected one
-    let recovered = result
-        .patterns
-        .iter()
-        .any(|p| p.diameter_len == 14 && p.vertex_count() * 10 >= pattern.vertex_count() * 8 && p.support >= 3);
+    let recovered = result.patterns.iter().any(|p| {
+        p.diameter_len == 14 && p.vertex_count() * 10 >= pattern.vertex_count() * 8 && p.support >= 3
+    });
     assert!(recovered, "the injected 14-long pattern was not recovered");
 
     // every reported pattern must satisfy the specification and carry valid
@@ -129,7 +126,8 @@ fn index_requests_match_direct_runs() {
     let pattern = skinny_pattern(&SkinnyPatternConfig::new(14, 8, 2, 50, 23));
     let data = inject_patterns(&background, &[(pattern, 3)], 9).graph;
 
-    let index = skinnymine::MinimalPatternIndex::build(&data, 2, SupportMeasure::DistinctVertexSets, Some(10));
+    let index =
+        skinnymine::MinimalPatternIndex::build(&data, 2, SupportMeasure::DistinctVertexSets, Some(10));
     for l in [6usize, 8] {
         let config = SkinnyMineConfig::new(l, 2, 2)
             .with_report(ReportMode::Closed)

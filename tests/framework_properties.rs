@@ -11,8 +11,8 @@
 use proptest::prelude::*;
 use skinny_graph::{analyze, are_isomorphic, canonical_key, Label, LabeledGraph, VertexId};
 use skinnymine::{
-    ConstraintCheckMode, Continuous, Exploration, GraphConstraint, ReportMode, SkinnyConstraint,
-    SkinnyMine, SkinnyMineConfig,
+    ConstraintCheckMode, Continuous, Exploration, GraphConstraint, ReportMode, SkinnyConstraint, SkinnyMine,
+    SkinnyMineConfig,
 };
 
 /// Strategy: a small random connected labeled graph built from a random
@@ -142,9 +142,12 @@ proptest! {
     }
 
     /// Properties 1 and 2 of the framework hold for the skinny constraint on
-    /// arbitrary connected graphs: the minimal satisfying patterns are
-    /// exactly the length-l paths, and every satisfying pattern has a
-    /// satisfying one-edge-smaller sub-pattern unless it is such a path.
+    /// arbitrary connected graphs: every length-l path is a minimal
+    /// satisfying pattern, every satisfying pattern reduces by one growth
+    /// step (an edge, or a vertex with its edges) unless it is minimal, and
+    /// the only minimal patterns beyond the paths of Observation 1 are
+    /// cyclic (e.g. C₅ for l = 2, where removing any edge or vertex breaks
+    /// the diameter).
     #[test]
     fn skinny_constraint_reducible_and_continuous(g in connected_graph(9, 4)) {
         let a = analyze(&g).expect("connected");
@@ -153,11 +156,21 @@ proptest! {
         let c = SkinnyConstraint::new(l, u32::MAX);
         // the graph itself satisfies the constraint with delta = infinity
         prop_assert!(c.satisfied(&g));
-        // continuity: either it is the minimal path or some one-edge-removed
+        // continuity: either it is minimal or some one-growth-step-smaller
         // connected sub-pattern still satisfies the constraint
         prop_assert!(c.continuity_holds_for(&g), "continuity violated for a {}-vertex graph", g.vertex_count());
-        // reducibility: minimality holds exactly for bare paths of length l
+        // reducibility: bare paths of length l are always minimal, and any
+        // other minimal pattern must contain a cycle (non-path trees always
+        // reduce by dropping a leaf off a shortest arm)
         let is_path = g.vertex_count() == l + 1 && g.edge_count() == l;
-        prop_assert_eq!(c.is_minimal(&g), is_path);
+        if is_path {
+            prop_assert!(c.is_minimal(&g), "a bare length-l path must be minimal");
+        } else if c.is_minimal(&g) {
+            prop_assert!(
+                g.edge_count() >= g.vertex_count(),
+                "a minimal non-path must be cyclic, got a tree with {} vertices",
+                g.vertex_count()
+            );
+        }
     }
 }

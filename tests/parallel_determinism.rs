@@ -1,0 +1,98 @@
+//! Workspace-level determinism guarantee of the parallel mining engine:
+//! for any thread count, `SkinnyMine` must produce **byte-identical**
+//! results — same patterns, same order, same embeddings — because Stage I's
+//! chunked occurrence joins and Stage II's per-seed cluster growth both
+//! merge their partial results in deterministic task order.
+
+use skinny_datagen::{erdos_renyi, inject_patterns, skinny_pattern, ErConfig, SkinnyPatternConfig};
+use skinny_graph::{canonical_key, LabeledGraph};
+use skinnymine::{Exploration, LengthConstraint, MiningResult, ReportMode, SkinnyMine, SkinnyMineConfig};
+
+/// An Erdős–Rényi background with a known skinny pattern injected twice.
+fn injected_er_graph() -> LabeledGraph {
+    let background = erdos_renyi(&ErConfig::new(260, 2.0, 40, 7));
+    let pattern = skinny_pattern(&SkinnyPatternConfig::new(13, 8, 2, 40, 19));
+    inject_patterns(&background, &[(pattern, 2)], 3).graph
+}
+
+/// A full, order-sensitive fingerprint of a mining result: canonical key,
+/// cluster identity, support flags and the exact embedding lists of every
+/// pattern, in reported order.
+fn fingerprint(result: &MiningResult) -> Vec<String> {
+    result
+        .patterns
+        .iter()
+        .map(|p| {
+            format!(
+                "{:?}|{:?}|{}|{}|{}|{:?}",
+                canonical_key(&p.graph),
+                p.diameter_labels,
+                p.support,
+                p.closed,
+                p.maximal,
+                p.embeddings.embeddings,
+            )
+        })
+        .collect()
+}
+
+fn assert_thread_invariant(config: SkinnyMineConfig, graph: &LabeledGraph) {
+    let baseline = SkinnyMine::new(config.clone().with_threads(1)).mine(graph).expect("mining succeeds");
+    assert!(!baseline.is_empty(), "fixture must produce patterns for the comparison to mean anything");
+    for threads in [2usize, 8] {
+        let parallel =
+            SkinnyMine::new(config.clone().with_threads(threads)).mine(graph).expect("mining succeeds");
+        assert_eq!(
+            fingerprint(&baseline),
+            fingerprint(&parallel),
+            "threads = {threads} diverged from the sequential result"
+        );
+        assert_eq!(baseline.stats.clusters, parallel.stats.clusters);
+        assert_eq!(baseline.stats.reported_patterns, parallel.stats.reported_patterns);
+        assert_eq!(
+            baseline.stats.level_grow.candidates_examined, parallel.stats.level_grow.candidates_examined,
+            "threads = {threads}: ordered merge must reproduce the sequential counters"
+        );
+    }
+}
+
+#[test]
+fn closure_jump_mining_is_thread_invariant() {
+    let graph = injected_er_graph();
+    let config = SkinnyMineConfig::new(8, 2, 2)
+        .with_length(LengthConstraint::AtLeast(7))
+        .with_report(ReportMode::Closed)
+        .with_exploration(Exploration::ClosureJump);
+    assert_thread_invariant(config, &graph);
+}
+
+#[test]
+fn exhaustive_mining_is_thread_invariant() {
+    let graph = injected_er_graph();
+    let config = SkinnyMineConfig::new(7, 1, 2)
+        .with_length(LengthConstraint::Between(6, 7))
+        .with_report(ReportMode::All);
+    assert_thread_invariant(config, &graph);
+}
+
+#[test]
+fn transaction_setting_is_thread_invariant() {
+    let t = |seed: u64| {
+        let background = erdos_renyi(&ErConfig::new(120, 2.0, 30, seed));
+        let pattern = skinny_pattern(&SkinnyPatternConfig::new(10, 6, 2, 30, 77));
+        inject_patterns(&background, &[(pattern, 1)], seed + 1).graph
+    };
+    let db = skinny_graph::GraphDatabase::from_graphs((0..4).map(|i| t(i as u64)).collect());
+    let config = SkinnyMineConfig::new(6, 2, 3)
+        .with_support_measure(skinny_graph::SupportMeasure::Transactions)
+        .with_report(ReportMode::Closed)
+        .with_exploration(Exploration::ClosureJump);
+    let baseline =
+        SkinnyMine::new(config.clone().with_threads(1)).mine_database(&db).expect("mining succeeds");
+    for threads in [2usize, 8] {
+        let parallel = SkinnyMine::new(config.clone().with_threads(threads))
+            .mine_database(&db)
+            .expect("mining succeeds");
+        assert_eq!(fingerprint(&baseline), fingerprint(&parallel), "threads = {threads}");
+    }
+}

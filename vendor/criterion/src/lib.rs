@@ -1,0 +1,216 @@
+//! Offline stand-in for `criterion`, covering the API the workspace's bench
+//! targets use: `criterion_group!` / `criterion_main!`, `Criterion`,
+//! benchmark groups with `sample_size`, `bench_function` /
+//! `bench_with_input`, `BenchmarkId` and `Bencher::iter`.
+//!
+//! Instead of criterion's statistical machinery, each benchmark is timed with
+//! a short warm-up followed by a fixed wall-clock budget, and the mean
+//! iteration time is printed.  This keeps `cargo bench` useful for coarse
+//! regression spotting while building with no external dependencies; CI
+//! compile-checks the targets with `cargo bench --no-run`.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a benchmark's result.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id `"{name}/{parameter}"`, as in criterion.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// An id from just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Anything accepted as a benchmark id (`&str`, `String`, [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the measured routine.
+pub struct Bencher {
+    budget: Duration,
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly (one warm-up call, then until the time
+    /// budget is spent) and records the mean iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine());
+        let start = Instant::now();
+        let mut iters: u32 = 0;
+        loop {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= self.budget || iters >= 1000 {
+                break;
+            }
+        }
+        self.mean = Some(start.elapsed() / iters);
+    }
+}
+
+fn run_one(id: &str, budget: Duration, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { budget, mean: None };
+    f(&mut b);
+    match b.mean {
+        Some(mean) => println!("bench {id:<60} {mean:>12.3?}/iter"),
+        None => println!("bench {id:<60} (no measurement)"),
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { budget: Duration::from_millis(300) }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.into_id(), self.budget, |b| f(b));
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), budget: self.budget, _parent: self }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    budget: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for criterion compatibility; the stand-in's time budget is
+    /// fixed, so the sample count only nudges the budget down for tiny sizes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if n <= 10 {
+            self.budget = self.budget.min(Duration::from_millis(150));
+        }
+        self
+    }
+
+    /// Accepted for criterion compatibility.
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.budget = budget.min(Duration::from_secs(2));
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into_id()), self.budget, |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into_id()), self.budget, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a group runner, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_mean() {
+        let mut ran = 0u64;
+        run_one("smoke", Duration::from_millis(5), |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran >= 2);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("x", 5).into_id(), "x/5");
+        assert_eq!(BenchmarkId::from_parameter(7).into_id(), "7");
+        assert_eq!("plain".into_id(), "plain");
+    }
+}

@@ -1,0 +1,120 @@
+//! Test-runner support types: configuration, case errors and the
+//! deterministic RNG behind the stand-in strategies.
+
+/// Per-`proptest!` configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` and is not counted.
+    Reject(String),
+    /// The case failed an assertion.
+    Fail(String),
+}
+
+/// FNV-1a hash, used to derive a stable per-test seed from its name.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Deterministic RNG (xoroshiro128++) driving the strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s0: u64,
+    s1: u64,
+}
+
+impl TestRng {
+    /// Creates an RNG from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        fn splitmix64(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+        let mut state = seed;
+        let s0 = splitmix64(&mut state);
+        let mut s1 = splitmix64(&mut state);
+        if s0 == 0 && s1 == 0 {
+            s1 = 1;
+        }
+        TestRng { s0, s1 }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let (s0, mut s1) = (self.s0, self.s1);
+        let result = s0.wrapping_add(s1).rotate_left(17).wrapping_add(s0);
+        s1 ^= s0;
+        self.s0 = s0.rotate_left(49) ^ s1 ^ (s1 << 21);
+        self.s1 = s1.rotate_left(28);
+        result
+    }
+
+    /// A float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(9);
+        let mut b = TestRng::new(9);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn range_strategies_respect_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..500 {
+            let v = (3usize..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let w = (2usize..=4).generate(&mut rng);
+            assert!((2..=4).contains(&w));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_sizes() {
+        let mut rng = TestRng::new(2);
+        let s = crate::collection::vec(0u32..5, 0..=3usize);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!(v.len() <= 3);
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`: the `Serialize` / `Deserialize` trait names
+//! and their derives, so the workspace's types keep their serde-ready derive
+//! annotations while building without network access.  The derives expand to
+//! nothing; swapping this path dependency for the real crates.io `serde`
+//! requires no source change in the workspace.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the stand-in).
+pub trait SerializeMarker {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the stand-in).
+pub trait DeserializeMarker {}

@@ -1,0 +1,18 @@
+//! No-op `Serialize` / `Deserialize` derives for the vendored `serde`
+//! stand-in: they accept the same derive positions (including `#[serde(...)]`
+//! helper attributes) and expand to nothing.  Actual serialization support
+//! can be slotted in later without touching any deriving type.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; `#[derive(Serialize)]` is accepted everywhere.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; `#[derive(Deserialize)]` is accepted everywhere.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
