@@ -27,12 +27,26 @@ impl<'a> Data<'a> {
         }
     }
 
-    /// Iterates over `(transaction, graph)` pairs.
-    pub fn transactions(&self) -> Box<dyn Iterator<Item = (usize, &'a LabeledGraph)> + 'a> {
+    /// Iterates over `(transaction, graph)` pairs (a small enum iterator, no
+    /// boxed trait object on the enumeration path).
+    pub fn transactions(&self) -> DataIter<'a> {
         match self {
-            Data::Single(g) => Box::new(std::iter::once((0, *g))),
-            Data::Database(db) => Box::new(db.iter()),
+            Data::Single(g) => DataIter { data: Data::Single(g), next: 0 },
+            Data::Database(db) => DataIter { data: Data::Database(db), next: 0 },
         }
+    }
+
+    /// Number of transactions.
+    pub fn len(&self) -> usize {
+        match self {
+            Data::Single(_) => 1,
+            Data::Database(db) => db.len(),
+        }
+    }
+
+    /// True when the data holds no transaction.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     /// The support measure appropriate for the setting: minimum-image-based
@@ -50,6 +64,33 @@ impl<'a> Data<'a> {
         self.transactions().map(|(_, g)| g.vertex_count()).sum()
     }
 }
+
+/// Concrete iterator behind [`Data::transactions`].
+#[derive(Debug, Clone)]
+pub struct DataIter<'a> {
+    data: Data<'a>,
+    next: usize,
+}
+
+impl<'a> Iterator for DataIter<'a> {
+    type Item = (usize, &'a LabeledGraph);
+
+    fn next(&mut self) -> Option<(usize, &'a LabeledGraph)> {
+        if self.next >= self.data.len() {
+            return None;
+        }
+        let t = self.next;
+        self.next = t + 1;
+        Some((t, self.data.graph(t)))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.data.len() - self.next;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for DataIter<'_> {}
 
 /// A one-edge extension descriptor (shared vocabulary with SkinnyMine's
 /// `Extension`, re-declared here to keep the crates independent).

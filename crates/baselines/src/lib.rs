@@ -30,7 +30,7 @@ pub mod spidermine;
 pub mod subdue;
 
 pub use common::{Budget, GraphMiner, MinedPattern, MinerInput, MinerOutput};
-pub use extend::{Data, EmbeddedPattern, Growth};
+pub use extend::{Data, DataIter, EmbeddedPattern, Growth};
 pub use gspan::{GSpan, GSpanConfig};
 pub use moss::{Moss, MossConfig};
 pub use origami::{Origami, OrigamiConfig};

@@ -1,0 +1,477 @@
+//! Immutable columnar graph snapshots (CSR) with label-partitioned access
+//! structures.
+//!
+//! [`CsrGraph`] freezes a [`LabeledGraph`] into a compressed-sparse-row
+//! layout — one offsets column plus flat neighbor / edge-label columns — and
+//! precomputes two label-partitioned indexes on top of it:
+//!
+//! * a **vertex partition by label**: all vertices carrying a given label as
+//!   one contiguous slice ([`CsrGraph::vertices_with_label`]);
+//! * an **edge-triple index**: all edges whose canonical
+//!   `(min endpoint label, edge label, max endpoint label)` triple matches a
+//!   key, as one contiguous slice ([`CsrGraph::triple_edges`]).  Stage-I seed
+//!   enumeration walks these buckets instead of scanning every edge.
+//!
+//! The snapshot is built once per transaction (see [`CsrSnapshot`]) and every
+//! downstream pass — seed enumeration, occurrence joins, index serving — is a
+//! flat columnar sweep over it.  Both structures preserve the adjacency
+//! list's deterministic orders: neighbors ascend by id, and each triple
+//! bucket lists its edges in the global `(u asc, v asc)` scan order, so
+//! mining output is byte-identical to the adjacency-list path.
+
+use crate::graph::{LabeledGraph, VertexId};
+use crate::label::Label;
+use crate::view::{GraphView, Neighbors};
+use serde::{Deserialize, Serialize};
+
+/// The canonical `(min endpoint label, edge label, max endpoint label)` key
+/// of an undirected labeled edge.
+pub type EdgeTriple = (Label, Label, Label);
+
+/// An immutable CSR snapshot of a [`LabeledGraph`].
+///
+/// Construction preserves vertex ids, so a `CsrGraph` answers exactly the
+/// same queries as the graph it was built from — verified structurally by
+/// [`CsrGraph::parity_with`] and property-tested against the adjacency form.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v + 1]` indexes `neighbors` / `edge_labels`.
+    offsets: Vec<u32>,
+    /// Neighbor column, ascending within each vertex's slice.
+    neighbors: Vec<VertexId>,
+    /// Edge-label column, parallel to `neighbors`.
+    edge_labels: Vec<Label>,
+    /// Vertex-label column, indexed by vertex id.
+    vertex_labels: Vec<Label>,
+    /// Distinct vertex labels, ascending.
+    partition_labels: Vec<Label>,
+    /// `partition_offsets[i]..partition_offsets[i + 1]` indexes
+    /// `partition_vertices` for `partition_labels[i]`.
+    partition_offsets: Vec<u32>,
+    /// Vertices grouped by label, ascending ids within each group.
+    partition_vertices: Vec<VertexId>,
+    /// Distinct canonical edge triples, ascending.
+    triple_keys: Vec<EdgeTriple>,
+    /// `triple_offsets[i]..triple_offsets[i + 1]` indexes `triple_endpoints`
+    /// for `triple_keys[i]`.
+    triple_offsets: Vec<u32>,
+    /// Edge endpoints grouped by triple, oriented label-ascending (ties by
+    /// vertex id); bucket-internal order is the global edge scan order.
+    triple_endpoints: Vec<(VertexId, VertexId)>,
+    /// Number of undirected edges.
+    edge_count: usize,
+}
+
+impl CsrGraph {
+    /// Builds the snapshot of `g`, preserving vertex ids and neighbor order.
+    pub fn from_graph(g: &LabeledGraph) -> Self {
+        let n = g.vertex_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::with_capacity(2 * g.edge_count());
+        let mut edge_labels = Vec::with_capacity(2 * g.edge_count());
+        offsets.push(0u32);
+        for v in g.vertices() {
+            for (w, el) in g.neighbors(v) {
+                neighbors.push(w);
+                edge_labels.push(el);
+            }
+            offsets.push(neighbors.len() as u32);
+        }
+
+        // vertex partition: stable grouping by (label, id)
+        let mut by_label: Vec<(Label, VertexId)> = g.vertices().map(|v| (g.label(v), v)).collect();
+        by_label.sort();
+        let mut partition_labels = Vec::new();
+        let mut partition_offsets = vec![0u32];
+        let mut partition_vertices = Vec::with_capacity(n);
+        for (l, v) in by_label {
+            if partition_labels.last() != Some(&l) {
+                if !partition_labels.is_empty() {
+                    partition_offsets.push(partition_vertices.len() as u32);
+                }
+                partition_labels.push(l);
+            }
+            partition_vertices.push(v);
+        }
+        partition_offsets.push(partition_vertices.len() as u32);
+        if partition_labels.is_empty() {
+            partition_offsets = vec![0];
+        }
+
+        // edge-triple index: group the global edge scan by canonical triple
+        // with a stable sort, so each bucket preserves the scan order
+        let mut keyed: Vec<(EdgeTriple, (VertexId, VertexId))> = g
+            .edges()
+            .map(|e| {
+                let (lu, lv) = (g.label(e.u), g.label(e.v));
+                if lu <= lv {
+                    ((lu, e.label, lv), (e.u, e.v))
+                } else {
+                    ((lv, e.label, lu), (e.v, e.u))
+                }
+            })
+            .collect();
+        keyed.sort_by_key(|&(key, _)| key);
+        let mut triple_keys = Vec::new();
+        let mut triple_offsets = vec![0u32];
+        let mut triple_endpoints = Vec::with_capacity(keyed.len());
+        for (key, endpoints) in keyed {
+            if triple_keys.last() != Some(&key) {
+                if !triple_keys.is_empty() {
+                    triple_offsets.push(triple_endpoints.len() as u32);
+                }
+                triple_keys.push(key);
+            }
+            triple_endpoints.push(endpoints);
+        }
+        triple_offsets.push(triple_endpoints.len() as u32);
+        if triple_keys.is_empty() {
+            triple_offsets = vec![0];
+        }
+
+        CsrGraph {
+            offsets,
+            neighbors,
+            edge_labels,
+            vertex_labels: g.labels().to_vec(),
+            partition_labels,
+            partition_offsets,
+            partition_vertices,
+            triple_keys,
+            triple_offsets,
+            triple_endpoints,
+            edge_count: g.edge_count(),
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.vertex_labels.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Label of vertex `v`.
+    #[inline]
+    pub fn label(&self, v: VertexId) -> Label {
+        self.vertex_labels[v.index()]
+    }
+
+    /// The vertex-label column, indexed by vertex id.
+    pub fn labels(&self) -> &[Label] {
+        &self.vertex_labels
+    }
+
+    /// Degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let i = v.index();
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    #[inline]
+    fn neighbor_range(&self, v: VertexId) -> std::ops::Range<usize> {
+        let i = v.index();
+        self.offsets[i] as usize..self.offsets[i + 1] as usize
+    }
+
+    /// The sorted neighbor-id column slice of `v`.
+    #[inline]
+    pub fn neighbor_ids(&self, v: VertexId) -> &[VertexId] {
+        &self.neighbors[self.neighbor_range(v)]
+    }
+
+    /// `(neighbor, edge label)` iterator over `v`'s slice, tied to the full
+    /// borrow lifetime (the [`GraphView`] method can only tie it to `&self`).
+    #[inline]
+    pub fn neighbors_at(&self, v: VertexId) -> Neighbors<'_> {
+        let r = self.neighbor_range(v);
+        Neighbors::Columns { ids: &self.neighbors[r.clone()], labels: &self.edge_labels[r], at: 0 }
+    }
+
+    /// True when the edge `(u, v)` exists.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.edge_slot(u, v).is_some()
+    }
+
+    /// Label of edge `(u, v)`, or `None` when absent.
+    pub fn edge_label(&self, u: VertexId, v: VertexId) -> Option<Label> {
+        self.edge_slot(u, v).map(|slot| self.edge_labels[slot])
+    }
+
+    /// Binary search for `v` in `u`'s sorted neighbor slice, returning the
+    /// flat column index.
+    #[inline]
+    fn edge_slot(&self, u: VertexId, v: VertexId) -> Option<usize> {
+        if u.index() >= self.vertex_count() || v.index() >= self.vertex_count() {
+            return None;
+        }
+        let r = self.neighbor_range(u);
+        self.neighbors[r.clone()].binary_search(&v).ok().map(|i| r.start + i)
+    }
+
+    /// All vertices carrying label `l`, as a contiguous ascending slice of
+    /// the label partition (empty when the label is absent).
+    pub fn vertices_with_label(&self, l: Label) -> &[VertexId] {
+        match self.partition_labels.binary_search(&l) {
+            Ok(i) => {
+                &self.partition_vertices
+                    [self.partition_offsets[i] as usize..self.partition_offsets[i + 1] as usize]
+            }
+            Err(_) => &[],
+        }
+    }
+
+    /// Distinct vertex labels present, ascending.
+    pub fn distinct_vertex_labels(&self) -> &[Label] {
+        &self.partition_labels
+    }
+
+    /// Distinct canonical edge triples present, ascending.
+    pub fn edge_triple_keys(&self) -> &[EdgeTriple] {
+        &self.triple_keys
+    }
+
+    /// All edges whose canonical triple is `(la, el, lb)` (callers may pass
+    /// the endpoint labels in either order), as a contiguous slice.
+    ///
+    /// Each entry is the edge's endpoints oriented so the first carries the
+    /// smaller label (ties broken by vertex id, i.e. `u < v`); the slice
+    /// preserves the global `(u asc, v asc)` edge scan order.  Walking one
+    /// bucket visits exactly the edges of that triple — this is what replaces
+    /// the full edge scan per label triple in Stage-I seed enumeration.
+    pub fn triple_edges(&self, la: Label, el: Label, lb: Label) -> &[(VertexId, VertexId)] {
+        let key = if la <= lb { (la, el, lb) } else { (lb, el, la) };
+        match self.triple_keys.binary_search(&key) {
+            Ok(i) => {
+                &self.triple_endpoints[self.triple_offsets[i] as usize..self.triple_offsets[i + 1] as usize]
+            }
+            Err(_) => &[],
+        }
+    }
+
+    /// Iterates over `(triple key, edge bucket)` pairs in ascending key
+    /// order — the Stage-I seed walk.
+    pub fn edge_triples(&self) -> impl Iterator<Item = (EdgeTriple, &[(VertexId, VertexId)])> + '_ {
+        self.triple_keys.iter().enumerate().map(move |(i, &key)| {
+            let bucket =
+                &self.triple_endpoints[self.triple_offsets[i] as usize..self.triple_offsets[i + 1] as usize];
+            (key, bucket)
+        })
+    }
+
+    /// Structural parity check against an adjacency-list graph: same labels,
+    /// same neighbor slices, same edge count.  Test/verification helper.
+    pub fn parity_with(&self, g: &LabeledGraph) -> bool {
+        if self.vertex_count() != g.vertex_count() || self.edge_count() != g.edge_count() {
+            return false;
+        }
+        if self.labels() != g.labels() {
+            return false;
+        }
+        g.vertices().all(|v| self.neighbors_at(v).eq(g.neighbors(v)))
+    }
+}
+
+impl GraphView for CsrGraph {
+    #[inline]
+    fn vertex_count(&self) -> usize {
+        CsrGraph::vertex_count(self)
+    }
+
+    #[inline]
+    fn edge_count(&self) -> usize {
+        CsrGraph::edge_count(self)
+    }
+
+    #[inline]
+    fn label(&self, v: VertexId) -> Label {
+        CsrGraph::label(self, v)
+    }
+
+    #[inline]
+    fn degree(&self, v: VertexId) -> usize {
+        CsrGraph::degree(self, v)
+    }
+
+    #[inline]
+    fn neighbors(&self, v: VertexId) -> Neighbors<'_> {
+        self.neighbors_at(v)
+    }
+
+    #[inline]
+    fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        CsrGraph::has_edge(self, u, v)
+    }
+
+    #[inline]
+    fn edge_label(&self, u: VertexId, v: VertexId) -> Option<Label> {
+        CsrGraph::edge_label(self, u, v)
+    }
+}
+
+/// A per-transaction collection of CSR snapshots: the frozen form of a data
+/// graph or graph database, built once per mining transaction and then
+/// served read-only to any number of concurrent requests.
+///
+/// The snapshot records which *setting* it was built from (single graph vs
+/// graph-transaction database), so representation-independent answers (e.g.
+/// "is this the transaction setting?") survive the freeze — a one-transaction
+/// database frozen into a snapshot still reports as transactional.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsrSnapshot {
+    graphs: Vec<CsrGraph>,
+    transactional: bool,
+}
+
+impl CsrSnapshot {
+    /// Snapshot of a single data graph (one transaction).
+    pub fn from_graph(g: &LabeledGraph) -> Self {
+        CsrSnapshot { graphs: vec![CsrGraph::from_graph(g)], transactional: false }
+    }
+
+    /// Snapshot of every transaction of a database, in transaction order.
+    pub fn from_database(db: &crate::transaction::GraphDatabase) -> Self {
+        CsrSnapshot { graphs: db.iter().map(|(_, g)| CsrGraph::from_graph(g)).collect(), transactional: true }
+    }
+
+    /// True when the snapshot was built from a graph-transaction database
+    /// (regardless of how many transactions it holds).
+    pub fn is_transactional(&self) -> bool {
+        self.transactional
+    }
+
+    /// Number of transactions.
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// True when the snapshot holds no transaction.
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// The snapshot of transaction `t`.
+    ///
+    /// # Panics
+    /// Panics when `t` is out of range.
+    #[inline]
+    pub fn graph(&self, t: usize) -> &CsrGraph {
+        &self.graphs[t]
+    }
+
+    /// Iterates over `(transaction index, snapshot)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &CsrGraph)> {
+        self.graphs.iter().enumerate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(x: u32) -> Label {
+        Label(x)
+    }
+
+    fn graph() -> LabeledGraph {
+        // labels: 0(a) 1(b) 2(a) 3(c); edges with two labels
+        LabeledGraph::from_parts(
+            &[l(0), l(1), l(0), l(2)],
+            [(0u32, 1u32, l(5)), (1, 2, l(5)), (0, 2, l(6)), (2, 3, l(5))],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn snapshot_preserves_structure() {
+        let g = graph();
+        let c = CsrGraph::from_graph(&g);
+        assert!(c.parity_with(&g));
+        assert_eq!(c.vertex_count(), 4);
+        assert_eq!(c.edge_count(), 4);
+        assert_eq!(c.degree(VertexId(2)), 3);
+        assert_eq!(c.label(VertexId(3)), l(2));
+        assert!(c.has_edge(VertexId(0), VertexId(2)));
+        assert!(!c.has_edge(VertexId(0), VertexId(3)));
+        assert!(!c.has_edge(VertexId(0), VertexId(9)));
+        assert_eq!(c.edge_label(VertexId(0), VertexId(2)), Some(l(6)));
+        assert_eq!(c.edge_label(VertexId(1), VertexId(3)), None);
+    }
+
+    #[test]
+    fn label_partition_groups_vertices() {
+        let c = CsrGraph::from_graph(&graph());
+        assert_eq!(c.vertices_with_label(l(0)), &[VertexId(0), VertexId(2)]);
+        assert_eq!(c.vertices_with_label(l(1)), &[VertexId(1)]);
+        assert_eq!(c.vertices_with_label(l(9)), &[] as &[VertexId]);
+        assert_eq!(c.distinct_vertex_labels(), &[l(0), l(1), l(2)]);
+    }
+
+    #[test]
+    fn triple_index_buckets_edges() {
+        let g = graph();
+        let c = CsrGraph::from_graph(&g);
+        // triples: (a,5,b) x2 [(0,1),(2,1)], (a,6,a) x1 [(0,2)], (a,5,c) x1 [(2,3)]
+        assert_eq!(c.edge_triple_keys().len(), 3);
+        let ab = c.triple_edges(l(0), l(5), l(1));
+        assert_eq!(ab, &[(VertexId(0), VertexId(1)), (VertexId(2), VertexId(1))]);
+        // endpoint labels in either order reach the same bucket
+        assert_eq!(c.triple_edges(l(1), l(5), l(0)), ab);
+        assert_eq!(c.triple_edges(l(0), l(6), l(0)), &[(VertexId(0), VertexId(2))]);
+        assert_eq!(c.triple_edges(l(0), l(5), l(2)), &[(VertexId(2), VertexId(3))]);
+        assert!(c.triple_edges(l(0), l(9), l(1)).is_empty());
+        // buckets partition the edge set
+        let total: usize = c.edge_triples().map(|(_, bucket)| bucket.len()).sum();
+        assert_eq!(total, c.edge_count());
+    }
+
+    #[test]
+    fn triple_bucket_orientation_is_label_ascending() {
+        let g = graph();
+        let c = CsrGraph::from_graph(&g);
+        for (key, bucket) in c.edge_triples() {
+            for &(u, v) in bucket {
+                assert_eq!((c.label(u), c.label(v)), (key.0, key.2));
+                if key.0 == key.2 {
+                    assert!(u < v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_snapshot() {
+        let g = LabeledGraph::new();
+        let c = CsrGraph::from_graph(&g);
+        assert_eq!(c.vertex_count(), 0);
+        assert_eq!(c.edge_count(), 0);
+        assert!(c.distinct_vertex_labels().is_empty());
+        assert!(c.edge_triple_keys().is_empty());
+        assert!(c.parity_with(&g));
+    }
+
+    #[test]
+    fn snapshot_collection() {
+        let g = graph();
+        let s = CsrSnapshot::from_graph(&g);
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+        assert!(!s.is_transactional());
+        assert!(s.graph(0).parity_with(&g));
+        let db = crate::transaction::GraphDatabase::from_graphs(vec![g.clone(), g.clone()]);
+        let s2 = CsrSnapshot::from_database(&db);
+        assert_eq!(s2.len(), 2);
+        assert!(s2.is_transactional());
+        // the setting survives the freeze even for a one-transaction database
+        let one = crate::transaction::GraphDatabase::from_graphs(vec![g.clone()]);
+        assert!(CsrSnapshot::from_database(&one).is_transactional());
+        assert_eq!(s2.iter().count(), 2);
+        assert!(s2.iter().all(|(_, c)| c.parity_with(&g)));
+    }
+}

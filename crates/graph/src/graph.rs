@@ -248,6 +248,13 @@ impl LabeledGraph {
         self.adj[v.index()].iter().copied()
     }
 
+    /// The sorted `(neighbor, edge_label)` slice of `v` — the borrow the
+    /// [`GraphView`](crate::view::GraphView) implementation hands out.
+    #[inline]
+    pub fn neighbor_slice(&self, v: VertexId) -> &[(VertexId, Label)] {
+        &self.adj[v.index()]
+    }
+
     /// Iterates over neighbor ids of `v` (without edge labels).
     #[inline]
     pub fn neighbor_ids(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {

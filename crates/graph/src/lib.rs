@@ -6,7 +6,16 @@
 //!
 //! This crate provides everything the mining algorithms are built on:
 //!
-//! * [`graph::LabeledGraph`] — undirected vertex/edge-labeled simple graphs;
+//! * [`graph::LabeledGraph`] — undirected vertex/edge-labeled simple graphs
+//!   (the mutable construction form);
+//! * [`view::GraphView`] — the read-only trait both representations
+//!   implement, with [`view::GraphRef`] as the run-time choice between them;
+//! * [`csr::CsrGraph`] / [`csr::CsrSnapshot`] — immutable columnar (CSR)
+//!   snapshots with label-partitioned vertex lists and an edge-triple index,
+//!   built once per transaction and swept by every downstream pass;
+//! * [`occurrence::OccurrenceStore`] — columnar (SoA) occurrence lists with
+//!   the same support measures as [`embedding::EmbeddingSet`] and arena-based
+//!   extension joins;
 //! * [`path::Path`] — simple paths with the paper's lexicographical
 //!   (Definition 2) and total (Definition 3) path orders;
 //! * [`distance`] — shortest paths, diameters and the **canonical diameter**
@@ -26,6 +35,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod csr;
 pub mod dfscode;
 pub mod distance;
 pub mod embedding;
@@ -34,12 +44,15 @@ pub mod graph;
 pub mod io;
 pub mod iso;
 pub mod label;
+pub mod occurrence;
 pub mod path;
 pub mod skinny;
 pub mod subiso;
 pub mod transaction;
 pub mod traversal;
+pub mod view;
 
+pub use csr::{CsrGraph, CsrSnapshot, EdgeTriple};
 pub use dfscode::{canonical_key, is_min_code, min_dfs_code, DfsCode, DfsEdge};
 pub use distance::{
     all_pairs_distances, canonical_diameter, diameter, diameter_label_sequence_is_canonical,
@@ -50,8 +63,10 @@ pub use error::{GraphError, GraphResult};
 pub use graph::{Edge, GraphSignature, LabeledGraph, VertexId};
 pub use iso::{are_isomorphic, automorphism_count};
 pub use label::{Label, LabelTable};
+pub use occurrence::{OccRow, OccurrenceStore};
 pub use path::{enumerate_simple_paths, lexicographic_path_order, total_path_order, Path};
 pub use skinny::{analyze, is_delta_skinny, is_l_long_delta_skinny, SkinnyAnalysis};
 pub use subiso::{count_embeddings, find_embeddings, has_embedding, SubIsoOptions};
 pub use transaction::GraphDatabase;
 pub use traversal::{ball, bfs_distances, connected_components, is_connected, UNREACHABLE};
+pub use view::{GraphRef, GraphView, Neighbors};

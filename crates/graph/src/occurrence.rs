@@ -1,0 +1,371 @@
+//! Columnar occurrence storage — the structure-of-arrays replacement for
+//! `Vec<Embedding>` on the mining hot paths.
+//!
+//! An [`OccurrenceStore`] holds every occurrence of one pattern as rows of a
+//! single flat vertex arena plus a parallel transaction column.  All rows of
+//! a store share one arity (the pattern's vertex count), so row `i` is the
+//! arena slice `[i * arity, (i + 1) * arity)` — no per-occurrence heap
+//! allocation, no pointer chasing, and extension joins append
+//! `parent row + new vertex` straight into the child's arena
+//! ([`OccurrenceStore::push_row_extended`]).
+//!
+//! The store provides the same support measures as
+//! [`EmbeddingSet`] — raw count, distinct
+//! vertex sets, minimum image (MNI) and transaction count — with identical
+//! semantics (property-tested against `find_embeddings`), plus conversions in
+//! both directions for the cold reporting path.
+
+use crate::embedding::{Embedding, EmbeddingSet, SupportMeasure};
+use crate::graph::VertexId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// All occurrences of one pattern, in columnar (SoA) layout.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OccurrenceStore {
+    /// Vertices per row (the pattern's vertex count).
+    arity: usize,
+    /// Flat vertex column: row `i` is `arena[i * arity..(i + 1) * arity]`.
+    arena: Vec<VertexId>,
+    /// Transaction of each row.
+    transactions: Vec<u32>,
+}
+
+/// One borrowed row of an [`OccurrenceStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OccRow<'a> {
+    /// Transaction index of the occurrence.
+    pub transaction: usize,
+    /// Data-graph vertex per pattern vertex, indexed by pattern vertex id.
+    pub vertices: &'a [VertexId],
+}
+
+impl OccRow<'_> {
+    /// The data vertex that pattern vertex `p` maps to.
+    #[inline]
+    pub fn image(&self, p: usize) -> VertexId {
+        self.vertices[p]
+    }
+
+    /// True if the occurrence uses data vertex `v`.
+    #[inline]
+    pub fn uses(&self, v: VertexId) -> bool {
+        self.vertices.contains(&v)
+    }
+
+    /// Materializes the row as an owned [`Embedding`] (cold paths only).
+    pub fn to_embedding(&self) -> Embedding {
+        Embedding::in_transaction(self.vertices.to_vec(), self.transaction)
+    }
+}
+
+impl OccurrenceStore {
+    /// Creates an empty store for rows of `arity` vertices.
+    pub fn new(arity: usize) -> Self {
+        OccurrenceStore { arity, arena: Vec::new(), transactions: Vec::new() }
+    }
+
+    /// Creates an empty store with room for `rows` occurrences.
+    pub fn with_capacity(arity: usize, rows: usize) -> Self {
+        OccurrenceStore {
+            arity,
+            arena: Vec::with_capacity(arity * rows),
+            transactions: Vec::with_capacity(rows),
+        }
+    }
+
+    /// Vertices per row.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of occurrences stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// True when no occurrence is stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+
+    /// Appends one occurrence.
+    ///
+    /// # Panics
+    /// Panics when `vertices.len()` differs from the store arity.
+    pub fn push_row(&mut self, transaction: usize, vertices: &[VertexId]) {
+        assert_eq!(vertices.len(), self.arity, "occurrence arity mismatch");
+        self.arena.extend_from_slice(vertices);
+        self.transactions.push(transaction as u32);
+    }
+
+    /// Appends `base` (a parent-pattern row of `arity - 1` vertices) extended
+    /// with `extra` — the arena-based extension join step: the child row is
+    /// written directly into the flat column with no intermediate `Vec`.
+    pub fn push_row_extended(&mut self, transaction: usize, base: &[VertexId], extra: VertexId) {
+        debug_assert_eq!(base.len() + 1, self.arity, "extended occurrence arity mismatch");
+        self.arena.extend_from_slice(base);
+        self.arena.push(extra);
+        self.transactions.push(transaction as u32);
+    }
+
+    /// The vertex slice of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[VertexId] {
+        &self.arena[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// The transaction of row `i`.
+    #[inline]
+    pub fn transaction(&self, i: usize) -> usize {
+        self.transactions[i] as usize
+    }
+
+    /// Borrowed view of row `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> OccRow<'_> {
+        OccRow { transaction: self.transaction(i), vertices: self.row(i) }
+    }
+
+    /// Iterates over the rows in insertion order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = OccRow<'_>> {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Appends all rows of `other`, preserving their order (the parallel
+    /// joins' ordered partial-result merge).
+    ///
+    /// # Panics
+    /// Panics on arity mismatch unless either store is empty.
+    pub fn append(&mut self, other: OccurrenceStore) {
+        if other.is_empty() {
+            return;
+        }
+        if self.is_empty() {
+            *self = other;
+            return;
+        }
+        assert_eq!(self.arity, other.arity, "appending stores of different arity");
+        self.arena.extend_from_slice(&other.arena);
+        self.transactions.extend_from_slice(&other.transactions);
+    }
+
+    /// Keeps only the first `rows` occurrences.
+    pub fn truncate(&mut self, rows: usize) {
+        if rows < self.len() {
+            self.arena.truncate(rows * self.arity);
+            self.transactions.truncate(rows);
+        }
+    }
+
+    /// Keeps the rows whose index satisfies `keep`, compacting the arena in
+    /// place and preserving order.
+    pub fn retain_rows(&mut self, mut keep: impl FnMut(OccRow<'_>) -> bool) {
+        let arity = self.arity;
+        let mut write = 0usize;
+        for read in 0..self.len() {
+            if keep(self.get(read)) {
+                if write != read {
+                    self.arena.copy_within(read * arity..(read + 1) * arity, write * arity);
+                    self.transactions[write] = self.transactions[read];
+                }
+                write += 1;
+            }
+        }
+        self.truncate(write);
+    }
+
+    /// Removes rows that are exactly equal (same transaction and vertex
+    /// sequence) to an earlier row.
+    pub fn dedup_exact(&mut self) {
+        let mut seen: HashSet<(u32, Vec<VertexId>)> = HashSet::with_capacity(self.len());
+        self.retain_rows(|r| seen.insert((r.transaction as u32, r.vertices.to_vec())));
+    }
+
+    /// The sorted deduplicated vertex set of row `i`.
+    fn vertex_set(&self, i: usize) -> Vec<VertexId> {
+        let mut vs = self.row(i).to_vec();
+        vs.sort();
+        vs.dedup();
+        vs
+    }
+
+    /// Number of distinct `(transaction, vertex set)` images.
+    pub fn distinct_vertex_sets(&self) -> usize {
+        let mut seen: HashSet<(u32, Vec<VertexId>)> = HashSet::with_capacity(self.len());
+        for i in 0..self.len() {
+            seen.insert((self.transactions[i], self.vertex_set(i)));
+        }
+        seen.len()
+    }
+
+    /// Minimum-image-based (MNI) support: the minimum, over pattern
+    /// vertices, of the number of distinct data vertices the column maps to.
+    pub fn mni_support(&self) -> usize {
+        if self.is_empty() {
+            return 0;
+        }
+        let mut min = usize::MAX;
+        let mut distinct: HashSet<(u32, VertexId)> = HashSet::with_capacity(self.len());
+        for p in 0..self.arity {
+            distinct.clear();
+            for i in 0..self.len() {
+                distinct.insert((self.transactions[i], self.arena[i * self.arity + p]));
+            }
+            min = min.min(distinct.len());
+        }
+        min
+    }
+
+    /// Number of distinct transactions with at least one occurrence.
+    pub fn transaction_support(&self) -> usize {
+        let distinct: HashSet<u32> = self.transactions.iter().copied().collect();
+        distinct.len()
+    }
+
+    /// Support under the chosen measure — identical semantics to
+    /// [`EmbeddingSet::support`].
+    pub fn support(&self, measure: SupportMeasure) -> usize {
+        match measure {
+            SupportMeasure::EmbeddingCount => self.len(),
+            SupportMeasure::DistinctVertexSets => self.distinct_vertex_sets(),
+            SupportMeasure::MinimumImage => self.mni_support(),
+            SupportMeasure::Transactions => self.transaction_support(),
+        }
+    }
+
+    /// Materializes the store as an [`EmbeddingSet`] (cold reporting path).
+    pub fn to_embedding_set(&self) -> EmbeddingSet {
+        EmbeddingSet::from_vec(self.iter().map(|r| r.to_embedding()).collect())
+    }
+
+    /// Builds a store from an [`EmbeddingSet`] whose embeddings all have
+    /// `arity` vertices.
+    ///
+    /// # Panics
+    /// Panics when an embedding's arity differs.
+    pub fn from_embedding_set(arity: usize, set: &EmbeddingSet) -> Self {
+        let mut store = OccurrenceStore::with_capacity(arity, set.len());
+        for e in set.iter() {
+            store.push_row(e.transaction, &e.vertices);
+        }
+        store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(ids: &[u32]) -> Vec<VertexId> {
+        ids.iter().map(|&i| VertexId(i)).collect()
+    }
+
+    fn store() -> OccurrenceStore {
+        let mut s = OccurrenceStore::new(2);
+        s.push_row(0, &v(&[0, 1]));
+        s.push_row(0, &v(&[1, 0]));
+        s.push_row(1, &v(&[2, 3]));
+        s
+    }
+
+    #[test]
+    fn rows_and_accessors() {
+        let s = store();
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.row(1), &v(&[1, 0])[..]);
+        assert_eq!(s.transaction(2), 1);
+        let r = s.get(0);
+        assert_eq!(r.image(1), VertexId(1));
+        assert!(r.uses(VertexId(0)));
+        assert!(!r.uses(VertexId(5)));
+        assert_eq!(s.iter().count(), 3);
+    }
+
+    #[test]
+    fn support_measures_match_embedding_set() {
+        let s = store();
+        let es = s.to_embedding_set();
+        for m in [
+            SupportMeasure::EmbeddingCount,
+            SupportMeasure::DistinctVertexSets,
+            SupportMeasure::MinimumImage,
+            SupportMeasure::Transactions,
+        ] {
+            assert_eq!(s.support(m), es.support(m), "measure {m:?}");
+        }
+        assert_eq!(s.support(SupportMeasure::EmbeddingCount), 3);
+        assert_eq!(s.support(SupportMeasure::DistinctVertexSets), 2);
+        assert_eq!(s.support(SupportMeasure::Transactions), 2);
+    }
+
+    #[test]
+    fn empty_store_supports_are_zero() {
+        let s = OccurrenceStore::new(3);
+        assert_eq!(s.support(SupportMeasure::MinimumImage), 0);
+        assert_eq!(s.support(SupportMeasure::DistinctVertexSets), 0);
+        assert_eq!(s.support(SupportMeasure::Transactions), 0);
+    }
+
+    #[test]
+    fn extension_join_appends_flat() {
+        let parent = store();
+        let mut child = OccurrenceStore::new(3);
+        for r in parent.iter() {
+            child.push_row_extended(r.transaction, r.vertices, VertexId(9));
+        }
+        assert_eq!(child.len(), 3);
+        assert_eq!(child.row(0), &v(&[0, 1, 9])[..]);
+        assert_eq!(child.transaction(2), 1);
+    }
+
+    #[test]
+    fn dedup_and_retain() {
+        let mut s = OccurrenceStore::new(2);
+        s.push_row(0, &v(&[0, 1]));
+        s.push_row(0, &v(&[0, 1]));
+        s.push_row(0, &v(&[1, 0]));
+        s.dedup_exact();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.row(1), &v(&[1, 0])[..]);
+        s.retain_rows(|r| r.vertices[0] == VertexId(0));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.row(0), &v(&[0, 1])[..]);
+    }
+
+    #[test]
+    fn append_and_truncate() {
+        let mut a = store();
+        let b = store();
+        a.append(b);
+        assert_eq!(a.len(), 6);
+        assert_eq!(a.row(3), &v(&[0, 1])[..]);
+        a.truncate(2);
+        assert_eq!(a.len(), 2);
+        let mut empty = OccurrenceStore::new(7);
+        empty.append(a.clone());
+        assert_eq!(empty.arity(), 2);
+        assert_eq!(empty.len(), 2);
+        a.append(OccurrenceStore::new(9));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn embedding_set_roundtrip() {
+        let s = store();
+        let back = OccurrenceStore::from_embedding_set(2, &s.to_embedding_set());
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut s = OccurrenceStore::new(2);
+        s.push_row(0, &v(&[0, 1, 2]));
+    }
+}

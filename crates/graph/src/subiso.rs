@@ -8,6 +8,7 @@
 
 use crate::embedding::{Embedding, EmbeddingSet};
 use crate::graph::{LabeledGraph, VertexId};
+use crate::view::GraphView;
 
 /// Options controlling the embedding search.
 #[derive(Debug, Clone, Copy, Default)]
@@ -22,8 +23,10 @@ pub struct SubIsoOptions {
 ///
 /// Pattern vertices are matched in a connectivity-aware static order chosen
 /// to keep the partial mapping connected, which keeps the search space small
-/// for the sparse patterns of this problem domain.
-pub fn find_embeddings(pattern: &LabeledGraph, data: &LabeledGraph, opts: SubIsoOptions) -> EmbeddingSet {
+/// for the sparse patterns of this problem domain.  The data side is generic
+/// over [`GraphView`], so the same search runs against the adjacency-list
+/// and CSR representations.
+pub fn find_embeddings<G: GraphView>(pattern: &LabeledGraph, data: &G, opts: SubIsoOptions) -> EmbeddingSet {
     let mut out = EmbeddingSet::new();
     if pattern.vertex_count() == 0 || pattern.vertex_count() > data.vertex_count() {
         return out;
@@ -48,12 +51,12 @@ pub fn find_embeddings(pattern: &LabeledGraph, data: &LabeledGraph, opts: SubIso
 /// Counts embeddings without materializing more than necessary; equivalent to
 /// `find_embeddings(..).len()` but allows an early-exit threshold: returns as
 /// soon as `at_least` embeddings are found (if provided).
-pub fn count_embeddings(pattern: &LabeledGraph, data: &LabeledGraph, at_least: Option<usize>) -> usize {
+pub fn count_embeddings<G: GraphView>(pattern: &LabeledGraph, data: &G, at_least: Option<usize>) -> usize {
     find_embeddings(pattern, data, SubIsoOptions { limit: at_least, transaction: 0 }).len()
 }
 
 /// Returns true if `pattern` has at least one embedding in `data`.
-pub fn has_embedding(pattern: &LabeledGraph, data: &LabeledGraph) -> bool {
+pub fn has_embedding<G: GraphView>(pattern: &LabeledGraph, data: &G) -> bool {
     count_embeddings(pattern, data, Some(1)) >= 1
 }
 
@@ -90,9 +93,9 @@ fn matching_order(pattern: &LabeledGraph) -> Vec<VertexId> {
     order
 }
 
-struct SearchState<'a> {
+struct SearchState<'a, G: GraphView> {
     pattern: &'a LabeledGraph,
-    data: &'a LabeledGraph,
+    data: &'a G,
     order: &'a [VertexId],
     mapping: &'a mut Vec<Option<VertexId>>,
     used: &'a mut Vec<bool>,
@@ -101,7 +104,7 @@ struct SearchState<'a> {
     transaction: usize,
 }
 
-impl SearchState<'_> {
+impl<G: GraphView> SearchState<'_, G> {
     fn done(&self) -> bool {
         self.limit.map(|l| self.out.len() >= l).unwrap_or(false)
     }
@@ -142,7 +145,9 @@ impl SearchState<'_> {
         let label = self.pattern.label(pv);
         let anchored = self.pattern.neighbor_ids(pv).find_map(|n| self.mapping[n.index()]);
         match anchored {
-            Some(image) => self.data.neighbor_ids(image).filter(|&d| self.data.label(d) == label).collect(),
+            Some(image) => {
+                self.data.neighbors(image).map(|(d, _)| d).filter(|&d| self.data.label(d) == label).collect()
+            }
             None => self.data.vertices().filter(|&d| self.data.label(d) == label).collect(),
         }
     }

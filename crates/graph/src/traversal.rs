@@ -1,6 +1,7 @@
 //! Breadth-first traversal, connectivity and connected components.
 
 use crate::graph::{LabeledGraph, VertexId};
+use crate::view::GraphView;
 use std::collections::VecDeque;
 
 /// Distance value returned by BFS for unreachable vertices.
@@ -8,7 +9,9 @@ pub const UNREACHABLE: u32 = u32::MAX;
 
 /// Single-source BFS: returns a vector of shortest hop distances from
 /// `source` to every vertex ([`UNREACHABLE`] for disconnected vertices).
-pub fn bfs_distances(graph: &LabeledGraph, source: VertexId) -> Vec<u32> {
+/// Generic over [`GraphView`], so it runs against the adjacency-list and CSR
+/// representations alike.
+pub fn bfs_distances<G: GraphView>(graph: &G, source: VertexId) -> Vec<u32> {
     let mut dist = vec![UNREACHABLE; graph.vertex_count()];
     if source.index() >= graph.vertex_count() {
         return dist;
@@ -18,7 +21,7 @@ pub fn bfs_distances(graph: &LabeledGraph, source: VertexId) -> Vec<u32> {
     queue.push_back(source);
     while let Some(v) = queue.pop_front() {
         let dv = dist[v.index()];
-        for n in graph.neighbor_ids(v) {
+        for (n, _) in graph.neighbors(v) {
             if dist[n.index()] == UNREACHABLE {
                 dist[n.index()] = dv + 1;
                 queue.push_back(n);

@@ -81,6 +81,23 @@ pub enum Exploration {
     ClosureJump,
 }
 
+/// Which data-graph representation the mining passes sweep.
+///
+/// Mining output is **byte-identical** between the two (the determinism
+/// tests assert it); the choice only affects how the data is accessed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Representation {
+    /// Sweep the per-vertex adjacency lists of the input graph directly.
+    /// No snapshot cost; right for tiny inputs and one-shot runs.
+    Adjacency,
+    /// Freeze the input into an immutable CSR snapshot
+    /// ([`skinny_graph::CsrSnapshot`]) first: flat neighbor columns,
+    /// label-partitioned vertex lists and an edge-triple index that turns
+    /// Stage-I seed enumeration into an index walk.  The default.
+    #[default]
+    CsrSnapshot,
+}
+
 /// How the canonical-diameter loop invariant is checked on each extension.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ConstraintCheckMode {
@@ -125,6 +142,15 @@ pub struct SkinnyMineConfig {
     /// Number of worker threads for growing independent canonical-diameter
     /// clusters (1 = sequential).
     pub threads: usize,
+    /// Which data representation the mining passes sweep (output is
+    /// byte-identical either way).
+    pub representation: Representation,
+    /// Whether Stage I also seeds frequent **odd cycles** `C_{2l+1}` — the
+    /// minimal non-path constraint-satisfying patterns (e.g. C₅ for `l = 2`),
+    /// which Stage II cannot reach from path seeds.  Required for
+    /// Definition-8 completeness on adversarial inputs; costs an extra
+    /// frequent-path pass at length `2l` per admitted `l`.
+    pub cycle_seeds: bool,
 }
 
 impl SkinnyMineConfig {
@@ -143,6 +169,8 @@ impl SkinnyMineConfig {
             max_patterns: None,
             max_embeddings_per_pattern: Some(10_000),
             threads: 1,
+            representation: Representation::default(),
+            cycle_seeds: true,
         }
     }
 
@@ -179,6 +207,18 @@ impl SkinnyMineConfig {
     /// Sets the number of worker threads.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the data representation the mining passes sweep.
+    pub fn with_representation(mut self, representation: Representation) -> Self {
+        self.representation = representation;
+        self
+    }
+
+    /// Enables or disables frequent-cycle seeding in Stage I.
+    pub fn with_cycle_seeds(mut self, cycle_seeds: bool) -> Self {
+        self.cycle_seeds = cycle_seeds;
         self
     }
 

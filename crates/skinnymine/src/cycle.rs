@@ -1,0 +1,252 @@
+//! Frequent odd-cycle seed patterns `C_{2l+1}` — the minimal **non-path**
+//! constraint-satisfying patterns of the skinny constraint.
+//!
+//! For diameter length `l`, the odd cycle on `2l + 1` vertices has diameter
+//! exactly `l`, and every one-edge or one-vertex reduction changes that
+//! diameter — so `C_{2l+1}` is a genuinely minimal pattern of the `(l, δ)`
+//! constraint for `δ >= 1` (e.g. C₅ for `l = 2`), and Stage II can never
+//! reach it by growing a path seed: each intermediate would violate the
+//! canonical-diameter invariant.  Definition-8 completeness on adversarial
+//! inputs therefore needs these cycles seeded directly, which
+//! [`DiamMine::frequent_cycles`](crate::diam_mine::DiamMine::frequent_cycles)
+//! derives from the frequent paths of length `2l` by a closing-edge check.
+//!
+//! A labeled cycle has `2m` symmetries (`m` rotations × 2 directions);
+//! [`CyclePattern::canonicalize`] quotients them out so each undirected cycle
+//! occurrence is stored exactly once under one canonical key.
+
+use serde::{Deserialize, Serialize};
+use skinny_graph::{GraphView, Label, LabeledGraph, OccurrenceStore, SupportMeasure, VertexId};
+
+/// The canonical identity of a labeled cycle: vertex labels in cyclic order
+/// plus edge labels, minimized over all rotations and reflections.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CycleKey {
+    /// Vertex labels around the cycle (length = cycle length `m`).
+    pub vertex_labels: Vec<Label>,
+    /// Edge labels around the cycle: `edge_labels[i]` labels the edge between
+    /// cyclic positions `i` and `(i + 1) mod m`.
+    pub edge_labels: Vec<Label>,
+}
+
+impl CycleKey {
+    /// Cycle length in edges (= vertices).
+    pub fn len(&self) -> usize {
+        self.vertex_labels.len()
+    }
+
+    /// True for the degenerate empty key.
+    pub fn is_empty(&self) -> bool {
+        self.vertex_labels.is_empty()
+    }
+
+    /// The diameter length `l` of the odd cycle `C_{2l+1}` this key
+    /// describes.
+    pub fn diameter_len(&self) -> usize {
+        self.len() / 2
+    }
+}
+
+/// A frequent cycle pattern with its occurrences in columnar layout.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CyclePattern {
+    /// Canonical identity of the cycle.
+    pub key: CycleKey,
+    /// Occurrences, one row per undirected cycle occurrence; row vertices
+    /// follow the key's canonical cyclic orientation.
+    pub embeddings: OccurrenceStore,
+}
+
+impl CyclePattern {
+    /// Creates an empty pattern for a key.
+    pub fn new(key: CycleKey) -> Self {
+        let arity = key.vertex_labels.len();
+        CyclePattern { key, embeddings: OccurrenceStore::new(arity) }
+    }
+
+    /// Cycle length in edges (= vertices).
+    pub fn cycle_len(&self) -> usize {
+        self.key.len()
+    }
+
+    /// The diameter length `l` of this `C_{2l+1}` seed.
+    pub fn diameter_len(&self) -> usize {
+        self.key.diameter_len()
+    }
+
+    /// Support of the pattern under the chosen measure.
+    pub fn support(&self, measure: SupportMeasure) -> usize {
+        self.embeddings.support(measure)
+    }
+
+    /// Adds a canonicalized occurrence (as produced by
+    /// [`CyclePattern::canonicalize`]).
+    pub fn push_occurrence(&mut self, t: usize, vertices: &[VertexId]) {
+        self.embeddings.push_row(t, vertices);
+    }
+
+    /// Removes exact duplicate occurrences.  The same undirected cycle is
+    /// discovered once per length-`2l` sub-path (there are `2l + 1` of them),
+    /// and canonicalization maps all of those discoveries to the same row.
+    pub fn dedup(&mut self) {
+        self.embeddings.dedup_exact();
+    }
+
+    /// Canonicalizes one cycle occurrence given as a directed *path* vertex
+    /// sequence `v_0 … v_{m-1}` (in path order) whose endpoints are joined by
+    /// a data edge labeled `closing`.
+    ///
+    /// Returns the canonical [`CycleKey`] (label sequences minimized over all
+    /// `2m` rotations/reflections) and the occurrence's vertex sequence
+    /// rewritten into that canonical cyclic orientation (ties among
+    /// label-equal symmetries broken by the smaller vertex-id sequence, so
+    /// every symmetry of the same undirected occurrence maps to one row).
+    pub fn canonicalize<G: GraphView>(
+        view: &G,
+        path_vertices: &[VertexId],
+        closing: Label,
+    ) -> (CycleKey, Vec<VertexId>) {
+        let m = path_vertices.len();
+        debug_assert!(m >= 3, "a cycle needs at least 3 vertices");
+        let vlabels: Vec<Label> = path_vertices.iter().map(|&v| view.label(v)).collect();
+        let mut elabels: Vec<Label> = path_vertices
+            .windows(2)
+            .map(|w| view.edge_label(w[0], w[1]).unwrap_or(Label::DEFAULT_EDGE))
+            .collect();
+        elabels.push(closing);
+
+        let mut best: Option<(Vec<Label>, Vec<Label>, Vec<VertexId>)> = None;
+        let mut cand_v = Vec::with_capacity(m);
+        let mut cand_e = Vec::with_capacity(m);
+        let mut cand_ids = Vec::with_capacity(m);
+        for rot in 0..m {
+            for dir in [1isize, -1] {
+                cand_v.clear();
+                cand_e.clear();
+                cand_ids.clear();
+                for j in 0..m {
+                    let pos = (rot as isize + dir * j as isize).rem_euclid(m as isize) as usize;
+                    cand_v.push(vlabels[pos]);
+                    cand_ids.push(path_vertices[pos]);
+                    // edge between cyclic positions j and j+1 of the candidate
+                    let edge_pos =
+                        if dir == 1 { pos } else { (pos as isize - 1).rem_euclid(m as isize) as usize };
+                    cand_e.push(elabels[edge_pos]);
+                }
+                let better = match &best {
+                    None => true,
+                    Some((bv, be, bids)) => (&cand_v, &cand_e, &cand_ids) < (bv, be, bids),
+                };
+                if better {
+                    best = Some((cand_v.clone(), cand_e.clone(), cand_ids.clone()));
+                }
+            }
+        }
+        let (vertex_labels, edge_labels, vertices) = best.expect("m >= 3 yields candidates");
+        (CycleKey { vertex_labels, edge_labels }, vertices)
+    }
+
+    /// Materializes the pattern as a standalone cycle-shaped
+    /// [`LabeledGraph`] whose vertices `0..m` carry the canonical labels in
+    /// cyclic order, with edges `(i, i+1)` and `(m-1, 0)`.
+    pub fn to_graph(&self) -> LabeledGraph {
+        let m = self.cycle_len();
+        let mut g = LabeledGraph::with_capacity(m);
+        for &l in &self.key.vertex_labels {
+            g.add_vertex(l);
+        }
+        for i in 0..m {
+            let j = (i + 1) % m;
+            g.add_edge(VertexId(i as u32), VertexId(j as u32), self.key.edge_labels[i])
+                .expect("cycle edges are always valid");
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(x: u32) -> Label {
+        Label(x)
+    }
+
+    /// An unlabeled-edge pentagon with the given vertex labels.
+    fn pentagon(labels: [u32; 5]) -> LabeledGraph {
+        let labels: Vec<Label> = labels.iter().map(|&x| l(x)).collect();
+        LabeledGraph::from_unlabeled_edges(&labels, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap()
+    }
+
+    fn v(ids: &[u32]) -> Vec<VertexId> {
+        ids.iter().map(|&i| VertexId(i)).collect()
+    }
+
+    #[test]
+    fn canonicalize_is_symmetry_invariant() {
+        let g = pentagon([3, 1, 4, 1, 5]);
+        // every rotation/reflection of the same undirected pentagon, given as
+        // a path (closing edge between first and last), canonicalizes to the
+        // same key and the same stored vertex sequence
+        let symmetries: Vec<Vec<VertexId>> = (0..5)
+            .flat_map(|rot| {
+                [1isize, -1].map(|dir| {
+                    (0..5)
+                        .map(|j| VertexId(((rot as isize + dir * j).rem_euclid(5)) as u32))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let (key0, verts0) = CyclePattern::canonicalize(&g, &symmetries[0], Label::DEFAULT_EDGE);
+        for s in &symmetries[1..] {
+            let (key, verts) = CyclePattern::canonicalize(&g, s, Label::DEFAULT_EDGE);
+            assert_eq!(key, key0);
+            assert_eq!(verts, verts0);
+        }
+        // the canonical label sequence is minimal among the symmetries:
+        // starting points labeled 1 are positions 1 and 3; walking from
+        // position 1 towards position 0 reads [1, 3, 5, 1, 4]
+        assert_eq!(key0.vertex_labels, vec![l(1), l(3), l(5), l(1), l(4)]);
+        assert_eq!(key0.len(), 5);
+        assert_eq!(key0.diameter_len(), 2);
+    }
+
+    #[test]
+    fn canonicalize_ties_break_by_vertex_ids() {
+        // all-equal labels: every symmetry matches, the id-smallest sequence
+        // must win so dedup collapses all discoveries
+        let g = pentagon([7, 7, 7, 7, 7]);
+        let (_, verts) = CyclePattern::canonicalize(&g, &v(&[2, 3, 4, 0, 1]), Label::DEFAULT_EDGE);
+        assert_eq!(verts[0], VertexId(0));
+        let (_, verts2) = CyclePattern::canonicalize(&g, &v(&[4, 3, 2, 1, 0]), Label::DEFAULT_EDGE);
+        assert_eq!(verts, verts2);
+    }
+
+    #[test]
+    fn pattern_accumulates_and_dedups() {
+        let g = pentagon([0, 0, 0, 0, 0]);
+        let (key, verts) = CyclePattern::canonicalize(&g, &v(&[0, 1, 2, 3, 4]), Label::DEFAULT_EDGE);
+        let mut p = CyclePattern::new(key.clone());
+        p.push_occurrence(0, &verts);
+        let (_, verts_again) = CyclePattern::canonicalize(&g, &v(&[1, 2, 3, 4, 0]), Label::DEFAULT_EDGE);
+        p.push_occurrence(0, &verts_again);
+        p.dedup();
+        assert_eq!(p.embeddings.len(), 1);
+        assert_eq!(p.cycle_len(), 5);
+        assert_eq!(p.diameter_len(), 2);
+        assert_eq!(p.support(SupportMeasure::DistinctVertexSets), 1);
+    }
+
+    #[test]
+    fn to_graph_builds_the_cycle() {
+        let g = pentagon([3, 1, 4, 1, 5]);
+        let (key, _) = CyclePattern::canonicalize(&g, &v(&[0, 1, 2, 3, 4]), Label::DEFAULT_EDGE);
+        let p = CyclePattern::new(key);
+        let cg = p.to_graph();
+        assert_eq!(cg.vertex_count(), 5);
+        assert_eq!(cg.edge_count(), 5);
+        assert!(cg.vertices().all(|x| cg.degree(x) == 2));
+        // isomorphic to the original pentagon
+        assert!(skinny_graph::are_isomorphic(&cg, &g));
+    }
+}

@@ -1,20 +1,32 @@
-//! A unified view over the two mining settings.
+//! A unified view over the two mining settings and the two data
+//! representations.
 //!
 //! The paper defines the problem in the single-graph setting and notes that
 //! "the corresponding version for graph transaction setting can be easily
 //! derived".  [`MiningData`] is that derivation: both settings expose the
 //! data as a list of transaction graphs (a single graph is a one-transaction
 //! database), and embeddings always carry their transaction index.
+//!
+//! Orthogonally, each transaction can be served from the adjacency-list form
+//! ([`LabeledGraph`]) or from an immutable columnar snapshot
+//! ([`skinny_graph::CsrSnapshot`]); [`MiningData::view`] hands out a
+//! [`GraphRef`] either way, and all mining passes go through it — output is
+//! byte-identical across the representations.
 
-use skinny_graph::{GraphDatabase, Label, LabeledGraph, VertexId};
+use skinny_graph::{
+    CsrSnapshot, GraphDatabase, GraphRef, GraphView, Label, LabeledGraph, Neighbors, VertexId,
+};
 
-/// The data being mined: a single large graph or a transaction database.
+/// The data being mined: a single large graph or a transaction database, in
+/// either representation.
 #[derive(Debug, Clone)]
 pub enum MiningData<'a> {
-    /// Single-graph setting (the paper's Definition 8).
+    /// Single-graph setting (the paper's Definition 8), adjacency-list form.
     Single(&'a LabeledGraph),
-    /// Graph-transaction setting (Figures 9–10).
+    /// Graph-transaction setting (Figures 9–10), adjacency-list form.
     Transactions(&'a GraphDatabase),
+    /// Either setting, frozen into per-transaction CSR snapshots.
+    Snapshot(&'a CsrSnapshot),
 }
 
 impl<'a> MiningData<'a> {
@@ -23,29 +35,43 @@ impl<'a> MiningData<'a> {
         match self {
             MiningData::Single(_) => 1,
             MiningData::Transactions(db) => db.len(),
+            MiningData::Snapshot(s) => s.len(),
         }
     }
 
-    /// The graph of transaction `t`.
+    /// A [`GraphRef`] onto the graph of transaction `t`.
     ///
     /// # Panics
     /// Panics when `t` is out of range; all transaction indices produced by
     /// this type are valid.
-    pub fn graph(&self, t: usize) -> &'a LabeledGraph {
+    #[inline]
+    pub fn view(&self, t: usize) -> GraphRef<'a> {
         match self {
             MiningData::Single(g) => {
                 debug_assert_eq!(t, 0, "single-graph setting has only transaction 0");
-                g
+                GraphRef::Adjacency(g)
             }
-            MiningData::Transactions(db) => &db[t],
+            MiningData::Transactions(db) => GraphRef::Adjacency(&db[t]),
+            MiningData::Snapshot(s) => GraphRef::Csr(s.graph(t)),
         }
     }
 
-    /// Iterates over `(transaction index, graph)` pairs.
-    pub fn transactions(&self) -> Box<dyn Iterator<Item = (usize, &'a LabeledGraph)> + 'a> {
+    /// Iterates over `(transaction index, graph view)` pairs.
+    pub fn transactions(&self) -> TransactionIter<'a> {
         match self {
-            MiningData::Single(g) => Box::new(std::iter::once((0usize, *g))),
-            MiningData::Transactions(db) => Box::new(db.iter()),
+            MiningData::Single(g) => TransactionIter::Single(Some(g)),
+            MiningData::Transactions(db) => TransactionIter::Database { db, next: 0 },
+            MiningData::Snapshot(s) => TransactionIter::Snapshot { snapshot: s, next: 0 },
+        }
+    }
+
+    /// Freezes this data into per-transaction CSR snapshots (identity clone
+    /// when it already is one).
+    pub fn to_snapshot(&self) -> CsrSnapshot {
+        match self {
+            MiningData::Single(g) => CsrSnapshot::from_graph(g),
+            MiningData::Transactions(db) => CsrSnapshot::from_database(db),
+            MiningData::Snapshot(s) => (*s).clone(),
         }
     }
 
@@ -67,32 +93,100 @@ impl<'a> MiningData<'a> {
     /// Label of vertex `v` in transaction `t`.
     #[inline]
     pub fn label(&self, t: usize, v: VertexId) -> Label {
-        self.graph(t).label(v)
+        self.view(t).label(v)
     }
 
     /// Neighbors of `v` in transaction `t`.
     #[inline]
-    pub fn neighbors(&self, t: usize, v: VertexId) -> impl Iterator<Item = (VertexId, Label)> + 'a {
-        self.graph(t).neighbors(v)
+    pub fn neighbors(&self, t: usize, v: VertexId) -> Neighbors<'a> {
+        self.view(t).neighbors(v)
     }
 
     /// True if edge `(u, v)` exists in transaction `t`.
     #[inline]
     pub fn has_edge(&self, t: usize, u: VertexId, v: VertexId) -> bool {
-        self.graph(t).has_edge(u, v)
+        self.view(t).has_edge(u, v)
     }
 
     /// Label of edge `(u, v)` in transaction `t`, if present.
     #[inline]
     pub fn edge_label(&self, t: usize, u: VertexId, v: VertexId) -> Option<Label> {
-        self.graph(t).edge_label(u, v)
+        self.view(t).edge_label(u, v)
     }
 
-    /// True when the mining setting is the transaction setting.
+    /// True when the mining setting is the transaction setting.  The answer
+    /// is representation-independent: a snapshot remembers which setting it
+    /// was frozen from.
     pub fn is_transactional(&self) -> bool {
-        matches!(self, MiningData::Transactions(_))
+        match self {
+            MiningData::Single(_) => false,
+            MiningData::Transactions(_) => true,
+            MiningData::Snapshot(s) => s.is_transactional(),
+        }
     }
 }
+
+/// Concrete iterator behind [`MiningData::transactions`] — a small enum
+/// instead of a boxed trait object, since this sits on the per-request hot
+/// path of the minimal-pattern index.
+#[derive(Debug, Clone)]
+pub enum TransactionIter<'a> {
+    /// Single-graph setting: yields transaction 0 once.
+    Single(Option<&'a LabeledGraph>),
+    /// Database setting: walks the transactions in order.
+    Database {
+        /// The underlying database.
+        db: &'a GraphDatabase,
+        /// Next transaction index.
+        next: usize,
+    },
+    /// Snapshot-backed: walks the per-transaction CSR graphs in order.
+    Snapshot {
+        /// The underlying snapshot.
+        snapshot: &'a CsrSnapshot,
+        /// Next transaction index.
+        next: usize,
+    },
+}
+
+impl<'a> Iterator for TransactionIter<'a> {
+    type Item = (usize, GraphRef<'a>);
+
+    fn next(&mut self) -> Option<(usize, GraphRef<'a>)> {
+        match self {
+            TransactionIter::Single(slot) => slot.take().map(|g| (0, GraphRef::Adjacency(g))),
+            TransactionIter::Database { db, next } => {
+                if *next < db.len() {
+                    let t = *next;
+                    *next = t + 1;
+                    Some((t, GraphRef::Adjacency(&db[t])))
+                } else {
+                    None
+                }
+            }
+            TransactionIter::Snapshot { snapshot, next } => {
+                if *next < snapshot.len() {
+                    let t = *next;
+                    *next = t + 1;
+                    Some((t, GraphRef::Csr(snapshot.graph(t))))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = match self {
+            TransactionIter::Single(slot) => slot.is_some() as usize,
+            TransactionIter::Database { db, next } => db.len() - next,
+            TransactionIter::Snapshot { snapshot, next } => snapshot.len() - next,
+        };
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for TransactionIter<'_> {}
 
 impl<'a> From<&'a LabeledGraph> for MiningData<'a> {
     fn from(g: &'a LabeledGraph) -> Self {
@@ -103,6 +197,12 @@ impl<'a> From<&'a LabeledGraph> for MiningData<'a> {
 impl<'a> From<&'a GraphDatabase> for MiningData<'a> {
     fn from(db: &'a GraphDatabase) -> Self {
         MiningData::Transactions(db)
+    }
+}
+
+impl<'a> From<&'a CsrSnapshot> for MiningData<'a> {
+    fn from(s: &'a CsrSnapshot) -> Self {
+        MiningData::Snapshot(s)
     }
 }
 
@@ -138,7 +238,41 @@ mod tests {
         assert_eq!(data.total_vertices(), 6);
         let ids: Vec<usize> = data.transactions().map(|(i, _)| i).collect();
         assert_eq!(ids, vec![0, 1]);
-        assert_eq!(data.graph(1).vertex_count(), 3);
+        assert_eq!(skinny_graph::GraphView::vertex_count(&data.view(1)), 3);
+    }
+
+    #[test]
+    fn snapshot_view_answers_identically() {
+        let g = graph();
+        let adjacency: MiningData<'_> = (&g).into();
+        let snapshot = adjacency.to_snapshot();
+        let data: MiningData<'_> = (&snapshot).into();
+        assert_eq!(data.transaction_count(), 1);
+        assert!(!data.is_transactional());
+        assert_eq!(data.total_vertices(), 3);
+        assert_eq!(data.total_edges(), 2);
+        assert_eq!(data.label(0, VertexId(1)), Label(1));
+        assert!(data.has_edge(0, VertexId(0), VertexId(1)));
+        assert_eq!(data.edge_label(0, VertexId(1), VertexId(2)), Some(Label(0)));
+        let ns: Vec<_> = data.neighbors(0, VertexId(1)).collect();
+        let ns_adj: Vec<_> = adjacency.neighbors(0, VertexId(1)).collect();
+        assert_eq!(ns, ns_adj);
+        // re-snapshotting a snapshot is the identity
+        assert_eq!(data.to_snapshot(), snapshot);
+    }
+
+    #[test]
+    fn transaction_iter_is_exact_size() {
+        let db = GraphDatabase::from_graphs(vec![graph(), graph(), graph()]);
+        let data: MiningData<'_> = (&db).into();
+        let mut it = data.transactions();
+        assert_eq!(it.len(), 3);
+        it.next();
+        assert_eq!(it.len(), 2);
+        let snapshot = data.to_snapshot();
+        let snap_data: MiningData<'_> = (&snapshot).into();
+        assert_eq!(snap_data.transactions().len(), 3);
+        assert!(snap_data.is_transactional());
     }
 
     #[test]

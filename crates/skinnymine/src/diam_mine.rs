@@ -15,13 +15,24 @@
 //!
 //! All joins run at the occurrence (embedding) level, so no subgraph
 //! isomorphism search is ever needed — this is what makes the stage "direct".
+//!
+//! On CSR-backed data ([`MiningData::Snapshot`]) the seed step walks the
+//! snapshot's `(label, edge label, label)` triple index instead of scanning
+//! every edge, and the occurrence joins read both orientations of every
+//! stored path straight out of a flat columnar arena without
+//! cloning vertex vectors.
+//!
+//! Beyond paths, [`DiamMine::frequent_cycles`] seeds the frequent odd cycles
+//! `C_{2l+1}` — the minimal *non-path* constraint-satisfying patterns that
+//! Stage II cannot reach from path seeds (e.g. C₅ for `l = 2`).
 
+use crate::cycle::CyclePattern;
 use crate::data::MiningData;
 use crate::path_pattern::{PathKey, PathPattern};
-use skinny_graph::{SupportMeasure, VertexId};
+use skinny_graph::{GraphView, Label, OccurrenceStore, SupportMeasure, VertexId};
 use std::collections::{BTreeMap, HashMap};
 
-/// Stage-I miner for frequent simple paths.
+/// Stage-I miner for frequent simple paths (and cycle seeds).
 #[derive(Debug, Clone)]
 pub struct DiamMine<'a> {
     data: MiningData<'a>,
@@ -30,11 +41,24 @@ pub struct DiamMine<'a> {
     threads: usize,
 }
 
-/// A directed view of one stored path occurrence, used while joining.
-#[derive(Debug, Clone)]
-struct DirectedOcc {
-    transaction: usize,
-    vertices: Vec<VertexId>,
+/// Collects both directed orientations of every stored path occurrence of
+/// every pattern into one columnar [`OccurrenceStore`] (pattern order, then
+/// occurrence order, forward row before reversed row).  The join indexes
+/// refer to rows by index — no per-occurrence allocation.
+fn directed_occurrences(patterns: &[PathPattern]) -> OccurrenceStore {
+    let arity = patterns[0].key.vertex_labels.len();
+    let rows: usize = patterns.iter().map(|p| p.embeddings.len()).sum();
+    let mut occs = OccurrenceStore::with_capacity(arity, 2 * rows);
+    let mut reversed = Vec::with_capacity(arity);
+    for p in patterns {
+        for occ in p.embeddings.iter() {
+            occs.push_row(occ.transaction, occ.vertices);
+            reversed.clear();
+            reversed.extend(occ.vertices.iter().rev().copied());
+            occs.push_row(occ.transaction, &reversed);
+        }
+    }
+    occs
 }
 
 impl<'a> DiamMine<'a> {
@@ -54,19 +78,73 @@ impl<'a> DiamMine<'a> {
 
     /// All frequent paths of length exactly 1 (frequent edges) — the seed set
     /// `S_0` of Algorithm 2.
+    ///
+    /// On snapshot-backed data this walks the CSR edge-triple index (one
+    /// bucket per candidate path key); on adjacency-backed data it scans the
+    /// edges once.  Both produce byte-identical patterns.
     pub fn frequent_edges(&self) -> Vec<PathPattern> {
         let mut by_key: HashMap<PathKey, PathPattern> = HashMap::new();
-        for (t, g) in self.data.transactions() {
-            for e in g.edges() {
-                let occ = vec![e.u, e.v];
-                let (key, reversed) = PathPattern::key_of_occurrence(g, &occ);
-                by_key
-                    .entry(key.clone())
-                    .or_insert_with(|| PathPattern::new(key))
-                    .add_occurrence(t, occ, reversed);
+        for (t, view) in self.data.transactions() {
+            if let Some(csr) = view.as_csr() {
+                for ((la, el, lb), bucket) in csr.edge_triples() {
+                    let key = PathKey { vertex_labels: vec![la, lb], edge_labels: vec![el] };
+                    let pattern = by_key.entry(key.clone()).or_insert_with(|| PathPattern::new(key));
+                    for &(u, v) in bucket {
+                        pattern.add_occurrence(t, vec![u, v], false);
+                    }
+                }
+            } else {
+                for e in view.edges() {
+                    let occ = vec![e.u, e.v];
+                    let (key, reversed) = PathPattern::key_of_occurrence(&view, &occ);
+                    by_key
+                        .entry(key.clone())
+                        .or_insert_with(|| PathPattern::new(key))
+                        .add_occurrence(t, occ, reversed);
+                }
             }
         }
         self.finalize(by_key)
+    }
+
+    /// The frequent length-1 path of one specific `(label, edge label,
+    /// label)` triple, together with the number of edge records visited to
+    /// enumerate it.
+    ///
+    /// On snapshot-backed data this walks exactly the triple's index bucket
+    /// (visit count = occurrences of the triple); on adjacency-backed data it
+    /// has to scan every edge of every transaction (visit count = total edge
+    /// count).  The visit counts are asserted by the index-walk regression
+    /// test — Stage-I seed enumeration must not fall back to a full edge scan
+    /// per label triple.
+    pub fn frequent_edges_for_triple(&self, la: Label, el: Label, lb: Label) -> (Option<PathPattern>, u64) {
+        let (key, _) = PathKey::canonical(vec![la, lb], vec![el]);
+        let mut pattern = PathPattern::new(key.clone());
+        let mut visited = 0u64;
+        for (t, view) in self.data.transactions() {
+            if let Some(csr) = view.as_csr() {
+                let bucket = csr.triple_edges(la, el, lb);
+                visited += bucket.len() as u64;
+                for &(u, v) in bucket {
+                    pattern.add_occurrence(t, vec![u, v], false);
+                }
+            } else {
+                for e in view.edges() {
+                    visited += 1;
+                    let occ = vec![e.u, e.v];
+                    let (occ_key, reversed) = PathPattern::key_of_occurrence(&view, &occ);
+                    if occ_key == key {
+                        pattern.add_occurrence(t, occ, reversed);
+                    }
+                }
+            }
+        }
+        pattern.dedup();
+        if pattern.support(self.support) >= self.sigma {
+            (Some(pattern), visited)
+        } else {
+            (None, visited)
+        }
     }
 
     /// Concatenates frequent paths of length `n` into candidate paths of
@@ -78,27 +156,28 @@ impl<'a> DiamMine<'a> {
         }
         let occs = directed_occurrences(current);
         // index directed occurrences by (transaction, head vertex)
-        let mut by_head: HashMap<(usize, VertexId), Vec<usize>> = HashMap::new();
-        for (i, o) in occs.iter().enumerate() {
-            by_head.entry((o.transaction, o.vertices[0])).or_default().push(i);
+        let mut by_head: HashMap<(usize, VertexId), Vec<u32>> = HashMap::new();
+        for i in 0..occs.len() {
+            by_head.entry((occs.transaction(i), occs.row(i)[0])).or_default().push(i as u32);
         }
-        let by_key = self.join_occurrences(&occs, |a, local| {
-            let tail = *a.vertices.last().expect("occurrence is nonempty");
-            let Some(candidates) = by_head.get(&(a.transaction, tail)) else { return };
+        let by_key = self.join_occurrences(&occs, |i, local| {
+            let a = occs.row(i);
+            let t = occs.transaction(i);
+            let tail = *a.last().expect("occurrence is nonempty");
+            let Some(candidates) = by_head.get(&(t, tail)) else { return };
             for &bi in candidates {
-                let b = &occs[bi];
-                if !disjoint_except_shared(&a.vertices, &b.vertices) {
+                let b = occs.row(bi as usize);
+                if !disjoint_except_shared(a, b) {
                     continue;
                 }
-                let mut combined = a.vertices.clone();
-                combined.extend_from_slice(&b.vertices[1..]);
-                let g = self.data.graph(a.transaction);
-                let (key, reversed) = PathPattern::key_of_occurrence(g, &combined);
-                local.entry(key.clone()).or_insert_with(|| PathPattern::new(key)).add_occurrence(
-                    a.transaction,
-                    combined,
-                    reversed,
-                );
+                let mut combined = a.to_vec();
+                combined.extend_from_slice(&b[1..]);
+                let view = self.data.view(t);
+                let (key, reversed) = PathPattern::key_of_occurrence(&view, &combined);
+                local
+                    .entry(key.clone())
+                    .or_insert_with(|| PathPattern::new(key))
+                    .add_occurrence(t, combined, reversed);
             }
         });
         self.finalize(by_key)
@@ -118,59 +197,60 @@ impl<'a> DiamMine<'a> {
         let overlap_vertices = overlap_edges + 1;
         let occs = directed_occurrences(base);
         // index by (transaction, prefix of overlap_vertices vertices)
-        let mut by_prefix: HashMap<(usize, Vec<VertexId>), Vec<usize>> = HashMap::new();
-        for (i, o) in occs.iter().enumerate() {
-            let prefix = o.vertices[..overlap_vertices].to_vec();
-            by_prefix.entry((o.transaction, prefix)).or_default().push(i);
+        let mut by_prefix: HashMap<(usize, Vec<VertexId>), Vec<u32>> = HashMap::new();
+        for i in 0..occs.len() {
+            let prefix = occs.row(i)[..overlap_vertices].to_vec();
+            by_prefix.entry((occs.transaction(i), prefix)).or_default().push(i as u32);
         }
-        let by_key = self.join_occurrences(&occs, |a, local| {
-            let suffix = a.vertices[a.vertices.len() - overlap_vertices..].to_vec();
-            let Some(candidates) = by_prefix.get(&(a.transaction, suffix)) else { return };
+        let by_key = self.join_occurrences(&occs, |i, local| {
+            let a = occs.row(i);
+            let t = occs.transaction(i);
+            let suffix = a[a.len() - overlap_vertices..].to_vec();
+            let Some(candidates) = by_prefix.get(&(t, suffix)) else { return };
             for &bi in candidates {
-                let b = &occs[bi];
-                let mut combined = a.vertices.clone();
-                combined.extend_from_slice(&b.vertices[overlap_vertices..]);
+                let b = occs.row(bi as usize);
+                let mut combined = a.to_vec();
+                combined.extend_from_slice(&b[overlap_vertices..]);
                 if combined.len() != target + 1 || !all_distinct(&combined) {
                     continue;
                 }
-                let g = self.data.graph(a.transaction);
-                let (key, reversed) = PathPattern::key_of_occurrence(g, &combined);
-                local.entry(key.clone()).or_insert_with(|| PathPattern::new(key)).add_occurrence(
-                    a.transaction,
-                    combined,
-                    reversed,
-                );
+                let view = self.data.view(t);
+                let (key, reversed) = PathPattern::key_of_occurrence(&view, &combined);
+                local
+                    .entry(key.clone())
+                    .or_insert_with(|| PathPattern::new(key))
+                    .add_occurrence(t, combined, reversed);
             }
         });
         self.finalize(by_key)
     }
 
-    /// Runs the per-occurrence join body over all of `occs`, sequentially
-    /// with one accumulator map when `threads == 1`, or on the work-stealing
-    /// pool over contiguous occurrence chunks otherwise.
+    /// Runs the per-occurrence join body over all rows of `occs`,
+    /// sequentially with one accumulator map when `threads == 1`, or on the
+    /// work-stealing pool over contiguous row chunks otherwise.
     ///
     /// The per-chunk partial maps are merged **in chunk order**, so every
     /// pattern's occurrence list ends up in the exact order the sequential
     /// loop would have produced — Stage I is deterministic for any thread
     /// count.
-    fn join_occurrences<F>(&self, occs: &[DirectedOcc], body: F) -> HashMap<PathKey, PathPattern>
+    fn join_occurrences<F>(&self, occs: &OccurrenceStore, body: F) -> HashMap<PathKey, PathPattern>
     where
-        F: Fn(&DirectedOcc, &mut HashMap<PathKey, PathPattern>) + Sync,
+        F: Fn(usize, &mut HashMap<PathKey, PathPattern>) + Sync,
     {
         // Parallelism only pays once there is real join work per chunk.
         const MIN_PARALLEL_OCCS: usize = 256;
         if self.threads <= 1 || occs.len() < MIN_PARALLEL_OCCS {
             let mut by_key = HashMap::new();
-            for a in occs {
-                body(a, &mut by_key);
+            for i in 0..occs.len() {
+                body(i, &mut by_key);
             }
             return by_key;
         }
         let ranges = skinny_pool::chunk_ranges(occs.len(), self.threads, 4);
         let partials = skinny_pool::run_indexed(self.threads, ranges.len(), |c| {
             let mut local: HashMap<PathKey, PathPattern> = HashMap::new();
-            for a in &occs[ranges[c].clone()] {
-                body(a, &mut local);
+            for i in ranges[c].clone() {
+                body(i, &mut local);
             }
             local
         });
@@ -226,6 +306,83 @@ impl<'a> DiamMine<'a> {
         self.merge_to_length(base, l)
     }
 
+    /// [`DiamMine::mine_exact`] for several lengths at once, sharing one
+    /// power-of-two doubling ladder across all of them instead of rebuilding
+    /// it per length (the ladder up to `2^k <= max(lengths)` dominates the
+    /// cost when the lengths are close together, as in cycle seeding).
+    pub fn mine_exact_many(&self, lengths: &[usize]) -> BTreeMap<usize, Vec<PathPattern>> {
+        let mut out = BTreeMap::new();
+        let Some(&max) = lengths.iter().filter(|&&l| l >= 1).max() else {
+            return out;
+        };
+        let levels = self.powers_up_to(floor_log2(max));
+        for &l in lengths {
+            if l == 0 || out.contains_key(&l) {
+                continue;
+            }
+            let k = floor_log2(l);
+            let base = &levels[k];
+            let paths = if l == 1 << k {
+                base.clone()
+            } else if base.is_empty() {
+                Vec::new()
+            } else {
+                self.merge_to_length(base, l)
+            };
+            out.insert(l, paths);
+        }
+        out
+    }
+
+    /// All frequent odd cycles `C_{2l+1}` whose canonical diameter has length
+    /// `l` — the minimal **non-path** constraint-satisfying patterns of the
+    /// skinny constraint (e.g. C₅ for `l = 2`: every one-edge or one-vertex
+    /// reduction violates the constraint, so Definition-8 completeness needs
+    /// these as Stage-II seeds).
+    ///
+    /// A `C_{2l+1}` occurrence is a frequent path of length `2l` whose
+    /// endpoints are adjacent in the data, so the cycles are derived from
+    /// [`DiamMine::mine_exact`]`(2l)` by a closing-edge check per occurrence.
+    pub fn frequent_cycles(&self, l: usize) -> Vec<CyclePattern> {
+        if l == 0 {
+            return Vec::new();
+        }
+        let paths = self.mine_exact(2 * l);
+        self.cycles_from_paths(&paths, l)
+    }
+
+    /// Derives the frequent `C_{2l+1}` cycles from an already-mined set of
+    /// frequent paths of length `2l` (used by the minimal-pattern index,
+    /// which has those paths stored).
+    pub fn cycles_from_paths(&self, paths_2l: &[PathPattern], l: usize) -> Vec<CyclePattern> {
+        let mut by_key: BTreeMap<crate::cycle::CycleKey, CyclePattern> = BTreeMap::new();
+        for p in paths_2l {
+            debug_assert_eq!(p.len(), 2 * l, "cycle seeds need paths of length 2l");
+            for occ in p.embeddings.iter() {
+                let t = occ.transaction;
+                let view = self.data.view(t);
+                let head = occ.vertices[0];
+                let tail = *occ.vertices.last().expect("path occurrence is nonempty");
+                let Some(closing) = view.edge_label(head, tail) else { continue };
+                let (key, canonical_vertices) = CyclePattern::canonicalize(&view, occ.vertices, closing);
+                by_key
+                    .entry(key.clone())
+                    .or_insert_with(|| CyclePattern::new(key))
+                    .push_occurrence(t, &canonical_vertices);
+            }
+        }
+        let mut out: Vec<CyclePattern> = by_key
+            .into_values()
+            .map(|mut c| {
+                c.dedup();
+                c
+            })
+            .filter(|c| c.support(self.support) >= self.sigma)
+            .collect();
+        out.sort_by(|a, b| a.key.cmp(&b.key));
+        out
+    }
+
     /// All frequent simple paths for every length in `[lo, hi]`
     /// (`hi = None` means "until no frequent path of that length exists",
     /// implementing the "length at least l" adaptation).
@@ -276,20 +433,6 @@ pub fn floor_log2(l: usize) -> usize {
     (usize::BITS - 1 - l.leading_zeros()) as usize
 }
 
-/// Both directed orientations of every stored occurrence of every pattern.
-fn directed_occurrences(patterns: &[PathPattern]) -> Vec<DirectedOcc> {
-    let mut out = Vec::new();
-    for p in patterns {
-        for e in p.embeddings.iter() {
-            out.push(DirectedOcc { transaction: e.transaction, vertices: e.vertices.clone() });
-            let mut rev = e.vertices.clone();
-            rev.reverse();
-            out.push(DirectedOcc { transaction: e.transaction, vertices: rev });
-        }
-    }
-    out
-}
-
 /// True when `a` and `b` share only the junction vertex `a.last() == b[0]`.
 fn disjoint_except_shared(a: &[VertexId], b: &[VertexId]) -> bool {
     debug_assert_eq!(a.last(), b.first());
@@ -315,7 +458,7 @@ fn all_distinct(vs: &[VertexId]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use skinny_graph::{Label, LabeledGraph};
+    use skinny_graph::{CsrSnapshot, Label, LabeledGraph};
 
     fn l(x: u32) -> Label {
         Label(x)
@@ -358,6 +501,43 @@ mod tests {
         }
         // at sigma 3 nothing survives
         assert!(miner(&g, 3).frequent_edges().is_empty());
+    }
+
+    #[test]
+    fn csr_seed_walk_matches_edge_scan() {
+        let g = two_path_copies();
+        let snapshot = CsrSnapshot::from_graph(&g);
+        let adj = miner(&g, 2).frequent_edges();
+        let csr = DiamMine::new(MiningData::Snapshot(&snapshot), 2, SupportMeasure::DistinctVertexSets)
+            .frequent_edges();
+        assert_eq!(adj.len(), csr.len());
+        for (a, c) in adj.iter().zip(&csr) {
+            assert_eq!(a.key, c.key);
+            assert_eq!(a.embeddings, c.embeddings, "occurrence stores must be byte-identical");
+        }
+    }
+
+    #[test]
+    fn triple_seed_walk_visits_only_its_bucket() {
+        let g = two_path_copies();
+        let snapshot = CsrSnapshot::from_graph(&g);
+        let csr_miner = DiamMine::new(MiningData::Snapshot(&snapshot), 2, SupportMeasure::DistinctVertexSets);
+        let adj_miner = miner(&g, 2);
+        let (p_csr, visited_csr) = csr_miner.frequent_edges_for_triple(l(0), Label::DEFAULT_EDGE, l(1));
+        let (p_adj, visited_adj) = adj_miner.frequent_edges_for_triple(l(0), Label::DEFAULT_EDGE, l(1));
+        let p_csr = p_csr.expect("a-b edge is frequent");
+        let p_adj = p_adj.expect("a-b edge is frequent");
+        assert_eq!(p_csr.key, p_adj.key);
+        assert_eq!(p_csr.embeddings, p_adj.embeddings);
+        // the index walk visits exactly the triple's 2 edges; the adjacency
+        // path has no choice but to scan all 8 — this is the regression guard
+        // against reintroducing a full edge scan per label triple
+        assert_eq!(visited_csr, 2);
+        assert_eq!(visited_adj, g.edge_count() as u64);
+        // an absent triple costs zero index-walk work on CSR
+        let (none, visited_none) = csr_miner.frequent_edges_for_triple(l(0), l(9), l(1));
+        assert!(none.is_none());
+        assert_eq!(visited_none, 0);
     }
 
     #[test]
@@ -436,6 +616,29 @@ mod tests {
         assert_eq!(len5[0].embeddings.len(), 6);
         // length 6 would need 7 distinct vertices: impossible in a 6-cycle
         assert!(m.mine_exact(6).is_empty());
+    }
+
+    #[test]
+    fn frequent_cycles_found_on_pentagon_pair() {
+        // two disjoint all-same-label 5-cycles: C5 is the minimal non-path
+        // pattern for l = 2
+        let mut edges = Vec::new();
+        for base in [0u32, 5] {
+            for i in 0..5 {
+                edges.push((base + i, base + (i + 1) % 5));
+            }
+        }
+        let g = LabeledGraph::from_unlabeled_edges(&[l(0); 10], edges).unwrap();
+        let m = miner(&g, 2);
+        let cycles = m.frequent_cycles(2);
+        assert_eq!(cycles.len(), 1);
+        let c5 = &cycles[0];
+        assert_eq!(c5.cycle_len(), 5);
+        // each pentagon contributes one undirected C5 occurrence
+        assert_eq!(c5.embeddings.len(), 2);
+        assert_eq!(c5.support(SupportMeasure::DistinctVertexSets), 2);
+        // no C3 in this data
+        assert!(m.frequent_cycles(1).is_empty());
     }
 
     #[test]

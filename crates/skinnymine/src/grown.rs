@@ -1,9 +1,10 @@
 //! Patterns under growth in Stage II, with their canonical diameter, the
 //! per-vertex `D_H` / `D_T` distance indices and their embedding lists.
 
+use crate::cycle::CyclePattern;
 use crate::path_pattern::PathPattern;
 use serde::{Deserialize, Serialize};
-use skinny_graph::{DistMatrix, Embedding, EmbeddingSet, Label, LabeledGraph, SupportMeasure, VertexId};
+use skinny_graph::{DistMatrix, Label, LabeledGraph, OccurrenceStore, SupportMeasure, VertexId};
 
 /// A one-step extension of a grown pattern.
 ///
@@ -79,8 +80,9 @@ pub struct GrownPattern {
     /// vertex admits a closed-form O(n²) update), so constraint checks never
     /// re-run BFS.
     pub dists: DistMatrix,
-    /// All embeddings of the pattern in the data.
-    pub embeddings: EmbeddingSet,
+    /// All occurrences of the pattern in the data, in columnar layout
+    /// (pattern vertex `p` maps to `row[p]`).
+    pub embeddings: OccurrenceStore,
     /// The extension that produced this pattern, if any (`P_anchor`).
     pub anchor: Option<Extension>,
 }
@@ -100,12 +102,61 @@ impl GrownPattern {
                 .map(|i| (0..n).map(|j| (i as i64 - j as i64).unsigned_abs() as u32).collect())
                 .collect::<Vec<_>>(),
         );
-        let embeddings = EmbeddingSet::from_vec(
-            path.embeddings
-                .iter()
-                .map(|e| Embedding::in_transaction(e.vertices.clone(), e.transaction))
-                .collect(),
-        );
+        let embeddings = path.embeddings.clone();
+        GrownPattern { graph, diameter_len: l, dist_head, dist_tail, level, dists, embeddings, anchor: None }
+    }
+
+    /// Builds the level-0 pattern of a cycle cluster: the odd cycle
+    /// `C_{2l+1}` relabeled so that its **canonical diameter** (Definition 4)
+    /// occupies pattern vertices `0..=l` in order — the invariant every
+    /// grown pattern maintains — with the remaining cycle vertices following
+    /// in ascending original order.  Occurrence rows are permuted the same
+    /// way.
+    pub fn from_cycle(cycle: &CyclePattern) -> Self {
+        let raw = cycle.to_graph();
+        let m = raw.vertex_count();
+        let cd = skinny_graph::canonical_diameter(&raw).expect("a cycle is connected");
+        let l = cd.len();
+        debug_assert_eq!(l, m / 2, "C_{{2l+1}} has diameter l");
+        // permutation old id -> new id: diameter path first, rest ascending
+        let mut new_of_old = vec![u32::MAX; m];
+        for (new_id, &old) in cd.vertices().iter().enumerate() {
+            new_of_old[old.index()] = new_id as u32;
+        }
+        let mut next = l as u32 + 1;
+        for slot in new_of_old.iter_mut() {
+            if *slot == u32::MAX {
+                *slot = next;
+                next += 1;
+            }
+        }
+        let mut old_of_new = vec![0usize; m];
+        for (old, &new_id) in new_of_old.iter().enumerate() {
+            old_of_new[new_id as usize] = old;
+        }
+        let mut graph = LabeledGraph::with_capacity(m);
+        for &old in &old_of_new {
+            graph.add_vertex(raw.label(VertexId(old as u32)));
+        }
+        for e in raw.edges() {
+            let (u, v) = (new_of_old[e.u.index()], new_of_old[e.v.index()]);
+            graph
+                .add_edge(VertexId(u), VertexId(v), e.label)
+                .expect("relabeling a simple cycle keeps edges valid");
+        }
+        let dists = DistMatrix::all_pairs(&graph);
+        let dist_head = dists.row(0).to_vec();
+        let dist_tail = dists.row(l).to_vec();
+        let level: Vec<u32> =
+            (0..m).map(|x| (0..=l).map(|p| dists.get(x, p)).min().expect("diameter is nonempty")).collect();
+        let mut embeddings = OccurrenceStore::with_capacity(m, cycle.embeddings.len());
+        let mut permuted = vec![VertexId(0); m];
+        for occ in cycle.embeddings.iter() {
+            for (new_id, &old) in old_of_new.iter().enumerate() {
+                permuted[new_id] = occ.vertices[old];
+            }
+            embeddings.push_row(occ.transaction, &permuted);
+        }
         GrownPattern { graph, diameter_len: l, dist_head, dist_tail, level, dists, embeddings, anchor: None }
     }
 
@@ -240,18 +291,20 @@ impl GrownPattern {
         StructuralExtension { graph, dist_head, dist_tail, level, dists, new_vertex }
     }
 
-    /// Computes the embeddings of the extended pattern from this pattern's
-    /// embeddings (the "direct" part: no subgraph isomorphism search).
+    /// Computes the occurrences of the extended pattern from this pattern's
+    /// occurrences (the "direct" part: no subgraph isomorphism search).
     ///
-    /// * For a new-vertex extension, every embedding is expanded by every
-    ///   unused data neighbor of the attachment image carrying the right
-    ///   vertex and edge labels (one parent embedding may yield several).
-    /// * For a closing edge, embeddings that do not have the required data
-    ///   edge are dropped.
-    pub fn extend_embeddings(&self, data: &crate::data::MiningData<'_>, ext: &Extension) -> EmbeddingSet {
-        let mut out = EmbeddingSet::new();
+    /// * For a new-vertex extension, every occurrence row is expanded by
+    ///   every unused data neighbor of the attachment image carrying the
+    ///   right vertex and edge labels (one parent row may yield several);
+    ///   each child row is appended straight into the output arena.
+    /// * For a closing edge, rows that do not have the required data edge are
+    ///   dropped.
+    pub fn extend_embeddings(&self, data: &crate::data::MiningData<'_>, ext: &Extension) -> OccurrenceStore {
+        let parent_arity = self.embeddings.arity();
         match *ext {
             Extension::NewVertex { attach, vertex_label, edge_label } => {
+                let mut out = OccurrenceStore::new(parent_arity + 1);
                 for e in self.embeddings.iter() {
                     let image = e.image(attach as usize);
                     for (w, el) in data.neighbors(e.transaction, image) {
@@ -264,13 +317,15 @@ impl GrownPattern {
                         if e.uses(w) {
                             continue;
                         }
-                        out.push(e.extended(w));
+                        out.push_row_extended(e.transaction, e.vertices, w);
                     }
                 }
+                out
             }
             Extension::NewVertexMulti { vertex_label, ref edges } => {
                 // candidates are the suitable neighbors of the first
                 // attachment image; each must carry *every* required edge
+                let mut out = OccurrenceStore::new(parent_arity + 1);
                 let (a0, el0) = edges[0];
                 for e in self.embeddings.iter() {
                     let image0 = e.image(a0 as usize);
@@ -288,31 +343,33 @@ impl GrownPattern {
                             data.edge_label(e.transaction, e.image(a as usize), w) == Some(ell)
                         });
                         if all_present {
-                            out.push(e.extended(w));
+                            out.push_row_extended(e.transaction, e.vertices, w);
                         }
                     }
                 }
+                out
             }
             Extension::ClosingEdge { u, v, edge_label } => {
+                let mut out = OccurrenceStore::new(parent_arity);
                 for e in self.embeddings.iter() {
                     let du = e.image(u as usize);
                     let dv = e.image(v as usize);
                     if data.edge_label(e.transaction, du, dv) == Some(edge_label) {
-                        out.push(e.clone());
+                        out.push_row(e.transaction, e.vertices);
                     }
                 }
+                out
             }
         }
-        out
     }
 
     /// Assembles the extended pattern from the structural extension and the
-    /// already-computed embeddings.
+    /// already-computed occurrences.
     pub fn assemble(
         &self,
         ext: Extension,
         structure: StructuralExtension,
-        embeddings: EmbeddingSet,
+        embeddings: OccurrenceStore,
     ) -> GrownPattern {
         GrownPattern {
             graph: structure.graph,
@@ -430,7 +487,7 @@ mod tests {
         assert_eq!(child.max_level(), 1);
         assert_eq!(child.anchor, Some(ext));
         assert!(child.indices_consistent());
-        assert!(child.embeddings.iter().all(|e| e.is_valid(&child.graph, &g)));
+        assert!(child.embeddings.iter().all(|e| e.to_embedding().is_valid(&child.graph, &g)));
     }
 
     #[test]
@@ -454,7 +511,7 @@ mod tests {
         let ext = Extension::ClosingEdge { u: 0, v: 2, edge_label: Label::DEFAULT_EDGE };
         let em = p.extend_embeddings(&data, &ext);
         assert_eq!(em.len(), 1);
-        assert_eq!(em.embeddings[0].vertices[0], VertexId(0));
+        assert_eq!(em.row(0)[0], VertexId(0));
         let st = p.apply_structure(&ext);
         // the chord shortens the head-to-position-2 distance
         assert_eq!(st.dist_head[2], 1);
@@ -471,6 +528,34 @@ mod tests {
         assert!(nv < nv2);
         let ce2 = Extension::ClosingEdge { u: 0, v: 2, edge_label: l(0) };
         assert!(ce < ce2);
+    }
+
+    #[test]
+    fn from_cycle_places_canonical_diameter_first() {
+        use crate::cycle::CyclePattern;
+        // data: one pentagon with distinct labels
+        let g = LabeledGraph::from_unlabeled_edges(
+            &[l(3), l(1), l(4), l(1), l(5)],
+            [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)],
+        )
+        .unwrap();
+        let occ: Vec<VertexId> = (0..5).map(VertexId).collect();
+        let (key, verts) = CyclePattern::canonicalize(&g, &occ, Label::DEFAULT_EDGE);
+        let mut cp = CyclePattern::new(key);
+        cp.push_occurrence(0, &verts);
+        let p = GrownPattern::from_cycle(&cp);
+        assert_eq!(p.diameter_len, 2);
+        assert_eq!(p.vertex_count(), 5);
+        assert_eq!(p.edge_count(), 5);
+        // invariant: vertices 0..=2 are the canonical diameter in order, and
+        // all maintained indices are exact
+        assert!(p.indices_consistent());
+        assert_eq!(p.max_level(), 1);
+        // the pattern graph is the pentagon and the single occurrence is valid
+        assert!(skinny_graph::are_isomorphic(&p.graph, &g));
+        assert!(p.embeddings.iter().all(|e| e.to_embedding().is_valid(&p.graph, &g)));
+        // the designated diameter really is the canonical one
+        assert!(crate::constraints::verify_canonical_diameter(&p.graph, 2, &p.diameter_labels()));
     }
 
     #[test]

@@ -15,13 +15,51 @@
 
 use crate::config::{Exploration, ReportMode, SkinnyMineConfig};
 use crate::constraints::{check_extension, ConstraintViolation};
+use crate::cycle::CyclePattern;
 use crate::data::MiningData;
 use crate::grown::{Extension, GrownPattern};
 use crate::path_pattern::PathPattern;
 use crate::result::SkinnyPattern;
 use crate::stats::MiningStats;
-use skinny_graph::{canonical_key, DfsCode, VertexId};
+use serde::{Deserialize, Serialize};
+use skinny_graph::{canonical_key, DfsCode, EmbeddingSet, SupportMeasure, VertexId};
 use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// A Stage-I seed for Stage-II growth: a canonical-diameter path, or a
+/// minimal odd cycle `C_{2l+1}` (which no path seed can reach).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Seed {
+    /// A frequent simple path of admissible length.
+    Path(PathPattern),
+    /// A frequent minimal odd cycle.
+    Cycle(CyclePattern),
+}
+
+impl Seed {
+    /// The level-0 grown pattern of this seed's cluster.
+    pub fn root(&self) -> GrownPattern {
+        match self {
+            Seed::Path(p) => GrownPattern::from_path_pattern(p),
+            Seed::Cycle(c) => GrownPattern::from_cycle(c),
+        }
+    }
+
+    /// The canonical-diameter length of the cluster.
+    pub fn diameter_len(&self) -> usize {
+        match self {
+            Seed::Path(p) => p.len(),
+            Seed::Cycle(c) => c.diameter_len(),
+        }
+    }
+
+    /// Seed support under the chosen measure.
+    pub fn support(&self, measure: SupportMeasure) -> usize {
+        match self {
+            Seed::Path(p) => p.support(measure),
+            Seed::Cycle(c) => c.support(measure),
+        }
+    }
+}
 
 /// The Stage-II grower.
 #[derive(Debug, Clone)]
@@ -50,17 +88,31 @@ impl<'a> LevelGrow<'a> {
     /// Grows the cluster seeded by one canonical diameter (a frequent path of
     /// admissible length) and returns all reported patterns of that cluster.
     pub fn grow_cluster(&self, seed: &PathPattern) -> ClusterOutcome {
+        self.grow_root(GrownPattern::from_path_pattern(seed))
+    }
+
+    /// Grows the cluster of any Stage-I seed — path or minimal cycle.
+    pub fn grow_seed(&self, seed: &Seed) -> ClusterOutcome {
+        self.grow_root(seed.root())
+    }
+
+    /// Grows the cluster seeded by one minimal odd cycle `C_{2l+1}`.
+    pub fn grow_cycle_cluster(&self, seed: &CyclePattern) -> ClusterOutcome {
+        self.grow_root(GrownPattern::from_cycle(seed))
+    }
+
+    /// Grows a cluster from its level-0 pattern.
+    fn grow_root(&self, root: GrownPattern) -> ClusterOutcome {
         match self.config.exploration {
-            Exploration::Exhaustive => self.grow_cluster_exhaustive(seed),
-            Exploration::ClosureJump => self.grow_cluster_closure(seed),
+            Exploration::Exhaustive => self.grow_cluster_exhaustive(root),
+            Exploration::ClosureJump => self.grow_cluster_closure(root),
         }
     }
 
     /// Exhaustive exploration: every frequent constraint-satisfying pattern
     /// of the cluster is generated exactly once (canonical-code dedup).
-    fn grow_cluster_exhaustive(&self, seed: &PathPattern) -> ClusterOutcome {
+    fn grow_cluster_exhaustive(&self, root: GrownPattern) -> ClusterOutcome {
         let mut outcome = ClusterOutcome::default();
-        let root = GrownPattern::from_path_pattern(seed);
         let mut seen: HashSet<DfsCode> = HashSet::new();
         seen.insert(canonical_key(&root.graph));
         let mut worklist: Vec<GrownPattern> = vec![root];
@@ -99,9 +151,8 @@ impl<'a> LevelGrow<'a> {
     /// support level, and branching happens only on support-dropping
     /// extensions.  Reports the cluster's closed (and maximal) patterns
     /// without enumerating the exponentially many non-closed sub-patterns.
-    fn grow_cluster_closure(&self, seed: &PathPattern) -> ClusterOutcome {
+    fn grow_cluster_closure(&self, root: GrownPattern) -> ClusterOutcome {
         let mut outcome = ClusterOutcome::default();
-        let root = GrownPattern::from_path_pattern(seed);
         let mut seen: HashSet<DfsCode> = HashSet::new();
         seen.insert(canonical_key(&root.graph));
         let mut reported: HashSet<DfsCode> = HashSet::new();
@@ -323,12 +374,11 @@ impl<'a> LevelGrow<'a> {
         if !keep {
             return None;
         }
-        let mut embeddings = pattern.embeddings.clone();
-        if let Some(cap) = self.config.max_embeddings_per_pattern {
-            if embeddings.len() > cap {
-                embeddings.embeddings.truncate(cap);
-            }
-        }
+        // reporting is the cold path: materialize the columnar rows (up to
+        // the cap) as an owned embedding list for the result type
+        let keep = self.config.max_embeddings_per_pattern.unwrap_or(usize::MAX).min(pattern.embeddings.len());
+        let embeddings: EmbeddingSet =
+            pattern.embeddings.iter().take(keep).map(|r| r.to_embedding()).collect();
         Some(SkinnyPattern {
             graph: pattern.graph.clone(),
             diameter_len: pattern.diameter_len,

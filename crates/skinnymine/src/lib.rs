@@ -16,11 +16,28 @@
 //!    canonical diameter through the local Constraint I/II/III checks
 //!    ([`constraints`]) on the per-vertex `D_H` / `D_T` indices.
 //!
+//! Stage I additionally seeds the frequent minimal **odd cycles**
+//! `C_{2l+1}` ([`cycle`]) — non-path minimal patterns (e.g. C₅ for `l = 2`)
+//! that Stage II cannot reach from path seeds — for Definition-8
+//! completeness on adversarial inputs.
+//!
 //! The [`SkinnyMine`] driver runs both stages; [`MinimalPatternIndex`]
 //! pre-computes Stage I once and serves repeated requests with different `l`,
 //! which is the deployment depicted in Figure 2 of the paper.  The general
 //! direct-mining framework of §5 — constraints with **Reducibility** and
 //! **Continuity** — lives in [`framework`].
+//!
+//! ## Data representations
+//!
+//! All mining passes read the data through `skinny_graph`'s `GraphView`
+//! trait.  [`SkinnyMineConfig::representation`] selects what they sweep:
+//! the input's adjacency lists, or (the default) an immutable columnar
+//! **CSR snapshot** built once per run — flat neighbor columns plus
+//! label-partitioned vertex lists and an edge-triple index that turns
+//! Stage-I seed enumeration into an index walk.  Occurrence lists on the
+//! hot paths live in `skinny_graph::OccurrenceStore` (structure-of-arrays,
+//! arena-based extension joins).  Mining output is **byte-identical**
+//! across representations and thread counts.
 //!
 //! ## Parallelism
 //!
@@ -58,6 +75,7 @@
 
 pub mod config;
 pub mod constraints;
+pub mod cycle;
 pub mod data;
 pub mod diam_mine;
 pub mod error;
@@ -70,11 +88,14 @@ pub mod pattern_index;
 pub mod result;
 pub mod stats;
 
-pub use config::{ConstraintCheckMode, Exploration, LengthConstraint, ReportMode, SkinnyMineConfig};
+pub use config::{
+    ConstraintCheckMode, Exploration, LengthConstraint, ReportMode, Representation, SkinnyMineConfig,
+};
 pub use constraints::{
     check_extension, satisfies_skinny_spec, verify_canonical_diameter, ConstraintViolation,
 };
-pub use data::MiningData;
+pub use cycle::{CycleKey, CyclePattern};
+pub use data::{MiningData, TransactionIter};
 pub use diam_mine::DiamMine;
 pub use error::{MineError, MineResult};
 pub use framework::{
@@ -82,7 +103,7 @@ pub use framework::{
     SkinnyConstraint, SkinnyDirectMiner,
 };
 pub use grown::{Extension, GrownPattern};
-pub use level_grow::LevelGrow;
+pub use level_grow::{LevelGrow, Seed};
 pub use miner::SkinnyMine;
 pub use path_pattern::{PathKey, PathPattern};
 pub use pattern_index::MinimalPatternIndex;

@@ -8,7 +8,7 @@
 //! representation, and each undirected occurrence is stored exactly once.
 
 use serde::{Deserialize, Serialize};
-use skinny_graph::{Embedding, EmbeddingSet, Label, LabeledGraph, SupportMeasure, VertexId};
+use skinny_graph::{GraphView, Label, LabeledGraph, OccurrenceStore, SupportMeasure, VertexId};
 
 /// The canonical identity of a labeled path: vertex labels and edge labels in
 /// canonical orientation.
@@ -60,16 +60,17 @@ impl PathKey {
 pub struct PathPattern {
     /// Canonical identity of the path.
     pub key: PathKey,
-    /// Occurrences, one per undirected occurrence in the data; the vertex
-    /// sequence of each occurrence reads in the key's canonical orientation
-    /// (palindromic keys use the smaller vertex-id sequence).
-    pub embeddings: EmbeddingSet,
+    /// Occurrences in columnar layout, one row per undirected occurrence in
+    /// the data; the vertex sequence of each row reads in the key's canonical
+    /// orientation (palindromic keys use the smaller vertex-id sequence).
+    pub embeddings: OccurrenceStore,
 }
 
 impl PathPattern {
     /// Creates an empty pattern for a key.
     pub fn new(key: PathKey) -> Self {
-        PathPattern { key, embeddings: EmbeddingSet::new() }
+        let arity = key.vertex_labels.len();
+        PathPattern { key, embeddings: OccurrenceStore::new(arity) }
     }
 
     /// Path length in edges.
@@ -103,7 +104,7 @@ impl PathPattern {
                 vertices = rev;
             }
         }
-        self.embeddings.push(Embedding::in_transaction(vertices, t));
+        self.embeddings.push_row(t, &vertices);
     }
 
     /// Removes exact duplicate occurrences (same transaction and vertex
@@ -127,8 +128,8 @@ impl PathPattern {
     }
 
     /// Builds the canonical key and orientation flag for a directed
-    /// occurrence read off a data graph.
-    pub fn key_of_occurrence(graph: &LabeledGraph, vertices: &[VertexId]) -> (PathKey, bool) {
+    /// occurrence read off a data graph (in either representation).
+    pub fn key_of_occurrence<G: GraphView>(graph: &G, vertices: &[VertexId]) -> (PathKey, bool) {
         let vlabels: Vec<Label> = vertices.iter().map(|&v| graph.label(v)).collect();
         let elabels: Vec<Label> = vertices
             .windows(2)
@@ -180,7 +181,7 @@ mod tests {
         let mut p = PathPattern::new(key);
         // a reversed occurrence gets flipped into canonical orientation
         p.add_occurrence(0, vec![VertexId(9), VertexId(5), VertexId(3)], true);
-        assert_eq!(p.embeddings.embeddings[0].vertices, vec![VertexId(3), VertexId(5), VertexId(9)]);
+        assert_eq!(p.embeddings.row(0), &[VertexId(3), VertexId(5), VertexId(9)]);
         assert_eq!(p.len(), 2);
     }
 
@@ -193,7 +194,7 @@ mod tests {
         p.add_occurrence(0, vec![VertexId(2), VertexId(4)], false);
         p.dedup();
         assert_eq!(p.embeddings.len(), 1);
-        assert_eq!(p.embeddings.embeddings[0].vertices, vec![VertexId(2), VertexId(4)]);
+        assert_eq!(p.embeddings.row(0), &[VertexId(2), VertexId(4)]);
     }
 
     #[test]

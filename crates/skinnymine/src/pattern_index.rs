@@ -11,7 +11,8 @@
 //! support threshold, then answer any number of [`MinimalPatternIndex::request`]s
 //! without re-running Stage I.
 
-use crate::config::{LengthConstraint, ReportMode, SkinnyMineConfig};
+use crate::config::{LengthConstraint, ReportMode, Representation, SkinnyMineConfig};
+use crate::cycle::CyclePattern;
 use crate::data::MiningData;
 use crate::diam_mine::DiamMine;
 use crate::error::{MineError, MineResult};
@@ -19,7 +20,7 @@ use crate::level_grow::LevelGrow;
 use crate::path_pattern::PathPattern;
 use crate::result::MiningResult;
 use crate::stats::MiningStats;
-use skinny_graph::{GraphDatabase, LabeledGraph, SupportMeasure};
+use skinny_graph::{CsrSnapshot, GraphDatabase, LabeledGraph, SupportMeasure};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
@@ -43,8 +44,14 @@ impl OwnedData {
     }
 }
 
-/// Pre-computed frequent paths (minimal constraint-satisfying patterns)
-/// indexed by length, with their embeddings.
+/// Pre-computed minimal constraint-satisfying patterns — frequent paths
+/// indexed by length plus the frequent minimal odd cycles `C_{2l+1}` — with
+/// their occurrences.
+///
+/// The index freezes its data into a [`CsrSnapshot`] **once at build time**;
+/// Stage I runs over the snapshot's triple index and every subsequent
+/// [`MinimalPatternIndex::request`] is served from the same frozen columns
+/// (unless the request explicitly asks for the adjacency representation).
 ///
 /// The index is `Sync`: one instance can serve [`MinimalPatternIndex::request`]s
 /// from many threads at once.  Results are memoized per configuration behind
@@ -54,9 +61,13 @@ impl OwnedData {
 #[derive(Debug)]
 pub struct MinimalPatternIndex {
     data: OwnedData,
+    snapshot: CsrSnapshot,
     sigma: usize,
     support: SupportMeasure,
     by_length: BTreeMap<usize, Vec<PathPattern>>,
+    /// Frequent `C_{2l+1}` seeds keyed by diameter length `l`, derivable only
+    /// for `2l` within the built path-length range.
+    cycles_by_diameter: BTreeMap<usize, Vec<CyclePattern>>,
     build_time: std::time::Duration,
     cache: RwLock<HashMap<SkinnyMineConfig, Arc<MiningResult>>>,
 }
@@ -65,9 +76,11 @@ impl Clone for MinimalPatternIndex {
     fn clone(&self) -> Self {
         MinimalPatternIndex {
             data: self.data.clone(),
+            snapshot: self.snapshot.clone(),
             sigma: self.sigma,
             support: self.support,
             by_length: self.by_length.clone(),
+            cycles_by_diameter: self.cycles_by_diameter.clone(),
             build_time: self.build_time,
             cache: RwLock::new(self.cache.read().expect("index cache poisoned").clone()),
         }
@@ -119,16 +132,34 @@ impl MinimalPatternIndex {
         threads: usize,
     ) -> Self {
         let t0 = Instant::now();
-        let by_length = {
-            let view = data.view();
+        // one CSR freeze per build; Stage I and all request serving sweep it
+        let snapshot = data.view().to_snapshot();
+        let (by_length, cycles_by_diameter) = {
+            let view = MiningData::Snapshot(&snapshot);
             let dm = DiamMine::new(view, sigma, support).with_threads(threads);
-            dm.mine_range(1, max_len)
+            let by_length = dm.mine_range(1, max_len);
+            // derive C_{2l+1} seeds from the stored length-2l paths; lengths
+            // beyond the built range cannot be served (documented on
+            // `request`)
+            let mut cycles = BTreeMap::new();
+            for (&len, paths) in &by_length {
+                if len % 2 == 0 {
+                    let l = len / 2;
+                    let found = dm.cycles_from_paths(paths, l);
+                    if !found.is_empty() {
+                        cycles.insert(l, found);
+                    }
+                }
+            }
+            (by_length, cycles)
         };
         MinimalPatternIndex {
             data,
+            snapshot,
             sigma,
             support,
             by_length,
+            cycles_by_diameter,
             build_time: t0.elapsed(),
             cache: RwLock::new(HashMap::new()),
         }
@@ -160,14 +191,25 @@ impl MinimalPatternIndex {
         self.by_length.keys().next_back().copied()
     }
 
-    /// The minimal patterns (frequent paths) of length exactly `l`.
+    /// The minimal path patterns (frequent paths) of length exactly `l`.
     pub fn minimal_patterns(&self, l: usize) -> &[PathPattern] {
         self.by_length.get(&l).map(Vec::as_slice).unwrap_or(&[])
     }
 
-    /// Total number of indexed minimal patterns.
+    /// The minimal cycle patterns `C_{2l+1}` of diameter length `l`.
+    pub fn minimal_cycles(&self, l: usize) -> &[CyclePattern] {
+        self.cycles_by_diameter.get(&l).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The CSR snapshot the index serves from.
+    pub fn snapshot(&self) -> &CsrSnapshot {
+        &self.snapshot
+    }
+
+    /// Total number of indexed minimal patterns (paths and cycles).
     pub fn len(&self) -> usize {
-        self.by_length.values().map(Vec::len).sum()
+        self.by_length.values().map(Vec::len).sum::<usize>()
+            + self.cycles_by_diameter.values().map(Vec::len).sum::<usize>()
     }
 
     /// True when no frequent path was found at all.
@@ -186,6 +228,11 @@ impl MinimalPatternIndex {
     /// internal cache; cluster growth of uncached requests runs on the
     /// work-stealing pool when `config.threads > 1`.  Both paths return
     /// exactly what a fresh sequential serve would.
+    ///
+    /// Cycle seeds (`C_{2l+1}`) are pre-derived at build time from the
+    /// stored length-`2l` paths, so an index built with a bounded `max_len`
+    /// can only serve them for `2l <= max_len`; build with `max_len = None`
+    /// for full Definition-8 completeness at every length.
     pub fn request(&self, config: &SkinnyMineConfig) -> MineResult<MiningResult> {
         config.validate()?;
         if config.sigma < self.sigma {
@@ -201,11 +248,12 @@ impl MinimalPatternIndex {
                 reason: "request support measure differs from the index support measure".into(),
             });
         }
-        // results are thread-count-invariant by construction, so the memo key
-        // normalizes `threads` away: the same logical request served with
-        // different parallelism shares one cache slot
+        // results are invariant under thread count and data representation by
+        // construction, so the memo key normalizes both away: the same
+        // logical request shares one cache slot however it is served
         let mut key = config.clone();
         key.threads = 1;
+        key.representation = Representation::default();
         if let Some(cached) = self.cache.read().expect("index cache poisoned").get(&key) {
             return Ok(MiningResult::clone(cached));
         }
@@ -227,25 +275,50 @@ impl MinimalPatternIndex {
         let mut stats = MiningStats::default();
         stats.diam_mine.duration = std::time::Duration::ZERO; // already pre-computed
         let t0 = Instant::now();
-        let seeds: Vec<&PathPattern> = self
+        let path_seeds: Vec<&PathPattern> = self
             .by_length
             .iter()
             .filter(|&(&l, _)| config.length.admits(l))
             .flat_map(|(_, seeds)| seeds)
             .filter(|seed| seed.support(config.support) >= config.sigma)
             .collect();
-        let clusters = seeds.len() as u64;
+        let cycle_seeds: Vec<&CyclePattern> = if config.cycle_seeds {
+            self.cycles_by_diameter
+                .iter()
+                .filter(|&(&l, _)| config.length.admits(l))
+                .flat_map(|(_, seeds)| seeds)
+                .filter(|seed| seed.support(config.support) >= config.sigma)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let clusters = (path_seeds.len() + cycle_seeds.len()) as u64;
+        let serve_data = match config.representation {
+            Representation::Adjacency => self.data.view(),
+            Representation::CsrSnapshot => MiningData::Snapshot(&self.snapshot),
+        };
         let outcomes = skinny_pool::run_with(
             config.threads,
-            seeds.len(),
-            || LevelGrow::new(self.data.view(), config),
-            |grower, i| grower.grow_cluster(seeds[i]),
+            path_seeds.len() + cycle_seeds.len(),
+            || LevelGrow::new(serve_data.clone(), config),
+            |grower, i| {
+                if i < path_seeds.len() {
+                    grower.grow_cluster(path_seeds[i])
+                } else {
+                    grower.grow_cycle_cluster(cycle_seeds[i - path_seeds.len()])
+                }
+            },
         );
         let mut patterns = Vec::new();
         for outcome in outcomes {
             stats.merge(&outcome.stats);
             stats.level_grow.candidates_examined += outcome.examined;
             patterns.extend(outcome.patterns);
+        }
+        // cycle clusters can re-generate patterns a path cluster reaches;
+        // keep the first copy in deterministic seed order (paths first)
+        if !cycle_seeds.is_empty() {
+            patterns = crate::miner::dedup_by_canonical_key(patterns);
         }
         stats.level_grow.duration = t0.elapsed();
         stats.clusters = clusters;

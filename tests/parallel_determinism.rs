@@ -1,12 +1,16 @@
 //! Workspace-level determinism guarantee of the parallel mining engine:
-//! for any thread count, `SkinnyMine` must produce **byte-identical**
-//! results — same patterns, same order, same embeddings — because Stage I's
-//! chunked occurrence joins and Stage II's per-seed cluster growth both
-//! merge their partial results in deterministic task order.
+//! for any thread count **and for either data representation**
+//! (adjacency lists or the columnar CSR snapshot), `SkinnyMine` must produce
+//! **byte-identical** results — same patterns, same order, same embeddings —
+//! because Stage I's chunked occurrence joins and Stage II's per-seed
+//! cluster growth both merge their partial results in deterministic task
+//! order, and both representations share one neighbor/edge iteration order.
 
 use skinny_datagen::{erdos_renyi, inject_patterns, skinny_pattern, ErConfig, SkinnyPatternConfig};
 use skinny_graph::{canonical_key, LabeledGraph};
-use skinnymine::{Exploration, LengthConstraint, MiningResult, ReportMode, SkinnyMine, SkinnyMineConfig};
+use skinnymine::{
+    Exploration, LengthConstraint, MiningResult, ReportMode, Representation, SkinnyMine, SkinnyMineConfig,
+};
 
 /// An Erdős–Rényi background with a known skinny pattern injected twice.
 fn injected_er_graph() -> LabeledGraph {
@@ -37,22 +41,34 @@ fn fingerprint(result: &MiningResult) -> Vec<String> {
 }
 
 fn assert_thread_invariant(config: SkinnyMineConfig, graph: &LabeledGraph) {
-    let baseline = SkinnyMine::new(config.clone().with_threads(1)).mine(graph).expect("mining succeeds");
+    let baseline =
+        SkinnyMine::new(config.clone().with_threads(1).with_representation(Representation::Adjacency))
+            .mine(graph)
+            .expect("mining succeeds");
     assert!(!baseline.is_empty(), "fixture must produce patterns for the comparison to mean anything");
-    for threads in [2usize, 8] {
-        let parallel =
-            SkinnyMine::new(config.clone().with_threads(threads)).mine(graph).expect("mining succeeds");
-        assert_eq!(
-            fingerprint(&baseline),
-            fingerprint(&parallel),
-            "threads = {threads} diverged from the sequential result"
-        );
-        assert_eq!(baseline.stats.clusters, parallel.stats.clusters);
-        assert_eq!(baseline.stats.reported_patterns, parallel.stats.reported_patterns);
-        assert_eq!(
-            baseline.stats.level_grow.candidates_examined, parallel.stats.level_grow.candidates_examined,
-            "threads = {threads}: ordered merge must reproduce the sequential counters"
-        );
+    for representation in [Representation::Adjacency, Representation::CsrSnapshot] {
+        for threads in [1usize, 2, 8] {
+            if representation == Representation::Adjacency && threads == 1 {
+                continue; // that is the baseline itself
+            }
+            let run =
+                SkinnyMine::new(config.clone().with_threads(threads).with_representation(representation))
+                    .mine(graph)
+                    .expect("mining succeeds");
+            assert_eq!(
+                fingerprint(&baseline),
+                fingerprint(&run),
+                "threads = {threads}, representation = {representation:?} diverged from the \
+                 sequential adjacency result"
+            );
+            assert_eq!(baseline.stats.clusters, run.stats.clusters);
+            assert_eq!(baseline.stats.reported_patterns, run.stats.reported_patterns);
+            assert_eq!(
+                baseline.stats.level_grow.candidates_examined, run.stats.level_grow.candidates_examined,
+                "threads = {threads}, representation = {representation:?}: ordered merge must \
+                 reproduce the sequential counters"
+            );
+        }
     }
 }
 
@@ -88,11 +104,23 @@ fn transaction_setting_is_thread_invariant() {
         .with_report(ReportMode::Closed)
         .with_exploration(Exploration::ClosureJump);
     let baseline =
-        SkinnyMine::new(config.clone().with_threads(1)).mine_database(&db).expect("mining succeeds");
-    for threads in [2usize, 8] {
-        let parallel = SkinnyMine::new(config.clone().with_threads(threads))
+        SkinnyMine::new(config.clone().with_threads(1).with_representation(Representation::Adjacency))
             .mine_database(&db)
             .expect("mining succeeds");
-        assert_eq!(fingerprint(&baseline), fingerprint(&parallel), "threads = {threads}");
+    for representation in [Representation::Adjacency, Representation::CsrSnapshot] {
+        for threads in [1usize, 2, 8] {
+            if representation == Representation::Adjacency && threads == 1 {
+                continue;
+            }
+            let run =
+                SkinnyMine::new(config.clone().with_threads(threads).with_representation(representation))
+                    .mine_database(&db)
+                    .expect("mining succeeds");
+            assert_eq!(
+                fingerprint(&baseline),
+                fingerprint(&run),
+                "threads = {threads}, representation = {representation:?}"
+            );
+        }
     }
 }

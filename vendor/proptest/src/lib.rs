@@ -1,6 +1,7 @@
 //! Offline stand-in for `proptest`, covering the slice of the API this
 //! workspace's property tests use: the [`proptest!`] macro, range / tuple /
-//! vec strategies, [`Strategy::prop_map`] / [`Strategy::prop_flat_map`],
+//! vec strategies, [`Strategy::prop_map`](strategy::Strategy::prop_map) /
+//! [`Strategy::prop_flat_map`](strategy::Strategy::prop_flat_map),
 //! [`collection::vec`], `ProptestConfig::with_cases`, and the
 //! `prop_assert*` / `prop_assume!` macros.
 //!
