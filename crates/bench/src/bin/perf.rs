@@ -1,0 +1,97 @@
+//! `perf` — the Stage-I/II hot-loop timing experiment.
+//!
+//! ```text
+//! Usage: perf [--divisor N] [--seed S] [--out PATH]
+//!        perf --check PATH
+//!
+//!   --divisor N   down-scaling divisor for the preset graph (default 10)
+//!   --seed S      RNG seed (default 20130622)
+//!   --out PATH    write BENCH_stage1.json-schema output to PATH
+//!                 (default: print to stdout)
+//!   --check PATH  validate an existing JSON file against the schema and
+//!                 exit (0 = valid); used by the CI smoke step
+//! ```
+//!
+//! Timings are machine-dependent and never gated on — only the schema is.
+
+use skinny_bench::perf::{check_schema, run_stage1_perf};
+use skinny_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::quick();
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--divisor" => {
+                i += 1;
+                scale.divisor = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(scale.divisor).max(1);
+            }
+            "--seed" => {
+                i += 1;
+                scale.seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(scale.seed);
+            }
+            "--out" => {
+                i += 1;
+                out = args.get(i).cloned();
+            }
+            "--check" => {
+                i += 1;
+                check = args.get(i).cloned();
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: perf [--divisor N] [--seed S] [--out PATH] | perf --check PATH");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    if let Some(path) = check {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        match check_schema(&text) {
+            Ok(()) => println!("{path}: schema OK"),
+            Err(e) => {
+                eprintln!("{path}: schema violation: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let bench = run_stage1_perf(scale);
+    let json = bench.to_json();
+    eprintln!(
+        "stage1 perf: |V| = {}, |E| = {}, divisor {} (phases: {})",
+        bench.vertices,
+        bench.edges,
+        bench.divisor,
+        bench.phases.iter().map(|p| format!("{} {:.3}s", p.name, p.seconds)).collect::<Vec<_>>().join(", ")
+    );
+    for j in &bench.joins {
+        eprintln!(
+            "  join {}: hashmap {:.4}s -> indexed {:.4}s ({:.2}x)",
+            j.join, j.before_hashmap_seconds, j.after_indexed_seconds, j.speedup
+        );
+    }
+    match out {
+        Some(path) => {
+            std::fs::write(&path, json).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            println!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+}

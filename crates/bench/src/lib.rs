@@ -7,12 +7,16 @@
 //!
 //! * [`experiments`] — experiment drivers (Table 1–3, Figures 4–20, §6.3
 //!   case studies), each scaled by an [`experiments::Scale`];
+//! * [`perf`] — the Stage-I/II hot-loop timing experiment behind
+//!   `BENCH_stage1.json` (phase timings plus the before/after occurrence
+//!   join comparison), with its schema checker;
 //! * [`report`] — plain-text tables and series used to render the results.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
+pub mod perf;
 pub mod report;
 
 pub use experiments::{
@@ -20,4 +24,5 @@ pub use experiments::{
     run_levelgrow_vs_l, run_runtime_sweep, run_runtime_table, run_scalability, run_table3,
     run_transaction_effectiveness, run_weibo_case_study, table1_and_2, RuntimeFigure, Scale,
 };
+pub use perf::{check_schema, run_stage1_perf, JoinComparison, PhaseTiming, Stage1Bench};
 pub use report::{distribution_table, series_table, Series, Table};

@@ -1,0 +1,489 @@
+//! The `perf` experiment: wall-clock timings of the Stage-I/II hot phases
+//! (seed enumeration, path concatenation, overlap merge, cluster growth) on
+//! a datagen preset, plus a **before/after** comparison of the Stage-I
+//! occurrence joins — the retained reference hash-map joins
+//! (`DiamMine::concat_double_reference` / `merge_to_length_reference`)
+//! against the endpoint-indexed engine that replaced them.
+//!
+//! The result serializes to the `BENCH_stage1.json` schema (emitted by the
+//! `perf` binary and archived by CI); [`check_schema`] validates a JSON
+//! document against it, so the CI smoke step gates on *shape*, never on the
+//! machine-dependent timings.
+
+use crate::experiments::Scale;
+use skinny_graph::SupportMeasure;
+use skinnymine::{
+    DiamMine, Exploration, LengthConstraint, MiningData, PathPattern, ReportMode, SkinnyMine,
+    SkinnyMineConfig,
+};
+use std::time::Instant;
+
+/// Timing of one mining phase.
+#[derive(Debug, Clone)]
+pub struct PhaseTiming {
+    /// Phase id (`seed`, `concat2`, `concat4`, `merge6`, `grow`).
+    pub name: String,
+    /// Wall-clock seconds of the phase (best of the measured repetitions).
+    pub seconds: f64,
+    /// Patterns the phase produced.
+    pub patterns: usize,
+    /// Occurrence rows the phase produced across those patterns.
+    pub rows: usize,
+}
+
+/// Before/after wall-clock comparison of one Stage-I join.
+#[derive(Debug, Clone)]
+pub struct JoinComparison {
+    /// Join id (`concat` or `merge`).
+    pub join: String,
+    /// Seconds of the reference hash-map join (best of repetitions).
+    pub before_hashmap_seconds: f64,
+    /// Seconds of the endpoint-indexed join (best of repetitions).
+    pub after_indexed_seconds: f64,
+    /// `before / after`.
+    pub speedup: f64,
+}
+
+/// The full `perf` experiment result.
+#[derive(Debug, Clone)]
+pub struct Stage1Bench {
+    /// Schema version of the JSON serialization.
+    pub schema_version: u32,
+    /// Datagen preset id.
+    pub preset: String,
+    /// Down-scaling divisor the run used.
+    pub divisor: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Vertices of the generated graph.
+    pub vertices: usize,
+    /// Edges of the generated graph.
+    pub edges: usize,
+    /// Support threshold.
+    pub sigma: usize,
+    /// Per-phase timings.
+    pub phases: Vec<PhaseTiming>,
+    /// Before/after join comparisons.
+    pub joins: Vec<JoinComparison>,
+}
+
+/// Measured repetitions per timed section (the minimum is reported, which is
+/// the standard way to suppress scheduler noise on shared machines).
+const REPS: usize = 3;
+
+fn time_best<T>(mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let value = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        out = Some(value);
+    }
+    (best, out.expect("REPS >= 1"))
+}
+
+fn rows_of(paths: &[PathPattern]) -> usize {
+    paths.iter().map(|p| p.embeddings.len()).sum()
+}
+
+/// Asserts the reference and indexed joins emitted **byte-identical**
+/// patterns: same keys, same occurrence stores, same order.
+fn assert_joins_agree(join: &str, reference: &[PathPattern], indexed: &[PathPattern]) {
+    assert_eq!(reference.len(), indexed.len(), "{join}: pattern counts diverge");
+    for (r, x) in reference.iter().zip(indexed) {
+        assert_eq!(r.key, x.key, "{join}: pattern keys diverge");
+        assert_eq!(r.embeddings, x.embeddings, "{join}: occurrence stores diverge");
+    }
+}
+
+/// Runs the `perf` experiment on the Figure-16 datagen preset (Erdős–Rényi
+/// background, degree 3, 10 labels — frequent paths abound, so the Stage-I
+/// joins carry real load).
+pub fn run_stage1_perf(scale: Scale) -> Stage1Bench {
+    let sigma = 2;
+    let vertices = (10_000 / scale.divisor.max(1)).max(400);
+    let graph = skinny_datagen::erdos_renyi(&skinny_datagen::ErConfig::new(vertices, 3.0, 10, scale.seed));
+    let snapshot = skinny_graph::CsrSnapshot::from_graph(&graph);
+    let data = MiningData::Snapshot(&snapshot);
+    let dm = DiamMine::new(data.clone(), sigma, SupportMeasure::MinimumImage);
+
+    let mut phases = Vec::new();
+    let mut phase = |name: &str, seconds: f64, paths: &[PathPattern]| {
+        phases.push(PhaseTiming {
+            name: name.to_string(),
+            seconds,
+            patterns: paths.len(),
+            rows: rows_of(paths),
+        });
+    };
+
+    let (t_seed, len1) = time_best(|| dm.frequent_edges());
+    phase("seed", t_seed, &len1);
+    let (t_concat2, len2) = time_best(|| dm.concat_double(&len1));
+    phase("concat2", t_concat2, &len2);
+    let (t_concat4, len4) = time_best(|| dm.concat_double(&len2));
+    phase("concat4", t_concat4, &len4);
+    let (t_merge6, len6) = time_best(|| dm.merge_to_length(&len4, 6));
+    phase("merge6", t_merge6, &len6);
+
+    let config = SkinnyMineConfig::new(6, 2, sigma)
+        .with_length(LengthConstraint::Exactly(6))
+        .with_support_measure(SupportMeasure::MinimumImage)
+        .with_report(ReportMode::Closed)
+        .with_exploration(Exploration::ClosureJump);
+    // Stage II only: a full mine runs per repetition, but the reported
+    // number is the run's LevelGrow stage duration, so "grow" does not
+    // double-count the separately reported Stage-I phases
+    let mut best_grow = f64::INFINITY;
+    let mut grow_patterns = 0usize;
+    for _ in 0..REPS {
+        let result = SkinnyMine::new(config.clone()).mine(&graph).expect("valid config");
+        best_grow = best_grow.min(result.stats.level_grow.duration.as_secs_f64());
+        grow_patterns = result.patterns.len();
+    }
+    phases.push(PhaseTiming {
+        name: "grow".to_string(),
+        seconds: best_grow,
+        patterns: grow_patterns,
+        rows: 0,
+    });
+
+    // before/after: the reference hash-map joins vs the indexed engine, on
+    // identical inputs; outputs are asserted byte-identical as a side check
+    let (before_concat, ref_len2) = time_best(|| dm.concat_double_reference(&len1));
+    assert_joins_agree("concat", &ref_len2, &len2);
+    let (before_merge, ref_len6) = time_best(|| dm.merge_to_length_reference(&len4, 6));
+    assert_joins_agree("merge", &ref_len6, &len6);
+    let joins = vec![
+        JoinComparison {
+            join: "concat".to_string(),
+            before_hashmap_seconds: before_concat,
+            after_indexed_seconds: t_concat2,
+            speedup: before_concat / t_concat2.max(f64::MIN_POSITIVE),
+        },
+        JoinComparison {
+            join: "merge".to_string(),
+            before_hashmap_seconds: before_merge,
+            after_indexed_seconds: t_merge6,
+            speedup: before_merge / t_merge6.max(f64::MIN_POSITIVE),
+        },
+    ];
+
+    Stage1Bench {
+        schema_version: 1,
+        preset: "fig16-er-deg3-f10".to_string(),
+        divisor: scale.divisor,
+        seed: scale.seed,
+        vertices: graph.vertex_count(),
+        edges: graph.edge_count(),
+        sigma,
+        phases,
+        joins,
+    }
+}
+
+impl Stage1Bench {
+    /// Serializes the result as the `BENCH_stage1.json` document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"schema_version\": {},\n", self.schema_version));
+        s.push_str("  \"experiment\": \"stage1_perf\",\n");
+        s.push_str(&format!("  \"preset\": \"{}\",\n", self.preset));
+        s.push_str(&format!("  \"divisor\": {},\n", self.divisor));
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str(&format!("  \"vertices\": {},\n", self.vertices));
+        s.push_str(&format!("  \"edges\": {},\n", self.edges));
+        s.push_str(&format!("  \"sigma\": {},\n", self.sigma));
+        s.push_str("  \"phases\": [\n");
+        for (i, p) in self.phases.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"seconds\": {:.6}, \"patterns\": {}, \"rows\": {}}}{}\n",
+                p.name,
+                p.seconds,
+                p.patterns,
+                p.rows,
+                if i + 1 < self.phases.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"joins\": [\n");
+        for (i, j) in self.joins.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"join\": \"{}\", \"before_hashmap_seconds\": {:.6}, \
+                 \"after_indexed_seconds\": {:.6}, \"speedup\": {:.3}}}{}\n",
+                j.join,
+                j.before_hashmap_seconds,
+                j.after_indexed_seconds,
+                j.speedup,
+                if i + 1 < self.joins.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Schema checking (no serde_json in the tree: a minimal JSON reader)
+// ---------------------------------------------------------------------------
+
+/// A minimal JSON value, just enough to validate the bench schema.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(text: &'a str) -> Self {
+        Reader { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek().ok_or("unexpected end of input")? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("invalid number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        while let Some(&b) = self.bytes.get(self.pos) {
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self.bytes.get(self.pos).ok_or("truncated escape")?;
+                    self.pos += 1;
+                    out.push(match esc {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        other => other as char,
+                    });
+                }
+                other => out.push(other as char),
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+/// Validates a JSON document against the `BENCH_stage1.json` schema: the
+/// top-level metadata fields, at least the five canonical phases, and both
+/// join comparisons with finite non-negative timings.  Timings themselves are
+/// machine-dependent and never gated on.
+pub fn check_schema(text: &str) -> Result<(), String> {
+    let doc = Reader::new(text).value()?;
+    let num_field = |obj: &Json, key: &str| -> Result<f64, String> {
+        obj.get(key)
+            .and_then(Json::as_num)
+            .filter(|x| x.is_finite() && *x >= 0.0)
+            .ok_or_else(|| format!("missing or invalid numeric field \"{key}\""))
+    };
+    if num_field(&doc, "schema_version")? != 1.0 {
+        return Err("unsupported schema_version".to_string());
+    }
+    match doc.get("experiment") {
+        Some(Json::Str(s)) if s == "stage1_perf" => {}
+        _ => return Err("missing experiment id \"stage1_perf\"".to_string()),
+    }
+    for key in ["divisor", "seed", "vertices", "edges", "sigma"] {
+        num_field(&doc, key)?;
+    }
+    let Some(Json::Arr(phases)) = doc.get("phases") else {
+        return Err("missing \"phases\" array".to_string());
+    };
+    let mut names = Vec::new();
+    for p in phases {
+        match p.get("name") {
+            Some(Json::Str(n)) => names.push(n.clone()),
+            _ => return Err("phase without a \"name\"".to_string()),
+        }
+        for key in ["seconds", "patterns", "rows"] {
+            num_field(p, key)?;
+        }
+    }
+    for required in ["seed", "concat2", "concat4", "merge6", "grow"] {
+        if !names.iter().any(|n| n == required) {
+            return Err(format!("missing phase \"{required}\""));
+        }
+    }
+    let Some(Json::Arr(joins)) = doc.get("joins") else {
+        return Err("missing \"joins\" array".to_string());
+    };
+    let mut join_ids = Vec::new();
+    for j in joins {
+        match j.get("join") {
+            Some(Json::Str(n)) => join_ids.push(n.clone()),
+            _ => return Err("join comparison without a \"join\" id".to_string()),
+        }
+        for key in ["before_hashmap_seconds", "after_indexed_seconds", "speedup"] {
+            num_field(j, key)?;
+        }
+    }
+    for required in ["concat", "merge"] {
+        if !join_ids.iter().any(|n| n == required) {
+            return Err(format!("missing join comparison \"{required}\""));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emitted_json_passes_the_schema_check() {
+        let bench = run_stage1_perf(Scale { divisor: 64, seed: 7 });
+        let json = bench.to_json();
+        check_schema(&json).expect("emitted JSON must satisfy its own schema");
+        assert!(bench.phases.iter().any(|p| p.name == "seed" && p.patterns > 0));
+    }
+
+    #[test]
+    fn schema_check_rejects_malformed_documents() {
+        assert!(check_schema("{}").is_err());
+        assert!(check_schema("not json").is_err());
+        assert!(check_schema("{\"schema_version\": 2}").is_err());
+        let truncated = "{\"schema_version\": 1, \"experiment\": \"stage1_perf\"}";
+        assert!(check_schema(truncated).is_err());
+    }
+
+    #[test]
+    fn json_reader_handles_the_basics() {
+        let doc = Reader::new("{\"a\": [1, 2.5, \"x\"], \"b\": true, \"c\": null}").value().unwrap();
+        assert_eq!(doc.get("b"), Some(&Json::Bool(true)));
+        assert_eq!(doc.get("c"), Some(&Json::Null));
+        match doc.get("a") {
+            Some(Json::Arr(items)) => {
+                assert_eq!(items.len(), 3);
+                assert_eq!(items[1].as_num(), Some(2.5));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

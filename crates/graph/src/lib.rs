@@ -16,6 +16,11 @@
 //! * [`occurrence::OccurrenceStore`] — columnar (SoA) occurrence lists with
 //!   the same support measures as [`embedding::EmbeddingSet`] and arena-based
 //!   extension joins;
+//! * [`occ_index`] — the occurrence join engine substrate: CSR-style
+//!   endpoint/prefix posting lists over occurrence rows
+//!   ([`occ_index::OccurrenceIndex`]) and epoch-stamped scratch tables
+//!   ([`occ_index::VertexMarks`], [`occ_index::JoinScratch`]) that make the
+//!   per-row join work allocation-free;
 //! * [`path::Path`] — simple paths with the paper's lexicographical
 //!   (Definition 2) and total (Definition 3) path orders;
 //! * [`distance`] — shortest paths, diameters and the **canonical diameter**
@@ -44,6 +49,7 @@ pub mod graph;
 pub mod io;
 pub mod iso;
 pub mod label;
+pub mod occ_index;
 pub mod occurrence;
 pub mod path;
 pub mod skinny;
@@ -63,7 +69,11 @@ pub use error::{GraphError, GraphResult};
 pub use graph::{Edge, GraphSignature, LabeledGraph, VertexId};
 pub use iso::{are_isomorphic, automorphism_count};
 pub use label::{Label, LabelTable};
-pub use occurrence::{OccRow, OccurrenceStore};
+pub use occ_index::{
+    all_distinct_marked, disjoint_except_shared_marked, JoinScratch, OccurrenceIndex, VertexMarks,
+    VertexSlots,
+};
+pub use occurrence::{OccRow, OccurrenceStore, SupportScratch};
 pub use path::{enumerate_simple_paths, lexicographic_path_order, total_path_order, Path};
 pub use skinny::{analyze, is_delta_skinny, is_l_long_delta_skinny, SkinnyAnalysis};
 pub use subiso::{count_embeddings, find_embeddings, has_embedding, SubIsoOptions};

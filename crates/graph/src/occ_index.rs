@@ -1,0 +1,373 @@
+//! The occurrence join engine substrate: endpoint-indexed posting lists over
+//! [`OccurrenceStore`] rows and epoch-stamped scratch tables.
+//!
+//! Stage I's occurrence-level joins (path concatenation and overlap merge)
+//! and Stage II's extension enumeration are the mining hot loops.  This
+//! module provides the two structures that make their per-row work
+//! allocation-free:
+//!
+//! * [`OccurrenceIndex`] — CSR-style posting lists over row ids, grouped by
+//!   `(transaction, vertex prefix)` in **first-occurrence order**, with the
+//!   global row order preserved inside every group.  One build replaces the
+//!   per-join `HashMap<(usize, Vec<VertexId>), Vec<u32>>` (which allocated a
+//!   boxed key and a posting vector per distinct endpoint): the prefix keys
+//!   are borrowed straight from the store's flat arena and the posting lists
+//!   live in one contiguous buffer filled by a stable counting sort.
+//! * [`VertexMarks`] / [`VertexSlots`] — dense epoch-stamped tables over data
+//!   vertex ids.  Resetting is an epoch bump (O(1)), so per-row distinctness
+//!   and reverse-image probes are O(k) array accesses with no clearing cost
+//!   and no per-row heap allocation.
+//! * [`JoinScratch`] — the per-worker bundle of reusable buffers the join
+//!   bodies thread through their row loop.
+//!
+//! The design follows the order-preserving-index idea of dynamic query
+//! evaluation (Berkholz et al.; Koch & Olteanu): precompute an index whose
+//! iteration order equals the naive nested-loop order, then answer each
+//! per-row probe in constant time.  Byte-identical output across thread
+//! counts falls out of the order preservation.
+
+use crate::graph::VertexId;
+use crate::label::Label;
+use crate::occurrence::OccurrenceStore;
+use std::collections::HashMap;
+
+/// CSR-style posting lists over the rows of one [`OccurrenceStore`], grouped
+/// by `(transaction, row prefix of a fixed length)`.
+///
+/// Groups are numbered in first-occurrence order and every posting list keeps
+/// the global row order, so iterating a group visits exactly the rows the
+/// naive `HashMap<(transaction, prefix), Vec<row>>` grouping would, in the
+/// same order.
+#[derive(Debug)]
+pub struct OccurrenceIndex<'a> {
+    /// Prefix length (in vertices) the rows are grouped by.
+    prefix_len: usize,
+    /// Group id per distinct `(transaction, prefix)`, keyed by slices
+    /// borrowed from the store arena (no key cloning).
+    groups: HashMap<(u32, &'a [VertexId]), u32>,
+    /// Start offset of each group's posting list (`groups + 1` entries).
+    offsets: Vec<u32>,
+    /// Row ids, grouped by group id, global row order inside each group.
+    postings: Vec<u32>,
+}
+
+impl<'a> OccurrenceIndex<'a> {
+    /// Builds the index grouping the store's rows by transaction and their
+    /// first `prefix_len` vertices.
+    ///
+    /// # Panics
+    /// Panics when `prefix_len` is zero or exceeds the store arity (for a
+    /// non-empty store).
+    pub fn by_prefix(store: &'a OccurrenceStore, prefix_len: usize) -> Self {
+        if !store.is_empty() {
+            assert!(
+                prefix_len >= 1 && prefix_len <= store.arity(),
+                "prefix length {prefix_len} out of range for arity {}",
+                store.arity()
+            );
+        }
+        let rows = store.len();
+        let mut groups: HashMap<(u32, &'a [VertexId]), u32> = HashMap::with_capacity(rows);
+        let mut group_of_row: Vec<u32> = Vec::with_capacity(rows);
+        let mut counts: Vec<u32> = Vec::new();
+        for i in 0..rows {
+            let key = (store.transaction(i) as u32, &store.row(i)[..prefix_len]);
+            let next = counts.len() as u32;
+            let g = *groups.entry(key).or_insert(next);
+            if g == next {
+                counts.push(0);
+            }
+            counts[g as usize] += 1;
+            group_of_row.push(g);
+        }
+        // exclusive prefix sums -> group offsets, then a stable counting sort
+        // of the row ids into one contiguous posting buffer
+        let mut offsets: Vec<u32> = Vec::with_capacity(counts.len() + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for &c in &counts {
+            acc += c;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = offsets[..counts.len()].to_vec();
+        let mut postings = vec![0u32; rows];
+        for (i, &g) in group_of_row.iter().enumerate() {
+            postings[cursor[g as usize] as usize] = i as u32;
+            cursor[g as usize] += 1;
+        }
+        OccurrenceIndex { prefix_len, groups, offsets, postings }
+    }
+
+    /// Prefix length the index groups by.
+    #[inline]
+    pub fn prefix_len(&self) -> usize {
+        self.prefix_len
+    }
+
+    /// Number of distinct `(transaction, prefix)` groups.
+    #[inline]
+    pub fn group_count(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// The posting list (row ids in global row order) of `(transaction,
+    /// key)`; empty when the group does not exist.  `key` can be any vertex
+    /// slice of the index's prefix length — typically a suffix of another row
+    /// — and is only borrowed for the lookup.
+    #[inline]
+    pub fn postings(&self, transaction: usize, key: &[VertexId]) -> &[u32] {
+        debug_assert_eq!(key.len(), self.prefix_len, "lookup key length mismatch");
+        match self.groups.get(&(transaction as u32, key)) {
+            Some(&g) => {
+                let (lo, hi) = (self.offsets[g as usize] as usize, self.offsets[g as usize + 1] as usize);
+                &self.postings[lo..hi]
+            }
+            None => &[],
+        }
+    }
+}
+
+/// A dense epoch-stamped vertex set: `O(1)` insert/test over data vertex ids,
+/// `O(1)` reset (epoch bump), zero per-reset clearing and — after warm-up —
+/// zero allocation.
+#[derive(Debug, Clone)]
+pub struct VertexMarks {
+    /// Current epoch; starts at 1 so zero-initialized stamps are unmarked.
+    epoch: u32,
+    stamp: Vec<u32>,
+}
+
+impl Default for VertexMarks {
+    fn default() -> Self {
+        VertexMarks { epoch: 1, stamp: Vec::new() }
+    }
+}
+
+impl VertexMarks {
+    /// Creates an empty mark table (grows on demand).
+    pub fn new() -> Self {
+        VertexMarks::default()
+    }
+
+    /// Starts a fresh empty set: O(1) except on epoch wrap-around.
+    #[inline]
+    pub fn reset(&mut self) {
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Inserts `v`; returns `true` when it was not in the set yet.
+    #[inline]
+    pub fn mark(&mut self, v: VertexId) -> bool {
+        let i = v.index();
+        if i >= self.stamp.len() {
+            self.stamp.resize((i + 1).next_power_of_two(), 0);
+        }
+        if self.stamp[i] == self.epoch {
+            false
+        } else {
+            self.stamp[i] = self.epoch;
+            true
+        }
+    }
+
+    /// True when `v` is in the set.
+    #[inline]
+    pub fn is_marked(&self, v: VertexId) -> bool {
+        self.stamp.get(v.index()).is_some_and(|&s| s == self.epoch)
+    }
+}
+
+/// A dense epoch-stamped map from data vertex id to a `u32` value (the
+/// reverse image-of table of an embedding row): `O(1)` set/get, `O(1)` reset.
+#[derive(Debug, Default, Clone)]
+pub struct VertexSlots {
+    marks: VertexMarks,
+    value: Vec<u32>,
+}
+
+impl VertexSlots {
+    /// Creates an empty map (grows on demand).
+    pub fn new() -> Self {
+        VertexSlots::default()
+    }
+
+    /// Starts a fresh empty map.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.marks.reset();
+    }
+
+    /// Maps `v` to `value` (last write wins within an epoch).
+    #[inline]
+    pub fn set(&mut self, v: VertexId, value: u32) {
+        self.marks.mark(v);
+        let i = v.index();
+        if i >= self.value.len() {
+            self.value.resize(self.marks.stamp.len(), 0);
+        }
+        self.value[i] = value;
+    }
+
+    /// The value `v` maps to in the current epoch, if any.
+    #[inline]
+    pub fn get(&self, v: VertexId) -> Option<u32> {
+        if self.marks.is_marked(v) {
+            Some(self.value[v.index()])
+        } else {
+            None
+        }
+    }
+}
+
+/// Per-worker scratch for the occurrence joins: one epoch-mark table plus
+/// reusable row/label buffers.  Everything is cleared by `O(1)` resets, so a
+/// join body that rejects a row touches no allocator at all.
+#[derive(Debug, Default)]
+pub struct JoinScratch {
+    /// Distinctness / membership marks over data vertex ids.
+    pub marks: VertexMarks,
+    /// Reusable combined-row buffer.
+    pub row: Vec<VertexId>,
+    /// Reusable vertex-label buffer of the combined row.
+    pub vertex_labels: Vec<Label>,
+    /// Reusable edge-label buffer of the combined row.
+    pub edge_labels: Vec<Label>,
+}
+
+impl JoinScratch {
+    /// Creates an empty scratch (buffers grow on first use, then stay).
+    pub fn new() -> Self {
+        JoinScratch::default()
+    }
+}
+
+/// True when all vertices of `vs` are distinct — `O(|vs|)` probes against the
+/// scratch mark table, no allocation, no sort.
+pub fn all_distinct_marked(vs: &[VertexId], marks: &mut VertexMarks) -> bool {
+    marks.reset();
+    vs.iter().all(|&v| marks.mark(v))
+}
+
+/// True when directed rows `a` and `b` (with `a.last() == b.first()`) share
+/// only the junction vertex — `O(|a| + |b|)` probes, no allocation.
+pub fn disjoint_except_shared_marked(a: &[VertexId], b: &[VertexId], marks: &mut VertexMarks) -> bool {
+    debug_assert_eq!(a.last(), b.first());
+    marks.reset();
+    for &v in a {
+        marks.mark(v);
+    }
+    b[1..].iter().all(|&v| !marks.is_marked(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(ids: &[u32]) -> Vec<VertexId> {
+        ids.iter().map(|&i| VertexId(i)).collect()
+    }
+
+    fn store() -> OccurrenceStore {
+        let mut s = OccurrenceStore::new(3);
+        s.push_row(0, &v(&[0, 1, 2]));
+        s.push_row(0, &v(&[0, 1, 3]));
+        s.push_row(1, &v(&[0, 1, 2]));
+        s.push_row(0, &v(&[2, 1, 0]));
+        s.push_row(0, &v(&[0, 2, 4]));
+        s
+    }
+
+    #[test]
+    fn postings_group_by_prefix_in_row_order() {
+        let s = store();
+        let idx = OccurrenceIndex::by_prefix(&s, 2);
+        assert_eq!(idx.prefix_len(), 2);
+        assert_eq!(idx.group_count(), 4);
+        assert_eq!(idx.postings(0, &v(&[0, 1])), &[0, 1]);
+        assert_eq!(idx.postings(1, &v(&[0, 1])), &[2]);
+        assert_eq!(idx.postings(0, &v(&[2, 1])), &[3]);
+        assert_eq!(idx.postings(0, &v(&[0, 2])), &[4]);
+        assert!(idx.postings(0, &v(&[9, 9])).is_empty());
+        assert!(idx.postings(7, &v(&[0, 1])).is_empty());
+    }
+
+    #[test]
+    fn head_index_is_a_length_one_prefix() {
+        let s = store();
+        let idx = OccurrenceIndex::by_prefix(&s, 1);
+        assert_eq!(idx.postings(0, &v(&[0])), &[0, 1, 4]);
+        assert_eq!(idx.postings(0, &v(&[2])), &[3]);
+        // a lookup key borrowed from another row's suffix works
+        let row = s.row(3);
+        assert_eq!(idx.postings(0, &row[2..]), &[0, 1, 4]);
+    }
+
+    #[test]
+    fn empty_store_indexes_fine() {
+        let s = OccurrenceStore::new(4);
+        let idx = OccurrenceIndex::by_prefix(&s, 2);
+        assert_eq!(idx.group_count(), 0);
+        assert!(idx.postings(0, &v(&[0, 1])).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_prefix_panics() {
+        let s = store();
+        let _ = OccurrenceIndex::by_prefix(&s, 4);
+    }
+
+    #[test]
+    fn marks_reset_is_cheap_and_correct() {
+        let mut m = VertexMarks::new();
+        assert!(m.mark(VertexId(3)));
+        assert!(!m.mark(VertexId(3)));
+        assert!(m.is_marked(VertexId(3)));
+        assert!(!m.is_marked(VertexId(4)));
+        m.reset();
+        assert!(!m.is_marked(VertexId(3)));
+        assert!(m.mark(VertexId(3)));
+    }
+
+    #[test]
+    fn marks_survive_epoch_wraparound() {
+        let mut m = VertexMarks::new();
+        m.mark(VertexId(1));
+        m.epoch = u32::MAX - 1;
+        // the stale stamp of vertex 1 must not leak into the next epochs
+        m.reset();
+        assert!(!m.is_marked(VertexId(1)));
+        m.mark(VertexId(2));
+        m.reset(); // wraps
+        assert!(!m.is_marked(VertexId(1)));
+        assert!(!m.is_marked(VertexId(2)));
+        assert!(m.mark(VertexId(2)));
+    }
+
+    #[test]
+    fn slots_map_and_reset() {
+        let mut s = VertexSlots::new();
+        s.set(VertexId(5), 2);
+        s.set(VertexId(0), 7);
+        assert_eq!(s.get(VertexId(5)), Some(2));
+        assert_eq!(s.get(VertexId(0)), Some(7));
+        assert_eq!(s.get(VertexId(1)), None);
+        s.set(VertexId(5), 9);
+        assert_eq!(s.get(VertexId(5)), Some(9));
+        s.reset();
+        assert_eq!(s.get(VertexId(5)), None);
+    }
+
+    #[test]
+    fn distinctness_helpers() {
+        let mut marks = VertexMarks::new();
+        assert!(all_distinct_marked(&v(&[0, 1, 2]), &mut marks));
+        assert!(!all_distinct_marked(&v(&[0, 1, 0]), &mut marks));
+        assert!(disjoint_except_shared_marked(&v(&[0, 1, 2]), &v(&[2, 3, 4]), &mut marks));
+        assert!(!disjoint_except_shared_marked(&v(&[0, 1, 2]), &v(&[2, 1, 5]), &mut marks));
+    }
+}

@@ -18,7 +18,29 @@
 use crate::embedding::{Embedding, EmbeddingSet, SupportMeasure};
 use crate::graph::VertexId;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+
+/// Reusable buffers for the sort-based support computations
+/// ([`OccurrenceStore::support_with`]): one scratch per worker turns every
+/// support evaluation into in-place sorts over flat arrays — no per-row
+/// `Vec` keys, no hash sets, and (after warm-up) no allocation at all.
+#[derive(Debug, Default, Clone)]
+pub struct SupportScratch {
+    /// Arena copy whose rows are sorted (and deduplicated) in place.
+    sorted: Vec<VertexId>,
+    /// Deduplicated length of each sorted row.
+    lens: Vec<u32>,
+    /// Row order buffer for the distinct-vertex-set count.
+    rows: Vec<u32>,
+    /// `(transaction, image)` buffer for the MNI column counts.
+    keys: Vec<(u32, VertexId)>,
+}
+
+impl SupportScratch {
+    /// Creates an empty scratch (buffers grow on first use, then stay).
+    pub fn new() -> Self {
+        SupportScratch::default()
+    }
+}
 
 /// All occurrences of one pattern, in columnar (SoA) layout.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -112,6 +134,18 @@ impl OccurrenceStore {
         self.transactions.push(transaction as u32);
     }
 
+    /// Appends one occurrence with its vertex sequence reversed — the
+    /// re-orientation step of the canonical-form joins, written directly into
+    /// the arena with no intermediate `Vec`.
+    ///
+    /// # Panics
+    /// Panics when `vertices.len()` differs from the store arity.
+    pub fn push_row_reversed(&mut self, transaction: usize, vertices: &[VertexId]) {
+        assert_eq!(vertices.len(), self.arity, "occurrence arity mismatch");
+        self.arena.extend(vertices.iter().rev().copied());
+        self.transactions.push(transaction as u32);
+    }
+
     /// The vertex slice of row `i`.
     #[inline]
     pub fn row(&self, i: usize) -> &[VertexId] {
@@ -181,59 +215,156 @@ impl OccurrenceStore {
     /// Removes rows that are exactly equal (same transaction and vertex
     /// sequence) to an earlier row.
     pub fn dedup_exact(&mut self) {
-        let mut seen: HashSet<(u32, Vec<VertexId>)> = HashSet::with_capacity(self.len());
-        self.retain_rows(|r| seen.insert((r.transaction as u32, r.vertices.to_vec())));
+        self.dedup_exact_with(&mut SupportScratch::new())
     }
 
-    /// The sorted deduplicated vertex set of row `i`.
-    fn vertex_set(&self, i: usize) -> Vec<VertexId> {
-        let mut vs = self.row(i).to_vec();
-        vs.sort();
-        vs.dedup();
-        vs
+    /// [`OccurrenceStore::dedup_exact`] with caller-provided scratch: an
+    /// index sort brings duplicates together, so no per-row key `Vec` is
+    /// ever allocated.  The first copy (in row order) of every duplicate
+    /// group survives, exactly as the hash-set formulation kept it.
+    pub fn dedup_exact_with(&mut self, scratch: &mut SupportScratch) {
+        if self.is_empty() {
+            return;
+        }
+        let arity = self.arity;
+        let SupportScratch { rows, lens, .. } = scratch;
+        rows.clear();
+        rows.extend(0..self.len() as u32);
+        lens.clear();
+        lens.resize(self.len(), 1);
+        {
+            let arena = &self.arena;
+            let txs = &self.transactions;
+            let row_of = |i: u32| &arena[i as usize * arity..(i as usize + 1) * arity];
+            rows.sort_unstable_by(|&a, &b| {
+                txs[a as usize]
+                    .cmp(&txs[b as usize])
+                    .then_with(|| row_of(a).cmp(row_of(b)))
+                    .then_with(|| a.cmp(&b))
+            });
+            for w in rows.windows(2) {
+                if txs[w[0] as usize] == txs[w[1] as usize] && row_of(w[0]) == row_of(w[1]) {
+                    // duplicate of an earlier (smaller row id) copy
+                    lens[w[1] as usize] = 0;
+                }
+            }
+        }
+        let mut i = 0usize;
+        self.retain_rows(|_| {
+            let keep = lens[i] == 1;
+            i += 1;
+            keep
+        });
     }
 
     /// Number of distinct `(transaction, vertex set)` images.
     pub fn distinct_vertex_sets(&self) -> usize {
-        let mut seen: HashSet<(u32, Vec<VertexId>)> = HashSet::with_capacity(self.len());
-        for i in 0..self.len() {
-            seen.insert((self.transactions[i], self.vertex_set(i)));
+        self.distinct_vertex_sets_with(&mut SupportScratch::new())
+    }
+
+    /// [`OccurrenceStore::distinct_vertex_sets`] with caller-provided scratch
+    /// buffers: a sorted copy of the arena plus an index sort replace the
+    /// per-row `Vec` keys the hash-set formulation would allocate.
+    pub fn distinct_vertex_sets_with(&self, scratch: &mut SupportScratch) -> usize {
+        if self.is_empty() {
+            return 0;
         }
-        seen.len()
+        let arity = self.arity;
+        let SupportScratch { sorted, lens, rows, .. } = scratch;
+        sorted.clear();
+        sorted.extend_from_slice(&self.arena);
+        lens.clear();
+        for i in 0..self.len() {
+            let row = &mut sorted[i * arity..(i + 1) * arity];
+            row.sort_unstable();
+            // in-place dedup: shift distinct values left, record the length
+            let mut w = 1usize;
+            for r in 1..arity {
+                if row[r] != row[w - 1] {
+                    row[w] = row[r];
+                    w += 1;
+                }
+            }
+            lens.push(w as u32);
+        }
+        let set_of = |i: u32| {
+            let i = i as usize;
+            &sorted[i * arity..i * arity + lens[i] as usize]
+        };
+        rows.clear();
+        rows.extend(0..self.len() as u32);
+        rows.sort_unstable_by(|&a, &b| {
+            self.transactions[a as usize]
+                .cmp(&self.transactions[b as usize])
+                .then_with(|| set_of(a).cmp(set_of(b)))
+        });
+        1 + rows
+            .windows(2)
+            .filter(|w| {
+                self.transactions[w[0] as usize] != self.transactions[w[1] as usize]
+                    || set_of(w[0]) != set_of(w[1])
+            })
+            .count()
     }
 
     /// Minimum-image-based (MNI) support: the minimum, over pattern
     /// vertices, of the number of distinct data vertices the column maps to.
     pub fn mni_support(&self) -> usize {
+        self.mni_support_with(&mut SupportScratch::new())
+    }
+
+    /// [`OccurrenceStore::mni_support`] with caller-provided scratch buffers:
+    /// each column is counted by an in-place sort of a flat
+    /// `(transaction, image)` buffer instead of a rebuilt hash set.
+    pub fn mni_support_with(&self, scratch: &mut SupportScratch) -> usize {
         if self.is_empty() {
             return 0;
         }
         let mut min = usize::MAX;
-        let mut distinct: HashSet<(u32, VertexId)> = HashSet::with_capacity(self.len());
         for p in 0..self.arity {
-            distinct.clear();
-            for i in 0..self.len() {
-                distinct.insert((self.transactions[i], self.arena[i * self.arity + p]));
-            }
-            min = min.min(distinct.len());
+            scratch.keys.clear();
+            scratch
+                .keys
+                .extend((0..self.len()).map(|i| (self.transactions[i], self.arena[i * self.arity + p])));
+            scratch.keys.sort_unstable();
+            let distinct = 1 + scratch.keys.windows(2).filter(|w| w[0] != w[1]).count();
+            min = min.min(distinct);
         }
         min
     }
 
     /// Number of distinct transactions with at least one occurrence.
     pub fn transaction_support(&self) -> usize {
-        let distinct: HashSet<u32> = self.transactions.iter().copied().collect();
-        distinct.len()
+        self.transaction_support_with(&mut SupportScratch::new())
+    }
+
+    /// [`OccurrenceStore::transaction_support`] with caller-provided scratch.
+    pub fn transaction_support_with(&self, scratch: &mut SupportScratch) -> usize {
+        if self.is_empty() {
+            return 0;
+        }
+        scratch.rows.clear();
+        scratch.rows.extend_from_slice(&self.transactions);
+        scratch.rows.sort_unstable();
+        1 + scratch.rows.windows(2).filter(|w| w[0] != w[1]).count()
     }
 
     /// Support under the chosen measure — identical semantics to
     /// [`EmbeddingSet::support`].
     pub fn support(&self, measure: SupportMeasure) -> usize {
+        self.support_with(measure, &mut SupportScratch::new())
+    }
+
+    /// [`OccurrenceStore::support`] with caller-provided scratch buffers —
+    /// the form the mining hot loops use, so a support evaluation per
+    /// candidate extension costs sorts over reused flat buffers instead of a
+    /// freshly allocated hash set.
+    pub fn support_with(&self, measure: SupportMeasure, scratch: &mut SupportScratch) -> usize {
         match measure {
             SupportMeasure::EmbeddingCount => self.len(),
-            SupportMeasure::DistinctVertexSets => self.distinct_vertex_sets(),
-            SupportMeasure::MinimumImage => self.mni_support(),
-            SupportMeasure::Transactions => self.transaction_support(),
+            SupportMeasure::DistinctVertexSets => self.distinct_vertex_sets_with(scratch),
+            SupportMeasure::MinimumImage => self.mni_support_with(scratch),
+            SupportMeasure::Transactions => self.transaction_support_with(scratch),
         }
     }
 

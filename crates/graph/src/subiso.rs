@@ -28,8 +28,40 @@ pub struct SubIsoOptions {
 /// and CSR representations.
 pub fn find_embeddings<G: GraphView>(pattern: &LabeledGraph, data: &G, opts: SubIsoOptions) -> EmbeddingSet {
     let mut out = EmbeddingSet::new();
+    let transaction = opts.transaction;
+    search(pattern, data, opts.limit, |mapping| {
+        let vertices: Vec<VertexId> = mapping.iter().map(|m| m.expect("complete mapping")).collect();
+        out.push(Embedding::in_transaction(vertices, transaction));
+    });
+    out
+}
+
+/// Counts embeddings **without materializing any of them**: the backtracking
+/// search only increments a counter on each complete mapping.  Equivalent to
+/// `find_embeddings(..).len()`, with an early-exit threshold: returns as soon
+/// as `at_least` embeddings are found (if provided).
+pub fn count_embeddings<G: GraphView>(pattern: &LabeledGraph, data: &G, at_least: Option<usize>) -> usize {
+    let mut count = 0usize;
+    search(pattern, data, at_least, |_| count += 1);
+    count
+}
+
+/// Returns true if `pattern` has at least one embedding in `data`, stopping
+/// the search at the first match without building an embedding.
+pub fn has_embedding<G: GraphView>(pattern: &LabeledGraph, data: &G) -> bool {
+    count_embeddings(pattern, data, Some(1)) >= 1
+}
+
+/// Runs the backtracking search, invoking `on_match` with the complete
+/// pattern-vertex mapping for every embedding found (up to `limit`).
+fn search<G: GraphView>(
+    pattern: &LabeledGraph,
+    data: &G,
+    limit: Option<usize>,
+    on_match: impl FnMut(&[Option<VertexId>]),
+) {
     if pattern.vertex_count() == 0 || pattern.vertex_count() > data.vertex_count() {
-        return out;
+        return;
     }
     let order = matching_order(pattern);
     let mut mapping: Vec<Option<VertexId>> = vec![None; pattern.vertex_count()];
@@ -40,40 +72,34 @@ pub fn find_embeddings<G: GraphView>(pattern: &LabeledGraph, data: &G, opts: Sub
         order: &order,
         mapping: &mut mapping,
         used: &mut used,
-        out: &mut out,
-        limit: opts.limit,
-        transaction: opts.transaction,
+        found: 0,
+        limit,
+        on_match,
     };
     state.recurse(0);
-    out
-}
-
-/// Counts embeddings without materializing more than necessary; equivalent to
-/// `find_embeddings(..).len()` but allows an early-exit threshold: returns as
-/// soon as `at_least` embeddings are found (if provided).
-pub fn count_embeddings<G: GraphView>(pattern: &LabeledGraph, data: &G, at_least: Option<usize>) -> usize {
-    find_embeddings(pattern, data, SubIsoOptions { limit: at_least, transaction: 0 }).len()
-}
-
-/// Returns true if `pattern` has at least one embedding in `data`.
-pub fn has_embedding<G: GraphView>(pattern: &LabeledGraph, data: &G) -> bool {
-    count_embeddings(pattern, data, Some(1)) >= 1
 }
 
 /// Chooses the order in which pattern vertices are matched: a BFS-like order
 /// that keeps each new vertex adjacent to an already ordered one whenever the
 /// pattern is connected, starting from a vertex of maximal degree.
+///
+/// Component seeds are drawn from one degree-sorted vertex list computed up
+/// front (descending degree, descending id — the same vertex the previous
+/// per-component `max_by_key` rescan selected), so seeding all components
+/// costs one sort instead of a quadratic repeated maximum scan.
 fn matching_order(pattern: &LabeledGraph) -> Vec<VertexId> {
     let n = pattern.vertex_count();
     let mut order = Vec::with_capacity(n);
     let mut placed = vec![false; n];
+    let mut by_degree: Vec<VertexId> = pattern.vertices().collect();
+    by_degree.sort_unstable_by_key(|&v| (std::cmp::Reverse(pattern.degree(v)), std::cmp::Reverse(v.index())));
+    let mut seed_cursor = 0usize;
     while order.len() < n {
         // seed: highest-degree unplaced vertex (new component)
-        let seed = pattern
-            .vertices()
-            .filter(|v| !placed[v.index()])
-            .max_by_key(|&v| pattern.degree(v))
-            .expect("unplaced vertex exists");
+        while placed[by_degree[seed_cursor].index()] {
+            seed_cursor += 1;
+        }
+        let seed = by_degree[seed_cursor];
         placed[seed.index()] = true;
         order.push(seed);
         let mut frontier = vec![seed];
@@ -93,20 +119,20 @@ fn matching_order(pattern: &LabeledGraph) -> Vec<VertexId> {
     order
 }
 
-struct SearchState<'a, G: GraphView> {
+struct SearchState<'a, G: GraphView, M: FnMut(&[Option<VertexId>])> {
     pattern: &'a LabeledGraph,
     data: &'a G,
     order: &'a [VertexId],
     mapping: &'a mut Vec<Option<VertexId>>,
     used: &'a mut Vec<bool>,
-    out: &'a mut EmbeddingSet,
+    found: usize,
     limit: Option<usize>,
-    transaction: usize,
+    on_match: M,
 }
 
-impl<G: GraphView> SearchState<'_, G> {
+impl<G: GraphView, M: FnMut(&[Option<VertexId>])> SearchState<'_, G, M> {
     fn done(&self) -> bool {
-        self.limit.map(|l| self.out.len() >= l).unwrap_or(false)
+        self.limit.map(|l| self.found >= l).unwrap_or(false)
     }
 
     fn recurse(&mut self, depth: usize) {
@@ -114,8 +140,8 @@ impl<G: GraphView> SearchState<'_, G> {
             return;
         }
         if depth == self.order.len() {
-            let vertices: Vec<VertexId> = self.mapping.iter().map(|m| m.expect("complete mapping")).collect();
-            self.out.push(Embedding::in_transaction(vertices, self.transaction));
+            self.found += 1;
+            (self.on_match)(self.mapping);
             return;
         }
         let pv = self.order[depth];

@@ -1,0 +1,69 @@
+//! Property-based parity of the occurrence join engine's posting lists:
+//! [`OccurrenceIndex`] must group rows exactly like the naive
+//! `HashMap<(transaction, prefix), Vec<row>>` build it replaced — same
+//! groups, same members, and **the same global row order inside every
+//! group** (the order the Stage-I joins iterate, which the byte-identity
+//! guarantee of the miner rests on).
+
+use proptest::prelude::*;
+use skinny_graph::{OccurrenceIndex, OccurrenceStore, VertexId};
+use std::collections::HashMap;
+
+/// Strategy: a random occurrence store (arity 2–4, small vertex-id alphabet
+/// so prefixes collide often) plus a prefix length to group by.
+fn any_store_and_prefix(max_rows: usize) -> impl Strategy<Value = (OccurrenceStore, usize)> {
+    (2..=4usize).prop_flat_map(move |arity| {
+        let rows =
+            proptest::collection::vec((0..3usize, proptest::collection::vec(0..8u32, arity)), 0..=max_rows);
+        (rows, 1..=arity).prop_map(move |(rows, prefix_len)| {
+            let mut store = OccurrenceStore::new(arity);
+            for (t, vs) in rows {
+                let v: Vec<VertexId> = vs.into_iter().map(VertexId).collect();
+                store.push_row(t, &v);
+            }
+            (store, prefix_len)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn index_matches_naive_hashmap_grouping((store, prefix_len) in any_store_and_prefix(40)) {
+        let index = OccurrenceIndex::by_prefix(&store, prefix_len);
+        let mut naive: HashMap<(usize, Vec<VertexId>), Vec<u32>> = HashMap::new();
+        for i in 0..store.len() {
+            naive
+                .entry((store.transaction(i), store.row(i)[..prefix_len].to_vec()))
+                .or_default()
+                .push(i as u32);
+        }
+        prop_assert_eq!(index.group_count(), naive.len());
+        for ((t, key), rows) in &naive {
+            // identical members in identical (global row) order
+            prop_assert_eq!(index.postings(*t, key), rows.as_slice());
+        }
+        // a key absent from the store answers with an empty posting list
+        let absent = vec![VertexId(99); prefix_len];
+        prop_assert!(index.postings(0, &absent).is_empty());
+        prop_assert!(index.postings(77, &absent).is_empty());
+    }
+
+    #[test]
+    fn every_row_appears_exactly_once((store, prefix_len) in any_store_and_prefix(40)) {
+        let index = OccurrenceIndex::by_prefix(&store, prefix_len);
+        let mut seen = vec![0usize; store.len()];
+        for i in 0..store.len() {
+            for &r in index.postings(store.transaction(i), &store.row(i)[..prefix_len]) {
+                seen[r as usize] += 1;
+            }
+        }
+        // every row is reachable through its own key; lookups of shared keys
+        // revisit whole groups, so counts equal the group size
+        for (i, &count) in seen.iter().enumerate() {
+            let group = index.postings(store.transaction(i), &store.row(i)[..prefix_len]);
+            prop_assert_eq!(count, group.len());
+        }
+    }
+}

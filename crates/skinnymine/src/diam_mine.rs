@@ -28,8 +28,11 @@
 
 use crate::cycle::CyclePattern;
 use crate::data::MiningData;
-use crate::path_pattern::{PathKey, PathPattern};
-use skinny_graph::{GraphView, Label, OccurrenceStore, SupportMeasure, VertexId};
+use crate::path_pattern::{PathKey, PathPattern, PatternTable};
+use skinny_graph::{
+    all_distinct_marked, disjoint_except_shared_marked, GraphView, JoinScratch, Label, OccurrenceIndex,
+    OccurrenceStore, SupportMeasure, SupportScratch, VertexId,
+};
 use std::collections::{BTreeMap, HashMap};
 
 /// Stage-I miner for frequent simple paths (and cycle seeds).
@@ -83,28 +86,32 @@ impl<'a> DiamMine<'a> {
     /// bucket per candidate path key); on adjacency-backed data it scans the
     /// edges once.  Both produce byte-identical patterns.
     pub fn frequent_edges(&self) -> Vec<PathPattern> {
-        let mut by_key: HashMap<PathKey, PathPattern> = HashMap::new();
+        let mut table = PatternTable::new();
+        let mut scratch = JoinScratch::new();
         for (t, view) in self.data.transactions() {
             if let Some(csr) = view.as_csr() {
                 for ((la, el, lb), bucket) in csr.edge_triples() {
-                    let key = PathKey { vertex_labels: vec![la, lb], edge_labels: vec![el] };
-                    let pattern = by_key.entry(key.clone()).or_insert_with(|| PathPattern::new(key));
+                    let pattern = table.slot_for(&[la, lb], &[el]);
                     for &(u, v) in bucket {
-                        pattern.add_occurrence(t, vec![u, v], false);
+                        pattern.add_occurrence_slice(t, &[u, v], false);
                     }
                 }
             } else {
                 for e in view.edges() {
-                    let occ = vec![e.u, e.v];
-                    let (key, reversed) = PathPattern::key_of_occurrence(&view, &occ);
-                    by_key
-                        .entry(key.clone())
-                        .or_insert_with(|| PathPattern::new(key))
-                        .add_occurrence(t, occ, reversed);
+                    let occ = [e.u, e.v];
+                    let reversed = PathPattern::canonical_labels_into(
+                        &view,
+                        &occ,
+                        &mut scratch.vertex_labels,
+                        &mut scratch.edge_labels,
+                    );
+                    table
+                        .slot_for(&scratch.vertex_labels, &scratch.edge_labels)
+                        .add_occurrence_slice(t, &occ, reversed);
                 }
             }
         }
-        self.finalize(by_key)
+        self.finalize(table.into_patterns())
     }
 
     /// The frequent length-1 path of one specific `(label, edge label,
@@ -150,43 +157,57 @@ impl<'a> DiamMine<'a> {
     /// Concatenates frequent paths of length `n` into candidate paths of
     /// length `2n` by joining occurrences at a shared end vertex
     /// (`CheckConcat` of Algorithm 2).
+    ///
+    /// The join runs on the endpoint-indexed engine: one
+    /// [`OccurrenceIndex`] build over `(transaction, head vertex)` replaces
+    /// the per-join hash-map grouping, per-row disjointness is an
+    /// epoch-marked probe, and the combined row / its canonical labels live
+    /// in per-worker [`JoinScratch`] buffers — a rejected row pair touches
+    /// no allocator.
     pub fn concat_double(&self, current: &[PathPattern]) -> Vec<PathPattern> {
         if current.is_empty() {
             return Vec::new();
         }
         let occs = directed_occurrences(current);
-        // index directed occurrences by (transaction, head vertex)
-        let mut by_head: HashMap<(usize, VertexId), Vec<u32>> = HashMap::new();
-        for i in 0..occs.len() {
-            by_head.entry((occs.transaction(i), occs.row(i)[0])).or_default().push(i as u32);
-        }
-        let by_key = self.join_occurrences(&occs, |i, local| {
+        let by_head = OccurrenceIndex::by_prefix(&occs, 1);
+        let table = self.join_occurrences(&occs, |i, table, scratch| {
             let a = occs.row(i);
             let t = occs.transaction(i);
-            let tail = *a.last().expect("occurrence is nonempty");
-            let Some(candidates) = by_head.get(&(t, tail)) else { return };
-            for &bi in candidates {
+            let tail = &a[a.len() - 1..];
+            for &bi in by_head.postings(t, tail) {
                 let b = occs.row(bi as usize);
-                if !disjoint_except_shared(a, b) {
+                if !disjoint_except_shared_marked(a, b, &mut scratch.marks) {
                     continue;
                 }
-                let mut combined = a.to_vec();
-                combined.extend_from_slice(&b[1..]);
+                scratch.row.clear();
+                scratch.row.extend_from_slice(a);
+                scratch.row.extend_from_slice(&b[1..]);
                 let view = self.data.view(t);
-                let (key, reversed) = PathPattern::key_of_occurrence(&view, &combined);
-                local
-                    .entry(key.clone())
-                    .or_insert_with(|| PathPattern::new(key))
-                    .add_occurrence(t, combined, reversed);
+                let reversed = PathPattern::canonical_labels_into(
+                    &view,
+                    &scratch.row,
+                    &mut scratch.vertex_labels,
+                    &mut scratch.edge_labels,
+                );
+                table.slot_for(&scratch.vertex_labels, &scratch.edge_labels).add_occurrence_slice(
+                    t,
+                    &scratch.row,
+                    reversed,
+                );
             }
         });
-        self.finalize(by_key)
+        self.finalize(table.into_patterns())
     }
 
     /// Merges frequent paths of length `n` into candidate paths of length
     /// `target` (`n < target < 2n`) by overlapping a suffix of one occurrence
     /// with a prefix of another (`CheckMergeHead` / `CheckMergeTail` of
     /// Algorithm 2).
+    ///
+    /// Like [`DiamMine::concat_double`], the join probes one
+    /// [`OccurrenceIndex`] — here over `(transaction, overlap prefix)`, with
+    /// the lookup key borrowed straight from the probing row's suffix — and
+    /// does all per-row work in [`JoinScratch`] buffers.
     pub fn merge_to_length(&self, base: &[PathPattern], target: usize) -> Vec<PathPattern> {
         if base.is_empty() {
             return Vec::new();
@@ -196,17 +217,98 @@ impl<'a> DiamMine<'a> {
         let overlap_edges = 2 * n - target;
         let overlap_vertices = overlap_edges + 1;
         let occs = directed_occurrences(base);
-        // index by (transaction, prefix of overlap_vertices vertices)
+        let by_prefix = OccurrenceIndex::by_prefix(&occs, overlap_vertices);
+        let table = self.join_occurrences(&occs, |i, table, scratch| {
+            let a = occs.row(i);
+            let t = occs.transaction(i);
+            let suffix = &a[a.len() - overlap_vertices..];
+            for &bi in by_prefix.postings(t, suffix) {
+                let b = occs.row(bi as usize);
+                scratch.row.clear();
+                scratch.row.extend_from_slice(a);
+                scratch.row.extend_from_slice(&b[overlap_vertices..]);
+                if !all_distinct_marked(&scratch.row, &mut scratch.marks) {
+                    continue;
+                }
+                let view = self.data.view(t);
+                let reversed = PathPattern::canonical_labels_into(
+                    &view,
+                    &scratch.row,
+                    &mut scratch.vertex_labels,
+                    &mut scratch.edge_labels,
+                );
+                table.slot_for(&scratch.vertex_labels, &scratch.edge_labels).add_occurrence_slice(
+                    t,
+                    &scratch.row,
+                    reversed,
+                );
+            }
+        });
+        self.finalize(table.into_patterns())
+    }
+
+    /// Reference (pre-engine) implementation of [`DiamMine::concat_double`]:
+    /// the per-join `HashMap<(transaction, endpoint), Vec<row>>` build with
+    /// per-row key cloning that the occurrence index replaced.  Sequential;
+    /// kept for the parity tests and the `perf` experiment's before/after
+    /// join comparison.  Output is byte-identical to the indexed engine.
+    #[doc(hidden)]
+    pub fn concat_double_reference(&self, current: &[PathPattern]) -> Vec<PathPattern> {
+        if current.is_empty() {
+            return Vec::new();
+        }
+        let occs = directed_occurrences(current);
+        let mut by_head: HashMap<(usize, VertexId), Vec<u32>> = HashMap::new();
+        for i in 0..occs.len() {
+            by_head.entry((occs.transaction(i), occs.row(i)[0])).or_default().push(i as u32);
+        }
+        let mut by_key: HashMap<PathKey, PathPattern> = HashMap::new();
+        for i in 0..occs.len() {
+            let a = occs.row(i);
+            let t = occs.transaction(i);
+            let tail = *a.last().expect("occurrence is nonempty");
+            let Some(candidates) = by_head.get(&(t, tail)) else { continue };
+            for &bi in candidates {
+                let b = occs.row(bi as usize);
+                if !disjoint_except_shared(a, b) {
+                    continue;
+                }
+                let mut combined = a.to_vec();
+                combined.extend_from_slice(&b[1..]);
+                let view = self.data.view(t);
+                let (key, reversed) = PathPattern::key_of_occurrence(&view, &combined);
+                by_key
+                    .entry(key.clone())
+                    .or_insert_with(|| PathPattern::new(key))
+                    .add_occurrence(t, combined, reversed);
+            }
+        }
+        self.finalize_reference(by_key)
+    }
+
+    /// Reference (pre-engine) implementation of
+    /// [`DiamMine::merge_to_length`]; see
+    /// [`DiamMine::concat_double_reference`].
+    #[doc(hidden)]
+    pub fn merge_to_length_reference(&self, base: &[PathPattern], target: usize) -> Vec<PathPattern> {
+        if base.is_empty() {
+            return Vec::new();
+        }
+        let n = base[0].len();
+        assert!(target > n && target < 2 * n, "merge target must satisfy n < target < 2n");
+        let overlap_vertices = 2 * n - target + 1;
+        let occs = directed_occurrences(base);
         let mut by_prefix: HashMap<(usize, Vec<VertexId>), Vec<u32>> = HashMap::new();
         for i in 0..occs.len() {
             let prefix = occs.row(i)[..overlap_vertices].to_vec();
             by_prefix.entry((occs.transaction(i), prefix)).or_default().push(i as u32);
         }
-        let by_key = self.join_occurrences(&occs, |i, local| {
+        let mut by_key: HashMap<PathKey, PathPattern> = HashMap::new();
+        for i in 0..occs.len() {
             let a = occs.row(i);
             let t = occs.transaction(i);
             let suffix = a[a.len() - overlap_vertices..].to_vec();
-            let Some(candidates) = by_prefix.get(&(t, suffix)) else { return };
+            let Some(candidates) = by_prefix.get(&(t, suffix)) else { continue };
             for &bi in candidates {
                 let b = occs.row(bi as usize);
                 let mut combined = a.to_vec();
@@ -216,56 +318,50 @@ impl<'a> DiamMine<'a> {
                 }
                 let view = self.data.view(t);
                 let (key, reversed) = PathPattern::key_of_occurrence(&view, &combined);
-                local
+                by_key
                     .entry(key.clone())
                     .or_insert_with(|| PathPattern::new(key))
                     .add_occurrence(t, combined, reversed);
             }
-        });
-        self.finalize(by_key)
+        }
+        self.finalize_reference(by_key)
     }
 
     /// Runs the per-occurrence join body over all rows of `occs`,
-    /// sequentially with one accumulator map when `threads == 1`, or on the
-    /// work-stealing pool over contiguous row chunks otherwise.
+    /// sequentially with one accumulator table when `threads == 1`, or on
+    /// the work-stealing pool over contiguous row chunks otherwise.  Every
+    /// worker reuses one [`JoinScratch`] across all the chunks it executes
+    /// or steals.
     ///
-    /// The per-chunk partial maps are merged **in chunk order**, so every
+    /// The per-chunk partial tables are merged **in chunk order**, so every
     /// pattern's occurrence list ends up in the exact order the sequential
     /// loop would have produced — Stage I is deterministic for any thread
     /// count.
-    fn join_occurrences<F>(&self, occs: &OccurrenceStore, body: F) -> HashMap<PathKey, PathPattern>
+    fn join_occurrences<F>(&self, occs: &OccurrenceStore, body: F) -> PatternTable
     where
-        F: Fn(usize, &mut HashMap<PathKey, PathPattern>) + Sync,
+        F: Fn(usize, &mut PatternTable, &mut JoinScratch) + Sync,
     {
         // Parallelism only pays once there is real join work per chunk.
         const MIN_PARALLEL_OCCS: usize = 256;
         if self.threads <= 1 || occs.len() < MIN_PARALLEL_OCCS {
-            let mut by_key = HashMap::new();
+            let mut table = PatternTable::new();
+            let mut scratch = JoinScratch::new();
             for i in 0..occs.len() {
-                body(i, &mut by_key);
+                body(i, &mut table, &mut scratch);
             }
-            return by_key;
+            return table;
         }
         let ranges = skinny_pool::chunk_ranges(occs.len(), self.threads, 4);
-        let partials = skinny_pool::run_indexed(self.threads, ranges.len(), |c| {
-            let mut local: HashMap<PathKey, PathPattern> = HashMap::new();
+        let partials = skinny_pool::run_with(self.threads, ranges.len(), JoinScratch::new, |scratch, c| {
+            let mut local = PatternTable::new();
             for i in ranges[c].clone() {
-                body(i, &mut local);
+                body(i, &mut local, scratch);
             }
             local
         });
-        let mut merged: HashMap<PathKey, PathPattern> = HashMap::new();
+        let mut merged = PatternTable::new();
         for partial in partials {
-            for (key, pattern) in partial {
-                match merged.entry(key) {
-                    std::collections::hash_map::Entry::Occupied(mut e) => {
-                        e.get_mut().embeddings.append(pattern.embeddings);
-                    }
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert(pattern);
-                    }
-                }
-            }
+            merged.merge(partial);
         }
         merged
     }
@@ -414,17 +510,22 @@ impl<'a> DiamMine<'a> {
     }
 
     /// Filters candidates by support and removes duplicate occurrences.
-    fn finalize(&self, by_key: HashMap<PathKey, PathPattern>) -> Vec<PathPattern> {
-        let mut out: Vec<PathPattern> = by_key
-            .into_values()
-            .map(|mut p| {
-                p.dedup();
-                p
+    fn finalize(&self, patterns: Vec<PathPattern>) -> Vec<PathPattern> {
+        let mut scratch = SupportScratch::new();
+        let mut out: Vec<PathPattern> = patterns
+            .into_iter()
+            .filter_map(|mut p| {
+                p.dedup_with(&mut scratch);
+                (p.embeddings.support_with(self.support, &mut scratch) >= self.sigma).then_some(p)
             })
-            .filter(|p| p.support(self.support) >= self.sigma)
             .collect();
         out.sort_by(|a, b| a.key.cmp(&b.key));
         out
+    }
+
+    /// [`DiamMine::finalize`] over the reference joins' hash-map accumulator.
+    fn finalize_reference(&self, by_key: HashMap<PathKey, PathPattern>) -> Vec<PathPattern> {
+        self.finalize(by_key.into_values().collect())
     }
 }
 
@@ -651,6 +752,37 @@ mod tests {
         let bounded = m.mine_range(1, Some(2));
         assert_eq!(bounded.keys().copied().collect::<Vec<_>>(), vec![1, 2]);
         assert!(m.mine_range(0, None).is_empty());
+    }
+
+    #[test]
+    fn indexed_joins_match_reference_joins_byte_identically() {
+        // a 6-cycle plus the two-copy fixture: palindromic patterns,
+        // branching and merges all in play
+        for g in [
+            two_path_copies(),
+            LabeledGraph::from_unlabeled_edges(&[l(0); 6], [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
+                .unwrap(),
+        ] {
+            let m = miner(&g, 1);
+            let len1 = m.frequent_edges();
+            let len2 = m.concat_double(&len1);
+            let len2_ref = m.concat_double_reference(&len1);
+            assert_eq!(len2.len(), len2_ref.len());
+            for (a, b) in len2.iter().zip(&len2_ref) {
+                assert_eq!(a.key, b.key);
+                assert_eq!(a.embeddings, b.embeddings, "concat occurrence stores must be byte-identical");
+            }
+            if len2.is_empty() {
+                continue;
+            }
+            let len3 = m.merge_to_length(&len2, 3);
+            let len3_ref = m.merge_to_length_reference(&len2_ref, 3);
+            assert_eq!(len3.len(), len3_ref.len());
+            for (a, b) in len3.iter().zip(&len3_ref) {
+                assert_eq!(a.key, b.key);
+                assert_eq!(a.embeddings, b.embeddings, "merge occurrence stores must be byte-identical");
+            }
+        }
     }
 
     #[test]

@@ -4,7 +4,38 @@
 use crate::cycle::CyclePattern;
 use crate::path_pattern::PathPattern;
 use serde::{Deserialize, Serialize};
-use skinny_graph::{DistMatrix, Label, LabeledGraph, OccurrenceStore, SupportMeasure, VertexId};
+use skinny_graph::{
+    DistMatrix, Label, LabeledGraph, OccurrenceStore, SupportMeasure, SupportScratch, VertexId, VertexMarks,
+    VertexSlots,
+};
+
+/// Per-worker scratch for Stage-II growth, reused across every cluster a
+/// worker grows: epoch-stamped tables over data vertex ids plus flat reusable
+/// buffers, replacing the per-embedding `HashMap` builds (`image_of`,
+/// `attachments`) and the O(arity) `OccRow::uses` scans of the extension hot
+/// loop with O(1) probes and zero per-row heap allocation.
+#[derive(Debug, Default)]
+pub struct GrowScratch {
+    /// Membership marks of the current occurrence row's vertices.
+    pub row_marks: VertexMarks,
+    /// Reverse image table (data vertex → pattern vertex) of one embedding.
+    pub images: VertexSlots,
+    /// Flat attachment-edge buffer `(outside vertex, pattern vertex, label)`.
+    pub attachments: Vec<(VertexId, u32, Label)>,
+    /// Deduplicated attachment edges of one outside vertex.
+    pub run_edges: Vec<(u32, Label)>,
+    /// Reusable subset buffer for multi-edge attachments.
+    pub subset: Vec<(u32, Label)>,
+    /// Support-evaluation sort buffers.
+    pub support: SupportScratch,
+}
+
+impl GrowScratch {
+    /// Creates an empty scratch (buffers grow on first use, then stay).
+    pub fn new() -> Self {
+        GrowScratch::default()
+    }
+}
 
 /// A one-step extension of a grown pattern.
 ///
@@ -301,11 +332,28 @@ impl GrownPattern {
     /// * For a closing edge, rows that do not have the required data edge are
     ///   dropped.
     pub fn extend_embeddings(&self, data: &crate::data::MiningData<'_>, ext: &Extension) -> OccurrenceStore {
+        self.extend_embeddings_with(data, ext, &mut VertexMarks::new())
+    }
+
+    /// [`GrownPattern::extend_embeddings`] with a caller-provided epoch-mark
+    /// table: each parent row's vertices are marked once, so the used-vertex
+    /// test per candidate neighbor is an O(1) probe instead of an O(arity)
+    /// scan, and a rejected neighbor performs no allocation at all.
+    pub fn extend_embeddings_with(
+        &self,
+        data: &crate::data::MiningData<'_>,
+        ext: &Extension,
+        row_marks: &mut VertexMarks,
+    ) -> OccurrenceStore {
         let parent_arity = self.embeddings.arity();
         match *ext {
             Extension::NewVertex { attach, vertex_label, edge_label } => {
                 let mut out = OccurrenceStore::new(parent_arity + 1);
                 for e in self.embeddings.iter() {
+                    row_marks.reset();
+                    for &v in e.vertices {
+                        row_marks.mark(v);
+                    }
                     let image = e.image(attach as usize);
                     for (w, el) in data.neighbors(e.transaction, image) {
                         if el != edge_label {
@@ -314,7 +362,7 @@ impl GrownPattern {
                         if data.label(e.transaction, w) != vertex_label {
                             continue;
                         }
-                        if e.uses(w) {
+                        if row_marks.is_marked(w) {
                             continue;
                         }
                         out.push_row_extended(e.transaction, e.vertices, w);
@@ -328,6 +376,10 @@ impl GrownPattern {
                 let mut out = OccurrenceStore::new(parent_arity + 1);
                 let (a0, el0) = edges[0];
                 for e in self.embeddings.iter() {
+                    row_marks.reset();
+                    for &v in e.vertices {
+                        row_marks.mark(v);
+                    }
                     let image0 = e.image(a0 as usize);
                     for (w, el) in data.neighbors(e.transaction, image0) {
                         if el != el0 {
@@ -336,7 +388,7 @@ impl GrownPattern {
                         if data.label(e.transaction, w) != vertex_label {
                             continue;
                         }
-                        if e.uses(w) {
+                        if row_marks.is_marked(w) {
                             continue;
                         }
                         let all_present = edges[1..].iter().all(|&(a, ell)| {

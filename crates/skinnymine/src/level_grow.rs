@@ -17,13 +17,13 @@ use crate::config::{Exploration, ReportMode, SkinnyMineConfig};
 use crate::constraints::{check_extension, ConstraintViolation};
 use crate::cycle::CyclePattern;
 use crate::data::MiningData;
-use crate::grown::{Extension, GrownPattern};
+use crate::grown::{Extension, GrowScratch, GrownPattern};
 use crate::path_pattern::PathPattern;
 use crate::result::SkinnyPattern;
 use crate::stats::MiningStats;
 use serde::{Deserialize, Serialize};
 use skinny_graph::{canonical_key, DfsCode, EmbeddingSet, SupportMeasure, VertexId};
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeSet, HashSet};
 
 /// A Stage-I seed for Stage-II growth: a canonical-diameter path, or a
 /// minimal odd cycle `C_{2l+1}` (which no path seed can reach).
@@ -88,30 +88,47 @@ impl<'a> LevelGrow<'a> {
     /// Grows the cluster seeded by one canonical diameter (a frequent path of
     /// admissible length) and returns all reported patterns of that cluster.
     pub fn grow_cluster(&self, seed: &PathPattern) -> ClusterOutcome {
-        self.grow_root(GrownPattern::from_path_pattern(seed))
+        self.grow_cluster_with(seed, &mut GrowScratch::new())
+    }
+
+    /// [`LevelGrow::grow_cluster`] with caller-provided (typically
+    /// per-worker) scratch tables.
+    pub fn grow_cluster_with(&self, seed: &PathPattern, scratch: &mut GrowScratch) -> ClusterOutcome {
+        self.grow_root(GrownPattern::from_path_pattern(seed), scratch)
     }
 
     /// Grows the cluster of any Stage-I seed — path or minimal cycle.
     pub fn grow_seed(&self, seed: &Seed) -> ClusterOutcome {
-        self.grow_root(seed.root())
+        self.grow_seed_with(seed, &mut GrowScratch::new())
+    }
+
+    /// [`LevelGrow::grow_seed`] with caller-provided (typically per-worker)
+    /// scratch tables, reused across every cluster the worker grows.
+    pub fn grow_seed_with(&self, seed: &Seed, scratch: &mut GrowScratch) -> ClusterOutcome {
+        self.grow_root(seed.root(), scratch)
     }
 
     /// Grows the cluster seeded by one minimal odd cycle `C_{2l+1}`.
     pub fn grow_cycle_cluster(&self, seed: &CyclePattern) -> ClusterOutcome {
-        self.grow_root(GrownPattern::from_cycle(seed))
+        self.grow_cycle_cluster_with(seed, &mut GrowScratch::new())
+    }
+
+    /// [`LevelGrow::grow_cycle_cluster`] with caller-provided scratch.
+    pub fn grow_cycle_cluster_with(&self, seed: &CyclePattern, scratch: &mut GrowScratch) -> ClusterOutcome {
+        self.grow_root(GrownPattern::from_cycle(seed), scratch)
     }
 
     /// Grows a cluster from its level-0 pattern.
-    fn grow_root(&self, root: GrownPattern) -> ClusterOutcome {
+    fn grow_root(&self, root: GrownPattern, scratch: &mut GrowScratch) -> ClusterOutcome {
         match self.config.exploration {
-            Exploration::Exhaustive => self.grow_cluster_exhaustive(root),
-            Exploration::ClosureJump => self.grow_cluster_closure(root),
+            Exploration::Exhaustive => self.grow_cluster_exhaustive(root, scratch),
+            Exploration::ClosureJump => self.grow_cluster_closure(root, scratch),
         }
     }
 
     /// Exhaustive exploration: every frequent constraint-satisfying pattern
     /// of the cluster is generated exactly once (canonical-code dedup).
-    fn grow_cluster_exhaustive(&self, root: GrownPattern) -> ClusterOutcome {
+    fn grow_cluster_exhaustive(&self, root: GrownPattern, scratch: &mut GrowScratch) -> ClusterOutcome {
         let mut outcome = ClusterOutcome::default();
         let mut seen: HashSet<DfsCode> = HashSet::new();
         seen.insert(canonical_key(&root.graph));
@@ -119,12 +136,13 @@ impl<'a> LevelGrow<'a> {
 
         while let Some(current) = worklist.pop() {
             outcome.examined += 1;
-            let current_support = current.support(self.config.support);
+            let current_support = current.embeddings.support_with(self.config.support, &mut scratch.support);
             let mut is_maximal = true;
             let mut is_closed = true;
 
-            for ext in self.candidate_extensions(&current) {
-                let Some((child, support)) = self.try_extension(&current, ext, &mut outcome.stats) else {
+            for ext in self.candidate_extensions(&current, scratch) {
+                let Some((child, support)) = self.try_extension(&current, ext, &mut outcome.stats, scratch)
+                else {
                     continue;
                 };
                 // a frequent constraint-preserving super-pattern exists
@@ -151,7 +169,7 @@ impl<'a> LevelGrow<'a> {
     /// support level, and branching happens only on support-dropping
     /// extensions.  Reports the cluster's closed (and maximal) patterns
     /// without enumerating the exponentially many non-closed sub-patterns.
-    fn grow_cluster_closure(&self, root: GrownPattern) -> ClusterOutcome {
+    fn grow_cluster_closure(&self, root: GrownPattern, scratch: &mut GrowScratch) -> ClusterOutcome {
         let mut outcome = ClusterOutcome::default();
         let mut seen: HashSet<DfsCode> = HashSet::new();
         seen.insert(canonical_key(&root.graph));
@@ -169,7 +187,8 @@ impl<'a> LevelGrow<'a> {
             //    application — the re-enumeration loop was quadratic in the
             //    closure length, dominating Stage II on large patterns.
             let mut closed = current;
-            let mut closed_support = closed.support(self.config.support);
+            let mut closed_support =
+                closed.embeddings.support_with(self.config.support, &mut scratch.support);
             // 2. the final (non-advancing) pass doubles as the branch step:
             //    every admissible child it finds is a support-changing
             //    extension of the now-closed pattern (a support-preserving one
@@ -179,7 +198,7 @@ impl<'a> LevelGrow<'a> {
             loop {
                 let mut advanced = false;
                 branches.clear();
-                for ext in self.candidate_extensions(&closed) {
+                for ext in self.candidate_extensions(&closed, scratch) {
                     // an earlier application in this pass may have already
                     // closed this pair
                     if let Extension::ClosingEdge { u, v, .. } = ext {
@@ -187,7 +206,9 @@ impl<'a> LevelGrow<'a> {
                             continue;
                         }
                     }
-                    if let Some((child, support)) = self.try_extension(&closed, ext, &mut outcome.stats) {
+                    if let Some((child, support)) =
+                        self.try_extension(&closed, ext, &mut outcome.stats, scratch)
+                    {
                         if support == closed_support {
                             closed = child;
                             closed_support = support;
@@ -233,10 +254,11 @@ impl<'a> LevelGrow<'a> {
         current: &GrownPattern,
         ext: Extension,
         stats: &mut MiningStats,
+        scratch: &mut GrowScratch,
     ) -> Option<(GrownPattern, usize)> {
         stats.level_grow.candidates_examined += 1;
-        let embeddings = current.extend_embeddings(&self.data, &ext);
-        let support = embeddings.support(self.config.support);
+        let embeddings = current.extend_embeddings_with(&self.data, &ext, &mut scratch.row_marks);
+        let support = embeddings.support_with(self.config.support, &mut scratch.support);
         if support < self.config.sigma {
             stats.rejected_infrequent += 1;
             return None;
@@ -278,26 +300,35 @@ impl<'a> LevelGrow<'a> {
     ///   canonical-diameter invariant — e.g. cycle closures;
     /// * closing edges between non-adjacent pattern vertices whose images are
     ///   adjacent in the data.
-    fn candidate_extensions(&self, pattern: &GrownPattern) -> BTreeSet<Extension> {
+    ///
+    /// Per-embedding state lives in the scratch's epoch-stamped tables: the
+    /// reverse image map is a dense O(1)-probe slot table and the attachment
+    /// edges accumulate in one flat reused buffer that is sorted and grouped
+    /// by outside vertex — no per-embedding hash map is ever built.  (The
+    /// extension set itself is a `BTreeSet`, so candidate order — and with it
+    /// the whole growth — is deterministic regardless of probe order.)
+    fn candidate_extensions(&self, pattern: &GrownPattern, scratch: &mut GrowScratch) -> BTreeSet<Extension> {
         /// Attachment degree up to which *all* multi-edge subsets are
         /// enumerated; beyond it only the full attachment set is tried (2^k
         /// subsets would dominate the runtime, and high-degree attachments
         /// are virtually always reachable through their sub-attachments).
         const FULL_SUBSET_DEGREE: usize = 6;
+        let GrowScratch { images, attachments, run_edges, subset, .. } = scratch;
         let mut out = BTreeSet::new();
         let delta = self.config.delta;
         let n = pattern.graph.vertex_count();
         for e in pattern.embeddings.iter() {
             // reverse map: data vertex -> pattern vertex for this embedding
-            let image_of: HashMap<VertexId, u32> =
-                e.vertices.iter().enumerate().map(|(p, &d)| (d, p as u32)).collect();
-            // attachment edges of each outside data vertex, keyed by vertex
-            let mut attachments: HashMap<VertexId, Vec<(u32, skinny_graph::Label)>> = HashMap::new();
+            images.reset();
+            for (p, &d) in e.vertices.iter().enumerate() {
+                images.set(d, p as u32);
+            }
+            attachments.clear();
             for p in 0..n as u32 {
                 let image = e.image(p as usize);
                 for (w, el) in self.data.neighbors(e.transaction, image) {
-                    match image_of.get(&w) {
-                        Some(&q) => {
+                    match images.get(w) {
+                        Some(q) => {
                             // a potential closing edge between pattern vertices p and q
                             if q <= p {
                                 continue;
@@ -317,20 +348,31 @@ impl<'a> LevelGrow<'a> {
                                 vertex_label: self.data.label(e.transaction, w),
                                 edge_label: el,
                             });
-                            attachments.entry(w).or_default().push((p, el));
+                            attachments.push((w, p, el));
                         }
                     }
                 }
             }
             // multi-edge attachments: subsets (size >= 2) of each outside
-            // vertex's attachment edge set
-            for (w, mut edges) in attachments {
-                if edges.len() < 2 {
-                    continue;
+            // vertex's attachment edge set, read off the sorted flat buffer
+            // one same-vertex run at a time
+            attachments.sort_unstable();
+            let mut start = 0usize;
+            while start < attachments.len() {
+                let w = attachments[start].0;
+                let mut end = start + 1;
+                while end < attachments.len() && attachments[end].0 == w {
+                    end += 1;
                 }
-                edges.sort_unstable();
-                edges.dedup();
-                let k = edges.len();
+                let run = &attachments[start..end];
+                start = end;
+                run_edges.clear();
+                for &(_, p, el) in run {
+                    if run_edges.last() != Some(&(p, el)) {
+                        run_edges.push((p, el));
+                    }
+                }
+                let k = run_edges.len();
                 if k < 2 {
                     continue;
                 }
@@ -340,12 +382,14 @@ impl<'a> LevelGrow<'a> {
                         if mask.count_ones() < 2 {
                             continue;
                         }
-                        let subset: Vec<(u32, skinny_graph::Label)> =
-                            (0..k).filter(|i| mask & (1 << i) != 0).map(|i| edges[i]).collect();
-                        out.insert(Extension::NewVertexMulti { vertex_label, edges: subset });
+                        subset.clear();
+                        subset.extend((0..k).filter(|i| mask & (1 << i) != 0).map(|i| run_edges[i]));
+                        insert_multi(&mut out, vertex_label, subset);
                     }
                 } else {
-                    out.insert(Extension::NewVertexMulti { vertex_label, edges });
+                    subset.clear();
+                    subset.extend_from_slice(run_edges);
+                    insert_multi(&mut out, vertex_label, subset);
                 }
             }
         }
@@ -389,6 +433,25 @@ impl<'a> LevelGrow<'a> {
             closed,
             maximal,
         })
+    }
+}
+
+/// Inserts a [`Extension::NewVertexMulti`] built from the reusable subset
+/// buffer, moving the buffer into the set only when the extension is new: a
+/// duplicate candidate (the common case — every embedding re-derives the same
+/// extensions) hands the buffer straight back without touching the allocator.
+fn insert_multi(
+    out: &mut BTreeSet<Extension>,
+    vertex_label: skinny_graph::Label,
+    subset: &mut Vec<(u32, skinny_graph::Label)>,
+) {
+    let probe = Extension::NewVertexMulti { vertex_label, edges: std::mem::take(subset) };
+    if out.contains(&probe) {
+        if let Extension::NewVertexMulti { edges, .. } = probe {
+            *subset = edges;
+        }
+    } else {
+        out.insert(probe);
     }
 }
 

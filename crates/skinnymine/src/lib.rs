@@ -102,10 +102,10 @@ pub use framework::{
     Continuous, DirectMiner, GraphConstraint, MaxDegreeConstraint, Reducible, RegularDegreeConstraint,
     SkinnyConstraint, SkinnyDirectMiner,
 };
-pub use grown::{Extension, GrownPattern};
+pub use grown::{Extension, GrowScratch, GrownPattern};
 pub use level_grow::{LevelGrow, Seed};
 pub use miner::SkinnyMine;
-pub use path_pattern::{PathKey, PathPattern};
+pub use path_pattern::{PathKey, PathPattern, PatternTable};
 pub use pattern_index::MinimalPatternIndex;
 pub use result::{MiningResult, SkinnyPattern};
 pub use stats::{MiningStats, StageStats};

@@ -9,6 +9,20 @@
 
 use serde::{Deserialize, Serialize};
 use skinny_graph::{GraphView, Label, LabeledGraph, OccurrenceStore, SupportMeasure, VertexId};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// True when the reversed orientation of `(vertex_labels, edge_labels)` is
+/// strictly smaller than the forward one — the canonical-orientation test,
+/// computed by paired iteration without materializing the reversal.
+fn reversed_is_smaller(vertex_labels: &[Label], edge_labels: &[Label]) -> bool {
+    use std::cmp::Ordering;
+    match vertex_labels.iter().rev().cmp(vertex_labels.iter()) {
+        Ordering::Less => true,
+        Ordering::Greater => false,
+        Ordering::Equal => edge_labels.iter().rev().cmp(edge_labels.iter()) == Ordering::Less,
+    }
+}
 
 /// The canonical identity of a labeled path: vertex labels and edge labels in
 /// canonical orientation.
@@ -24,16 +38,13 @@ impl PathKey {
     /// Builds the canonical key from a directed label sequence, returning the
     /// key and whether the sequence had to be reversed to reach canonical
     /// orientation.
-    pub fn canonical(vertex_labels: Vec<Label>, edge_labels: Vec<Label>) -> (PathKey, bool) {
-        let rev_v: Vec<Label> = vertex_labels.iter().rev().copied().collect();
-        let rev_e: Vec<Label> = edge_labels.iter().rev().copied().collect();
-        let fwd = (vertex_labels, edge_labels);
-        let rev = (rev_v, rev_e);
-        if rev < fwd {
-            (PathKey { vertex_labels: rev.0, edge_labels: rev.1 }, true)
-        } else {
-            (PathKey { vertex_labels: fwd.0, edge_labels: fwd.1 }, false)
+    pub fn canonical(mut vertex_labels: Vec<Label>, mut edge_labels: Vec<Label>) -> (PathKey, bool) {
+        let reversed = reversed_is_smaller(&vertex_labels, &edge_labels);
+        if reversed {
+            vertex_labels.reverse();
+            edge_labels.reverse();
         }
+        (PathKey { vertex_labels, edge_labels }, reversed)
     }
 
     /// Path length in edges.
@@ -49,9 +60,8 @@ impl PathKey {
     /// True when the key reads the same forwards and backwards, in which case
     /// occurrences additionally need an id-based orientation rule.
     pub fn is_palindromic(&self) -> bool {
-        let rev_v: Vec<Label> = self.vertex_labels.iter().rev().copied().collect();
-        let rev_e: Vec<Label> = self.edge_labels.iter().rev().copied().collect();
-        rev_v == self.vertex_labels && rev_e == self.edge_labels
+        self.vertex_labels.iter().rev().eq(self.vertex_labels.iter())
+            && self.edge_labels.iter().rev().eq(self.edge_labels.iter())
     }
 }
 
@@ -92,25 +102,37 @@ impl PathPattern {
     /// transaction `t` whose labels follow `reversed == false` forward /
     /// `reversed == true` backward relative to the canonical key.  The
     /// occurrence is re-oriented into canonical form before storage.
-    pub fn add_occurrence(&mut self, t: usize, mut vertices: Vec<VertexId>, reversed: bool) {
-        if reversed {
-            vertices.reverse();
-        }
-        if self.key.is_palindromic() {
+    pub fn add_occurrence(&mut self, t: usize, vertices: Vec<VertexId>, reversed: bool) {
+        self.add_occurrence_slice(t, &vertices, reversed);
+    }
+
+    /// [`PathPattern::add_occurrence`] over a borrowed vertex slice — the hot
+    /// joins' form: any required re-orientation happens while writing into
+    /// the columnar arena, so no intermediate `Vec` is ever allocated.
+    pub fn add_occurrence_slice(&mut self, t: usize, vertices: &[VertexId], reversed: bool) {
+        let flip = if self.key.is_palindromic() {
             // palindromic pattern: both orientations match the key, pick the
             // id-smaller one so each undirected occurrence is stored once
-            let rev: Vec<VertexId> = vertices.iter().rev().copied().collect();
-            if rev < vertices {
-                vertices = rev;
-            }
+            vertices.iter().rev().lt(vertices.iter())
+        } else {
+            reversed
+        };
+        if flip {
+            self.embeddings.push_row_reversed(t, vertices);
+        } else {
+            self.embeddings.push_row(t, vertices);
         }
-        self.embeddings.push_row(t, &vertices);
     }
 
     /// Removes exact duplicate occurrences (same transaction and vertex
     /// sequence).
     pub fn dedup(&mut self) {
         self.embeddings.dedup_exact();
+    }
+
+    /// [`PathPattern::dedup`] with caller-provided (reused) scratch buffers.
+    pub fn dedup_with(&mut self, scratch: &mut skinny_graph::SupportScratch) {
+        self.embeddings.dedup_exact_with(scratch);
     }
 
     /// Materializes the pattern as a standalone path-shaped [`LabeledGraph`]
@@ -136,6 +158,117 @@ impl PathPattern {
             .map(|w| graph.edge_label(w[0], w[1]).unwrap_or(Label::DEFAULT_EDGE))
             .collect();
         PathKey::canonical(vlabels, elabels)
+    }
+
+    /// Fills `vertex_labels` / `edge_labels` with the **canonical-orientation**
+    /// label sequences of a directed occurrence, reusing the caller's buffers
+    /// (the allocation-free form of [`PathPattern::key_of_occurrence`]).
+    /// Returns whether the occurrence reads reversed relative to the result.
+    pub fn canonical_labels_into<G: GraphView>(
+        graph: &G,
+        vertices: &[VertexId],
+        vertex_labels: &mut Vec<Label>,
+        edge_labels: &mut Vec<Label>,
+    ) -> bool {
+        vertex_labels.clear();
+        vertex_labels.extend(vertices.iter().map(|&v| graph.label(v)));
+        edge_labels.clear();
+        edge_labels
+            .extend(vertices.windows(2).map(|w| graph.edge_label(w[0], w[1]).unwrap_or(Label::DEFAULT_EDGE)));
+        let reversed = reversed_is_smaller(vertex_labels, edge_labels);
+        if reversed {
+            vertex_labels.reverse();
+            edge_labels.reverse();
+        }
+        reversed
+    }
+}
+
+/// An interning pattern table — the accumulator of the Stage-I occurrence
+/// joins.
+///
+/// Patterns occupy dense slots in **sequential first-occurrence order**, and
+/// the hot-path lookup is two-phase: a hash computed over *borrowed* label
+/// slices selects a small candidate bucket, and a full label comparison picks
+/// the slot.  A join row therefore never clones a [`PathKey`] and never
+/// rehashes an owned key — the only allocations happen when a *new* pattern
+/// is first seen, so the join's allocation volume is proportional to emitted
+/// patterns, not scanned rows.
+#[derive(Debug, Default)]
+pub struct PatternTable {
+    /// Patterns in first-occurrence order.
+    slots: Vec<PathPattern>,
+    /// Label-sequence hash → candidate slot indices (collisions resolved by
+    /// a full label comparison).
+    lookup: HashMap<u64, Vec<u32>>,
+}
+
+impl PatternTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        PatternTable::default()
+    }
+
+    /// Number of distinct patterns interned.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no pattern has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    fn hash_labels(vertex_labels: &[Label], edge_labels: &[Label]) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        vertex_labels.hash(&mut h);
+        edge_labels.hash(&mut h);
+        h.finish()
+    }
+
+    /// The pattern slot of the canonical key given as borrowed label slices,
+    /// created empty on first occurrence (the only point that allocates).
+    pub fn slot_for(&mut self, vertex_labels: &[Label], edge_labels: &[Label]) -> &mut PathPattern {
+        let h = Self::hash_labels(vertex_labels, edge_labels);
+        let found = self.lookup.get(&h).and_then(|bucket| {
+            bucket.iter().copied().find(|&i| {
+                let key = &self.slots[i as usize].key;
+                key.vertex_labels.as_slice() == vertex_labels && key.edge_labels.as_slice() == edge_labels
+            })
+        });
+        let idx = match found {
+            Some(i) => i as usize,
+            None => {
+                let idx = self.slots.len();
+                self.slots.push(PathPattern::new(PathKey {
+                    vertex_labels: vertex_labels.to_vec(),
+                    edge_labels: edge_labels.to_vec(),
+                }));
+                self.lookup.entry(h).or_default().push(idx as u32);
+                idx
+            }
+        };
+        &mut self.slots[idx]
+    }
+
+    /// Merges `other` into this table **in `other`'s slot order**, appending
+    /// occurrence lists of shared patterns — the parallel joins' chunk-order
+    /// merge, which keeps every pattern's occurrence order identical to the
+    /// sequential run.
+    pub fn merge(&mut self, other: PatternTable) {
+        for pattern in other.slots {
+            let slot = self.slot_for(&pattern.key.vertex_labels, &pattern.key.edge_labels);
+            if slot.embeddings.is_empty() {
+                *slot = pattern;
+            } else {
+                slot.embeddings.append(pattern.embeddings);
+            }
+        }
+    }
+
+    /// Consumes the table, returning the patterns in first-occurrence order.
+    pub fn into_patterns(self) -> Vec<PathPattern> {
+        self.slots
     }
 }
 

@@ -300,12 +300,14 @@ impl MinimalPatternIndex {
         let outcomes = skinny_pool::run_with(
             config.threads,
             path_seeds.len() + cycle_seeds.len(),
-            || LevelGrow::new(serve_data.clone(), config),
-            |grower, i| {
+            // per-worker grower *and* join-engine scratch, reused across all
+            // the clusters the worker grows or steals
+            || (LevelGrow::new(serve_data.clone(), config), crate::grown::GrowScratch::new()),
+            |(grower, scratch), i| {
                 if i < path_seeds.len() {
-                    grower.grow_cluster(path_seeds[i])
+                    grower.grow_cluster_with(path_seeds[i], scratch)
                 } else {
-                    grower.grow_cycle_cluster(cycle_seeds[i - path_seeds.len()])
+                    grower.grow_cycle_cluster_with(cycle_seeds[i - path_seeds.len()], scratch)
                 }
             },
         );

@@ -1,0 +1,168 @@
+//! Allocation accounting of the mining hot loops.
+//!
+//! The occurrence join engine's contract is that the per-row work of Stage
+//! I's concat/merge joins and Stage II's extension enumeration performs
+//! **zero heap allocation on the reject path**: a scanned row that produces
+//! no output touches only epoch-stamped marks and reused buffers.  Total
+//! allocation per join call is therefore proportional to *emitted patterns*
+//! (plus a small constant for the index build and scratch), never to
+//! *scanned rows*.
+//!
+//! This binary installs a counting `#[global_allocator]` and drives the
+//! three hot loops over fixtures with hundreds of scanned rows and zero (or
+//! one) emitted patterns, asserting the allocation-event count stays far
+//! below the scanned-row count.  Everything runs inside one `#[test]` so no
+//! concurrent test thread can pollute the counter.
+
+use skinny_graph::{Label, LabeledGraph, SupportMeasure, VertexMarks};
+use skinnymine::{DiamMine, Extension, GrownPattern, MiningData};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts allocation events (alloc + realloc) on top of the system allocator.
+struct CountingAlloc;
+
+static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn alloc_events() -> u64 {
+    ALLOC_EVENTS.load(Ordering::Relaxed)
+}
+
+fn counted<T>(f: impl FnOnce() -> T) -> (u64, T) {
+    let before = alloc_events();
+    let value = f();
+    (alloc_events() - before, value)
+}
+
+fn l(x: u32) -> Label {
+    Label(x)
+}
+
+/// A perfect matching: `n` disjoint edges, all vertices label 0.  Every
+/// concat candidate pair is the edge and its own reversal, so the join scans
+/// `2n` directed rows, probes `2n` candidate pairs and emits nothing.
+fn matching_graph(n: u32) -> LabeledGraph {
+    let labels = vec![l(0); 2 * n as usize];
+    let edges: Vec<(u32, u32)> = (0..n).map(|i| (2 * i, 2 * i + 1)).collect();
+    LabeledGraph::from_unlabeled_edges(&labels, edges).unwrap()
+}
+
+/// `n` disjoint triangles, all label 0.  Length-2 paths abound, but merging
+/// two of them into a length-3 path always revisits a vertex, so the merge
+/// join scans and probes hundreds of rows and emits nothing.
+fn triangles_graph(n: u32) -> LabeledGraph {
+    let labels = vec![l(0); 3 * n as usize];
+    let mut edges = Vec::new();
+    for i in 0..n {
+        let b = 3 * i;
+        edges.extend([(b, b + 1), (b + 1, b + 2), (b, b + 2)]);
+    }
+    LabeledGraph::from_unlabeled_edges(&labels, edges).unwrap()
+}
+
+/// `n` disjoint labeled paths a–b–c: concat emits exactly one pattern from
+/// `4n` scanned directed rows.
+fn labeled_paths_graph(n: u32) -> LabeledGraph {
+    let mut labels = Vec::new();
+    let mut edges = Vec::new();
+    for i in 0..n {
+        let b = 3 * i;
+        labels.extend([l(0), l(1), l(2)]);
+        edges.extend([(b, b + 1), (b + 1, b + 2)]);
+    }
+    LabeledGraph::from_unlabeled_edges(&labels, edges).unwrap()
+}
+
+#[test]
+fn hot_loops_allocate_per_pattern_not_per_row() {
+    // ---- Stage I concat: reject path ------------------------------------
+    let g = matching_graph(300);
+    let dm = DiamMine::new(MiningData::Single(&g), 1, SupportMeasure::DistinctVertexSets);
+    let len1 = dm.frequent_edges();
+    assert_eq!(len1.len(), 1);
+    let scanned_rows = 2 * len1[0].embeddings.len() as u64; // both orientations
+    assert_eq!(scanned_rows, 600);
+    let _warmup = dm.concat_double(&len1);
+    let (concat_allocs, len2) = counted(|| dm.concat_double(&len1));
+    assert!(len2.is_empty(), "a matching has no length-2 path");
+    assert!(
+        concat_allocs < scanned_rows / 4,
+        "concat reject path allocated {concat_allocs} times for {scanned_rows} scanned rows — \
+         the reject path must not allocate per row"
+    );
+
+    // ---- Stage I merge: reject path -------------------------------------
+    let g = triangles_graph(200);
+    let dm = DiamMine::new(MiningData::Single(&g), 1, SupportMeasure::DistinctVertexSets);
+    let len2 = dm.concat_double(&dm.frequent_edges());
+    assert_eq!(len2.len(), 1, "all length-2 paths share the all-zero label pattern");
+    let scanned_rows = 2 * len2[0].embeddings.len() as u64;
+    assert!(scanned_rows >= 1000, "fixture must scan many rows, got {scanned_rows}");
+    let _warmup = dm.merge_to_length(&len2, 3);
+    let (merge_allocs, len3) = counted(|| dm.merge_to_length(&len2, 3));
+    assert!(len3.is_empty(), "a length-3 path needs 4 distinct vertices — impossible in a triangle");
+    assert!(
+        merge_allocs < scanned_rows / 4,
+        "merge reject path allocated {merge_allocs} times for {scanned_rows} scanned rows — \
+         the reject path must not allocate per row"
+    );
+
+    // ---- Stage II extension enumeration: reject path --------------------
+    let g = matching_graph(300);
+    let data = MiningData::Single(&g);
+    let dm = DiamMine::new(data.clone(), 1, SupportMeasure::DistinctVertexSets);
+    let len1 = dm.frequent_edges();
+    let pattern = GrownPattern::from_path_pattern(&len1[0]);
+    let rows = pattern.embeddings.len() as u64;
+    assert_eq!(rows, 300);
+    // no vertex labeled 9 exists: every neighbor probe of every row rejects
+    let ext = Extension::NewVertex { attach: 0, vertex_label: l(9), edge_label: Label::DEFAULT_EDGE };
+    let mut marks = VertexMarks::new();
+    let _warmup = pattern.extend_embeddings_with(&data, &ext, &mut marks);
+    let (ext_allocs, extended) = counted(|| pattern.extend_embeddings_with(&data, &ext, &mut marks));
+    assert!(extended.is_empty());
+    assert!(
+        ext_allocs < 32,
+        "extension reject path allocated {ext_allocs} times for {rows} scanned rows — \
+         with warm marks it must allocate at most a handful of times"
+    );
+
+    // ---- accept path: allocation tracks emitted patterns ----------------
+    let g = labeled_paths_graph(200);
+    let dm = DiamMine::new(MiningData::Single(&g), 1, SupportMeasure::DistinctVertexSets);
+    let len1 = dm.frequent_edges();
+    assert_eq!(len1.len(), 2);
+    let scanned_rows = 2 * rows_of(&len1);
+    let _warmup = dm.concat_double(&len1);
+    let (accept_allocs, len2) = counted(|| dm.concat_double(&len1));
+    assert_eq!(len2.len(), 1, "one length-2 pattern emitted");
+    assert_eq!(len2[0].embeddings.len(), 200);
+    assert!(
+        accept_allocs < scanned_rows / 4,
+        "concat accept path allocated {accept_allocs} times for {scanned_rows} scanned rows and \
+         1 emitted pattern — occurrence rows must amortize into the arena"
+    );
+}
+
+fn rows_of(paths: &[skinnymine::PathPattern]) -> u64 {
+    paths.iter().map(|p| p.embeddings.len() as u64).sum()
+}
