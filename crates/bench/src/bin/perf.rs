@@ -84,6 +84,17 @@ fn main() {
             j.join, j.before_hashmap_seconds, j.after_indexed_seconds, j.speedup
         );
     }
+    eprintln!(
+        "  grow: reference {:.4}s -> indexed {:.4}s ({:.2}x; candidates {:.3}s, check {:.3}s, \
+         extend {:.3}s, support {:.3}s)",
+        bench.grow.before_reference_seconds,
+        bench.grow.after_indexed_seconds,
+        bench.grow.speedup,
+        bench.grow.phases.candidates.as_secs_f64(),
+        bench.grow.phases.check.as_secs_f64(),
+        bench.grow.phases.extend.as_secs_f64(),
+        bench.grow.phases.support.as_secs_f64(),
+    );
     match out {
         Some(path) => {
             std::fs::write(&path, json).unwrap_or_else(|e| {

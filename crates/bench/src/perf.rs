@@ -1,9 +1,15 @@
 //! The `perf` experiment: wall-clock timings of the Stage-I/II hot phases
 //! (seed enumeration, path concatenation, overlap merge, cluster growth) on
-//! a datagen preset, plus a **before/after** comparison of the Stage-I
-//! occurrence joins — the retained reference hash-map joins
-//! (`DiamMine::concat_double_reference` / `merge_to_length_reference`)
-//! against the endpoint-indexed engine that replaced them.
+//! a datagen preset, plus **before/after** comparisons of the engines that
+//! replaced the naive hot loops:
+//!
+//! * Stage-I occurrence joins — the retained reference hash-map joins
+//!   (`DiamMine::concat_double_reference` / `merge_to_length_reference`)
+//!   against the endpoint-indexed engine;
+//! * Stage-II growth — the retained reference candidate loop
+//!   ([`skinnymine::GrowEngine::Reference`], full re-scan per candidate)
+//!   against the extension-indexed engine, with the grow sub-timings
+//!   (candidates / check / extend / support) of the indexed run.
 //!
 //! The result serializes to the `BENCH_stage1.json` schema (emitted by the
 //! `perf` binary and archived by CI); [`check_schema`] validates a JSON
@@ -13,8 +19,8 @@
 use crate::experiments::Scale;
 use skinny_graph::SupportMeasure;
 use skinnymine::{
-    DiamMine, Exploration, LengthConstraint, MiningData, PathPattern, ReportMode, SkinnyMine,
-    SkinnyMineConfig,
+    DiamMine, Exploration, GrowEngine, GrowPhaseStats, LengthConstraint, MiningData, MiningResult,
+    PathPattern, ReportMode, SkinnyMine, SkinnyMineConfig,
 };
 use std::time::Instant;
 
@@ -44,6 +50,20 @@ pub struct JoinComparison {
     pub speedup: f64,
 }
 
+/// Before/after wall-clock comparison of the Stage-II grow engines, with
+/// the sub-phase breakdown of the indexed run.
+#[derive(Debug, Clone)]
+pub struct GrowComparison {
+    /// Seconds of the reference full re-scan engine (best of repetitions).
+    pub before_reference_seconds: f64,
+    /// Seconds of the extension-indexed engine (best of repetitions).
+    pub after_indexed_seconds: f64,
+    /// `before / after`.
+    pub speedup: f64,
+    /// Grow sub-timings of the best indexed run.
+    pub phases: GrowPhaseStats,
+}
+
 /// The full `perf` experiment result.
 #[derive(Debug, Clone)]
 pub struct Stage1Bench {
@@ -65,6 +85,8 @@ pub struct Stage1Bench {
     pub phases: Vec<PhaseTiming>,
     /// Before/after join comparisons.
     pub joins: Vec<JoinComparison>,
+    /// Before/after Stage-II grow-engine comparison.
+    pub grow: GrowComparison,
 }
 
 /// Measured repetitions per timed section (the minimum is reported, which is
@@ -134,20 +156,25 @@ pub fn run_stage1_perf(scale: Scale) -> Stage1Bench {
         .with_exploration(Exploration::ClosureJump);
     // Stage II only: a full mine runs per repetition, but the reported
     // number is the run's LevelGrow stage duration, so "grow" does not
-    // double-count the separately reported Stage-I phases
-    let mut best_grow = f64::INFINITY;
-    let mut grow_patterns = 0usize;
-    for _ in 0..REPS {
-        let result = SkinnyMine::new(config.clone()).mine(&graph).expect("valid config");
-        best_grow = best_grow.min(result.stats.level_grow.duration.as_secs_f64());
-        grow_patterns = result.patterns.len();
-    }
+    // double-count the separately reported Stage-I phases.  The
+    // extension-indexed engine (the default) is the "grow" phase; the
+    // retained reference engine is timed identically for the before/after.
+    let (best_grow, indexed_result) = best_grow_run(&config, &graph);
     phases.push(PhaseTiming {
         name: "grow".to_string(),
         seconds: best_grow,
-        patterns: grow_patterns,
+        patterns: indexed_result.patterns.len(),
         rows: 0,
     });
+    let (before_grow, reference_result) =
+        best_grow_run(&config.clone().with_grow_engine(GrowEngine::Reference), &graph);
+    assert_grow_engines_agree(&reference_result, &indexed_result);
+    let grow = GrowComparison {
+        before_reference_seconds: before_grow,
+        after_indexed_seconds: best_grow,
+        speedup: before_grow / best_grow.max(f64::MIN_POSITIVE),
+        phases: indexed_result.stats.grow_phases.clone(),
+    };
 
     // before/after: the reference hash-map joins vs the indexed engine, on
     // identical inputs; outputs are asserted byte-identical as a side check
@@ -171,7 +198,7 @@ pub fn run_stage1_perf(scale: Scale) -> Stage1Bench {
     ];
 
     Stage1Bench {
-        schema_version: 1,
+        schema_version: 2,
         preset: "fig16-er-deg3-f10".to_string(),
         divisor: scale.divisor,
         seed: scale.seed,
@@ -180,6 +207,38 @@ pub fn run_stage1_perf(scale: Scale) -> Stage1Bench {
         sigma,
         phases,
         joins,
+        grow,
+    }
+}
+
+/// Mines `graph` [`REPS`] times with `config` and returns the best LevelGrow
+/// stage duration together with the result of that best repetition (whose
+/// grow sub-timings belong to the reported number).
+fn best_grow_run(config: &SkinnyMineConfig, graph: &skinny_graph::LabeledGraph) -> (f64, MiningResult) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..REPS {
+        let result = SkinnyMine::new(config.clone()).mine(graph).expect("valid config");
+        let seconds = result.stats.level_grow.duration.as_secs_f64();
+        if seconds < best {
+            best = seconds;
+            out = Some(result);
+        }
+    }
+    (best, out.expect("REPS >= 1"))
+}
+
+/// Asserts the reference and indexed grow engines mined **byte-identical**
+/// patterns: same order, same structure, same support, same embeddings.
+fn assert_grow_engines_agree(reference: &MiningResult, indexed: &MiningResult) {
+    assert_eq!(reference.patterns.len(), indexed.patterns.len(), "grow: pattern counts diverge");
+    for (r, x) in reference.patterns.iter().zip(&indexed.patterns) {
+        assert_eq!(r.vertex_count(), x.vertex_count(), "grow: pattern sizes diverge");
+        assert_eq!(r.edge_count(), x.edge_count(), "grow: pattern sizes diverge");
+        assert_eq!(r.diameter_labels, x.diameter_labels, "grow: clusters diverge");
+        assert_eq!(r.support, x.support, "grow: supports diverge");
+        assert_eq!((r.closed, r.maximal), (x.closed, x.maximal), "grow: flags diverge");
+        assert_eq!(r.embeddings.embeddings, x.embeddings.embeddings, "grow: embeddings diverge");
     }
 }
 
@@ -220,7 +279,23 @@ impl Stage1Bench {
                 if i + 1 < self.joins.len() { "," } else { "" }
             ));
         }
-        s.push_str("  ]\n}\n");
+        s.push_str("  ],\n");
+        s.push_str("  \"grow\": {\n");
+        s.push_str(&format!(
+            "    \"before_reference_seconds\": {:.6},\n",
+            self.grow.before_reference_seconds
+        ));
+        s.push_str(&format!("    \"after_indexed_seconds\": {:.6},\n", self.grow.after_indexed_seconds));
+        s.push_str(&format!("    \"speedup\": {:.3},\n", self.grow.speedup));
+        s.push_str(&format!(
+            "    \"phases\": {{\"candidates_seconds\": {:.6}, \"check_seconds\": {:.6}, \
+             \"extend_seconds\": {:.6}, \"support_seconds\": {:.6}}}\n",
+            self.grow.phases.candidates.as_secs_f64(),
+            self.grow.phases.check.as_secs_f64(),
+            self.grow.phases.extend.as_secs_f64(),
+            self.grow.phases.support.as_secs_f64(),
+        ));
+        s.push_str("  }\n}\n");
         s
     }
 }
@@ -392,8 +467,9 @@ impl<'a> Reader<'a> {
 }
 
 /// Validates a JSON document against the `BENCH_stage1.json` schema: the
-/// top-level metadata fields, at least the five canonical phases, and both
-/// join comparisons with finite non-negative timings.  Timings themselves are
+/// top-level metadata fields, at least the five canonical phases, both join
+/// comparisons, and the Stage-II grow comparison with its four sub-timing
+/// fields — all with finite non-negative timings.  Timings themselves are
 /// machine-dependent and never gated on.
 pub fn check_schema(text: &str) -> Result<(), String> {
     let doc = Reader::new(text).value()?;
@@ -403,7 +479,7 @@ pub fn check_schema(text: &str) -> Result<(), String> {
             .filter(|x| x.is_finite() && *x >= 0.0)
             .ok_or_else(|| format!("missing or invalid numeric field \"{key}\""))
     };
-    if num_field(&doc, "schema_version")? != 1.0 {
+    if num_field(&doc, "schema_version")? != 2.0 {
         return Err("unsupported schema_version".to_string());
     }
     match doc.get("experiment") {
@@ -449,6 +525,18 @@ pub fn check_schema(text: &str) -> Result<(), String> {
             return Err(format!("missing join comparison \"{required}\""));
         }
     }
+    let Some(grow @ Json::Obj(_)) = doc.get("grow") else {
+        return Err("missing \"grow\" comparison object".to_string());
+    };
+    for key in ["before_reference_seconds", "after_indexed_seconds", "speedup"] {
+        num_field(grow, key)?;
+    }
+    let Some(grow_phases @ Json::Obj(_)) = grow.get("phases") else {
+        return Err("missing grow sub-timing object \"phases\"".to_string());
+    };
+    for key in ["candidates_seconds", "check_seconds", "extend_seconds", "support_seconds"] {
+        num_field(grow_phases, key)?;
+    }
     Ok(())
 }
 
@@ -468,9 +556,42 @@ mod tests {
     fn schema_check_rejects_malformed_documents() {
         assert!(check_schema("{}").is_err());
         assert!(check_schema("not json").is_err());
-        assert!(check_schema("{\"schema_version\": 2}").is_err());
-        let truncated = "{\"schema_version\": 1, \"experiment\": \"stage1_perf\"}";
+        // the pre-grow schema version is no longer accepted
+        assert!(check_schema("{\"schema_version\": 1}").is_err());
+        let truncated = "{\"schema_version\": 2, \"experiment\": \"stage1_perf\"}";
         assert!(check_schema(truncated).is_err());
+    }
+
+    #[test]
+    fn schema_check_requires_grow_sub_timings() {
+        // a handwritten minimal valid document; mutations of its grow
+        // section must be rejected
+        let phase =
+            |n: &str| format!("{{\"name\": \"{n}\", \"seconds\": 0.1, \"patterns\": 1, \"rows\": 1}}");
+        let join = |n: &str| {
+            format!(
+                "{{\"join\": \"{n}\", \"before_hashmap_seconds\": 0.2, \
+                 \"after_indexed_seconds\": 0.1, \"speedup\": 2.0}}"
+            )
+        };
+        let valid = format!(
+            "{{\"schema_version\": 2, \"experiment\": \"stage1_perf\", \"divisor\": 4, \"seed\": 1, \
+             \"vertices\": 10, \"edges\": 9, \"sigma\": 2, \"phases\": [{}], \"joins\": [{}, {}], \
+             \"grow\": {{\"before_reference_seconds\": 0.4, \"after_indexed_seconds\": 0.2, \
+             \"speedup\": 2.0, \"phases\": {{\"candidates_seconds\": 0.1, \"check_seconds\": 0.02, \
+             \"extend_seconds\": 0.05, \"support_seconds\": 0.03}}}}}}",
+            ["seed", "concat2", "concat4", "merge6", "grow"].map(phase).join(", "),
+            join("concat"),
+            join("merge"),
+        );
+        check_schema(&valid).expect("handwritten document must satisfy the schema");
+        let without_grow = valid.replace("\"grow\": {\"before", "\"grown\": {\"before");
+        assert!(check_schema(&without_grow).unwrap_err().contains("grow"));
+        let without_phases =
+            valid.replace("\"phases\": {\"candidates_seconds\"", "\"p\": {\"candidates_seconds\"");
+        assert!(check_schema(&without_phases).is_err());
+        let negative = valid.replace("\"extend_seconds\": 0.05", "\"extend_seconds\": -1");
+        assert!(check_schema(&negative).is_err());
     }
 
     #[test]

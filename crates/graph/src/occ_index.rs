@@ -69,32 +69,19 @@ impl<'a> OccurrenceIndex<'a> {
         let rows = store.len();
         let mut groups: HashMap<(u32, &'a [VertexId]), u32> = HashMap::with_capacity(rows);
         let mut group_of_row: Vec<u32> = Vec::with_capacity(rows);
-        let mut counts: Vec<u32> = Vec::new();
+        let mut ngroups = 0u32;
         for i in 0..rows {
             let key = (store.transaction(i) as u32, &store.row(i)[..prefix_len]);
-            let next = counts.len() as u32;
-            let g = *groups.entry(key).or_insert(next);
-            if g == next {
-                counts.push(0);
-            }
-            counts[g as usize] += 1;
+            let g = *groups.entry(key).or_insert_with(|| {
+                let g = ngroups;
+                ngroups += 1;
+                g
+            });
             group_of_row.push(g);
         }
-        // exclusive prefix sums -> group offsets, then a stable counting sort
-        // of the row ids into one contiguous posting buffer
-        let mut offsets: Vec<u32> = Vec::with_capacity(counts.len() + 1);
-        let mut acc = 0u32;
-        offsets.push(0);
-        for &c in &counts {
-            acc += c;
-            offsets.push(acc);
-        }
-        let mut cursor: Vec<u32> = offsets[..counts.len()].to_vec();
-        let mut postings = vec![0u32; rows];
-        for (i, &g) in group_of_row.iter().enumerate() {
-            postings[cursor[g as usize] as usize] = i as u32;
-            cursor[g as usize] += 1;
-        }
+        let mut offsets = Vec::new();
+        let mut postings = Vec::new();
+        GroupSorter::new().group_into(&group_of_row, ngroups as usize, &mut offsets, &mut postings);
         OccurrenceIndex { prefix_len, groups, offsets, postings }
     }
 
@@ -219,6 +206,161 @@ impl VertexSlots {
             Some(self.value[v.index()])
         } else {
             None
+        }
+    }
+}
+
+/// Reusable stable counting-sort grouping: turns a `group id per item` map
+/// into CSR-style `(offsets, order)` posting lists whose per-group order is
+/// the original item order.
+///
+/// This is the grouping kernel behind [`OccurrenceIndex::by_prefix`] and the
+/// Stage-II extension table: both need "all items of group g, in
+/// first-to-last discovery order" without building one `Vec` per group.  The
+/// counts buffer is reused across calls, so steady-state grouping allocates
+/// only when the output vectors grow.
+#[derive(Debug, Default)]
+pub struct GroupSorter {
+    counts: Vec<u32>,
+}
+
+impl GroupSorter {
+    /// Creates an empty sorter (buffers grow on first use, then stay).
+    pub fn new() -> Self {
+        GroupSorter::default()
+    }
+
+    /// Groups `0..group_of_item.len()` by `group_of_item[i] < ngroups`.
+    ///
+    /// On return `offsets` holds `ngroups + 1` exclusive prefix sums and
+    /// `order[offsets[g]..offsets[g + 1]]` lists the items of group `g` in
+    /// ascending item order (the sort is stable).  Both outputs are
+    /// overwritten, not appended to.
+    pub fn group_into(
+        &mut self,
+        group_of_item: &[u32],
+        ngroups: usize,
+        offsets: &mut Vec<u32>,
+        order: &mut Vec<u32>,
+    ) {
+        self.counts.clear();
+        self.counts.resize(ngroups, 0);
+        for &g in group_of_item {
+            self.counts[g as usize] += 1;
+        }
+        offsets.clear();
+        offsets.reserve(ngroups + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for &c in &self.counts {
+            acc += c;
+            offsets.push(acc);
+        }
+        // reuse the counts buffer as the write cursor of each group
+        self.counts.copy_from_slice(&offsets[..ngroups]);
+        order.clear();
+        order.resize(group_of_item.len(), 0);
+        for (i, &g) in group_of_item.iter().enumerate() {
+            order[self.counts[g as usize] as usize] = i as u32;
+            self.counts[g as usize] += 1;
+        }
+    }
+}
+
+/// A dense epoch-stamped set of `u128` keys (open addressing, linear
+/// probing): `O(1)` insert/test, `O(1)` reset via epoch bump, zero
+/// allocation after warm-up.
+///
+/// Where [`VertexMarks`] answers "was this *data vertex* seen in the current
+/// row", `KeyMarks` answers the same question for composite keys — e.g. the
+/// `(attach vertex, vertex label, edge label)` triple of a candidate
+/// extension, packed into one `u128` — so per-row probe deduplication never
+/// touches an ordered container.
+#[derive(Debug, Clone)]
+pub struct KeyMarks {
+    /// Current epoch; starts at 1 so zero-initialized stamps are unmarked.
+    epoch: u32,
+    stamp: Vec<u32>,
+    key: Vec<u128>,
+    /// Keys inserted in the current epoch (drives the load-factor growth).
+    live: usize,
+}
+
+impl Default for KeyMarks {
+    fn default() -> Self {
+        KeyMarks { epoch: 1, stamp: Vec::new(), key: Vec::new(), live: 0 }
+    }
+}
+
+impl KeyMarks {
+    /// Creates an empty set (the table grows on demand).
+    pub fn new() -> Self {
+        KeyMarks::default()
+    }
+
+    /// Starts a fresh empty set: O(1) except on epoch wrap-around.
+    pub fn reset(&mut self) {
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.live = 0;
+    }
+
+    #[inline]
+    fn slot(stamp: &[u32], key: &[u128], epoch: u32, k: u128) -> (usize, bool) {
+        // multiply-fold hash of both halves; the table length is a power of two
+        let mask = stamp.len() - 1;
+        let h = ((k as u64) ^ (k >> 64) as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut i = (h >> 32) as usize & mask;
+        loop {
+            if stamp[i] != epoch {
+                return (i, false);
+            }
+            if key[i] == k {
+                return (i, true);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Inserts `k`; returns `true` when it was not in the set yet.
+    pub fn insert(&mut self, k: u128) -> bool {
+        if self.stamp.is_empty() || self.live * 8 >= self.stamp.len() * 7 {
+            self.grow();
+        }
+        let (i, present) = Self::slot(&self.stamp, &self.key, self.epoch, k);
+        if present {
+            return false;
+        }
+        self.stamp[i] = self.epoch;
+        self.key[i] = k;
+        self.live += 1;
+        true
+    }
+
+    /// True when `k` is in the set.
+    pub fn contains(&self, k: u128) -> bool {
+        if self.stamp.is_empty() {
+            return false;
+        }
+        Self::slot(&self.stamp, &self.key, self.epoch, k).1
+    }
+
+    /// Doubles the table, re-inserting the current epoch's keys (growth can
+    /// strike mid-epoch, so live entries must survive the rehash).
+    fn grow(&mut self) {
+        let cap = (self.stamp.len() * 2).max(64);
+        let old_stamp = std::mem::replace(&mut self.stamp, vec![0; cap]);
+        let old_key = std::mem::replace(&mut self.key, vec![0; cap]);
+        for (s, k) in old_stamp.into_iter().zip(old_key) {
+            if s == self.epoch {
+                let (i, present) = Self::slot(&self.stamp, &self.key, self.epoch, k);
+                debug_assert!(!present, "rehash re-inserts distinct keys");
+                self.stamp[i] = self.epoch;
+                self.key[i] = k;
+            }
         }
     }
 }
@@ -360,6 +502,60 @@ mod tests {
         assert_eq!(s.get(VertexId(5)), Some(9));
         s.reset();
         assert_eq!(s.get(VertexId(5)), None);
+    }
+
+    #[test]
+    fn group_sorter_is_stable_and_reusable() {
+        let mut sorter = GroupSorter::new();
+        let mut offsets = Vec::new();
+        let mut order = Vec::new();
+        sorter.group_into(&[1, 0, 1, 2, 0, 1], 3, &mut offsets, &mut order);
+        assert_eq!(offsets, vec![0, 2, 5, 6]);
+        assert_eq!(&order[0..2], &[1, 4]);
+        assert_eq!(&order[2..5], &[0, 2, 5]);
+        assert_eq!(&order[5..6], &[3]);
+        // reuse with a different shape overwrites the outputs
+        sorter.group_into(&[0, 0], 1, &mut offsets, &mut order);
+        assert_eq!(offsets, vec![0, 2]);
+        assert_eq!(order, vec![0, 1]);
+        sorter.group_into(&[], 0, &mut offsets, &mut order);
+        assert_eq!(offsets, vec![0]);
+        assert!(order.is_empty());
+    }
+
+    #[test]
+    fn key_marks_insert_reset_and_grow() {
+        let mut m = KeyMarks::new();
+        assert!(!m.contains(7));
+        assert!(m.insert(7));
+        assert!(!m.insert(7));
+        assert!(m.contains(7));
+        m.reset();
+        assert!(!m.contains(7));
+        assert!(m.insert(7));
+        // push the table through several growths within one epoch
+        m.reset();
+        for k in 0..500u128 {
+            assert!(m.insert(k * 0x1_0000_0001));
+        }
+        for k in 0..500u128 {
+            assert!(!m.insert(k * 0x1_0000_0001), "key {k} must still be present after growth");
+        }
+        assert!(!m.contains(999 * 0x1_0000_0001));
+    }
+
+    #[test]
+    fn key_marks_survive_epoch_wraparound() {
+        let mut m = KeyMarks::new();
+        m.insert(1);
+        m.epoch = u32::MAX - 1;
+        m.reset();
+        assert!(!m.contains(1));
+        m.insert(2);
+        m.reset(); // wraps
+        assert!(!m.contains(1));
+        assert!(!m.contains(2));
+        assert!(m.insert(2));
     }
 
     #[test]

@@ -96,6 +96,23 @@ impl OccurrenceStore {
         }
     }
 
+    /// Empties the store and switches it to rows of `arity` vertices,
+    /// keeping the allocated buffers — the reset step when one store is
+    /// reused as a per-worker scratch across many gathers.
+    pub fn reset(&mut self, arity: usize) {
+        self.arity = arity;
+        self.arena.clear();
+        self.transactions.clear();
+    }
+
+    /// Ensures room for `rows` additional occurrences, so a caller that
+    /// knows its output size up front (e.g. a gather over an index's
+    /// posting list) fills the store without incremental growth.
+    pub fn reserve_rows(&mut self, rows: usize) {
+        self.arena.reserve(self.arity * rows);
+        self.transactions.reserve(rows);
+    }
+
     /// Vertices per row.
     #[inline]
     pub fn arity(&self) -> usize {

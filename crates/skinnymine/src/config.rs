@@ -98,6 +98,32 @@ pub enum Representation {
     CsrSnapshot,
 }
 
+/// Which Stage-II engine evaluates the candidate extensions of a grown
+/// pattern.
+///
+/// The mined **patterns** are byte-identical between the two (the
+/// `ext_index` parity suite asserts it); the choice is exposed so the
+/// `perf` harness can report a before/after comparison.  The
+/// [`crate::stats::MiningStats`] rejection counters are engine-specific
+/// bookkeeping and differ by construction: the indexed engine tests
+/// constraints before frequency (plus the upper-bound prune), so a
+/// candidate failing both lands in a different counter than under the
+/// reference engine's frequency-first order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum GrowEngine {
+    /// One sweep per pattern builds an inverted `extension → supporting
+    /// rows` index ([`crate::ext_index::ExtensionTable`]); each candidate is
+    /// pruned by its free support upper bound, constraint-checked on
+    /// structure alone, and materialized by gathering exactly its supporting
+    /// rows.  The default.
+    #[default]
+    ExtensionIndex,
+    /// The pre-index engine: enumerate candidates into an ordered set, then
+    /// re-scan every embedding row once per candidate.  Retained as the
+    /// parity oracle and the before/after timing baseline.
+    Reference,
+}
+
 /// How the canonical-diameter loop invariant is checked on each extension.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ConstraintCheckMode {
@@ -151,6 +177,9 @@ pub struct SkinnyMineConfig {
     /// Definition-8 completeness on adversarial inputs; costs an extra
     /// frequent-path pass at length `2l` per admitted `l`.
     pub cycle_seeds: bool,
+    /// Which Stage-II engine evaluates candidate extensions (output is
+    /// byte-identical either way).
+    pub grow_engine: GrowEngine,
 }
 
 impl SkinnyMineConfig {
@@ -171,6 +200,7 @@ impl SkinnyMineConfig {
             threads: 1,
             representation: Representation::default(),
             cycle_seeds: true,
+            grow_engine: GrowEngine::default(),
         }
     }
 
@@ -213,6 +243,12 @@ impl SkinnyMineConfig {
     /// Sets the data representation the mining passes sweep.
     pub fn with_representation(mut self, representation: Representation) -> Self {
         self.representation = representation;
+        self
+    }
+
+    /// Sets the Stage-II candidate-evaluation engine.
+    pub fn with_grow_engine(mut self, grow_engine: GrowEngine) -> Self {
+        self.grow_engine = grow_engine;
         self
     }
 

@@ -118,6 +118,80 @@ pub fn check_extension(
     }
 }
 
+/// Cheap structure-only rejection of an extension, decided on the parent's
+/// maintained indices alone — no extended graph, no new distance matrix, no
+/// allocation.  Returns the violated constraint among skinniness,
+/// Constraint I and Constraint II when one fires; `None` means the
+/// extension survives those three (Constraint III still needs
+/// [`needs_structural_check`] / [`check_extension`]).
+///
+/// The verdicts are mode-independent: [`check_extension`] tests the same
+/// three constraints first in either checking mode.  This is what lets the
+/// extension-indexed grow engine reject most candidates without building
+/// the `O(n²)` structural extension — for the dominant single-twig
+/// candidates the rejection reads off one row of the parent's exact
+/// all-pairs table, and the build is deferred to *admitted children*.
+pub fn precheck_violation(
+    pattern: &GrownPattern,
+    ext: &Extension,
+    delta: u32,
+) -> Option<ConstraintViolation> {
+    let d = pattern.diameter();
+    match *ext {
+        Extension::NewVertex { attach, .. } => {
+            // skinniness: the new degree-1 vertex sits one level below its
+            // attachment point; existing levels are unchanged
+            if pattern.level[attach as usize] + 1 > delta {
+                return Some(ConstraintViolation::SkinninessExceeded);
+            }
+            // Constraint I: only pairs ending at the new vertex change, and
+            // their distances are the attachment row plus one; Constraint II
+            // can never fire (no existing distance shrinks)
+            let row = pattern.dists.row(attach as usize);
+            if row.iter().any(|&x| x + 1 > d) {
+                return Some(ConstraintViolation::DiameterIncreased);
+            }
+            None
+        }
+        Extension::NewVertexMulti { ref edges, .. } => {
+            // skinniness: the new vertex sits one level below its closest
+            // attachment; Constraints I/II are left to the full
+            // recomputation these candidates always pay anyway
+            let closest =
+                edges.iter().map(|&(a, _)| pattern.level[a as usize]).min().expect("at least two edges");
+            if closest + 1 > delta {
+                return Some(ConstraintViolation::SkinninessExceeded);
+            }
+            None
+        }
+        Extension::ClosingEdge { u, v, .. } => {
+            // an added edge only shrinks distances: skinniness and
+            // Constraint I can never fire, and the new head–tail distance
+            // reads off the parent rows (a shortest path uses the new edge
+            // at most once)
+            let l = pattern.diameter_len;
+            let (row_u, row_v) = (pattern.dists.row(u as usize), pattern.dists.row(v as usize));
+            let via = (row_u[0] + 1 + row_v[l]).min(row_v[0] + 1 + row_u[l]);
+            if via < d {
+                return Some(ConstraintViolation::HeadTailShortened);
+            }
+            None
+        }
+    }
+}
+
+/// True when a candidate that survived [`precheck_violation`] still needs
+/// the full structural check ([`GrownPattern::apply_structure`] +
+/// [`check_extension`]): Exact mode, a multi-edge attachment, or a
+/// Constraint-III trigger.  When this returns `false` the candidate's
+/// verdict is `Ok` with no structural work at all, so the extension-indexed
+/// engine evaluates it *after* the (cheaper) frequency test.
+pub fn needs_structural_check(pattern: &GrownPattern, ext: &Extension, mode: ConstraintCheckMode) -> bool {
+    mode == ConstraintCheckMode::Exact
+        || matches!(ext, Extension::NewVertexMulti { .. })
+        || constraint_iii_trigger(pattern, ext, pattern.diameter())
+}
+
 /// The Constraint-III trigger: can the extension create a **new** path of
 /// length exactly `D(P)` (which is the only way a smaller canonical diameter
 /// can appear, given Constraints I and II hold)?  Evaluated on the

@@ -1,0 +1,620 @@
+//! Stage II's extension-indexed grow engine: one sweep over a pattern's
+//! embeddings builds an **inverted index** `candidate extension → supporting
+//! (occurrence row, attachment data vertex)` so that every candidate is
+//! answered from the index instead of re-scanning the whole embedding list.
+//!
+//! The previous engine enumerated candidates with one embedding sweep and
+//! then re-walked **all** rows once more *per candidate* inside
+//! `extend_embeddings_with` — `O(#candidates × #rows)` data work per grown
+//! pattern, with the structural constraint check paid after the data-side
+//! work.  [`ExtensionTable`] turns that inside out, following the
+//! delta-indexed evaluation idea of dynamic query answering (Berkholz et
+//! al., "Answering FO+MOD queries under updates"): precompute once, answer
+//! each candidate in output-proportional time.
+//!
+//! * The **incidence count** of a candidate (its number of index entries)
+//!   equals the exact row count of the extended pattern, which upper-bounds
+//!   every support measure — candidates with fewer than `sigma` entries are
+//!   pruned before any structural or data work.
+//! * The structure-only constraint check (`check_extension`) runs **before**
+//!   embedding materialization, so structurally invalid extensions never
+//!   touch the data.
+//! * [`ExtensionTable::gather`] materializes a surviving candidate's
+//!   occurrence store as a pure gather over exactly its supporting rows —
+//!   no graph access at all, since each entry already carries the attachment
+//!   data vertex verified during the sweep.
+//!
+//! # Determinism contract
+//!
+//! The engine must be byte-identical to the reference path
+//! (`LevelGrow::candidate_extensions_reference` + full re-scan) for any
+//! thread count and either data representation:
+//!
+//! * **Candidate order** — candidates are interned in first-occurrence order
+//!   during the sweep and then iterated in the sorted [`Extension`] key
+//!   order, exactly the order the reference `BTreeSet` yields.
+//! * **Row order** — entries of one candidate are stored in ascending
+//!   `(row, attachment vertex)` order.  The sweep visits rows ascending and
+//!   each row's neighbors in the ascending-id order both representations
+//!   share, so gathered child stores equal the reference re-scan output
+//!   byte for byte (asserted by the `ext_index_properties` suite).
+//! * **Oversized attachment runs** — a new outside vertex adjacent to more
+//!   than [`FULL_SUBSET_DEGREE`] pattern images only generates its *full*
+//!   attachment set as a candidate (as in the reference enumeration), but a
+//!   subset candidate generated from another row must still gather such a
+//!   row.  Those rare runs are kept in a sidecar and merged into the
+//!   matching candidates' entry lists at build time, preserving the
+//!   `(row, vertex)` order.
+//!
+//! The sweep itself is allocation-free in steady state: interning uses a
+//! rebuilt-in-place hash map, entries accumulate in flat reused buffers, and
+//! grouping is the same stable counting sort ([`skinny_graph::GroupSorter`])
+//! that backs the Stage-I occurrence index.
+
+use crate::data::MiningData;
+use crate::grown::{Extension, GrownPattern};
+use skinny_graph::{GroupSorter, KeyMarks, Label, OccurrenceStore, VertexId, VertexSlots};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Attachment degree up to which *all* multi-edge subsets are enumerated;
+/// beyond it only the full attachment set is tried (2^k subsets would
+/// dominate the runtime, and high-degree attachments are virtually always
+/// reachable through their sub-attachments).
+pub const FULL_SUBSET_DEGREE: usize = 6;
+
+/// One supporting entry of a candidate: the occurrence row id and, for
+/// new-vertex candidates, the attachment data vertex that extends it.
+pub type ExtEntry = (u32, VertexId);
+
+/// A fast multiply-rotate hasher for the small interning keys of the sweep
+/// (extension descriptors); collisions are resolved by the map, so the only
+/// requirement is speed on few-word inputs.
+#[derive(Default)]
+struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, v: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ v).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut v = [0u8; 8];
+            v[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(v));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+type FxBuild = BuildHasherDefault<FxHasher>;
+
+/// The inverted candidate index of one grown pattern: every candidate
+/// extension of the pattern, each with the ordered list of supporting
+/// `(row, attachment vertex)` entries.
+///
+/// Built by [`ExtensionScratch::build`]; all buffers are reused across
+/// patterns.
+#[derive(Debug, Default)]
+pub struct ExtensionTable {
+    /// Candidates by intern id (first-occurrence order during the sweep).
+    cands: Vec<Extension>,
+    /// Intern ids in sorted [`Extension`] key order — the iteration order.
+    sorted: Vec<u32>,
+    /// Entry ranges per intern id (`cands.len() + 1` exclusive prefix sums).
+    offsets: Vec<u32>,
+    /// Supporting entries, grouped by intern id, `(row, vertex)` ascending
+    /// inside every group.
+    entries: Vec<ExtEntry>,
+}
+
+impl ExtensionTable {
+    /// Number of candidate extensions.
+    #[inline]
+    pub fn candidate_count(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// The `i`-th candidate in sorted extension-key order.
+    #[inline]
+    pub fn extension(&self, i: usize) -> &Extension {
+        &self.cands[self.sorted[i] as usize]
+    }
+
+    /// Supporting entries of the `i`-th candidate, ascending `(row, vertex)`.
+    #[inline]
+    pub fn entries(&self, i: usize) -> &[ExtEntry] {
+        let c = self.sorted[i] as usize;
+        &self.entries[self.offsets[c] as usize..self.offsets[c + 1] as usize]
+    }
+
+    /// Free support upper bound of the `i`-th candidate: its incidence count
+    /// is the exact row count of the extended pattern, and every support
+    /// measure is bounded by the row count.
+    #[inline]
+    pub fn support_upper_bound(&self, i: usize) -> usize {
+        self.entries(i).len()
+    }
+
+    /// Materializes the extended pattern's occurrence store for the `i`-th
+    /// candidate by gathering its supporting rows from `parent` — in
+    /// ascending row order, byte-identical to the reference full re-scan.
+    pub fn gather(&self, i: usize, parent: &OccurrenceStore) -> OccurrenceStore {
+        let mut out = OccurrenceStore::new(0);
+        self.gather_into(i, parent, &mut out);
+        out
+    }
+
+    /// [`ExtensionTable::gather`] into a caller-provided store, reusing its
+    /// buffers: the grow engine gathers every candidate into one per-worker
+    /// scratch store and takes ownership only for admitted children, so a
+    /// support-rejected candidate costs no allocation at all.
+    pub fn gather_into(&self, i: usize, parent: &OccurrenceStore, out: &mut OccurrenceStore) {
+        let entries = self.entries(i);
+        match self.extension(i) {
+            Extension::NewVertex { .. } | Extension::NewVertexMulti { .. } => {
+                out.reset(parent.arity() + 1);
+                out.reserve_rows(entries.len());
+                for &(row, w) in entries {
+                    out.push_row_extended(parent.transaction(row as usize), parent.row(row as usize), w);
+                }
+            }
+            Extension::ClosingEdge { .. } => {
+                out.reset(parent.arity());
+                out.reserve_rows(entries.len());
+                for &(row, _) in entries {
+                    out.push_row(parent.transaction(row as usize), parent.row(row as usize));
+                }
+            }
+        }
+    }
+}
+
+/// Per-worker scratch of the extension-indexed engine: the rebuilt-in-place
+/// [`ExtensionTable`] plus every sweep buffer, reused across all the
+/// patterns (and clusters) a worker grows.
+#[derive(Debug, Default)]
+pub struct ExtensionScratch {
+    /// The index of the most recently built pattern.
+    pub table: ExtensionTable,
+    /// Reverse image table (data vertex → pattern vertex) of one embedding.
+    pub(crate) images: VertexSlots,
+    /// Flat attachment-edge buffer `(outside vertex, pattern vertex, label)`.
+    pub(crate) attachments: Vec<(VertexId, u32, Label)>,
+    /// Deduplicated attachment edges of one outside vertex.
+    pub(crate) run_edges: Vec<(u32, Label)>,
+    /// Reusable subset buffer for multi-edge attachments.
+    pub(crate) subset: Vec<(u32, Label)>,
+    /// Per-row probe-dedup marks for the reference enumeration.
+    pub(crate) probe_marks: KeyMarks,
+    /// Interning map of the fixed-size candidate kinds, keyed by their
+    /// packed descriptor (hashing three words beats hashing an enum on
+    /// every neighbor probe); drained into the table at finalize.
+    intern_fixed: HashMap<u128, u32, FxBuild>,
+    /// Interning map of the multi-edge candidates (their key owns the edge
+    /// list); drained into the table at finalize.
+    intern_multi: HashMap<Extension, u32, FxBuild>,
+    /// Sweep items `(intern id, row, attachment vertex)` in discovery order.
+    items: Vec<(u32, u32, VertexId)>,
+    /// Oversized attachment runs `(row, vertex, vertex label, edge range)`.
+    over_runs: Vec<(u32, VertexId, Label, u32, u32)>,
+    /// Edge storage of the oversized runs.
+    over_edges: Vec<(u32, Label)>,
+    /// Extra entries owed to subset candidates by oversized runs.
+    extras: Vec<(u32, u32, VertexId)>,
+    /// Intern id per item, fed to the counting sort.
+    group_of_item: Vec<u32>,
+    /// Grouped item order produced by the counting sort.
+    order: Vec<u32>,
+    /// The stable counting-sort grouping kernel.
+    sorter: GroupSorter,
+}
+
+impl ExtensionScratch {
+    /// Creates an empty scratch (buffers grow on first use, then stay).
+    pub fn new() -> Self {
+        ExtensionScratch::default()
+    }
+
+    /// Sweeps `pattern`'s embeddings once and (re)builds
+    /// [`ExtensionScratch::table`]: every candidate extension of `pattern`
+    /// in the data, inverted to its supporting rows.  The candidate set and
+    /// order equal the reference enumeration's `BTreeSet`; the entry lists
+    /// equal the reference re-scan output.
+    pub fn build(&mut self, pattern: &GrownPattern, data: &MiningData<'_>, delta: u32) {
+        self.intern_fixed.clear();
+        self.intern_multi.clear();
+        self.items.clear();
+        self.over_runs.clear();
+        self.over_edges.clear();
+        let n = pattern.graph.vertex_count() as u32;
+        for (r, e) in pattern.embeddings.iter().enumerate() {
+            let r = r as u32;
+            self.images.reset();
+            for (p, &d) in e.vertices.iter().enumerate() {
+                self.images.set(d, p as u32);
+            }
+            self.attachments.clear();
+            for p in 0..n {
+                let image = e.image(p as usize);
+                for (w, el) in data.neighbors(e.transaction, image) {
+                    match self.images.get(w) {
+                        Some(q) => {
+                            // a potential closing edge between pattern
+                            // vertices p and q, discovered once per row from
+                            // its smaller endpoint
+                            if q <= p || pattern.graph.has_edge(VertexId(p), VertexId(q)) {
+                                continue;
+                            }
+                            let key = pack_fixed(TAG_CLOSING_EDGE, p, q, el.0);
+                            let c = intern_fixed(&mut self.intern_fixed, self.intern_multi.len(), key);
+                            self.items.push((c, r, w));
+                        }
+                        None => {
+                            // a potential new twig vertex attached at p
+                            if pattern.level[p as usize] >= delta {
+                                continue;
+                            }
+                            let vl = data.label(e.transaction, w);
+                            let key = pack_fixed(TAG_NEW_VERTEX, p, vl.0, el.0);
+                            let c = intern_fixed(&mut self.intern_fixed, self.intern_multi.len(), key);
+                            self.items.push((c, r, w));
+                            self.attachments.push((w, p, el));
+                        }
+                    }
+                }
+            }
+            // multi-edge attachments: subsets (size >= 2) of each outside
+            // vertex's attachment edge set, read off the sorted flat buffer
+            // one same-vertex run at a time
+            self.attachments.sort_unstable();
+            let mut start = 0usize;
+            while start < self.attachments.len() {
+                let w = self.attachments[start].0;
+                let mut end = start + 1;
+                while end < self.attachments.len() && self.attachments[end].0 == w {
+                    end += 1;
+                }
+                self.run_edges.clear();
+                for &(_, p, el) in &self.attachments[start..end] {
+                    if self.run_edges.last() != Some(&(p, el)) {
+                        self.run_edges.push((p, el));
+                    }
+                }
+                start = end;
+                let k = self.run_edges.len();
+                if k < 2 {
+                    continue;
+                }
+                let vertex_label = data.label(e.transaction, w);
+                if k <= FULL_SUBSET_DEGREE {
+                    for mask in 1u32..(1 << k) {
+                        if mask.count_ones() < 2 {
+                            continue;
+                        }
+                        self.subset.clear();
+                        self.subset
+                            .extend((0..k).filter(|i| mask & (1 << i) != 0).map(|i| self.run_edges[i]));
+                        let c = intern_multi(
+                            &mut self.intern_multi,
+                            self.intern_fixed.len(),
+                            vertex_label,
+                            &mut self.subset,
+                        );
+                        self.items.push((c, r, w));
+                    }
+                } else {
+                    self.subset.clear();
+                    self.subset.extend_from_slice(&self.run_edges);
+                    let c = intern_multi(
+                        &mut self.intern_multi,
+                        self.intern_fixed.len(),
+                        vertex_label,
+                        &mut self.subset,
+                    );
+                    self.items.push((c, r, w));
+                    // sidecar: subset candidates from other rows must still
+                    // gather this row (the reference re-scan would)
+                    let lo = self.over_edges.len() as u32;
+                    self.over_edges.extend_from_slice(&self.run_edges);
+                    self.over_runs.push((r, w, vertex_label, lo, self.over_edges.len() as u32));
+                }
+            }
+        }
+        self.finalize();
+    }
+
+    /// Drains the intern map into the table, settles the oversized-run
+    /// extras and groups the items into per-candidate entry lists.
+    fn finalize(&mut self) {
+        let ncands = self.intern_fixed.len() + self.intern_multi.len();
+        let table = &mut self.table;
+        table.cands.clear();
+        table.cands.resize(ncands, Extension::ClosingEdge { u: 0, v: 0, edge_label: Label(0) });
+        for (key, c) in self.intern_fixed.drain() {
+            table.cands[c as usize] = unpack_fixed(key);
+        }
+        for (ext, c) in self.intern_multi.drain() {
+            table.cands[c as usize] = ext;
+        }
+        // oversized runs: every strict-subset multi candidate of a run owes
+        // that run's row an entry (rare — most sweeps record none)
+        self.extras.clear();
+        if !self.over_runs.is_empty() {
+            for (c, ext) in table.cands.iter().enumerate() {
+                let Extension::NewVertexMulti { vertex_label, edges } = ext else {
+                    continue;
+                };
+                for &(row, w, vl, lo, hi) in &self.over_runs {
+                    if vl != *vertex_label || edges.len() >= (hi - lo) as usize {
+                        continue;
+                    }
+                    if is_sorted_subset(edges, &self.over_edges[lo as usize..hi as usize]) {
+                        self.extras.push((c as u32, row, w));
+                    }
+                }
+            }
+            self.items.extend_from_slice(&self.extras);
+        }
+        self.group_of_item.clear();
+        self.group_of_item.extend(self.items.iter().map(|&(c, _, _)| c));
+        self.sorter.group_into(&self.group_of_item, ncands, &mut table.offsets, &mut self.order);
+        table.entries.clear();
+        table.entries.reserve(self.items.len());
+        for &i in &self.order {
+            let (_, row, w) = self.items[i as usize];
+            table.entries.push((row, w));
+        }
+        // extras were appended out of order; restore the ascending
+        // (row, vertex) contract for the candidates they touched
+        if !self.extras.is_empty() {
+            self.group_of_item.clear();
+            self.group_of_item.extend(self.extras.iter().map(|&(c, _, _)| c));
+            self.group_of_item.sort_unstable();
+            self.group_of_item.dedup();
+            for &c in &self.group_of_item {
+                let (lo, hi) = (table.offsets[c as usize] as usize, table.offsets[c as usize + 1] as usize);
+                table.entries[lo..hi].sort_unstable();
+            }
+        }
+        table.sorted.clear();
+        table.sorted.extend(0..ncands as u32);
+        let cands = &table.cands;
+        table.sorted.sort_unstable_by(|&a, &b| cands[a as usize].cmp(&cands[b as usize]));
+    }
+}
+
+/// Packed-key tag of a [`Extension::NewVertex`] candidate.
+const TAG_NEW_VERTEX: u32 = 0;
+/// Packed-key tag of a [`Extension::ClosingEdge`] candidate.
+const TAG_CLOSING_EDGE: u32 = 1;
+
+/// Packs a fixed-size candidate descriptor into one interning key.
+#[inline]
+fn pack_fixed(tag: u32, a: u32, b: u32, c: u32) -> u128 {
+    ((tag as u128) << 96) | ((a as u128) << 64) | ((b as u128) << 32) | c as u128
+}
+
+/// Reconstructs the [`Extension`] a packed key describes.
+fn unpack_fixed(key: u128) -> Extension {
+    let (tag, a, b, c) = ((key >> 96) as u32, (key >> 64) as u32, (key >> 32) as u32, key as u32);
+    match tag {
+        TAG_NEW_VERTEX => Extension::NewVertex { attach: a, vertex_label: Label(b), edge_label: Label(c) },
+        _ => Extension::ClosingEdge { u: a, v: b, edge_label: Label(c) },
+    }
+}
+
+/// Interns a fixed-size candidate, assigning ids in first-occurrence order
+/// across both interning maps (`other_len` is the other map's population).
+#[inline]
+fn intern_fixed(map: &mut HashMap<u128, u32, FxBuild>, other_len: usize, key: u128) -> u32 {
+    let next = (map.len() + other_len) as u32;
+    *map.entry(key).or_insert(next)
+}
+
+/// Interns a multi-edge candidate built from the reusable subset buffer,
+/// moving the buffer into the map only when the candidate is new: a repeat
+/// probe (the common case — every supporting row re-derives the candidate)
+/// hands the buffer straight back without touching the allocator.
+fn intern_multi(
+    map: &mut HashMap<Extension, u32, FxBuild>,
+    other_len: usize,
+    vertex_label: Label,
+    subset: &mut Vec<(u32, Label)>,
+) -> u32 {
+    let probe = Extension::NewVertexMulti { vertex_label, edges: std::mem::take(subset) };
+    if let Some(&c) = map.get(&probe) {
+        if let Extension::NewVertexMulti { edges, .. } = probe {
+            *subset = edges;
+        }
+        c
+    } else {
+        let c = (map.len() + other_len) as u32;
+        map.insert(probe, c);
+        c
+    }
+}
+
+/// True when sorted `needle` is a subset of sorted `haystack` (linear merge).
+fn is_sorted_subset(needle: &[(u32, Label)], haystack: &[(u32, Label)]) -> bool {
+    let mut it = haystack.iter();
+    'outer: for x in needle {
+        for y in it.by_ref() {
+            if y == x {
+                continue 'outer;
+            }
+            if y > x {
+                return false;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path_pattern::{PathKey, PathPattern};
+    use skinny_graph::LabeledGraph;
+
+    fn l(x: u32) -> Label {
+        Label(x)
+    }
+
+    /// Two copies of a length-3 backbone a-b-c-d with a twig on b; copy 1
+    /// additionally closes the chord (0, 2).
+    fn data_graph() -> LabeledGraph {
+        let mut g = LabeledGraph::from_unlabeled_edges(
+            &[l(0), l(1), l(2), l(3), l(9), l(0), l(1), l(2), l(3), l(9)],
+            [(0, 1), (1, 2), (2, 3), (1, 4), (5, 6), (6, 7), (7, 8), (6, 9)],
+        )
+        .unwrap();
+        g.add_unlabeled_edge(VertexId(0), VertexId(2)).unwrap();
+        g
+    }
+
+    fn seed_pattern() -> GrownPattern {
+        let (key, _) = PathKey::canonical(vec![l(0), l(1), l(2), l(3)], vec![l(0); 3]);
+        let mut p = PathPattern::new(key);
+        p.add_occurrence(0, vec![VertexId(0), VertexId(1), VertexId(2), VertexId(3)], false);
+        p.add_occurrence(0, vec![VertexId(5), VertexId(6), VertexId(7), VertexId(8)], false);
+        GrownPattern::from_path_pattern(&p)
+    }
+
+    #[test]
+    fn table_inverts_candidates_to_rows() {
+        let g = data_graph();
+        let data = MiningData::Single(&g);
+        let pattern = seed_pattern();
+        let mut scratch = ExtensionScratch::new();
+        scratch.build(&pattern, &data, 2);
+        let table = &scratch.table;
+        // candidates: the twig NewVertex (both rows) and the chord closing
+        // edge (row 0 only)
+        assert_eq!(table.candidate_count(), 2);
+        // sorted order: NewVertex variants precede ClosingEdge
+        let twig = table.extension(0);
+        assert!(matches!(twig, Extension::NewVertex { attach: 1, .. }), "got {twig:?}");
+        assert_eq!(table.entries(0), &[(0, VertexId(4)), (1, VertexId(9))]);
+        assert_eq!(table.support_upper_bound(0), 2);
+        let chord = table.extension(1);
+        assert!(matches!(chord, Extension::ClosingEdge { u: 0, v: 2, .. }), "got {chord:?}");
+        assert_eq!(table.entries(1).len(), 1);
+        assert_eq!(table.entries(1)[0].0, 0);
+    }
+
+    #[test]
+    fn gather_equals_reference_rescan() {
+        let g = data_graph();
+        let data = MiningData::Single(&g);
+        let pattern = seed_pattern();
+        let mut scratch = ExtensionScratch::new();
+        scratch.build(&pattern, &data, 2);
+        for i in 0..scratch.table.candidate_count() {
+            let ext = scratch.table.extension(i).clone();
+            let gathered = scratch.table.gather(i, &pattern.embeddings);
+            let rescanned = pattern.extend_embeddings(&data, &ext);
+            assert_eq!(gathered, rescanned, "candidate {ext:?}");
+        }
+    }
+
+    #[test]
+    fn delta_zero_suppresses_new_vertex_candidates() {
+        let g = data_graph();
+        let data = MiningData::Single(&g);
+        let pattern = seed_pattern();
+        let mut scratch = ExtensionScratch::new();
+        scratch.build(&pattern, &data, 0);
+        assert_eq!(scratch.table.candidate_count(), 1);
+        assert!(matches!(scratch.table.extension(0), Extension::ClosingEdge { .. }));
+        // scratch reuse: rebuilding with delta 2 restores the twig
+        scratch.build(&pattern, &data, 2);
+        assert_eq!(scratch.table.candidate_count(), 2);
+    }
+
+    #[test]
+    fn oversized_run_still_feeds_subset_candidates() {
+        // row 0: hub H adjacent to all 8 backbone vertices of a length-7
+        // path (an oversized run, k = 8 > FULL_SUBSET_DEGREE);
+        // row 1: hub adjacent to backbone vertices 0 and 1 only (a small
+        // run generating the {0, 1} subset candidate).  The subset
+        // candidate must gather BOTH rows.
+        let mut labels: Vec<Label> = (0..8).map(l).collect();
+        labels.push(l(7)); // hub of copy 1, label 7
+        let mut edges: Vec<(u32, u32)> = (0..7).map(|i| (i, i + 1)).collect();
+        for i in 0..8 {
+            edges.push((i, 8));
+        }
+        let base = labels.len() as u32;
+        labels.extend((0..8).map(l));
+        labels.push(l(7)); // hub of copy 2
+        edges.extend((0..7).map(|i| (base + i, base + i + 1)));
+        edges.push((base, base + 8));
+        edges.push((base + 1, base + 8));
+        let g = LabeledGraph::from_unlabeled_edges(&labels, edges).unwrap();
+        let data = MiningData::Single(&g);
+        let (key, _) = PathKey::canonical((0..8).map(l).collect(), vec![l(0); 7]);
+        let mut p = PathPattern::new(key);
+        p.add_occurrence(0, (0..8).map(VertexId).collect(), false);
+        p.add_occurrence(0, (base..base + 8).map(VertexId).collect(), false);
+        let pattern = GrownPattern::from_path_pattern(&p);
+        let mut scratch = ExtensionScratch::new();
+        scratch.build(&pattern, &data, 2);
+        let table = &scratch.table;
+        let mut checked_subset = false;
+        for i in 0..table.candidate_count() {
+            let ext = table.extension(i).clone();
+            if let Extension::NewVertexMulti { ref edges, .. } = ext {
+                if edges.len() == 2 && edges[0].0 == 0 && edges[1].0 == 1 {
+                    // generated by row 1's small run, supported by both rows
+                    assert_eq!(
+                        table.entries(i).iter().map(|&(r, _)| r).collect::<Vec<_>>(),
+                        vec![0, 1],
+                        "oversized run of row 0 must feed the subset candidate"
+                    );
+                    checked_subset = true;
+                }
+            }
+            let gathered = table.gather(i, &pattern.embeddings);
+            let rescanned = pattern.extend_embeddings(&data, &ext);
+            assert_eq!(gathered, rescanned, "candidate {ext:?}");
+        }
+        assert!(checked_subset, "the {{0, 1}} subset candidate must exist");
+    }
+
+    #[test]
+    fn sorted_subset_helper() {
+        let e = |p: u32| (p, Label(0));
+        assert!(is_sorted_subset(&[e(1), e(3)], &[e(0), e(1), e(2), e(3)]));
+        assert!(!is_sorted_subset(&[e(1), e(4)], &[e(0), e(1), e(2), e(3)]));
+        assert!(is_sorted_subset(&[], &[e(0)]));
+        assert!(!is_sorted_subset(&[e(0)], &[]));
+    }
+}

@@ -2,32 +2,31 @@
 //! per-vertex `D_H` / `D_T` distance indices and their embedding lists.
 
 use crate::cycle::CyclePattern;
+use crate::ext_index::ExtensionScratch;
 use crate::path_pattern::PathPattern;
 use serde::{Deserialize, Serialize};
 use skinny_graph::{
     DistMatrix, Label, LabeledGraph, OccurrenceStore, SupportMeasure, SupportScratch, VertexId, VertexMarks,
-    VertexSlots,
 };
 
 /// Per-worker scratch for Stage-II growth, reused across every cluster a
-/// worker grows: epoch-stamped tables over data vertex ids plus flat reusable
-/// buffers, replacing the per-embedding `HashMap` builds (`image_of`,
-/// `attachments`) and the O(arity) `OccRow::uses` scans of the extension hot
-/// loop with O(1) probes and zero per-row heap allocation.
+/// worker grows: the extension-index build state (epoch-stamped tables over
+/// data vertex ids, flat reusable buffers, the rebuilt-in-place
+/// [`crate::ext_index::ExtensionTable`]) plus the row-mark and support-sort
+/// buffers of candidate evaluation.  Everything resets in O(1), so per-row
+/// work in the grow hot loop performs zero heap allocation.
 #[derive(Debug, Default)]
 pub struct GrowScratch {
+    /// Extension enumeration state: the inverted candidate index and every
+    /// sweep buffer (shared by the indexed and reference enumerations).
+    pub ext: ExtensionScratch,
     /// Membership marks of the current occurrence row's vertices.
     pub row_marks: VertexMarks,
-    /// Reverse image table (data vertex → pattern vertex) of one embedding.
-    pub images: VertexSlots,
-    /// Flat attachment-edge buffer `(outside vertex, pattern vertex, label)`.
-    pub attachments: Vec<(VertexId, u32, Label)>,
-    /// Deduplicated attachment edges of one outside vertex.
-    pub run_edges: Vec<(u32, Label)>,
-    /// Reusable subset buffer for multi-edge attachments.
-    pub subset: Vec<(u32, Label)>,
     /// Support-evaluation sort buffers.
     pub support: SupportScratch,
+    /// Reused gather target: candidates materialize here and only admitted
+    /// children take the store with them.
+    pub gather: OccurrenceStore,
 }
 
 impl GrowScratch {

@@ -12,18 +12,35 @@
 //! Generated patterns are deduplicated by their canonical (minimum DFS code)
 //! key, which guarantees each pattern of the cluster is reported exactly
 //! once even when it is reachable through several growth orders.
+//!
+//! Candidate evaluation runs on one of two engines
+//! ([`crate::config::GrowEngine`], byte-identical output):
+//!
+//! * **ExtensionIndex** (default) — one sweep per pattern builds the
+//!   inverted [`ExtensionTable`] (`candidate → supporting rows`); each
+//!   candidate is pruned by its free support upper bound, checked on
+//!   structure alone, and materialized by gathering exactly its supporting
+//!   rows ([`crate::ext_index`]).
+//! * **Reference** — the pre-index path: enumerate candidates into an
+//!   ordered set, then re-scan every embedding row once per candidate.
+//!   Retained as the parity oracle and before/after timing baseline.
 
-use crate::config::{Exploration, ReportMode, SkinnyMineConfig};
+use crate::config::{Exploration, GrowEngine, ReportMode, SkinnyMineConfig};
 use crate::constraints::{check_extension, ConstraintViolation};
 use crate::cycle::CyclePattern;
 use crate::data::MiningData;
+use crate::ext_index::{ExtensionTable, FULL_SUBSET_DEGREE};
 use crate::grown::{Extension, GrowScratch, GrownPattern};
 use crate::path_pattern::PathPattern;
 use crate::result::SkinnyPattern;
 use crate::stats::MiningStats;
 use serde::{Deserialize, Serialize};
-use skinny_graph::{canonical_key, DfsCode, EmbeddingSet, SupportMeasure, VertexId};
+use skinny_graph::{
+    canonical_key, DfsCode, EmbeddingSet, OccurrenceStore, SupportMeasure, SupportScratch, VertexId,
+    VertexMarks,
+};
 use std::collections::{BTreeSet, HashSet};
+use std::time::Instant;
 
 /// A Stage-I seed for Stage-II growth: a canonical-diameter path, or a
 /// minimal odd cycle `C_{2l+1}` (which no path seed can reach).
@@ -140,19 +157,58 @@ impl<'a> LevelGrow<'a> {
             let mut is_maximal = true;
             let mut is_closed = true;
 
-            for ext in self.candidate_extensions(&current, scratch) {
-                let Some((child, support)) = self.try_extension(&current, ext, &mut outcome.stats, scratch)
-                else {
-                    continue;
-                };
-                // a frequent constraint-preserving super-pattern exists
-                is_maximal = false;
+            // a frequent constraint-preserving child flips the flags and
+            // enters the worklist once (canonical-code dedup)
+            let mut admit = |child: GrownPattern,
+                             support: usize,
+                             is_maximal: &mut bool,
+                             is_closed: &mut bool,
+                             worklist: &mut Vec<GrownPattern>| {
+                *is_maximal = false;
                 if support == current_support {
-                    is_closed = false;
+                    *is_closed = false;
                 }
-                let key = canonical_key(&child.graph);
-                if seen.insert(key) {
+                if seen.insert(canonical_key(&child.graph)) {
                     worklist.push(child);
+                }
+            };
+            match self.config.grow_engine {
+                GrowEngine::ExtensionIndex => {
+                    let t = Instant::now();
+                    scratch.ext.build(&current, &self.data, self.config.delta);
+                    outcome.stats.grow_phases.candidates += t.elapsed();
+                    let GrowScratch { ext, support, gather, .. } = scratch;
+                    for i in 0..ext.table.candidate_count() {
+                        let Some((child, sup)) = self.try_extension_indexed(
+                            &current,
+                            &ext.table,
+                            i,
+                            &mut outcome.stats,
+                            support,
+                            gather,
+                        ) else {
+                            continue;
+                        };
+                        admit(child, sup, &mut is_maximal, &mut is_closed, &mut worklist);
+                    }
+                }
+                GrowEngine::Reference => {
+                    let t = Instant::now();
+                    let cands = self.candidate_extensions_reference(&current, scratch);
+                    outcome.stats.grow_phases.candidates += t.elapsed();
+                    let GrowScratch { row_marks, support, .. } = scratch;
+                    for ext in cands {
+                        let Some((child, sup)) = self.try_extension_reference(
+                            &current,
+                            ext,
+                            &mut outcome.stats,
+                            row_marks,
+                            support,
+                        ) else {
+                            continue;
+                        };
+                        admit(child, sup, &mut is_maximal, &mut is_closed, &mut worklist);
+                    }
                 }
             }
 
@@ -198,26 +254,90 @@ impl<'a> LevelGrow<'a> {
             loop {
                 let mut advanced = false;
                 branches.clear();
-                for ext in self.candidate_extensions(&closed, scratch) {
-                    // an earlier application in this pass may have already
-                    // closed this pair
-                    if let Extension::ClosingEdge { u, v, .. } = ext {
-                        if closed.graph.has_edge(VertexId(u), VertexId(v)) {
-                            continue;
+                match self.config.grow_engine {
+                    GrowEngine::ExtensionIndex => {
+                        let t = Instant::now();
+                        scratch.ext.build(&closed, &self.data, self.config.delta);
+                        outcome.stats.grow_phases.candidates += t.elapsed();
+                        let GrowScratch { ext, row_marks, support, gather } = scratch;
+                        // the table indexes the pass-start pattern's rows;
+                        // the first greedy advance replaces the embedding
+                        // list, so the remaining candidates of the pass fall
+                        // back to the re-scan evaluation (the next pass
+                        // rebuilds the table anyway)
+                        let mut table_fresh = true;
+                        for i in 0..ext.table.candidate_count() {
+                            // an earlier application in this pass may have
+                            // already closed this pair
+                            if let Extension::ClosingEdge { u, v, .. } = *ext.table.extension(i) {
+                                if closed.graph.has_edge(VertexId(u), VertexId(v)) {
+                                    continue;
+                                }
+                            }
+                            let result = if table_fresh {
+                                self.try_extension_indexed(
+                                    &closed,
+                                    &ext.table,
+                                    i,
+                                    &mut outcome.stats,
+                                    support,
+                                    gather,
+                                )
+                            } else {
+                                self.try_extension_reference(
+                                    &closed,
+                                    ext.table.extension(i).clone(),
+                                    &mut outcome.stats,
+                                    row_marks,
+                                    support,
+                                )
+                            };
+                            if let Some((child, sup)) = result {
+                                if sup == closed_support {
+                                    closed = child;
+                                    closed_support = sup;
+                                    advanced = true;
+                                    table_fresh = false;
+                                } else {
+                                    // note: embedding-based support is not
+                                    // anti-monotone, so a super-pattern's
+                                    // support can also exceed the parent's
+                                    branches.push(child);
+                                }
+                            }
                         }
                     }
-                    if let Some((child, support)) =
-                        self.try_extension(&closed, ext, &mut outcome.stats, scratch)
-                    {
-                        if support == closed_support {
-                            closed = child;
-                            closed_support = support;
-                            advanced = true;
-                        } else {
-                            // note: embedding-based support is not
-                            // anti-monotone, so a super-pattern's support can
-                            // also exceed the parent's
-                            branches.push(child);
+                    GrowEngine::Reference => {
+                        let t = Instant::now();
+                        let cands = self.candidate_extensions_reference(&closed, scratch);
+                        outcome.stats.grow_phases.candidates += t.elapsed();
+                        let GrowScratch { row_marks, support, .. } = scratch;
+                        for ext in cands {
+                            // an earlier application in this pass may have
+                            // already closed this pair
+                            if let Extension::ClosingEdge { u, v, .. } = ext {
+                                if closed.graph.has_edge(VertexId(u), VertexId(v)) {
+                                    continue;
+                                }
+                            }
+                            if let Some((child, sup)) = self.try_extension_reference(
+                                &closed,
+                                ext,
+                                &mut outcome.stats,
+                                row_marks,
+                                support,
+                            ) {
+                                if sup == closed_support {
+                                    closed = child;
+                                    closed_support = sup;
+                                    advanced = true;
+                                } else {
+                                    // note: embedding-based support is not
+                                    // anti-monotone, so a super-pattern's
+                                    // support can also exceed the parent's
+                                    branches.push(child);
+                                }
+                            }
                         }
                     }
                 }
@@ -243,22 +363,130 @@ impl<'a> LevelGrow<'a> {
         outcome
     }
 
-    /// Evaluates one candidate extension: the frequency test first (it is
-    /// cheap — an incremental pass over the parent's embeddings — and rejects
-    /// the overwhelming majority of candidates on noisy data), then the
-    /// constraint checks, which may require a full canonical-diameter
-    /// recomputation.  Returns the extended pattern and its support when the
+    /// Records a constraint-check verdict in the statistics; `true` when the
+    /// extension survives.
+    fn record_verdict(verdict: Result<(), ConstraintViolation>, stats: &mut MiningStats) -> bool {
+        match verdict {
+            Err(ConstraintViolation::DiameterIncreased) => {
+                stats.rejected_constraint_i += 1;
+                false
+            }
+            Err(ConstraintViolation::HeadTailShortened) => {
+                stats.rejected_constraint_ii += 1;
+                false
+            }
+            Err(ConstraintViolation::SmallerDiameterCreated) => {
+                stats.rejected_constraint_iii += 1;
+                false
+            }
+            Err(ConstraintViolation::SkinninessExceeded) => {
+                stats.rejected_constraint_skinniness += 1;
+                false
+            }
+            Ok(()) => true,
+        }
+    }
+
+    /// Evaluates the `i`-th candidate of the extension table: the free
+    /// support upper bound first (the incidence count is the extended
+    /// pattern's exact row count, so `< σ` candidates are dropped with no
+    /// structural or data work), then the structure-only constraint checks —
+    /// decided on the parent's maintained indices alone whenever
+    /// [`crate::constraints::precheck_violation`] can — and only for
+    /// survivors the row gather and the support measure.  The `O(n²)`
+    /// structural extension itself is built for admitted children (and the
+    /// rare candidates whose verdict needs it), never for rejected ones.
+    /// Returns the extended pattern and its support when the extension is
+    /// admissible, recording statistics either way.
+    fn try_extension_indexed(
+        &self,
+        current: &GrownPattern,
+        table: &ExtensionTable,
+        i: usize,
+        stats: &mut MiningStats,
+        support_scratch: &mut SupportScratch,
+        gather_buf: &mut OccurrenceStore,
+    ) -> Option<(GrownPattern, usize)> {
+        stats.level_grow.candidates_examined += 1;
+        if table.support_upper_bound(i) < self.config.sigma {
+            stats.pruned_support_bound += 1;
+            return None;
+        }
+        let ext = table.extension(i);
+        stats.constraint_checks += 1;
+        // cheap structural rejects (skinniness / Constraint I / II) on the
+        // parent's maintained indices: a structurally invalid extension
+        // never touches the data
+        let t0 = Instant::now();
+        let violation = crate::constraints::precheck_violation(current, ext, self.config.delta);
+        let t1 = Instant::now();
+        stats.grow_phases.check += t1 - t0;
+        if let Some(v) = violation {
+            Self::record_verdict(Err(v), stats);
+            return None;
+        }
+        // frequency next (a gather over the supporting rows into the reused
+        // scratch store), so the expensive Constraint-III verification is
+        // paid for frequent survivors only — mirroring the reference cost
+        // model while keeping every per-row re-scan eliminated
+        table.gather_into(i, &current.embeddings, gather_buf);
+        let t2 = Instant::now();
+        stats.grow_phases.extend += t2 - t1;
+        let support = gather_buf.support_with(self.config.support, support_scratch);
+        let t3 = Instant::now();
+        stats.grow_phases.support += t3 - t2;
+        if support < self.config.sigma {
+            stats.rejected_infrequent += 1;
+            return None;
+        }
+        // the O(n²) structural extension is built only here — for admitted
+        // children and the rare candidates whose Constraint-III verdict
+        // needs it — never for rejected candidates
+        let structure_needed =
+            crate::constraints::needs_structural_check(current, ext, self.config.constraint_check);
+        let structure = current.apply_structure(ext);
+        let verdict = if structure_needed {
+            let check =
+                check_extension(current, ext, &structure, self.config.delta, self.config.constraint_check);
+            if check.full_recomputation {
+                stats.full_diameter_recomputations += 1;
+            }
+            check.verdict
+        } else {
+            Ok(())
+        };
+        stats.grow_phases.check += t3.elapsed();
+        if !Self::record_verdict(verdict, stats) {
+            return None;
+        }
+        let embeddings = std::mem::take(gather_buf);
+        Some((current.assemble(ext.clone(), structure, embeddings), support))
+    }
+
+    /// The reference evaluation of one candidate extension: the frequency
+    /// test first (an incremental full re-scan over the parent's
+    /// embeddings), then the constraint checks, which may require a full
+    /// canonical-diameter recomputation.  Retained as the parity oracle and
+    /// timing baseline of [`LevelGrow::try_extension_indexed`], and used for
+    /// the tail of a closure pass whose extension table a greedy advance
+    /// invalidated.  Returns the extended pattern and its support when the
     /// extension is admissible, recording statistics either way.
-    fn try_extension(
+    fn try_extension_reference(
         &self,
         current: &GrownPattern,
         ext: Extension,
         stats: &mut MiningStats,
-        scratch: &mut GrowScratch,
+        row_marks: &mut VertexMarks,
+        support_scratch: &mut SupportScratch,
     ) -> Option<(GrownPattern, usize)> {
         stats.level_grow.candidates_examined += 1;
-        let embeddings = current.extend_embeddings_with(&self.data, &ext, &mut scratch.row_marks);
-        let support = embeddings.support_with(self.config.support, &mut scratch.support);
+        let t0 = Instant::now();
+        let embeddings = current.extend_embeddings_with(&self.data, &ext, row_marks);
+        let t1 = Instant::now();
+        stats.grow_phases.extend += t1 - t0;
+        let support = embeddings.support_with(self.config.support, support_scratch);
+        let t2 = Instant::now();
+        stats.grow_phases.support += t2 - t1;
         if support < self.config.sigma {
             stats.rejected_infrequent += 1;
             return None;
@@ -267,24 +495,12 @@ impl<'a> LevelGrow<'a> {
         let structure = current.apply_structure(&ext);
         let check =
             check_extension(current, &ext, &structure, self.config.delta, self.config.constraint_check);
+        stats.grow_phases.check += t2.elapsed();
         if check.full_recomputation {
             stats.full_diameter_recomputations += 1;
         }
-        match check.verdict {
-            Err(ConstraintViolation::DiameterIncreased) => {
-                stats.rejected_constraint_i += 1;
-                return None;
-            }
-            Err(ConstraintViolation::HeadTailShortened) => {
-                stats.rejected_constraint_ii += 1;
-                return None;
-            }
-            Err(ConstraintViolation::SmallerDiameterCreated) => {
-                stats.rejected_constraint_iii += 1;
-                return None;
-            }
-            Err(ConstraintViolation::SkinninessExceeded) => return None,
-            Ok(()) => {}
+        if !Self::record_verdict(check.verdict, stats) {
+            return None;
         }
         Some((current.assemble(ext, structure, embeddings), support))
     }
@@ -302,18 +518,22 @@ impl<'a> LevelGrow<'a> {
     ///   adjacent in the data.
     ///
     /// Per-embedding state lives in the scratch's epoch-stamped tables: the
-    /// reverse image map is a dense O(1)-probe slot table and the attachment
+    /// reverse image map is a dense O(1)-probe slot table, the attachment
     /// edges accumulate in one flat reused buffer that is sorted and grouped
-    /// by outside vertex — no per-embedding hash map is ever built.  (The
-    /// extension set itself is a `BTreeSet`, so candidate order — and with it
-    /// the whole growth — is deterministic regardless of probe order.)
-    fn candidate_extensions(&self, pattern: &GrownPattern, scratch: &mut GrowScratch) -> BTreeSet<Extension> {
-        /// Attachment degree up to which *all* multi-edge subsets are
-        /// enumerated; beyond it only the full attachment set is tried (2^k
-        /// subsets would dominate the runtime, and high-degree attachments
-        /// are virtually always reachable through their sub-attachments).
-        const FULL_SUBSET_DEGREE: usize = 6;
-        let GrowScratch { images, attachments, run_edges, subset, .. } = scratch;
+    /// by outside vertex, and repeated probes of one row (several neighbors
+    /// deriving the same descriptor) are deduplicated by an epoch-stamped
+    /// key set before the ordered insert — no per-embedding hash map is ever
+    /// built.  (The extension set itself is a `BTreeSet`, so candidate order
+    /// — and with it the whole growth — is deterministic regardless of probe
+    /// order.)
+    pub fn candidate_extensions_reference(
+        &self,
+        pattern: &GrownPattern,
+        scratch: &mut GrowScratch,
+    ) -> BTreeSet<Extension> {
+        let crate::ext_index::ExtensionScratch {
+            images, attachments, run_edges, subset, probe_marks, ..
+        } = &mut scratch.ext;
         let mut out = BTreeSet::new();
         let delta = self.config.delta;
         let n = pattern.graph.vertex_count();
@@ -324,6 +544,7 @@ impl<'a> LevelGrow<'a> {
                 images.set(d, p as u32);
             }
             attachments.clear();
+            probe_marks.reset();
             for p in 0..n as u32 {
                 let image = e.image(p as usize);
                 for (w, el) in self.data.neighbors(e.transaction, image) {
@@ -343,12 +564,15 @@ impl<'a> LevelGrow<'a> {
                             if pattern.level[p as usize] >= delta {
                                 continue;
                             }
-                            out.insert(Extension::NewVertex {
-                                attach: p,
-                                vertex_label: self.data.label(e.transaction, w),
-                                edge_label: el,
-                            });
+                            let vertex_label = self.data.label(e.transaction, w);
                             attachments.push((w, p, el));
+                            // several same-labeled neighbors of one image
+                            // re-derive the same descriptor; only the first
+                            // probe per row pays the ordered insert
+                            let key = ((p as u128) << 64) | ((vertex_label.0 as u128) << 32) | el.0 as u128;
+                            if probe_marks.insert(key) {
+                                out.insert(Extension::NewVertex { attach: p, vertex_label, edge_label: el });
+                            }
                         }
                     }
                 }
@@ -707,6 +931,46 @@ mod tests {
         // the exhaustive exploration of this cluster would examine >= 2^4
         // distinct patterns; closure jumping pops only the root
         assert!(outcome.examined <= 3, "examined {} patterns", outcome.examined);
+    }
+
+    #[test]
+    fn reference_engine_matches_indexed() {
+        let g = data();
+        for exploration in [crate::config::Exploration::Exhaustive, crate::config::Exploration::ClosureJump] {
+            let indexed =
+                SkinnyMineConfig::new(4, 2, 2).with_report(ReportMode::All).with_exploration(exploration);
+            let reference = indexed.clone().with_grow_engine(crate::config::GrowEngine::Reference);
+            let pi = grow_with(&indexed, &g);
+            let pr = grow_with(&reference, &g);
+            assert_eq!(pi.len(), pr.len());
+            for (a, b) in pi.iter().zip(&pr) {
+                assert_eq!(canonical_key(&a.graph), canonical_key(&b.graph));
+                assert_eq!(a.support, b.support);
+                assert_eq!(a.embeddings.embeddings, b.embeddings.embeddings);
+                assert_eq!((a.closed, a.maximal), (b.closed, b.maximal));
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_engine_prunes_by_support_bound() {
+        // sigma 2 but the twig exists in only one copy: the indexed engine
+        // must drop the twig candidate on the incidence count alone
+        let labels = vec![l(0), l(1), l(2), l(3), l(4), l(9), l(0), l(1), l(2), l(3), l(4)];
+        let g = LabeledGraph::from_unlabeled_edges(
+            &labels,
+            [(0, 1), (1, 2), (2, 3), (3, 4), (2, 5), (6, 7), (7, 8), (8, 9), (9, 10)],
+        )
+        .unwrap();
+        let config = SkinnyMineConfig::new(4, 2, 2).with_report(ReportMode::All);
+        let data_view = MiningData::Single(&g);
+        let dm = DiamMine::new(data_view.clone(), 2, config.support);
+        let seeds = dm.mine_exact(4);
+        let grower = LevelGrow::new(data_view, &config);
+        let outcome = grower.grow_cluster(&seeds[0]);
+        assert_eq!(outcome.patterns.len(), 1);
+        assert!(outcome.stats.pruned_support_bound > 0, "the lone twig must be bound-pruned");
+        assert_eq!(outcome.stats.rejected_infrequent, 0, "no candidate should reach the support measure");
     }
 
     #[test]

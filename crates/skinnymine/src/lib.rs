@@ -79,6 +79,7 @@ pub mod cycle;
 pub mod data;
 pub mod diam_mine;
 pub mod error;
+pub mod ext_index;
 pub mod framework;
 pub mod grown;
 pub mod level_grow;
@@ -89,15 +90,18 @@ pub mod result;
 pub mod stats;
 
 pub use config::{
-    ConstraintCheckMode, Exploration, LengthConstraint, ReportMode, Representation, SkinnyMineConfig,
+    ConstraintCheckMode, Exploration, GrowEngine, LengthConstraint, ReportMode, Representation,
+    SkinnyMineConfig,
 };
 pub use constraints::{
-    check_extension, satisfies_skinny_spec, verify_canonical_diameter, ConstraintViolation,
+    check_extension, needs_structural_check, precheck_violation, satisfies_skinny_spec,
+    verify_canonical_diameter, ConstraintViolation,
 };
 pub use cycle::{CycleKey, CyclePattern};
 pub use data::{MiningData, TransactionIter};
 pub use diam_mine::DiamMine;
 pub use error::{MineError, MineResult};
+pub use ext_index::{ExtEntry, ExtensionScratch, ExtensionTable};
 pub use framework::{
     Continuous, DirectMiner, GraphConstraint, MaxDegreeConstraint, Reducible, RegularDegreeConstraint,
     SkinnyConstraint, SkinnyDirectMiner,
@@ -108,4 +112,4 @@ pub use miner::SkinnyMine;
 pub use path_pattern::{PathKey, PathPattern, PatternTable};
 pub use pattern_index::MinimalPatternIndex;
 pub use result::{MiningResult, SkinnyPattern};
-pub use stats::{MiningStats, StageStats};
+pub use stats::{GrowPhaseStats, MiningStats, StageStats};

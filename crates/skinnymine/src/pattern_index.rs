@@ -300,8 +300,9 @@ impl MinimalPatternIndex {
         let outcomes = skinny_pool::run_with(
             config.threads,
             path_seeds.len() + cycle_seeds.len(),
-            // per-worker grower *and* join-engine scratch, reused across all
-            // the clusters the worker grows or steals
+            // per-worker grower *and* grow-engine scratch (extension table +
+            // sweep buffers), reused across all the clusters the worker
+            // grows or steals
             || (LevelGrow::new(serve_data.clone(), config), crate::grown::GrowScratch::new()),
             |(grower, scratch), i| {
                 if i < path_seeds.len() {

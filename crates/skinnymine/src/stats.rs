@@ -26,6 +26,41 @@ impl StageStats {
     }
 }
 
+/// Wall-clock breakdown of Stage II's candidate-evaluation work, summed
+/// across every grown pattern (and merged across workers): candidate
+/// enumeration / extension-table build, structural constraint checks,
+/// embedding materialization (gather or re-scan) and support evaluation.
+///
+/// The `perf` harness reports these as the grow sub-timings of
+/// `BENCH_stage1.json`; both Stage-II engines fill the same four buckets, so
+/// the before/after comparison is like for like.  Collection costs a few
+/// monotonic-clock reads per candidate (well under the cheapest candidate's
+/// work, and symmetric across engines); the clock reads are chained so each
+/// boundary is sampled once.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GrowPhaseStats {
+    /// Enumerating candidate extensions (reference) or building the
+    /// extension table (indexed engine).
+    pub candidates: Duration,
+    /// Structural work per candidate: `apply_structure` + `check_extension`.
+    pub check: Duration,
+    /// Materializing extended embeddings: row gather (indexed) or full
+    /// re-scan (reference).
+    pub extend: Duration,
+    /// Evaluating the support measure over the extended embeddings.
+    pub support: Duration,
+}
+
+impl GrowPhaseStats {
+    /// Accumulates another breakdown into this one.
+    pub fn merge(&mut self, other: &GrowPhaseStats) {
+        self.candidates += other.candidates;
+        self.check += other.check;
+        self.extend += other.extend;
+        self.support += other.support;
+    }
+}
+
 /// Full statistics of a SkinnyMine run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct MiningStats {
@@ -41,9 +76,17 @@ pub struct MiningStats {
     pub rejected_constraint_ii: u64,
     /// Extensions rejected by Constraint III (smaller canonical diameter created).
     pub rejected_constraint_iii: u64,
+    /// Extensions rejected because a vertex would exceed the skinniness
+    /// bound δ.
+    pub rejected_constraint_skinniness: u64,
     /// Extensions rejected because the extended pattern fell below the
     /// support threshold.
     pub rejected_infrequent: u64,
+    /// Extensions pruned by the extension table's free support upper bound
+    /// (incidence count `< σ`) before any structural or data work.
+    pub pruned_support_bound: u64,
+    /// Wall-clock breakdown of Stage II's candidate evaluation.
+    pub grow_phases: GrowPhaseStats,
     /// Full canonical-diameter recomputations triggered (Fast mode fallback
     /// or every extension in Exact mode).
     pub full_diameter_recomputations: u64,
@@ -70,7 +113,10 @@ impl MiningStats {
         self.rejected_constraint_i += other.rejected_constraint_i;
         self.rejected_constraint_ii += other.rejected_constraint_ii;
         self.rejected_constraint_iii += other.rejected_constraint_iii;
+        self.rejected_constraint_skinniness += other.rejected_constraint_skinniness;
         self.rejected_infrequent += other.rejected_infrequent;
+        self.pruned_support_bound += other.pruned_support_bound;
+        self.grow_phases.merge(&other.grow_phases);
         self.full_diameter_recomputations += other.full_diameter_recomputations;
         self.level_grow.candidates_examined += other.level_grow.candidates_examined;
         self.level_grow.patterns_out += other.level_grow.patterns_out;
@@ -79,7 +125,7 @@ impl MiningStats {
     /// A one-line human readable summary.
     pub fn summary(&self) -> String {
         format!(
-            "DiamMine {:.1} ms ({} paths) | LevelGrow {:.1} ms ({} patterns) | checks {} | rejects I/II/III/freq {}/{}/{}/{} | recomputes {}",
+            "DiamMine {:.1} ms ({} paths) | LevelGrow {:.1} ms ({} patterns) | checks {} | rejects I/II/III/δ/freq {}/{}/{}/{}/{} | bound-pruned {} | recomputes {}",
             self.diam_mine.millis(),
             self.diam_mine.patterns_out,
             self.level_grow.millis(),
@@ -88,7 +134,9 @@ impl MiningStats {
             self.rejected_constraint_i,
             self.rejected_constraint_ii,
             self.rejected_constraint_iii,
+            self.rejected_constraint_skinniness,
             self.rejected_infrequent,
+            self.pruned_support_bound,
             self.full_diameter_recomputations,
         )
     }
@@ -114,8 +162,11 @@ mod tests {
             constraint_checks: 7,
             rejected_constraint_ii: 2,
             rejected_constraint_iii: 3,
+            rejected_constraint_skinniness: 6,
             rejected_infrequent: 4,
+            pruned_support_bound: 9,
             full_diameter_recomputations: 1,
+            grow_phases: GrowPhaseStats { extend: Duration::from_millis(5), ..Default::default() },
             ..Default::default()
         };
         a.merge(&b);
@@ -123,8 +174,11 @@ mod tests {
         assert_eq!(a.rejected_constraint_i, 1);
         assert_eq!(a.rejected_constraint_ii, 2);
         assert_eq!(a.rejected_constraint_iii, 3);
+        assert_eq!(a.rejected_constraint_skinniness, 6);
         assert_eq!(a.rejected_infrequent, 4);
+        assert_eq!(a.pruned_support_bound, 9);
         assert_eq!(a.full_diameter_recomputations, 1);
+        assert_eq!(a.grow_phases.extend, Duration::from_millis(5));
     }
 
     #[test]

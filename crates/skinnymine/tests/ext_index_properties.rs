@@ -1,0 +1,161 @@
+//! Property-based parity of the Stage-II extension-indexed grow engine:
+//! [`skinnymine::ExtensionTable`] must agree with the reference enumeration
+//! (`LevelGrow::candidate_extensions_reference` + full re-scan) on random
+//! data — the **same candidate set in the same sorted order**, and for every
+//! candidate the **same supporting rows in the same order** (gather output
+//! byte-identical to `extend_embeddings`).  The miner's byte-identity
+//! guarantee across engines, thread counts and representations rests on
+//! exactly these two facts.
+
+use proptest::prelude::*;
+use skinny_graph::{Label, LabeledGraph, SupportMeasure, VertexId};
+use skinnymine::{
+    DiamMine, Exploration, Extension, GrowEngine, GrowScratch, GrownPattern, LevelGrow, MiningData,
+    ReportMode, SkinnyMine, SkinnyMineConfig,
+};
+
+/// Strategy: a small random labeled graph with few labels (3 vertex, 2 edge
+/// labels) so that shared descriptors, multi-edge attachment runs and
+/// closing-edge candidates all occur often.
+fn any_graph() -> impl Strategy<Value = LabeledGraph> {
+    (4..10usize).prop_flat_map(|n| {
+        let labels = proptest::collection::vec(0..3u32, n);
+        let edges = proptest::collection::vec((0..n, 0..n, 0..2u32), 0..(3 * n));
+        (labels, edges).prop_map(|(labels, edges)| {
+            let mut g = LabeledGraph::new();
+            for l in labels {
+                g.add_vertex(Label(l));
+            }
+            for (u, v, el) in edges {
+                let (u, v) = (VertexId(u as u32), VertexId(v as u32));
+                if u == v || g.has_edge(u, v) {
+                    continue;
+                }
+                g.add_edge(u, v, Label(el)).expect("vertices exist and the edge is new");
+            }
+            g
+        })
+    })
+}
+
+/// Seed patterns plus a bounded set of one-step children, so that the
+/// parity check also covers patterns carrying twigs, multi-edge attachments
+/// and closing edges.
+fn sample_patterns(
+    g: &LabeledGraph,
+    grower: &LevelGrow<'_>,
+    delta: u32,
+    scratch: &mut GrowScratch,
+) -> Vec<GrownPattern> {
+    let data = MiningData::Single(g);
+    let dm = DiamMine::new(data.clone(), 1, SupportMeasure::DistinctVertexSets);
+    let mut patterns: Vec<GrownPattern> =
+        dm.mine_exact(2).iter().map(GrownPattern::from_path_pattern).collect();
+    let mut children = Vec::new();
+    'outer: for p in &patterns {
+        for ext in grower.candidate_extensions_reference(p, scratch) {
+            let embeddings = p.extend_embeddings(&data, &ext);
+            if embeddings.is_empty() {
+                continue;
+            }
+            let structure = p.apply_structure(&ext);
+            // only constraint-valid children: the engine never grows an
+            // invariant-violating pattern, and the pre-checks assume the
+            // canonical-diameter invariant holds on the parent
+            let check = skinnymine::check_extension(
+                p,
+                &ext,
+                &structure,
+                delta,
+                skinnymine::ConstraintCheckMode::Fast,
+            );
+            if check.verdict.is_err() {
+                continue;
+            }
+            children.push(p.assemble(ext, structure, embeddings));
+            if children.len() >= 8 {
+                break 'outer;
+            }
+        }
+    }
+    patterns.extend(children);
+    patterns
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn table_matches_reference_enumeration(g in any_graph(), delta in 0u32..3) {
+        let data = MiningData::Single(&g);
+        let config = SkinnyMineConfig::new(2, delta, 1).with_report(ReportMode::All);
+        let grower = LevelGrow::new(data.clone(), &config);
+        let mut scratch = GrowScratch::new();
+        for pattern in sample_patterns(&g, &grower, delta, &mut scratch) {
+            let reference: Vec<Extension> =
+                grower.candidate_extensions_reference(&pattern, &mut scratch).into_iter().collect();
+            scratch.ext.build(&pattern, &data, delta);
+            let table = &scratch.ext.table;
+            // same candidate set, same sorted order
+            prop_assert_eq!(table.candidate_count(), reference.len());
+            for (i, ext) in reference.iter().enumerate() {
+                prop_assert_eq!(table.extension(i), ext);
+                // same supporting rows in the same order: the gather equals
+                // the reference full re-scan byte for byte
+                let gathered = table.gather(i, &pattern.embeddings);
+                let rescanned = pattern.extend_embeddings(&data, ext);
+                prop_assert_eq!(&gathered, &rescanned, "candidate {:?}", ext);
+                // the upper bound is the exact row count
+                prop_assert_eq!(table.support_upper_bound(i), gathered.len());
+                // the cheap pre-check must agree with the full structural
+                // check the indexed engine skips
+                let mode = skinnymine::ConstraintCheckMode::Fast;
+                let structure = pattern.apply_structure(ext);
+                let full = skinnymine::check_extension(&pattern, ext, &structure, delta, mode);
+                match skinnymine::precheck_violation(&pattern, ext, delta) {
+                    Some(v) => {
+                        prop_assert_eq!(full.verdict, Err(v), "pre-check reject diverged on {:?}", ext)
+                    }
+                    None => {
+                        // for single-edge extensions the cheap checks are
+                        // exact: only Constraint III can still reject, and
+                        // only when the structural check is declared needed
+                        if !matches!(ext, Extension::NewVertexMulti { .. }) {
+                            let needed = skinnymine::needs_structural_check(&pattern, ext, mode);
+                            match full.verdict {
+                                Ok(()) => {}
+                                Err(v) => {
+                                    prop_assert!(
+                                        needed
+                                            && v == skinnymine::ConstraintViolation::SmallerDiameterCreated,
+                                        "unexpected verdict {:?} for pre-checked {:?}",
+                                        v,
+                                        ext
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engines_mine_identically(g in any_graph()) {
+        for (exploration, report) in [
+            (Exploration::Exhaustive, ReportMode::All),
+            (Exploration::ClosureJump, ReportMode::Closed),
+        ] {
+            let indexed = SkinnyMineConfig::new(2, 1, 1)
+                .with_report(report)
+                .with_exploration(exploration);
+            let reference = indexed.clone().with_grow_engine(GrowEngine::Reference);
+            let a = SkinnyMine::new(indexed).mine(&g).expect("non-empty input");
+            let b = SkinnyMine::new(reference).mine(&g).expect("non-empty input");
+            // byte-identical output: same patterns, same order, same
+            // embeddings, same flags
+            prop_assert_eq!(format!("{:?}", a.patterns), format!("{:?}", b.patterns));
+        }
+    }
+}

@@ -15,7 +15,7 @@
 //! concurrent test thread can pollute the counter.
 
 use skinny_graph::{Label, LabeledGraph, SupportMeasure, VertexMarks};
-use skinnymine::{DiamMine, Extension, GrownPattern, MiningData};
+use skinnymine::{DiamMine, Extension, ExtensionScratch, GrownPattern, MiningData};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -144,6 +144,37 @@ fn hot_loops_allocate_per_pattern_not_per_row() {
         ext_allocs < 32,
         "extension reject path allocated {ext_allocs} times for {rows} scanned rows — \
          with warm marks it must allocate at most a handful of times"
+    );
+
+    // ---- Stage II extension table: the inverted-index sweep -------------
+    // 200 rows feed one candidate; a warm rebuild (the gather engine's
+    // per-pattern work, and the entire reject path when the candidate is
+    // bound-pruned below sigma) must allocate per candidate, never per row
+    let g = labeled_paths_graph(200);
+    let data = MiningData::Single(&g);
+    let dm = DiamMine::new(data.clone(), 1, SupportMeasure::DistinctVertexSets);
+    let len1 = dm.frequent_edges();
+    let pattern = GrownPattern::from_path_pattern(&len1[0]);
+    let rows = pattern.embeddings.len() as u64;
+    assert_eq!(rows, 200);
+    let mut ext_scratch = ExtensionScratch::new();
+    ext_scratch.build(&pattern, &data, 2);
+    let (build_allocs, ()) = counted(|| ext_scratch.build(&pattern, &data, 2));
+    assert_eq!(ext_scratch.table.candidate_count(), 1);
+    assert_eq!(ext_scratch.table.support_upper_bound(0), rows as usize);
+    assert!(
+        build_allocs < 32,
+        "extension-table build allocated {build_allocs} times for {rows} swept rows — \
+         the warm sweep must not allocate per row"
+    );
+    // gathering the surviving candidate materializes exactly its rows: one
+    // pre-sized store per candidate, no per-row growth
+    let (gather_allocs, gathered) = counted(|| ext_scratch.table.gather(0, &pattern.embeddings));
+    assert_eq!(gathered.len(), rows as usize);
+    assert!(
+        gather_allocs < 8,
+        "gather allocated {gather_allocs} times for {rows} gathered rows — \
+         the store must be pre-sized from the incidence count"
     );
 
     // ---- accept path: allocation tracks emitted patterns ----------------
