@@ -61,10 +61,11 @@ impl GSpan {
         let mut output = MinerOutput { patterns: Vec::new(), runtime: started.elapsed(), completed: true };
         let mut candidates = 0u64;
         let mut seen: std::collections::HashSet<skinny_graph::DfsCode> = std::collections::HashSet::new();
+        let mut scratch = skinny_graph::CanonScratch::new();
         let seeds = EmbeddedPattern::frequent_edges(data, self.config.sigma, measure);
         for seed in seeds {
-            seen.insert(min_dfs_code(&seed.graph));
-            self.grow(data, &seed, measure, &mut output, &mut candidates, &mut seen, started);
+            seen.insert(skinny_graph::min_dfs_code_with(&seed.graph, &mut scratch));
+            self.grow(data, &seed, measure, &mut output, &mut candidates, &mut seen, &mut scratch, started);
             if !output.completed {
                 break;
             }
@@ -75,7 +76,9 @@ impl GSpan {
 
     /// Depth-first growth with minimum-DFS-code pruning: a pattern is
     /// expanded only when its code is canonical, which guarantees each
-    /// pattern is generated exactly once across the whole search.
+    /// pattern is generated exactly once across the whole search.  Codes
+    /// are computed by the scratch-reusing early-abort engine
+    /// (`skinny_graph::canon`), one per surviving child.
     #[allow(clippy::too_many_arguments)]
     fn grow(
         &self,
@@ -85,6 +88,7 @@ impl GSpan {
         output: &mut MinerOutput,
         candidates: &mut u64,
         seen: &mut std::collections::HashSet<skinny_graph::DfsCode>,
+        scratch: &mut skinny_graph::CanonScratch,
         started: Instant,
     ) {
         let support = pattern.support(measure);
@@ -114,30 +118,38 @@ impl GSpan {
             // path/minimum-code test plays in the original algorithm.  The
             // canonical-code `seen` set guards the residual case of a parent
             // reaching an isomorphic child through two different growths.
-            if !self.is_canonical_parent(pattern, &child) {
+            // The child's code is computed once and shared by both tests.
+            let code = skinny_graph::min_dfs_code_with(&child.graph, scratch);
+            debug_assert_eq!(code, min_dfs_code(&child.graph));
+            debug_assert!(is_min_code(&code));
+            if !self.is_canonical_parent(pattern, &code, scratch) {
                 continue;
             }
-            let code = min_dfs_code(&child.graph);
-            debug_assert!(is_min_code(&code));
             if !seen.insert(code) {
                 continue;
             }
-            self.grow(data, &child, measure, output, candidates, seen, started);
+            self.grow(data, &child, measure, output, candidates, seen, scratch, started);
             if !output.completed {
                 return;
             }
         }
     }
 
-    /// True when `parent` is the canonical parent of `child`: removing the
-    /// last edge of the child's minimum DFS code yields a graph isomorphic to
-    /// the parent.  This is the duplicate-elimination rule that makes the
-    /// depth-first enumeration generate each pattern exactly once.
-    fn is_canonical_parent(&self, parent: &EmbeddedPattern, child: &EmbeddedPattern) -> bool {
-        let mut code = min_dfs_code(&child.graph);
-        if code.edges.len() <= 1 {
+    /// True when `parent` is the canonical parent of the child whose minimum
+    /// DFS code is `child_code`: removing the code's last edge yields a
+    /// graph isomorphic to the parent.  This is the duplicate-elimination
+    /// rule that makes the depth-first enumeration generate each pattern
+    /// exactly once.
+    fn is_canonical_parent(
+        &self,
+        parent: &EmbeddedPattern,
+        child_code: &skinny_graph::DfsCode,
+        scratch: &mut skinny_graph::CanonScratch,
+    ) -> bool {
+        if child_code.edges.len() <= 1 {
             return true;
         }
+        let mut code = child_code.clone();
         code.edges.pop();
         let truncated = code.to_graph();
         // the truncated canonical graph may drop an isolated vertex; compare
@@ -145,7 +157,8 @@ impl GSpan {
         if truncated.edge_count() != parent.graph.edge_count() {
             return false;
         }
-        min_dfs_code(&truncated) == min_dfs_code(&parent.graph)
+        skinny_graph::min_dfs_code_with(&truncated, scratch)
+            == skinny_graph::min_dfs_code_with(&parent.graph, scratch)
     }
 }
 

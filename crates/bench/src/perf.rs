@@ -64,6 +64,33 @@ pub struct GrowComparison {
     pub phases: GrowPhaseStats,
 }
 
+/// Before/after comparison of the canonical-form subsystem (schema v3): the
+/// cross-cluster dedup pass (signature buckets + fresh keys vs memoized
+/// fingerprint funnel) and the per-candidate structural build (fresh
+/// allocation vs incremental into scratch), plus the funnel work counters of
+/// the indexed mining run.
+#[derive(Debug, Clone)]
+pub struct CanonComparison {
+    /// Seconds of the PR-4 reference dedup pass (best of repetitions).
+    pub dedup_before_seconds: f64,
+    /// Seconds of the fingerprint/memoized-key dedup pass.
+    pub dedup_after_seconds: f64,
+    /// `before / after`.
+    pub dedup_speedup: f64,
+    /// Seconds of the freshly-allocating `apply_structure` loop.
+    pub structure_before_seconds: f64,
+    /// Seconds of the scratch-reusing `apply_structure_with` loop.
+    pub structure_after_seconds: f64,
+    /// `before / after`.
+    pub structure_speedup: f64,
+    /// Dedup inserts whose fingerprint was already interned.
+    pub fingerprint_hits: u64,
+    /// Full minimum-DFS-code computations performed.
+    pub full_keys: u64,
+    /// Early-aborted DFS traversals.
+    pub early_aborts: u64,
+}
+
 /// The full `perf` experiment result.
 #[derive(Debug, Clone)]
 pub struct Stage1Bench {
@@ -87,6 +114,8 @@ pub struct Stage1Bench {
     pub joins: Vec<JoinComparison>,
     /// Before/after Stage-II grow-engine comparison.
     pub grow: GrowComparison,
+    /// Before/after canonical-form comparison (dedup + structural build).
+    pub canon: CanonComparison,
 }
 
 /// Measured repetitions per timed section (the minimum is reported, which is
@@ -176,6 +205,14 @@ pub fn run_stage1_perf(scale: Scale) -> Stage1Bench {
         phases: indexed_result.stats.grow_phases.clone(),
     };
 
+    // before/after: the canonical-form subsystem.  The dedup pass runs over
+    // the patterns the indexed engine just mined (reference: signature
+    // buckets + fresh canonical keys; new: memoized fingerprint funnel —
+    // parity asserted), and the structural build re-applies one extension
+    // to a real grown pattern (reference: fresh allocation per candidate;
+    // new: incremental into warm scratch).
+    let canon = canon_comparison(&indexed_result, &len6, &len4, &len1);
+
     // before/after: the reference hash-map joins vs the indexed engine, on
     // identical inputs; outputs are asserted byte-identical as a side check
     let (before_concat, ref_len2) = time_best(|| dm.concat_double_reference(&len1));
@@ -198,7 +235,7 @@ pub fn run_stage1_perf(scale: Scale) -> Stage1Bench {
     ];
 
     Stage1Bench {
-        schema_version: 2,
+        schema_version: 3,
         preset: "fig16-er-deg3-f10".to_string(),
         divisor: scale.divisor,
         seed: scale.seed,
@@ -208,6 +245,67 @@ pub fn run_stage1_perf(scale: Scale) -> Stage1Bench {
         phases,
         joins,
         grow,
+        canon,
+    }
+}
+
+/// Times the canonical-form before/afters: the cross-cluster dedup pass
+/// over `result`'s patterns and the per-candidate structural build on a
+/// grown pattern seeded from the longest non-empty Stage-I output.
+fn canon_comparison(
+    result: &MiningResult,
+    len6: &[PathPattern],
+    len4: &[PathPattern],
+    len1: &[PathPattern],
+) -> CanonComparison {
+    use std::hint::black_box;
+    // -- dedup: reference signature buckets vs memoized fingerprint funnel
+    let patterns = &result.patterns;
+    let (dedup_before, reference_drop) =
+        time_best(|| skinnymine::duplicate_pattern_indices_reference(black_box(patterns)));
+    let (dedup_after, (funnel_drop, _)) =
+        time_best(|| skinnymine::duplicate_pattern_indices(black_box(patterns)));
+    assert_eq!(reference_drop, funnel_drop, "canon dedup: reference and funnel verdicts diverge");
+
+    // -- structural build: fresh allocation vs incremental into scratch
+    let seed =
+        len6.first().or_else(|| len4.first()).or_else(|| len1.first()).expect("a frequent edge exists");
+    let pattern = skinnymine::GrownPattern::from_path_pattern(seed);
+    let mid = (pattern.diameter_len / 2) as u32;
+    let ext = skinnymine::Extension::NewVertex {
+        attach: mid,
+        vertex_label: skinny_graph::Label(0),
+        edge_label: skinny_graph::Label::DEFAULT_EDGE,
+    };
+    const BUILDS: usize = 4000;
+    let (structure_before, ()) = time_best(|| {
+        for _ in 0..BUILDS {
+            black_box(pattern.apply_structure(black_box(&ext)));
+        }
+    });
+    let mut scratch = skinnymine::StructScratch::new();
+    let (structure_after, ()) = time_best(|| {
+        for _ in 0..BUILDS {
+            pattern.apply_structure_with(black_box(&ext), &mut scratch);
+            black_box(&scratch.structure);
+        }
+    });
+    // parity of the two builders
+    let reference = pattern.apply_structure(&ext);
+    pattern.apply_structure_with(&ext, &mut scratch);
+    assert_eq!(reference.dists, scratch.structure.dists, "canon structure: builders diverge");
+    assert_eq!(reference.graph, scratch.structure.graph, "canon structure: builders diverge");
+
+    CanonComparison {
+        dedup_before_seconds: dedup_before,
+        dedup_after_seconds: dedup_after,
+        dedup_speedup: dedup_before / dedup_after.max(f64::MIN_POSITIVE),
+        structure_before_seconds: structure_before,
+        structure_after_seconds: structure_after,
+        structure_speedup: structure_before / structure_after.max(f64::MIN_POSITIVE),
+        fingerprint_hits: result.stats.canon_fingerprint_hits,
+        full_keys: result.stats.canon_full_keys,
+        early_aborts: result.stats.canon_early_aborts,
     }
 }
 
@@ -289,12 +387,27 @@ impl Stage1Bench {
         s.push_str(&format!("    \"speedup\": {:.3},\n", self.grow.speedup));
         s.push_str(&format!(
             "    \"phases\": {{\"candidates_seconds\": {:.6}, \"check_seconds\": {:.6}, \
-             \"extend_seconds\": {:.6}, \"support_seconds\": {:.6}}}\n",
+             \"extend_seconds\": {:.6}, \"support_seconds\": {:.6}, \"canon_seconds\": {:.6}}}\n",
             self.grow.phases.candidates.as_secs_f64(),
             self.grow.phases.check.as_secs_f64(),
             self.grow.phases.extend.as_secs_f64(),
             self.grow.phases.support.as_secs_f64(),
+            self.grow.phases.canon.as_secs_f64(),
         ));
+        s.push_str("  },\n");
+        s.push_str("  \"canon\": {\n");
+        s.push_str(&format!("    \"dedup_before_seconds\": {:.6},\n", self.canon.dedup_before_seconds));
+        s.push_str(&format!("    \"dedup_after_seconds\": {:.6},\n", self.canon.dedup_after_seconds));
+        s.push_str(&format!("    \"dedup_speedup\": {:.3},\n", self.canon.dedup_speedup));
+        s.push_str(&format!(
+            "    \"structure_before_seconds\": {:.6},\n",
+            self.canon.structure_before_seconds
+        ));
+        s.push_str(&format!("    \"structure_after_seconds\": {:.6},\n", self.canon.structure_after_seconds));
+        s.push_str(&format!("    \"structure_speedup\": {:.3},\n", self.canon.structure_speedup));
+        s.push_str(&format!("    \"fingerprint_hits\": {},\n", self.canon.fingerprint_hits));
+        s.push_str(&format!("    \"full_keys\": {},\n", self.canon.full_keys));
+        s.push_str(&format!("    \"early_aborts\": {}\n", self.canon.early_aborts));
         s.push_str("  }\n}\n");
         s
     }
@@ -466,10 +579,12 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// Validates a JSON document against the `BENCH_stage1.json` schema: the
-/// top-level metadata fields, at least the five canonical phases, both join
-/// comparisons, and the Stage-II grow comparison with its four sub-timing
-/// fields — all with finite non-negative timings.  Timings themselves are
+/// Validates a JSON document against the `BENCH_stage1.json` schema (v3):
+/// the top-level metadata fields, at least the five canonical phases, both
+/// join comparisons, the Stage-II grow comparison with its five sub-timing
+/// fields (including the `canon` dedup bucket), and the canonical-form
+/// `canon` comparison with its dedup/structure timings and funnel counters —
+/// all with finite non-negative values.  Timings themselves are
 /// machine-dependent and never gated on.
 pub fn check_schema(text: &str) -> Result<(), String> {
     let doc = Reader::new(text).value()?;
@@ -479,7 +594,7 @@ pub fn check_schema(text: &str) -> Result<(), String> {
             .filter(|x| x.is_finite() && *x >= 0.0)
             .ok_or_else(|| format!("missing or invalid numeric field \"{key}\""))
     };
-    if num_field(&doc, "schema_version")? != 2.0 {
+    if num_field(&doc, "schema_version")? != 3.0 {
         return Err("unsupported schema_version".to_string());
     }
     match doc.get("experiment") {
@@ -534,8 +649,24 @@ pub fn check_schema(text: &str) -> Result<(), String> {
     let Some(grow_phases @ Json::Obj(_)) = grow.get("phases") else {
         return Err("missing grow sub-timing object \"phases\"".to_string());
     };
-    for key in ["candidates_seconds", "check_seconds", "extend_seconds", "support_seconds"] {
+    for key in ["candidates_seconds", "check_seconds", "extend_seconds", "support_seconds", "canon_seconds"] {
         num_field(grow_phases, key)?;
+    }
+    let Some(canon @ Json::Obj(_)) = doc.get("canon") else {
+        return Err("missing \"canon\" comparison object".to_string());
+    };
+    for key in [
+        "dedup_before_seconds",
+        "dedup_after_seconds",
+        "dedup_speedup",
+        "structure_before_seconds",
+        "structure_after_seconds",
+        "structure_speedup",
+        "fingerprint_hits",
+        "full_keys",
+        "early_aborts",
+    ] {
+        num_field(canon, key)?;
     }
     Ok(())
 }
@@ -556,16 +687,17 @@ mod tests {
     fn schema_check_rejects_malformed_documents() {
         assert!(check_schema("{}").is_err());
         assert!(check_schema("not json").is_err());
-        // the pre-grow schema version is no longer accepted
+        // the pre-grow and pre-canon schema versions are no longer accepted
         assert!(check_schema("{\"schema_version\": 1}").is_err());
-        let truncated = "{\"schema_version\": 2, \"experiment\": \"stage1_perf\"}";
+        assert!(check_schema("{\"schema_version\": 2}").is_err());
+        let truncated = "{\"schema_version\": 3, \"experiment\": \"stage1_perf\"}";
         assert!(check_schema(truncated).is_err());
     }
 
     #[test]
-    fn schema_check_requires_grow_sub_timings() {
-        // a handwritten minimal valid document; mutations of its grow
-        // section must be rejected
+    fn schema_check_requires_grow_and_canon_fields() {
+        // a handwritten minimal valid document; mutations of its grow and
+        // canon sections must be rejected
         let phase =
             |n: &str| format!("{{\"name\": \"{n}\", \"seconds\": 0.1, \"patterns\": 1, \"rows\": 1}}");
         let join = |n: &str| {
@@ -575,11 +707,15 @@ mod tests {
             )
         };
         let valid = format!(
-            "{{\"schema_version\": 2, \"experiment\": \"stage1_perf\", \"divisor\": 4, \"seed\": 1, \
+            "{{\"schema_version\": 3, \"experiment\": \"stage1_perf\", \"divisor\": 4, \"seed\": 1, \
              \"vertices\": 10, \"edges\": 9, \"sigma\": 2, \"phases\": [{}], \"joins\": [{}, {}], \
              \"grow\": {{\"before_reference_seconds\": 0.4, \"after_indexed_seconds\": 0.2, \
              \"speedup\": 2.0, \"phases\": {{\"candidates_seconds\": 0.1, \"check_seconds\": 0.02, \
-             \"extend_seconds\": 0.05, \"support_seconds\": 0.03}}}}}}",
+             \"extend_seconds\": 0.05, \"support_seconds\": 0.03, \"canon_seconds\": 0.01}}}}, \
+             \"canon\": {{\"dedup_before_seconds\": 0.2, \"dedup_after_seconds\": 0.1, \
+             \"dedup_speedup\": 2.0, \"structure_before_seconds\": 0.2, \
+             \"structure_after_seconds\": 0.1, \"structure_speedup\": 2.0, \
+             \"fingerprint_hits\": 5, \"full_keys\": 3, \"early_aborts\": 9}}}}",
             ["seed", "concat2", "concat4", "merge6", "grow"].map(phase).join(", "),
             join("concat"),
             join("merge"),
@@ -592,6 +728,13 @@ mod tests {
         assert!(check_schema(&without_phases).is_err());
         let negative = valid.replace("\"extend_seconds\": 0.05", "\"extend_seconds\": -1");
         assert!(check_schema(&negative).is_err());
+        // schema v3: the canon grow bucket and the canon comparison gate
+        let without_canon_bucket = valid.replace("\"canon_seconds\": 0.01", "\"x_seconds\": 0.01");
+        assert!(check_schema(&without_canon_bucket).unwrap_err().contains("canon_seconds"));
+        let without_canon = valid.replace("\"canon\": {\"dedup", "\"canonical\": {\"dedup");
+        assert!(check_schema(&without_canon).unwrap_err().contains("canon"));
+        let without_counters = valid.replace("\"full_keys\": 3, ", "");
+        assert!(check_schema(&without_counters).unwrap_err().contains("full_keys"));
     }
 
     #[test]

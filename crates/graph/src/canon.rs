@@ -1,0 +1,675 @@
+//! Canonical-form subsystem: cheap order-invariant fingerprints, an
+//! early-abort minimum-DFS-code engine with reusable scratch, and the
+//! fingerprint → full-key dedup funnel ([`CanonSet`]) the miners build on.
+//!
+//! The minimum DFS code ([`crate::dfscode::min_dfs_code`]) is an exact
+//! canonical form — two connected labeled graphs are isomorphic iff their
+//! minimum codes are equal — but it is also by far the most expensive
+//! per-pattern primitive in the mining stack.  Treating canonical forms as
+//! the basis for cheap equivalence decisions (the move at the heart of
+//! symbolic query-equivalence checking) suggests the funnel implemented
+//! here:
+//!
+//! 1. **Fingerprint first** ([`fingerprint`]): an order-invariant `u64` hash
+//!    of the `(vertex label, degree)` multiset, the endpoint-sorted edge
+//!    triple multiset and the graph size, computed in `O(V + E)` with zero
+//!    allocation.  Isomorphic graphs always collide; distinct fingerprints
+//!    prove non-isomorphism, which is the overwhelmingly common verdict a
+//!    dedup structure needs.
+//! 2. **Full key only on collision**: a fingerprint hit falls through to the
+//!    exact minimum DFS code, computed by the scratch-reusing engine
+//!    ([`min_dfs_code_with`]) that recycles every traversal-state buffer
+//!    across calls — zero steady-state allocation — and, gSpan-style, prunes
+//!    a traversal as soon as its code prefix exceeds the best-so-far
+//!    (tracked by the `early_aborts` counter) instead of materializing and
+//!    comparing complete codes.
+//! 3. **Memoize**: keys computed once are interned behind dense
+//!    [`CanonId`]s in the [`CanonSet`], so no caller ever recomputes a key
+//!    the funnel already paid for.
+//!
+//! [`crate::dfscode::min_dfs_code`] is retained untouched as the parity
+//! reference; `canon_properties` proptests pin the engines to it.
+
+use crate::dfscode::{cmp_dfs_edge, DfsCode, DfsEdge};
+use crate::graph::{LabeledGraph, VertexId};
+use crate::label::Label;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// The splitmix64 finalizer: a cheap, statistically strong 64-bit mixer.
+/// Exposed so downstream crates (e.g. cycle-key fingerprints) hash with the
+/// same deterministic primitive — no per-process randomness anywhere.
+#[inline]
+pub fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// An order-invariant fingerprint of a labeled graph, computed in
+/// `O(V + E)` with no allocation: mixes the `(vertex label, degree)`
+/// multiset, the multiset of `(endpoint key, endpoint key, edge label)`
+/// triples (endpoint keys sorted, so orientation cannot matter) and the
+/// vertex/edge counts.
+///
+/// **Contract**: isomorphic graphs always have equal fingerprints (every
+/// ingredient is isomorphism-invariant, and multisets are combined with a
+/// commutative sum).  Unequal fingerprints therefore prove non-isomorphism;
+/// equal fingerprints mean "probably isomorphic — confirm with the full
+/// canonical key".  Deterministic across runs, platforms and thread counts.
+pub fn fingerprint(graph: &LabeledGraph) -> u64 {
+    let mut vsum: u64 = 0;
+    for v in graph.vertices() {
+        vsum = vsum.wrapping_add(mix(((graph.label(v).0 as u64) << 32) | graph.degree(v) as u64));
+    }
+    let mut esum: u64 = 0;
+    for e in graph.edges() {
+        let key_u = ((graph.label(e.u).0 as u64) << 32) | graph.degree(e.u) as u64;
+        let key_v = ((graph.label(e.v).0 as u64) << 32) | graph.degree(e.v) as u64;
+        let (a, b) = if key_u <= key_v { (key_u, key_v) } else { (key_v, key_u) };
+        esum = esum.wrapping_add(mix(mix(a)
+            .wrapping_mul(3)
+            .wrapping_add(mix(b))
+            .wrapping_add(mix(e.label.0 as u64).rotate_left(17))));
+    }
+    mix(vsum ^ mix(esum) ^ (((graph.vertex_count() as u64) << 32) | graph.edge_count() as u64))
+}
+
+/// One DFS traversal state of the minimum-code search: a partial mapping
+/// between DFS indices and graph vertices plus the rightmost path — the same
+/// state the reference engine keeps, but with every buffer reusable.
+#[derive(Debug, Default)]
+struct CanonState {
+    /// `dfs_to_graph[i]` = graph vertex with DFS index `i`.
+    dfs_to_graph: Vec<VertexId>,
+    /// `graph_to_dfs[v]` = DFS index of graph vertex `v` (`u32::MAX` if unvisited).
+    graph_to_dfs: Vec<u32>,
+    /// DFS indices on the rightmost path, root first.
+    rightmost_path: Vec<u32>,
+    /// Edges (as unordered graph vertex pairs) already used by the code.
+    used_edges: Vec<(VertexId, VertexId)>,
+}
+
+impl CanonState {
+    /// Resets to a single-root state over an `n`-vertex graph, reusing the
+    /// buffers.
+    fn reset_root(&mut self, n: usize, root: VertexId) {
+        self.dfs_to_graph.clear();
+        self.dfs_to_graph.push(root);
+        self.graph_to_dfs.clear();
+        self.graph_to_dfs.resize(n, u32::MAX);
+        self.graph_to_dfs[root.index()] = 0;
+        self.rightmost_path.clear();
+        self.rightmost_path.push(0);
+        self.used_edges.clear();
+    }
+
+    /// Copies another state into this one without fresh allocation (beyond
+    /// first-use buffer growth).
+    fn assign_from(&mut self, other: &CanonState) {
+        self.dfs_to_graph.clear();
+        self.dfs_to_graph.extend_from_slice(&other.dfs_to_graph);
+        self.graph_to_dfs.clear();
+        self.graph_to_dfs.extend_from_slice(&other.graph_to_dfs);
+        self.rightmost_path.clear();
+        self.rightmost_path.extend_from_slice(&other.rightmost_path);
+        self.used_edges.clear();
+        self.used_edges.extend_from_slice(&other.used_edges);
+    }
+
+    fn edge_used(&self, a: VertexId, b: VertexId) -> bool {
+        self.used_edges.iter().any(|&(x, y)| (x == a && y == b) || (x == b && y == a))
+    }
+}
+
+/// A candidate next edge from one surviving state.
+#[derive(Debug, Clone, Copy)]
+struct CanonCandidate {
+    edge: DfsEdge,
+    state_idx: usize,
+    /// Graph vertex the new DFS index maps to (forward edges only).
+    new_vertex: Option<VertexId>,
+    /// Graph vertex pair consumed by this edge.
+    graph_edge: (VertexId, VertexId),
+}
+
+/// Reusable scratch of the early-abort minimum-DFS-code engine: the
+/// traversal-state frontier, a recycled state pool and the candidate buffer,
+/// plus the cumulative work counters the mining statistics surface.
+///
+/// All buffers grow on first use and then stay, so repeated key computations
+/// over same-sized patterns perform **zero heap allocation** — the property
+/// `tests/alloc_hot_loops.rs` pins on the dedup reject path.
+#[derive(Debug, Default)]
+pub struct CanonScratch {
+    /// Current frontier of DFS states realizing the minimal prefix.
+    states: Vec<CanonState>,
+    /// Next frontier under construction.
+    next: Vec<CanonState>,
+    /// Recycled state buffers.
+    pool: Vec<CanonState>,
+    /// Candidates matching the current best edge.
+    cands: Vec<CanonCandidate>,
+    /// Completed minimum-code computations since the last counter reset.
+    full_keys: u64,
+    /// Traversal states pruned before completion (their code prefix exceeded
+    /// the best-so-far) plus early-returned is-minimal verdicts.
+    early_aborts: u64,
+}
+
+impl CanonScratch {
+    /// Creates an empty scratch (buffers grow on first use, then stay).
+    pub fn new() -> Self {
+        CanonScratch::default()
+    }
+
+    /// `(full key computations, early-aborted traversals)` since the last
+    /// [`CanonScratch::reset_counters`].
+    pub fn counters(&self) -> (u64, u64) {
+        (self.full_keys, self.early_aborts)
+    }
+
+    /// Zeroes the work counters (buffers are untouched).
+    pub fn reset_counters(&mut self) {
+        self.full_keys = 0;
+        self.early_aborts = 0;
+    }
+
+    /// Recycles every live state into the pool.
+    fn recycle_all(&mut self) {
+        self.pool.append(&mut self.states);
+        self.pool.append(&mut self.next);
+        self.cands.clear();
+    }
+
+    /// Seeds one root state per vertex (the first edge selection prunes
+    /// them, exactly as in the reference engine).
+    fn seed(&mut self, graph: &LabeledGraph) {
+        self.recycle_all();
+        let n = graph.vertex_count();
+        for v in graph.vertices() {
+            let mut st = self.pool.pop().unwrap_or_default();
+            st.reset_root(n, v);
+            self.states.push(st);
+        }
+    }
+
+    /// Selects the globally minimal next edge over all frontier states,
+    /// keeping only the candidates that realize it, and counts every state
+    /// that realizes none of them as an early-aborted traversal.
+    fn select_min_edge(&mut self, graph: &LabeledGraph) -> DfsEdge {
+        self.cands.clear();
+        let mut best: Option<DfsEdge> = None;
+        for (si, state) in self.states.iter().enumerate() {
+            push_candidates(graph, state, si, &mut best, &mut self.cands);
+        }
+        // candidates arrive in ascending state order; count the distinct
+        // surviving states to charge the dropped ones as early aborts
+        let mut survivors = 0u64;
+        let mut last = usize::MAX;
+        for c in &self.cands {
+            if c.state_idx != last {
+                survivors += 1;
+                last = c.state_idx;
+            }
+        }
+        self.early_aborts += self.states.len() as u64 - survivors;
+        best.expect("connected graph with remaining edges has an extension")
+    }
+
+    /// Advances every surviving candidate's state by the chosen edge.
+    fn advance(&mut self, best: DfsEdge) {
+        for ci in 0..self.cands.len() {
+            let cand = self.cands[ci];
+            let mut st = self.pool.pop().unwrap_or_default();
+            st.assign_from(&self.states[cand.state_idx]);
+            st.used_edges.push(cand.graph_edge);
+            if best.is_forward() {
+                let nv = cand.new_vertex.expect("forward edge introduces a vertex");
+                st.graph_to_dfs[nv.index()] = best.to;
+                st.dfs_to_graph.push(nv);
+                let pos = st
+                    .rightmost_path
+                    .iter()
+                    .position(|&d| d == best.from)
+                    .expect("forward source lies on rightmost path");
+                st.rightmost_path.truncate(pos + 1);
+                st.rightmost_path.push(best.to);
+            }
+            self.next.push(st);
+        }
+        self.cands.clear();
+        self.pool.append(&mut self.states);
+        std::mem::swap(&mut self.states, &mut self.next);
+    }
+}
+
+/// Enumerates the admissible next edges of one state (gSpan growth rules:
+/// backward from the rightmost vertex, then forward from rightmost-path
+/// vertices), keeping only candidates that match or improve `best`.
+fn push_candidates(
+    graph: &LabeledGraph,
+    state: &CanonState,
+    state_idx: usize,
+    best: &mut Option<DfsEdge>,
+    cands: &mut Vec<CanonCandidate>,
+) {
+    let mut consider = |cand: CanonCandidate| match best {
+        None => {
+            *best = Some(cand.edge);
+            cands.clear();
+            cands.push(cand);
+        }
+        Some(b) => match cmp_dfs_edge(&cand.edge, b) {
+            Ordering::Less => {
+                *best = Some(cand.edge);
+                cands.clear();
+                cands.push(cand);
+            }
+            Ordering::Equal => cands.push(cand),
+            Ordering::Greater => {}
+        },
+    };
+    let rm_idx = *state.rightmost_path.last().expect("rightmost path nonempty");
+    let rm_vertex = state.dfs_to_graph[rm_idx as usize];
+    // backward edges: rightmost vertex -> a vertex on the rightmost path
+    for &anc_idx in &state.rightmost_path {
+        if anc_idx == rm_idx {
+            continue;
+        }
+        let anc_vertex = state.dfs_to_graph[anc_idx as usize];
+        if graph.has_edge(rm_vertex, anc_vertex) && !state.edge_used(rm_vertex, anc_vertex) {
+            consider(CanonCandidate {
+                edge: DfsEdge {
+                    from: rm_idx,
+                    to: anc_idx,
+                    from_label: graph.label(rm_vertex),
+                    edge_label: graph.edge_label(rm_vertex, anc_vertex).unwrap_or(Label::DEFAULT_EDGE),
+                    to_label: graph.label(anc_vertex),
+                },
+                state_idx,
+                new_vertex: None,
+                graph_edge: (rm_vertex, anc_vertex),
+            });
+        }
+    }
+    // forward edges: from any rightmost-path vertex to an unvisited vertex
+    let next_idx = state.dfs_to_graph.len() as u32;
+    for &src_idx in state.rightmost_path.iter() {
+        let src_vertex = state.dfs_to_graph[src_idx as usize];
+        for (nbr, el) in graph.neighbors(src_vertex) {
+            if state.graph_to_dfs[nbr.index()] != u32::MAX {
+                continue;
+            }
+            consider(CanonCandidate {
+                edge: DfsEdge {
+                    from: src_idx,
+                    to: next_idx,
+                    from_label: graph.label(src_vertex),
+                    edge_label: el,
+                    to_label: graph.label(nbr),
+                },
+                state_idx,
+                new_vertex: Some(nbr),
+                graph_edge: (src_vertex, nbr),
+            });
+        }
+    }
+}
+
+/// Computes the minimum DFS code of a connected labeled graph into a
+/// caller-provided code buffer, reusing every traversal buffer in `scratch`
+/// — zero heap allocation once warm.  Byte-identical to
+/// [`crate::dfscode::min_dfs_code`] (proptest-pinned parity).
+pub fn min_dfs_code_into(graph: &LabeledGraph, scratch: &mut CanonScratch, out: &mut DfsCode) {
+    out.edges.clear();
+    if graph.edge_count() == 0 {
+        return;
+    }
+    scratch.full_keys += 1;
+    scratch.seed(graph);
+    for _ in 0..graph.edge_count() {
+        let best = scratch.select_min_edge(graph);
+        out.push(best);
+        scratch.advance(best);
+    }
+    scratch.recycle_all();
+}
+
+/// [`min_dfs_code_into`] returning an owned code.
+pub fn min_dfs_code_with(graph: &LabeledGraph, scratch: &mut CanonScratch) -> DfsCode {
+    let mut out = DfsCode::new();
+    min_dfs_code_into(graph, scratch, &mut out);
+    out
+}
+
+/// Early-abort is-minimal check: decides whether `code` is the minimum DFS
+/// code of `graph` (which `code` must validly describe) **without**
+/// materializing the full minimum code.  The frontier construction runs step
+/// by step; the moment the constructed minimal edge is smaller than `code`'s
+/// edge at that position the verdict is `false` and the traversal aborts —
+/// on non-minimal codes that almost always happens on the first edge.
+/// Agrees with [`crate::dfscode::is_min_code`] (proptest-pinned).
+pub fn is_minimal_graph_code_with(graph: &LabeledGraph, code: &DfsCode, scratch: &mut CanonScratch) -> bool {
+    if code.len() != graph.edge_count() {
+        return false;
+    }
+    if code.is_empty() {
+        return true;
+    }
+    scratch.seed(graph);
+    for step in 0..graph.edge_count() {
+        let best = scratch.select_min_edge(graph);
+        match cmp_dfs_edge(&best, &code.edges[step]) {
+            Ordering::Less => {
+                // a strictly smaller code exists: abort without finishing
+                scratch.early_aborts += 1;
+                scratch.recycle_all();
+                return false;
+            }
+            // the minimum over *all* traversals can never exceed a valid
+            // code of the same graph; a Greater verdict means `code` does
+            // not describe `graph`
+            Ordering::Greater => {
+                scratch.recycle_all();
+                return false;
+            }
+            Ordering::Equal => {}
+        }
+        scratch.advance(best);
+    }
+    scratch.recycle_all();
+    true
+}
+
+/// [`is_minimal_graph_code_with`] on the graph the code itself describes —
+/// the drop-in early-abort form of [`crate::dfscode::is_min_code`].
+pub fn is_minimal_with(code: &DfsCode, scratch: &mut CanonScratch) -> bool {
+    if code.is_empty() {
+        return true;
+    }
+    let g = code.to_graph();
+    is_minimal_graph_code_with(&g, code, scratch)
+}
+
+/// Dense id of an interned canonical form inside one [`CanonSet`].
+///
+/// Ids are assigned in insertion order, so they are deterministic for any
+/// deterministic insertion sequence; patterns carry them in place of owned
+/// `DfsCode` keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CanonId(pub u32);
+
+/// Work counters of the canonical-form funnel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CanonStats {
+    /// Inserts whose fingerprint was already present (and therefore had to
+    /// fall through to a full-key comparison).
+    pub fingerprint_hits: u64,
+    /// Full minimum-DFS-code computations performed.
+    pub full_keys: u64,
+    /// DFS traversals pruned before completion.
+    pub early_aborts: u64,
+}
+
+impl CanonStats {
+    /// Component-wise sum.
+    pub fn merged(self, other: CanonStats) -> CanonStats {
+        CanonStats {
+            fingerprint_hits: self.fingerprint_hits + other.fingerprint_hits,
+            full_keys: self.full_keys + other.full_keys,
+            early_aborts: self.early_aborts + other.early_aborts,
+        }
+    }
+}
+
+/// One interned isomorphism class.
+#[derive(Debug)]
+struct CanonEntry {
+    /// The class fingerprint.
+    fingerprint: u64,
+    /// Next entry sharing the fingerprint (`u32::MAX` terminates the chain).
+    next: u32,
+    /// The memoized full canonical key — computed lazily, on the first
+    /// fingerprint collision that needs it.
+    key: Option<DfsCode>,
+    /// The class representative, retained only until `key` is materialized.
+    graph: Option<LabeledGraph>,
+}
+
+const NO_ENTRY: u32 = u32::MAX;
+
+/// A deduplicating set of graphs-up-to-isomorphism built on the
+/// fingerprint → memoized-key funnel: [`CanonSet::insert`] answers "is this
+/// graph isomorphic to anything already inserted?" and interns new classes
+/// behind dense [`CanonId`]s.
+///
+/// The common case — a distinct new pattern — costs one `O(V + E)`
+/// fingerprint and **no canonical-key computation at all**.  Only fingerprint
+/// collisions (isomorphic duplicates, plus rare hash coincidences) pay for
+/// full keys, and every key computed is memoized on its entry, never
+/// recomputed.  With warm scratch buffers a duplicate rejection performs
+/// zero heap allocation.
+#[derive(Debug, Default)]
+pub struct CanonSet {
+    scratch: CanonScratch,
+    /// Reusable key buffer for the candidate graph of one insert.
+    code_buf: DfsCode,
+    entries: Vec<CanonEntry>,
+    /// Fingerprint → head of the entry chain.
+    buckets: HashMap<u64, u32>,
+    fingerprint_hits: u64,
+}
+
+impl CanonSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        CanonSet::default()
+    }
+
+    /// Number of interned isomorphism classes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Clears the interned classes and zeroes the work counters, keeping
+    /// every buffer allocation for reuse.
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.buckets.clear();
+        self.fingerprint_hits = 0;
+        self.scratch.reset_counters();
+    }
+
+    /// Work counters since the last [`CanonSet::reset`].
+    pub fn stats(&self) -> CanonStats {
+        let (full_keys, early_aborts) = self.scratch.counters();
+        CanonStats { fingerprint_hits: self.fingerprint_hits, full_keys, early_aborts }
+    }
+
+    /// The fingerprint of an interned class.
+    pub fn fingerprint_of(&self, id: CanonId) -> u64 {
+        self.entries[id.0 as usize].fingerprint
+    }
+
+    /// The memoized canonical key of an interned class, if the funnel ever
+    /// had to compute it (a class whose fingerprint never collided keeps
+    /// `None` — that is the saving).
+    pub fn key_of(&self, id: CanonId) -> Option<&DfsCode> {
+        self.entries[id.0 as usize].key.as_ref()
+    }
+
+    /// Inserts a graph: returns the fresh [`CanonId`] when no inserted graph
+    /// is isomorphic to it, `None` when it duplicates an existing class.
+    pub fn insert(&mut self, graph: &LabeledGraph) -> Option<CanonId> {
+        let fp = fingerprint(graph);
+        let CanonSet { scratch, code_buf, entries, buckets, fingerprint_hits } = self;
+        match buckets.entry(fp) {
+            Entry::Vacant(slot) => {
+                // a fresh fingerprint proves non-isomorphism with everything
+                // interned: no canonical key needed (the representative is
+                // retained so a later collision can still materialize it)
+                let id = entries.len() as u32;
+                entries.push(CanonEntry {
+                    fingerprint: fp,
+                    next: NO_ENTRY,
+                    key: None,
+                    graph: Some(graph.clone()),
+                });
+                slot.insert(id);
+                Some(CanonId(id))
+            }
+            Entry::Occupied(slot) => {
+                *fingerprint_hits += 1;
+                min_dfs_code_into(graph, scratch, code_buf);
+                let head = *slot.get();
+                let mut cur = head;
+                loop {
+                    let entry = &mut entries[cur as usize];
+                    if entry.key.is_none() {
+                        let g = entry.graph.take().expect("entry retains graph until key materializes");
+                        entry.key = Some(min_dfs_code_with(&g, scratch));
+                    }
+                    if entry.key.as_ref() == Some(&*code_buf) {
+                        return None;
+                    }
+                    if entry.next == NO_ENTRY {
+                        break;
+                    }
+                    cur = entry.next;
+                }
+                // genuine fingerprint collision between non-isomorphic
+                // graphs: intern with the key we already paid for
+                let id = entries.len() as u32;
+                entries.push(CanonEntry {
+                    fingerprint: fp,
+                    next: head,
+                    key: Some(code_buf.clone()),
+                    graph: None,
+                });
+                *slot.into_mut() = id;
+                Some(CanonId(id))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfscode::{is_min_code, min_dfs_code};
+
+    fn l(x: u32) -> Label {
+        Label(x)
+    }
+
+    fn path_graph(labels: &[u32]) -> LabeledGraph {
+        let labels: Vec<Label> = labels.iter().map(|&x| l(x)).collect();
+        let edges: Vec<(u32, u32)> = (0..labels.len() as u32 - 1).map(|i| (i, i + 1)).collect();
+        LabeledGraph::from_unlabeled_edges(&labels, edges).unwrap()
+    }
+
+    #[test]
+    fn fingerprint_invariant_under_relabeling() {
+        let a = path_graph(&[0, 1, 2, 3]);
+        // same path with vertices stored in reverse order
+        let b =
+            LabeledGraph::from_unlabeled_edges(&[l(3), l(2), l(1), l(0)], [(3, 2), (2, 1), (1, 0)]).unwrap();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn fingerprint_separates_easy_non_isomorphic_cases() {
+        let path = path_graph(&[0, 0, 0]);
+        let tri = LabeledGraph::from_unlabeled_edges(&[l(0); 3], [(0, 1), (1, 2), (0, 2)]).unwrap();
+        assert_ne!(fingerprint(&path), fingerprint(&tri));
+        let other_labels = path_graph(&[0, 0, 1]);
+        assert_ne!(fingerprint(&path), fingerprint(&other_labels));
+    }
+
+    #[test]
+    fn scratch_engine_matches_reference() {
+        let mut scratch = CanonScratch::new();
+        let graphs = [
+            path_graph(&[0, 1, 2, 3]),
+            LabeledGraph::from_unlabeled_edges(&[l(0); 3], [(0, 1), (1, 2), (0, 2)]).unwrap(),
+            LabeledGraph::from_unlabeled_edges(
+                &[l(2), l(0), l(1), l(0), l(5)],
+                [(0, 1), (1, 2), (2, 3), (3, 0), (1, 4)],
+            )
+            .unwrap(),
+        ];
+        for g in &graphs {
+            assert_eq!(min_dfs_code_with(g, &mut scratch), min_dfs_code(g));
+        }
+        let (full_keys, _) = scratch.counters();
+        assert_eq!(full_keys, graphs.len() as u64);
+    }
+
+    #[test]
+    fn is_minimal_early_aborts_on_non_minimal_codes() {
+        let mut scratch = CanonScratch::new();
+        let g = path_graph(&[0, 1, 2]);
+        let min = min_dfs_code(&g);
+        assert!(is_minimal_with(&min, &mut scratch));
+        // a code starting from the large-label end is non-minimal
+        let mut bad = DfsCode::new();
+        bad.push(DfsEdge { from: 0, to: 1, from_label: l(2), edge_label: l(0), to_label: l(1) });
+        bad.push(DfsEdge { from: 1, to: 2, from_label: l(1), edge_label: l(0), to_label: l(0) });
+        assert!(!is_min_code(&bad));
+        let aborts_before = scratch.counters().1;
+        assert!(!is_minimal_with(&bad, &mut scratch));
+        assert!(scratch.counters().1 > aborts_before, "the refutation must abort early");
+        assert!(is_minimal_with(&DfsCode::new(), &mut scratch));
+    }
+
+    #[test]
+    fn canon_set_dedups_isomorphic_graphs() {
+        let mut set = CanonSet::new();
+        let a = path_graph(&[0, 1, 2]);
+        let b = LabeledGraph::from_unlabeled_edges(&[l(2), l(1), l(0)], [(0, 1), (1, 2)]).unwrap();
+        let id_a = set.insert(&a).expect("first insert is new");
+        assert_eq!(id_a, CanonId(0));
+        // the isomorphic copy is rejected, and only the collision paid keys
+        assert!(set.insert(&b).is_none());
+        assert_eq!(set.len(), 1);
+        let stats = set.stats();
+        assert_eq!(stats.fingerprint_hits, 1);
+        assert_eq!(stats.full_keys, 2, "candidate + lazily materialized entry key");
+        assert_eq!(set.key_of(id_a), Some(&min_dfs_code(&a)));
+        // a distinct graph interns a second class without touching keys
+        let c = path_graph(&[0, 1, 3]);
+        let id_c = set.insert(&c).expect("distinct class");
+        assert_eq!(id_c, CanonId(1));
+        assert_eq!(set.key_of(id_c), None, "no collision, no key computed");
+        assert_eq!(set.fingerprint_of(id_c), fingerprint(&c));
+        // reset clears classes and counters but keeps serving
+        set.reset();
+        assert!(set.is_empty());
+        assert_eq!(set.stats(), CanonStats::default());
+        assert!(set.insert(&a).is_some());
+    }
+
+    #[test]
+    fn canon_set_duplicate_rejection_reuses_memoized_keys() {
+        let mut set = CanonSet::new();
+        let a = path_graph(&[0, 1, 2, 3, 4]);
+        set.insert(&a).unwrap();
+        assert!(set.insert(&a).is_none());
+        let keys_after_first = set.stats().full_keys;
+        assert!(set.insert(&a).is_none());
+        assert!(set.insert(&a).is_none());
+        // each further duplicate pays exactly one candidate key; the stored
+        // entry key is never recomputed
+        assert_eq!(set.stats().full_keys, keys_after_first + 2);
+    }
+}

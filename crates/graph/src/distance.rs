@@ -25,7 +25,7 @@ pub fn all_pairs_distances(graph: &LabeledGraph) -> Vec<Vec<u32>> {
 /// allocation — the representation the miner maintains incrementally per
 /// grown pattern, where cloning a `Vec<Vec<u32>>` per candidate extension
 /// would dominate the growth loop.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct DistMatrix {
     n: usize,
     d: Vec<u32>,
@@ -92,19 +92,81 @@ impl DistMatrix {
     /// vertices are `row` (`row.len() == len()`); the new diagonal entry is
     /// 0.  Built in a single allocation straight from `self`.
     pub fn with_new_vertex(&self, row: &[u32]) -> DistMatrix {
+        let mut out = DistMatrix::default();
+        self.extend_with_vertex_into(row, &mut out);
+        out
+    }
+
+    /// Copies `self` into a caller-provided matrix, reusing its buffer.
+    pub fn clone_into_matrix(&self, out: &mut DistMatrix) {
+        out.n = self.n;
+        out.d.clear();
+        out.d.extend_from_slice(&self.d);
+    }
+
+    /// [`DistMatrix::with_new_vertex`] into a caller-provided matrix:
+    /// `out` becomes `self` extended by one vertex whose distances to the
+    /// existing vertices are `row`, with no fresh allocation once `out`'s
+    /// buffer is warm.  This is the incremental single-vertex structural
+    /// update of the grow engines (an exact closed form when the new vertex
+    /// cannot shorten any existing pair — e.g. a degree-1 attachment).
+    pub fn extend_with_vertex_into(&self, row: &[u32], out: &mut DistMatrix) {
         assert_eq!(row.len(), self.n, "new row must cover the existing vertices");
         let n = self.n;
-        if n == 0 {
-            return DistMatrix { n: 1, d: vec![0] };
+        out.n = n + 1;
+        out.d.clear();
+        out.d.reserve((n + 1) * (n + 1));
+        for (old_row, &new_entry) in self.d.chunks_exact(n.max(1)).zip(row) {
+            out.d.extend_from_slice(old_row);
+            out.d.push(new_entry);
         }
-        let mut d = Vec::with_capacity((n + 1) * (n + 1));
-        for (old_row, &new_entry) in self.d.chunks_exact(n).zip(row) {
-            d.extend_from_slice(old_row);
-            d.push(new_entry);
+        out.d.extend_from_slice(row);
+        out.d.push(0);
+    }
+
+    /// Relaxes every pair through vertex `k`:
+    /// `d(x, y) = min(d(x, y), d(x, k) + d(k, y))`.  With `k`'s row exact,
+    /// this completes the incremental update for a multi-edge vertex
+    /// attachment (a shortest path visits the new vertex at most once, so
+    /// the closed form is exact).
+    pub fn relax_through_vertex(&mut self, k: usize) {
+        let n = self.n;
+        for x in 0..n {
+            if x == k {
+                continue;
+            }
+            let dxk = self.get(x, k);
+            for y in (x + 1)..n {
+                if y == k {
+                    continue;
+                }
+                let via = dxk + self.get(k, y);
+                if via < self.get(x, y) {
+                    self.set(x, y, via);
+                }
+            }
         }
-        d.extend_from_slice(row);
-        d.push(0);
-        DistMatrix { n: n + 1, d }
+    }
+
+    /// Relaxes every pair through a freshly inserted edge `(u, v)`, reading
+    /// the **pre-insertion** distances from `src` (self must start as a copy
+    /// of `src`): a shortest path uses the new edge at most once, so
+    /// `d(x, y) = min(d_old(x, y), d_old(x, u) + 1 + d_old(v, y),
+    /// d_old(x, v) + 1 + d_old(u, y))` is exact — the incremental
+    /// single-edge structural update of the grow engines.
+    pub fn relax_closing_edge_from(&mut self, src: &DistMatrix, u: usize, v: usize) {
+        debug_assert_eq!(self.n, src.n, "self must be a copy of src");
+        let n = self.n;
+        let row_u = src.row(u);
+        let row_v = src.row(v);
+        for x in 0..n {
+            for y in (x + 1)..n {
+                let via = (row_u[x] + 1 + row_v[y]).min(row_v[x] + 1 + row_u[y]);
+                if via < self.get(x, y) {
+                    self.set(x, y, via);
+                }
+            }
+        }
     }
 }
 

@@ -126,6 +126,17 @@ impl LabeledGraph {
         Self::from_parts(labels, edges.into_iter().map(|(u, v)| (u, v, Label::DEFAULT_EDGE)))
     }
 
+    /// Makes `self` a copy of `other`, reusing every buffer this graph
+    /// already owns (including the per-vertex adjacency vectors).  The
+    /// grow engines rebuild candidate pattern graphs into per-worker
+    /// scratch with this, so a rejected candidate never allocates.
+    pub fn clone_from_graph(&mut self, other: &LabeledGraph) {
+        self.labels.clone_from(&other.labels);
+        self.adj.clone_from(&other.adj);
+        self.edge_count = other.edge_count;
+        self.name.clone_from(&other.name);
+    }
+
     /// Sets a human readable name (graph id) used in diagnostics.
     pub fn set_name(&mut self, name: impl Into<String>) {
         self.name = Some(name.into());

@@ -30,6 +30,9 @@
 //! * [`iso`] / [`subiso`] — labeled graph isomorphism and VF2-style
 //!   subgraph-isomorphism embedding enumeration;
 //! * [`dfscode`] — gSpan-style minimum DFS codes (canonical forms);
+//! * [`canon`] — the canonical-form funnel: order-invariant fingerprints,
+//!   the early-abort scratch-reusing min-DFS engine and the memoizing
+//!   [`canon::CanonSet`] dedup structure;
 //! * [`embedding`] — embeddings, embedding sets and support measures;
 //! * [`transaction`] — graph-transaction databases;
 //! * [`io`] — gSpan-like text serialization.
@@ -40,6 +43,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod canon;
 pub mod csr;
 pub mod dfscode;
 pub mod distance;
@@ -58,6 +62,10 @@ pub mod transaction;
 pub mod traversal;
 pub mod view;
 
+pub use canon::{
+    fingerprint, is_minimal_with, min_dfs_code_into, min_dfs_code_with, CanonId, CanonScratch, CanonSet,
+    CanonStats,
+};
 pub use csr::{CsrGraph, CsrSnapshot, EdgeTriple};
 pub use dfscode::{canonical_key, is_min_code, min_dfs_code, DfsCode, DfsEdge};
 pub use distance::{

@@ -1,0 +1,257 @@
+//! Property-based tests of the canonical-form subsystem (`skinny_graph::canon`)
+//! against the retained reference implementations:
+//!
+//! * fingerprint equality is implied by isomorphism (vertex permutations);
+//! * the scratch-reusing min-DFS engine and the memoizing [`CanonSet`]
+//!   produce exactly the reference `min_dfs_code`;
+//! * the early-abort is-minimal verdict agrees with the reference
+//!   `is_min_code` on arbitrary valid DFS codes of random skinny-ish
+//!   patterns;
+//! * the incremental `DistMatrix` extensions (new vertex, multi-edge
+//!   attachment relaxation, closing edge) equal `DistMatrix::all_pairs` on
+//!   the extended graph.
+
+use proptest::prelude::*;
+use skinny_graph::{
+    are_isomorphic, canonical_key, fingerprint, is_min_code, is_minimal_with, min_dfs_code,
+    min_dfs_code_with, CanonScratch, CanonSet, DfsCode, DfsEdge, DistMatrix, Label, LabeledGraph, VertexId,
+};
+
+/// Strategy: a random connected labeled graph (spanning tree + extra edges).
+fn connected_graph(max_vertices: usize, max_labels: u32) -> impl Strategy<Value = LabeledGraph> {
+    (2..=max_vertices).prop_flat_map(move |n| {
+        let labels = proptest::collection::vec(0..max_labels, n);
+        let parents: Vec<_> = (1..n).map(|i| 0..i).collect();
+        let extra = proptest::collection::vec((0..n, 0..n), 0..=n);
+        (labels, parents, extra).prop_map(|(labels, parents, extra)| {
+            let mut g = LabeledGraph::new();
+            for l in &labels {
+                g.add_vertex(Label(*l));
+            }
+            for (child, parent) in parents.into_iter().enumerate() {
+                let _ = g.add_unlabeled_edge(VertexId((child + 1) as u32), VertexId(parent as u32));
+            }
+            for (a, b) in extra {
+                if a != b {
+                    let _ = g.add_unlabeled_edge(VertexId(a as u32), VertexId(b as u32));
+                }
+            }
+            g
+        })
+    })
+}
+
+/// Applies the vertex permutation `perm` (new id of old vertex `v` is
+/// `perm[v]`) to `g`.
+fn permuted(g: &LabeledGraph, perm: &[usize]) -> LabeledGraph {
+    let n = g.vertex_count();
+    let mut labels = vec![Label(0); n];
+    for v in g.vertices() {
+        labels[perm[v.index()]] = g.label(v);
+    }
+    let mut h = LabeledGraph::with_capacity(n);
+    for l in &labels {
+        h.add_vertex(*l);
+    }
+    for e in g.edges() {
+        h.add_edge(VertexId(perm[e.u.index()] as u32), VertexId(perm[e.v.index()] as u32), e.label)
+            .expect("permuting a simple graph keeps edges valid");
+    }
+    h
+}
+
+/// Derives a permutation of `0..n` from a random seed vector (selection
+/// shuffle, deterministic in the seed).
+fn permutation_from(seed: &[usize], n: usize) -> Vec<usize> {
+    let mut pool: Vec<usize> = (0..n).collect();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let pick = seed.get(i).copied().unwrap_or(0) % pool.len();
+        out.push(pool.swap_remove(pick));
+    }
+    // out[i] = new id at position i of the pool draw; invert to map old -> new
+    let mut perm = vec![0usize; n];
+    for (old, &new_id) in out.iter().enumerate() {
+        perm[old] = new_id;
+    }
+    perm
+}
+
+/// Builds *some* (not necessarily minimal) valid DFS code of `g`: a plain
+/// depth-first traversal from `start` emitting forward edges in neighbor
+/// order and each backward edge when its endpoint pair is first seen from
+/// the deeper side.
+fn some_dfs_code(g: &LabeledGraph, start: VertexId) -> DfsCode {
+    let n = g.vertex_count();
+    let mut dfs_of = vec![u32::MAX; n];
+    let mut order: Vec<VertexId> = Vec::new();
+    let mut code = DfsCode::new();
+    let mut used: Vec<(VertexId, VertexId)> = Vec::new();
+    fn visit(
+        g: &LabeledGraph,
+        v: VertexId,
+        dfs_of: &mut [u32],
+        order: &mut Vec<VertexId>,
+        code: &mut DfsCode,
+        used: &mut Vec<(VertexId, VertexId)>,
+    ) {
+        for (w, el) in g.neighbors(v) {
+            if dfs_of[w.index()] == u32::MAX {
+                dfs_of[w.index()] = order.len() as u32;
+                order.push(w);
+                used.push((v, w));
+                code.push(DfsEdge {
+                    from: dfs_of[v.index()],
+                    to: dfs_of[w.index()],
+                    from_label: g.label(v),
+                    edge_label: el,
+                    to_label: g.label(w),
+                });
+                visit(g, w, dfs_of, order, code, used);
+                // backward edges of w to already-visited vertices
+                for (b, bel) in g.neighbors(w) {
+                    if dfs_of[b.index()] != u32::MAX
+                        && !used.iter().any(|&(x, y)| (x == w && y == b) || (x == b && y == w))
+                    {
+                        used.push((w, b));
+                        code.push(DfsEdge {
+                            from: dfs_of[w.index()],
+                            to: dfs_of[b.index()],
+                            from_label: g.label(w),
+                            edge_label: bel,
+                            to_label: g.label(b),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    dfs_of[start.index()] = 0;
+    order.push(start);
+    visit(g, start, &mut dfs_of, &mut order, &mut code, &mut used);
+    code
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Isomorphic graphs (vertex permutations) always share a fingerprint,
+    /// and the fingerprint never contradicts the canonical key.
+    #[test]
+    fn fingerprint_equality_is_implied_by_isomorphism(
+        g in connected_graph(10, 3),
+        seed in proptest::collection::vec(0usize..64, 10),
+    ) {
+        let perm = permutation_from(&seed, g.vertex_count());
+        let h = permuted(&g, &perm);
+        prop_assert!(are_isomorphic(&g, &h));
+        prop_assert_eq!(fingerprint(&g), fingerprint(&h));
+        // soundness the other way is only probabilistic, but it must agree
+        // with the exact key whenever the keys agree
+        prop_assert_eq!(canonical_key(&g), canonical_key(&h));
+    }
+
+    /// The scratch-reusing engine reproduces the reference minimum code
+    /// exactly — on the graph and on a permuted copy (sharing one scratch).
+    #[test]
+    fn scratch_engine_matches_reference_min_code(
+        g in connected_graph(9, 3),
+        seed in proptest::collection::vec(0usize..64, 9),
+    ) {
+        let mut scratch = CanonScratch::new();
+        prop_assert_eq!(min_dfs_code_with(&g, &mut scratch), min_dfs_code(&g));
+        let h = permuted(&g, &permutation_from(&seed, g.vertex_count()));
+        prop_assert_eq!(min_dfs_code_with(&h, &mut scratch), min_dfs_code(&g));
+    }
+
+    /// The early-abort is-minimal verdict agrees with the reference
+    /// `is_min_code` on arbitrary valid DFS codes, and accepts the true
+    /// minimum.
+    #[test]
+    fn early_abort_is_minimal_agrees_with_reference(
+        g in connected_graph(9, 3),
+        start in 0usize..9,
+    ) {
+        let mut scratch = CanonScratch::new();
+        let min = min_dfs_code(&g);
+        prop_assert!(is_minimal_with(&min, &mut scratch));
+        let start = VertexId((start % g.vertex_count()) as u32);
+        let code = some_dfs_code(&g, start);
+        prop_assert_eq!(code.len(), g.edge_count(), "helper must emit a complete code");
+        prop_assert_eq!(is_minimal_with(&code, &mut scratch), is_min_code(&code));
+    }
+
+    /// CanonSet semantics: a permuted copy is always rejected as a
+    /// duplicate, any memoized key equals the reference key, and interning
+    /// a second non-isomorphic graph yields a distinct id.
+    #[test]
+    fn canon_set_insert_matches_isomorphism(
+        g in connected_graph(9, 3),
+        seed in proptest::collection::vec(0usize..64, 9),
+    ) {
+        let mut set = CanonSet::new();
+        let id = set.insert(&g).expect("first insert interns");
+        let h = permuted(&g, &permutation_from(&seed, g.vertex_count()));
+        prop_assert!(set.insert(&h).is_none(), "an isomorphic copy must be rejected");
+        // the collision forced the memoized key into existence; it must be
+        // the reference key
+        prop_assert_eq!(set.key_of(id), Some(&min_dfs_code(&g)));
+        // growing the graph by one fresh vertex changes the class
+        let mut bigger = g.clone();
+        let nv = bigger.add_vertex(Label(7));
+        bigger.add_unlabeled_edge(VertexId(0), nv).expect("fresh vertex");
+        let id2 = set.insert(&bigger).expect("a larger graph is a new class");
+        prop_assert!(id2 != id);
+    }
+
+    /// The incremental DistMatrix extensions equal `all_pairs` on the
+    /// extended graph: degree-1 vertex, multi-edge attachment (row +
+    /// relaxation through the new vertex) and closing edge.
+    #[test]
+    fn incremental_dist_matrix_matches_all_pairs(
+        g in connected_graph(10, 3),
+        attach_seed in proptest::collection::vec(0usize..64, 4),
+        pair in (0usize..64, 0usize..64),
+    ) {
+        let n = g.vertex_count();
+        let base = DistMatrix::all_pairs(&g);
+
+        // --- single-edge new vertex -----------------------------------
+        let a = attach_seed[0] % n;
+        let mut g1 = g.clone();
+        let nv = g1.add_vertex(Label(9));
+        g1.add_unlabeled_edge(VertexId(a as u32), nv).expect("fresh vertex");
+        let row: Vec<u32> = base.row(a).iter().map(|&x| x + 1).collect();
+        let mut got = DistMatrix::default();
+        base.extend_with_vertex_into(&row, &mut got);
+        prop_assert_eq!(&got, &DistMatrix::all_pairs(&g1), "degree-1 extension diverged");
+
+        // --- multi-edge new vertex ------------------------------------
+        let mut attachments: Vec<usize> = attach_seed.iter().map(|&s| s % n).collect();
+        attachments.sort_unstable();
+        attachments.dedup();
+        let mut g2 = g.clone();
+        let nv = g2.add_vertex(Label(9));
+        for &a in &attachments {
+            g2.add_unlabeled_edge(VertexId(a as u32), nv).expect("fresh vertex");
+        }
+        let row: Vec<u32> = (0..n)
+            .map(|x| attachments.iter().map(|&a| base.get(a, x)).min().expect("nonempty") + 1)
+            .collect();
+        let mut got = DistMatrix::default();
+        base.extend_with_vertex_into(&row, &mut got);
+        got.relax_through_vertex(n);
+        prop_assert_eq!(&got, &DistMatrix::all_pairs(&g2), "multi-edge extension diverged");
+
+        // --- closing edge ---------------------------------------------
+        let (u, v) = (pair.0 % n, pair.1 % n);
+        if u != v && !g.has_edge(VertexId(u as u32), VertexId(v as u32)) {
+            let mut g3 = g.clone();
+            g3.add_unlabeled_edge(VertexId(u as u32), VertexId(v as u32)).expect("non-adjacent");
+            let mut got = DistMatrix::default();
+            base.clone_into_matrix(&mut got);
+            got.relax_closing_edge_from(&base, u, v);
+            prop_assert_eq!(&got, &DistMatrix::all_pairs(&g3), "closing-edge relaxation diverged");
+        }
+    }
+}

@@ -45,6 +45,23 @@ impl CycleKey {
     pub fn diameter_len(&self) -> usize {
         self.len() / 2
     }
+
+    /// A cheap order-sensitive 64-bit fingerprint of the canonical label
+    /// sequences, using the same deterministic mixer as the graph-level
+    /// canonical fingerprints ([`skinny_graph::canon::mix`]).  Equal keys
+    /// always collide; cycle accumulation buckets on this and compares full
+    /// keys only inside a bucket — the cycle-side instance of the
+    /// fingerprint → full-key funnel.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = skinny_graph::canon::mix(self.vertex_labels.len() as u64);
+        for &l in &self.vertex_labels {
+            h = skinny_graph::canon::mix(h.rotate_left(1) ^ l.0 as u64);
+        }
+        for &l in &self.edge_labels {
+            h = skinny_graph::canon::mix(h.rotate_left(3) ^ l.0 as u64);
+        }
+        h
+    }
 }
 
 /// A frequent cycle pattern with its occurrences in columnar layout.

@@ -451,7 +451,14 @@ impl<'a> DiamMine<'a> {
     /// frequent paths of length `2l` (used by the minimal-pattern index,
     /// which has those paths stored).
     pub fn cycles_from_paths(&self, paths_2l: &[PathPattern], l: usize) -> Vec<CyclePattern> {
-        let mut by_key: BTreeMap<crate::cycle::CycleKey, CyclePattern> = BTreeMap::new();
+        // accumulation runs on the cycle-key fingerprint funnel: occurrences
+        // are routed by the cheap 64-bit key fingerprint and the full key is
+        // compared only inside a bucket, so the hot per-occurrence path
+        // neither clones the key nor walks a `BTreeMap` (the output is
+        // key-sorted once at the end, which restores the exact order the
+        // previous ordered-map accumulation produced)
+        let mut patterns: Vec<CyclePattern> = Vec::new();
+        let mut by_fp: HashMap<u64, Vec<u32>> = HashMap::new();
         for p in paths_2l {
             debug_assert_eq!(p.len(), 2 * l, "cycle seeds need paths of length 2l");
             for occ in p.embeddings.iter() {
@@ -461,14 +468,21 @@ impl<'a> DiamMine<'a> {
                 let tail = *occ.vertices.last().expect("path occurrence is nonempty");
                 let Some(closing) = view.edge_label(head, tail) else { continue };
                 let (key, canonical_vertices) = CyclePattern::canonicalize(&view, occ.vertices, closing);
-                by_key
-                    .entry(key.clone())
-                    .or_insert_with(|| CyclePattern::new(key))
-                    .push_occurrence(t, &canonical_vertices);
+                let bucket = by_fp.entry(key.fingerprint()).or_default();
+                let idx = match bucket.iter().copied().find(|&i| patterns[i as usize].key == key) {
+                    Some(i) => i,
+                    None => {
+                        let i = patterns.len() as u32;
+                        patterns.push(CyclePattern::new(key));
+                        bucket.push(i);
+                        i
+                    }
+                };
+                patterns[idx as usize].push_occurrence(t, &canonical_vertices);
             }
         }
-        let mut out: Vec<CyclePattern> = by_key
-            .into_values()
+        let mut out: Vec<CyclePattern> = patterns
+            .into_iter()
             .map(|mut c| {
                 c.dedup();
                 c

@@ -6,15 +6,17 @@ use crate::ext_index::ExtensionScratch;
 use crate::path_pattern::PathPattern;
 use serde::{Deserialize, Serialize};
 use skinny_graph::{
-    DistMatrix, Label, LabeledGraph, OccurrenceStore, SupportMeasure, SupportScratch, VertexId, VertexMarks,
+    CanonId, CanonSet, DistMatrix, Label, LabeledGraph, OccurrenceStore, SupportMeasure, SupportScratch,
+    VertexId, VertexMarks,
 };
 
 /// Per-worker scratch for Stage-II growth, reused across every cluster a
 /// worker grows: the extension-index build state (epoch-stamped tables over
 /// data vertex ids, flat reusable buffers, the rebuilt-in-place
-/// [`crate::ext_index::ExtensionTable`]) plus the row-mark and support-sort
-/// buffers of candidate evaluation.  Everything resets in O(1), so per-row
-/// work in the grow hot loop performs zero heap allocation.
+/// [`crate::ext_index::ExtensionTable`]), the row-mark and support-sort
+/// buffers of candidate evaluation, the canonical-form dedup funnel and the
+/// reused structural-extension target.  Everything resets in O(1), so
+/// per-row work in the grow hot loop performs zero heap allocation.
 #[derive(Debug, Default)]
 pub struct GrowScratch {
     /// Extension enumeration state: the inverted candidate index and every
@@ -27,6 +29,35 @@ pub struct GrowScratch {
     /// Reused gather target: candidates materialize here and only admitted
     /// children take the store with them.
     pub gather: OccurrenceStore,
+    /// Per-cluster canonical-form dedup funnel over the worklist patterns
+    /// (fingerprint first, memoized min-DFS keys only on collision).
+    pub canon: CanonSet,
+    /// Second funnel for closure-jump reporting dedup (closed patterns).
+    pub canon_reported: CanonSet,
+    /// Reused structural-extension target: every candidate's extended graph
+    /// and distance indices are built here, and only admitted children copy
+    /// them out.
+    pub structure: StructScratch,
+}
+
+/// Reusable buffers of [`GrownPattern::apply_structure_with`]: the
+/// structural-extension target plus the new-vertex distance row.  Rebuilt in
+/// place per candidate, so a rejected candidate performs (almost) no heap
+/// allocation — where [`GrownPattern::apply_structure`] allocated a fresh
+/// graph clone and distance matrix every time.
+#[derive(Debug, Default)]
+pub struct StructScratch {
+    /// The rebuilt-in-place structural extension.
+    pub structure: StructuralExtension,
+    /// Reused distance row of the new vertex.
+    row: Vec<u32>,
+}
+
+impl StructScratch {
+    /// Creates an empty scratch (buffers grow on first use, then stay).
+    pub fn new() -> Self {
+        StructScratch::default()
+    }
 }
 
 impl GrowScratch {
@@ -115,6 +146,11 @@ pub struct GrownPattern {
     pub embeddings: OccurrenceStore,
     /// The extension that produced this pattern, if any (`P_anchor`).
     pub anchor: Option<Extension>,
+    /// The pattern's interned canonical id in the grower's per-cluster
+    /// [`CanonSet`], assigned when the pattern is admitted to the worklist —
+    /// the handle through which the memoized fingerprint/key are reused
+    /// instead of recomputed.
+    pub canon: Option<CanonId>,
 }
 
 impl GrownPattern {
@@ -133,7 +169,17 @@ impl GrownPattern {
                 .collect::<Vec<_>>(),
         );
         let embeddings = path.embeddings.clone();
-        GrownPattern { graph, diameter_len: l, dist_head, dist_tail, level, dists, embeddings, anchor: None }
+        GrownPattern {
+            graph,
+            diameter_len: l,
+            dist_head,
+            dist_tail,
+            level,
+            dists,
+            embeddings,
+            anchor: None,
+            canon: None,
+        }
     }
 
     /// Builds the level-0 pattern of a cycle cluster: the odd cycle
@@ -187,7 +233,17 @@ impl GrownPattern {
             }
             embeddings.push_row(occ.transaction, &permuted);
         }
-        GrownPattern { graph, diameter_len: l, dist_head, dist_tail, level, dists, embeddings, anchor: None }
+        GrownPattern {
+            graph,
+            diameter_len: l,
+            dist_head,
+            dist_tail,
+            level,
+            dists,
+            embeddings,
+            anchor: None,
+            canon: None,
+        }
     }
 
     /// Pattern vertex id of the diameter head `v_H`.
@@ -237,6 +293,11 @@ impl GrownPattern {
     /// distance/level vectors and the id of the new vertex (for
     /// [`Extension::NewVertex`]).  Embeddings are *not* computed here — see
     /// [`GrownPattern::extend_embeddings`].
+    ///
+    /// This freshly-allocating form is retained as the reference and
+    /// before/after timing baseline of
+    /// [`GrownPattern::apply_structure_with`], which the grow engines use
+    /// (per-worker scratch, no allocation on the candidate-reject path).
     pub fn apply_structure(&self, ext: &Extension) -> StructuralExtension {
         let mut graph = self.graph.clone();
         let n = self.dists.len();
@@ -319,6 +380,81 @@ impl GrownPattern {
             })
             .collect();
         StructuralExtension { graph, dist_head, dist_tail, level, dists, new_vertex }
+    }
+
+    /// [`GrownPattern::apply_structure`] into per-worker scratch buffers:
+    /// the extended graph is rebuilt in place
+    /// ([`LabeledGraph::clone_from_graph`]) and the exact all-pairs table is
+    /// extended by the incremental single-vertex / single-edge closed forms
+    /// ([`DistMatrix::extend_with_vertex_into`],
+    /// [`DistMatrix::relax_closing_edge_from`],
+    /// [`DistMatrix::relax_through_vertex`]) — no fresh graph clone, no
+    /// matrix allocation, no `all_pairs` BFS rebuild.  Produces exactly the
+    /// structure [`GrownPattern::apply_structure`] (retained as the
+    /// reference and parity oracle) returns; the engines call this per
+    /// candidate and copy the scratch out only for admitted children.
+    pub fn apply_structure_with(&self, ext: &Extension, scratch: &mut StructScratch) {
+        let StructScratch { structure: out, row } = scratch;
+        out.graph.clone_from_graph(&self.graph);
+        let n = self.dists.len();
+        match *ext {
+            Extension::NewVertex { attach, vertex_label, edge_label } => {
+                let nv = out.graph.add_vertex(vertex_label);
+                out.graph
+                    .add_edge(VertexId(attach), nv, edge_label)
+                    .expect("attaching a fresh vertex cannot duplicate an edge");
+                out.new_vertex = Some(nv);
+                // a degree-1 vertex cannot shorten any existing distance
+                row.clear();
+                row.extend(self.dists.row(attach as usize).iter().map(|&x| x + 1));
+                self.dists.extend_with_vertex_into(row, &mut out.dists);
+            }
+            Extension::NewVertexMulti { vertex_label, ref edges } => {
+                let nv = out.graph.add_vertex(vertex_label);
+                for &(attach, edge_label) in edges {
+                    out.graph
+                        .add_edge(VertexId(attach), nv, edge_label)
+                        .expect("attaching a fresh vertex cannot duplicate an edge");
+                }
+                out.new_vertex = Some(nv);
+                // the new vertex's distances go through its nearest
+                // attachment; existing pairs may then shortcut through it
+                row.clear();
+                row.extend((0..n).map(|x| {
+                    edges
+                        .iter()
+                        .map(|&(a, _)| self.dists.get(a as usize, x))
+                        .min()
+                        .expect("multi attachments have at least one edge")
+                        + 1
+                }));
+                self.dists.extend_with_vertex_into(row, &mut out.dists);
+                out.dists.relax_through_vertex(n);
+            }
+            Extension::ClosingEdge { u, v, edge_label } => {
+                out.graph
+                    .add_edge(VertexId(u), VertexId(v), edge_label)
+                    .expect("closing-edge candidates are generated only for non-adjacent pairs");
+                out.new_vertex = None;
+                self.dists.clone_into_matrix(&mut out.dists);
+                out.dists.relax_closing_edge_from(&self.dists, u as usize, v as usize);
+            }
+        }
+        // head/tail distances and levels are projections of the exact
+        // all-pairs table
+        let m = out.dists.len();
+        out.dist_head.clear();
+        out.dist_head.extend_from_slice(out.dists.row(0));
+        out.dist_tail.clear();
+        out.dist_tail.extend_from_slice(out.dists.row(self.diameter_len));
+        out.level.clear();
+        for x in 0..m {
+            let lv = (0..=self.diameter_len)
+                .map(|p| out.dists.get(x, p))
+                .min()
+                .expect("diameter path is nonempty");
+            out.level.push(lv);
+        }
     }
 
     /// Computes the occurrences of the extended pattern from this pattern's
@@ -431,6 +567,7 @@ impl GrownPattern {
             dists: structure.dists,
             embeddings,
             anchor: Some(ext),
+            canon: None,
         }
     }
 
@@ -454,7 +591,7 @@ impl GrownPattern {
 }
 
 /// Result of applying an extension structurally.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct StructuralExtension {
     /// Extended pattern graph.
     pub graph: LabeledGraph,
@@ -568,6 +705,35 @@ mod tests {
         assert_eq!(st.dist_head[2], 1);
         // and the head-tail distance drops to 2: the canonical diameter is broken
         assert_eq!(st.dist_head[3], 2);
+    }
+
+    #[test]
+    fn apply_structure_with_matches_reference() {
+        let g = data_graph();
+        let p = seed_pattern(&g);
+        let exts = [
+            Extension::NewVertex { attach: 1, vertex_label: l(9), edge_label: Label::DEFAULT_EDGE },
+            Extension::NewVertexMulti {
+                vertex_label: l(9),
+                edges: vec![(0, Label::DEFAULT_EDGE), (2, Label::DEFAULT_EDGE)],
+            },
+            Extension::ClosingEdge { u: 0, v: 2, edge_label: Label::DEFAULT_EDGE },
+        ];
+        let mut scratch = StructScratch::new();
+        for ext in &exts {
+            let reference = p.apply_structure(ext);
+            // rebuild twice into the same scratch: the second pass exercises
+            // warm-buffer reuse
+            p.apply_structure_with(ext, &mut scratch);
+            p.apply_structure_with(ext, &mut scratch);
+            let got = &scratch.structure;
+            assert_eq!(got.graph, reference.graph, "{ext:?}");
+            assert_eq!(got.dist_head, reference.dist_head, "{ext:?}");
+            assert_eq!(got.dist_tail, reference.dist_tail, "{ext:?}");
+            assert_eq!(got.level, reference.level, "{ext:?}");
+            assert_eq!(got.dists, reference.dists, "{ext:?}");
+            assert_eq!(got.new_vertex, reference.new_vertex, "{ext:?}");
+        }
     }
 
     #[test]

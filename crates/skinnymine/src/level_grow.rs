@@ -9,9 +9,15 @@
 //! search — only "local examination of relevant candidates", which is what
 //! the paper's Continuity property buys.
 //!
-//! Generated patterns are deduplicated by their canonical (minimum DFS code)
-//! key, which guarantees each pattern of the cluster is reported exactly
-//! once even when it is reachable through several growth orders.
+//! Generated patterns are deduplicated up to isomorphism, which guarantees
+//! each pattern of the cluster is reported exactly once even when it is
+//! reachable through several growth orders.  The dedup runs on the
+//! canonical-form funnel ([`skinny_graph::CanonSet`]): every admitted child
+//! pays a cheap `O(V + E)` order-invariant fingerprint, and the full
+//! minimum-DFS-code key is computed — by the early-abort scratch engine —
+//! only when fingerprints collide.  Keys computed once are memoized behind
+//! the pattern's interned [`skinny_graph::CanonId`] and reused by the
+//! cross-cluster dedup ([`crate::miner`]), never recomputed.
 //!
 //! Candidate evaluation runs on one of two engines
 //! ([`crate::config::GrowEngine`], byte-identical output):
@@ -30,16 +36,15 @@ use crate::constraints::{check_extension, ConstraintViolation};
 use crate::cycle::CyclePattern;
 use crate::data::MiningData;
 use crate::ext_index::{ExtensionTable, FULL_SUBSET_DEGREE};
-use crate::grown::{Extension, GrowScratch, GrownPattern};
+use crate::grown::{Extension, GrowScratch, GrownPattern, StructScratch};
 use crate::path_pattern::PathPattern;
 use crate::result::SkinnyPattern;
 use crate::stats::MiningStats;
 use serde::{Deserialize, Serialize};
 use skinny_graph::{
-    canonical_key, DfsCode, EmbeddingSet, OccurrenceStore, SupportMeasure, SupportScratch, VertexId,
-    VertexMarks,
+    DfsCode, EmbeddingSet, OccurrenceStore, SupportMeasure, SupportScratch, VertexId, VertexMarks,
 };
-use std::collections::{BTreeSet, HashSet};
+use std::collections::BTreeSet;
 use std::time::Instant;
 
 /// A Stage-I seed for Stage-II growth: a canonical-diameter path, or a
@@ -144,11 +149,13 @@ impl<'a> LevelGrow<'a> {
     }
 
     /// Exhaustive exploration: every frequent constraint-satisfying pattern
-    /// of the cluster is generated exactly once (canonical-code dedup).
-    fn grow_cluster_exhaustive(&self, root: GrownPattern, scratch: &mut GrowScratch) -> ClusterOutcome {
+    /// of the cluster is generated exactly once (canonical-form dedup via
+    /// the fingerprint → memoized-key funnel).
+    fn grow_cluster_exhaustive(&self, mut root: GrownPattern, scratch: &mut GrowScratch) -> ClusterOutcome {
         let mut outcome = ClusterOutcome::default();
-        let mut seen: HashSet<DfsCode> = HashSet::new();
-        seen.insert(canonical_key(&root.graph));
+        scratch.canon.reset();
+        root.canon = scratch.canon.insert(&root.graph);
+        debug_assert!(root.canon.is_some(), "the root is the first insert of a fresh set");
         let mut worklist: Vec<GrownPattern> = vec![root];
 
         while let Some(current) = worklist.pop() {
@@ -157,27 +164,34 @@ impl<'a> LevelGrow<'a> {
             let mut is_maximal = true;
             let mut is_closed = true;
 
+            let GrowScratch { ext, row_marks, support, gather, canon, structure, .. } = scratch;
             // a frequent constraint-preserving child flips the flags and
-            // enters the worklist once (canonical-code dedup)
-            let mut admit = |child: GrownPattern,
+            // enters the worklist once: a fresh fingerprint admits it with
+            // no canonical-key work at all, and only fingerprint collisions
+            // pay for (memoized) min-DFS keys
+            let mut admit = |mut child: GrownPattern,
                              support: usize,
                              is_maximal: &mut bool,
                              is_closed: &mut bool,
-                             worklist: &mut Vec<GrownPattern>| {
+                             worklist: &mut Vec<GrownPattern>,
+                             stats: &mut MiningStats| {
                 *is_maximal = false;
                 if support == current_support {
                     *is_closed = false;
                 }
-                if seen.insert(canonical_key(&child.graph)) {
+                let t = Instant::now();
+                let id = canon.insert(&child.graph);
+                stats.grow_phases.canon += t.elapsed();
+                if let Some(id) = id {
+                    child.canon = Some(id);
                     worklist.push(child);
                 }
             };
             match self.config.grow_engine {
                 GrowEngine::ExtensionIndex => {
                     let t = Instant::now();
-                    scratch.ext.build(&current, &self.data, self.config.delta);
+                    ext.build(&current, &self.data, self.config.delta);
                     outcome.stats.grow_phases.candidates += t.elapsed();
-                    let GrowScratch { ext, support, gather, .. } = scratch;
                     for i in 0..ext.table.candidate_count() {
                         let Some((child, sup)) = self.try_extension_indexed(
                             &current,
@@ -186,36 +200,42 @@ impl<'a> LevelGrow<'a> {
                             &mut outcome.stats,
                             support,
                             gather,
+                            structure,
                         ) else {
                             continue;
                         };
-                        admit(child, sup, &mut is_maximal, &mut is_closed, &mut worklist);
+                        admit(child, sup, &mut is_maximal, &mut is_closed, &mut worklist, &mut outcome.stats);
                     }
                 }
                 GrowEngine::Reference => {
                     let t = Instant::now();
-                    let cands = self.candidate_extensions_reference(&current, scratch);
+                    let cands = self.candidate_extensions_reference(&current, ext);
                     outcome.stats.grow_phases.candidates += t.elapsed();
-                    let GrowScratch { row_marks, support, .. } = scratch;
-                    for ext in cands {
+                    for e in cands {
                         let Some((child, sup)) = self.try_extension_reference(
                             &current,
-                            ext,
+                            e,
                             &mut outcome.stats,
                             row_marks,
                             support,
+                            structure,
                         ) else {
                             continue;
                         };
-                        admit(child, sup, &mut is_maximal, &mut is_closed, &mut worklist);
+                        admit(child, sup, &mut is_maximal, &mut is_closed, &mut worklist, &mut outcome.stats);
                     }
                 }
             }
 
-            if let Some(p) = self.report(&current, current_support, is_closed, is_maximal) {
+            let id = current.canon.expect("every worklist pattern is interned");
+            let fp = scratch.canon.fingerprint_of(id);
+            let key = scratch.canon.key_of(id).cloned();
+            if let Some(p) = self.report(&current, current_support, is_closed, is_maximal, fp, key) {
                 outcome.patterns.push(p);
             }
         }
+        let canon_stats = scratch.canon.stats();
+        outcome.stats.record_canon(canon_stats);
         outcome.stats.level_grow.patterns_out = outcome.patterns.len() as u64;
         outcome
     }
@@ -227,9 +247,13 @@ impl<'a> LevelGrow<'a> {
     /// without enumerating the exponentially many non-closed sub-patterns.
     fn grow_cluster_closure(&self, root: GrownPattern, scratch: &mut GrowScratch) -> ClusterOutcome {
         let mut outcome = ClusterOutcome::default();
-        let mut seen: HashSet<DfsCode> = HashSet::new();
-        seen.insert(canonical_key(&root.graph));
-        let mut reported: HashSet<DfsCode> = HashSet::new();
+        // worklist dedup and reported-pattern dedup both run on the
+        // fingerprint → memoized-key funnel (two sets: branch children are
+        // deduplicated against each other, closed patterns against each
+        // other)
+        scratch.canon.reset();
+        scratch.canon_reported.reset();
+        scratch.canon.insert(&root.graph);
         let mut worklist: Vec<GrownPattern> = vec![root];
 
         while let Some(current) = worklist.pop() {
@@ -259,7 +283,7 @@ impl<'a> LevelGrow<'a> {
                         let t = Instant::now();
                         scratch.ext.build(&closed, &self.data, self.config.delta);
                         outcome.stats.grow_phases.candidates += t.elapsed();
-                        let GrowScratch { ext, row_marks, support, gather } = scratch;
+                        let GrowScratch { ext, row_marks, support, gather, structure, .. } = scratch;
                         // the table indexes the pass-start pattern's rows;
                         // the first greedy advance replaces the embedding
                         // list, so the remaining candidates of the pass fall
@@ -282,6 +306,7 @@ impl<'a> LevelGrow<'a> {
                                     &mut outcome.stats,
                                     support,
                                     gather,
+                                    structure,
                                 )
                             } else {
                                 self.try_extension_reference(
@@ -290,6 +315,7 @@ impl<'a> LevelGrow<'a> {
                                     &mut outcome.stats,
                                     row_marks,
                                     support,
+                                    structure,
                                 )
                             };
                             if let Some((child, sup)) = result {
@@ -309,9 +335,9 @@ impl<'a> LevelGrow<'a> {
                     }
                     GrowEngine::Reference => {
                         let t = Instant::now();
-                        let cands = self.candidate_extensions_reference(&closed, scratch);
+                        let cands = self.candidate_extensions_reference(&closed, &mut scratch.ext);
                         outcome.stats.grow_phases.candidates += t.elapsed();
-                        let GrowScratch { row_marks, support, .. } = scratch;
+                        let GrowScratch { row_marks, support, structure, .. } = scratch;
                         for ext in cands {
                             // an earlier application in this pass may have
                             // already closed this pair
@@ -326,6 +352,7 @@ impl<'a> LevelGrow<'a> {
                                 &mut outcome.stats,
                                 row_marks,
                                 support,
+                                structure,
                             ) {
                                 if sup == closed_support {
                                     closed = child;
@@ -347,18 +374,27 @@ impl<'a> LevelGrow<'a> {
             }
             let is_maximal = branches.is_empty();
             for child in branches {
-                let key = canonical_key(&child.graph);
-                if seen.insert(key) {
+                let t = Instant::now();
+                let inserted = scratch.canon.insert(&child.graph).is_some();
+                outcome.stats.grow_phases.canon += t.elapsed();
+                if inserted {
                     worklist.push(child);
                 }
             }
 
-            if reported.insert(canonical_key(&closed.graph)) {
-                if let Some(p) = self.report(&closed, closed_support, true, is_maximal) {
+            let t = Instant::now();
+            let reported_id = scratch.canon_reported.insert(&closed.graph);
+            outcome.stats.grow_phases.canon += t.elapsed();
+            if let Some(id) = reported_id {
+                let fp = scratch.canon_reported.fingerprint_of(id);
+                let key = scratch.canon_reported.key_of(id).cloned();
+                if let Some(p) = self.report(&closed, closed_support, true, is_maximal, fp, key) {
                     outcome.patterns.push(p);
                 }
             }
         }
+        let canon_stats = scratch.canon.stats().merged(scratch.canon_reported.stats());
+        outcome.stats.record_canon(canon_stats);
         outcome.stats.level_grow.patterns_out = outcome.patterns.len() as u64;
         outcome
     }
@@ -398,6 +434,10 @@ impl<'a> LevelGrow<'a> {
     /// rare candidates whose verdict needs it), never for rejected ones.
     /// Returns the extended pattern and its support when the extension is
     /// admissible, recording statistics either way.
+    // the "arguments" are the disjoint per-worker scratch pieces — bundling
+    // them back into one struct would recreate the borrow conflicts the
+    // destructured GrowScratch exists to avoid
+    #[allow(clippy::too_many_arguments)]
     fn try_extension_indexed(
         &self,
         current: &GrownPattern,
@@ -406,6 +446,7 @@ impl<'a> LevelGrow<'a> {
         stats: &mut MiningStats,
         support_scratch: &mut SupportScratch,
         gather_buf: &mut OccurrenceStore,
+        struct_scratch: &mut StructScratch,
     ) -> Option<(GrownPattern, usize)> {
         stats.level_grow.candidates_examined += 1;
         if table.support_upper_bound(i) < self.config.sigma {
@@ -441,13 +482,19 @@ impl<'a> LevelGrow<'a> {
         }
         // the O(n²) structural extension is built only here — for admitted
         // children and the rare candidates whose Constraint-III verdict
-        // needs it — never for rejected candidates
+        // needs it — never for rejected candidates, and always into the
+        // reused per-worker scratch (a rejected survivor allocates nothing)
         let structure_needed =
             crate::constraints::needs_structural_check(current, ext, self.config.constraint_check);
-        let structure = current.apply_structure(ext);
+        current.apply_structure_with(ext, struct_scratch);
         let verdict = if structure_needed {
-            let check =
-                check_extension(current, ext, &structure, self.config.delta, self.config.constraint_check);
+            let check = check_extension(
+                current,
+                ext,
+                &struct_scratch.structure,
+                self.config.delta,
+                self.config.constraint_check,
+            );
             if check.full_recomputation {
                 stats.full_diameter_recomputations += 1;
             }
@@ -460,7 +507,7 @@ impl<'a> LevelGrow<'a> {
             return None;
         }
         let embeddings = std::mem::take(gather_buf);
-        Some((current.assemble(ext.clone(), structure, embeddings), support))
+        Some((current.assemble(ext.clone(), struct_scratch.structure.clone(), embeddings), support))
     }
 
     /// The reference evaluation of one candidate extension: the frequency
@@ -478,6 +525,7 @@ impl<'a> LevelGrow<'a> {
         stats: &mut MiningStats,
         row_marks: &mut VertexMarks,
         support_scratch: &mut SupportScratch,
+        struct_scratch: &mut StructScratch,
     ) -> Option<(GrownPattern, usize)> {
         stats.level_grow.candidates_examined += 1;
         let t0 = Instant::now();
@@ -492,9 +540,14 @@ impl<'a> LevelGrow<'a> {
             return None;
         }
         stats.constraint_checks += 1;
-        let structure = current.apply_structure(&ext);
-        let check =
-            check_extension(current, &ext, &structure, self.config.delta, self.config.constraint_check);
+        current.apply_structure_with(&ext, struct_scratch);
+        let check = check_extension(
+            current,
+            &ext,
+            &struct_scratch.structure,
+            self.config.delta,
+            self.config.constraint_check,
+        );
         stats.grow_phases.check += t2.elapsed();
         if check.full_recomputation {
             stats.full_diameter_recomputations += 1;
@@ -502,7 +555,7 @@ impl<'a> LevelGrow<'a> {
         if !Self::record_verdict(check.verdict, stats) {
             return None;
         }
-        Some((current.assemble(ext, structure, embeddings), support))
+        Some((current.assemble(ext, struct_scratch.structure.clone(), embeddings), support))
     }
 
     /// Enumerates the candidate extensions of a pattern, derived directly
@@ -529,11 +582,11 @@ impl<'a> LevelGrow<'a> {
     pub fn candidate_extensions_reference(
         &self,
         pattern: &GrownPattern,
-        scratch: &mut GrowScratch,
+        scratch: &mut crate::ext_index::ExtensionScratch,
     ) -> BTreeSet<Extension> {
         let crate::ext_index::ExtensionScratch {
             images, attachments, run_edges, subset, probe_marks, ..
-        } = &mut scratch.ext;
+        } = scratch;
         let mut out = BTreeSet::new();
         let delta = self.config.delta;
         let n = pattern.graph.vertex_count();
@@ -621,13 +674,17 @@ impl<'a> LevelGrow<'a> {
     }
 
     /// Applies the report-mode filter and converts a grown pattern into a
-    /// result pattern.
+    /// result pattern, carrying the canonical fingerprint and (when the
+    /// dedup funnel already paid for it) the memoized canonical key so
+    /// downstream cross-cluster dedup never recomputes either.
     fn report(
         &self,
         pattern: &GrownPattern,
         support: usize,
         closed: bool,
         maximal: bool,
+        canon_fingerprint: u64,
+        canon_key: Option<DfsCode>,
     ) -> Option<SkinnyPattern> {
         let is_bare_path = pattern.graph.vertex_count() == pattern.diameter_len + 1
             && pattern.graph.edge_count() == pattern.diameter_len;
@@ -656,6 +713,8 @@ impl<'a> LevelGrow<'a> {
             embeddings,
             closed,
             maximal,
+            canon_fingerprint,
+            canon_key,
         })
     }
 }
@@ -684,7 +743,7 @@ mod tests {
     use super::*;
     use crate::config::{ConstraintCheckMode, SkinnyMineConfig};
     use crate::diam_mine::DiamMine;
-    use skinny_graph::{Label, LabeledGraph};
+    use skinny_graph::{canonical_key, Label, LabeledGraph};
 
     fn l(x: u32) -> Label {
         Label(x)

@@ -106,9 +106,9 @@ pub use framework::{
     Continuous, DirectMiner, GraphConstraint, MaxDegreeConstraint, Reducible, RegularDegreeConstraint,
     SkinnyConstraint, SkinnyDirectMiner,
 };
-pub use grown::{Extension, GrowScratch, GrownPattern};
+pub use grown::{Extension, GrowScratch, GrownPattern, StructScratch};
 pub use level_grow::{LevelGrow, Seed};
-pub use miner::SkinnyMine;
+pub use miner::{duplicate_pattern_indices, duplicate_pattern_indices_reference, SkinnyMine};
 pub use path_pattern::{PathKey, PathPattern, PatternTable};
 pub use pattern_index::MinimalPatternIndex;
 pub use result::{MiningResult, SkinnyPattern};

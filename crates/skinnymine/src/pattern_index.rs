@@ -319,9 +319,10 @@ impl MinimalPatternIndex {
             patterns.extend(outcome.patterns);
         }
         // cycle clusters can re-generate patterns a path cluster reaches;
-        // keep the first copy in deterministic seed order (paths first)
+        // keep the first copy in deterministic seed order (paths first),
+        // reusing the memoized fingerprints/keys the grow workers carry
         if !cycle_seeds.is_empty() {
-            patterns = crate::miner::dedup_by_canonical_key(patterns);
+            patterns = crate::miner::dedup_by_canonical_key(patterns, &mut stats);
         }
         stats.level_grow.duration = t0.elapsed();
         stats.clusters = clusters;

@@ -1,7 +1,7 @@
 //! Result types of a SkinnyMine run.
 
 use serde::{Deserialize, Serialize};
-use skinny_graph::{EmbeddingSet, Label, LabeledGraph, SupportMeasure};
+use skinny_graph::{DfsCode, EmbeddingSet, Label, LabeledGraph, SupportMeasure};
 
 use crate::stats::MiningStats;
 
@@ -27,6 +27,17 @@ pub struct SkinnyPattern {
     pub closed: bool,
     /// True when no frequent constraint-satisfying one-edge extension exists.
     pub maximal: bool,
+    /// Order-invariant canonical fingerprint of the pattern graph
+    /// ([`skinny_graph::fingerprint`]): equal for isomorphic graphs, so
+    /// unequal fingerprints prove non-isomorphism.  Cross-cluster dedup
+    /// buckets on this instead of recomputing signatures.
+    pub canon_fingerprint: u64,
+    /// The memoized minimum-DFS canonical key, carried over from the grow
+    /// stage **iff** its dedup funnel already had to compute it (fingerprint
+    /// collision); `None` means no key was ever needed — the saving the
+    /// canonical-form subsystem exists for.  Deterministic for a
+    /// deterministic growth order.
+    pub canon_key: Option<DfsCode>,
 }
 
 impl SkinnyPattern {
@@ -120,6 +131,7 @@ mod tests {
         let labels = vec![Label(0); n_vertices];
         let edges: Vec<(u32, u32)> = (0..n_vertices as u32 - 1).map(|i| (i, i + 1)).collect();
         let graph = LabeledGraph::from_unlabeled_edges(&labels, edges).unwrap();
+        let canon_fingerprint = skinny_graph::fingerprint(&graph);
         SkinnyPattern {
             graph,
             diameter_len: diameter,
@@ -129,6 +141,8 @@ mod tests {
             embeddings: EmbeddingSet::from_vec(vec![Embedding::new(vec![VertexId(0)])]),
             closed: true,
             maximal: false,
+            canon_fingerprint,
+            canon_key: None,
         }
     }
 

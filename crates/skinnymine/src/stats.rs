@@ -49,6 +49,9 @@ pub struct GrowPhaseStats {
     pub extend: Duration,
     /// Evaluating the support measure over the extended embeddings.
     pub support: Duration,
+    /// Canonical-form dedup of admitted children: fingerprints, and full
+    /// min-DFS keys on fingerprint collisions.
+    pub canon: Duration,
 }
 
 impl GrowPhaseStats {
@@ -58,6 +61,7 @@ impl GrowPhaseStats {
         self.check += other.check;
         self.extend += other.extend;
         self.support += other.support;
+        self.canon += other.canon;
     }
 }
 
@@ -85,6 +89,15 @@ pub struct MiningStats {
     /// Extensions pruned by the extension table's free support upper bound
     /// (incidence count `< σ`) before any structural or data work.
     pub pruned_support_bound: u64,
+    /// Canonical-dedup inserts whose fingerprint was already interned (the
+    /// only inserts that fall through to a full canonical-key comparison).
+    pub canon_fingerprint_hits: u64,
+    /// Full minimum-DFS-code computations performed by the canonical-form
+    /// funnel (one per fingerprint collision, memoized — never recomputed).
+    pub canon_full_keys: u64,
+    /// Minimum-DFS traversals the early-abort engine pruned before
+    /// completion (their code prefix already exceeded the best-so-far).
+    pub canon_early_aborts: u64,
     /// Wall-clock breakdown of Stage II's candidate evaluation.
     pub grow_phases: GrowPhaseStats,
     /// Full canonical-diameter recomputations triggered (Fast mode fallback
@@ -116,16 +129,27 @@ impl MiningStats {
         self.rejected_constraint_skinniness += other.rejected_constraint_skinniness;
         self.rejected_infrequent += other.rejected_infrequent;
         self.pruned_support_bound += other.pruned_support_bound;
+        self.canon_fingerprint_hits += other.canon_fingerprint_hits;
+        self.canon_full_keys += other.canon_full_keys;
+        self.canon_early_aborts += other.canon_early_aborts;
         self.grow_phases.merge(&other.grow_phases);
         self.full_diameter_recomputations += other.full_diameter_recomputations;
         self.level_grow.candidates_examined += other.level_grow.candidates_examined;
         self.level_grow.patterns_out += other.level_grow.patterns_out;
     }
 
+    /// Folds the canonical-dedup funnel counters of one cluster into the
+    /// run-level statistics.
+    pub fn record_canon(&mut self, canon: skinny_graph::CanonStats) {
+        self.canon_fingerprint_hits += canon.fingerprint_hits;
+        self.canon_full_keys += canon.full_keys;
+        self.canon_early_aborts += canon.early_aborts;
+    }
+
     /// A one-line human readable summary.
     pub fn summary(&self) -> String {
         format!(
-            "DiamMine {:.1} ms ({} paths) | LevelGrow {:.1} ms ({} patterns) | checks {} | rejects I/II/III/δ/freq {}/{}/{}/{}/{} | bound-pruned {} | recomputes {}",
+            "DiamMine {:.1} ms ({} paths) | LevelGrow {:.1} ms ({} patterns) | checks {} | rejects I/II/III/δ/freq {}/{}/{}/{}/{} | bound-pruned {} | canon fp-hits/keys/aborts {}/{}/{} | recomputes {}",
             self.diam_mine.millis(),
             self.diam_mine.patterns_out,
             self.level_grow.millis(),
@@ -137,6 +161,9 @@ impl MiningStats {
             self.rejected_constraint_skinniness,
             self.rejected_infrequent,
             self.pruned_support_bound,
+            self.canon_fingerprint_hits,
+            self.canon_full_keys,
+            self.canon_early_aborts,
             self.full_diameter_recomputations,
         )
     }
@@ -165,8 +192,15 @@ mod tests {
             rejected_constraint_skinniness: 6,
             rejected_infrequent: 4,
             pruned_support_bound: 9,
+            canon_fingerprint_hits: 11,
+            canon_full_keys: 12,
+            canon_early_aborts: 13,
             full_diameter_recomputations: 1,
-            grow_phases: GrowPhaseStats { extend: Duration::from_millis(5), ..Default::default() },
+            grow_phases: GrowPhaseStats {
+                extend: Duration::from_millis(5),
+                canon: Duration::from_millis(2),
+                ..Default::default()
+            },
             ..Default::default()
         };
         a.merge(&b);
@@ -177,8 +211,23 @@ mod tests {
         assert_eq!(a.rejected_constraint_skinniness, 6);
         assert_eq!(a.rejected_infrequent, 4);
         assert_eq!(a.pruned_support_bound, 9);
+        assert_eq!(a.canon_fingerprint_hits, 11);
+        assert_eq!(a.canon_full_keys, 12);
+        assert_eq!(a.canon_early_aborts, 13);
         assert_eq!(a.full_diameter_recomputations, 1);
         assert_eq!(a.grow_phases.extend, Duration::from_millis(5));
+        assert_eq!(a.grow_phases.canon, Duration::from_millis(2));
+    }
+
+    #[test]
+    fn record_canon_folds_funnel_counters() {
+        let mut s = MiningStats::default();
+        s.record_canon(skinny_graph::CanonStats { fingerprint_hits: 3, full_keys: 2, early_aborts: 7 });
+        s.record_canon(skinny_graph::CanonStats { fingerprint_hits: 1, full_keys: 0, early_aborts: 1 });
+        assert_eq!(s.canon_fingerprint_hits, 4);
+        assert_eq!(s.canon_full_keys, 2);
+        assert_eq!(s.canon_early_aborts, 8);
+        assert!(s.summary().contains("canon fp-hits/keys/aborts 4/2/8"));
     }
 
     #[test]

@@ -53,7 +53,7 @@ fn sample_patterns(
         dm.mine_exact(2).iter().map(GrownPattern::from_path_pattern).collect();
     let mut children = Vec::new();
     'outer: for p in &patterns {
-        for ext in grower.candidate_extensions_reference(p, scratch) {
+        for ext in grower.candidate_extensions_reference(p, &mut scratch.ext) {
             let embeddings = p.extend_embeddings(&data, &ext);
             if embeddings.is_empty() {
                 continue;
@@ -93,7 +93,7 @@ proptest! {
         let mut scratch = GrowScratch::new();
         for pattern in sample_patterns(&g, &grower, delta, &mut scratch) {
             let reference: Vec<Extension> =
-                grower.candidate_extensions_reference(&pattern, &mut scratch).into_iter().collect();
+                grower.candidate_extensions_reference(&pattern, &mut scratch.ext).into_iter().collect();
             scratch.ext.build(&pattern, &data, delta);
             let table = &scratch.ext.table;
             // same candidate set, same sorted order

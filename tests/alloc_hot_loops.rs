@@ -14,8 +14,8 @@
 //! below the scanned-row count.  Everything runs inside one `#[test]` so no
 //! concurrent test thread can pollute the counter.
 
-use skinny_graph::{Label, LabeledGraph, SupportMeasure, VertexMarks};
-use skinnymine::{DiamMine, Extension, ExtensionScratch, GrownPattern, MiningData};
+use skinny_graph::{CanonSet, Label, LabeledGraph, SupportMeasure, VertexId, VertexMarks};
+use skinnymine::{DiamMine, Extension, ExtensionScratch, GrownPattern, MiningData, StructScratch};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -175,6 +175,64 @@ fn hot_loops_allocate_per_pattern_not_per_row() {
         gather_allocs < 8,
         "gather allocated {gather_allocs} times for {rows} gathered rows — \
          the store must be pre-sized from the incidence count"
+    );
+
+    // ---- Stage II canonical dedup: fingerprint-reject path --------------
+    // a child whose fingerprint collides with an interned pattern is the
+    // dedup reject path; with the entry keys materialized (warm), each
+    // further duplicate pays one fingerprint plus one scratch-computed key
+    // and performs zero heap allocation
+    let a = LabeledGraph::from_unlabeled_edges(
+        &[l(0), l(1), l(2), l(3), l(4), l(9)],
+        [(0, 1), (1, 2), (2, 3), (3, 4), (2, 5)],
+    )
+    .unwrap();
+    // an isomorphic copy with permuted vertex ids
+    let b = LabeledGraph::from_unlabeled_edges(
+        &[l(9), l(4), l(3), l(2), l(1), l(0)],
+        [(5, 4), (4, 3), (3, 2), (2, 1), (3, 0)],
+    )
+    .unwrap();
+    let mut canon = CanonSet::new();
+    assert!(canon.insert(&a).is_some());
+    // warm-up: the first collision materializes the memoized entry key
+    assert!(canon.insert(&b).is_none());
+    assert!(canon.insert(&b).is_none());
+    let rejects = 200u64;
+    let (canon_allocs, ()) = counted(|| {
+        for _ in 0..rejects {
+            assert!(canon.insert(&b).is_none());
+        }
+    });
+    assert!(
+        canon_allocs == 0,
+        "canonical-dedup fingerprint-reject path allocated {canon_allocs} times for {rejects} \
+         duplicate rejections — the warm funnel must not allocate at all"
+    );
+
+    // ---- Stage II structural build: candidate-reject reuse --------------
+    // rebuilding a candidate's structural extension into warm per-worker
+    // scratch must stay allocation-free apart from the extended graph's
+    // single new adjacency entry
+    let g = labeled_paths_graph(1);
+    let dm = DiamMine::new(MiningData::Single(&g), 1, SupportMeasure::DistinctVertexSets);
+    let pattern = GrownPattern::from_path_pattern(&dm.frequent_edges()[0]);
+    let ext = Extension::NewVertex { attach: 0, vertex_label: l(9), edge_label: Label::DEFAULT_EDGE };
+    let chord = Extension::ClosingEdge { u: 0, v: 1, edge_label: Label::DEFAULT_EDGE };
+    let _ = chord; // (a length-1 path has no non-adjacent pair to close)
+    let mut struct_scratch = StructScratch::new();
+    pattern.apply_structure_with(&ext, &mut struct_scratch);
+    let builds = 200u64;
+    let (struct_allocs, ()) = counted(|| {
+        for _ in 0..builds {
+            pattern.apply_structure_with(&ext, &mut struct_scratch);
+        }
+    });
+    assert_eq!(struct_scratch.structure.new_vertex, Some(VertexId(2)));
+    assert!(
+        struct_allocs <= 2 * builds,
+        "scratch structural build allocated {struct_allocs} times for {builds} rebuilds — \
+         only the new vertex's adjacency entry may allocate"
     );
 
     // ---- accept path: allocation tracks emitted patterns ----------------
