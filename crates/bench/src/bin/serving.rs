@@ -1,0 +1,107 @@
+//! `serving` — the pattern-index serving-layer traffic experiment.
+//!
+//! ```text
+//! Usage: serving [--divisor N] [--seed S] [--out PATH]
+//!        serving --check PATH
+//!
+//!   --divisor N   down-scaling divisor for the preset graph and the
+//!                 request schedules (default 10)
+//!   --seed S      RNG seed for the graph and the schedules (default 20130622)
+//!   --out PATH    write BENCH_serving.json-schema output to PATH
+//!                 (default: print to stdout)
+//!   --check PATH  validate an existing JSON file against the schema and
+//!                 exit (0 = valid); used by the CI smoke step
+//! ```
+//!
+//! Latency and throughput are machine-dependent and never gated on — only
+//! the schema and its counter invariants are.
+
+use skinny_bench::serving::{check_serving_schema, run_serving_bench};
+use skinny_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::quick();
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--divisor" => {
+                i += 1;
+                scale.divisor = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(scale.divisor).max(1);
+            }
+            "--seed" => {
+                i += 1;
+                scale.seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(scale.seed);
+            }
+            "--out" => {
+                i += 1;
+                out = args.get(i).cloned();
+            }
+            "--check" => {
+                i += 1;
+                check = args.get(i).cloned();
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: serving [--divisor N] [--seed S] [--out PATH] | serving --check PATH");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    if let Some(path) = check {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        match check_serving_schema(&text) {
+            Ok(()) => println!("{path}: schema OK"),
+            Err(e) => {
+                eprintln!("{path}: schema violation: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let bench = run_serving_bench(scale);
+    let json = bench.to_json();
+    eprintln!(
+        "serving bench: |V| = {}, |E| = {}, divisor {}, {} workers, index built in {:.3}s",
+        bench.vertices, bench.edges, bench.divisor, bench.workers, bench.build_seconds
+    );
+    for sc in &bench.scenarios {
+        eprintln!(
+            "  {:>5}: {} reqs ({} keys) in {:.3}s = {:.0} rps | p50 {:.4} ms, p99 {:.4} ms | \
+             hits {} / misses {} / coalesced {} / evictions {}",
+            sc.name,
+            sc.requests,
+            sc.distinct_keys,
+            sc.wall_seconds,
+            sc.throughput_rps,
+            sc.p50_ms,
+            sc.p99_ms,
+            sc.hits,
+            sc.misses,
+            sc.coalesced_waiters,
+            sc.evictions,
+        );
+    }
+    match out {
+        Some(path) => {
+            std::fs::write(&path, json).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            println!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+}

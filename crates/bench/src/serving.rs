@@ -1,0 +1,464 @@
+//! The `serving` experiment: a closed-loop traffic generator against one
+//! [`MinimalPatternIndex`], measuring the serving layer the way the
+//! Figure-2 deployment is actually exercised — repeated `(l, δ)` request
+//! traffic from concurrent clients against one pre-computation.
+//!
+//! Three key distributions are driven over the same index (the cache is
+//! purged between scenarios so each starts cold):
+//!
+//! * **hot** — every request draws from a 4-key working set: after the
+//!   first touch per key everything is a cache hit, so this measures the
+//!   pointer-copy hit path and the single-flight coalescing of the cold
+//!   start;
+//! * **cold** — every request uses a globally unique key: no request ever
+//!   hits, so this measures the uncached serve path and (with the bench's
+//!   deliberately small cache bound) LRU eviction under churn;
+//! * **mixed** — 80% hot / 20% unique, the steady-state shape: the hot set
+//!   must survive the churn of the unique tail.
+//!
+//! Each of the fixed number of workers issues its deterministic,
+//! pre-computed request schedule back-to-back (closed loop: offered load =
+//! worker count), timing every request; per-scenario latency percentiles
+//! and serving-counter deltas land in the schema-checked
+//! `BENCH_serving.json`.  [`check_serving_schema`] gates the document's
+//! *shape* and its machine-independent counter invariants (every request is
+//! a hit, a leader or a coalesced waiter; exactly one mining run per miss)
+//! — the timings themselves are machine-dependent and never gated.
+
+use crate::experiments::Scale;
+use crate::json::{Json, Reader};
+use skinny_graph::SupportMeasure;
+use skinnymine::{
+    Exploration, MinimalPatternIndex, ReportMode, ServingCacheConfig, ServingStats, SkinnyMineConfig,
+};
+use std::time::Instant;
+
+/// Outcome of one traffic scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// Scenario id (`hot`, `cold`, `mixed`).
+    pub name: String,
+    /// Requests issued across all workers.
+    pub requests: u64,
+    /// Distinct canonical request keys in the schedule.
+    pub distinct_keys: u64,
+    /// Wall-clock seconds from first to last request.
+    pub wall_seconds: f64,
+    /// Requests per second over the wall-clock window.
+    pub throughput_rps: f64,
+    /// Median per-request latency in milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile per-request latency in milliseconds.
+    pub p99_ms: f64,
+    /// Worst per-request latency in milliseconds.
+    pub max_ms: f64,
+    /// Serving-counter delta: cache hits.
+    pub hits: u64,
+    /// Serving-counter delta: misses (mining-run leaders).
+    pub misses: u64,
+    /// Serving-counter delta: requests coalesced onto another run.
+    pub coalesced_waiters: u64,
+    /// Serving-counter delta: LRU evictions.
+    pub evictions: u64,
+    /// Serving-counter delta: mining runs executed.
+    pub mining_runs: u64,
+}
+
+/// The full `serving` experiment result.
+#[derive(Debug, Clone)]
+pub struct ServingBench {
+    /// Schema version of the JSON serialization.
+    pub schema_version: u32,
+    /// Datagen preset id.
+    pub preset: String,
+    /// Down-scaling divisor the run used.
+    pub divisor: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Vertices of the generated graph.
+    pub vertices: usize,
+    /// Edges of the generated graph.
+    pub edges: usize,
+    /// Support threshold of the index.
+    pub sigma: usize,
+    /// Seconds spent building the index (amortized over all requests).
+    pub build_seconds: f64,
+    /// Closed-loop worker count (= offered concurrency).
+    pub workers: usize,
+    /// Total cost bound of the serving cache the run used.
+    pub cache_cost_bound: u64,
+    /// Per-scenario outcomes, in `hot`, `cold`, `mixed` order.
+    pub scenarios: Vec<ScenarioOutcome>,
+}
+
+/// Closed-loop worker count (= offered concurrency of every scenario).
+const WORKERS: usize = 8;
+
+/// Shard count of the serving cache under test.
+const CACHE_SHARDS: usize = 8;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The 4-key hot working set: closed patterns at `l` = 2..=5, δ = 2.
+fn hot_keys(sigma: usize) -> Vec<SkinnyMineConfig> {
+    (2..=5usize)
+        .map(|l| {
+            SkinnyMineConfig::new(l, 2, sigma)
+                .with_support_measure(SupportMeasure::MinimumImage)
+                .with_report(ReportMode::Closed)
+                .with_exploration(Exploration::ClosureJump)
+        })
+        .collect()
+}
+
+/// A globally unique request key: a hot key whose `max_patterns` cap
+/// carries a unique id far above any real pattern count, so the served
+/// result is unchanged but the canonical cache key (and therefore the
+/// cache slot and flight) is distinct per request.
+fn unique_key(hot: &[SkinnyMineConfig], rng: &mut u64, uid: u64) -> SkinnyMineConfig {
+    let base = hot[(splitmix64(rng) % hot.len() as u64) as usize].clone();
+    base.with_max_patterns(Some(1_000_000 + uid as usize))
+}
+
+struct ScenarioSpec {
+    name: &'static str,
+    per_worker: usize,
+    /// Percent of requests drawn from the hot set (the rest are unique).
+    hot_pct: u64,
+}
+
+fn scenario_specs(divisor: usize) -> Vec<ScenarioSpec> {
+    // the uncached serve path dominates cold wall-clock, so its schedule is
+    // shorter; scaled down with the preset so CI smoke runs stay quick
+    let scale = |n: usize| (n / divisor.clamp(1, 16)).max(4);
+    vec![
+        ScenarioSpec { name: "hot", per_worker: scale(4000), hot_pct: 100 },
+        ScenarioSpec { name: "cold", per_worker: scale(320), hot_pct: 0 },
+        ScenarioSpec { name: "mixed", per_worker: scale(2000), hot_pct: 80 },
+    ]
+}
+
+fn delta(after: &ServingStats, before: &ServingStats) -> (u64, u64, u64, u64, u64) {
+    (
+        after.hits - before.hits,
+        after.misses - before.misses,
+        after.coalesced_waiters - before.coalesced_waiters,
+        after.evictions - before.evictions,
+        after.mining_runs - before.mining_runs,
+    )
+}
+
+fn percentile_ms(sorted: &[f64], pct: usize) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = (sorted.len() * pct / 100).min(sorted.len() - 1);
+    sorted[idx] * 1e3
+}
+
+/// Runs one scenario: pre-computes every worker's request schedule
+/// deterministically from the seed, hammers the index from [`WORKERS`]
+/// closed-loop threads timing each request, and reports merged latency
+/// percentiles plus the serving-counter deltas.
+fn run_scenario(
+    index: &MinimalPatternIndex,
+    spec: &ScenarioSpec,
+    sigma: usize,
+    seed: u64,
+) -> ScenarioOutcome {
+    let hot = hot_keys(sigma);
+    let schedules: Vec<Vec<SkinnyMineConfig>> = (0..WORKERS)
+        .map(|w| {
+            let mut rng = seed ^ (0xABCD_EF00 + w as u64);
+            (0..spec.per_worker)
+                .map(|i| {
+                    if splitmix64(&mut rng) % 100 < spec.hot_pct {
+                        hot[(splitmix64(&mut rng) % hot.len() as u64) as usize].clone()
+                    } else {
+                        let uid = (w * spec.per_worker + i) as u64;
+                        unique_key(&hot, &mut rng, uid)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let distinct_keys = schedules
+        .iter()
+        .flatten()
+        .map(|c| c.canonical_request_key())
+        .collect::<std::collections::HashSet<_>>()
+        .len() as u64;
+
+    index.purge_cache();
+    let before = index.serving_stats();
+    let t0 = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = schedules
+            .iter()
+            .map(|schedule| {
+                scope.spawn(move || {
+                    let mut worker_latencies = Vec::with_capacity(schedule.len());
+                    for config in schedule {
+                        let t = Instant::now();
+                        let result = index.request(config).expect("serving request succeeds");
+                        worker_latencies.push(t.elapsed().as_secs_f64());
+                        std::hint::black_box(result.patterns.len());
+                    }
+                    worker_latencies
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("worker must not panic")).collect()
+    });
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    let after = index.serving_stats();
+    let (hits, misses, coalesced_waiters, evictions, mining_runs) = delta(&after, &before);
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let requests = latencies.len() as u64;
+    ScenarioOutcome {
+        name: spec.name.to_string(),
+        requests,
+        distinct_keys,
+        wall_seconds,
+        throughput_rps: requests as f64 / wall_seconds.max(f64::MIN_POSITIVE),
+        p50_ms: percentile_ms(&latencies, 50),
+        p99_ms: percentile_ms(&latencies, 99),
+        max_ms: latencies.last().copied().unwrap_or(0.0) * 1e3,
+        hits,
+        misses,
+        coalesced_waiters,
+        evictions,
+        mining_runs,
+    }
+}
+
+/// Runs the `serving` experiment on the Figure-16 datagen preset: builds the
+/// index once, then drives the hot / cold / mixed traffic scenarios.
+pub fn run_serving_bench(scale: Scale) -> ServingBench {
+    let sigma = 2;
+    let vertices = (10_000 / scale.divisor.max(1)).max(400);
+    let graph = skinny_datagen::erdos_renyi(&skinny_datagen::ErConfig::new(vertices, 3.0, 10, scale.seed));
+    let t0 = Instant::now();
+    let index = MinimalPatternIndex::build(&graph, sigma, SupportMeasure::MinimumImage, Some(5));
+    let build_seconds = t0.elapsed().as_secs_f64();
+    // size the cache so the hot working set always fits (even if every hot
+    // key hashes to one shard: per-shard budget = the whole hot set's cost)
+    // but the cold scenario's unique-key churn still overflows shards and
+    // exercises LRU eviction
+    let hot_cost: u64 = hot_keys(sigma)
+        .iter()
+        .map(|key| index.request(key).expect("hot key serves").patterns.len().max(1) as u64)
+        .sum();
+    let cache_cost_bound = (CACHE_SHARDS as u64 * hot_cost).max(512);
+    let index = index.with_cache_config(ServingCacheConfig::new(CACHE_SHARDS, cache_cost_bound));
+    let scenarios = scenario_specs(scale.divisor)
+        .iter()
+        .map(|spec| run_scenario(&index, spec, sigma, scale.seed))
+        .collect();
+    ServingBench {
+        schema_version: 1,
+        preset: "fig16-er-deg3-f10".to_string(),
+        divisor: scale.divisor,
+        seed: scale.seed,
+        vertices: graph.vertex_count(),
+        edges: graph.edge_count(),
+        sigma,
+        build_seconds,
+        workers: WORKERS,
+        cache_cost_bound,
+        scenarios,
+    }
+}
+
+impl ServingBench {
+    /// Serializes the result as the `BENCH_serving.json` document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"schema_version\": {},\n", self.schema_version));
+        s.push_str("  \"experiment\": \"serving_bench\",\n");
+        s.push_str(&format!("  \"preset\": \"{}\",\n", self.preset));
+        s.push_str(&format!("  \"divisor\": {},\n", self.divisor));
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str(&format!("  \"vertices\": {},\n", self.vertices));
+        s.push_str(&format!("  \"edges\": {},\n", self.edges));
+        s.push_str(&format!("  \"sigma\": {},\n", self.sigma));
+        s.push_str(&format!("  \"build_seconds\": {:.6},\n", self.build_seconds));
+        s.push_str(&format!("  \"workers\": {},\n", self.workers));
+        s.push_str(&format!("  \"cache_cost_bound\": {},\n", self.cache_cost_bound));
+        s.push_str("  \"scenarios\": [\n");
+        for (i, sc) in self.scenarios.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"requests\": {}, \"distinct_keys\": {}, \
+                 \"wall_seconds\": {:.6}, \"throughput_rps\": {:.1}, \"p50_ms\": {:.6}, \
+                 \"p99_ms\": {:.6}, \"max_ms\": {:.6}, \"hits\": {}, \"misses\": {}, \
+                 \"coalesced_waiters\": {}, \"evictions\": {}, \"mining_runs\": {}}}{}\n",
+                sc.name,
+                sc.requests,
+                sc.distinct_keys,
+                sc.wall_seconds,
+                sc.throughput_rps,
+                sc.p50_ms,
+                sc.p99_ms,
+                sc.max_ms,
+                sc.hits,
+                sc.misses,
+                sc.coalesced_waiters,
+                sc.evictions,
+                sc.mining_runs,
+                if i + 1 < self.scenarios.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Validates a JSON document against the `BENCH_serving.json` schema (v1):
+/// the metadata fields, the three required scenarios (`hot`, `cold`,
+/// `mixed`) with all their fields, and the machine-independent counter
+/// invariants — every request is exactly one of hit / leader / coalesced
+/// waiter (`hits + misses + coalesced_waiters == requests`), single-flight
+/// ran exactly one mining pass per miss (`mining_runs == misses`), and the
+/// latency percentiles are ordered (`p50 <= p99 <= max`).  The timing and
+/// throughput values themselves are machine-dependent and never gated on.
+pub fn check_serving_schema(text: &str) -> Result<(), String> {
+    let doc = Reader::new(text).value()?;
+    let num_field = |obj: &Json, key: &str| -> Result<f64, String> {
+        obj.get(key)
+            .and_then(Json::as_num)
+            .filter(|x| x.is_finite() && *x >= 0.0)
+            .ok_or_else(|| format!("missing or invalid numeric field \"{key}\""))
+    };
+    if num_field(&doc, "schema_version")? != 1.0 {
+        return Err("unsupported schema_version".to_string());
+    }
+    match doc.get("experiment") {
+        Some(Json::Str(s)) if s == "serving_bench" => {}
+        _ => return Err("missing experiment id \"serving_bench\"".to_string()),
+    }
+    for key in
+        ["divisor", "seed", "vertices", "edges", "sigma", "build_seconds", "workers", "cache_cost_bound"]
+    {
+        num_field(&doc, key)?;
+    }
+    let Some(Json::Arr(scenarios)) = doc.get("scenarios") else {
+        return Err("missing \"scenarios\" array".to_string());
+    };
+    let mut names = Vec::new();
+    for sc in scenarios {
+        match sc.get("name") {
+            Some(Json::Str(n)) => names.push(n.clone()),
+            _ => return Err("scenario without a \"name\"".to_string()),
+        }
+        for key in ["requests", "distinct_keys", "wall_seconds", "throughput_rps", "hits", "evictions"] {
+            num_field(sc, key)?;
+        }
+        let requests = num_field(sc, "requests")?;
+        if requests < 1.0 {
+            return Err("scenario with zero requests".to_string());
+        }
+        let (hits, misses) = (num_field(sc, "hits")?, num_field(sc, "misses")?);
+        let coalesced = num_field(sc, "coalesced_waiters")?;
+        if hits + misses + coalesced != requests {
+            return Err(format!(
+                "counter invariant violated: hits {hits} + misses {misses} + coalesced {coalesced} \
+                 != requests {requests}"
+            ));
+        }
+        let mining_runs = num_field(sc, "mining_runs")?;
+        if mining_runs != misses {
+            return Err(format!(
+                "single-flight invariant violated: mining_runs {mining_runs} != misses {misses}"
+            ));
+        }
+        let (p50, p99, max) = (num_field(sc, "p50_ms")?, num_field(sc, "p99_ms")?, num_field(sc, "max_ms")?);
+        if p50 > p99 || p99 > max {
+            return Err(format!("latency percentiles out of order: p50 {p50}, p99 {p99}, max {max}"));
+        }
+    }
+    for required in ["hot", "cold", "mixed"] {
+        if !names.iter().any(|n| n == required) {
+            return Err(format!("missing scenario \"{required}\""));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emitted_json_passes_the_schema_check() {
+        let bench = run_serving_bench(Scale { divisor: 64, seed: 7 });
+        let json = bench.to_json();
+        check_serving_schema(&json).expect("emitted JSON must satisfy its own schema");
+        let hot = bench.scenarios.iter().find(|s| s.name == "hot").expect("hot scenario present");
+        assert!(hot.hits > 0, "the hot scenario must hit the cache");
+        assert_eq!(hot.mining_runs, hot.distinct_keys, "one mining run per distinct hot key");
+        let cold = bench.scenarios.iter().find(|s| s.name == "cold").expect("cold scenario present");
+        assert_eq!(cold.hits, 0, "unique keys can never hit");
+        assert_eq!(cold.misses, cold.requests, "every cold request leads its own run");
+    }
+
+    #[test]
+    fn schema_check_rejects_malformed_documents() {
+        assert!(check_serving_schema("{}").is_err());
+        assert!(check_serving_schema("not json").is_err());
+        assert!(check_serving_schema("{\"schema_version\": 2}").is_err());
+    }
+
+    #[test]
+    fn schema_check_enforces_the_counter_invariants() {
+        let scenario = |name: &str, hits: u64, misses: u64, coalesced: u64, runs: u64| {
+            format!(
+                "{{\"name\": \"{name}\", \"requests\": {}, \"distinct_keys\": 4, \
+                 \"wall_seconds\": 0.5, \"throughput_rps\": 100.0, \"p50_ms\": 0.1, \
+                 \"p99_ms\": 0.2, \"max_ms\": 0.3, \"hits\": {hits}, \"misses\": {misses}, \
+                 \"coalesced_waiters\": {coalesced}, \"evictions\": 0, \"mining_runs\": {runs}}}",
+                hits + misses + coalesced,
+            )
+        };
+        let doc = |scenarios: &str| {
+            format!(
+                "{{\"schema_version\": 1, \"experiment\": \"serving_bench\", \"preset\": \"p\", \
+                 \"divisor\": 4, \"seed\": 1, \"vertices\": 10, \"edges\": 9, \"sigma\": 2, \
+                 \"build_seconds\": 0.1, \"workers\": 8, \"cache_cost_bound\": 512, \
+                 \"scenarios\": [{scenarios}]}}"
+            )
+        };
+        let valid = doc(&format!(
+            "{}, {}, {}",
+            scenario("hot", 90, 4, 6, 4),
+            scenario("cold", 0, 100, 0, 100),
+            scenario("mixed", 70, 20, 10, 20)
+        ));
+        check_serving_schema(&valid).expect("handwritten document must satisfy the schema");
+        // a dropped result (a run that was not a miss leader) breaks single-flight
+        let dup_work = doc(&format!(
+            "{}, {}, {}",
+            scenario("hot", 90, 4, 6, 9),
+            scenario("cold", 0, 100, 0, 100),
+            scenario("mixed", 70, 20, 10, 20)
+        ));
+        assert!(check_serving_schema(&dup_work).unwrap_err().contains("single-flight"));
+        // a missing scenario
+        let no_mixed =
+            doc(&format!("{}, {}", scenario("hot", 90, 4, 6, 4), scenario("cold", 0, 100, 0, 100)));
+        assert!(check_serving_schema(&no_mixed).unwrap_err().contains("mixed"));
+        // unaccounted requests
+        let unaccounted = valid.replace("\"requests\": 100", "\"requests\": 101");
+        assert!(check_serving_schema(&unaccounted).unwrap_err().contains("counter invariant"));
+        // disordered percentiles
+        let disordered = valid.replace("\"p99_ms\": 0.2", "\"p99_ms\": 0.4");
+        assert!(check_serving_schema(&disordered).unwrap_err().contains("percentiles"));
+    }
+}

@@ -270,6 +270,18 @@ impl SkinnyMineConfig {
         self
     }
 
+    /// The canonical serving-cache key of this configuration: mining output
+    /// is invariant under thread count and data representation by
+    /// construction (the determinism suite asserts it), so the key
+    /// normalizes both away and the same logical request shares one cache
+    /// slot — and one in-flight mining run — however it is served.
+    pub fn canonical_request_key(&self) -> SkinnyMineConfig {
+        let mut key = self.clone();
+        key.threads = 1;
+        key.representation = Representation::default();
+        key
+    }
+
     /// Basic sanity validation of the configuration.
     pub fn validate(&self) -> Result<(), crate::error::MineError> {
         use crate::error::MineError;

@@ -18,6 +18,13 @@ pub enum MineError {
     },
     /// An underlying graph operation failed.
     Graph(GraphError),
+    /// The serving layer could not produce a result — e.g. a coalesced
+    /// request whose in-flight leader panicked.  The request itself may be
+    /// fine; retrying runs a fresh mining pass.
+    Serving {
+        /// Human readable reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for MineError {
@@ -26,6 +33,7 @@ impl fmt::Display for MineError {
             MineError::InvalidConfig { reason } => write!(f, "invalid mining configuration: {reason}"),
             MineError::InvalidInput { reason } => write!(f, "invalid mining input: {reason}"),
             MineError::Graph(e) => write!(f, "graph error: {e}"),
+            MineError::Serving { reason } => write!(f, "serving failure: {reason}"),
         }
     }
 }
@@ -58,6 +66,8 @@ mod tests {
         assert!(e.to_string().contains("bad"));
         let e = MineError::InvalidInput { reason: "empty".into() };
         assert!(e.to_string().contains("empty"));
+        let e = MineError::Serving { reason: "leader panicked".into() };
+        assert!(e.to_string().contains("serving failure: leader panicked"));
     }
 
     #[test]

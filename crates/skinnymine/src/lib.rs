@@ -23,9 +23,12 @@
 //!
 //! The [`SkinnyMine`] driver runs both stages; [`MinimalPatternIndex`]
 //! pre-computes Stage I once and serves repeated requests with different `l`,
-//! which is the deployment depicted in Figure 2 of the paper.  The general
-//! direct-mining framework of §5 — constraints with **Reducibility** and
-//! **Continuity** — lives in [`framework`].
+//! which is the deployment depicted in Figure 2 of the paper.  Its request
+//! path runs through the [`serving`] layer: a sharded bounded-LRU result
+//! cache with single-flight coalescing, serving counters and a small typed
+//! request language.  The general direct-mining framework of §5 —
+//! constraints with **Reducibility** and **Continuity** — lives in
+//! [`framework`].
 //!
 //! ## Data representations
 //!
@@ -87,6 +90,7 @@ pub mod miner;
 pub mod path_pattern;
 pub mod pattern_index;
 pub mod result;
+pub mod serving;
 pub mod stats;
 
 pub use config::{
@@ -112,4 +116,5 @@ pub use miner::{duplicate_pattern_indices, duplicate_pattern_indices_reference, 
 pub use path_pattern::{PathKey, PathPattern, PatternTable};
 pub use pattern_index::MinimalPatternIndex;
 pub use result::{MiningResult, SkinnyPattern};
-pub use stats::{GrowPhaseStats, MiningStats, StageStats};
+pub use serving::{ServingCacheConfig, ServingRequest, ServingResponse, ShardedLru};
+pub use stats::{GrowPhaseStats, MiningStats, ServingStats, StageStats};

@@ -19,10 +19,11 @@ use crate::error::{MineError, MineResult};
 use crate::level_grow::LevelGrow;
 use crate::path_pattern::PathPattern;
 use crate::result::MiningResult;
-use crate::stats::MiningStats;
+use crate::serving::{ServeCache, ServingCacheConfig, ServingRequest, ServingResponse};
+use crate::stats::{MiningStats, ServingStats};
 use skinny_graph::{CsrSnapshot, GraphDatabase, LabeledGraph, SupportMeasure};
-use std::collections::{BTreeMap, HashMap};
-use std::sync::{Arc, RwLock};
+use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The data a pattern index was built over (owned copy, so the index can
@@ -54,10 +55,12 @@ impl OwnedData {
 /// (unless the request explicitly asks for the adjacency representation).
 ///
 /// The index is `Sync`: one instance can serve [`MinimalPatternIndex::request`]s
-/// from many threads at once.  Results are memoized per configuration behind
-/// an interior-mutability cache, so a repeated request (the Figure-2 serving
-/// deployment: heavy repeated `l` traffic against one pre-computation) is a
-/// lock-and-clone instead of a re-mine.
+/// from many threads at once through the [`crate::serving`] layer — results
+/// are memoized per canonical configuration in a sharded, size-bounded LRU,
+/// hits are `Arc` pointer-copies, and concurrent requests for the same
+/// uncached configuration coalesce onto a single in-flight mining run (the
+/// Figure-2 serving deployment: heavy repeated `l` traffic against one
+/// pre-computation).
 #[derive(Debug)]
 pub struct MinimalPatternIndex {
     data: OwnedData,
@@ -69,7 +72,7 @@ pub struct MinimalPatternIndex {
     /// for `2l` within the built path-length range.
     cycles_by_diameter: BTreeMap<usize, Vec<CyclePattern>>,
     build_time: std::time::Duration,
-    cache: RwLock<HashMap<SkinnyMineConfig, Arc<MiningResult>>>,
+    cache: ServeCache,
 }
 
 impl Clone for MinimalPatternIndex {
@@ -82,7 +85,10 @@ impl Clone for MinimalPatternIndex {
             by_length: self.by_length.clone(),
             cycles_by_diameter: self.cycles_by_diameter.clone(),
             build_time: self.build_time,
-            cache: RwLock::new(self.cache.read().expect("index cache poisoned").clone()),
+            // cached results come along as cheap Arc copies; counters and
+            // in-flight state start fresh (they describe the original's
+            // traffic, not the clone's)
+            cache: self.cache.clone_contents(),
         }
     }
 }
@@ -161,8 +167,16 @@ impl MinimalPatternIndex {
             by_length,
             cycles_by_diameter,
             build_time: t0.elapsed(),
-            cache: RwLock::new(HashMap::new()),
+            cache: ServeCache::new(ServingCacheConfig::default()),
         }
+    }
+
+    /// Replaces the serving cache with a fresh one of the given shape
+    /// (shard count and total cost bound).  Cached results and counters are
+    /// discarded; intended to be applied right after building.
+    pub fn with_cache_config(mut self, config: ServingCacheConfig) -> Self {
+        self.cache = ServeCache::new(config);
+        self
     }
 
     /// Support threshold the index was built with.
@@ -224,16 +238,19 @@ impl MinimalPatternIndex {
     /// would be missing minimal patterns otherwise) and the support measure
     /// must match.
     ///
-    /// Repeated requests with an identical configuration are answered from an
-    /// internal cache; cluster growth of uncached requests runs on the
-    /// work-stealing pool when `config.threads > 1`.  Both paths return
-    /// exactly what a fresh sequential serve would.
+    /// Repeated requests with an identical configuration are answered from
+    /// the serving cache as a shared `Arc` handle (a pointer-copy — the
+    /// result itself is never deep-cloned), concurrent requests for the
+    /// same uncached configuration coalesce onto one in-flight mining run,
+    /// and cluster growth of uncached requests runs on the work-stealing
+    /// pool when `config.threads > 1`.  Every path returns exactly what a
+    /// fresh sequential serve would.
     ///
     /// Cycle seeds (`C_{2l+1}`) are pre-derived at build time from the
     /// stored length-`2l` paths, so an index built with a bounded `max_len`
     /// can only serve them for `2l <= max_len`; build with `max_len = None`
     /// for full Definition-8 completeness at every length.
-    pub fn request(&self, config: &SkinnyMineConfig) -> MineResult<MiningResult> {
+    pub fn request(&self, config: &SkinnyMineConfig) -> MineResult<Arc<MiningResult>> {
         config.validate()?;
         if config.sigma < self.sigma {
             return Err(MineError::InvalidConfig {
@@ -248,28 +265,37 @@ impl MinimalPatternIndex {
                 reason: "request support measure differs from the index support measure".into(),
             });
         }
-        // results are invariant under thread count and data representation by
-        // construction, so the memo key normalizes both away: the same
-        // logical request shares one cache slot however it is served
-        let mut key = config.clone();
-        key.threads = 1;
-        key.representation = Representation::default();
-        if let Some(cached) = self.cache.read().expect("index cache poisoned").get(&key) {
-            return Ok(MiningResult::clone(cached));
-        }
-        let result = self.serve_uncached(config);
-        let mut cache = self.cache.write().expect("index cache poisoned");
-        if cache.len() >= Self::CACHE_CAPACITY {
-            cache.clear();
-        }
-        let result = cache.entry(key).or_insert_with(|| Arc::new(result));
-        Ok(MiningResult::clone(result))
+        self.cache.get_or_serve(&config.canonical_request_key(), || self.serve_uncached(config))
     }
 
-    /// Bound on distinct memoized configurations (the cache is cleared, not
-    /// evicted, beyond this — request traffic in the serving deployment
-    /// cycles over a small set of `(l, δ)` combinations).
-    const CACHE_CAPACITY: usize = 128;
+    /// Serves a typed [`ServingRequest`]: answers the request's full
+    /// `(l, δ, σ, report)` configuration through [`MinimalPatternIndex::request`]
+    /// (cache, single-flight and all), then applies the label predicates and
+    /// top-k as a [`ServingResponse`] view over the shared result — filtered
+    /// requests never clone a pattern and never occupy an extra cache slot.
+    pub fn serve(&self, request: &ServingRequest) -> MineResult<ServingResponse> {
+        request.validate()?;
+        let full = self.request(&request.base_config(self.support))?;
+        Ok(ServingResponse::select(full, request))
+    }
+
+    /// Parses and serves a request in the textual request language (see
+    /// [`ServingRequest::parse`] for the grammar).
+    pub fn serve_text(&self, text: &str) -> MineResult<ServingResponse> {
+        self.serve(&ServingRequest::parse(text)?)
+    }
+
+    /// Snapshot of the serving counters (hits, misses, coalesced waiters,
+    /// evictions, in-flight gauge) and current cache occupancy.
+    pub fn serving_stats(&self) -> ServingStats {
+        self.cache.stats()
+    }
+
+    /// Drops every cached result (serving counters keep accumulating).
+    /// Benchmarks use this to start each traffic scenario cold.
+    pub fn purge_cache(&self) {
+        self.cache.purge();
+    }
 
     fn serve_uncached(&self, config: &SkinnyMineConfig) -> MiningResult {
         let mut stats = MiningStats::default();
@@ -340,7 +366,7 @@ impl MinimalPatternIndex {
 
     /// Convenience request builder: mine all `l`-long `delta`-skinny patterns
     /// from the index at the index's own support threshold.
-    pub fn request_exact(&self, l: usize, delta: u32, report: ReportMode) -> MineResult<MiningResult> {
+    pub fn request_exact(&self, l: usize, delta: u32, report: ReportMode) -> MineResult<Arc<MiningResult>> {
         let config = SkinnyMineConfig::new(l, delta, self.sigma)
             .with_support_measure(self.support)
             .with_report(report)
@@ -435,6 +461,76 @@ mod tests {
         let g = data();
         let idx = MinimalPatternIndex::build(&g, 2, SupportMeasure::DistinctVertexSets, Some(2));
         assert_eq!(idx.available_lengths(), vec![1, 2]);
+    }
+
+    #[test]
+    fn cache_hits_share_one_arc() {
+        let g = data();
+        let idx = MinimalPatternIndex::build(&g, 2, SupportMeasure::DistinctVertexSets, None);
+        let config = SkinnyMineConfig::new(4, 2, 2).with_report(ReportMode::All);
+        let first = idx.request(&config).unwrap();
+        let second = idx.request(&config).unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "a cache hit must be a pointer-copy");
+        // thread count and representation normalize onto the same slot
+        let pooled = idx.request(&config.clone().with_threads(8)).unwrap();
+        assert!(Arc::ptr_eq(&first, &pooled));
+        let stats = idx.serving_stats();
+        assert_eq!((stats.hits, stats.misses, stats.mining_runs), (2, 1, 1));
+        assert_eq!(stats.cached_entries, 1);
+        assert_eq!(stats.in_flight, 0);
+    }
+
+    #[test]
+    fn purge_cache_forces_a_fresh_run() {
+        let g = data();
+        let idx = MinimalPatternIndex::build(&g, 2, SupportMeasure::DistinctVertexSets, None)
+            .with_cache_config(ServingCacheConfig::new(2, 64));
+        let config = SkinnyMineConfig::new(3, 2, 2).with_report(ReportMode::All);
+        idx.request(&config).unwrap();
+        idx.purge_cache();
+        assert_eq!(idx.serving_stats().cached_entries, 0);
+        idx.request(&config).unwrap();
+        assert_eq!(idx.serving_stats().mining_runs, 2, "a purged entry is re-mined");
+    }
+
+    #[test]
+    fn clone_carries_the_warm_cache() {
+        let g = data();
+        let idx = MinimalPatternIndex::build(&g, 2, SupportMeasure::DistinctVertexSets, None);
+        let config = SkinnyMineConfig::new(4, 2, 2).with_report(ReportMode::All);
+        let original = idx.request(&config).unwrap();
+        let copy = idx.clone();
+        let stats = copy.serving_stats();
+        assert_eq!(stats.cached_entries, 1, "the clone starts with the warm cache");
+        assert_eq!(stats.requests(), 0, "but with its own fresh counters");
+        let served = copy.request(&config).unwrap();
+        assert!(Arc::ptr_eq(&original, &served), "the clone shares the cached Arc");
+        assert_eq!(copy.serving_stats().mining_runs, 0);
+    }
+
+    #[test]
+    fn typed_requests_are_views_over_the_cached_result() {
+        let g = data();
+        let idx = MinimalPatternIndex::build(&g, 2, SupportMeasure::DistinctVertexSets, None);
+        let all = idx.serve_text("l=2 delta=2 sigma=2 report=all").unwrap();
+        assert!(!all.is_empty());
+        // label 9 sits on the twig: forbidding it keeps only pure-backbone
+        // patterns, requiring it keeps only twig-touching ones — together
+        // they partition the full result
+        let with_twig = idx.serve_text("l=2 delta=2 sigma=2 report=all require=9").unwrap();
+        let without_twig = idx.serve_text("l=2 delta=2 sigma=2 report=all forbid=9").unwrap();
+        assert_eq!(with_twig.len() + without_twig.len(), all.len());
+        assert!(with_twig.patterns().all(|p| p.graph.labels().contains(&l(9))));
+        assert!(without_twig.patterns().all(|p| !p.graph.labels().contains(&l(9))));
+        // all three views share the same cached full result — one mining run
+        assert!(Arc::ptr_eq(all.full_result(), with_twig.full_result()));
+        assert!(Arc::ptr_eq(all.full_result(), without_twig.full_result()));
+        assert_eq!(idx.serving_stats().mining_runs, 1);
+        // top-k keeps the k highest supports
+        let top = idx.serve_text("l=2 delta=2 sigma=2 report=all top=1").unwrap();
+        assert_eq!(top.len(), 1);
+        let best = top.patterns().next().unwrap().support;
+        assert!(all.patterns().all(|p| p.support <= best));
     }
 
     #[test]

@@ -1,0 +1,914 @@
+//! The serving layer of the minimal-pattern index: a sharded, size-bounded
+//! LRU result cache with **single-flight** request coalescing and a small
+//! typed request language.
+//!
+//! The Figure-2 deployment serves heavy repeated `(l, δ, σ)` traffic against
+//! one pre-computation.  Three properties make that viable at load, and this
+//! module owns all three:
+//!
+//! 1. **Hits are pointer-copies.**  Results live behind `Arc<MiningResult>`;
+//!    a cache hit clones the `Arc`, never the patterns or embeddings.
+//! 2. **One mining run per distinct configuration.**  Concurrent requests
+//!    for the same uncached canonical key coalesce onto one in-flight
+//!    mining run (`ServeCache::get_or_serve`): the first caller becomes
+//!    the *leader* and mines, every other caller becomes a *waiter* on the
+//!    flight's condvar and receives the leader's `Arc`.  No computed result
+//!    is ever discarded.
+//! 3. **Steady-state traffic never loses its hot set.**  The cache is a
+//!    sharded LRU ([`ShardedLru`]) bounded by *cost* (the pattern count of
+//!    each cached result, so memory tracks actual result size, not entry
+//!    count).  Hitting the bound evicts the least-recently-used entries of
+//!    the overflowing shard one at a time — never the whole working set.
+//!
+//! **Failure containment**: no lock is ever held across a mining run, so a
+//! panicking run cannot poison the cache.  The leader's flight is retired
+//! by a drop guard even during unwinding (waiters receive
+//! [`MineError::Serving`] instead of hanging), and the lock-recovery
+//! helpers clear a poisoned shard (or adopt the map's still-consistent
+//! state) instead of cascading the panic into every subsequent request.
+//!
+//! The typed request language ([`ServingRequest`]) stays inside the
+//! tractable fragment by construction: a request is a diameter-length
+//! predicate, a skinniness bound, a support floor, vertex-label
+//! require/forbid predicates and an optional top-k by support — all
+//! validated at parse time.  Label predicates and top-k are answered by a
+//! [`ServingResponse`] *view* over the cached full result, so they share
+//! the full result's cache slot instead of forcing separate mining runs.
+
+use crate::config::{LengthConstraint, ReportMode, SkinnyMineConfig};
+use crate::error::{MineError, MineResult};
+use crate::result::{MiningResult, SkinnyPattern};
+use crate::stats::ServingStats;
+use skinny_graph::Label;
+use std::collections::hash_map::Entry as MapEntry;
+use std::collections::HashMap;
+use std::hash::{BuildHasher, BuildHasherDefault, DefaultHasher, Hash};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+// ---------------------------------------------------------------------------
+// Lock recovery
+// ---------------------------------------------------------------------------
+
+/// Locks a mutex, adopting the guarded state if a previous holder panicked.
+///
+/// Every mutex in this module guards a map or slot whose mutations are
+/// single operations (insert / remove / store) that cannot be observed
+/// half-done, so the state inside a poisoned lock is still consistent and
+/// adopting it is the correct recovery — a panic in one request must not
+/// take down every subsequent request.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------------
+// The sharded, size-bounded LRU
+// ---------------------------------------------------------------------------
+
+/// Configuration of the serving cache: shard count and total cost bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServingCacheConfig {
+    /// Number of independent shards (each behind its own `RwLock`).  Keys
+    /// hash to a fixed shard, so contention scales down with the count.
+    pub shards: usize,
+    /// Bound on the total cached cost across all shards, where the cost of
+    /// one cached result is its pattern count (min 1).  Each shard is
+    /// bounded by `max_total_cost / shards` and evicts least-recently-used
+    /// entries beyond it.
+    pub max_total_cost: u64,
+}
+
+impl Default for ServingCacheConfig {
+    fn default() -> Self {
+        // generous for the serving deployment's small (l, δ) working sets;
+        // benches shrink it to exercise eviction
+        ServingCacheConfig { shards: 8, max_total_cost: 262_144 }
+    }
+}
+
+impl ServingCacheConfig {
+    /// A config with explicit shard count and total cost bound (both
+    /// clamped to at least 1).
+    pub fn new(shards: usize, max_total_cost: u64) -> Self {
+        ServingCacheConfig { shards: shards.max(1), max_total_cost: max_total_cost.max(1) }
+    }
+}
+
+#[derive(Debug)]
+struct LruEntry<V> {
+    value: V,
+    cost: u64,
+    /// Recency stamp, bumped from the shard's tick on every hit.  Atomic so
+    /// hits can bump it under the shard's *read* lock.
+    last_used: AtomicU64,
+}
+
+#[derive(Debug)]
+struct LruShard<K, V> {
+    entries: HashMap<K, LruEntry<V>>,
+    /// Monotonic recency clock of the shard; strictly increasing, so stamps
+    /// are unique and eviction order is a pure function of the access
+    /// history (deterministic for any single-threaded history).
+    tick: AtomicU64,
+    cost: u64,
+}
+
+impl<K, V> Default for LruShard<K, V> {
+    fn default() -> Self {
+        LruShard { entries: HashMap::new(), tick: AtomicU64::new(0), cost: 0 }
+    }
+}
+
+/// A sharded LRU cache bounded by per-entry *cost* rather than entry count.
+///
+/// * Lookups take a shard's read lock and bump the entry's recency stamp
+///   atomically — hits never contend on a write lock.
+/// * Inserts take the shard's write lock, then evict least-recently-used
+///   entries (smallest recency stamp first) until the shard is back under
+///   its budget.  The freshly inserted entry always carries the newest
+///   stamp, so it is evicted only if it is the sole entry over budget — and
+///   a sole entry is never evicted (serving an oversized result beats
+///   serving nothing).
+/// * Eviction is **deterministic**: stamps are unique per shard, so for any
+///   single-threaded sequence of `get`/`insert` calls the set of surviving
+///   entries is a pure function of that sequence.
+/// * A shard whose lock was poisoned by a panicking holder is cleared and
+///   rebuilt empty on the next access instead of propagating the panic.
+#[derive(Debug)]
+pub struct ShardedLru<K, V> {
+    shards: Box<[RwLock<LruShard<K, V>>]>,
+    max_cost_per_shard: u64,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
+    /// Creates an empty cache with the given shard count and total budget.
+    pub fn new(config: ServingCacheConfig) -> Self {
+        let shards = config.shards.max(1);
+        let per_shard = (config.max_total_cost.max(1)).div_ceil(shards as u64);
+        ShardedLru {
+            shards: (0..shards).map(|_| RwLock::new(LruShard::default())).collect(),
+            max_cost_per_shard: per_shard,
+        }
+    }
+
+    fn shard_of(&self, key: &K) -> usize {
+        let hasher = BuildHasherDefault::<DefaultHasher>::default();
+        (hasher.hash_one(key) % self.shards.len() as u64) as usize
+    }
+
+    /// Read-locks shard `i`, clearing it first if a previous holder
+    /// panicked (the "rebuild the poisoned shard" recovery: the hot set of
+    /// one shard is lost, the cache keeps serving).
+    fn read_shard(&self, i: usize) -> RwLockReadGuard<'_, LruShard<K, V>> {
+        loop {
+            match self.shards[i].read() {
+                Ok(guard) => return guard,
+                Err(poisoned) => {
+                    drop(poisoned);
+                    self.reset_poisoned(i);
+                }
+            }
+        }
+    }
+
+    fn write_shard(&self, i: usize) -> RwLockWriteGuard<'_, LruShard<K, V>> {
+        loop {
+            match self.shards[i].write() {
+                Ok(guard) => return guard,
+                Err(poisoned) => {
+                    drop(poisoned);
+                    self.reset_poisoned(i);
+                }
+            }
+        }
+    }
+
+    fn reset_poisoned(&self, i: usize) {
+        self.shards[i].clear_poison();
+        if let Ok(mut shard) = self.shards[i].write() {
+            shard.entries.clear();
+            shard.cost = 0;
+        }
+    }
+
+    /// Looks up `key`, bumping its recency on a hit.  Clones only the value
+    /// handle (an `Arc` clone in the serving cache), never the payload.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let shard = self.read_shard(self.shard_of(key));
+        let entry = shard.entries.get(key)?;
+        entry.last_used.store(shard.tick.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+        Some(entry.value.clone())
+    }
+
+    /// Inserts `key -> value` with the given cost (clamped to at least 1),
+    /// then evicts least-recently-used entries while the shard exceeds its
+    /// budget.  Returns the number of evicted entries.
+    pub fn insert(&self, key: K, value: V, cost: u64) -> u64 {
+        let cost = cost.max(1);
+        let mut shard = self.write_shard(self.shard_of(&key));
+        let stamp = shard.tick.fetch_add(1, Ordering::Relaxed);
+        let entry = LruEntry { value, cost, last_used: AtomicU64::new(stamp) };
+        if let Some(old) = shard.entries.insert(key, entry) {
+            shard.cost -= old.cost;
+        }
+        shard.cost += cost;
+        let mut evicted = 0;
+        while shard.cost > self.max_cost_per_shard && shard.entries.len() > 1 {
+            // O(shard entries) victim scan: shards stay small (the serving
+            // working set), and the scan keeps eviction order exact LRU
+            let victim = shard
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone())
+                .expect("len > 1 guarantees a victim");
+            let dropped = shard.entries.remove(&victim).expect("victim key was just observed");
+            shard.cost -= dropped.cost;
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// Number of cached entries across all shards.
+    pub fn len(&self) -> usize {
+        (0..self.shards.len()).map(|i| self.read_shard(i).entries.len()).sum()
+    }
+
+    /// True when no entry is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total cached cost across all shards.
+    pub fn total_cost(&self) -> u64 {
+        (0..self.shards.len()).map(|i| self.read_shard(i).cost).sum()
+    }
+
+    /// Drops every cached entry (the counters of an enclosing cache are
+    /// unaffected; used to start benchmark scenarios cold).
+    pub fn clear(&self) {
+        for i in 0..self.shards.len() {
+            let mut shard = self.write_shard(i);
+            shard.entries.clear();
+            shard.cost = 0;
+        }
+    }
+
+    /// A new cache with the same bounds holding clones of every entry
+    /// (value handles are cloned, recency stamps preserved).
+    pub fn clone_contents(&self) -> Self {
+        let shards: Box<[RwLock<LruShard<K, V>>]> = (0..self.shards.len())
+            .map(|i| {
+                let shard = self.read_shard(i);
+                let entries = shard
+                    .entries
+                    .iter()
+                    .map(|(k, e)| {
+                        let entry = LruEntry {
+                            value: e.value.clone(),
+                            cost: e.cost,
+                            last_used: AtomicU64::new(e.last_used.load(Ordering::Relaxed)),
+                        };
+                        (k.clone(), entry)
+                    })
+                    .collect();
+                RwLock::new(LruShard {
+                    entries,
+                    tick: AtomicU64::new(shard.tick.load(Ordering::Relaxed)),
+                    cost: shard.cost,
+                })
+            })
+            .collect();
+        ShardedLru { shards, max_cost_per_shard: self.max_cost_per_shard }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Single-flight coalescing
+// ---------------------------------------------------------------------------
+
+/// Outcome of one in-flight mining run, shared with every coalesced waiter.
+/// `Err` carries the reason the leader failed (it panicked).
+type FlightOutcome = Result<Arc<MiningResult>, String>;
+
+#[derive(Debug, Default)]
+struct Flight {
+    outcome: Mutex<Option<FlightOutcome>>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn wait(&self) -> FlightOutcome {
+        let mut outcome = lock_recover(&self.outcome);
+        loop {
+            if let Some(result) = outcome.as_ref() {
+                return result.clone();
+            }
+            outcome = match self.done.wait(outcome) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+}
+
+/// Monotonic counters of the serving layer (lock-free; snapshot with
+/// [`ServeCache::stats`]).
+#[derive(Debug, Default)]
+struct ServingCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced_waiters: AtomicU64,
+    evictions: AtomicU64,
+    mining_runs: AtomicU64,
+    in_flight: AtomicU64,
+}
+
+/// The request cache of a [`crate::MinimalPatternIndex`]: sharded LRU
+/// storage plus per-key single-flight coalescing and serving counters.
+#[derive(Debug)]
+pub(crate) struct ServeCache {
+    lru: ShardedLru<SkinnyMineConfig, Arc<MiningResult>>,
+    flights: Mutex<HashMap<SkinnyMineConfig, Arc<Flight>>>,
+    counters: ServingCounters,
+}
+
+/// Retires the leader's flight even if the mining run panics: publishes the
+/// outcome (success, or an error for waiters), removes the flight from the
+/// map and wakes every waiter.  Without it, a panicking run would strand
+/// its waiters on the condvar forever.
+struct FlightGuard<'a> {
+    cache: &'a ServeCache,
+    key: &'a SkinnyMineConfig,
+    flight: &'a Arc<Flight>,
+    result: Option<Arc<MiningResult>>,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        let outcome = match self.result.take() {
+            Some(result) => {
+                // publish to the cache *before* retiring the flight: a
+                // request that finds neither a cached value nor a flight
+                // (both checked under the flights lock) is then guaranteed
+                // the key was never served, so it can safely lead
+                let cost = (result.patterns.len() as u64).max(1);
+                let evicted = self.cache.lru.insert(self.key.clone(), Arc::clone(&result), cost);
+                self.cache.counters.evictions.fetch_add(evicted, Ordering::Relaxed);
+                Ok(result)
+            }
+            None => Err("the mining run serving this configuration panicked".to_string()),
+        };
+        let mut flights = lock_recover(&self.cache.flights);
+        flights.remove(self.key);
+        *lock_recover(&self.flight.outcome) = Some(outcome);
+        self.flight.done.notify_all();
+        drop(flights);
+        self.cache.counters.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+enum FlightRole {
+    Lead(Arc<Flight>),
+    Wait(Arc<Flight>),
+}
+
+impl ServeCache {
+    pub(crate) fn new(config: ServingCacheConfig) -> Self {
+        ServeCache {
+            lru: ShardedLru::new(config),
+            flights: Mutex::new(HashMap::new()),
+            counters: ServingCounters::default(),
+        }
+    }
+
+    /// Returns the cached result for `key`, or computes it via `serve` with
+    /// single-flight semantics: among all concurrent callers with the same
+    /// key, exactly one runs `serve`; the rest block until it finishes and
+    /// share its `Arc`.  `serve` runs without any serving lock held.
+    pub(crate) fn get_or_serve(
+        &self,
+        key: &SkinnyMineConfig,
+        serve: impl FnOnce() -> MiningResult,
+    ) -> MineResult<Arc<MiningResult>> {
+        if let Some(hit) = self.lru.get(key) {
+            self.counters.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
+        }
+        let role = {
+            let mut flights = lock_recover(&self.flights);
+            // double-check under the flights lock: a finishing leader
+            // publishes to the cache before removing its flight (also under
+            // this lock), so "absent from both" means genuinely unserved
+            if let Some(hit) = self.lru.get(key) {
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(hit);
+            }
+            match flights.entry(key.clone()) {
+                MapEntry::Occupied(entry) => FlightRole::Wait(Arc::clone(entry.get())),
+                MapEntry::Vacant(slot) => {
+                    let flight = Arc::new(Flight::default());
+                    slot.insert(Arc::clone(&flight));
+                    FlightRole::Lead(flight)
+                }
+            }
+        };
+        match role {
+            FlightRole::Wait(flight) => {
+                self.counters.coalesced_waiters.fetch_add(1, Ordering::Relaxed);
+                flight.wait().map_err(|reason| MineError::Serving { reason })
+            }
+            FlightRole::Lead(flight) => {
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                self.counters.in_flight.fetch_add(1, Ordering::Relaxed);
+                let mut guard = FlightGuard { cache: self, key, flight: &flight, result: None };
+                self.counters.mining_runs.fetch_add(1, Ordering::Relaxed);
+                let result = Arc::new(serve());
+                guard.result = Some(Arc::clone(&result));
+                drop(guard); // publish + retire the flight
+                Ok(result)
+            }
+        }
+    }
+
+    /// Snapshot of the serving counters and current cache occupancy.
+    pub(crate) fn stats(&self) -> ServingStats {
+        ServingStats {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            coalesced_waiters: self.counters.coalesced_waiters.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
+            mining_runs: self.counters.mining_runs.load(Ordering::Relaxed),
+            in_flight: self.counters.in_flight.load(Ordering::Relaxed),
+            cached_entries: self.lru.len() as u64,
+            cached_cost: self.lru.total_cost(),
+        }
+    }
+
+    /// Drops every cached entry (counters keep accumulating).
+    pub(crate) fn purge(&self) {
+        self.lru.clear();
+    }
+
+    /// A fresh cache holding clones of the cached entries (cheap `Arc`
+    /// copies) with zeroed counters and no in-flight runs.
+    pub(crate) fn clone_contents(&self) -> Self {
+        ServeCache {
+            lru: self.lru.clone_contents(),
+            flights: Mutex::new(HashMap::new()),
+            counters: ServingCounters::default(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The typed request language
+// ---------------------------------------------------------------------------
+
+/// A typed, parse-time-validated serving request.
+///
+/// The language is deliberately small — every construct maps onto the
+/// tractable `(l, δ, σ)` fragment the index pre-computed:
+///
+/// | clause | meaning |
+/// |---|---|
+/// | `l=N` / `l>=N` / `l=LO..HI` | diameter-length predicate |
+/// | `delta=N` | skinniness bound δ |
+/// | `sigma=N` | support floor σ (≥ the index's build σ) |
+/// | `report=all\|closed\|maximal` | which patterns are reported |
+/// | `require=L1,L2,...` | only patterns containing **all** these vertex labels |
+/// | `forbid=L1,L2,...` | only patterns containing **none** of these labels |
+/// | `top=K` | the K highest-support matches only |
+///
+/// Clauses are whitespace-separated and each may appear once; `l`, `delta`
+/// and `sigma` are required.  Label predicates and `top` are evaluated as a
+/// **view** over the cached full `(l, δ, σ, report)` result
+/// ([`crate::MinimalPatternIndex::serve`]), so they never force a separate
+/// mining run or cache slot.
+///
+/// ```
+/// use skinnymine::ServingRequest;
+/// let req = ServingRequest::parse("l=3..5 delta=2 sigma=2 require=7 top=10").unwrap();
+/// assert_eq!(req.top_k, Some(10));
+/// assert!(ServingRequest::parse("l=0 delta=2 sigma=2").is_err()); // validated at parse time
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServingRequest {
+    /// Diameter-length predicate.
+    pub length: LengthConstraint,
+    /// Skinniness bound δ.
+    pub delta: u32,
+    /// Support floor σ; must be at least the index's build-time σ.
+    pub sigma: usize,
+    /// Which patterns the underlying full result reports.
+    pub report: ReportMode,
+    /// Vertex labels every served pattern must contain.
+    pub require_labels: Vec<Label>,
+    /// Vertex labels no served pattern may contain.
+    pub forbid_labels: Vec<Label>,
+    /// Serve only the K highest-support matches (ties broken by the
+    /// deterministic result order).
+    pub top_k: Option<usize>,
+}
+
+impl ServingRequest {
+    /// A request for all `l`-long `delta`-skinny patterns at support
+    /// `sigma`, reporting closed patterns.
+    pub fn new(l: usize, delta: u32, sigma: usize) -> Self {
+        ServingRequest {
+            length: LengthConstraint::Exactly(l),
+            delta,
+            sigma,
+            report: ReportMode::Closed,
+            require_labels: Vec::new(),
+            forbid_labels: Vec::new(),
+            top_k: None,
+        }
+    }
+
+    /// Sets the diameter-length predicate.
+    pub fn with_length(mut self, length: LengthConstraint) -> Self {
+        self.length = length;
+        self
+    }
+
+    /// Sets the report mode of the underlying full result.
+    pub fn with_report(mut self, report: ReportMode) -> Self {
+        self.report = report;
+        self
+    }
+
+    /// Requires every served pattern to contain all given vertex labels.
+    pub fn with_required_labels(mut self, labels: impl IntoIterator<Item = Label>) -> Self {
+        self.require_labels = labels.into_iter().collect();
+        self
+    }
+
+    /// Forbids the given vertex labels from every served pattern.
+    pub fn with_forbidden_labels(mut self, labels: impl IntoIterator<Item = Label>) -> Self {
+        self.forbid_labels = labels.into_iter().collect();
+        self
+    }
+
+    /// Serves only the `k` highest-support matches.
+    pub fn with_top_k(mut self, k: usize) -> Self {
+        self.top_k = Some(k);
+        self
+    }
+
+    /// Parses the textual form of the request language and validates the
+    /// result; every error is reported at parse time, before any serving
+    /// work happens.
+    pub fn parse(text: &str) -> MineResult<Self> {
+        let invalid = |reason: String| MineError::InvalidConfig { reason };
+        let mut length: Option<LengthConstraint> = None;
+        let mut delta: Option<u32> = None;
+        let mut sigma: Option<usize> = None;
+        let mut report = ReportMode::Closed;
+        let mut require_labels = Vec::new();
+        let mut forbid_labels = Vec::new();
+        let mut top_k: Option<usize> = None;
+        let mut seen: Vec<&str> = Vec::new();
+        for clause in text.split_whitespace() {
+            let (key, value) = clause
+                .split_once('=')
+                .ok_or_else(|| invalid(format!("clause '{clause}' is not of the form key=value")))?;
+            // `l>=N` splits at the first '=' (the one inside '>='), leaving
+            // the key as `l>` and the bound as the value
+            let (key, value) = if key == "l>" { ("l>=", value) } else { (key, value) };
+            let canonical = if key == "l>=" { "l" } else { key };
+            if seen.contains(&canonical) {
+                return Err(invalid(format!("clause '{canonical}' appears more than once")));
+            }
+            seen.push(match canonical {
+                "l" => "l",
+                "delta" => "delta",
+                "sigma" => "sigma",
+                "report" => "report",
+                "require" => "require",
+                "forbid" => "forbid",
+                "top" => "top",
+                other => return Err(invalid(format!("unknown clause '{other}'"))),
+            });
+            match key {
+                "l" if value.contains("..") => {
+                    let (lo, hi) = value.split_once("..").expect("just tested");
+                    let lo = parse_num::<usize>("l range start", lo)?;
+                    let hi = parse_num::<usize>("l range end", hi)?;
+                    length = Some(LengthConstraint::Between(lo, hi));
+                }
+                "l" => length = Some(LengthConstraint::Exactly(parse_num("l", value)?)),
+                "l>=" => length = Some(LengthConstraint::AtLeast(parse_num("l", value)?)),
+                "delta" => delta = Some(parse_num("delta", value)?),
+                "sigma" => sigma = Some(parse_num("sigma", value)?),
+                "top" => top_k = Some(parse_num("top", value)?),
+                "report" => {
+                    report = match value {
+                        "all" => ReportMode::All,
+                        "closed" => ReportMode::Closed,
+                        "maximal" => ReportMode::Maximal,
+                        other => {
+                            return Err(invalid(format!(
+                                "report must be all, closed or maximal, got '{other}'"
+                            )))
+                        }
+                    }
+                }
+                "require" => require_labels = parse_labels("require", value)?,
+                "forbid" => forbid_labels = parse_labels("forbid", value)?,
+                _ => unreachable!("unknown keys rejected above"),
+            }
+        }
+        let request = ServingRequest {
+            length: length.ok_or_else(|| invalid("missing required clause 'l'".to_string()))?,
+            delta: delta.ok_or_else(|| invalid("missing required clause 'delta'".to_string()))?,
+            sigma: sigma.ok_or_else(|| invalid("missing required clause 'sigma'".to_string()))?,
+            report,
+            require_labels,
+            forbid_labels,
+            top_k,
+        };
+        request.validate()?;
+        Ok(request)
+    }
+
+    /// Validates the request (also called by [`ServingRequest::parse`]).
+    pub fn validate(&self) -> MineResult<()> {
+        let invalid = |reason: String| Err(MineError::InvalidConfig { reason });
+        if self.length.min_len() == 0 {
+            return invalid("diameter length predicate must admit only lengths >= 1".to_string());
+        }
+        if let LengthConstraint::Between(lo, hi) = self.length {
+            if lo > hi {
+                return invalid(format!("invalid diameter range [{lo}, {hi}]"));
+            }
+        }
+        if self.sigma == 0 {
+            return invalid("support floor sigma must be at least 1".to_string());
+        }
+        if self.top_k == Some(0) {
+            return invalid("top must be at least 1".to_string());
+        }
+        if let Some(label) = self.require_labels.iter().find(|l| self.forbid_labels.contains(l)) {
+            return invalid(format!("label {} is both required and forbidden", label.0));
+        }
+        Ok(())
+    }
+
+    /// The full-result mining configuration this request is served from
+    /// (label predicates and top-k are applied as a view on top of it).
+    pub fn base_config(&self, support: skinny_graph::SupportMeasure) -> SkinnyMineConfig {
+        use crate::config::Exploration;
+        let exploration = match self.report {
+            ReportMode::All => Exploration::Exhaustive,
+            ReportMode::Closed | ReportMode::Maximal => Exploration::ClosureJump,
+        };
+        SkinnyMineConfig::new(self.length.min_len().max(1), self.delta, self.sigma)
+            .with_length(self.length)
+            .with_support_measure(support)
+            .with_report(self.report)
+            .with_exploration(exploration)
+    }
+
+    /// True when `pattern` satisfies the label predicates.
+    pub fn admits(&self, pattern: &SkinnyPattern) -> bool {
+        let labels = pattern.graph.labels();
+        self.require_labels.iter().all(|l| labels.contains(l))
+            && !self.forbid_labels.iter().any(|l| labels.contains(l))
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(what: &str, text: &str) -> MineResult<T> {
+    text.parse::<T>()
+        .map_err(|_| MineError::InvalidConfig { reason: format!("invalid {what} value '{text}'") })
+}
+
+fn parse_labels(what: &str, text: &str) -> MineResult<Vec<Label>> {
+    text.split(',').map(|part| parse_num::<u32>(what, part).map(Label)).collect()
+}
+
+// ---------------------------------------------------------------------------
+// The served view
+// ---------------------------------------------------------------------------
+
+/// The answer to a [`ServingRequest`]: a view over the cached full result.
+///
+/// Holds the `Arc` of the full cached [`MiningResult`] plus the indices of
+/// the patterns matching the request's label predicates and top-k, so
+/// serving a filtered request never clones a pattern.
+#[derive(Debug, Clone)]
+pub struct ServingResponse {
+    full: Arc<MiningResult>,
+    selected: Vec<u32>,
+}
+
+impl ServingResponse {
+    /// Builds the view: selects the patterns admitted by `request`'s label
+    /// predicates, then keeps the top-k by support (descending, ties in the
+    /// deterministic result order).
+    pub(crate) fn select(full: Arc<MiningResult>, request: &ServingRequest) -> Self {
+        let mut selected: Vec<u32> =
+            (0..full.patterns.len() as u32).filter(|&i| request.admits(&full.patterns[i as usize])).collect();
+        if let Some(k) = request.top_k {
+            selected.sort_by(|&a, &b| {
+                full.patterns[b as usize].support.cmp(&full.patterns[a as usize].support).then(a.cmp(&b))
+            });
+            selected.truncate(k);
+            selected.sort_unstable(); // back to the deterministic result order
+        }
+        ServingResponse { full, selected }
+    }
+
+    /// Number of served patterns.
+    pub fn len(&self) -> usize {
+        self.selected.len()
+    }
+
+    /// True when no pattern matched.
+    pub fn is_empty(&self) -> bool {
+        self.selected.is_empty()
+    }
+
+    /// The served patterns, in the deterministic result order.
+    pub fn patterns(&self) -> impl Iterator<Item = &SkinnyPattern> + '_ {
+        self.selected.iter().map(|&i| &self.full.patterns[i as usize])
+    }
+
+    /// The cached full result the view selects from (shared handle).
+    pub fn full_result(&self) -> &Arc<MiningResult> {
+        &self.full
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lru(shards: usize, max_total: u64) -> ShardedLru<u32, Arc<u32>> {
+        ShardedLru::new(ServingCacheConfig::new(shards, max_total))
+    }
+
+    #[test]
+    fn lru_hits_and_cost_accounting() {
+        let cache = lru(1, 10);
+        assert!(cache.is_empty());
+        cache.insert(1, Arc::new(10), 4);
+        cache.insert(2, Arc::new(20), 4);
+        assert_eq!(cache.get(&1).as_deref(), Some(&10));
+        assert_eq!(cache.get(&2).as_deref(), Some(&20));
+        assert_eq!(cache.get(&3), None);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.total_cost(), 8);
+        // replacing an entry replaces its cost
+        cache.insert(2, Arc::new(21), 6);
+        assert_eq!(cache.total_cost(), 10);
+        assert_eq!(cache.get(&2).as_deref(), Some(&21));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_deterministically() {
+        // the eviction sequence must be a pure function of the access
+        // history: run the same history twice and require identical
+        // survivors
+        for _ in 0..2 {
+            let cache = lru(1, 10);
+            cache.insert(1, Arc::new(1), 4);
+            cache.insert(2, Arc::new(2), 4);
+            assert_eq!(cache.get(&1).as_deref(), Some(&1)); // 1 is now more recent than 2
+            let evicted = cache.insert(3, Arc::new(3), 4);
+            assert_eq!(evicted, 1, "one entry over budget, one eviction");
+            assert_eq!(cache.get(&2), None, "2 was least recently used");
+            assert_eq!(cache.get(&1).as_deref(), Some(&1));
+            assert_eq!(cache.get(&3).as_deref(), Some(&3));
+            assert!(cache.total_cost() <= 10);
+        }
+    }
+
+    #[test]
+    fn lru_evicts_in_recency_order_not_insertion_order() {
+        let cache = lru(1, 12);
+        cache.insert(1, Arc::new(1), 4);
+        cache.insert(2, Arc::new(2), 4);
+        cache.insert(3, Arc::new(3), 4);
+        // recency now 1 < 2 < 3; touch 1 and 2 so 3 becomes the victim
+        cache.get(&1);
+        cache.get(&2);
+        cache.insert(4, Arc::new(4), 4);
+        assert_eq!(cache.get(&3), None, "3 had the oldest recency stamp");
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn lru_never_evicts_the_sole_entry() {
+        let cache = lru(1, 4);
+        let evicted = cache.insert(1, Arc::new(1), 100);
+        assert_eq!(evicted, 0);
+        assert_eq!(cache.get(&1).as_deref(), Some(&1), "an oversized sole entry is retained");
+        // the next insert displaces it
+        cache.insert(2, Arc::new(2), 1);
+        assert_eq!(cache.get(&1), None);
+        assert_eq!(cache.get(&2).as_deref(), Some(&2));
+    }
+
+    #[test]
+    fn lru_clear_and_clone_contents() {
+        let cache = lru(4, 100);
+        for k in 0..20u32 {
+            cache.insert(k, Arc::new(k), 1);
+        }
+        let copy = cache.clone_contents();
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.total_cost(), 0);
+        assert_eq!(copy.len(), 20);
+        assert_eq!(copy.get(&7).as_deref(), Some(&7));
+    }
+
+    #[test]
+    fn request_language_parses_and_validates() {
+        let req = ServingRequest::parse("l=4 delta=2 sigma=3").unwrap();
+        assert_eq!(req.length, LengthConstraint::Exactly(4));
+        assert_eq!((req.delta, req.sigma), (2, 3));
+        assert_eq!(req.report, ReportMode::Closed);
+        assert!(req.top_k.is_none());
+
+        let req =
+            ServingRequest::parse("l>=5 delta=1 sigma=2 report=all top=7 require=1,2 forbid=9").unwrap();
+        assert_eq!(req.length, LengthConstraint::AtLeast(5));
+        assert_eq!(req.report, ReportMode::All);
+        assert_eq!(req.top_k, Some(7));
+        assert_eq!(req.require_labels, vec![Label(1), Label(2)]);
+        assert_eq!(req.forbid_labels, vec![Label(9)]);
+
+        let req = ServingRequest::parse("l=3..6 delta=2 sigma=2 report=maximal").unwrap();
+        assert_eq!(req.length, LengthConstraint::Between(3, 6));
+        assert_eq!(req.report, ReportMode::Maximal);
+    }
+
+    #[test]
+    fn request_language_rejects_invalid_input_at_parse_time() {
+        for bad in [
+            "",                                       // missing l / delta / sigma
+            "l=4 delta=2",                            // missing sigma
+            "l=0 delta=2 sigma=2",                    // l must be >= 1
+            "l=6..3 delta=2 sigma=2",                 // inverted range
+            "l=4 delta=2 sigma=0",                    // sigma must be >= 1
+            "l=4 delta=2 sigma=2 top=0",              // top must be >= 1
+            "l=4 delta=2 sigma=2 l=5",                // duplicate clause
+            "l=x delta=2 sigma=2",                    // bad number
+            "l=4 delta=2 sigma=2 report=frequent",    // unknown report mode
+            "l=4 delta=2 sigma=2 color=red",          // unknown clause
+            "l=4 delta=2 sigma=2 require=1 forbid=1", // contradictory predicates
+        ] {
+            assert!(ServingRequest::parse(bad).is_err(), "'{bad}' must be rejected");
+        }
+    }
+
+    #[test]
+    fn base_config_maps_report_to_exploration() {
+        use crate::config::Exploration;
+        let all = ServingRequest::new(4, 2, 2).with_report(ReportMode::All);
+        assert_eq!(all.base_config(skinny_graph::SupportMeasure::MinimumImage).exploration, {
+            Exploration::Exhaustive
+        });
+        let closed = ServingRequest::new(4, 2, 2);
+        let config = closed.base_config(skinny_graph::SupportMeasure::MinimumImage);
+        assert_eq!(config.exploration, Exploration::ClosureJump);
+        assert_eq!(config.sigma, 2);
+        assert_eq!(config.support, skinny_graph::SupportMeasure::MinimumImage);
+    }
+
+    #[test]
+    fn serve_cache_single_flight_counters() {
+        let cache = ServeCache::new(ServingCacheConfig::default());
+        let key = SkinnyMineConfig::new(4, 2, 2);
+        let first = cache.get_or_serve(&key, MiningResult::default).unwrap();
+        let second = cache.get_or_serve(&key, || panic!("must be served from cache")).unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "a hit returns the same Arc");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.mining_runs), (1, 1, 1));
+        assert_eq!(stats.in_flight, 0);
+        assert_eq!(stats.cached_entries, 1);
+    }
+
+    #[test]
+    fn serve_cache_leader_panic_is_contained() {
+        let cache = Arc::new(ServeCache::new(ServingCacheConfig::default()));
+        let key = SkinnyMineConfig::new(4, 2, 2);
+        let panicking = {
+            let cache = Arc::clone(&cache);
+            let key = key.clone();
+            std::thread::spawn(move || {
+                let _ = cache.get_or_serve(&key, || panic!("injected mining failure"));
+            })
+        };
+        assert!(panicking.join().is_err(), "the leader itself panics");
+        // the flight was retired, the cache is unpoisoned, and the next
+        // request simply mines again
+        let stats = cache.stats();
+        assert_eq!(stats.in_flight, 0, "the drop guard retired the flight");
+        let result = cache.get_or_serve(&key, MiningResult::default).unwrap();
+        assert!(result.patterns.is_empty());
+        assert_eq!(cache.stats().mining_runs, 2);
+    }
+}

@@ -169,9 +169,75 @@ impl MiningStats {
     }
 }
 
+/// Snapshot of the serving-layer counters of a
+/// [`crate::MinimalPatternIndex`] (the [`MiningStats`]-style view of the
+/// Figure-2 deployment: how request traffic hit the cache, coalesced, and
+/// evicted).  Counters are monotonic over the index's lifetime except
+/// `in_flight` (a gauge) and the two `cached_*` occupancy figures.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServingStats {
+    /// Requests answered straight from the cache (an `Arc` pointer-copy).
+    pub hits: u64,
+    /// Requests that found no cached result and led a mining run.
+    pub misses: u64,
+    /// Requests that coalesced onto another caller's in-flight mining run
+    /// instead of mining themselves.
+    pub coalesced_waiters: u64,
+    /// Cached results evicted by the bounded LRU.
+    pub evictions: u64,
+    /// Mining runs actually executed (single-flight makes this equal to
+    /// `misses`: one run per distinct uncached configuration).
+    pub mining_runs: u64,
+    /// Mining runs in flight right now (gauge).
+    pub in_flight: u64,
+    /// Results currently cached.
+    pub cached_entries: u64,
+    /// Total cost (pattern count) currently cached.
+    pub cached_cost: u64,
+}
+
+impl ServingStats {
+    /// Total requests that reached the cache (hits, leaders, and waiters).
+    pub fn requests(&self) -> u64 {
+        self.hits + self.misses + self.coalesced_waiters
+    }
+
+    /// A one-line human readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "serving: {} requests | hits {} | misses {} | coalesced {} | runs {} | evictions {} | in-flight {} | cached {} entries / cost {}",
+            self.requests(),
+            self.hits,
+            self.misses,
+            self.coalesced_waiters,
+            self.mining_runs,
+            self.evictions,
+            self.in_flight,
+            self.cached_entries,
+            self.cached_cost,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn serving_stats_requests_and_summary() {
+        let s = ServingStats {
+            hits: 10,
+            misses: 3,
+            coalesced_waiters: 2,
+            evictions: 1,
+            mining_runs: 3,
+            ..Default::default()
+        };
+        assert_eq!(s.requests(), 15);
+        assert!(s.summary().contains("15 requests"));
+        assert!(s.summary().contains("hits 10"));
+        assert!(s.summary().contains("coalesced 2"));
+    }
 
     #[test]
     fn total_duration_sums_stages() {

@@ -84,11 +84,14 @@ fn cached_and_parallel_serving_agree_with_uncached() {
     let first = index.request(&config).expect("request succeeds");
     let cached = index.request(&config).expect("request succeeds");
     assert_eq!(summary(&first), summary(&cached));
+    // a hit is a pointer-copy of the cached result, not a deep clone
+    assert!(std::sync::Arc::ptr_eq(&first, &cached), "cache hits must share the one allocation");
     // growing clusters on the pool must not change the answer
     let parallel = index.request(&config.clone().with_threads(8)).expect("request succeeds");
     assert_eq!(summary(&first), summary(&parallel));
     // the pooled variant shares the cache slot (threads is normalized away)
     let parallel_again = index.request(&config.with_threads(8)).expect("request succeeds");
+    assert!(std::sync::Arc::ptr_eq(&first, &parallel_again), "normalized keys share one slot");
     assert_eq!(summary(&first), summary(&parallel_again));
 }
 

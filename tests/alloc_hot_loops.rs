@@ -15,9 +15,13 @@
 //! concurrent test thread can pollute the counter.
 
 use skinny_graph::{CanonSet, Label, LabeledGraph, SupportMeasure, VertexId, VertexMarks};
-use skinnymine::{DiamMine, Extension, ExtensionScratch, GrownPattern, MiningData, StructScratch};
+use skinnymine::{
+    DiamMine, Extension, ExtensionScratch, GrownPattern, MinimalPatternIndex, MiningData, ReportMode,
+    SkinnyMineConfig, StructScratch,
+};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Counts allocation events (alloc + realloc) on top of the system allocator.
 struct CountingAlloc;
@@ -249,6 +253,32 @@ fn hot_loops_allocate_per_pattern_not_per_row() {
         accept_allocs < scanned_rows / 4,
         "concat accept path allocated {accept_allocs} times for {scanned_rows} scanned rows and \
          1 emitted pattern — occurrence rows must amortize into the arena"
+    );
+
+    // ---- Serving cache hit: zero allocations, zero deep clones ----------
+    // the index's hit path is a canonical-key copy (all-Copy fields), a
+    // sharded-map probe, an atomic recency bump and an Arc pointer-copy;
+    // none of it may touch the heap — this is the pin on the old
+    // `MiningResult::clone(cached)` deep-clone-per-hit bug
+    let g = labeled_paths_graph(50);
+    let index = MinimalPatternIndex::build(&g, 1, SupportMeasure::DistinctVertexSets, None);
+    let config = SkinnyMineConfig::new(2, 2, 1).with_report(ReportMode::All);
+    let first = index.request(&config).expect("request succeeds");
+    assert!(!first.patterns.is_empty());
+    let hits = 200u64;
+    let (hit_allocs, last) = counted(|| {
+        let mut last = index.request(&config).expect("request succeeds");
+        for _ in 1..hits {
+            last = index.request(&config).expect("request succeeds");
+        }
+        last
+    });
+    assert!(Arc::ptr_eq(&first, &last), "every hit must return the one cached allocation");
+    assert_eq!(index.serving_stats().hits, hits, "every counted request must be a cache hit");
+    assert_eq!(
+        hit_allocs, 0,
+        "serving cache hits allocated {hit_allocs} times for {hits} hits — \
+         a hit must be a pointer-copy, never a deep clone"
     );
 }
 
