@@ -1,11 +1,13 @@
 //! `perf` — the Stage-I/II hot-loop timing experiment.
 //!
 //! ```text
-//! Usage: perf [--divisor N] [--seed S] [--out PATH]
+//! Usage: perf [--divisor N] [--seed S] [--threads T] [--out PATH]
 //!        perf --check PATH
 //!
 //!   --divisor N   down-scaling divisor for the preset graph (default 10)
 //!   --seed S      RNG seed (default 20130622)
+//!   --threads T   worker count of the headline run (default 1); the
+//!                 scaling sweep always covers {1, 2, 4, 8, 16}
 //!   --out PATH    write BENCH_stage1.json-schema output to PATH
 //!                 (default: print to stdout)
 //!   --check PATH  validate an existing JSON file against the schema and
@@ -20,6 +22,7 @@ use skinny_bench::Scale;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::quick();
+    let mut threads = 1usize;
     let mut out: Option<String> = None;
     let mut check: Option<String> = None;
 
@@ -34,6 +37,10 @@ fn main() {
                 i += 1;
                 scale.seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(scale.seed);
             }
+            "--threads" => {
+                i += 1;
+                threads = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(threads).max(1);
+            }
             "--out" => {
                 i += 1;
                 out = args.get(i).cloned();
@@ -43,7 +50,9 @@ fn main() {
                 check = args.get(i).cloned();
             }
             "--help" | "-h" => {
-                eprintln!("usage: perf [--divisor N] [--seed S] [--out PATH] | perf --check PATH");
+                eprintln!(
+                    "usage: perf [--divisor N] [--seed S] [--threads T] [--out PATH] | perf --check PATH"
+                );
                 return;
             }
             other => {
@@ -69,7 +78,7 @@ fn main() {
         return;
     }
 
-    let bench = run_stage1_perf(scale);
+    let bench = run_stage1_perf(scale, threads);
     let json = bench.to_json();
     eprintln!(
         "stage1 perf: |V| = {}, |E| = {}, divisor {} (phases: {})",
@@ -95,6 +104,13 @@ fn main() {
         bench.grow.phases.extend.as_secs_f64(),
         bench.grow.phases.support.as_secs_f64(),
     );
+    eprintln!("  scaling ({} logical cores):", bench.logical_cores);
+    for p in &bench.grow_scaling {
+        eprintln!(
+            "    t={:<2} grow {:.4}s ({:.2}x) | tasks {} steals {} merge-wait {:.4}s",
+            p.threads, p.grow_seconds, p.speedup, p.tasks_executed, p.steals, p.merge_wait_seconds
+        );
+    }
     match out {
         Some(path) => {
             std::fs::write(&path, json).unwrap_or_else(|e| {

@@ -15,7 +15,7 @@ use std::fmt;
 /// The paper calls these "physical vertex IDs"; they participate in the total
 /// path order of Definition 3 as the tie breaker among lexicographically
 /// equal paths.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct VertexId(pub u32);
 
 impl VertexId {

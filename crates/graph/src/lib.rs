@@ -81,7 +81,7 @@ pub use occ_index::{
     all_distinct_marked, disjoint_except_shared_marked, GroupSorter, JoinScratch, KeyMarks, OccurrenceIndex,
     VertexMarks, VertexSlots,
 };
-pub use occurrence::{OccRow, OccurrenceStore, SupportScratch};
+pub use occurrence::{OccRow, OccurrenceStore, SupportBatch, SupportScratch};
 pub use path::{enumerate_simple_paths, lexicographic_path_order, total_path_order, Path};
 pub use skinny::{analyze, is_delta_skinny, is_l_long_delta_skinny, SkinnyAnalysis};
 pub use subiso::{count_embeddings, find_embeddings, has_embedding, SubIsoOptions};

@@ -236,6 +236,12 @@ impl GroupSorter {
     /// `order[offsets[g]..offsets[g + 1]]` lists the items of group `g` in
     /// ascending item order (the sort is stable).  Both outputs are
     /// overwritten, not appended to.
+    ///
+    /// This is a two-pass histogram+scatter kernel: pass one builds the
+    /// per-group histogram (and validates every group id), pass two scatters
+    /// item indices through per-group cursors.  All buffers are sized up
+    /// front — the inner loops perform no `Vec` growth and no bounds-checked
+    /// pushes.
     pub fn group_into(
         &mut self,
         group_of_item: &[u32],
@@ -243,27 +249,67 @@ impl GroupSorter {
         offsets: &mut Vec<u32>,
         order: &mut Vec<u32>,
     ) {
+        order.resize(group_of_item.len(), 0);
+        self.histogram(group_of_item, ngroups, offsets);
+        for (i, &g) in group_of_item.iter().enumerate() {
+            // SAFETY: `histogram` panicked unless every `g < ngroups`, the
+            // cursor for group `g` stays below `offsets[g + 1] <= len`, and
+            // `order` was resized to `len` above.
+            unsafe {
+                let cursor = self.counts.get_unchecked_mut(g as usize);
+                *order.get_unchecked_mut(*cursor as usize) = i as u32;
+                *cursor += 1;
+            }
+        }
+    }
+
+    /// Like [`GroupSorter::group_into`], but scatters a `Copy` payload per
+    /// item directly into grouped position instead of emitting item indices —
+    /// one pass of data movement replaces the order-then-gather indirection
+    /// when the caller only needs the grouped payloads.
+    ///
+    /// `payload.len()` must equal `group_of_item.len()`; per-group payload
+    /// order is the original item order (stable).
+    pub fn scatter_by_group<T: Copy + Default>(
+        &mut self,
+        group_of_item: &[u32],
+        payload: &[T],
+        ngroups: usize,
+        offsets: &mut Vec<u32>,
+        out: &mut Vec<T>,
+    ) {
+        assert_eq!(group_of_item.len(), payload.len());
+        out.resize(payload.len(), T::default());
+        self.histogram(group_of_item, ngroups, offsets);
+        for (&g, &value) in group_of_item.iter().zip(payload) {
+            // SAFETY: same invariants as the scatter in `group_into`.
+            unsafe {
+                let cursor = self.counts.get_unchecked_mut(g as usize);
+                *out.get_unchecked_mut(*cursor as usize) = value;
+                *cursor += 1;
+            }
+        }
+    }
+
+    /// Pass one of the kernel: histogram into `counts` (bounds-checked, so a
+    /// group id `>= ngroups` panics here rather than corrupting the scatter),
+    /// exclusive prefix sums into `offsets` (written by index into a resized
+    /// buffer, no per-group push), and `counts` rewound into write cursors.
+    fn histogram(&mut self, group_of_item: &[u32], ngroups: usize, offsets: &mut Vec<u32>) {
         self.counts.clear();
         self.counts.resize(ngroups, 0);
         for &g in group_of_item {
             self.counts[g as usize] += 1;
         }
-        offsets.clear();
-        offsets.reserve(ngroups + 1);
+        offsets.resize(ngroups + 1, 0);
         let mut acc = 0u32;
-        offsets.push(0);
-        for &c in &self.counts {
+        for (slot, &c) in offsets[..ngroups].iter_mut().zip(&self.counts) {
+            *slot = acc;
             acc += c;
-            offsets.push(acc);
         }
+        offsets[ngroups] = acc;
         // reuse the counts buffer as the write cursor of each group
         self.counts.copy_from_slice(&offsets[..ngroups]);
-        order.clear();
-        order.resize(group_of_item.len(), 0);
-        for (i, &g) in group_of_item.iter().enumerate() {
-            order[self.counts[g as usize] as usize] = i as u32;
-            self.counts[g as usize] += 1;
-        }
     }
 }
 
@@ -521,6 +567,25 @@ mod tests {
         sorter.group_into(&[], 0, &mut offsets, &mut order);
         assert_eq!(offsets, vec![0]);
         assert!(order.is_empty());
+    }
+
+    #[test]
+    fn group_sorter_scatters_payloads_in_stable_order() {
+        let mut sorter = GroupSorter::new();
+        let mut offsets = Vec::new();
+        let mut out = Vec::new();
+        let groups = [1u32, 0, 1, 2, 0, 1];
+        let payload = [10u32, 11, 12, 13, 14, 15];
+        sorter.scatter_by_group(&groups, &payload, 3, &mut offsets, &mut out);
+        assert_eq!(offsets, vec![0, 2, 5, 6]);
+        assert_eq!(out, vec![11, 14, 10, 12, 15, 13]);
+        // reuse with a different shape overwrites the outputs
+        sorter.scatter_by_group(&[0, 0], &[7u32, 8], 1, &mut offsets, &mut out);
+        assert_eq!(offsets, vec![0, 2]);
+        assert_eq!(out, vec![7, 8]);
+        sorter.scatter_by_group::<u32>(&[], &[], 0, &mut offsets, &mut out);
+        assert_eq!(offsets, vec![0]);
+        assert!(out.is_empty());
     }
 
     #[test]

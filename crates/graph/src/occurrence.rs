@@ -17,7 +17,9 @@
 
 use crate::embedding::{Embedding, EmbeddingSet, SupportMeasure};
 use crate::graph::VertexId;
+use crate::occ_index::{KeyMarks, VertexMarks};
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
 
 /// Reusable buffers for the sort-based support computations
 /// ([`OccurrenceStore::support_with`]): one scratch per worker turns every
@@ -404,6 +406,438 @@ impl OccurrenceStore {
     }
 }
 
+/// Batched support evaluation across **sibling candidates sharing one parent
+/// store**: the sort-based work every candidate used to redo over its own
+/// gathered rows (per-column `(transaction, image)` sorts for MNI, per-row
+/// set sorts for distinct-vertex-sets) is hoisted into a one-time
+/// *rank-assignment pass over the parent*, after which each candidate is
+/// scored by linear passes over its supporting entries with epoch-stamped
+/// per-candidate accumulators — no child store is ever materialized for a
+/// support decision, so the reject path performs no gather at all.
+///
+/// [`SupportBatch::support_extended`] returns exactly the value of gathering
+/// `entries` into a child store ([`parent row` + optional new vertex] per
+/// entry) and calling [`OccurrenceStore::support_with`] on it, for all four
+/// measures (property-tested in the mining crate).
+///
+/// Candidate entry lists are additionally **frontier-compressed**: entry row
+/// ids arrive ascending, so they collapse into delta-1 runs `(start, len)`
+/// and every row-indexed pass (parent columns, transactions, set ranks)
+/// walks those runs sequentially through the 4-byte rank columns instead of
+/// re-reading the 8-byte entry pairs per column — the reject path touches a
+/// fraction of the memory the gather-and-measure path did.
+///
+/// The rank tables are built lazily for the measure actually requested and
+/// reused until [`SupportBatch::invalidate`] marks the parent stale; all
+/// buffers are reused across parents (steady-state allocation-free).
+#[derive(Debug, Default, Clone)]
+pub struct SupportBatch {
+    /// Measure the rank tables currently serve (`None` = stale).
+    prepared: Option<SupportMeasure>,
+    /// Shape of the prepared parent, to size the rank columns.
+    rows: usize,
+    arity: usize,
+    /// MNI: dense rank of `(transaction, image)` per row, one column of
+    /// `rows` ranks per pattern vertex (flattened `arity × rows`).
+    col_rank: Vec<u32>,
+    /// DVS: per-row sorted-and-deduplicated vertex sets (flat arena) ...
+    set_arena: Vec<VertexId>,
+    /// ... their deduplicated lengths ...
+    set_lens: Vec<u32>,
+    /// ... and the dense rank of each row's `(transaction, set)`.
+    set_rank: Vec<u32>,
+    /// `(transaction, image, row)` sort buffer for rank assignment.
+    rank_keys: Vec<(u32, VertexId, u32)>,
+    /// Row/entry index sort buffer.
+    order: Vec<u32>,
+    /// Compressed row frontier of one candidate: delta-1 runs `(start, len)`
+    /// over its (ascending, deduplicated) entry row ids.
+    runs: Vec<(u32, u32)>,
+    /// Dense per-candidate accumulator over rank ids.
+    marks: VertexMarks,
+    /// Composite per-candidate accumulator (e.g. `(transaction, vertex)`).
+    key_marks: KeyMarks,
+}
+
+impl SupportBatch {
+    /// Creates an empty batch evaluator (buffers grow on first use).
+    pub fn new() -> Self {
+        SupportBatch::default()
+    }
+
+    /// Marks the rank tables stale.  Must be called whenever the parent
+    /// store the entries refer to changes (e.g. a new pattern's table was
+    /// built); the next evaluation re-prepares against the new parent.
+    #[inline]
+    pub fn invalidate(&mut self) {
+        self.prepared = None;
+    }
+
+    /// Support of the child pattern whose occurrences are `parent` row `row`
+    /// (extended with vertex `w` when `adds_vertex`) for each `(row, w)` in
+    /// `entries` — byte-identical to gathering that child store and calling
+    /// [`OccurrenceStore::support_with`] on it.
+    ///
+    /// Entry row ids must be ascending (duplicates allowed), the order the
+    /// extension index stores them in.
+    pub fn support_extended(
+        &mut self,
+        parent: &OccurrenceStore,
+        measure: SupportMeasure,
+        entries: &[(u32, VertexId)],
+        adds_vertex: bool,
+    ) -> usize {
+        if entries.is_empty() {
+            return 0;
+        }
+        if measure == SupportMeasure::EmbeddingCount {
+            // the child row count is the entry count; nothing to prepare
+            return entries.len();
+        }
+        self.ensure_prepared(parent, measure);
+        match measure {
+            SupportMeasure::EmbeddingCount => unreachable!("handled above"),
+            SupportMeasure::Transactions => {
+                self.compress_frontier(entries);
+                self.key_marks.reset();
+                let mut distinct = 0usize;
+                for &(start, len) in &self.runs {
+                    for r in start..start + len {
+                        if self.key_marks.insert(parent.transactions[r as usize] as u128) {
+                            distinct += 1;
+                        }
+                    }
+                }
+                distinct
+            }
+            SupportMeasure::MinimumImage => {
+                self.compress_frontier(entries);
+                let mut min = usize::MAX;
+                for p in 0..self.arity {
+                    let col = &self.col_rank[p * self.rows..(p + 1) * self.rows];
+                    self.marks.reset();
+                    let mut distinct = 0usize;
+                    for &(start, len) in &self.runs {
+                        for r in start..start + len {
+                            if self.marks.mark(VertexId(col[r as usize])) {
+                                distinct += 1;
+                            }
+                        }
+                    }
+                    min = min.min(distinct);
+                }
+                if adds_vertex {
+                    // the new-vertex column: distinct (transaction, w) pairs
+                    self.key_marks.reset();
+                    let mut distinct = 0usize;
+                    for &(row, w) in entries {
+                        let key = ((parent.transactions[row as usize] as u128) << 32) | w.0 as u128;
+                        if self.key_marks.insert(key) {
+                            distinct += 1;
+                        }
+                    }
+                    min = min.min(distinct);
+                }
+                min
+            }
+            SupportMeasure::DistinctVertexSets => {
+                if !adds_vertex {
+                    // child sets equal parent sets: count distinct set ranks
+                    self.compress_frontier(entries);
+                    self.marks.reset();
+                    let mut distinct = 0usize;
+                    for &(start, len) in &self.runs {
+                        for r in start..start + len {
+                            if self.marks.mark(VertexId(self.set_rank[r as usize])) {
+                                distinct += 1;
+                            }
+                        }
+                    }
+                    distinct
+                } else {
+                    // child set = parent set ∪ {w}: group entries under the
+                    // augmented-set order without materializing any set
+                    let SupportBatch { order, set_arena, set_lens, arity, .. } = self;
+                    let arity = *arity;
+                    let set_of = |row: u32| {
+                        let i = row as usize;
+                        &set_arena[i * arity..i * arity + set_lens[i] as usize]
+                    };
+                    order.clear();
+                    order.extend(0..entries.len() as u32);
+                    order.sort_unstable_by(|&a, &b| {
+                        let (ra, wa) = entries[a as usize];
+                        let (rb, wb) = entries[b as usize];
+                        parent.transactions[ra as usize]
+                            .cmp(&parent.transactions[rb as usize])
+                            .then_with(|| cmp_augmented(set_of(ra), wa, set_of(rb), wb))
+                    });
+                    1 + order
+                        .windows(2)
+                        .filter(|pair| {
+                            let (ra, wa) = entries[pair[0] as usize];
+                            let (rb, wb) = entries[pair[1] as usize];
+                            parent.transactions[ra as usize] != parent.transactions[rb as usize]
+                                || cmp_augmented(set_of(ra), wa, set_of(rb), wb) != Ordering::Equal
+                        })
+                        .count()
+                }
+            }
+        }
+    }
+
+    /// [`SupportBatch::support_extended`] with a frequency-threshold early
+    /// exit: the returned value equals the exact support whenever that
+    /// support is at least `sigma`; when it is below `sigma` the evaluation
+    /// stops at the first certificate and only promises to return *some*
+    /// value `< sigma`.  A caller's `support < sigma` test therefore decides
+    /// identically to the exact evaluation — which is all the grow engine's
+    /// frequency gate needs — at a fraction of the reject cost:
+    ///
+    /// * a candidate whose entries touch fewer than `sigma` distinct parent
+    ///   rows (the dominant reject shape: one row extended by many
+    ///   attachment vertices) is rejected after the frontier pass alone,
+    ///   since every parent-side column's distinct count is bounded by the
+    ///   distinct row count;
+    /// * a minimum-image reject stops at the first column whose distinct
+    ///   count falls below `sigma` instead of walking all `arity + 1`
+    ///   columns.
+    ///
+    /// The augmented distinct-vertex-sets case has no distinct-row bound
+    /// (one row extended by `k` vertices yields up to `k` distinct sets), so
+    /// it falls through to the exact evaluation.
+    pub fn support_extended_pruned(
+        &mut self,
+        parent: &OccurrenceStore,
+        measure: SupportMeasure,
+        entries: &[(u32, VertexId)],
+        adds_vertex: bool,
+        sigma: usize,
+    ) -> usize {
+        if entries.is_empty() || measure == SupportMeasure::EmbeddingCount {
+            return self.support_extended(parent, measure, entries, adds_vertex);
+        }
+        let mut cap = usize::MAX;
+        if !(measure == SupportMeasure::DistinctVertexSets && adds_vertex) {
+            self.compress_frontier(entries);
+            let distinct_rows: usize = self.runs.iter().map(|&(_, len)| len as usize).sum();
+            if distinct_rows < sigma {
+                return distinct_rows;
+            }
+            cap = distinct_rows;
+        }
+        if measure != SupportMeasure::MinimumImage {
+            return self.support_extended(parent, measure, entries, adds_vertex);
+        }
+        self.ensure_prepared(parent, measure);
+        // the frontier is already compressed above; `min` starts at the
+        // distinct-row count because no column can exceed it, which lets
+        // every column scan stop the moment its running count reaches the
+        // minimum so far — the column then provably cannot lower the
+        // minimum, so the final value stays exact
+        let mut min = cap;
+        for p in 0..self.arity {
+            let col = &self.col_rank[p * self.rows..(p + 1) * self.rows];
+            self.marks.reset();
+            let mut distinct = 0usize;
+            'col: for &(start, len) in &self.runs {
+                for r in start..start + len {
+                    if self.marks.mark(VertexId(col[r as usize])) {
+                        distinct += 1;
+                        if distinct >= min {
+                            break 'col;
+                        }
+                    }
+                }
+            }
+            min = min.min(distinct);
+            if min < sigma {
+                return min;
+            }
+        }
+        if adds_vertex {
+            self.key_marks.reset();
+            let mut distinct = 0usize;
+            for &(row, w) in entries {
+                let key = ((parent.transactions[row as usize] as u128) << 32) | w.0 as u128;
+                if self.key_marks.insert(key) {
+                    distinct += 1;
+                    if distinct >= min {
+                        break;
+                    }
+                }
+            }
+            min = min.min(distinct);
+        }
+        min
+    }
+
+    /// Builds the rank tables the measure needs, unless they are already
+    /// prepared for this parent shape and measure.
+    fn ensure_prepared(&mut self, parent: &OccurrenceStore, measure: SupportMeasure) {
+        if self.prepared == Some(measure) && self.rows == parent.len() && self.arity == parent.arity {
+            return;
+        }
+        self.rows = parent.len();
+        self.arity = parent.arity;
+        match measure {
+            SupportMeasure::EmbeddingCount | SupportMeasure::Transactions => {}
+            SupportMeasure::MinimumImage => self.prepare_column_ranks(parent),
+            SupportMeasure::DistinctVertexSets => self.prepare_set_ranks(parent),
+        }
+        self.prepared = Some(measure);
+    }
+
+    /// One pass over the parent per column: dense ranks of `(transaction,
+    /// image)`, shared by every sibling candidate's MNI evaluation.
+    fn prepare_column_ranks(&mut self, parent: &OccurrenceStore) {
+        let (rows, arity) = (self.rows, self.arity);
+        self.col_rank.clear();
+        self.col_rank.resize(arity * rows, 0);
+        for p in 0..arity {
+            self.rank_keys.clear();
+            self.rank_keys
+                .extend((0..rows).map(|i| (parent.transactions[i], parent.arena[i * arity + p], i as u32)));
+            self.rank_keys.sort_unstable();
+            let col = &mut self.col_rank[p * rows..(p + 1) * rows];
+            let mut rank = 0u32;
+            for j in 0..rows {
+                if j > 0
+                    && (self.rank_keys[j].0, self.rank_keys[j].1)
+                        != (self.rank_keys[j - 1].0, self.rank_keys[j - 1].1)
+                {
+                    rank += 1;
+                }
+                col[self.rank_keys[j].2 as usize] = rank;
+            }
+        }
+    }
+
+    /// One pass over the parent: every row's sorted deduplicated vertex set
+    /// plus the dense rank of its `(transaction, set)`, shared by every
+    /// sibling candidate's distinct-vertex-sets evaluation.
+    fn prepare_set_ranks(&mut self, parent: &OccurrenceStore) {
+        let (rows, arity) = (self.rows, self.arity);
+        self.set_arena.clear();
+        self.set_arena.extend_from_slice(&parent.arena);
+        self.set_lens.clear();
+        for i in 0..rows {
+            let row = &mut self.set_arena[i * arity..(i + 1) * arity];
+            row.sort_unstable();
+            let mut w = 1usize;
+            for r in 1..arity {
+                if row[r] != row[w - 1] {
+                    row[w] = row[r];
+                    w += 1;
+                }
+            }
+            self.set_lens.push(w as u32);
+        }
+        let set_arena = &self.set_arena;
+        let set_lens = &self.set_lens;
+        let set_of = |i: u32| {
+            let i = i as usize;
+            &set_arena[i * arity..i * arity + set_lens[i] as usize]
+        };
+        self.order.clear();
+        self.order.extend(0..rows as u32);
+        self.order.sort_unstable_by(|&a, &b| {
+            parent.transactions[a as usize]
+                .cmp(&parent.transactions[b as usize])
+                .then_with(|| set_of(a).cmp(set_of(b)))
+        });
+        self.set_rank.clear();
+        self.set_rank.resize(rows, 0);
+        let mut rank = 0u32;
+        for j in 0..rows {
+            if j > 0 {
+                let (a, b) = (self.order[j - 1], self.order[j]);
+                if parent.transactions[a as usize] != parent.transactions[b as usize]
+                    || set_of(a) != set_of(b)
+                {
+                    rank += 1;
+                }
+            }
+            self.set_rank[self.order[j] as usize] = rank;
+        }
+    }
+
+    /// Compresses a candidate's (ascending) entry row ids into delta-1 runs.
+    fn compress_frontier(&mut self, entries: &[(u32, VertexId)]) {
+        self.runs.clear();
+        let mut start = entries[0].0;
+        let mut last = start;
+        let mut len = 1u32;
+        for &(row, _) in &entries[1..] {
+            debug_assert!(row >= last, "entry rows must be ascending");
+            if row == last {
+                continue;
+            }
+            if row == last + 1 {
+                len += 1;
+            } else {
+                self.runs.push((start, len));
+                start = row;
+                len = 1;
+            }
+            last = row;
+        }
+        self.runs.push((start, len));
+    }
+}
+
+/// Compares two child vertex sets `a ∪ {wa}` and `b ∪ {wb}` (each a sorted
+/// deduplicated parent set plus one new vertex, deduplicated) in
+/// lexicographic order without materializing either union — the comparator
+/// behind the batched distinct-vertex-sets grouping.
+fn cmp_augmented(a: &[VertexId], wa: VertexId, b: &[VertexId], wb: VertexId) -> Ordering {
+    let (mut ia, mut ib) = (0usize, 0usize);
+    let (mut used_a, mut used_b) = (false, false);
+    loop {
+        let x = next_augmented(a, &mut ia, wa, &mut used_a);
+        let y = next_augmented(b, &mut ib, wb, &mut used_b);
+        match (x, y) {
+            (Some(x), Some(y)) => match x.cmp(&y) {
+                Ordering::Equal => continue,
+                other => return other,
+            },
+            (None, None) => return Ordering::Equal,
+            (None, Some(_)) => return Ordering::Less,
+            (Some(_), None) => return Ordering::Greater,
+        }
+    }
+}
+
+/// Yields the next element of sorted `set` with `w` merged in (emitted once
+/// even when `w` is already a member).
+#[inline]
+fn next_augmented(set: &[VertexId], i: &mut usize, w: VertexId, used_w: &mut bool) -> Option<VertexId> {
+    match (set.get(*i).copied(), *used_w) {
+        (Some(v), false) => {
+            if v < w {
+                *i += 1;
+                Some(v)
+            } else if v == w {
+                *i += 1;
+                *used_w = true;
+                Some(v)
+            } else {
+                *used_w = true;
+                Some(w)
+            }
+        }
+        (Some(v), true) => {
+            *i += 1;
+            Some(v)
+        }
+        (None, false) => {
+            *used_w = true;
+            Some(w)
+        }
+        (None, true) => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -515,5 +949,95 @@ mod tests {
     fn arity_mismatch_panics() {
         let mut s = OccurrenceStore::new(2);
         s.push_row(0, &v(&[0, 1, 2]));
+    }
+
+    /// Gathers `entries` over `parent` the way the extension index does and
+    /// measures the child store — the reference the batch must match.
+    fn gather_and_measure(
+        parent: &OccurrenceStore,
+        entries: &[(u32, VertexId)],
+        adds_vertex: bool,
+        measure: SupportMeasure,
+    ) -> usize {
+        let mut child = OccurrenceStore::new(parent.arity() + usize::from(adds_vertex));
+        for &(row, w) in entries {
+            if adds_vertex {
+                child.push_row_extended(parent.transaction(row as usize), parent.row(row as usize), w);
+            } else {
+                child.push_row(parent.transaction(row as usize), parent.row(row as usize));
+            }
+        }
+        child.support(measure)
+    }
+
+    const ALL_MEASURES: [SupportMeasure; 4] = [
+        SupportMeasure::EmbeddingCount,
+        SupportMeasure::DistinctVertexSets,
+        SupportMeasure::MinimumImage,
+        SupportMeasure::Transactions,
+    ];
+
+    #[test]
+    fn batched_support_matches_gather_and_measure() {
+        let mut parent = OccurrenceStore::new(2);
+        parent.push_row(0, &v(&[0, 1]));
+        parent.push_row(0, &v(&[1, 2]));
+        parent.push_row(1, &v(&[0, 1]));
+        parent.push_row(1, &v(&[3, 4]));
+        parent.push_row(2, &v(&[3, 4]));
+        // ascending rows with a duplicate row, a gap, and shared new vertices
+        let entries: Vec<(u32, VertexId)> =
+            vec![(0, VertexId(7)), (0, VertexId(8)), (2, VertexId(7)), (4, VertexId(9))];
+        let closing: Vec<(u32, VertexId)> = vec![(1, VertexId(0)), (3, VertexId(0)), (4, VertexId(0))];
+        let mut batch = SupportBatch::new();
+        for measure in ALL_MEASURES {
+            batch.invalidate();
+            assert_eq!(
+                batch.support_extended(&parent, measure, &entries, true),
+                gather_and_measure(&parent, &entries, true, measure),
+                "new-vertex entries, measure {measure:?}"
+            );
+            batch.invalidate();
+            assert_eq!(
+                batch.support_extended(&parent, measure, &closing, false),
+                gather_and_measure(&parent, &closing, false, measure),
+                "closing-edge entries, measure {measure:?}"
+            );
+            assert_eq!(batch.support_extended(&parent, measure, &[], true), 0);
+        }
+    }
+
+    #[test]
+    fn batched_distinct_sets_collapse_across_different_parents() {
+        // rows {8, 9} + w = 10 and {8, 10} + w = 9 produce the SAME child
+        // vertex set {8, 9, 10}: the batch must count them once, exactly as
+        // the gathered store does.
+        let mut parent = OccurrenceStore::new(2);
+        parent.push_row(0, &v(&[8, 9]));
+        parent.push_row(0, &v(&[8, 10]));
+        let entries: Vec<(u32, VertexId)> = vec![(0, VertexId(10)), (1, VertexId(9))];
+        let mut batch = SupportBatch::new();
+        let got = batch.support_extended(&parent, SupportMeasure::DistinctVertexSets, &entries, true);
+        assert_eq!(got, 1);
+        assert_eq!(got, gather_and_measure(&parent, &entries, true, SupportMeasure::DistinctVertexSets));
+    }
+
+    #[test]
+    fn batch_reuse_across_parents_requires_invalidate() {
+        let mut a = OccurrenceStore::new(1);
+        a.push_row(0, &v(&[0]));
+        a.push_row(0, &v(&[1]));
+        let mut b = OccurrenceStore::new(1);
+        b.push_row(0, &v(&[5]));
+        b.push_row(1, &v(&[5]));
+        let entries: Vec<(u32, VertexId)> = vec![(0, VertexId(9)), (1, VertexId(9))];
+        let mut batch = SupportBatch::new();
+        // child rows (tx 0, [0, 9]) and (tx 0, [1, 9]): the shared new
+        // vertex caps the minimum image at 1
+        assert_eq!(batch.support_extended(&a, SupportMeasure::MinimumImage, &entries, true), 1);
+        batch.invalidate();
+        // child rows (tx 0, [5, 9]) and (tx 1, [5, 9]): distinct
+        // transactions keep every column at 2
+        assert_eq!(batch.support_extended(&b, SupportMeasure::MinimumImage, &entries, true), 2);
     }
 }

@@ -8,20 +8,58 @@
 //! contiguous block of indices; it pops from the **back** of its own deque
 //! (LIFO, cache-friendly) and, when empty, **steals from the front** of the
 //! other workers' deques (FIFO, so it takes the work its victim would touch
-//! last).  Because mining tasks never spawn subtasks, the pool drains to
-//! completion without a termination protocol.
+//! last).  Steals move up to half of the victim's remaining block in one lock
+//! acquisition, so fine-grained task lists do not degenerate into a lock
+//! ping-pong at the tail.  Because mining tasks never spawn subtasks, the
+//! pool drains to completion without a termination protocol.
 //!
-//! Results are collected as `(index, value)` pairs and merged **in task-index
-//! order**, so the output of [`run_indexed`] / [`run_with`] is byte-identical
-//! to a sequential `(0..tasks).map(f)` regardless of thread count or steal
-//! interleaving — the property the miner's `threads ∈ {1, N}` determinism
-//! guarantee rests on.
+//! Every worker writes each result directly into the slot addressed by its
+//! task index (each index is executed exactly once, so the slots are
+//! disjoint).  That makes the merge a no-op: the output of [`run_indexed`] /
+//! [`run_with`] is byte-identical to a sequential `(0..tasks).map(f)`
+//! regardless of thread count or steal interleaving — the property the
+//! miner's `threads ∈ {1, N}` determinism guarantee rests on — without the
+//! `O(n log n)` flatten-and-sort merge the pool used to pay on every run.
+//!
+//! [`run_with_counters`] additionally reports [`RunCounters`] (tasks
+//! executed, tasks obtained by stealing, and barrier/merge wait), which the
+//! perf bench records per thread count to explain scaling curves.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+use std::cell::UnsafeCell;
 use std::collections::VecDeque;
+use std::mem::MaybeUninit;
 use std::sync::Mutex;
+use std::time::Instant;
+
+/// Counters from one pool run, reported by [`run_with_counters`].
+///
+/// `steals` and `merge_wait_seconds` depend on OS scheduling and are **not**
+/// deterministic across runs; only the task results are.  Counters from
+/// multiple runs can be accumulated with [`RunCounters::absorb`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunCounters {
+    /// Total tasks executed across all workers (equals the `tasks` argument).
+    pub tasks_executed: u64,
+    /// Tasks obtained by stealing from another worker's deque (0 when the
+    /// run was inline or perfectly balanced).
+    pub steals: u64,
+    /// Wall-clock seconds between the **first** worker finishing and the
+    /// merged result being ready: barrier imbalance plus the (now O(1))
+    /// merge.  0.0 for inline runs.
+    pub merge_wait_seconds: f64,
+}
+
+impl RunCounters {
+    /// Accumulates another run's counters into `self` (all fields add).
+    pub fn absorb(&mut self, other: &RunCounters) {
+        self.tasks_executed += other.tasks_executed;
+        self.steals += other.steals;
+        self.merge_wait_seconds += other.merge_wait_seconds;
+    }
+}
 
 /// Runs `f(i)` for every `i in 0..tasks` on up to `threads` workers and
 /// returns the results ordered by task index.
@@ -45,13 +83,36 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize) -> T + Sync,
 {
+    run_with_counters(threads, tasks, init, f).0
+}
+
+/// A result slot written exactly once by whichever worker executes its task.
+///
+/// Safety: slot `i` is only ever touched by the worker that popped task `i`
+/// from a deque, and each index enters the deques exactly once, so no two
+/// threads access the same slot and no slot is written twice.
+struct Slot<T>(UnsafeCell<MaybeUninit<T>>);
+
+// SAFETY: disjoint-index access discipline (see above) means shared
+// references to the slot vector never race on the same element.
+unsafe impl<T: Send> Sync for Slot<T> {}
+
+/// Like [`run_with`], but also returns the [`RunCounters`] for the run.
+pub fn run_with_counters<S, T, F, I>(threads: usize, tasks: usize, init: I, f: F) -> (Vec<T>, RunCounters)
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     if tasks == 0 {
-        return Vec::new();
+        return (Vec::new(), RunCounters::default());
     }
     let workers = threads.min(tasks).max(1);
     if workers == 1 {
         let mut state = init();
-        return (0..tasks).map(|i| f(&mut state, i)).collect();
+        let out = (0..tasks).map(|i| f(&mut state, i)).collect();
+        let counters = RunCounters { tasks_executed: tasks as u64, steals: 0, merge_wait_seconds: 0.0 };
+        return (out, counters);
     }
 
     // One deque per worker, seeded with contiguous blocks of task indices so
@@ -65,46 +126,90 @@ where
         })
         .collect();
 
-    let mut collected: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+    // Index-addressed result slots: each worker writes straight into slot
+    // `i`, so there is no per-worker (index, value) list and no sort merge.
+    let mut slots: Vec<Slot<T>> = Vec::with_capacity(tasks);
+    slots.resize_with(tasks, || Slot(UnsafeCell::new(MaybeUninit::uninit())));
+
+    let per_worker: Vec<(u64, u64, Instant)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let deques = &deques;
+                let slots = &slots;
                 let init = &init;
                 let f = &f;
                 scope.spawn(move || {
                     let mut state = init();
-                    let mut local: Vec<(usize, T)> = Vec::new();
-                    while let Some(i) = next_task(deques, w) {
-                        local.push((i, f(&mut state, i)));
+                    let mut executed = 0u64;
+                    let mut steals = 0u64;
+                    while let Some(i) = next_task(deques, w, &mut steals) {
+                        let value = f(&mut state, i);
+                        // SAFETY: task `i` is executed exactly once, so this
+                        // worker is the only thread touching slot `i`.
+                        unsafe { (*slots[i].0.get()).write(value) };
+                        executed += 1;
                     }
-                    local
+                    (executed, steals, Instant::now())
                 })
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("pool worker must not panic")).collect()
     });
 
-    // Deterministic ordered merge: flatten and sort by task index.
-    let mut flat: Vec<(usize, T)> = Vec::with_capacity(tasks);
-    for chunk in &mut collected {
-        flat.append(chunk);
+    let mut counters = RunCounters::default();
+    let mut first_finish: Option<Instant> = None;
+    for &(executed, steals, finished_at) in &per_worker {
+        counters.tasks_executed += executed;
+        counters.steals += steals;
+        first_finish = Some(match first_finish {
+            Some(t) if t <= finished_at => t,
+            _ => finished_at,
+        });
     }
-    flat.sort_by_key(|&(i, _)| i);
-    debug_assert_eq!(flat.len(), tasks);
-    flat.into_iter().map(|(_, v)| v).collect()
+    debug_assert_eq!(counters.tasks_executed, tasks as u64);
+
+    // Every slot was written exactly once (the deques drained `0..tasks`),
+    // so the merge is just claiming the initialised values in index order.
+    let out: Vec<T> = slots
+        .into_iter()
+        // SAFETY: all slots are initialised once the scope has joined.
+        .map(|s| unsafe { s.0.into_inner().assume_init() })
+        .collect();
+    if let Some(first) = first_finish {
+        counters.merge_wait_seconds = first.elapsed().as_secs_f64();
+    }
+    (out, counters)
 }
 
 /// Pops from worker `w`'s own deque back, falling back to stealing from the
 /// front of the other deques (scanning from `w + 1` round-robin).
-fn next_task(deques: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
+///
+/// A successful steal grabs up to **half** of the victim's remaining block in
+/// one lock acquisition: the first stolen index is returned immediately and
+/// the rest are re-queued on `w`'s own deque, so a long tail of cheap tasks
+/// costs one lock per batch instead of one lock per task.  `steals` counts
+/// stolen *tasks*, not steal events.
+fn next_task(deques: &[Mutex<VecDeque<usize>>], w: usize, steals: &mut u64) -> Option<usize> {
     if let Some(i) = deques[w].lock().expect("pool deque poisoned").pop_back() {
         return Some(i);
     }
     let n = deques.len();
     for off in 1..n {
         let victim = (w + off) % n;
-        if let Some(i) = deques[victim].lock().expect("pool deque poisoned").pop_front() {
-            return Some(i);
+        let batch: Vec<usize> = {
+            let mut dq = deques[victim].lock().expect("pool deque poisoned");
+            let take = dq.len().div_ceil(2);
+            dq.drain(..take).collect()
+        };
+        if let Some((&first, rest)) = batch.split_first() {
+            *steals += batch.len() as u64;
+            if !rest.is_empty() {
+                let mut own = deques[w].lock().expect("pool deque poisoned");
+                // Preserve ascending order so LIFO own-pops still walk the
+                // block back-to-front like a freshly seeded deque.
+                own.extend(rest.iter().copied());
+            }
+            return Some(first);
         }
     }
     None
@@ -187,6 +292,44 @@ mod tests {
     fn zero_and_one_task_edge_cases() {
         assert!(run_indexed(4, 0, |i| i).is_empty());
         assert_eq!(run_indexed(4, 1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn counters_account_for_every_task() {
+        // Inline run: no steals, no merge wait.
+        let (out, c) = run_with_counters(1, 17, || (), |(), i| i);
+        assert_eq!(out.len(), 17);
+        assert_eq!(c, RunCounters { tasks_executed: 17, steals: 0, merge_wait_seconds: 0.0 });
+
+        // Parallel run: every task is counted exactly once and steals never
+        // exceed the tasks that could have moved.
+        let (out, c) = run_with_counters(4, 200, || (), |(), i| i * 3);
+        assert_eq!(out, (0..200).map(|i| i * 3).collect::<Vec<_>>());
+        assert_eq!(c.tasks_executed, 200);
+        assert!(c.steals <= 200);
+        assert!(c.merge_wait_seconds >= 0.0);
+
+        let mut acc = RunCounters::default();
+        acc.absorb(&c);
+        acc.absorb(&c);
+        assert_eq!(acc.tasks_executed, 400);
+    }
+
+    #[test]
+    fn batched_steals_preserve_order_and_coverage() {
+        // One worker is seeded with everything (tasks < workers would inline,
+        // so use an uneven split via a heavy first block): the other workers
+        // must batch-steal their way through without dropping or duplicating.
+        let counters: Vec<AtomicUsize> = (0..512).map(|_| AtomicUsize::new(0)).collect();
+        let out = run_indexed(8, 512, |i| {
+            counters[i].fetch_add(1, Ordering::Relaxed);
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i
+        });
+        assert_eq!(out, (0..512).collect::<Vec<_>>());
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
     }
 
     #[test]

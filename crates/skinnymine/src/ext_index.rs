@@ -31,7 +31,7 @@
 //! thread count and either data representation:
 //!
 //! * **Candidate order** — candidates are interned in first-occurrence order
-//!   during the sweep and then iterated in the sorted [`Extension`] key
+//!   by the finalize pass and then iterated in the sorted [`Extension`] key
 //!   order, exactly the order the reference `BTreeSet` yields.
 //! * **Row order** — entries of one candidate are stored in ascending
 //!   `(row, attachment vertex)` order.  The sweep visits rows ascending and
@@ -46,14 +46,22 @@
 //!   matching candidates' entry lists at build time, preserving the
 //!   `(row, vertex)` order.
 //!
-//! The sweep itself is allocation-free in steady state: interning uses a
-//! rebuilt-in-place hash map, entries accumulate in flat reused buffers, and
-//! grouping is the same stable counting sort ([`skinny_graph::GroupSorter`])
-//! that backs the Stage-I occurrence index.
+//! # Data movement
+//!
+//! The sweep is a flat per-row pass that only *emits*: every neighbor probe
+//! packs its candidate descriptor into a `u128` key and appends
+//! `(key, row, attach)` to two parallel reused buffers (keys SoA, entries
+//! SoA) — no hash probes, no grouping, no branching on candidate identity
+//! inside the neighbor loop.  All grouping is deferred to the finalize step:
+//! one linear interning pass over the packed keys assigns dense group ids,
+//! and a single [`skinny_graph::GroupSorter`] histogram+scatter invocation
+//! moves every `(row, attach)` entry straight into its grouped position.
+//! Everything is allocation-free in steady state: interning uses
+//! rebuilt-in-place hash maps and all buffers are reused across patterns.
 
 use crate::data::MiningData;
 use crate::grown::{Extension, GrownPattern};
-use skinny_graph::{GroupSorter, KeyMarks, Label, OccurrenceStore, VertexId, VertexSlots};
+use skinny_graph::{GraphView, GroupSorter, KeyMarks, Label, OccurrenceStore, VertexId, VertexSlots};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -214,26 +222,45 @@ pub struct ExtensionScratch {
     /// Per-row probe-dedup marks for the reference enumeration.
     pub(crate) probe_marks: KeyMarks,
     /// Interning map of the fixed-size candidate kinds, keyed by their
-    /// packed descriptor (hashing three words beats hashing an enum on
-    /// every neighbor probe); drained into the table at finalize.
+    /// packed descriptor; populated by the flat finalize pass over
+    /// [`ExtensionScratch::keys`], drained into the table afterwards.
     intern_fixed: HashMap<u128, u32, FxBuild>,
     /// Interning map of the multi-edge candidates (their key owns the edge
     /// list); drained into the table at finalize.
     intern_multi: HashMap<Extension, u32, FxBuild>,
-    /// Sweep items `(intern id, row, attachment vertex)` in discovery order.
-    items: Vec<(u32, u32, VertexId)>,
+    /// Packed candidate key per sweep item, in discovery order (SoA column
+    /// parallel to [`ExtensionScratch::entry_of_item`]): the sweep only
+    /// emits into these two buffers, deferring all grouping to finalize.
+    keys: Vec<u128>,
+    /// `(row, attachment vertex)` per sweep item, in discovery order.
+    entry_of_item: Vec<ExtEntry>,
     /// Oversized attachment runs `(row, vertex, vertex label, edge range)`.
     over_runs: Vec<(u32, VertexId, Label, u32, u32)>,
     /// Edge storage of the oversized runs.
     over_edges: Vec<(u32, Label)>,
     /// Extra entries owed to subset candidates by oversized runs.
     extras: Vec<(u32, u32, VertexId)>,
-    /// Intern id per item, fed to the counting sort.
+    /// Dense group id per item, fed to the histogram+scatter kernel.
     group_of_item: Vec<u32>,
-    /// Grouped item order produced by the counting sort.
-    order: Vec<u32>,
-    /// The stable counting-sort grouping kernel.
+    /// The histogram+scatter grouping kernel.
     sorter: GroupSorter,
+    /// Pattern adjacency bitset (`n × words` of 64 bits), rebuilt per
+    /// pattern: answers the closing-edge `has_edge` probe of the sweep's
+    /// inner loop with one load and mask instead of a binary search.
+    adj_bits: Vec<u64>,
+    /// Per-pattern-vertex `level < delta` flags, hoisted out of the
+    /// neighbor loop (the flag depends only on the pattern vertex).
+    allow_new: Vec<bool>,
+    /// Copy of the applied extension's entry list during a
+    /// [`ExtensionScratch::refilter`] (the table's own storage is rewritten
+    /// underneath it).
+    applied: Vec<ExtEntry>,
+    /// Old-row → new-row range map of a refilter.
+    row_map: Vec<(u32, u32)>,
+    /// Double buffer for the refiltered entry storage.
+    entries2: Vec<ExtEntry>,
+    /// Double buffer for the refiltered offsets.
+    offsets2: Vec<u32>,
 }
 
 impl ExtensionScratch {
@@ -250,12 +277,113 @@ impl ExtensionScratch {
     pub fn build(&mut self, pattern: &GrownPattern, data: &MiningData<'_>, delta: u32) {
         self.intern_fixed.clear();
         self.intern_multi.clear();
-        self.items.clear();
+        self.keys.clear();
+        self.entry_of_item.clear();
         self.over_runs.clear();
         self.over_edges.clear();
+        // pattern-side precomputation, hoisted out of the row loop: the
+        // adjacency bitset answers the closing-edge `has_edge` probe with one
+        // load and mask, and `allow_new` folds the per-vertex level check
+        let n = pattern.graph.vertex_count();
+        let words = n.div_ceil(64);
+        self.adj_bits.clear();
+        self.adj_bits.resize(n * words, 0);
+        for p in 0..n {
+            for &(q, _) in pattern.graph.neighbor_slice(VertexId(p as u32)) {
+                self.adj_bits[p * words + (q.0 as usize >> 6)] |= 1u64 << (q.0 & 63);
+            }
+        }
+        self.allow_new.clear();
+        self.allow_new.extend(pattern.level.iter().map(|&lvl| lvl < delta));
+        // dispatch on the representation once: the row sweep below is
+        // monomorphized per concrete graph type, so the per-neighbor loop
+        // compiles to a tight slice walk with no enum dispatch inside
+        match data {
+            MiningData::Single(g) => self.sweep(pattern, |_| *g),
+            MiningData::Transactions(db) => self.sweep(pattern, |t| &db[t]),
+            MiningData::Snapshot(s) => self.sweep(pattern, |t| s.graph(t)),
+        }
+        self.finalize();
+    }
+
+    /// Rewrites the table's entry lists after the pattern it indexes is
+    /// advanced by applying its `i`-th candidate (closure-jump greedy
+    /// advance): the advanced pattern's rows are exactly the gather of that
+    /// candidate's entry list, so every other candidate's new entry list is
+    /// its old one mapped through the old-row → new-row expansion — minus
+    /// the pairs whose attachment vertex the advance consumed as the new
+    /// vertex's image in that row.  No graph is touched; the candidate set
+    /// and its sorted order are left as they are (candidates the advanced
+    /// pattern can no longer admit keep entries and are rejected by the
+    /// evaluation exactly as the reference re-scan would reject them, and
+    /// the advanced pattern's *new* candidates are irrelevant — a pass only
+    /// serves its start enumeration, and the next pass rebuilds).
+    ///
+    /// `parent_rows` is the row count of the store the table was built
+    /// against.
+    pub fn refilter(&mut self, i: usize, parent_rows: usize) {
+        let table = &mut self.table;
+        let c_applied = table.sorted[i] as usize;
+        let adds_vertex = !matches!(table.cands[c_applied], Extension::ClosingEdge { .. });
+        self.applied.clear();
+        self.applied.extend_from_slice(
+            &table.entries[table.offsets[c_applied] as usize..table.offsets[c_applied + 1] as usize],
+        );
+        // old row -> contiguous new-row range (the gather emits one new row
+        // per applied entry, in entry order, so ranges are consecutive)
+        self.row_map.clear();
+        self.row_map.resize(parent_rows, (0, 0));
+        for (k, &(r, _)) in self.applied.iter().enumerate() {
+            let slot = &mut self.row_map[r as usize];
+            if slot.0 == slot.1 {
+                slot.0 = k as u32;
+            }
+            slot.1 = k as u32 + 1;
+        }
+        self.entries2.clear();
+        self.offsets2.clear();
+        self.offsets2.push(0);
+        for c in 0..table.cands.len() {
+            let (lo, hi) = (table.offsets[c] as usize, table.offsets[c + 1] as usize);
+            // only vertex-adding candidates exclude the new image: a closing
+            // edge's validity reads existing images only
+            let excl = adds_vertex && !matches!(table.cands[c], Extension::ClosingEdge { .. });
+            let mut a = lo;
+            while a < hi {
+                let r = table.entries[a].0;
+                let mut b = a + 1;
+                while b < hi && table.entries[b].0 == r {
+                    b += 1;
+                }
+                let (rlo, rhi) = self.row_map[r as usize];
+                for k in rlo..rhi {
+                    let img = self.applied[k as usize].1;
+                    for &(_, w) in &table.entries[a..b] {
+                        if excl && w == img {
+                            continue;
+                        }
+                        self.entries2.push((k, w));
+                    }
+                }
+                a = b;
+            }
+            self.offsets2.push(self.entries2.len() as u32);
+        }
+        std::mem::swap(&mut table.entries, &mut self.entries2);
+        std::mem::swap(&mut table.offsets, &mut self.offsets2);
+    }
+
+    /// The per-row emission sweep of [`ExtensionScratch::build`], generic
+    /// over the concrete graph type so the neighbor loop monomorphizes.
+    fn sweep<'g, G>(&mut self, pattern: &GrownPattern, graph_of: impl Fn(usize) -> &'g G)
+    where
+        G: GraphView + 'g,
+    {
         let n = pattern.graph.vertex_count() as u32;
+        let words = (n as usize).div_ceil(64);
         for (r, e) in pattern.embeddings.iter().enumerate() {
             let r = r as u32;
+            let g = graph_of(e.transaction);
             self.images.reset();
             for (p, &d) in e.vertices.iter().enumerate() {
                 self.images.set(d, p as u32);
@@ -263,28 +391,28 @@ impl ExtensionScratch {
             self.attachments.clear();
             for p in 0..n {
                 let image = e.image(p as usize);
-                for (w, el) in data.neighbors(e.transaction, image) {
+                let allow_new = self.allow_new[p as usize];
+                let adj_row = &self.adj_bits[p as usize * words..(p as usize + 1) * words];
+                for (w, el) in g.neighbors(image) {
                     match self.images.get(w) {
                         Some(q) => {
                             // a potential closing edge between pattern
                             // vertices p and q, discovered once per row from
                             // its smaller endpoint
-                            if q <= p || pattern.graph.has_edge(VertexId(p), VertexId(q)) {
+                            if q <= p || adj_row[q as usize >> 6] & (1u64 << (q & 63)) != 0 {
                                 continue;
                             }
-                            let key = pack_fixed(TAG_CLOSING_EDGE, p, q, el.0);
-                            let c = intern_fixed(&mut self.intern_fixed, self.intern_multi.len(), key);
-                            self.items.push((c, r, w));
+                            self.keys.push(pack_fixed(TAG_CLOSING_EDGE, p, q, el.0));
+                            self.entry_of_item.push((r, w));
                         }
                         None => {
                             // a potential new twig vertex attached at p
-                            if pattern.level[p as usize] >= delta {
+                            if !allow_new {
                                 continue;
                             }
-                            let vl = data.label(e.transaction, w);
-                            let key = pack_fixed(TAG_NEW_VERTEX, p, vl.0, el.0);
-                            let c = intern_fixed(&mut self.intern_fixed, self.intern_multi.len(), key);
-                            self.items.push((c, r, w));
+                            let vl = g.label(w);
+                            self.keys.push(pack_fixed(TAG_NEW_VERTEX, p, vl.0, el.0));
+                            self.entry_of_item.push((r, w));
                             self.attachments.push((w, p, el));
                         }
                     }
@@ -312,7 +440,7 @@ impl ExtensionScratch {
                 if k < 2 {
                     continue;
                 }
-                let vertex_label = data.label(e.transaction, w);
+                let vertex_label = g.label(w);
                 if k <= FULL_SUBSET_DEGREE {
                     for mask in 1u32..(1 << k) {
                         if mask.count_ones() < 2 {
@@ -321,24 +449,16 @@ impl ExtensionScratch {
                         self.subset.clear();
                         self.subset
                             .extend((0..k).filter(|i| mask & (1 << i) != 0).map(|i| self.run_edges[i]));
-                        let c = intern_multi(
-                            &mut self.intern_multi,
-                            self.intern_fixed.len(),
-                            vertex_label,
-                            &mut self.subset,
-                        );
-                        self.items.push((c, r, w));
+                        let m = intern_multi(&mut self.intern_multi, vertex_label, &mut self.subset);
+                        self.keys.push(pack_fixed(TAG_MULTI, m, 0, 0));
+                        self.entry_of_item.push((r, w));
                     }
                 } else {
                     self.subset.clear();
                     self.subset.extend_from_slice(&self.run_edges);
-                    let c = intern_multi(
-                        &mut self.intern_multi,
-                        self.intern_fixed.len(),
-                        vertex_label,
-                        &mut self.subset,
-                    );
-                    self.items.push((c, r, w));
+                    let m = intern_multi(&mut self.intern_multi, vertex_label, &mut self.subset);
+                    self.keys.push(pack_fixed(TAG_MULTI, m, 0, 0));
+                    self.entry_of_item.push((r, w));
                     // sidecar: subset candidates from other rows must still
                     // gather this row (the reference re-scan would)
                     let lo = self.over_edges.len() as u32;
@@ -347,21 +467,52 @@ impl ExtensionScratch {
                 }
             }
         }
-        self.finalize();
     }
 
-    /// Drains the intern map into the table, settles the oversized-run
-    /// extras and groups the items into per-candidate entry lists.
+    /// Interns the packed sweep keys into dense group ids, drains the intern
+    /// maps into the table, settles the oversized-run extras and scatters the
+    /// items into per-candidate entry lists with one grouping-kernel pass.
     fn finalize(&mut self) {
-        let ncands = self.intern_fixed.len() + self.intern_multi.len();
+        // Flat interning pass over the packed keys (the sweep deferred all
+        // grouping): fixed-size candidates get first-occurrence ids 0..F,
+        // multi candidates were already interned per run and are re-based to
+        // F..F+M in a branch-predictable fixup pass.
+        self.group_of_item.clear();
+        self.group_of_item.reserve(self.keys.len());
+        // consecutive items frequently repeat a key (several same-label
+        // neighbors at the same attachment point emit identical descriptors
+        // back to back), so a one-slot cache short-circuits the hash probe;
+        // the sentinel's tag field (`u32::MAX`) matches no real key
+        let mut prev_key = !0u128;
+        let mut prev_group = 0u32;
+        for &key in &self.keys {
+            let g = if key == prev_key {
+                prev_group
+            } else if (key >> 96) as u32 == TAG_MULTI {
+                MULTI_BIT | (key >> 64) as u32
+            } else {
+                let next = self.intern_fixed.len() as u32;
+                *self.intern_fixed.entry(key).or_insert(next)
+            };
+            prev_key = key;
+            prev_group = g;
+            self.group_of_item.push(g);
+        }
+        let nfixed = self.intern_fixed.len() as u32;
+        for g in &mut self.group_of_item {
+            if *g & MULTI_BIT != 0 {
+                *g = nfixed + (*g & !MULTI_BIT);
+            }
+        }
+        let ncands = (nfixed as usize) + self.intern_multi.len();
         let table = &mut self.table;
         table.cands.clear();
         table.cands.resize(ncands, Extension::ClosingEdge { u: 0, v: 0, edge_label: Label(0) });
         for (key, c) in self.intern_fixed.drain() {
             table.cands[c as usize] = unpack_fixed(key);
         }
-        for (ext, c) in self.intern_multi.drain() {
-            table.cands[c as usize] = ext;
+        for (ext, m) in self.intern_multi.drain() {
+            table.cands[(nfixed + m) as usize] = ext;
         }
         // oversized runs: every strict-subset multi candidate of a run owes
         // that run's row an entry (rare — most sweeps record none)
@@ -380,17 +531,20 @@ impl ExtensionScratch {
                     }
                 }
             }
-            self.items.extend_from_slice(&self.extras);
+            for &(c, row, w) in &self.extras {
+                self.group_of_item.push(c);
+                self.entry_of_item.push((row, w));
+            }
         }
-        self.group_of_item.clear();
-        self.group_of_item.extend(self.items.iter().map(|&(c, _, _)| c));
-        self.sorter.group_into(&self.group_of_item, ncands, &mut table.offsets, &mut self.order);
-        table.entries.clear();
-        table.entries.reserve(self.items.len());
-        for &i in &self.order {
-            let (_, row, w) = self.items[i as usize];
-            table.entries.push((row, w));
-        }
+        // One histogram+scatter pass moves every (row, vertex) entry straight
+        // into its grouped position — no order indirection, no per-entry push.
+        self.sorter.scatter_by_group(
+            &self.group_of_item,
+            &self.entry_of_item,
+            ncands,
+            &mut table.offsets,
+            &mut table.entries,
+        );
         // extras were appended out of order; restore the ascending
         // (row, vertex) contract for the candidates they touched
         if !self.extras.is_empty() {
@@ -414,6 +568,14 @@ impl ExtensionScratch {
 const TAG_NEW_VERTEX: u32 = 0;
 /// Packed-key tag of a [`Extension::ClosingEdge`] candidate.
 const TAG_CLOSING_EDGE: u32 = 1;
+/// Packed-key tag of an already-interned [`Extension::NewVertexMulti`]
+/// candidate: the key's second word carries the multi intern id, so the
+/// finalize pass resolves it without a hash probe.
+const TAG_MULTI: u32 = 2;
+/// Provisional-group marker for multi candidates during the finalize
+/// interning pass (re-based past the fixed candidates once their count is
+/// known).
+const MULTI_BIT: u32 = 1 << 31;
 
 /// Packs a fixed-size candidate descriptor into one interning key.
 #[inline]
@@ -430,21 +592,13 @@ fn unpack_fixed(key: u128) -> Extension {
     }
 }
 
-/// Interns a fixed-size candidate, assigning ids in first-occurrence order
-/// across both interning maps (`other_len` is the other map's population).
-#[inline]
-fn intern_fixed(map: &mut HashMap<u128, u32, FxBuild>, other_len: usize, key: u128) -> u32 {
-    let next = (map.len() + other_len) as u32;
-    *map.entry(key).or_insert(next)
-}
-
 /// Interns a multi-edge candidate built from the reusable subset buffer,
 /// moving the buffer into the map only when the candidate is new: a repeat
 /// probe (the common case — every supporting row re-derives the candidate)
-/// hands the buffer straight back without touching the allocator.
+/// hands the buffer straight back without touching the allocator.  Ids are
+/// multi-local (0-based); finalize re-bases them past the fixed candidates.
 fn intern_multi(
     map: &mut HashMap<Extension, u32, FxBuild>,
-    other_len: usize,
     vertex_label: Label,
     subset: &mut Vec<(u32, Label)>,
 ) -> u32 {
@@ -455,7 +609,7 @@ fn intern_multi(
         }
         c
     } else {
-        let c = (map.len() + other_len) as u32;
+        let c = map.len() as u32;
         map.insert(probe, c);
         c
     }

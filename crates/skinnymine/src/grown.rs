@@ -6,8 +6,8 @@ use crate::ext_index::ExtensionScratch;
 use crate::path_pattern::PathPattern;
 use serde::{Deserialize, Serialize};
 use skinny_graph::{
-    CanonId, CanonSet, DistMatrix, Label, LabeledGraph, OccurrenceStore, SupportMeasure, SupportScratch,
-    VertexId, VertexMarks,
+    CanonId, CanonSet, DistMatrix, Label, LabeledGraph, OccurrenceStore, SupportBatch, SupportMeasure,
+    SupportScratch, VertexId, VertexMarks,
 };
 
 /// Per-worker scratch for Stage-II growth, reused across every cluster a
@@ -24,10 +24,15 @@ pub struct GrowScratch {
     pub ext: ExtensionScratch,
     /// Membership marks of the current occurrence row's vertices.
     pub row_marks: VertexMarks,
-    /// Support-evaluation sort buffers.
+    /// Support-evaluation sort buffers (reference path and worklist
+    /// re-evaluation).
     pub support: SupportScratch,
-    /// Reused gather target: candidates materialize here and only admitted
-    /// children take the store with them.
+    /// Batched support evaluator of the indexed path: per-parent rank tables
+    /// shared by all sibling candidates, invalidated on every table rebuild.
+    pub batch: SupportBatch,
+    /// Reused gather target: admitted children materialize here and take
+    /// the store with them (the batched support path rejects candidates
+    /// without gathering at all).
     pub gather: OccurrenceStore,
     /// Per-cluster canonical-form dedup funnel over the worklist patterns
     /// (fingerprint first, memoized min-DFS keys only on collision).

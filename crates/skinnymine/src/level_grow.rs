@@ -42,10 +42,63 @@ use crate::result::SkinnyPattern;
 use crate::stats::MiningStats;
 use serde::{Deserialize, Serialize};
 use skinny_graph::{
-    DfsCode, EmbeddingSet, OccurrenceStore, SupportMeasure, SupportScratch, VertexId, VertexMarks,
+    DfsCode, EmbeddingSet, OccurrenceStore, SupportBatch, SupportMeasure, SupportScratch, VertexId,
+    VertexMarks,
 };
 use std::collections::BTreeSet;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Raw tick source for the per-candidate phase attribution.  `Instant::now`
+/// is a vDSO `clock_gettime` (~25 ns); with hundreds of thousands of
+/// candidates per cluster, the phase boundaries of the evaluation hot path
+/// would spend more time reading the clock than checking constraints.  On
+/// x86-64 this is a single `rdtsc`; elsewhere it falls back to
+/// `Instant`-derived nanoseconds.  Ticks are settled into wall-clock
+/// durations once per cluster against the cluster's own `(Instant, ticks)`
+/// calibration window ([`PhaseTicks::settle`]), so the attribution is exact
+/// for any tick rate.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn phase_ticks() -> u64 {
+    // SAFETY: `rdtsc` is unprivileged and available on every x86-64.
+    unsafe { core::arch::x86_64::_rdtsc() }
+}
+
+/// Non-x86-64 fallback of the tick source: nanoseconds since a process-wide
+/// epoch.
+#[cfg(not(target_arch = "x86_64"))]
+#[inline]
+fn phase_ticks() -> u64 {
+    use std::sync::OnceLock;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Per-cluster phase-tick accumulators, converted to wall-clock durations
+/// exactly once per cluster — the hot path only ever adds tick deltas.
+#[derive(Debug, Default, Clone, Copy)]
+struct PhaseTicks {
+    candidates: u64,
+    check: u64,
+    support: u64,
+    extend: u64,
+    canon: u64,
+}
+
+impl PhaseTicks {
+    /// Settles the accumulated ticks into `stats.grow_phases` using the
+    /// cluster's own calibration window: `wall` wall-clock seconds elapsed
+    /// over `ticks` raw ticks.
+    fn settle(self, stats: &mut MiningStats, wall: Duration, ticks: u64) {
+        let per = wall.as_secs_f64() / ticks.max(1) as f64;
+        let d = |t: u64| Duration::from_secs_f64(t as f64 * per);
+        stats.grow_phases.candidates += d(self.candidates);
+        stats.grow_phases.check += d(self.check);
+        stats.grow_phases.support += d(self.support);
+        stats.grow_phases.extend += d(self.extend);
+        stats.grow_phases.canon += d(self.canon);
+    }
+}
 
 /// A Stage-I seed for Stage-II growth: a canonical-diameter path, or a
 /// minimal odd cycle `C_{2l+1}` (which no path seed can reach).
@@ -79,6 +132,15 @@ impl Seed {
         match self {
             Seed::Path(p) => p.support(measure),
             Seed::Cycle(c) => c.support(measure),
+        }
+    }
+
+    /// Number of embedding rows of the seed — the cost proxy the parallel
+    /// scheduler uses to dispatch expensive clusters first.
+    pub fn embedding_rows(&self) -> usize {
+        match self {
+            Seed::Path(p) => p.embeddings.len(),
+            Seed::Cycle(c) => c.embeddings.len(),
         }
     }
 }
@@ -153,6 +215,9 @@ impl<'a> LevelGrow<'a> {
     /// the fingerprint → memoized-key funnel).
     fn grow_cluster_exhaustive(&self, mut root: GrownPattern, scratch: &mut GrowScratch) -> ClusterOutcome {
         let mut outcome = ClusterOutcome::default();
+        let wall0 = Instant::now();
+        let tick0 = phase_ticks();
+        let mut ticks = PhaseTicks::default();
         scratch.canon.reset();
         root.canon = scratch.canon.insert(&root.graph);
         debug_assert!(root.canon.is_some(), "the root is the first insert of a fresh set");
@@ -164,7 +229,7 @@ impl<'a> LevelGrow<'a> {
             let mut is_maximal = true;
             let mut is_closed = true;
 
-            let GrowScratch { ext, row_marks, support, gather, canon, structure, .. } = scratch;
+            let GrowScratch { ext, row_marks, support, batch, gather, canon, structure, .. } = scratch;
             // a frequent constraint-preserving child flips the flags and
             // enters the worklist once: a fresh fingerprint admits it with
             // no canonical-key work at all, and only fingerprint collisions
@@ -174,14 +239,14 @@ impl<'a> LevelGrow<'a> {
                              is_maximal: &mut bool,
                              is_closed: &mut bool,
                              worklist: &mut Vec<GrownPattern>,
-                             stats: &mut MiningStats| {
+                             ticks: &mut PhaseTicks| {
                 *is_maximal = false;
                 if support == current_support {
                     *is_closed = false;
                 }
-                let t = Instant::now();
+                let t = phase_ticks();
                 let id = canon.insert(&child.graph);
-                stats.grow_phases.canon += t.elapsed();
+                ticks.canon += phase_ticks().wrapping_sub(t);
                 if let Some(id) = id {
                     child.canon = Some(id);
                     worklist.push(child);
@@ -189,40 +254,43 @@ impl<'a> LevelGrow<'a> {
             };
             match self.config.grow_engine {
                 GrowEngine::ExtensionIndex => {
-                    let t = Instant::now();
+                    let t = phase_ticks();
                     ext.build(&current, &self.data, self.config.delta);
-                    outcome.stats.grow_phases.candidates += t.elapsed();
+                    batch.invalidate();
+                    ticks.candidates += phase_ticks().wrapping_sub(t);
                     for i in 0..ext.table.candidate_count() {
                         let Some((child, sup)) = self.try_extension_indexed(
                             &current,
                             &ext.table,
                             i,
                             &mut outcome.stats,
-                            support,
+                            &mut ticks,
+                            batch,
                             gather,
                             structure,
                         ) else {
                             continue;
                         };
-                        admit(child, sup, &mut is_maximal, &mut is_closed, &mut worklist, &mut outcome.stats);
+                        admit(child, sup, &mut is_maximal, &mut is_closed, &mut worklist, &mut ticks);
                     }
                 }
                 GrowEngine::Reference => {
-                    let t = Instant::now();
+                    let t = phase_ticks();
                     let cands = self.candidate_extensions_reference(&current, ext);
-                    outcome.stats.grow_phases.candidates += t.elapsed();
+                    ticks.candidates += phase_ticks().wrapping_sub(t);
                     for e in cands {
                         let Some((child, sup)) = self.try_extension_reference(
                             &current,
                             e,
                             &mut outcome.stats,
+                            &mut ticks,
                             row_marks,
                             support,
                             structure,
                         ) else {
                             continue;
                         };
-                        admit(child, sup, &mut is_maximal, &mut is_closed, &mut worklist, &mut outcome.stats);
+                        admit(child, sup, &mut is_maximal, &mut is_closed, &mut worklist, &mut ticks);
                     }
                 }
             }
@@ -234,6 +302,7 @@ impl<'a> LevelGrow<'a> {
                 outcome.patterns.push(p);
             }
         }
+        ticks.settle(&mut outcome.stats, wall0.elapsed(), phase_ticks().wrapping_sub(tick0));
         let canon_stats = scratch.canon.stats();
         outcome.stats.record_canon(canon_stats);
         outcome.stats.level_grow.patterns_out = outcome.patterns.len() as u64;
@@ -247,6 +316,9 @@ impl<'a> LevelGrow<'a> {
     /// without enumerating the exponentially many non-closed sub-patterns.
     fn grow_cluster_closure(&self, root: GrownPattern, scratch: &mut GrowScratch) -> ClusterOutcome {
         let mut outcome = ClusterOutcome::default();
+        let wall0 = Instant::now();
+        let tick0 = phase_ticks();
+        let mut ticks = PhaseTicks::default();
         // worklist dedup and reported-pattern dedup both run on the
         // fingerprint → memoized-key funnel (two sets: branch children are
         // deduplicated against each other, closed patterns against each
@@ -280,17 +352,20 @@ impl<'a> LevelGrow<'a> {
                 branches.clear();
                 match self.config.grow_engine {
                     GrowEngine::ExtensionIndex => {
-                        let t = Instant::now();
+                        let t = phase_ticks();
                         scratch.ext.build(&closed, &self.data, self.config.delta);
-                        outcome.stats.grow_phases.candidates += t.elapsed();
-                        let GrowScratch { ext, row_marks, support, gather, structure, .. } = scratch;
-                        // the table indexes the pass-start pattern's rows;
-                        // the first greedy advance replaces the embedding
-                        // list, so the remaining candidates of the pass fall
-                        // back to the re-scan evaluation (the next pass
-                        // rebuilds the table anyway)
-                        let mut table_fresh = true;
-                        for i in 0..ext.table.candidate_count() {
+                        scratch.batch.invalidate();
+                        ticks.candidates += phase_ticks().wrapping_sub(t);
+                        let GrowScratch { ext, batch, gather, structure, .. } = scratch;
+                        // the table indexes the pass-start pattern's rows; a
+                        // greedy advance replaces the embedding list with the
+                        // gather of the applied candidate's entries, so the
+                        // table is refiltered through that row expansion in
+                        // place — no re-sweep of the data, and the candidate
+                        // enumeration (and its indices) stays exactly the
+                        // pass-start one the loop is walking
+                        let count = ext.table.candidate_count();
+                        for i in 0..count {
                             // an earlier application in this pass may have
                             // already closed this pair
                             if let Extension::ClosingEdge { u, v, .. } = *ext.table.extension(i) {
@@ -298,32 +373,27 @@ impl<'a> LevelGrow<'a> {
                                     continue;
                                 }
                             }
-                            let result = if table_fresh {
-                                self.try_extension_indexed(
-                                    &closed,
-                                    &ext.table,
-                                    i,
-                                    &mut outcome.stats,
-                                    support,
-                                    gather,
-                                    structure,
-                                )
-                            } else {
-                                self.try_extension_reference(
-                                    &closed,
-                                    ext.table.extension(i).clone(),
-                                    &mut outcome.stats,
-                                    row_marks,
-                                    support,
-                                    structure,
-                                )
-                            };
+                            let result = self.try_extension_indexed(
+                                &closed,
+                                &ext.table,
+                                i,
+                                &mut outcome.stats,
+                                &mut ticks,
+                                batch,
+                                gather,
+                                structure,
+                            );
                             if let Some((child, sup)) = result {
                                 if sup == closed_support {
+                                    if i + 1 < count {
+                                        let t = phase_ticks();
+                                        ext.refilter(i, closed.embeddings.len());
+                                        batch.invalidate();
+                                        ticks.candidates += phase_ticks().wrapping_sub(t);
+                                    }
                                     closed = child;
                                     closed_support = sup;
                                     advanced = true;
-                                    table_fresh = false;
                                 } else {
                                     // note: embedding-based support is not
                                     // anti-monotone, so a super-pattern's
@@ -334,9 +404,9 @@ impl<'a> LevelGrow<'a> {
                         }
                     }
                     GrowEngine::Reference => {
-                        let t = Instant::now();
+                        let t = phase_ticks();
                         let cands = self.candidate_extensions_reference(&closed, &mut scratch.ext);
-                        outcome.stats.grow_phases.candidates += t.elapsed();
+                        ticks.candidates += phase_ticks().wrapping_sub(t);
                         let GrowScratch { row_marks, support, structure, .. } = scratch;
                         for ext in cands {
                             // an earlier application in this pass may have
@@ -350,6 +420,7 @@ impl<'a> LevelGrow<'a> {
                                 &closed,
                                 ext,
                                 &mut outcome.stats,
+                                &mut ticks,
                                 row_marks,
                                 support,
                                 structure,
@@ -374,17 +445,17 @@ impl<'a> LevelGrow<'a> {
             }
             let is_maximal = branches.is_empty();
             for child in branches {
-                let t = Instant::now();
+                let t = phase_ticks();
                 let inserted = scratch.canon.insert(&child.graph).is_some();
-                outcome.stats.grow_phases.canon += t.elapsed();
+                ticks.canon += phase_ticks().wrapping_sub(t);
                 if inserted {
                     worklist.push(child);
                 }
             }
 
-            let t = Instant::now();
+            let t = phase_ticks();
             let reported_id = scratch.canon_reported.insert(&closed.graph);
-            outcome.stats.grow_phases.canon += t.elapsed();
+            ticks.canon += phase_ticks().wrapping_sub(t);
             if let Some(id) = reported_id {
                 let fp = scratch.canon_reported.fingerprint_of(id);
                 let key = scratch.canon_reported.key_of(id).cloned();
@@ -393,6 +464,7 @@ impl<'a> LevelGrow<'a> {
                 }
             }
         }
+        ticks.settle(&mut outcome.stats, wall0.elapsed(), phase_ticks().wrapping_sub(tick0));
         let canon_stats = scratch.canon.stats().merged(scratch.canon_reported.stats());
         outcome.stats.record_canon(canon_stats);
         outcome.stats.level_grow.patterns_out = outcome.patterns.len() as u64;
@@ -428,12 +500,14 @@ impl<'a> LevelGrow<'a> {
     /// pattern's exact row count, so `< σ` candidates are dropped with no
     /// structural or data work), then the structure-only constraint checks —
     /// decided on the parent's maintained indices alone whenever
-    /// [`crate::constraints::precheck_violation`] can — and only for
-    /// survivors the row gather and the support measure.  The `O(n²)`
-    /// structural extension itself is built for admitted children (and the
-    /// rare candidates whose verdict needs it), never for rejected ones.
-    /// Returns the extended pattern and its support when the extension is
-    /// admissible, recording statistics either way.
+    /// [`crate::constraints::precheck_violation`] can — then the support
+    /// measure, evaluated **batched** ([`SupportBatch`]) against the
+    /// parent's shared rank tables so a frequency reject never gathers a
+    /// child store.  The `O(n²)` structural extension is built for admitted
+    /// children (and the rare candidates whose verdict needs it) and the row
+    /// gather happens only once a child is admitted.  Returns the extended
+    /// pattern and its support when the extension is admissible, recording
+    /// statistics either way.
     // the "arguments" are the disjoint per-worker scratch pieces — bundling
     // them back into one struct would recreate the borrow conflicts the
     // destructured GrowScratch exists to avoid
@@ -444,7 +518,8 @@ impl<'a> LevelGrow<'a> {
         table: &ExtensionTable,
         i: usize,
         stats: &mut MiningStats,
-        support_scratch: &mut SupportScratch,
+        ticks: &mut PhaseTicks,
+        batch: &mut SupportBatch,
         gather_buf: &mut OccurrenceStore,
         struct_scratch: &mut StructScratch,
     ) -> Option<(GrownPattern, usize)> {
@@ -458,24 +533,30 @@ impl<'a> LevelGrow<'a> {
         // cheap structural rejects (skinniness / Constraint I / II) on the
         // parent's maintained indices: a structurally invalid extension
         // never touches the data
-        let t0 = Instant::now();
+        let t0 = phase_ticks();
         let violation = crate::constraints::precheck_violation(current, ext, self.config.delta);
-        let t1 = Instant::now();
-        stats.grow_phases.check += t1 - t0;
+        let t1 = phase_ticks();
+        ticks.check += t1.wrapping_sub(t0);
         if let Some(v) = violation {
             Self::record_verdict(Err(v), stats);
             return None;
         }
-        // frequency next (a gather over the supporting rows into the reused
-        // scratch store), so the expensive Constraint-III verification is
-        // paid for frequent survivors only — mirroring the reference cost
-        // model while keeping every per-row re-scan eliminated
-        table.gather_into(i, &current.embeddings, gather_buf);
-        let t2 = Instant::now();
-        stats.grow_phases.extend += t2 - t1;
-        let support = gather_buf.support_with(self.config.support, support_scratch);
-        let t3 = Instant::now();
-        stats.grow_phases.support += t3 - t2;
+        // frequency next, straight off the index: the batched evaluator
+        // scores the candidate's entry list against the parent's shared rank
+        // tables, so a support reject never materializes a child store (no
+        // gather, no arena copy — the reject path is entry-list reads only);
+        // the pruned variant bails out of the column scans the moment the
+        // verdict is decided, and is exact for every admitted candidate
+        let adds_vertex = !matches!(ext, Extension::ClosingEdge { .. });
+        let support = batch.support_extended_pruned(
+            &current.embeddings,
+            self.config.support,
+            table.entries(i),
+            adds_vertex,
+            self.config.sigma,
+        );
+        let t2 = phase_ticks();
+        ticks.support += t2.wrapping_sub(t1);
         if support < self.config.sigma {
             stats.rejected_infrequent += 1;
             return None;
@@ -502,10 +583,14 @@ impl<'a> LevelGrow<'a> {
         } else {
             Ok(())
         };
-        stats.grow_phases.check += t3.elapsed();
+        let t3 = phase_ticks();
+        ticks.check += t3.wrapping_sub(t2);
         if !Self::record_verdict(verdict, stats) {
             return None;
         }
+        // the gather is paid for admitted children only
+        table.gather_into(i, &current.embeddings, gather_buf);
+        ticks.extend += phase_ticks().wrapping_sub(t3);
         let embeddings = std::mem::take(gather_buf);
         Some((current.assemble(ext.clone(), struct_scratch.structure.clone(), embeddings), support))
     }
@@ -514,27 +599,28 @@ impl<'a> LevelGrow<'a> {
     /// test first (an incremental full re-scan over the parent's
     /// embeddings), then the constraint checks, which may require a full
     /// canonical-diameter recomputation.  Retained as the parity oracle and
-    /// timing baseline of [`LevelGrow::try_extension_indexed`], and used for
-    /// the tail of a closure pass whose extension table a greedy advance
-    /// invalidated.  Returns the extended pattern and its support when the
-    /// extension is admissible, recording statistics either way.
+    /// timing baseline of [`LevelGrow::try_extension_indexed`].  Returns the
+    /// extended pattern and its support when the extension is admissible,
+    /// recording statistics either way.
+    #[allow(clippy::too_many_arguments)]
     fn try_extension_reference(
         &self,
         current: &GrownPattern,
         ext: Extension,
         stats: &mut MiningStats,
+        ticks: &mut PhaseTicks,
         row_marks: &mut VertexMarks,
         support_scratch: &mut SupportScratch,
         struct_scratch: &mut StructScratch,
     ) -> Option<(GrownPattern, usize)> {
         stats.level_grow.candidates_examined += 1;
-        let t0 = Instant::now();
+        let t0 = phase_ticks();
         let embeddings = current.extend_embeddings_with(&self.data, &ext, row_marks);
-        let t1 = Instant::now();
-        stats.grow_phases.extend += t1 - t0;
+        let t1 = phase_ticks();
+        ticks.extend += t1.wrapping_sub(t0);
         let support = embeddings.support_with(self.config.support, support_scratch);
-        let t2 = Instant::now();
-        stats.grow_phases.support += t2 - t1;
+        let t2 = phase_ticks();
+        ticks.support += t2.wrapping_sub(t1);
         if support < self.config.sigma {
             stats.rejected_infrequent += 1;
             return None;
@@ -548,7 +634,7 @@ impl<'a> LevelGrow<'a> {
             self.config.delta,
             self.config.constraint_check,
         );
-        stats.grow_phases.check += t2.elapsed();
+        ticks.check += phase_ticks().wrapping_sub(t2);
         if check.full_recomputation {
             stats.full_diameter_recomputations += 1;
         }

@@ -323,14 +323,29 @@ impl MinimalPatternIndex {
             Representation::Adjacency => self.data.view(),
             Representation::CsrSnapshot => MiningData::Snapshot(&self.snapshot),
         };
-        let outcomes = skinny_pool::run_with(
+        // cost-ordered schedule, as in `SkinnyMine::grow_parallel`: dispatch
+        // the biggest cluster (most embedding rows) first so it cannot land
+        // at the tail of the queue; merge back in seed order (paths first),
+        // keeping the served result byte-identical for any thread count
+        let ntasks = path_seeds.len() + cycle_seeds.len();
+        let rows_of = |i: usize| {
+            if i < path_seeds.len() {
+                path_seeds[i].embeddings.len()
+            } else {
+                cycle_seeds[i - path_seeds.len()].embeddings.len()
+            }
+        };
+        let mut schedule: Vec<u32> = (0..ntasks as u32).collect();
+        schedule.sort_by_key(|&i| (std::cmp::Reverse(rows_of(i as usize)), i));
+        let (outcomes, counters) = skinny_pool::run_with_counters(
             config.threads,
-            path_seeds.len() + cycle_seeds.len(),
+            ntasks,
             // per-worker grower *and* grow-engine scratch (extension table +
             // sweep buffers), reused across all the clusters the worker
             // grows or steals
             || (LevelGrow::new(serve_data.clone(), config), crate::grown::GrowScratch::new()),
-            |(grower, scratch), i| {
+            |(grower, scratch), t| {
+                let i = schedule[t] as usize;
                 if i < path_seeds.len() {
                     grower.grow_cluster_with(path_seeds[i], scratch)
                 } else {
@@ -338,8 +353,15 @@ impl MinimalPatternIndex {
                 }
             },
         );
+        stats.record_pool(&counters);
+        let mut slot_of_seed = vec![0u32; ntasks];
+        for (t, &i) in schedule.iter().enumerate() {
+            slot_of_seed[i as usize] = t as u32;
+        }
+        let mut outcomes: Vec<Option<_>> = outcomes.into_iter().map(Some).collect();
         let mut patterns = Vec::new();
-        for outcome in outcomes {
+        for &slot in &slot_of_seed {
+            let outcome = outcomes[slot as usize].take().expect("every task runs exactly once");
             stats.merge(&outcome.stats);
             stats.level_grow.candidates_examined += outcome.examined;
             patterns.extend(outcome.patterns);

@@ -56,6 +56,14 @@ pub struct GrowPhaseStats {
 
 impl GrowPhaseStats {
     /// Accumulates another breakdown into this one.
+    ///
+    /// The merged buckets report **summed CPU time across workers**, not
+    /// max wall-clock: when clusters are grown on more than one thread the
+    /// per-worker breakdowns are added, so each bucket (and their total) can
+    /// legitimately exceed the stage's wall-clock `level_grow.duration`.
+    /// Summing keeps the buckets thread-count-invariant — the same mining
+    /// run reports the same sub-timings (up to clock noise) at any `threads`
+    /// setting — which is what the before/after perf comparisons need.
     pub fn merge(&mut self, other: &GrowPhaseStats) {
         self.candidates += other.candidates;
         self.check += other.check;
@@ -98,8 +106,19 @@ pub struct MiningStats {
     /// Minimum-DFS traversals the early-abort engine pruned before
     /// completion (their code prefix already exceeded the best-so-far).
     pub canon_early_aborts: u64,
-    /// Wall-clock breakdown of Stage II's candidate evaluation.
+    /// Breakdown of Stage II's candidate evaluation (summed CPU time
+    /// across workers; see [`GrowPhaseStats::merge`]).
     pub grow_phases: GrowPhaseStats,
+    /// Work items executed by the worker pool across all parallel regions
+    /// (Stage-II cluster growth; one item per seed).
+    pub pool_tasks_executed: u64,
+    /// Work items obtained by stealing from another worker's queue rather
+    /// than from the worker's own deque.
+    pub pool_steals: u64,
+    /// Seconds between the first worker finishing its queue and the merged
+    /// result being ready — the tail-imbalance plus deterministic-merge cost
+    /// of the parallel regions, summed across regions.
+    pub pool_merge_wait_seconds: f64,
     /// Full canonical-diameter recomputations triggered (Fast mode fallback
     /// or every extension in Exact mode).
     pub full_diameter_recomputations: u64,
@@ -133,6 +152,9 @@ impl MiningStats {
         self.canon_full_keys += other.canon_full_keys;
         self.canon_early_aborts += other.canon_early_aborts;
         self.grow_phases.merge(&other.grow_phases);
+        self.pool_tasks_executed += other.pool_tasks_executed;
+        self.pool_steals += other.pool_steals;
+        self.pool_merge_wait_seconds += other.pool_merge_wait_seconds;
         self.full_diameter_recomputations += other.full_diameter_recomputations;
         self.level_grow.candidates_examined += other.level_grow.candidates_examined;
         self.level_grow.patterns_out += other.level_grow.patterns_out;
@@ -146,10 +168,18 @@ impl MiningStats {
         self.canon_early_aborts += canon.early_aborts;
     }
 
+    /// Folds the counters of one worker-pool run into the run-level
+    /// statistics.
+    pub fn record_pool(&mut self, counters: &skinny_pool::RunCounters) {
+        self.pool_tasks_executed += counters.tasks_executed;
+        self.pool_steals += counters.steals;
+        self.pool_merge_wait_seconds += counters.merge_wait_seconds;
+    }
+
     /// A one-line human readable summary.
     pub fn summary(&self) -> String {
         format!(
-            "DiamMine {:.1} ms ({} paths) | LevelGrow {:.1} ms ({} patterns) | checks {} | rejects I/II/III/δ/freq {}/{}/{}/{}/{} | bound-pruned {} | canon fp-hits/keys/aborts {}/{}/{} | recomputes {}",
+            "DiamMine {:.1} ms ({} paths) | LevelGrow {:.1} ms ({} patterns) | checks {} | rejects I/II/III/δ/freq {}/{}/{}/{}/{} | bound-pruned {} | canon fp-hits/keys/aborts {}/{}/{} | recomputes {} | pool tasks/steals {}/{} merge-wait {:.1} ms",
             self.diam_mine.millis(),
             self.diam_mine.patterns_out,
             self.level_grow.millis(),
@@ -165,6 +195,9 @@ impl MiningStats {
             self.canon_full_keys,
             self.canon_early_aborts,
             self.full_diameter_recomputations,
+            self.pool_tasks_executed,
+            self.pool_steals,
+            self.pool_merge_wait_seconds * 1e3,
         )
     }
 }
@@ -283,6 +316,39 @@ mod tests {
         assert_eq!(a.full_diameter_recomputations, 1);
         assert_eq!(a.grow_phases.extend, Duration::from_millis(5));
         assert_eq!(a.grow_phases.canon, Duration::from_millis(2));
+    }
+
+    #[test]
+    fn grow_phase_merge_sums_cpu_time_across_workers() {
+        // The merged breakdown is summed CPU time, not max wall-clock: two
+        // workers that each spent 70 ms in `support` while the stage's
+        // wall-clock was 100 ms report 140 ms of support work.  The sum may
+        // exceed the stage duration under >1 thread — by design.
+        let per_worker = GrowPhaseStats { support: Duration::from_millis(70), ..Default::default() };
+        let mut merged = GrowPhaseStats::default();
+        merged.merge(&per_worker);
+        merged.merge(&per_worker);
+        assert_eq!(merged.support, Duration::from_millis(140));
+        let stage_wall_clock = Duration::from_millis(100);
+        assert!(merged.support > stage_wall_clock);
+    }
+
+    #[test]
+    fn record_pool_folds_counters_and_summary_reports_them() {
+        let mut s = MiningStats::default();
+        s.record_pool(&skinny_pool::RunCounters { tasks_executed: 5, steals: 2, merge_wait_seconds: 0.25 });
+        s.record_pool(&skinny_pool::RunCounters { tasks_executed: 3, steals: 1, merge_wait_seconds: 0.5 });
+        assert_eq!(s.pool_tasks_executed, 8);
+        assert_eq!(s.pool_steals, 3);
+        assert!((s.pool_merge_wait_seconds - 0.75).abs() < 1e-12);
+        assert!(s.summary().contains("pool tasks/steals 8/3 merge-wait 750.0 ms"));
+
+        let mut merged = MiningStats::default();
+        merged.merge(&s);
+        merged.merge(&s);
+        assert_eq!(merged.pool_tasks_executed, 16);
+        assert_eq!(merged.pool_steals, 6);
+        assert!((merged.pool_merge_wait_seconds - 1.5).abs() < 1e-12);
     }
 
     #[test]

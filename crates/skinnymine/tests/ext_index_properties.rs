@@ -8,7 +8,7 @@
 //! exactly these two facts.
 
 use proptest::prelude::*;
-use skinny_graph::{Label, LabeledGraph, SupportMeasure, VertexId};
+use skinny_graph::{Label, LabeledGraph, SupportBatch, SupportMeasure, SupportScratch, VertexId};
 use skinnymine::{
     DiamMine, Exploration, Extension, GrowEngine, GrowScratch, GrownPattern, LevelGrow, MiningData,
     ReportMode, SkinnyMine, SkinnyMineConfig,
@@ -137,6 +137,175 @@ proptest! {
                         }
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_support_matches_gather_and_measure(g in any_graph(), delta in 0u32..3) {
+        // The batched multi-candidate evaluator must be byte-identical to
+        // the retained per-candidate gather_into + support_with path, for
+        // all four support measures, over every candidate of every sampled
+        // pattern (siblings share one prepared parent, as in the engine).
+        let data = MiningData::Single(&g);
+        let config = SkinnyMineConfig::new(2, delta, 1).with_report(ReportMode::All);
+        let grower = LevelGrow::new(data.clone(), &config);
+        let mut scratch = GrowScratch::new();
+        let mut batch = SupportBatch::new();
+        let mut support_scratch = SupportScratch::new();
+        let mut gathered = skinny_graph::OccurrenceStore::new(0);
+        for pattern in sample_patterns(&g, &grower, delta, &mut scratch) {
+            scratch.ext.build(&pattern, &data, delta);
+            let table = &scratch.ext.table;
+            for measure in [
+                SupportMeasure::EmbeddingCount,
+                SupportMeasure::DistinctVertexSets,
+                SupportMeasure::MinimumImage,
+                SupportMeasure::Transactions,
+            ] {
+                batch.invalidate();
+                for i in 0..table.candidate_count() {
+                    let adds_vertex = !matches!(table.extension(i), Extension::ClosingEdge { .. });
+                    let batched = batch.support_extended(
+                        &pattern.embeddings,
+                        measure,
+                        table.entries(i),
+                        adds_vertex,
+                    );
+                    table.gather_into(i, &pattern.embeddings, &mut gathered);
+                    let reference = gathered.support_with(measure, &mut support_scratch);
+                    prop_assert_eq!(
+                        batched,
+                        reference,
+                        "measure {:?}, candidate {:?}",
+                        measure,
+                        table.extension(i)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_support_is_verdict_equivalent(g in any_graph(), delta in 0u32..3, sigma in 1usize..4) {
+        // The early-exiting evaluator must be *exact* for every candidate at
+        // or above the threshold (the closure-jump advance compares support
+        // values, not just verdicts) and may return any value below the
+        // threshold for a reject — both facts checked against the exhaustive
+        // evaluator on the same prepared parent.
+        let data = MiningData::Single(&g);
+        let config = SkinnyMineConfig::new(2, delta, 1).with_report(ReportMode::All);
+        let grower = LevelGrow::new(data.clone(), &config);
+        let mut scratch = GrowScratch::new();
+        let mut batch = SupportBatch::new();
+        for pattern in sample_patterns(&g, &grower, delta, &mut scratch) {
+            scratch.ext.build(&pattern, &data, delta);
+            let table = &scratch.ext.table;
+            for measure in [
+                SupportMeasure::EmbeddingCount,
+                SupportMeasure::DistinctVertexSets,
+                SupportMeasure::MinimumImage,
+                SupportMeasure::Transactions,
+            ] {
+                batch.invalidate();
+                for i in 0..table.candidate_count() {
+                    let adds_vertex = !matches!(table.extension(i), Extension::ClosingEdge { .. });
+                    let exact = batch.support_extended(
+                        &pattern.embeddings,
+                        measure,
+                        table.entries(i),
+                        adds_vertex,
+                    );
+                    let pruned = batch.support_extended_pruned(
+                        &pattern.embeddings,
+                        measure,
+                        table.entries(i),
+                        adds_vertex,
+                        sigma,
+                    );
+                    if exact >= sigma {
+                        prop_assert_eq!(
+                            pruned,
+                            exact,
+                            "survivor must be exact: measure {:?}, sigma {}, candidate {:?}",
+                            measure,
+                            sigma,
+                            table.extension(i)
+                        );
+                    } else {
+                        prop_assert!(
+                            pruned < sigma,
+                            "reject verdict lost: measure {:?}, sigma {}, pruned {}, exact {}",
+                            measure,
+                            sigma,
+                            pruned,
+                            exact
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refilter_matches_rescan_after_advance(g in any_graph(), delta in 0u32..3) {
+        // A closure-jump greedy advance refilters the pass-start table in
+        // place instead of re-sweeping the data.  For every candidate the
+        // advance was applied over, the refiltered entry list must gather
+        // the advanced pattern's occurrence rows byte-identically to the
+        // reference full re-scan — the engine's byte-identity across
+        // engines rests on it.
+        let data = MiningData::Single(&g);
+        let config = SkinnyMineConfig::new(2, delta, 1).with_report(ReportMode::All);
+        let grower = LevelGrow::new(data.clone(), &config);
+        let mut scratch = GrowScratch::new();
+        for pattern in sample_patterns(&g, &grower, delta, &mut scratch) {
+            scratch.ext.build(&pattern, &data, delta);
+            let count = scratch.ext.table.candidate_count();
+            let mut advances = 0usize;
+            for i in 0..count {
+                let child = {
+                    let table = &scratch.ext.table;
+                    let ext = table.extension(i).clone();
+                    let embeddings = table.gather(i, &pattern.embeddings);
+                    if embeddings.is_empty() {
+                        continue;
+                    }
+                    let structure = pattern.apply_structure(&ext);
+                    let check = skinnymine::check_extension(
+                        &pattern,
+                        &ext,
+                        &structure,
+                        delta,
+                        skinnymine::ConstraintCheckMode::Fast,
+                    );
+                    if check.verdict.is_err() {
+                        continue;
+                    }
+                    pattern.assemble(ext, structure, embeddings)
+                };
+                scratch.ext.refilter(i, pattern.embeddings.len());
+                let table = &scratch.ext.table;
+                // candidate list and order untouched
+                prop_assert_eq!(table.candidate_count(), count);
+                for j in 0..count {
+                    let gathered = table.gather(j, &child.embeddings);
+                    let rescanned = child.extend_embeddings(&data, table.extension(j));
+                    prop_assert_eq!(
+                        &gathered,
+                        &rescanned,
+                        "advance {:?} then candidate {:?}",
+                        scratch.ext.table.extension(i),
+                        scratch.ext.table.extension(j)
+                    );
+                }
+                advances += 1;
+                if advances >= 4 {
+                    break;
+                }
+                // the refilter consumed the table; restore it for the next
+                // simulated advance of the same pass-start pattern
+                scratch.ext.build(&pattern, &data, delta);
             }
         }
     }

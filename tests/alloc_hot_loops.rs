@@ -14,7 +14,9 @@
 //! below the scanned-row count.  Everything runs inside one `#[test]` so no
 //! concurrent test thread can pollute the counter.
 
-use skinny_graph::{CanonSet, Label, LabeledGraph, SupportMeasure, VertexId, VertexMarks};
+use skinny_graph::{
+    CanonSet, GroupSorter, Label, LabeledGraph, SupportBatch, SupportMeasure, VertexId, VertexMarks,
+};
 use skinnymine::{
     DiamMine, Extension, ExtensionScratch, GrownPattern, MinimalPatternIndex, MiningData, ReportMode,
     SkinnyMineConfig, StructScratch,
@@ -179,6 +181,101 @@ fn hot_loops_allocate_per_pattern_not_per_row() {
         gather_allocs < 8,
         "gather allocated {gather_allocs} times for {rows} gathered rows — \
          the store must be pre-sized from the incidence count"
+    );
+
+    // ---- Stage II batched support: warm pass is allocation-free ---------
+    // the batched evaluator's steady state: per-parent rank tables and all
+    // per-candidate scratch reach full size during warm-up, after which a
+    // fresh prepare (invalidate + re-prepare, as on every table rebuild)
+    // plus candidate scoring — for all four measures — allocates nothing
+    let all_measures = [
+        SupportMeasure::EmbeddingCount,
+        SupportMeasure::Transactions,
+        SupportMeasure::MinimumImage,
+        SupportMeasure::DistinctVertexSets,
+    ];
+    let entries = ext_scratch.table.entries(0);
+    // a single data graph is one transaction; every other measure sees the
+    // 200 disjoint embeddings
+    let expected = |measure| if measure == SupportMeasure::Transactions { 1 } else { rows as usize };
+    let mut batch = SupportBatch::new();
+    for measure in all_measures {
+        batch.invalidate();
+        assert_eq!(batch.support_extended(&pattern.embeddings, measure, entries, true), expected(measure));
+    }
+    let (batch_allocs, ()) = counted(|| {
+        for measure in all_measures {
+            batch.invalidate();
+            assert_eq!(
+                batch.support_extended(&pattern.embeddings, measure, entries, true),
+                expected(measure)
+            );
+        }
+    });
+    assert_eq!(
+        batch_allocs, 0,
+        "warm batched support allocated {batch_allocs} times across 4 measures × {rows} rows — \
+         rank tables and scoring scratch must be fully reused"
+    );
+    // the early-exiting variant shares every buffer with the exhaustive one:
+    // warm evaluation at any threshold allocates nothing either
+    let (pruned_allocs, ()) = counted(|| {
+        for measure in all_measures {
+            batch.invalidate();
+            for sigma in [1usize, rows as usize + 1] {
+                let sup = batch.support_extended_pruned(&pattern.embeddings, measure, entries, true, sigma);
+                if sigma <= expected(measure) {
+                    assert_eq!(sup, expected(measure));
+                } else {
+                    assert!(sup < sigma);
+                }
+            }
+        }
+    });
+    assert_eq!(
+        pruned_allocs, 0,
+        "warm pruned support allocated {pruned_allocs} times — \
+         it must reuse the exhaustive evaluator's buffers"
+    );
+
+    // ---- Stage II table refilter: warm advance is allocation-free -------
+    // a closure-jump greedy advance refilters the table through the applied
+    // candidate's row expansion; with warm double buffers the rewrite must
+    // not allocate (the engine refilters once per advance, deep in the hot
+    // loop)
+    ext_scratch.build(&pattern, &data, 2);
+    ext_scratch.refilter(0, pattern.embeddings.len());
+    ext_scratch.build(&pattern, &data, 2);
+    let (refilter_allocs, ()) = counted(|| ext_scratch.refilter(0, pattern.embeddings.len()));
+    assert_eq!(ext_scratch.table.candidate_count(), 1);
+    assert!(
+        refilter_allocs == 0,
+        "warm table refilter allocated {refilter_allocs} times for {rows} remapped rows — \
+         the entry rewrite must reuse its double buffers"
+    );
+
+    // ---- GroupSorter kernel: warm histogram+scatter is allocation-free --
+    // the grouping kernel under the extension table: once its buffers have
+    // seen the problem size, both the index-emitting and payload-scattering
+    // forms must allocate nothing
+    let mut sorter = GroupSorter::new();
+    let kernel_items = 512u32;
+    let kernel_groups = 7usize;
+    let group_of_item: Vec<u32> = (0..kernel_items).map(|i| i % kernel_groups as u32).collect();
+    let payload: Vec<u32> = (0..kernel_items).collect();
+    let (mut offsets, mut order, mut scattered) = (Vec::new(), Vec::new(), Vec::new());
+    sorter.group_into(&group_of_item, kernel_groups, &mut offsets, &mut order);
+    sorter.scatter_by_group(&group_of_item, &payload, kernel_groups, &mut offsets, &mut scattered);
+    let (sorter_allocs, ()) = counted(|| {
+        sorter.group_into(&group_of_item, kernel_groups, &mut offsets, &mut order);
+        sorter.scatter_by_group(&group_of_item, &payload, kernel_groups, &mut offsets, &mut scattered);
+    });
+    assert_eq!(order.len(), kernel_items as usize);
+    assert_eq!(scattered.len(), kernel_items as usize);
+    assert_eq!(
+        sorter_allocs, 0,
+        "warm GroupSorter kernel allocated {sorter_allocs} times for {kernel_items} items — \
+         the histogram/scatter passes must reuse every buffer"
     );
 
     // ---- Stage II canonical dedup: fingerprint-reject path --------------
