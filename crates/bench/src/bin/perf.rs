@@ -1,13 +1,16 @@
 //! `perf` — the Stage-I/II hot-loop timing experiment.
 //!
 //! ```text
-//! Usage: perf [--divisor N] [--seed S] [--threads T] [--out PATH]
+//! Usage: perf [--divisor N] [--seed S] [--threads T] [--scale X] [--out PATH]
 //!        perf --check PATH
 //!
 //!   --divisor N   down-scaling divisor for the preset graph (default 10)
 //!   --seed S      RNG seed (default 20130622)
 //!   --threads T   worker count of the headline run (default 1); the
 //!                 scaling sweep always covers {1, 2, 4, 8, 16}
+//!   --scale X     transaction-count divisor of the ingest section's XL
+//!                 corpus (default: the --divisor value; 1 = the full
+//!                 100k-transaction tier)
 //!   --out PATH    write BENCH_stage1.json-schema output to PATH
 //!                 (default: print to stdout)
 //!   --check PATH  validate an existing JSON file against the schema and
@@ -23,6 +26,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::quick();
     let mut threads = 1usize;
+    let mut xl_scale: Option<usize> = None;
     let mut out: Option<String> = None;
     let mut check: Option<String> = None;
 
@@ -41,6 +45,10 @@ fn main() {
                 i += 1;
                 threads = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(threads).max(1);
             }
+            "--scale" => {
+                i += 1;
+                xl_scale = args.get(i).and_then(|s| s.parse().ok()).map(|x: usize| x.max(1));
+            }
             "--out" => {
                 i += 1;
                 out = args.get(i).cloned();
@@ -51,7 +59,8 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: perf [--divisor N] [--seed S] [--threads T] [--out PATH] | perf --check PATH"
+                    "usage: perf [--divisor N] [--seed S] [--threads T] [--scale X] [--out PATH] \
+                     | perf --check PATH"
                 );
                 return;
             }
@@ -78,7 +87,7 @@ fn main() {
         return;
     }
 
-    let bench = run_stage1_perf(scale, threads);
+    let bench = run_stage1_perf(scale, threads, xl_scale.unwrap_or(scale.divisor.max(1)));
     let json = bench.to_json();
     eprintln!(
         "stage1 perf: |V| = {}, |E| = {}, divisor {} (phases: {})",
@@ -109,6 +118,32 @@ fn main() {
         eprintln!(
             "    t={:<2} grow {:.4}s ({:.2}x) | tasks {} steals {} merge-wait {:.4}s",
             p.threads, p.grow_seconds, p.speedup, p.tasks_executed, p.steals, p.merge_wait_seconds
+        );
+    }
+    eprintln!(
+        "  ingest: fig16 build reference {:.4}s -> arena {:.4}s ({:.2}x)",
+        bench.ingest.fig16_build_reference_seconds,
+        bench.ingest.fig16_build_arena_seconds,
+        bench.ingest.fig16_build_speedup,
+    );
+    eprintln!(
+        "  ingest xl (scale {}): {} transactions, |V| = {}, |E| = {} | datagen {:.3}s, \
+         seed {:.3}s, mine {:.3}s ({} patterns), arenas {} bytes, peak RSS {} bytes",
+        bench.ingest.xl_scale,
+        bench.ingest.xl_transactions,
+        bench.ingest.xl_vertices,
+        bench.ingest.xl_edges,
+        bench.ingest.datagen_seconds,
+        bench.ingest.seed_seconds,
+        bench.ingest.mine_seconds,
+        bench.ingest.mine_patterns,
+        bench.ingest.snapshot_arena_bytes,
+        bench.ingest.peak_rss_bytes,
+    );
+    for p in &bench.ingest.build_scaling {
+        eprintln!(
+            "    w={:<2} snapshot build {:.4}s ({:.0} transactions/s)",
+            p.workers, p.build_seconds, p.transactions_per_second
         );
     }
     match out {

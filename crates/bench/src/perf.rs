@@ -14,7 +14,14 @@
 //!   worker counts {1, 2, 4, 8, 16}, each point reporting the best grow
 //!   wall-clock, its speedup over the single-thread entry, and the pool
 //!   counters (tasks, steals, merge wait) that explain the curve's shape
-//!   on the machine at hand.
+//!   on the machine at hand;
+//! * Ingest (schema v5) — the front of the pipeline: the sort-based
+//!   reference snapshot build against the one-pass arena
+//!   [`skinny_graph::SnapshotBuilder`] on the Figure-16 graph, plus the XL
+//!   corpus tier ([`skinny_datagen::XlSetting`], 100k transactions at full
+//!   scale): sharded datagen, the {1, 2, 8}-worker snapshot
+//!   build-throughput sweep, sharded Stage-I seeding, an end-to-end mine,
+//!   and the arena / peak-RSS byte counters.
 //!
 //! The result serializes to the `BENCH_stage1.json` schema (emitted by the
 //! `perf` binary and archived by CI); [`check_schema`] validates a JSON
@@ -123,6 +130,66 @@ pub struct CanonComparison {
     pub early_aborts: u64,
 }
 
+/// One point of the XL snapshot build-throughput sweep (schema v5).
+#[derive(Debug, Clone)]
+pub struct BuildScalingPoint {
+    /// Pool worker count of this point.
+    pub workers: usize,
+    /// Best wall-clock seconds to freeze the whole XL corpus.
+    pub build_seconds: f64,
+    /// `transactions / build_seconds` of the best run.
+    pub transactions_per_second: f64,
+}
+
+/// The front-of-pipeline ingest section (schema v5): the before/after of
+/// the one-pass arena snapshot build on the Figure-16 graph, and the XL
+/// corpus tier — sharded datagen, the parallel snapshot build-throughput
+/// sweep, sharded Stage-I seeding, an end-to-end mine, and the memory
+/// counters that size the frozen corpus.
+#[derive(Debug, Clone)]
+pub struct IngestBench {
+    /// Seconds of the sort-based reference build of the Figure-16 graph
+    /// (best of repetitions; the pre-arena implementation, retained as
+    /// [`skinny_graph::CsrGraph::from_graph_reference`]).
+    pub fig16_build_reference_seconds: f64,
+    /// Seconds of the warm one-pass arena rebuild of the same graph.
+    pub fig16_build_arena_seconds: f64,
+    /// `reference / arena`.
+    pub fig16_build_speedup: f64,
+    /// Preset id of the scale tier (`xl`).
+    pub xl_preset: String,
+    /// Transaction-count divisor the run used (`<= 1` is the full 100k).
+    pub xl_scale: usize,
+    /// Transactions of the generated corpus.
+    pub xl_transactions: usize,
+    /// Total vertices of the generated corpus.
+    pub xl_vertices: usize,
+    /// Total edges of the generated corpus.
+    pub xl_edges: usize,
+    /// Seconds to generate the corpus (sharded datagen, single run).
+    pub datagen_seconds: f64,
+    /// Snapshot build-throughput sweep, ascending worker counts, first
+    /// point at 1 worker.
+    pub build_scaling: Vec<BuildScalingPoint>,
+    /// Bytes held by the frozen corpus's CSR arenas (sum of column
+    /// capacities).
+    pub snapshot_arena_bytes: usize,
+    /// Peak resident set of the process so far (`VmHWM`, 0 where
+    /// `/proc/self/status` is unavailable).
+    pub peak_rss_bytes: usize,
+    /// Seconds of sharded Stage-I seed enumeration over the frozen corpus
+    /// (best of repetitions).
+    pub seed_seconds: f64,
+    /// Seconds of the end-to-end mine on the frozen corpus (single run).
+    pub mine_seconds: f64,
+    /// Patterns the end-to-end mine reported (the planted pattern's
+    /// cluster must survive, so this is at least 1).
+    pub mine_patterns: usize,
+    /// One-sentence explanation of the build sweep's measured ceiling,
+    /// mirroring the top-level `scaling_note`.
+    pub scaling_note: String,
+}
+
 /// The full `perf` experiment result.
 #[derive(Debug, Clone)]
 pub struct Stage1Bench {
@@ -161,6 +228,8 @@ pub struct Stage1Bench {
     pub scaling_note: String,
     /// Before/after canonical-form comparison (dedup + structural build).
     pub canon: CanonComparison,
+    /// Front-of-pipeline ingest timings (arena build + XL scale tier).
+    pub ingest: IngestBench,
 }
 
 /// Measured repetitions per timed section (the minimum is reported, which is
@@ -196,8 +265,10 @@ fn assert_joins_agree(join: &str, reference: &[PathPattern], indexed: &[PathPatt
 /// Runs the `perf` experiment on the Figure-16 datagen preset (Erdős–Rényi
 /// background, degree 3, 10 labels — frequent paths abound, so the Stage-I
 /// joins carry real load).  The headline timings use `threads` workers; the
-/// scaling sweep always covers {1, 2, 4, 8, 16}.
-pub fn run_stage1_perf(scale: Scale, threads: usize) -> Stage1Bench {
+/// scaling sweep always covers {1, 2, 4, 8, 16}.  `xl_scale` divides the
+/// XL corpus's 100k transactions for the ingest section (`<= 1` runs the
+/// full tier).
+pub fn run_stage1_perf(scale: Scale, threads: usize, xl_scale: usize) -> Stage1Bench {
     let threads = threads.max(1);
     let sigma = 2;
     let vertices = (10_000 / scale.divisor.max(1)).max(400);
@@ -233,10 +304,12 @@ pub fn run_stage1_perf(scale: Scale, threads: usize) -> Stage1Bench {
         .with_threads(threads);
     // Stage II only: a full mine runs per repetition, but the reported
     // number is the run's LevelGrow stage duration, so "grow" does not
-    // double-count the separately reported Stage-I phases.  The
+    // double-count the separately reported Stage-I phases.  Every
+    // repetition mines the already-frozen snapshot, so the freeze cost is
+    // neither re-paid per rep nor smeared into the grow timing.  The
     // extension-indexed engine (the default) is the "grow" phase; the
     // retained reference engine is timed identically for the before/after.
-    let (best_grow, indexed_result) = best_grow_run(&config, &graph);
+    let (best_grow, indexed_result) = best_grow_run(&config, &data);
     phases.push(PhaseTiming {
         name: "grow".to_string(),
         seconds: best_grow,
@@ -244,7 +317,7 @@ pub fn run_stage1_perf(scale: Scale, threads: usize) -> Stage1Bench {
         rows: 0,
     });
     let (before_grow, reference_result) =
-        best_grow_run(&config.clone().with_grow_engine(GrowEngine::Reference), &graph);
+        best_grow_run(&config.clone().with_grow_engine(GrowEngine::Reference), &data);
     assert_grow_engines_agree(&reference_result, &indexed_result);
     let grow = GrowComparison {
         before_reference_seconds: before_grow,
@@ -267,7 +340,7 @@ pub fn run_stage1_perf(scale: Scale, threads: usize) -> Stage1Bench {
         let (seconds, result) = if t == threads {
             (best_grow, &indexed_result)
         } else {
-            let (s, r) = best_grow_run(&config.clone().with_threads(t), &graph);
+            let (s, r) = best_grow_run(&config.clone().with_threads(t), &data);
             owned = r;
             (s, &owned)
         };
@@ -350,8 +423,11 @@ pub fn run_stage1_perf(scale: Scale, threads: usize) -> Stage1Bench {
         },
     ];
 
+    // front of the pipeline: arena build before/after + the XL scale tier
+    let ingest = ingest_bench(&graph, threads, xl_scale, logical_cores);
+
     Stage1Bench {
-        schema_version: 4,
+        schema_version: 5,
         preset: "fig16-er-deg3-f10".to_string(),
         divisor: scale.divisor,
         seed: scale.seed,
@@ -366,6 +442,138 @@ pub fn run_stage1_perf(scale: Scale, threads: usize) -> Stage1Bench {
         grow_scaling,
         scaling_note,
         canon,
+        ingest,
+    }
+}
+
+/// Peak resident set (`VmHWM`) of this process in bytes, 0 where
+/// `/proc/self/status` is unavailable (non-Linux hosts).
+fn peak_rss_bytes() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1).and_then(|kb| kb.parse::<usize>().ok()))
+        })
+        .map(|kb| kb * 1024)
+        .unwrap_or(0)
+}
+
+/// Times the front of the pipeline: the one-pass arena build against the
+/// sort-based reference on the Figure-16 graph, then the XL corpus tier —
+/// sharded datagen, the {1, 2, 8}-worker snapshot build sweep (every point
+/// asserted byte-identical to the serial build), sharded Stage-I seeding,
+/// and an end-to-end mine that must recover the planted pattern.
+fn ingest_bench(
+    fig16: &skinny_graph::LabeledGraph,
+    threads: usize,
+    xl_scale: usize,
+    logical_cores: usize,
+) -> IngestBench {
+    use skinny_datagen::{generate_xl, XlSetting};
+    use skinny_graph::{CsrGraph, CsrSnapshot, SnapshotBuilder};
+
+    // -- fig16: sort-based reference build vs warm one-pass arena rebuild
+    let (fig16_reference, reference_csr) = time_best(|| CsrGraph::from_graph_reference(fig16));
+    let mut builder = SnapshotBuilder::new();
+    let mut arena_csr = builder.build(fig16); // warm the arenas and columns
+    let (fig16_arena, ()) = time_best(|| builder.build_into(fig16, &mut arena_csr));
+    assert_eq!(reference_csr, arena_csr, "ingest: reference and arena builds diverge");
+
+    // -- XL corpus: sharded datagen
+    let setting = XlSetting::scaled(xl_scale);
+    let t0 = Instant::now();
+    let db = generate_xl(&setting, threads);
+    let datagen_seconds = t0.elapsed().as_secs_f64();
+
+    // -- snapshot build-throughput sweep; every worker count must freeze
+    //    the corpus byte-identically (the determinism contract)
+    let mut build_scaling = Vec::new();
+    let mut serial_snapshot = None;
+    for workers in [1usize, 2, 8] {
+        let (build_seconds, snapshot) = time_best(|| CsrSnapshot::from_database_with_threads(&db, workers));
+        build_scaling.push(BuildScalingPoint {
+            workers,
+            build_seconds,
+            transactions_per_second: db.len() as f64 / build_seconds.max(f64::MIN_POSITIVE),
+        });
+        match &serial_snapshot {
+            None => serial_snapshot = Some(snapshot),
+            Some(serial) => {
+                assert_eq!(&snapshot, serial, "ingest: parallel snapshot build diverges")
+            }
+        }
+    }
+    let snapshot = serial_snapshot.expect("the sweep holds at least the 1-worker point");
+    let snapshot_arena_bytes = snapshot.heap_bytes();
+
+    // -- sharded Stage-I seeding over the frozen corpus; sigma matches the
+    //    planted pattern's frequency (every tenth transaction hosts it), so
+    //    the mine below recovers it at any corpus scale
+    let sigma = db.len().div_ceil(10).max(1);
+    let dm = DiamMine::new(MiningData::Snapshot(&snapshot), sigma, SupportMeasure::Transactions)
+        .with_threads(threads);
+    let (seed_seconds, _) = time_best(|| dm.frequent_edges());
+
+    // -- end-to-end mine (single run)
+    let mine_config = SkinnyMineConfig::new(setting.pattern_diameter, 2, sigma)
+        .with_length(LengthConstraint::Exactly(setting.pattern_diameter))
+        .with_support_measure(SupportMeasure::Transactions)
+        .with_report(ReportMode::Closed)
+        .with_exploration(Exploration::ClosureJump)
+        .with_threads(threads);
+    let t0 = Instant::now();
+    let result =
+        SkinnyMine::new(mine_config).mine_data(MiningData::Snapshot(&snapshot)).expect("valid config");
+    let mine_seconds = t0.elapsed().as_secs_f64();
+    assert!(!result.patterns.is_empty(), "ingest: the planted XL pattern was not recovered");
+
+    let base = &build_scaling[0];
+    let probe = build_scaling.last().expect("the sweep is non-empty");
+    let build_speedup = base.build_seconds / probe.build_seconds.max(f64::MIN_POSITIVE);
+    let scaling_note = if logical_cores < probe.workers {
+        format!(
+            "{}-worker snapshot build speedup {:.2}x on {} logical core(s): shard workers \
+             time-slice the same silicon, so throughput holds near the 1-worker {:.0} \
+             transactions/s; the win on this machine is the one-pass arena build itself \
+             ({:.2}x over the sort-based reference)",
+            probe.workers,
+            build_speedup,
+            logical_cores,
+            base.transactions_per_second,
+            fig16_reference / fig16_arena.max(f64::MIN_POSITIVE),
+        )
+    } else {
+        format!(
+            "{}-worker snapshot build speedup {:.2}x on {} logical cores ({:.0} -> {:.0} \
+             transactions/s)",
+            probe.workers,
+            build_speedup,
+            logical_cores,
+            base.transactions_per_second,
+            probe.transactions_per_second,
+        )
+    };
+
+    IngestBench {
+        fig16_build_reference_seconds: fig16_reference,
+        fig16_build_arena_seconds: fig16_arena,
+        fig16_build_speedup: fig16_reference / fig16_arena.max(f64::MIN_POSITIVE),
+        xl_preset: "xl".to_string(),
+        xl_scale,
+        xl_transactions: db.len(),
+        xl_vertices: db.total_vertices(),
+        xl_edges: db.total_edges(),
+        datagen_seconds,
+        build_scaling,
+        snapshot_arena_bytes,
+        peak_rss_bytes: peak_rss_bytes(),
+        seed_seconds,
+        mine_seconds,
+        mine_patterns: result.patterns.len(),
+        scaling_note,
     }
 }
 
@@ -429,14 +637,15 @@ fn canon_comparison(
     }
 }
 
-/// Mines `graph` [`REPS`] times with `config` and returns the best LevelGrow
+/// Mines `data` [`REPS`] times with `config` and returns the best LevelGrow
 /// stage duration together with the result of that best repetition (whose
-/// grow sub-timings belong to the reported number).
-fn best_grow_run(config: &SkinnyMineConfig, graph: &skinny_graph::LabeledGraph) -> (f64, MiningResult) {
+/// grow sub-timings belong to the reported number).  The caller passes
+/// already-frozen data so repetitions never re-pay the snapshot build.
+fn best_grow_run(config: &SkinnyMineConfig, data: &MiningData<'_>) -> (f64, MiningResult) {
     let mut best = f64::INFINITY;
     let mut out = None;
     for _ in 0..REPS {
-        let result = SkinnyMine::new(config.clone()).mine(graph).expect("valid config");
+        let result = SkinnyMine::new(config.clone()).mine_data(data.clone()).expect("valid config");
         let seconds = result.stats.level_grow.duration.as_secs_f64();
         if seconds < best {
             best = seconds;
@@ -558,6 +767,44 @@ impl Stage1Bench {
         s.push_str(&format!("    \"fingerprint_hits\": {},\n", self.canon.fingerprint_hits));
         s.push_str(&format!("    \"full_keys\": {},\n", self.canon.full_keys));
         s.push_str(&format!("    \"early_aborts\": {}\n", self.canon.early_aborts));
+        s.push_str("  },\n");
+        s.push_str("  \"ingest\": {\n");
+        s.push_str(&format!(
+            "    \"fig16_build_reference_seconds\": {:.6},\n",
+            self.ingest.fig16_build_reference_seconds
+        ));
+        s.push_str(&format!(
+            "    \"fig16_build_arena_seconds\": {:.6},\n",
+            self.ingest.fig16_build_arena_seconds
+        ));
+        s.push_str(&format!("    \"fig16_build_speedup\": {:.3},\n", self.ingest.fig16_build_speedup));
+        s.push_str(&format!("    \"xl_preset\": \"{}\",\n", self.ingest.xl_preset));
+        s.push_str(&format!("    \"xl_scale\": {},\n", self.ingest.xl_scale));
+        s.push_str(&format!("    \"xl_transactions\": {},\n", self.ingest.xl_transactions));
+        s.push_str(&format!("    \"xl_vertices\": {},\n", self.ingest.xl_vertices));
+        s.push_str(&format!("    \"xl_edges\": {},\n", self.ingest.xl_edges));
+        s.push_str(&format!("    \"datagen_seconds\": {:.6},\n", self.ingest.datagen_seconds));
+        s.push_str("    \"build_scaling\": [\n");
+        for (i, p) in self.ingest.build_scaling.iter().enumerate() {
+            s.push_str(&format!(
+                "      {{\"workers\": {}, \"build_seconds\": {:.6}, \
+                 \"transactions_per_second\": {:.1}}}{}\n",
+                p.workers,
+                p.build_seconds,
+                p.transactions_per_second,
+                if i + 1 < self.ingest.build_scaling.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("    ],\n");
+        s.push_str(&format!("    \"snapshot_arena_bytes\": {},\n", self.ingest.snapshot_arena_bytes));
+        s.push_str(&format!("    \"peak_rss_bytes\": {},\n", self.ingest.peak_rss_bytes));
+        s.push_str(&format!("    \"seed_seconds\": {:.6},\n", self.ingest.seed_seconds));
+        s.push_str(&format!("    \"mine_seconds\": {:.6},\n", self.ingest.mine_seconds));
+        s.push_str(&format!("    \"mine_patterns\": {},\n", self.ingest.mine_patterns));
+        s.push_str(&format!(
+            "    \"scaling_note\": \"{}\"\n",
+            self.ingest.scaling_note.replace('\\', "\\\\").replace('"', "\\\"")
+        ));
         s.push_str("  }\n}\n");
         s
     }
@@ -569,17 +816,21 @@ impl Stage1Bench {
 
 use crate::json::{Json, Reader};
 
-/// Validates a JSON document against the `BENCH_stage1.json` schema (v4):
-/// the top-level metadata fields (now including `threads` and
+/// Validates a JSON document against the `BENCH_stage1.json` schema (v5):
+/// the top-level metadata fields (including `threads` and
 /// `logical_cores`), at least the five canonical phases, both join
 /// comparisons, the Stage-II grow comparison with its five sub-timing
 /// fields (including the `canon` dedup bucket), the non-empty
 /// `grow_scaling` thread sweep (first point at 1 thread with speedup
 /// exactly 1.0, worker counts strictly ascending, pool counters present),
 /// the non-empty `scaling_note` string that explains the measured scaling
-/// ceiling, and the canonical-form `canon` comparison with its dedup/structure
-/// timings and funnel counters — all with finite non-negative values.
-/// Timings themselves are machine-dependent and never gated on.
+/// ceiling, the canonical-form `canon` comparison with its dedup/structure
+/// timings and funnel counters, and the v5 `ingest` section — the fig16
+/// build before/after, the XL corpus metadata and byte counters, and the
+/// non-empty `build_scaling` sweep (first point at 1 worker, worker counts
+/// strictly ascending) with its own non-empty `scaling_note` — all with
+/// finite non-negative values.  Timings themselves are machine-dependent
+/// and never gated on.
 pub fn check_schema(text: &str) -> Result<(), String> {
     let doc = Reader::new(text).value()?;
     let num_field = |obj: &Json, key: &str| -> Result<f64, String> {
@@ -588,7 +839,7 @@ pub fn check_schema(text: &str) -> Result<(), String> {
             .filter(|x| x.is_finite() && *x >= 0.0)
             .ok_or_else(|| format!("missing or invalid numeric field \"{key}\""))
     };
-    if num_field(&doc, "schema_version")? != 4.0 {
+    if num_field(&doc, "schema_version")? != 5.0 {
         return Err("unsupported schema_version".to_string());
     }
     match doc.get("experiment") {
@@ -707,6 +958,54 @@ pub fn check_schema(text: &str) -> Result<(), String> {
     ] {
         num_field(canon, key)?;
     }
+    let Some(ingest @ Json::Obj(_)) = doc.get("ingest") else {
+        return Err("missing \"ingest\" section object".to_string());
+    };
+    for key in [
+        "fig16_build_reference_seconds",
+        "fig16_build_arena_seconds",
+        "fig16_build_speedup",
+        "xl_scale",
+        "xl_transactions",
+        "xl_vertices",
+        "xl_edges",
+        "datagen_seconds",
+        "snapshot_arena_bytes",
+        "peak_rss_bytes",
+        "seed_seconds",
+        "mine_seconds",
+        "mine_patterns",
+    ] {
+        num_field(ingest, key)?;
+    }
+    match ingest.get("xl_preset") {
+        Some(Json::Str(p)) if !p.is_empty() => {}
+        _ => return Err("missing or empty ingest \"xl_preset\" string".to_string()),
+    }
+    let Some(Json::Arr(builds)) = ingest.get("build_scaling") else {
+        return Err("missing ingest \"build_scaling\" array".to_string());
+    };
+    if builds.is_empty() {
+        return Err("\"build_scaling\" must contain at least the 1-worker point".to_string());
+    }
+    let mut prev_workers = 0.0;
+    for (i, p) in builds.iter().enumerate() {
+        for key in ["workers", "build_seconds", "transactions_per_second"] {
+            num_field(p, key)?;
+        }
+        let w = num_field(p, "workers")?;
+        if w <= prev_workers {
+            return Err("build_scaling worker counts must be strictly ascending".to_string());
+        }
+        prev_workers = w;
+        if i == 0 && w != 1.0 {
+            return Err("the first build_scaling point must be the 1-worker baseline".to_string());
+        }
+    }
+    match ingest.get("scaling_note") {
+        Some(Json::Str(note)) if !note.is_empty() => {}
+        _ => return Err("missing or empty ingest \"scaling_note\" string".to_string()),
+    }
     Ok(())
 }
 
@@ -716,7 +1015,7 @@ mod tests {
 
     #[test]
     fn emitted_json_passes_the_schema_check() {
-        let bench = run_stage1_perf(Scale { divisor: 64, seed: 7 }, 1);
+        let bench = run_stage1_perf(Scale { divisor: 64, seed: 7 }, 1, 2000);
         let json = bench.to_json();
         check_schema(&json).expect("emitted JSON must satisfy its own schema");
         assert!(bench.phases.iter().any(|p| p.name == "seed" && p.patterns > 0));
@@ -725,18 +1024,27 @@ mod tests {
         assert_eq!(bench.grow_scaling[0].speedup, 1.0);
         // the ceiling explanation is generated, never left blank
         assert!(bench.scaling_note.contains("grow speedup"));
+        // the ingest section: xl_scale 2000 leaves 50 transactions, the
+        // build sweep anchors at 1 worker, and the planted pattern survives
+        // the end-to-end mine
+        assert_eq!(bench.ingest.xl_transactions, 50);
+        assert_eq!(bench.ingest.build_scaling.iter().map(|p| p.workers).collect::<Vec<_>>(), [1, 2, 8]);
+        assert!(bench.ingest.mine_patterns >= 1);
+        assert!(bench.ingest.snapshot_arena_bytes > 0);
+        assert!(bench.ingest.scaling_note.contains("snapshot build speedup"));
     }
 
     #[test]
     fn schema_check_rejects_malformed_documents() {
         assert!(check_schema("{}").is_err());
         assert!(check_schema("not json").is_err());
-        // the pre-grow, pre-canon and pre-scaling schema versions are no
-        // longer accepted
+        // the pre-grow, pre-canon, pre-scaling and pre-ingest schema
+        // versions are no longer accepted
         assert!(check_schema("{\"schema_version\": 1}").is_err());
         assert!(check_schema("{\"schema_version\": 2}").is_err());
         assert!(check_schema("{\"schema_version\": 3}").is_err());
-        let truncated = "{\"schema_version\": 4, \"experiment\": \"stage1_perf\"}";
+        assert!(check_schema("{\"schema_version\": 4}").is_err());
+        let truncated = "{\"schema_version\": 5, \"experiment\": \"stage1_perf\"}";
         assert!(check_schema(truncated).is_err());
     }
 
@@ -762,7 +1070,7 @@ mod tests {
             )
         };
         let valid = format!(
-            "{{\"schema_version\": 4, \"experiment\": \"stage1_perf\", \"divisor\": 4, \"seed\": 1, \
+            "{{\"schema_version\": 5, \"experiment\": \"stage1_perf\", \"divisor\": 4, \"seed\": 1, \
              \"vertices\": 10, \"edges\": 9, \"sigma\": 2, \"threads\": 1, \"logical_cores\": 8, \
              \"phases\": [{}], \"joins\": [{}, {}], \
              \"grow\": {{\"before_reference_seconds\": 0.4, \"after_indexed_seconds\": 0.2, \
@@ -773,7 +1081,17 @@ mod tests {
              \"canon\": {{\"dedup_before_seconds\": 0.2, \"dedup_after_seconds\": 0.1, \
              \"dedup_speedup\": 2.0, \"structure_before_seconds\": 0.2, \
              \"structure_after_seconds\": 0.1, \"structure_speedup\": 2.0, \
-             \"fingerprint_hits\": 5, \"full_keys\": 3, \"early_aborts\": 9}}}}",
+             \"fingerprint_hits\": 5, \"full_keys\": 3, \"early_aborts\": 9}}, \
+             \"ingest\": {{\"fig16_build_reference_seconds\": 0.2, \
+             \"fig16_build_arena_seconds\": 0.1, \"fig16_build_speedup\": 2.0, \
+             \"xl_preset\": \"xl\", \"xl_scale\": 512, \"xl_transactions\": 195, \
+             \"xl_vertices\": 5000, \"xl_edges\": 6000, \"datagen_seconds\": 0.3, \
+             \"build_scaling\": [{{\"workers\": 1, \"build_seconds\": 0.2, \
+             \"transactions_per_second\": 975.0}}, {{\"workers\": 2, \"build_seconds\": 0.1, \
+             \"transactions_per_second\": 1950.0}}], \"snapshot_arena_bytes\": 123456, \
+             \"peak_rss_bytes\": 1000000, \"seed_seconds\": 0.05, \"mine_seconds\": 0.4, \
+             \"mine_patterns\": 1, \
+             \"scaling_note\": \"1 core, arena build carries the win\"}}}}",
             ["seed", "concat2", "concat4", "merge6", "grow"].map(phase).join(", "),
             join("concat"),
             join("merge"),
@@ -818,5 +1136,18 @@ mod tests {
         assert!(check_schema(&not_ascending).unwrap_err().contains("ascending"));
         let without_counters = valid.replacen("\"merge_wait_seconds\": 0.01, ", "", 1);
         assert!(check_schema(&without_counters).unwrap_err().contains("merge_wait_seconds"));
+        // schema v5 gates: the ingest section, its build sweep, and its note
+        let without_ingest = valid.replace("\"ingest\": {\"fig16", "\"ingested\": {\"fig16");
+        assert!(check_schema(&without_ingest).unwrap_err().contains("ingest"));
+        let without_build_scaling = valid.replace("\"build_scaling\"", "\"builds\"");
+        assert!(check_schema(&without_build_scaling).unwrap_err().contains("build_scaling"));
+        let wrong_build_baseline = valid.replacen("{\"workers\": 1,", "{\"workers\": 3,", 1);
+        assert!(check_schema(&wrong_build_baseline).unwrap_err().contains("1-worker"));
+        let without_preset = valid.replace("\"xl_preset\": \"xl\", ", "");
+        assert!(check_schema(&without_preset).unwrap_err().contains("xl_preset"));
+        let without_arena_bytes = valid.replace("\"snapshot_arena_bytes\": 123456, ", "");
+        assert!(check_schema(&without_arena_bytes).unwrap_err().contains("snapshot_arena_bytes"));
+        let empty_ingest_note = valid.replace("\"1 core, arena build carries the win\"", "\"\"");
+        assert!(check_schema(&empty_ingest_note).unwrap_err().contains("scaling_note"));
     }
 }

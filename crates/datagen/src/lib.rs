@@ -12,7 +12,12 @@
 //! * [`dblp`] — simulated DBLP temporal collaboration graphs (§6.3);
 //! * [`weibo`] — simulated Sina-Weibo conversation graphs (§6.3).
 //!
-//! All generators are deterministic given their seed.
+//! All generators are deterministic given their seed.  The corpus-scale
+//! generators ([`presets::generate_xl`], [`dblp::generate_dblp_sharded`],
+//! [`weibo::generate_weibo_sharded`]) additionally derive every
+//! transaction's RNG stream from [`splitmix64`] of `(seed, transaction)`
+//! alone, so [`build_sharded`] can evaluate transactions on any number of
+//! pool workers and still produce the byte-identical database.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -24,14 +29,93 @@ pub mod patterns;
 pub mod presets;
 pub mod weibo;
 
-pub use dblp::{generate_dblp, DblpConfig};
+pub use dblp::{generate_dblp, generate_dblp_sharded, DblpConfig};
 pub use er::{erdos_renyi, ErConfig};
 pub use inject::{inject_patterns, Injection, PlantedCopy};
 pub use patterns::{
     compact_pattern, skinny_pattern, table3_pattern, CompactPatternConfig, SkinnyPatternConfig,
 };
 pub use presets::{
-    generate_gid, generate_table3, generate_transaction_database, gid_setting, GidSetting,
-    ScalabilitySetting, Table3Row, Table3Setting, TransactionSetting, GID_SETTINGS, TABLE3_ROWS,
+    generate_gid, generate_table3, generate_transaction_database, generate_xl, gid_setting, GidSetting,
+    ScalabilitySetting, Table3Row, Table3Setting, TransactionSetting, XlSetting, GID_SETTINGS, TABLE3_ROWS,
 };
-pub use weibo::{generate_weibo, WeiboConfig};
+pub use weibo::{generate_weibo, generate_weibo_sharded, WeiboConfig};
+
+use skinny_graph::{GraphDatabase, LabeledGraph};
+
+/// SplitMix64 — the stateless 64-bit mixer used to derive independent
+/// per-transaction RNG seeds from `(corpus seed, transaction index)`.
+///
+/// Unlike a shared sequential RNG, a derived seed makes every transaction a
+/// pure function of its index, which is what lets sharded generation produce
+/// byte-identical corpora for every worker count.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Builds a transaction database by evaluating `build(t)` for every
+/// `t in 0..transactions`, sharded across `threads` pool workers
+/// ([`skinny_pool::chunk_ranges`] chunks, stitched back in transaction
+/// order).
+///
+/// `build` must be a pure function of `t` (derive its RNG via
+/// [`splitmix64`]), which makes the result **byte-identical** for every
+/// thread count.
+pub fn build_sharded<F>(transactions: usize, threads: usize, build: F) -> GraphDatabase
+where
+    F: Fn(usize) -> LabeledGraph + Sync,
+{
+    if threads <= 1 || transactions < 2 {
+        GraphDatabase::from_graphs((0..transactions).map(build).collect())
+    } else {
+        let ranges = skinny_pool::chunk_ranges(transactions, threads, 4);
+        let chunks: Vec<Vec<LabeledGraph>> = skinny_pool::run_with(
+            threads,
+            ranges.len(),
+            || (),
+            |_, c| ranges[c].clone().map(&build).collect(),
+        );
+        let mut graphs = Vec::with_capacity(transactions);
+        for chunk in chunks {
+            graphs.extend(chunk);
+        }
+        GraphDatabase::from_graphs(graphs)
+    }
+}
+
+#[cfg(test)]
+mod shard_tests {
+    use super::*;
+    use skinny_graph::Label;
+
+    #[test]
+    fn splitmix64_is_a_bijective_mixer() {
+        assert_ne!(splitmix64(0), 0);
+        assert_ne!(splitmix64(1), splitmix64(2));
+        // fixed value so the derived streams never silently change
+        assert_eq!(splitmix64(0), 0xe220_a839_7b1d_cdaf);
+    }
+
+    #[test]
+    fn build_sharded_is_thread_count_invariant() {
+        let build = |t: usize| {
+            let n = 2 + (splitmix64(t as u64) % 5) as usize;
+            let labels: Vec<Label> =
+                (0..n).map(|i| Label((splitmix64(t as u64 ^ i as u64) % 7) as u32)).collect();
+            let edges: Vec<(u32, u32, Label)> =
+                (1..n as u32).map(|i| (i - 1, i, Label::DEFAULT_EDGE)).collect();
+            LabeledGraph::from_parts(&labels, edges).unwrap()
+        };
+        let serial = build_sharded(37, 1, build);
+        for threads in [2, 8] {
+            let sharded = build_sharded(37, threads, build);
+            assert_eq!(sharded.len(), serial.len());
+            for i in 0..serial.len() {
+                assert_eq!(sharded[i], serial[i]);
+            }
+        }
+    }
+}

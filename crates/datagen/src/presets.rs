@@ -453,6 +453,115 @@ impl ScalabilitySetting {
     }
 }
 
+/// The 100k-transaction "XL" scale tier: a corpus of many small labeled ER
+/// transactions with one recurring planted skinny pattern.
+///
+/// This is not a paper figure — it is the ingest-benchmark tier that
+/// exercises snapshot construction and Stage-I seeding at corpus scale
+/// (the paper's largest transaction setting, Figure 16, stops at 10
+/// transactions of 10k vertices; real transaction databases are the
+/// opposite shape).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct XlSetting {
+    /// Number of transactions in the corpus.
+    pub transactions: usize,
+    /// Vertices per transaction background graph.
+    pub transaction_vertices: usize,
+    /// Average background degree.
+    pub average_degree: f64,
+    /// Label alphabet size.
+    pub labels: u32,
+    /// Vertices of the planted skinny pattern.
+    pub pattern_vertices: usize,
+    /// Diameter of the planted skinny pattern.
+    pub pattern_diameter: usize,
+    /// Fraction of transactions carrying the planted pattern.
+    pub pattern_fraction: f64,
+    /// Corpus seed.
+    pub seed: u64,
+}
+
+impl XlSetting {
+    /// The full XL corpus: 100 000 transactions of 24 vertices each.
+    pub fn xl() -> Self {
+        XlSetting {
+            transactions: 100_000,
+            transaction_vertices: 24,
+            average_degree: 2.5,
+            labels: 12,
+            pattern_vertices: 9,
+            pattern_diameter: 6,
+            pattern_fraction: 0.1,
+            seed: 20130622,
+        }
+    }
+
+    /// The XL setting with its transaction count divided by `scale`
+    /// (CI smoke runs use a large `scale`; `scale <= 1` is the full corpus).
+    pub fn scaled(scale: usize) -> Self {
+        let full = Self::xl();
+        XlSetting { transactions: (full.transactions / scale.max(1)).max(1), ..full }
+    }
+
+    /// The planted pattern every `1 / pattern_fraction`-th transaction hosts.
+    pub fn planted_pattern(&self) -> LabeledGraph {
+        skinny_pattern(&SkinnyPatternConfig::new(
+            self.pattern_vertices,
+            self.pattern_diameter,
+            1,
+            self.labels,
+            self.seed,
+        ))
+    }
+}
+
+/// Generates the XL corpus on `threads` pool workers.
+///
+/// Every transaction derives its own RNG stream via [`crate::splitmix64`]
+/// from `(setting.seed, transaction index)` and hosts the planted pattern
+/// exactly when `t % stride == 0` (`stride = round(1 / pattern_fraction)`),
+/// so the corpus is **byte-identical for every thread count** — the property
+/// [`build_sharded`](crate::build_sharded) relies on and
+/// `sharded_generation_is_thread_count_invariant`-style tests pin.
+pub fn generate_xl(setting: &XlSetting, threads: usize) -> GraphDatabase {
+    use crate::er::erdos_renyi_with_rng;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use skinny_graph::{Label, VertexId};
+
+    let setting = *setting;
+    let pattern = setting.planted_pattern();
+    let stride = if setting.pattern_fraction > 0.0 {
+        ((1.0 / setting.pattern_fraction).round() as usize).max(1)
+    } else {
+        usize::MAX
+    };
+    let background_config =
+        ErConfig::new(setting.transaction_vertices, setting.average_degree, setting.labels, setting.seed);
+    crate::build_sharded(setting.transactions, threads, move |t| {
+        let mut rng =
+            StdRng::seed_from_u64(crate::splitmix64(setting.seed ^ crate::splitmix64(t as u64 + 1)));
+        let mut g = erdos_renyi_with_rng(&background_config, &mut rng);
+        if t % stride == 0 {
+            // append a verbatim copy of the pattern and tether it to the
+            // background by a single edge so the transaction stays connected
+            let base = g.vertex_count() as u32;
+            for &label in pattern.labels() {
+                g.add_vertex(label);
+            }
+            for e in pattern.edges() {
+                g.add_edge(VertexId(base + e.u.0), VertexId(base + e.v.0), e.label)
+                    .expect("appended pattern edges are fresh");
+            }
+            if base > 0 {
+                g.add_edge(VertexId(0), VertexId(base), Label::DEFAULT_EDGE)
+                    .expect("tether edge connects two previously separate components");
+            }
+        }
+        g
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -525,6 +634,38 @@ mod tests {
         let db = generate_transaction_database(&setting, 9);
         assert_eq!(db.len(), 4);
         assert!(db.iter().all(|(_, g)| g.vertex_count() == 120));
+    }
+
+    #[test]
+    fn xl_setting_scales_transaction_count_only() {
+        let full = XlSetting::xl();
+        assert_eq!(full.transactions, 100_000);
+        assert_eq!(full.transaction_vertices, 24);
+        let smoke = XlSetting::scaled(512);
+        assert_eq!(smoke.transactions, 195);
+        assert_eq!(smoke.transaction_vertices, full.transaction_vertices);
+        assert_eq!(smoke.seed, full.seed);
+        assert_eq!(XlSetting::scaled(usize::MAX).transactions, 1);
+    }
+
+    #[test]
+    fn generate_xl_is_thread_count_invariant_and_plants_the_pattern() {
+        let setting = XlSetting::scaled(1000); // 100 transactions
+        let serial = generate_xl(&setting, 1);
+        assert_eq!(serial.len(), 100);
+        for threads in [2, 8] {
+            let sharded = generate_xl(&setting, threads);
+            assert_eq!(sharded.len(), serial.len());
+            for i in 0..serial.len() {
+                assert_eq!(sharded[i], serial[i]);
+            }
+        }
+        // stride = 10 → transactions 0, 10, ..., 90 host the pattern
+        let pattern = setting.planted_pattern();
+        let a = analyze(&pattern).unwrap();
+        assert_eq!(a.diameter_length(), setting.pattern_diameter);
+        assert!(serial.transaction_support(&pattern) >= 10);
+        assert!(serial[0].vertex_count() > serial[1].vertex_count());
     }
 
     #[test]

@@ -80,6 +80,24 @@ pub fn generate_weibo(config: &WeiboConfig) -> GraphDatabase {
     db
 }
 
+/// Sharded variant of [`generate_weibo`]: every conversation draws from an
+/// independent RNG stream derived via [`crate::splitmix64`] from
+/// `(config.seed, conversation index)`, so the corpus can be generated on
+/// any number of pool workers and is byte-identical for every thread count.
+///
+/// Like [`generate_dblp_sharded`](crate::generate_dblp_sharded), the RNG
+/// discipline differs from the shared-stream serial generator, so the two
+/// corpora are different but individually deterministic data sets.
+pub fn generate_weibo_sharded(config: &WeiboConfig, threads: usize) -> GraphDatabase {
+    let config = *config;
+    crate::build_sharded(config.conversations, threads, move |c| {
+        let mut rng = StdRng::seed_from_u64(crate::splitmix64(config.seed ^ crate::splitmix64(c as u64 + 1)));
+        let engaged = (c as f64) < config.engagement_fraction * config.conversations as f64;
+        let chain = rng.gen_range(config.min_chain..=config.max_chain);
+        conversation_graph(chain, engaged, config.comment_rate, &mut rng)
+    })
+}
+
 /// Builds one conversation graph.
 ///
 /// * The diffusion chain is a path of `chain + 1` user nodes: the root, then
@@ -176,6 +194,27 @@ mod tests {
         )
         .unwrap();
         assert!(db.transaction_support(&pattern) >= 15);
+    }
+
+    #[test]
+    fn sharded_generation_is_thread_count_invariant() {
+        let config = WeiboConfig { conversations: 19, ..Default::default() };
+        let serial = generate_weibo_sharded(&config, 1);
+        assert_eq!(serial.len(), 19);
+        for threads in [2, 8] {
+            let sharded = generate_weibo_sharded(&config, threads);
+            assert_eq!(sharded.len(), serial.len());
+            for i in 0..serial.len() {
+                assert_eq!(sharded[i], serial[i]);
+            }
+        }
+        // engaged conversations (index-deterministic) still carry the twig
+        let pattern = LabeledGraph::from_unlabeled_edges(
+            &[OTHER, FOLLOWEE, FOLLOWER, FOLLOWER],
+            [(0, 1), (1, 2), (1, 3)],
+        )
+        .unwrap();
+        assert!(serial.transaction_support(&pattern) >= 5);
     }
 
     #[test]

@@ -18,6 +18,17 @@
 //! list's deterministic orders: neighbors ascend by id, and each triple
 //! bucket lists its edges in the global `(u asc, v asc)` scan order, so
 //! mining output is byte-identical to the adjacency-list path.
+//!
+//! Construction itself is a **one-pass counting-sort build**
+//! ([`SnapshotBuilder`]): the label partition and the triple index are laid
+//! out via histogram → prefix-sum → stable scatter over the vertex/edge scan
+//! order instead of sorting materialized `(key, payload)` pairs, all columns
+//! are written into reusable arenas (a warm re-freeze performs **zero** heap
+//! allocations), and [`CsrSnapshot::from_database_with_threads`] shards the
+//! per-transaction builds across pool workers with an index-addressed stitch
+//! that is byte-identical to the serial build by construction.  The original
+//! sort-based build is retained as [`CsrGraph::from_graph_reference`] — the
+//! parity oracle and ingest-benchmark baseline.
 
 use crate::graph::{LabeledGraph, VertexId};
 use crate::label::Label;
@@ -64,7 +75,36 @@ pub struct CsrGraph {
 
 impl CsrGraph {
     /// Builds the snapshot of `g`, preserving vertex ids and neighbor order.
+    ///
+    /// This is the one-pass counting-sort build; callers freezing many
+    /// graphs should hold a [`SnapshotBuilder`] and reuse its scratch.
     pub fn from_graph(g: &LabeledGraph) -> Self {
+        SnapshotBuilder::new().build(g)
+    }
+
+    /// An empty snapshot shell for [`SnapshotBuilder::build_into`] to fill.
+    fn empty() -> Self {
+        CsrGraph {
+            offsets: Vec::new(),
+            neighbors: Vec::new(),
+            edge_labels: Vec::new(),
+            vertex_labels: Vec::new(),
+            partition_labels: Vec::new(),
+            partition_offsets: Vec::new(),
+            partition_vertices: Vec::new(),
+            triple_keys: Vec::new(),
+            triple_offsets: Vec::new(),
+            triple_endpoints: Vec::new(),
+            edge_count: 0,
+        }
+    }
+
+    /// The retained sort-based build: materializes `(label, id)` and
+    /// `(triple, endpoints)` pairs and groups them with stable sorts.
+    ///
+    /// Byte-identical to [`CsrGraph::from_graph`] (property-tested); kept as
+    /// the parity oracle and as the ingest benchmark's pre-arena baseline.
+    pub fn from_graph_reference(g: &LabeledGraph) -> Self {
         let n = g.vertex_count();
         let mut offsets = Vec::with_capacity(n + 1);
         let mut neighbors = Vec::with_capacity(2 * g.edge_count());
@@ -265,6 +305,23 @@ impl CsrGraph {
         })
     }
 
+    /// Heap bytes held by this snapshot's column arenas (allocated
+    /// capacities, not just occupied lengths) — the ingest benchmark's
+    /// bytes-in-arenas counter.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.offsets.capacity() * size_of::<u32>()
+            + self.neighbors.capacity() * size_of::<VertexId>()
+            + self.edge_labels.capacity() * size_of::<Label>()
+            + self.vertex_labels.capacity() * size_of::<Label>()
+            + self.partition_labels.capacity() * size_of::<Label>()
+            + self.partition_offsets.capacity() * size_of::<u32>()
+            + self.partition_vertices.capacity() * size_of::<VertexId>()
+            + self.triple_keys.capacity() * size_of::<EdgeTriple>()
+            + self.triple_offsets.capacity() * size_of::<u32>()
+            + self.triple_endpoints.capacity() * size_of::<(VertexId, VertexId)>()
+    }
+
     /// Structural parity check against an adjacency-list graph: same labels,
     /// same neighbor slices, same edge count.  Test/verification helper.
     pub fn parity_with(&self, g: &LabeledGraph) -> bool {
@@ -315,6 +372,151 @@ impl GraphView for CsrGraph {
     }
 }
 
+/// Reusable scratch for the one-pass counting-sort CSR build.
+///
+/// The build never sorts materialized `(key, payload)` pairs: the label
+/// partition and the triple index are laid out by collecting the distinct
+/// keys into a small sorted scratch (one `Vec::insert` per *distinct* key,
+/// one binary search per element), prefix-summing the per-key counts into
+/// the offsets column, and scattering elements through per-key cursors in
+/// their original scan order — a stable counting sort, so every column is
+/// byte-identical to the sort-based reference build.
+///
+/// All intermediate state lives in this builder and all output columns are
+/// written with `clear` + `extend`/indexed stores, so freezing many
+/// transactions through one builder (or re-freezing into an existing
+/// [`CsrGraph`] via [`SnapshotBuilder::build_into`]) reaches a steady state
+/// with **zero** heap allocations per graph — pinned by the counting
+/// allocator in `tests/alloc_hot_loops.rs`.
+#[derive(Debug, Default)]
+pub struct SnapshotBuilder {
+    /// Distinct vertex labels of the current graph, ascending.
+    labels: Vec<Label>,
+    /// Per-label element counts, then (after the prefix sum) scatter cursors.
+    label_cursors: Vec<u32>,
+    /// Distinct canonical edge triples of the current graph, ascending.
+    triples: Vec<EdgeTriple>,
+    /// Per-triple element counts, then scatter cursors.
+    triple_cursors: Vec<u32>,
+}
+
+impl SnapshotBuilder {
+    /// A builder with empty scratch.
+    pub fn new() -> Self {
+        SnapshotBuilder::default()
+    }
+
+    /// Builds the snapshot of `g` into a fresh [`CsrGraph`].
+    pub fn build(&mut self, g: &LabeledGraph) -> CsrGraph {
+        let mut out = CsrGraph::empty();
+        self.build_into(g, &mut out);
+        out
+    }
+
+    /// Rebuilds `out` in place as the snapshot of `g`, reusing both the
+    /// builder's counting scratch and `out`'s column arenas.
+    pub fn build_into(&mut self, g: &LabeledGraph, out: &mut CsrGraph) {
+        let n = g.vertex_count();
+
+        // adjacency columns: already one pass in (vertex, neighbor) order
+        out.offsets.clear();
+        out.neighbors.clear();
+        out.edge_labels.clear();
+        out.offsets.reserve(n + 1);
+        out.neighbors.reserve(2 * g.edge_count());
+        out.edge_labels.reserve(2 * g.edge_count());
+        out.offsets.push(0u32);
+        for v in g.vertices() {
+            for (w, el) in g.neighbors(v) {
+                out.neighbors.push(w);
+                out.edge_labels.push(el);
+            }
+            out.offsets.push(out.neighbors.len() as u32);
+        }
+        out.vertex_labels.clear();
+        out.vertex_labels.extend_from_slice(g.labels());
+        out.edge_count = g.edge_count();
+
+        // vertex partition: count per distinct label, prefix-sum, then
+        // scatter vertices in ascending-id order — a stable counting sort
+        // equal to grouping a stable sort by (label, id)
+        self.labels.clear();
+        self.label_cursors.clear();
+        for &l in g.labels() {
+            match self.labels.binary_search(&l) {
+                Ok(i) => self.label_cursors[i] += 1,
+                Err(i) => {
+                    self.labels.insert(i, l);
+                    self.label_cursors.insert(i, 1);
+                }
+            }
+        }
+        out.partition_labels.clear();
+        out.partition_labels.extend_from_slice(&self.labels);
+        out.partition_offsets.clear();
+        out.partition_offsets.reserve(self.labels.len() + 1);
+        out.partition_offsets.push(0u32);
+        let mut total = 0u32;
+        for c in self.label_cursors.iter_mut() {
+            let count = *c;
+            *c = total; // cursor = the group's first slot
+            total += count;
+            out.partition_offsets.push(total);
+        }
+        out.partition_vertices.clear();
+        out.partition_vertices.resize(n, VertexId(0));
+        for v in g.vertices() {
+            let i = self
+                .labels
+                .binary_search(&g.label(v))
+                .expect("every vertex label was collected in the counting pass");
+            out.partition_vertices[self.label_cursors[i] as usize] = v;
+            self.label_cursors[i] += 1;
+        }
+
+        // triple index: same counting sort over the global edge scan, with
+        // endpoints oriented label-ascending (ties by vertex id)
+        self.triples.clear();
+        self.triple_cursors.clear();
+        for e in g.edges() {
+            let (lu, lv) = (g.label(e.u), g.label(e.v));
+            let key = if lu <= lv { (lu, e.label, lv) } else { (lv, e.label, lu) };
+            match self.triples.binary_search(&key) {
+                Ok(i) => self.triple_cursors[i] += 1,
+                Err(i) => {
+                    self.triples.insert(i, key);
+                    self.triple_cursors.insert(i, 1);
+                }
+            }
+        }
+        out.triple_keys.clear();
+        out.triple_keys.extend_from_slice(&self.triples);
+        out.triple_offsets.clear();
+        out.triple_offsets.reserve(self.triples.len() + 1);
+        out.triple_offsets.push(0u32);
+        let mut total = 0u32;
+        for c in self.triple_cursors.iter_mut() {
+            let count = *c;
+            *c = total;
+            total += count;
+            out.triple_offsets.push(total);
+        }
+        out.triple_endpoints.clear();
+        out.triple_endpoints.resize(g.edge_count(), (VertexId(0), VertexId(0)));
+        for e in g.edges() {
+            let (lu, lv) = (g.label(e.u), g.label(e.v));
+            let (key, endpoints) =
+                if lu <= lv { ((lu, e.label, lv), (e.u, e.v)) } else { ((lv, e.label, lu), (e.v, e.u)) };
+            let i = self
+                .triples
+                .binary_search(&key)
+                .expect("every edge triple was collected in the counting pass");
+            out.triple_endpoints[self.triple_cursors[i] as usize] = endpoints;
+            self.triple_cursors[i] += 1;
+        }
+    }
+}
+
 /// A per-transaction collection of CSR snapshots: the frozen form of a data
 /// graph or graph database, built once per mining transaction and then
 /// served read-only to any number of concurrent requests.
@@ -337,7 +539,37 @@ impl CsrSnapshot {
 
     /// Snapshot of every transaction of a database, in transaction order.
     pub fn from_database(db: &crate::transaction::GraphDatabase) -> Self {
-        CsrSnapshot { graphs: db.iter().map(|(_, g)| CsrGraph::from_graph(g)).collect(), transactional: true }
+        Self::from_database_with_threads(db, 1)
+    }
+
+    /// Snapshot of every transaction of a database, built per-shard on
+    /// `threads` pool workers.
+    ///
+    /// Transactions are chunked with [`skinny_pool::chunk_ranges`], each
+    /// worker freezes its shard through its own reused [`SnapshotBuilder`]
+    /// arena, and the shards are stitched back in chunk (= transaction)
+    /// order.  Every transaction's snapshot depends only on that
+    /// transaction's graph, so the result is **byte-identical** to the
+    /// serial build for every thread count (property-tested in
+    /// `crates/graph/tests/csr_properties.rs`).
+    pub fn from_database_with_threads(db: &crate::transaction::GraphDatabase, threads: usize) -> Self {
+        let n = db.len();
+        let graphs = if threads <= 1 || n < 2 {
+            let mut builder = SnapshotBuilder::new();
+            db.iter().map(|(_, g)| builder.build(g)).collect()
+        } else {
+            let ranges = skinny_pool::chunk_ranges(n, threads, 4);
+            let chunks: Vec<Vec<CsrGraph>> =
+                skinny_pool::run_with(threads, ranges.len(), SnapshotBuilder::new, |builder, c| {
+                    ranges[c].clone().map(|t| builder.build(&db[t])).collect()
+                });
+            let mut graphs = Vec::with_capacity(n);
+            for chunk in chunks {
+                graphs.extend(chunk);
+            }
+            graphs
+        };
+        CsrSnapshot { graphs, transactional: true }
     }
 
     /// True when the snapshot was built from a graph-transaction database
@@ -368,6 +600,12 @@ impl CsrSnapshot {
     /// Iterates over `(transaction index, snapshot)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &CsrGraph)> {
         self.graphs.iter().enumerate()
+    }
+
+    /// Total heap bytes held by the per-transaction column arenas
+    /// ([`CsrGraph::heap_bytes`] summed over transactions).
+    pub fn heap_bytes(&self) -> usize {
+        self.graphs.iter().map(CsrGraph::heap_bytes).sum()
     }
 }
 
@@ -454,6 +692,46 @@ mod tests {
         assert!(c.distinct_vertex_labels().is_empty());
         assert!(c.edge_triple_keys().is_empty());
         assert!(c.parity_with(&g));
+    }
+
+    #[test]
+    fn counting_sort_build_matches_reference() {
+        let g = graph();
+        assert_eq!(CsrGraph::from_graph(&g), CsrGraph::from_graph_reference(&g));
+        let empty = LabeledGraph::new();
+        assert_eq!(CsrGraph::from_graph(&empty), CsrGraph::from_graph_reference(&empty));
+        // unlabeled-edge single-label graph: one partition group, one triple
+        let path = LabeledGraph::from_unlabeled_edges(&[l(7), l(7), l(7)], [(0u32, 1u32), (1, 2)]).unwrap();
+        assert_eq!(CsrGraph::from_graph(&path), CsrGraph::from_graph_reference(&path));
+    }
+
+    #[test]
+    fn builder_reuse_and_in_place_rebuild() {
+        let g = graph();
+        let h = LabeledGraph::from_unlabeled_edges(&[l(3), l(4)], [(0u32, 1u32)]).unwrap();
+        let mut builder = SnapshotBuilder::new();
+        // the scratch carries no state between graphs
+        assert_eq!(builder.build(&g), CsrGraph::from_graph_reference(&g));
+        assert_eq!(builder.build(&h), CsrGraph::from_graph_reference(&h));
+        // in-place rebuild overwrites every column
+        let mut out = builder.build(&h);
+        builder.build_into(&g, &mut out);
+        assert_eq!(out, CsrGraph::from_graph_reference(&g));
+        assert!(out.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn parallel_database_build_matches_serial() {
+        let g = graph();
+        let h = LabeledGraph::from_unlabeled_edges(&[l(3), l(4), l(3)], [(0u32, 1u32), (1, 2)]).unwrap();
+        let graphs: Vec<LabeledGraph> =
+            (0..13).map(|i| if i % 3 == 0 { g.clone() } else { h.clone() }).collect();
+        let db = crate::transaction::GraphDatabase::from_graphs(graphs);
+        let serial = CsrSnapshot::from_database(&db);
+        for threads in [1, 2, 8] {
+            assert_eq!(CsrSnapshot::from_database_with_threads(&db, threads), serial);
+        }
+        assert!(serial.heap_bytes() > 0);
     }
 
     #[test]

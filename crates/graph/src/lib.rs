@@ -66,7 +66,7 @@ pub use canon::{
     fingerprint, is_minimal_with, min_dfs_code_into, min_dfs_code_with, CanonId, CanonScratch, CanonSet,
     CanonStats,
 };
-pub use csr::{CsrGraph, CsrSnapshot, EdgeTriple};
+pub use csr::{CsrGraph, CsrSnapshot, EdgeTriple, SnapshotBuilder};
 pub use dfscode::{canonical_key, is_min_code, min_dfs_code, DfsCode, DfsEdge};
 pub use distance::{
     all_pairs_distances, canonical_diameter, diameter, diameter_label_sequence_is_canonical,

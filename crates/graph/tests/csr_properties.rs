@@ -8,8 +8,8 @@
 
 use proptest::prelude::*;
 use skinny_graph::{
-    bfs_distances, find_embeddings, CsrGraph, EmbeddingSet, GraphDatabase, GraphView, Label, LabeledGraph,
-    OccurrenceStore, SubIsoOptions, SupportMeasure, VertexId,
+    bfs_distances, find_embeddings, CsrGraph, CsrSnapshot, EmbeddingSet, GraphDatabase, GraphView, Label,
+    LabeledGraph, OccurrenceStore, SnapshotBuilder, SubIsoOptions, SupportMeasure, VertexId,
 };
 
 /// Strategy: a random labeled graph with labeled edges (not necessarily
@@ -135,6 +135,44 @@ proptest! {
         prop_assert_eq!(store.len(), via_adj.len());
         for m in ALL_MEASURES {
             prop_assert_eq!(store.support(m), via_adj.support(m), "measure {:?}", m);
+        }
+    }
+
+    /// The one-pass counting-sort arena build emits the same columns as the
+    /// retained sort-based reference build, for fresh and warm builders
+    /// alike: every column, label partition and triple bucket is compared
+    /// through `CsrGraph`'s derived equality.
+    #[test]
+    fn arena_build_matches_reference_build(
+        db in proptest::collection::vec(any_graph(12, 4), 0..12),
+    ) {
+        let mut builder = SnapshotBuilder::new();
+        let seed_graph = LabeledGraph::from_parts(&[Label(0), Label(1)], [(0, 1, Label(0))]).unwrap();
+        let mut warm = CsrGraph::from_graph(&seed_graph);
+        for g in &db {
+            let reference = CsrGraph::from_graph_reference(g);
+            prop_assert_eq!(&CsrGraph::from_graph(g), &reference);
+            // the same builder across all graphs: no state carry-over
+            prop_assert_eq!(&builder.build(g), &reference);
+            // warm in-place rebuild into previously used columns
+            builder.build_into(g, &mut warm);
+            prop_assert_eq!(&warm, &reference);
+        }
+    }
+
+    /// Sharded parallel snapshot construction is byte-identical to the
+    /// serial build for every worker count, on arbitrary transaction
+    /// databases (chunk stitching must preserve transaction order and every
+    /// per-transaction column).
+    #[test]
+    fn parallel_snapshot_build_is_byte_identical(
+        db in proptest::collection::vec(any_graph(12, 4), 0..12),
+    ) {
+        let db = GraphDatabase::from_graphs(db);
+        let serial = CsrSnapshot::from_database(&db);
+        for threads in [1usize, 2, 8] {
+            let sharded = CsrSnapshot::from_database_with_threads(&db, threads);
+            prop_assert_eq!(&sharded, &serial, "threads {}", threads);
         }
     }
 

@@ -16,6 +16,7 @@
 use skinny_graph::{
     CsrSnapshot, GraphDatabase, GraphRef, GraphView, Label, LabeledGraph, Neighbors, VertexId,
 };
+use std::borrow::Cow;
 
 /// The data being mined: a single large graph or a transaction database, in
 /// either representation.
@@ -65,13 +66,24 @@ impl<'a> MiningData<'a> {
         }
     }
 
-    /// Freezes this data into per-transaction CSR snapshots (identity clone
-    /// when it already is one).
-    pub fn to_snapshot(&self) -> CsrSnapshot {
+    /// Freezes this data into per-transaction CSR snapshots.
+    ///
+    /// When the data already **is** a snapshot this is a cheap borrow — no
+    /// rebuild, no clone; call `.into_owned()` only when an owned snapshot
+    /// is genuinely required.
+    pub fn to_snapshot(&self) -> Cow<'a, CsrSnapshot> {
+        self.to_snapshot_with_threads(1)
+    }
+
+    /// [`MiningData::to_snapshot`] with the database setting frozen
+    /// per-shard on `threads` pool workers
+    /// ([`CsrSnapshot::from_database_with_threads`]); the result is
+    /// byte-identical for every thread count.
+    pub fn to_snapshot_with_threads(&self, threads: usize) -> Cow<'a, CsrSnapshot> {
         match self {
-            MiningData::Single(g) => CsrSnapshot::from_graph(g),
-            MiningData::Transactions(db) => CsrSnapshot::from_database(db),
-            MiningData::Snapshot(s) => (*s).clone(),
+            MiningData::Single(g) => Cow::Owned(CsrSnapshot::from_graph(g)),
+            MiningData::Transactions(db) => Cow::Owned(CsrSnapshot::from_database_with_threads(db, threads)),
+            MiningData::Snapshot(s) => Cow::Borrowed(*s),
         }
     }
 
@@ -246,7 +258,7 @@ mod tests {
         let g = graph();
         let adjacency: MiningData<'_> = (&g).into();
         let snapshot = adjacency.to_snapshot();
-        let data: MiningData<'_> = (&snapshot).into();
+        let data: MiningData<'_> = snapshot.as_ref().into();
         assert_eq!(data.transaction_count(), 1);
         assert!(!data.is_transactional());
         assert_eq!(data.total_vertices(), 3);
@@ -257,8 +269,12 @@ mod tests {
         let ns: Vec<_> = data.neighbors(0, VertexId(1)).collect();
         let ns_adj: Vec<_> = adjacency.neighbors(0, VertexId(1)).collect();
         assert_eq!(ns, ns_adj);
-        // re-snapshotting a snapshot is the identity
-        assert_eq!(data.to_snapshot(), snapshot);
+        // re-snapshotting a snapshot is a borrow of the existing snapshot,
+        // not a rebuild
+        let again = data.to_snapshot();
+        assert!(matches!(again, Cow::Borrowed(_)));
+        assert!(std::ptr::eq(again.as_ref(), &*snapshot));
+        assert_eq!(again.as_ref(), &*snapshot);
     }
 
     #[test]
@@ -270,9 +286,11 @@ mod tests {
         it.next();
         assert_eq!(it.len(), 2);
         let snapshot = data.to_snapshot();
-        let snap_data: MiningData<'_> = (&snapshot).into();
+        let snap_data: MiningData<'_> = snapshot.as_ref().into();
         assert_eq!(snap_data.transactions().len(), 3);
         assert!(snap_data.is_transactional());
+        // a parallel freeze of the database setting is byte-identical
+        assert_eq!(data.to_snapshot_with_threads(2).as_ref(), snapshot.as_ref());
     }
 
     #[test]

@@ -35,6 +35,11 @@ use skinny_graph::{
 };
 use std::collections::{BTreeMap, HashMap};
 
+/// Minimum transaction count before Stage-I seed enumeration shards the
+/// transaction walk across pool workers — below this the per-task dispatch
+/// overhead exceeds the walk itself.
+const MIN_PARALLEL_TXNS: usize = 64;
+
 /// Stage-I miner for frequent simple paths (and cycle seeds).
 #[derive(Debug, Clone)]
 pub struct DiamMine<'a> {
@@ -85,10 +90,48 @@ impl<'a> DiamMine<'a> {
     /// On snapshot-backed data this walks the CSR edge-triple index (one
     /// bucket per candidate path key); on adjacency-backed data it scans the
     /// edges once.  Both produce byte-identical patterns.
+    ///
+    /// With more than `MIN_PARALLEL_TXNS` transactions and `threads > 1`
+    /// the transaction walk is sharded across pool workers: each chunk
+    /// accumulates its own [`PatternTable`] and the partials merge in chunk
+    /// (= transaction) order, so slot order equals sequential
+    /// first-occurrence order and every pattern's posting list keeps the
+    /// sequential transaction order — the same argument that keeps the
+    /// occurrence joins byte-identical.
     pub fn frequent_edges(&self) -> Vec<PathPattern> {
-        let mut table = PatternTable::new();
-        let mut scratch = JoinScratch::new();
-        for (t, view) in self.data.transactions() {
+        let txns = self.data.transaction_count();
+        let table = if self.threads <= 1 || txns < MIN_PARALLEL_TXNS {
+            let mut table = PatternTable::new();
+            let mut scratch = JoinScratch::new();
+            self.seed_transactions(0..txns, &mut table, &mut scratch);
+            table
+        } else {
+            let ranges = skinny_pool::chunk_ranges(txns, self.threads, 4);
+            let partials =
+                skinny_pool::run_with(self.threads, ranges.len(), JoinScratch::new, |scratch, c| {
+                    let mut local = PatternTable::new();
+                    self.seed_transactions(ranges[c].clone(), &mut local, scratch);
+                    local
+                });
+            let mut merged = PatternTable::new();
+            for partial in partials {
+                merged.merge(partial);
+            }
+            merged
+        };
+        self.finalize(table.into_patterns())
+    }
+
+    /// Seed enumeration over one contiguous transaction shard, accumulating
+    /// into `table` — the per-task body of [`DiamMine::frequent_edges`].
+    fn seed_transactions(
+        &self,
+        range: std::ops::Range<usize>,
+        table: &mut PatternTable,
+        scratch: &mut JoinScratch,
+    ) {
+        for t in range {
+            let view = self.data.view(t);
             if let Some(csr) = view.as_csr() {
                 for ((la, el, lb), bucket) in csr.edge_triples() {
                     let pattern = table.slot_for(&[la, lb], &[el]);
@@ -111,7 +154,6 @@ impl<'a> DiamMine<'a> {
                 }
             }
         }
-        self.finalize(table.into_patterns())
     }
 
     /// The frequent length-1 path of one specific `(label, edge label,

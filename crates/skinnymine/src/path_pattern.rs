@@ -266,6 +266,18 @@ impl PatternTable {
         }
     }
 
+    /// Clears every slot's occurrence rows while keeping the interned keys,
+    /// slot order and lookup structure — a warm accumulator for repeated
+    /// shard merges over same-shaped corpora.  Re-merging partials whose
+    /// keys are already interned performs no heap allocation (pinned in
+    /// `tests/alloc_hot_loops.rs`).
+    pub fn reset_rows(&mut self) {
+        for slot in &mut self.slots {
+            let arity = slot.key.vertex_labels.len();
+            slot.embeddings.reset(arity);
+        }
+    }
+
     /// Consumes the table, returning the patterns in first-occurrence order.
     pub fn into_patterns(self) -> Vec<PathPattern> {
         self.slots

@@ -138,8 +138,10 @@ impl MinimalPatternIndex {
         threads: usize,
     ) -> Self {
         let t0 = Instant::now();
-        // one CSR freeze per build; Stage I and all request serving sweep it
-        let snapshot = data.view().to_snapshot();
+        // one CSR freeze per build (per-shard on the worker pool; a cheap
+        // borrow-then-own when the data is already frozen); Stage I and all
+        // request serving sweep it
+        let snapshot = data.view().to_snapshot_with_threads(threads).into_owned();
         let (by_length, cycles_by_diameter) = {
             let view = MiningData::Snapshot(&snapshot);
             let dm = DiamMine::new(view, sigma, support).with_threads(threads);

@@ -76,6 +76,11 @@ impl GrowPhaseStats {
 /// Full statistics of a SkinnyMine run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct MiningStats {
+    /// Seconds spent freezing the input into per-transaction CSR snapshots
+    /// before Stage I (0 when the input was already a snapshot or mining ran
+    /// on the adjacency representation) — the front-of-pipeline ingest cost
+    /// the stage timings never see.
+    pub freeze_seconds: f64,
     /// Stage I (DiamMine): mining canonical diameters.
     pub diam_mine: StageStats,
     /// Stage II (LevelGrow): growing canonical diameters to skinny patterns.
@@ -141,6 +146,7 @@ impl MiningStats {
     /// Merges the counters of another stats object into this one (used when
     /// clusters are grown in parallel and per-worker stats are combined).
     pub fn merge(&mut self, other: &MiningStats) {
+        self.freeze_seconds += other.freeze_seconds;
         self.constraint_checks += other.constraint_checks;
         self.rejected_constraint_i += other.rejected_constraint_i;
         self.rejected_constraint_ii += other.rejected_constraint_ii;
@@ -179,7 +185,8 @@ impl MiningStats {
     /// A one-line human readable summary.
     pub fn summary(&self) -> String {
         format!(
-            "DiamMine {:.1} ms ({} paths) | LevelGrow {:.1} ms ({} patterns) | checks {} | rejects I/II/III/δ/freq {}/{}/{}/{}/{} | bound-pruned {} | canon fp-hits/keys/aborts {}/{}/{} | recomputes {} | pool tasks/steals {}/{} merge-wait {:.1} ms",
+            "freeze {:.1} ms | DiamMine {:.1} ms ({} paths) | LevelGrow {:.1} ms ({} patterns) | checks {} | rejects I/II/III/δ/freq {}/{}/{}/{}/{} | bound-pruned {} | canon fp-hits/keys/aborts {}/{}/{} | recomputes {} | pool tasks/steals {}/{} merge-wait {:.1} ms",
+            self.freeze_seconds * 1e3,
             self.diam_mine.millis(),
             self.diam_mine.patterns_out,
             self.level_grow.millis(),

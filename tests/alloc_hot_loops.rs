@@ -15,11 +15,12 @@
 //! concurrent test thread can pollute the counter.
 
 use skinny_graph::{
-    CanonSet, GroupSorter, Label, LabeledGraph, SupportBatch, SupportMeasure, VertexId, VertexMarks,
+    CanonSet, GroupSorter, Label, LabeledGraph, SnapshotBuilder, SupportBatch, SupportMeasure, VertexId,
+    VertexMarks,
 };
 use skinnymine::{
-    DiamMine, Extension, ExtensionScratch, GrownPattern, MinimalPatternIndex, MiningData, ReportMode,
-    SkinnyMineConfig, StructScratch,
+    DiamMine, Extension, ExtensionScratch, GrownPattern, MinimalPatternIndex, MiningData, PatternTable,
+    ReportMode, SkinnyMineConfig, StructScratch,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -334,6 +335,49 @@ fn hot_loops_allocate_per_pattern_not_per_row() {
         struct_allocs <= 2 * builds,
         "scratch structural build allocated {struct_allocs} times for {builds} rebuilds — \
          only the new vertex's adjacency entry may allocate"
+    );
+
+    // ---- ingest: warm arena re-freeze is allocation-free ----------------
+    // the snapshot builder's steady state (repeated freezes of same-shaped
+    // transactions, as in the sharded corpus build): once the arenas and
+    // output columns have seen the transaction shape, rebuilding in place
+    // must not touch the heap at all
+    let g = labeled_paths_graph(50);
+    let mut snapshot_builder = SnapshotBuilder::new();
+    let mut frozen = snapshot_builder.build(&g);
+    let (freeze_allocs, ()) = counted(|| snapshot_builder.build_into(&g, &mut frozen));
+    assert_eq!(frozen.vertex_count(), g.vertex_count());
+    assert_eq!(
+        freeze_allocs, 0,
+        "warm snapshot re-freeze allocated {freeze_allocs} times — \
+         the counting-sort build must reuse its arenas and output columns"
+    );
+
+    // ---- Stage I shard merge: warm merge is allocation-free -------------
+    // the sharded seed enumeration's ordered merge: once the accumulator
+    // holds a shard's keys, merging a same-keyed partial (whose rows were
+    // built on a worker) moves each pattern into its empty slot without
+    // allocating — the steady state of every chunk after the first
+    let shard_partial = || {
+        let mut partial = PatternTable::new();
+        for t in 0..20usize {
+            let p = partial.slot_for(&[l(0), l(1)], &[Label::DEFAULT_EDGE]);
+            p.add_occurrence_slice(t, &[VertexId(0), VertexId(1)], false);
+            let q = partial.slot_for(&[l(1), l(2)], &[Label::DEFAULT_EDGE]);
+            q.add_occurrence_slice(t, &[VertexId(1), VertexId(2)], false);
+        }
+        partial
+    };
+    let mut accumulator = PatternTable::new();
+    accumulator.merge(shard_partial()); // inserts the keys
+    accumulator.reset_rows(); // back to the pre-merge steady state
+    let next_chunk = shard_partial();
+    let (shard_merge_allocs, ()) = counted(|| accumulator.merge(next_chunk));
+    assert_eq!(accumulator.len(), 2);
+    assert_eq!(
+        shard_merge_allocs, 0,
+        "warm shard merge allocated {shard_merge_allocs} times — \
+         merging a partial into known keys must move rows, not copy them"
     );
 
     // ---- accept path: allocation tracks emitted patterns ----------------
