@@ -146,6 +146,25 @@ fn main() {
             p.workers, p.build_seconds, p.transactions_per_second
         );
     }
+    for p in &bench.incremental {
+        eprintln!(
+            "  incremental {}: {} transactions, sigma {}, maintained state {} bytes",
+            p.preset, p.transactions, p.sigma, p.maintained_state_bytes
+        );
+        for d in &p.deltas {
+            eprintln!(
+                "    delta={:<3} maintain {:.4}s vs remine {:.4}s ({:.1}x, {:.0} updates/s, \
+                 regrown {} / reused {})",
+                d.delta_transactions,
+                d.maintain_seconds,
+                d.remine_seconds,
+                d.speedup,
+                d.updates_per_second,
+                d.clusters_regrown,
+                d.clusters_reused,
+            );
+        }
+    }
     match out {
         Some(path) => {
             std::fs::write(&path, json).unwrap_or_else(|e| {

@@ -21,7 +21,14 @@
 //!   corpus tier ([`skinny_datagen::XlSetting`], 100k transactions at full
 //!   scale): sharded datagen, the {1, 2, 8}-worker snapshot
 //!   build-throughput sweep, sharded Stage-I seeding, an end-to-end mine,
-//!   and the arena / peak-RSS byte counters.
+//!   and the arena / peak-RSS byte counters;
+//! * Incremental maintenance (schema v6) — delta-driven re-mining under
+//!   graph updates: an [`skinnymine::IncrementalMiner`] absorbs 1/10/100
+//!   transaction-replacement batches on the label-partitioned update
+//!   corpora ([`skinny_datagen::UpdateStreamSetting`]) and each refresh is
+//!   raced against a from-scratch mine of the same final database
+//!   (byte-identity asserted), with the maintained-state byte counter and
+//!   the regrown/reused cluster split.
 //!
 //! The result serializes to the `BENCH_stage1.json` schema (emitted by the
 //! `perf` binary and archived by CI); [`check_schema`] validates a JSON
@@ -190,6 +197,51 @@ pub struct IngestBench {
     pub scaling_note: String,
 }
 
+/// One update-batch size of the incremental-maintenance comparison (schema
+/// v6): the best maintained-refresh wall-clock against the best
+/// from-scratch re-mine of the identical final database.
+#[derive(Debug, Clone)]
+pub struct IncrementalDeltaPoint {
+    /// Transaction replacements applied before the timed refresh.
+    pub delta_transactions: usize,
+    /// Best wall-clock seconds of the delta-driven refresh (best of
+    /// repetitions, a fresh same-size batch per repetition).
+    pub maintain_seconds: f64,
+    /// Best wall-clock seconds of a from-scratch mine of the same final
+    /// database (snapshot freeze included — the cost maintenance avoids).
+    pub remine_seconds: f64,
+    /// `remine / maintain`.
+    pub speedup: f64,
+    /// `delta_transactions / maintain_seconds` of the best refresh.
+    pub updates_per_second: f64,
+    /// Clusters re-grown by the best refresh.
+    pub clusters_regrown: u64,
+    /// Clusters reused verbatim by the best refresh.
+    pub clusters_reused: u64,
+}
+
+/// One update-corpus preset of the incremental-maintenance section (schema
+/// v6).
+#[derive(Debug, Clone)]
+pub struct IncrementalPresetBench {
+    /// Preset id (`fig16-update` or `xl-update`).
+    pub preset: String,
+    /// Transactions of the corpus.
+    pub transactions: usize,
+    /// Total vertices of the initial corpus.
+    pub vertices: usize,
+    /// Total edges of the initial corpus.
+    pub edges: usize,
+    /// Support threshold (the planted patterns' family support).
+    pub sigma: usize,
+    /// Heap bytes of the maintained state beyond the database itself
+    /// (snapshot + level-1 table + cluster cache) after the last delta —
+    /// the memory price of delta refreshes instead of full re-mines.
+    pub maintained_state_bytes: usize,
+    /// Ascending update-batch sizes, first point at 1 transaction.
+    pub deltas: Vec<IncrementalDeltaPoint>,
+}
+
 /// The full `perf` experiment result.
 #[derive(Debug, Clone)]
 pub struct Stage1Bench {
@@ -230,6 +282,8 @@ pub struct Stage1Bench {
     pub canon: CanonComparison,
     /// Front-of-pipeline ingest timings (arena build + XL scale tier).
     pub ingest: IngestBench,
+    /// Incremental-maintenance comparison per update corpus (schema v6).
+    pub incremental: Vec<IncrementalPresetBench>,
 }
 
 /// Measured repetitions per timed section (the minimum is reported, which is
@@ -426,8 +480,11 @@ pub fn run_stage1_perf(scale: Scale, threads: usize, xl_scale: usize) -> Stage1B
     // front of the pipeline: arena build before/after + the XL scale tier
     let ingest = ingest_bench(&graph, threads, xl_scale, logical_cores);
 
+    // incremental maintenance: delta refreshes vs from-scratch re-mines
+    let incremental = incremental_bench(scale.divisor, threads, xl_scale);
+
     Stage1Bench {
-        schema_version: 5,
+        schema_version: 6,
         preset: "fig16-er-deg3-f10".to_string(),
         divisor: scale.divisor,
         seed: scale.seed,
@@ -443,7 +500,99 @@ pub fn run_stage1_perf(scale: Scale, threads: usize, xl_scale: usize) -> Stage1B
         scaling_note,
         canon,
         ingest,
+        incremental,
     }
+}
+
+/// Times the incremental-maintenance loop on the label-partitioned update
+/// corpora: an [`skinnymine::IncrementalMiner`] mines the corpus once, then
+/// absorbs update batches of 1, 10 and 100 transaction replacements (a
+/// fresh deterministic batch per repetition, best-of-[`REPS`]) and each
+/// refresh is raced against [`SkinnyMine::mine_database`] on the identical
+/// final database.  Every comparison asserts the maintained patterns are
+/// byte-identical to the from-scratch mine's.  `xl_scale` divides the XL
+/// corpus's family count; the fig16 corpus runs at full scale up to
+/// divisor 16 and shrinks with the divisor past that (CI's divisor-64
+/// smoke runs a 4-family stream; headline divisors keep the full preset).
+fn incremental_bench(divisor: usize, threads: usize, xl_scale: usize) -> Vec<IncrementalPresetBench> {
+    use skinny_datagen::{apply_update, generate_update_stream, UpdateStreamSetting};
+    use skinnymine::IncrementalMiner;
+
+    let fig_scale = divisor.div_ceil(16);
+    let presets = [
+        ("fig16-update", UpdateStreamSetting::fig16().scaled(fig_scale)),
+        ("xl-update", UpdateStreamSetting::xl().scaled(xl_scale)),
+    ];
+    let mut out = Vec::new();
+    for (name, setting) in presets {
+        let db = generate_update_stream(&setting, threads);
+        let (transactions, vertices, edges) = (db.len(), db.total_vertices(), db.total_edges());
+        let sigma = setting.planted_support();
+        let config = SkinnyMineConfig::new(setting.pattern_diameter, 2, sigma)
+            .with_length(LengthConstraint::Exactly(setting.pattern_diameter))
+            .with_support_measure(SupportMeasure::Transactions)
+            .with_report(ReportMode::Closed)
+            .with_exploration(Exploration::ClosureJump)
+            // The planted patterns are trees, so the cycle ladder (a doubling
+            // run to twice the diameter) would only add a fixed cost to both
+            // sides of the comparison.
+            .with_cycle_seeds(false)
+            .with_threads(threads);
+        let mut inc = IncrementalMiner::new(config.clone(), db).expect("valid update corpus");
+        assert!(
+            !inc.result().patterns.is_empty(),
+            "incremental: the planted {name} patterns were not recovered"
+        );
+
+        let mut step = 0u64;
+        let mut deltas = Vec::new();
+        // a "delta" replacing the whole corpus is just a re-mine; skip it
+        for delta in [1usize, 10, 100].into_iter().filter(|d| *d < transactions) {
+            let mut maintain = f64::INFINITY;
+            let (mut regrown, mut reused) = (0, 0);
+            for _ in 0..REPS {
+                for _ in 0..delta {
+                    apply_update(&setting, inc.database_mut(), step);
+                    step += 1;
+                }
+                let t0 = Instant::now();
+                let result = inc.refresh().expect("maintained refresh");
+                let seconds = t0.elapsed().as_secs_f64();
+                if seconds < maintain {
+                    maintain = seconds;
+                    regrown = result.stats.clusters_regrown;
+                    reused = result.stats.clusters_reused;
+                }
+            }
+            let (remine, full) = time_best(|| {
+                SkinnyMine::new(config.clone()).mine_database(inc.database()).expect("valid config")
+            });
+            assert_eq!(
+                format!("{:?}", inc.result().patterns),
+                format!("{:?}", full.patterns),
+                "incremental: the maintained {name} result diverges from the from-scratch mine"
+            );
+            deltas.push(IncrementalDeltaPoint {
+                delta_transactions: delta,
+                maintain_seconds: maintain,
+                remine_seconds: remine,
+                speedup: remine / maintain.max(f64::MIN_POSITIVE),
+                updates_per_second: delta as f64 / maintain.max(f64::MIN_POSITIVE),
+                clusters_regrown: regrown,
+                clusters_reused: reused,
+            });
+        }
+        out.push(IncrementalPresetBench {
+            preset: name.to_string(),
+            transactions,
+            vertices,
+            edges,
+            sigma,
+            maintained_state_bytes: inc.maintained_bytes(),
+            deltas,
+        });
+    }
+    out
 }
 
 /// Peak resident set (`VmHWM`) of this process in bytes, 0 where
@@ -805,7 +954,37 @@ impl Stage1Bench {
             "    \"scaling_note\": \"{}\"\n",
             self.ingest.scaling_note.replace('\\', "\\\\").replace('"', "\\\"")
         ));
-        s.push_str("  }\n}\n");
+        s.push_str("  },\n");
+        s.push_str("  \"incremental\": [\n");
+        for (i, p) in self.incremental.iter().enumerate() {
+            s.push_str("    {\n");
+            s.push_str(&format!("      \"preset\": \"{}\",\n", p.preset));
+            s.push_str(&format!("      \"transactions\": {},\n", p.transactions));
+            s.push_str(&format!("      \"vertices\": {},\n", p.vertices));
+            s.push_str(&format!("      \"edges\": {},\n", p.edges));
+            s.push_str(&format!("      \"sigma\": {},\n", p.sigma));
+            s.push_str(&format!("      \"maintained_state_bytes\": {},\n", p.maintained_state_bytes));
+            s.push_str("      \"deltas\": [\n");
+            for (j, d) in p.deltas.iter().enumerate() {
+                s.push_str(&format!(
+                    "        {{\"delta_transactions\": {}, \"maintain_seconds\": {:.6}, \
+                     \"remine_seconds\": {:.6}, \"speedup\": {:.3}, \
+                     \"updates_per_second\": {:.1}, \"clusters_regrown\": {}, \
+                     \"clusters_reused\": {}}}{}\n",
+                    d.delta_transactions,
+                    d.maintain_seconds,
+                    d.remine_seconds,
+                    d.speedup,
+                    d.updates_per_second,
+                    d.clusters_regrown,
+                    d.clusters_reused,
+                    if j + 1 < p.deltas.len() { "," } else { "" }
+                ));
+            }
+            s.push_str("      ]\n");
+            s.push_str(&format!("    }}{}\n", if i + 1 < self.incremental.len() { "," } else { "" }));
+        }
+        s.push_str("  ]\n}\n");
         s
     }
 }
@@ -816,7 +995,7 @@ impl Stage1Bench {
 
 use crate::json::{Json, Reader};
 
-/// Validates a JSON document against the `BENCH_stage1.json` schema (v5):
+/// Validates a JSON document against the `BENCH_stage1.json` schema (v6):
 /// the top-level metadata fields (including `threads` and
 /// `logical_cores`), at least the five canonical phases, both join
 /// comparisons, the Stage-II grow comparison with its five sub-timing
@@ -828,9 +1007,13 @@ use crate::json::{Json, Reader};
 /// timings and funnel counters, and the v5 `ingest` section — the fig16
 /// build before/after, the XL corpus metadata and byte counters, and the
 /// non-empty `build_scaling` sweep (first point at 1 worker, worker counts
-/// strictly ascending) with its own non-empty `scaling_note` — all with
-/// finite non-negative values.  Timings themselves are machine-dependent
-/// and never gated on.
+/// strictly ascending) with its own non-empty `scaling_note`, and the v6
+/// `incremental` section — a non-empty preset array whose every entry
+/// carries the corpus metadata, the maintained-state byte counter and a
+/// non-empty `deltas` array (batch sizes strictly ascending, first point at
+/// 1 transaction, maintain/remine/speedup/throughput and the
+/// regrown/reused cluster split present) — all with finite non-negative
+/// values.  Timings themselves are machine-dependent and never gated on.
 pub fn check_schema(text: &str) -> Result<(), String> {
     let doc = Reader::new(text).value()?;
     let num_field = |obj: &Json, key: &str| -> Result<f64, String> {
@@ -839,7 +1022,7 @@ pub fn check_schema(text: &str) -> Result<(), String> {
             .filter(|x| x.is_finite() && *x >= 0.0)
             .ok_or_else(|| format!("missing or invalid numeric field \"{key}\""))
     };
-    if num_field(&doc, "schema_version")? != 5.0 {
+    if num_field(&doc, "schema_version")? != 6.0 {
         return Err("unsupported schema_version".to_string());
     }
     match doc.get("experiment") {
@@ -1006,6 +1189,49 @@ pub fn check_schema(text: &str) -> Result<(), String> {
         Some(Json::Str(note)) if !note.is_empty() => {}
         _ => return Err("missing or empty ingest \"scaling_note\" string".to_string()),
     }
+    let Some(Json::Arr(presets)) = doc.get("incremental") else {
+        return Err("missing \"incremental\" preset array".to_string());
+    };
+    if presets.is_empty() {
+        return Err("\"incremental\" must contain at least one update-corpus preset".to_string());
+    }
+    for p in presets {
+        match p.get("preset") {
+            Some(Json::Str(id)) if !id.is_empty() => {}
+            _ => return Err("incremental preset without a \"preset\" id".to_string()),
+        }
+        for key in ["transactions", "vertices", "edges", "sigma", "maintained_state_bytes"] {
+            num_field(p, key)?;
+        }
+        let Some(Json::Arr(deltas)) = p.get("deltas") else {
+            return Err("incremental preset without a \"deltas\" array".to_string());
+        };
+        if deltas.is_empty() {
+            return Err("\"deltas\" must contain at least the 1-transaction point".to_string());
+        }
+        let mut prev_delta = 0.0;
+        for (i, d) in deltas.iter().enumerate() {
+            for key in [
+                "delta_transactions",
+                "maintain_seconds",
+                "remine_seconds",
+                "speedup",
+                "updates_per_second",
+                "clusters_regrown",
+                "clusters_reused",
+            ] {
+                num_field(d, key)?;
+            }
+            let size = num_field(d, "delta_transactions")?;
+            if size <= prev_delta {
+                return Err("incremental delta sizes must be strictly ascending".to_string());
+            }
+            prev_delta = size;
+            if i == 0 && size != 1.0 {
+                return Err("the first incremental delta must be the 1-transaction point".to_string());
+            }
+        }
+    }
     Ok(())
 }
 
@@ -1032,19 +1258,34 @@ mod tests {
         assert!(bench.ingest.mine_patterns >= 1);
         assert!(bench.ingest.snapshot_arena_bytes > 0);
         assert!(bench.ingest.scaling_note.contains("snapshot build speedup"));
+        // the incremental section covers both update corpora, anchors at
+        // the 1-transaction delta, and carries the maintained-state price
+        assert_eq!(
+            bench.incremental.iter().map(|p| p.preset.as_str()).collect::<Vec<_>>(),
+            ["fig16-update", "xl-update"]
+        );
+        for preset in &bench.incremental {
+            assert_eq!(preset.deltas[0].delta_transactions, 1);
+            assert!(preset.maintained_state_bytes > 0);
+            for d in &preset.deltas {
+                assert!(d.speedup > 0.0 && d.updates_per_second > 0.0);
+                assert!(d.clusters_regrown + d.clusters_reused > 0);
+            }
+        }
     }
 
     #[test]
     fn schema_check_rejects_malformed_documents() {
         assert!(check_schema("{}").is_err());
         assert!(check_schema("not json").is_err());
-        // the pre-grow, pre-canon, pre-scaling and pre-ingest schema
-        // versions are no longer accepted
+        // the pre-grow, pre-canon, pre-scaling, pre-ingest and
+        // pre-incremental schema versions are no longer accepted
         assert!(check_schema("{\"schema_version\": 1}").is_err());
         assert!(check_schema("{\"schema_version\": 2}").is_err());
         assert!(check_schema("{\"schema_version\": 3}").is_err());
         assert!(check_schema("{\"schema_version\": 4}").is_err());
-        let truncated = "{\"schema_version\": 5, \"experiment\": \"stage1_perf\"}";
+        assert!(check_schema("{\"schema_version\": 5}").is_err());
+        let truncated = "{\"schema_version\": 6, \"experiment\": \"stage1_perf\"}";
         assert!(check_schema(truncated).is_err());
     }
 
@@ -1069,8 +1310,15 @@ mod tests {
                  \"canon_seconds\": 0.01}}}}"
             )
         };
+        let delta = |size: usize| {
+            format!(
+                "{{\"delta_transactions\": {size}, \"maintain_seconds\": 0.01, \
+                 \"remine_seconds\": 0.2, \"speedup\": 20.0, \"updates_per_second\": 100.0, \
+                 \"clusters_regrown\": 1, \"clusters_reused\": 15}}"
+            )
+        };
         let valid = format!(
-            "{{\"schema_version\": 5, \"experiment\": \"stage1_perf\", \"divisor\": 4, \"seed\": 1, \
+            "{{\"schema_version\": 6, \"experiment\": \"stage1_perf\", \"divisor\": 4, \"seed\": 1, \
              \"vertices\": 10, \"edges\": 9, \"sigma\": 2, \"threads\": 1, \"logical_cores\": 8, \
              \"phases\": [{}], \"joins\": [{}, {}], \
              \"grow\": {{\"before_reference_seconds\": 0.4, \"after_indexed_seconds\": 0.2, \
@@ -1091,12 +1339,17 @@ mod tests {
              \"transactions_per_second\": 1950.0}}], \"snapshot_arena_bytes\": 123456, \
              \"peak_rss_bytes\": 1000000, \"seed_seconds\": 0.05, \"mine_seconds\": 0.4, \
              \"mine_patterns\": 1, \
-             \"scaling_note\": \"1 core, arena build carries the win\"}}}}",
+             \"scaling_note\": \"1 core, arena build carries the win\"}}, \
+             \"incremental\": [{{\"preset\": \"fig16-update\", \"transactions\": 80, \
+             \"vertices\": 6080, \"edges\": 8640, \"sigma\": 5, \
+             \"maintained_state_bytes\": 654321, \"deltas\": [{}, {}]}}]}}",
             ["seed", "concat2", "concat4", "merge6", "grow"].map(phase).join(", "),
             join("concat"),
             join("merge"),
             point(1, 1.0),
             point(2, 1.8),
+            delta(1),
+            delta(10),
         );
         check_schema(&valid).expect("handwritten document must satisfy the schema");
         let without_grow = valid.replace("\"grow\": {\"before", "\"grown\": {\"before");
@@ -1149,5 +1402,30 @@ mod tests {
         assert!(check_schema(&without_arena_bytes).unwrap_err().contains("snapshot_arena_bytes"));
         let empty_ingest_note = valid.replace("\"1 core, arena build carries the win\"", "\"\"");
         assert!(check_schema(&empty_ingest_note).unwrap_err().contains("scaling_note"));
+        // schema v6 gates: the incremental section, its delta ladder, and
+        // the maintained-state counter
+        let without_incremental = valid.replace("\"incremental\"", "\"increments\"");
+        assert!(check_schema(&without_incremental).unwrap_err().contains("incremental"));
+        let empty_presets = valid.replace(
+            &format!(
+                "[{{\"preset\": \"fig16-update\", \"transactions\": 80, \"vertices\": 6080, \
+                 \"edges\": 8640, \"sigma\": 5, \"maintained_state_bytes\": 654321, \
+                 \"deltas\": [{}, {}]}}]",
+                delta(1),
+                delta(10)
+            ),
+            "[]",
+        );
+        assert!(check_schema(&empty_presets).unwrap_err().contains("preset"));
+        let without_bytes = valid.replace("\"maintained_state_bytes\": 654321, ", "");
+        assert!(check_schema(&without_bytes).unwrap_err().contains("maintained_state_bytes"));
+        let empty_deltas = valid.replace(&format!("[{}, {}]", delta(1), delta(10)), "[]");
+        assert!(check_schema(&empty_deltas).unwrap_err().contains("1-transaction"));
+        let wrong_delta_anchor = valid.replacen(&delta(1), &delta(2), 1);
+        assert!(check_schema(&wrong_delta_anchor).unwrap_err().contains("1-transaction"));
+        let unsorted_deltas = valid.replacen(&delta(10), &delta(1), 1);
+        assert!(check_schema(&unsorted_deltas).unwrap_err().contains("ascending"));
+        let without_regrown = valid.replace("\"clusters_regrown\": 1, ", "");
+        assert!(check_schema(&without_regrown).unwrap_err().contains("clusters_regrown"));
     }
 }

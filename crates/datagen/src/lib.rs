@@ -10,7 +10,10 @@
 //! * [`presets`] — the exact data settings of the paper's evaluation
 //!   (Table 1 GID 1–5, Table 3, Figures 9–18);
 //! * [`dblp`] — simulated DBLP temporal collaboration graphs (§6.3);
-//! * [`weibo`] — simulated Sina-Weibo conversation graphs (§6.3).
+//! * [`weibo`] — simulated Sina-Weibo conversation graphs (§6.3);
+//! * [`updates`] — label-partitioned corpora plus deterministic
+//!   single-transaction update streams for the incremental-maintenance
+//!   benchmark.
 //!
 //! All generators are deterministic given their seed.  The corpus-scale
 //! generators ([`presets::generate_xl`], [`dblp::generate_dblp_sharded`],
@@ -27,6 +30,7 @@ pub mod er;
 pub mod inject;
 pub mod patterns;
 pub mod presets;
+pub mod updates;
 pub mod weibo;
 
 pub use dblp::{generate_dblp, generate_dblp_sharded, DblpConfig};
@@ -38,6 +42,9 @@ pub use patterns::{
 pub use presets::{
     generate_gid, generate_table3, generate_transaction_database, generate_xl, gid_setting, GidSetting,
     ScalabilitySetting, Table3Row, Table3Setting, TransactionSetting, XlSetting, GID_SETTINGS, TABLE3_ROWS,
+};
+pub use updates::{
+    apply_update, generate_update_stream, update_target, update_transaction, UpdateStreamSetting,
 };
 pub use weibo::{generate_weibo, generate_weibo_sharded, WeiboConfig};
 

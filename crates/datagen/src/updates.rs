@@ -1,0 +1,274 @@
+//! Deterministic update streams for the incremental-maintenance benchmark:
+//! a label-partitioned transactional corpus plus a pure-function stream of
+//! single-transaction replacements.
+//!
+//! The corpus is split into **families**: each family owns a disjoint slice
+//! of the label alphabet and plants one family-specific skinny pattern into
+//! every one of its transactions.  Frequent patterns therefore never cross
+//! family boundaries, so a delta confined to one transaction leaves every
+//! other family's clusters byte-identical — exactly the locality the
+//! delta-driven miner (`skinnymine::IncrementalMiner`-style maintenance)
+//! exploits: re-seed one transaction, re-grow one family's clusters, reuse
+//! the rest verbatim.
+//!
+//! Every transaction at every version is a pure function of
+//! `(setting, transaction, version)` via [`crate::splitmix64`], so the
+//! initial corpus can be generated sharded ([`crate::build_sharded`]) and an
+//! update step can be re-derived anywhere without replaying the stream.
+
+use crate::er::{erdos_renyi_with_rng, ErConfig};
+use crate::patterns::{skinny_pattern, SkinnyPatternConfig};
+use crate::splitmix64;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use skinny_graph::{GraphDatabase, Label, LabeledGraph, VertexId};
+
+/// Parameters of a label-partitioned update-stream corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UpdateStreamSetting {
+    /// Number of label-disjoint families.
+    pub families: usize,
+    /// Transactions per family (also the planted pattern's transaction
+    /// support, so set `sigma` at most this).
+    pub transactions_per_family: usize,
+    /// Background vertices per transaction.
+    pub transaction_vertices: usize,
+    /// Average background degree.
+    pub average_degree: f64,
+    /// Vertex labels per family (family `f` draws from
+    /// `[f * labels_per_family, (f + 1) * labels_per_family)`).
+    pub labels_per_family: u32,
+    /// Vertices of each family's planted skinny pattern.
+    pub pattern_vertices: usize,
+    /// Backbone diameter of each planted pattern.
+    pub pattern_diameter: usize,
+    /// Corpus seed.
+    pub seed: u64,
+}
+
+impl UpdateStreamSetting {
+    /// The Figure-16-flavored update corpus: 16 families of 8 Erdős–Rényi
+    /// degree-3 transactions, each family planting one 10-vertex diameter-4
+    /// skinny pattern into all 8 of its transactions.  The label alphabet
+    /// is wide enough (50 per family) that background edges stay below the
+    /// family support, so the frequent set is the planted patterns' — the
+    /// regime where a transaction delta leaves most clusters reusable.
+    pub fn fig16() -> Self {
+        UpdateStreamSetting {
+            families: 16,
+            transactions_per_family: 8,
+            transaction_vertices: 400,
+            average_degree: 3.0,
+            labels_per_family: 50,
+            pattern_vertices: 10,
+            pattern_diameter: 4,
+            seed: 20130622,
+        }
+    }
+
+    /// The XL-flavored update corpus: the [`crate::XlSetting`] transaction
+    /// shape (24-vertex degree-2.5 backgrounds, 12 labels) split into 50
+    /// families of 10 transactions.
+    pub fn xl() -> Self {
+        UpdateStreamSetting {
+            families: 50,
+            transactions_per_family: 10,
+            transaction_vertices: 24,
+            average_degree: 2.5,
+            labels_per_family: 12,
+            pattern_vertices: 9,
+            pattern_diameter: 4,
+            seed: 20130622,
+        }
+    }
+
+    /// The setting with its family count divided by `scale` (CI smoke runs
+    /// use a large `scale`; at least 2 families always remain so deltas
+    /// have something to leave untouched).
+    pub fn scaled(self, scale: usize) -> Self {
+        UpdateStreamSetting { families: (self.families / scale.max(1)).max(2), ..self }
+    }
+
+    /// Total transactions of the corpus.
+    pub fn transactions(&self) -> usize {
+        self.families * self.transactions_per_family
+    }
+
+    /// The transaction support every planted pattern reaches (one copy per
+    /// transaction of its family).
+    pub fn planted_support(&self) -> usize {
+        self.transactions_per_family
+    }
+
+    /// The family a transaction belongs to.
+    pub fn family_of(&self, t: usize) -> usize {
+        t / self.transactions_per_family.max(1)
+    }
+
+    /// Family `f`'s planted pattern — version-independent, so updates never
+    /// disturb a family's frequent set, only its embeddings.
+    pub fn family_pattern(&self, family: usize) -> LabeledGraph {
+        let pattern = skinny_pattern(&SkinnyPatternConfig::new(
+            self.pattern_vertices,
+            self.pattern_diameter,
+            2,
+            self.labels_per_family,
+            splitmix64(self.seed ^ splitmix64(0x5EED_0000 + family as u64)),
+        ));
+        offset_labels(&pattern, family as u32 * self.labels_per_family)
+    }
+}
+
+/// A copy of `g` with every vertex label shifted by `offset` (edge labels
+/// are left alone — vertex-label disjointness already separates families).
+fn offset_labels(g: &LabeledGraph, offset: u32) -> LabeledGraph {
+    let mut out = LabeledGraph::with_capacity(g.vertex_count());
+    for &l in g.labels() {
+        out.add_vertex(Label(l.0 + offset));
+    }
+    for e in g.edges() {
+        out.add_edge(e.u, e.v, e.label).expect("copying edges of a valid graph");
+    }
+    out
+}
+
+/// Transaction `t` of the corpus at `version` — a pure function of its
+/// arguments: a family-labeled Erdős–Rényi background freshly drawn per
+/// version, with the family's (version-independent) pattern appended
+/// verbatim and tethered to the background by one edge.
+///
+/// Version 0 is the initial corpus; an update step replaces one
+/// transaction with its next version, which redraws the background noise
+/// around the same planted pattern.
+pub fn update_transaction(setting: &UpdateStreamSetting, t: usize, version: u64) -> LabeledGraph {
+    let family = setting.family_of(t);
+    let offset = family as u32 * setting.labels_per_family;
+    let mut rng = StdRng::seed_from_u64(splitmix64(
+        setting.seed ^ splitmix64(t as u64 + 1) ^ splitmix64(0xDE17_A000 ^ version),
+    ));
+    let background = ErConfig::new(
+        setting.transaction_vertices,
+        setting.average_degree,
+        setting.labels_per_family,
+        0, // unused: the RNG is provided
+    );
+    let mut g = offset_labels(&erdos_renyi_with_rng(&background, &mut rng), offset);
+    let pattern = setting.family_pattern(family);
+    let base = g.vertex_count() as u32;
+    for &label in pattern.labels() {
+        g.add_vertex(label);
+    }
+    for e in pattern.edges() {
+        g.add_edge(VertexId(base + e.u.0), VertexId(base + e.v.0), e.label)
+            .expect("appended pattern edges are fresh");
+    }
+    if base > 0 {
+        g.add_edge(VertexId(0), VertexId(base), Label::DEFAULT_EDGE).expect("the tether edge is fresh");
+    }
+    g
+}
+
+/// Generates the version-0 corpus on `threads` pool workers
+/// (byte-identical for every worker count, per [`crate::build_sharded`]'s
+/// contract).
+pub fn generate_update_stream(setting: &UpdateStreamSetting, threads: usize) -> GraphDatabase {
+    let setting = *setting;
+    crate::build_sharded(setting.transactions(), threads, move |t| update_transaction(&setting, t, 0))
+}
+
+/// The transaction update step `step` replaces — a deterministic
+/// pseudo-random walk over the corpus.
+pub fn update_target(setting: &UpdateStreamSetting, step: u64) -> usize {
+    (splitmix64(setting.seed ^ splitmix64(0x57E9_0000 + step)) % setting.transactions() as u64) as usize
+}
+
+/// Applies update step `step` to `db`: replaces [`update_target`]'s
+/// transaction with its version-`step + 1` redraw (marking it dirty through
+/// [`GraphDatabase::replace_transaction`]).  Returns the replaced
+/// transaction index.
+pub fn apply_update(setting: &UpdateStreamSetting, db: &mut GraphDatabase, step: u64) -> usize {
+    let t = update_target(setting, step);
+    db.replace_transaction(t, update_transaction(setting, t, step + 1))
+        .expect("the target is within the corpus");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> UpdateStreamSetting {
+        UpdateStreamSetting {
+            families: 3,
+            transactions_per_family: 2,
+            transaction_vertices: 20,
+            average_degree: 2.0,
+            labels_per_family: 6,
+            pattern_vertices: 7,
+            pattern_diameter: 4,
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn corpus_shape_and_determinism() {
+        let s = tiny();
+        assert_eq!(s.transactions(), 6);
+        let a = generate_update_stream(&s, 1);
+        let b = generate_update_stream(&s, 4);
+        assert_eq!(a.len(), 6);
+        for t in 0..a.len() {
+            assert_eq!(a.get(t).unwrap(), b.get(t).unwrap(), "sharded generation diverged at {t}");
+        }
+    }
+
+    #[test]
+    fn families_use_disjoint_label_ranges() {
+        let s = tiny();
+        let db = generate_update_stream(&s, 1);
+        for t in 0..db.len() {
+            let family = s.family_of(t) as u32;
+            let lo = family * s.labels_per_family;
+            let hi = lo + s.labels_per_family;
+            assert!(
+                db.get(t).unwrap().labels().iter().all(|l| l.0 >= lo && l.0 < hi),
+                "transaction {t} leaks labels outside its family range [{lo}, {hi})"
+            );
+        }
+    }
+
+    #[test]
+    fn every_family_transaction_hosts_the_planted_pattern() {
+        let s = tiny();
+        let db = generate_update_stream(&s, 1);
+        for t in 0..db.len() {
+            let pattern = s.family_pattern(s.family_of(t));
+            assert!(
+                skinny_graph::has_embedding(&pattern, db.get(t).unwrap()),
+                "transaction {t} lost its family pattern"
+            );
+        }
+    }
+
+    #[test]
+    fn updates_are_pure_marked_dirty_and_keep_the_pattern() {
+        let s = tiny();
+        let mut db = generate_update_stream(&s, 1);
+        let before = db.get(update_target(&s, 0)).unwrap().clone();
+        let t = apply_update(&s, &mut db, 0);
+        assert_eq!(t, update_target(&s, 0));
+        assert!(db.dirty_transactions().contains(&t), "the update must mark its transaction dirty");
+        let after = db.get(t).unwrap();
+        assert_ne!(&before, after, "a version bump redraws the background");
+        assert!(skinny_graph::has_embedding(&s.family_pattern(s.family_of(t)), after));
+        // re-deriving the same step elsewhere yields the same transaction
+        assert_eq!(after, &update_transaction(&s, t, 1));
+    }
+
+    #[test]
+    fn scaled_keeps_at_least_two_families() {
+        assert_eq!(UpdateStreamSetting::fig16().scaled(4).families, 4);
+        assert_eq!(UpdateStreamSetting::fig16().scaled(1000).families, 2);
+    }
+}

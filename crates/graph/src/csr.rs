@@ -607,6 +607,28 @@ impl CsrSnapshot {
     pub fn heap_bytes(&self) -> usize {
         self.graphs.iter().map(CsrGraph::heap_bytes).sum()
     }
+
+    /// Re-freezes transaction `t` in place from `g` through `builder`'s warm
+    /// arena path ([`SnapshotBuilder::build_into`]): the existing
+    /// [`CsrGraph`]'s columns are reused, so a same-shaped refresh performs
+    /// zero heap allocations.  This is the incremental update path — only
+    /// dirty transactions are re-frozen, everything else keeps its columns
+    /// untouched.
+    ///
+    /// # Panics
+    /// Panics when `t` is out of range.
+    pub fn refreeze_transaction(&mut self, t: usize, g: &LabeledGraph, builder: &mut SnapshotBuilder) {
+        builder.build_into(g, &mut self.graphs[t]);
+    }
+
+    /// Appends the snapshot of a newly added transaction, returning its
+    /// index.  Only meaningful for transactional snapshots (appending to a
+    /// single-graph snapshot would change the setting, so this panics there).
+    pub fn push_transaction(&mut self, g: &LabeledGraph, builder: &mut SnapshotBuilder) -> usize {
+        assert!(self.transactional, "cannot append a transaction to a single-graph snapshot");
+        self.graphs.push(builder.build(g));
+        self.graphs.len() - 1
+    }
 }
 
 #[cfg(test)]
@@ -732,6 +754,41 @@ mod tests {
             assert_eq!(CsrSnapshot::from_database_with_threads(&db, threads), serial);
         }
         assert!(serial.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn refreeze_matches_full_rebuild() {
+        let g = graph();
+        let h = LabeledGraph::from_unlabeled_edges(&[l(3), l(4), l(3)], [(0u32, 1u32), (1, 2)]).unwrap();
+        let mut db = crate::transaction::GraphDatabase::from_graphs(vec![g.clone(), h.clone(), g.clone()]);
+        let mut snapshot = CsrSnapshot::from_database(&db);
+        let mut builder = SnapshotBuilder::new();
+
+        // mutate transaction 1 and re-freeze only it
+        db.add_edge_in(1, VertexId(0), VertexId(2), l(9)).unwrap();
+        snapshot.refreeze_transaction(1, &db[1], &mut builder);
+        assert_eq!(snapshot, CsrSnapshot::from_database(&db), "dirty refreeze must equal a full rebuild");
+
+        // append a transaction
+        let t = db.add_transaction(h.clone());
+        let idx = snapshot.push_transaction(&db[t], &mut builder);
+        assert_eq!(idx, t);
+        assert_eq!(snapshot, CsrSnapshot::from_database(&db));
+
+        // tombstone a transaction to empty and re-freeze it
+        db.remove_transaction(0).unwrap();
+        snapshot.refreeze_transaction(0, &db[0], &mut builder);
+        assert_eq!(snapshot.graph(0).vertex_count(), 0);
+        assert_eq!(snapshot, CsrSnapshot::from_database(&db));
+    }
+
+    #[test]
+    #[should_panic(expected = "single-graph snapshot")]
+    fn push_transaction_rejects_single_graph_setting() {
+        let g = graph();
+        let mut s = CsrSnapshot::from_graph(&g);
+        let mut builder = SnapshotBuilder::new();
+        s.push_transaction(&g, &mut builder);
     }
 
     #[test]

@@ -24,6 +24,13 @@ pub enum GraphError {
         /// The vertex that was connected to itself.
         vertex: u32,
     },
+    /// An edge removal referenced an edge that does not exist.
+    EdgeNotFound {
+        /// First endpoint.
+        u: u32,
+        /// Second endpoint.
+        v: u32,
+    },
     /// The operation requires a connected graph.
     NotConnected,
     /// The operation requires a non-empty graph.
@@ -59,6 +66,7 @@ impl fmt::Display for GraphError {
                 write!(f, "edge ({u}, {v}) already exists")
             }
             GraphError::SelfLoop { vertex } => write!(f, "self loop on vertex {vertex} not allowed"),
+            GraphError::EdgeNotFound { u, v } => write!(f, "edge ({u}, {v}) does not exist"),
             GraphError::NotConnected => write!(f, "operation requires a connected graph"),
             GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
             GraphError::InvalidPath { reason } => write!(f, "invalid path: {reason}"),

@@ -185,6 +185,43 @@ impl LabeledGraph {
         list.insert(pos, (to, label));
     }
 
+    /// Removes the undirected edge `(u, v)`, returning its label.
+    ///
+    /// Returns an error on out-of-bounds endpoints or when the edge does not
+    /// exist.  Vertex ids are stable across removals.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> GraphResult<Label> {
+        self.check_vertex(u)?;
+        self.check_vertex(v)?;
+        let Ok(pos_u) = self.adj[u.index()].binary_search_by_key(&v, |&(n, _)| n) else {
+            return Err(GraphError::EdgeNotFound { u: u.0, v: v.0 });
+        };
+        let (_, label) = self.adj[u.index()].remove(pos_u);
+        let pos_v = self.adj[v.index()]
+            .binary_search_by_key(&u, |&(n, _)| n)
+            .expect("undirected adjacency lists are symmetric");
+        self.adj[v.index()].remove(pos_v);
+        self.edge_count -= 1;
+        Ok(label)
+    }
+
+    /// Removes every edge incident to `v`, leaving it an isolated vertex.
+    ///
+    /// This is the update path's "vertex delete": vertex ids stay dense and
+    /// stable (the label remains), only the incident edges disappear.
+    /// Returns the number of removed edges.
+    pub fn isolate_vertex(&mut self, v: VertexId) -> GraphResult<usize> {
+        self.check_vertex(v)?;
+        let incident = std::mem::take(&mut self.adj[v.index()]);
+        for &(w, _) in &incident {
+            let pos = self.adj[w.index()]
+                .binary_search_by_key(&v, |&(n, _)| n)
+                .expect("undirected adjacency lists are symmetric");
+            self.adj[w.index()].remove(pos);
+        }
+        self.edge_count -= incident.len();
+        Ok(incident.len())
+    }
+
     fn check_vertex(&self, v: VertexId) -> GraphResult<()> {
         if v.index() < self.labels.len() {
             Ok(())
@@ -543,6 +580,45 @@ mod tests {
         let s = g.to_string();
         assert!(s.contains("|V|=3"));
         assert!(s.contains("triangle"));
+    }
+
+    #[test]
+    fn remove_edge_deletes_both_directions() {
+        let mut g = tri();
+        assert_eq!(g.remove_edge(VertexId(1), VertexId(0)).unwrap(), Label::DEFAULT_EDGE);
+        assert_eq!(g.edge_count(), 2);
+        assert!(!g.has_edge(VertexId(0), VertexId(1)));
+        assert!(!g.has_edge(VertexId(1), VertexId(0)));
+        assert!(g.has_edge(VertexId(0), VertexId(2)));
+        // removing again fails
+        assert_eq!(
+            g.remove_edge(VertexId(0), VertexId(1)).unwrap_err(),
+            GraphError::EdgeNotFound { u: 0, v: 1 }
+        );
+        assert!(matches!(
+            g.remove_edge(VertexId(0), VertexId(9)).unwrap_err(),
+            GraphError::VertexOutOfBounds { vertex: 9, .. }
+        ));
+        // an add/remove round trip restores the graph exactly
+        let before = tri();
+        let mut g = tri();
+        g.remove_edge(VertexId(0), VertexId(2)).unwrap();
+        g.add_edge(VertexId(0), VertexId(2), Label::DEFAULT_EDGE).unwrap();
+        assert_eq!(g, before);
+    }
+
+    #[test]
+    fn isolate_vertex_strips_incident_edges_only() {
+        let mut g = tri();
+        assert_eq!(g.isolate_vertex(VertexId(1)).unwrap(), 2);
+        assert_eq!(g.vertex_count(), 3, "vertex ids stay dense");
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(VertexId(1)), 0);
+        assert!(g.has_edge(VertexId(0), VertexId(2)));
+        assert_eq!(g.label(VertexId(1)), Label(1), "the tombstone keeps its label");
+        // idempotent on an already-isolated vertex
+        assert_eq!(g.isolate_vertex(VertexId(1)).unwrap(), 0);
+        assert!(g.isolate_vertex(VertexId(9)).is_err());
     }
 
     #[test]

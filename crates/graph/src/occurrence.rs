@@ -206,6 +206,75 @@ impl OccurrenceStore {
         self.transactions.extend_from_slice(&other.transactions);
     }
 
+    /// Merges `other`'s rows into this store so the result is ordered by
+    /// nondecreasing transaction (stable: on ties, this store's rows come
+    /// first).  Both inputs must already be transaction-ordered — the
+    /// invariant of every Stage-I seed store, whose rows are appended while
+    /// walking transactions in ascending order.
+    ///
+    /// This is the incremental Stage-I *stitch*: after a dirty transaction's
+    /// old rows are retained out and its fresh rows re-seeded, this merge
+    /// restores exactly the row order a from-scratch sequential seed pass
+    /// would have produced (each transaction's rows are contiguous, and a
+    /// transaction is never partially dirty).
+    ///
+    /// # Panics
+    /// Panics on arity mismatch unless either store is empty.
+    pub fn merge_by_transaction(&mut self, other: OccurrenceStore) {
+        if other.is_empty() {
+            return;
+        }
+        if self.is_empty() {
+            *self = other;
+            return;
+        }
+        assert_eq!(self.arity, other.arity, "merging stores of different arity");
+        debug_assert!(self.transactions.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!(other.transactions.windows(2).all(|w| w[0] <= w[1]));
+        // fast path: strictly appending rows of later transactions
+        if self.transactions.last() <= other.transactions.first() {
+            self.arena.extend_from_slice(&other.arena);
+            self.transactions.extend_from_slice(&other.transactions);
+            return;
+        }
+        let mut out = OccurrenceStore::with_capacity(self.arity, self.len() + other.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.len() && j < other.len() {
+            if self.transactions[i] <= other.transactions[j] {
+                out.push_row(self.transaction(i), self.row(i));
+                i += 1;
+            } else {
+                out.push_row(other.transaction(j), other.row(j));
+                j += 1;
+            }
+        }
+        for r in i..self.len() {
+            out.push_row(self.transaction(r), self.row(r));
+        }
+        for r in j..other.len() {
+            out.push_row(other.transaction(r), other.row(r));
+        }
+        *self = out;
+    }
+
+    /// Collects the distinct transactions with at least one row into `out`
+    /// (cleared first), ascending — the occurrence-side key of the
+    /// per-transaction row index the incremental Stage-II reuse check walks.
+    pub fn distinct_transactions_into(&self, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend_from_slice(&self.transactions);
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    /// Heap bytes held by this store's columns (allocated capacities),
+    /// mirroring [`crate::csr::CsrSnapshot::heap_bytes`] — the
+    /// maintained-state memory counter of the incremental bench section.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.arena.capacity() * size_of::<VertexId>() + self.transactions.capacity() * size_of::<u32>()
+    }
+
     /// Keeps only the first `rows` occurrences.
     pub fn truncate(&mut self, rows: usize) {
         if rows < self.len() {
@@ -227,6 +296,41 @@ impl OccurrenceStore {
                 }
                 write += 1;
             }
+        }
+        self.truncate(write);
+    }
+
+    /// Removes every row whose transaction appears in `drop` (ascending,
+    /// deduplicated), assuming this store's rows are in nondecreasing
+    /// transaction order — the maintained Stage-I tables' invariant.
+    ///
+    /// Unlike [`OccurrenceStore::retain_rows`] with a membership predicate,
+    /// this never touches a row when no dropped transaction is present: a
+    /// binary search per dropped transaction rejects the store up front, and
+    /// when rows do go, whole contiguous transaction runs move with one
+    /// `copy_within` each.  With a single-transaction delta, the incremental
+    /// miner's retain pass over the maintained table costs a lookup per
+    /// slot instead of a predicate call per row.
+    pub fn remove_transactions_sorted(&mut self, drop: &[u32]) {
+        debug_assert!(self.transactions.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!(drop.windows(2).all(|w| w[0] < w[1]));
+        if drop.iter().all(|t| self.transactions.binary_search(t).is_err()) {
+            return;
+        }
+        let arity = self.arity;
+        let (mut write, mut read) = (0usize, 0usize);
+        let n = self.transactions.len();
+        while read < n {
+            let t = self.transactions[read];
+            let run = read + self.transactions[read..].partition_point(|&x| x == t);
+            if drop.binary_search(&t).is_err() {
+                if write != read {
+                    self.arena.copy_within(read * arity..run * arity, write * arity);
+                    self.transactions.copy_within(read..run, write);
+                }
+                write += run - read;
+            }
+            read = run;
         }
         self.truncate(write);
     }
@@ -907,6 +1011,50 @@ mod tests {
     }
 
     #[test]
+    fn merge_by_transaction_restores_sequential_order() {
+        // clean rows of transactions {0, 2}, dirty re-seed of transaction 1:
+        // the merge interleaves exactly as a sequential 0,1,2 walk would
+        let mut clean = OccurrenceStore::new(2);
+        clean.push_row(0, &v(&[0, 1]));
+        clean.push_row(0, &v(&[1, 2]));
+        clean.push_row(2, &v(&[4, 5]));
+        let mut dirty = OccurrenceStore::new(2);
+        dirty.push_row(1, &v(&[7, 8]));
+        dirty.push_row(1, &v(&[8, 9]));
+        clean.merge_by_transaction(dirty);
+        let txs: Vec<usize> = clean.iter().map(|r| r.transaction).collect();
+        assert_eq!(txs, vec![0, 0, 1, 1, 2]);
+        assert_eq!(clean.row(2), &v(&[7, 8])[..]);
+        assert_eq!(clean.row(4), &v(&[4, 5])[..]);
+
+        // appending later transactions takes the fast path, same result
+        let mut base = OccurrenceStore::new(2);
+        base.push_row(0, &v(&[0, 1]));
+        let mut tail = OccurrenceStore::new(2);
+        tail.push_row(3, &v(&[2, 3]));
+        base.merge_by_transaction(tail);
+        assert_eq!(base.len(), 2);
+        assert_eq!(base.transaction(1), 3);
+
+        // either side empty is a no-op / adoption
+        let mut empty = OccurrenceStore::new(2);
+        empty.merge_by_transaction(base.clone());
+        assert_eq!(empty, base);
+        base.merge_by_transaction(OccurrenceStore::new(2));
+        assert_eq!(base.len(), 2);
+    }
+
+    #[test]
+    fn distinct_transactions_and_heap_bytes() {
+        let s = store();
+        let mut txs = Vec::new();
+        s.distinct_transactions_into(&mut txs);
+        assert_eq!(txs, vec![0, 1]);
+        assert!(s.heap_bytes() >= 3 * 2 * std::mem::size_of::<VertexId>() + 3 * 4);
+        assert!(OccurrenceStore::new(2).heap_bytes() == 0);
+    }
+
+    #[test]
     fn dedup_and_retain() {
         let mut s = OccurrenceStore::new(2);
         s.push_row(0, &v(&[0, 1]));
@@ -918,6 +1066,24 @@ mod tests {
         s.retain_rows(|r| r.vertices[0] == VertexId(0));
         assert_eq!(s.len(), 1);
         assert_eq!(s.row(0), &v(&[0, 1])[..]);
+    }
+
+    #[test]
+    fn remove_transactions_sorted_matches_retain() {
+        let build = || {
+            let mut s = OccurrenceStore::new(2);
+            for (t, a, b) in [(0, 0, 1), (0, 1, 2), (1, 3, 4), (2, 5, 6), (2, 6, 7), (4, 8, 9)] {
+                s.push_row(t, &v(&[a, b]));
+            }
+            s
+        };
+        for drop in [vec![], vec![1u32], vec![0, 2], vec![4], vec![3], vec![0, 1, 2, 4]] {
+            let mut fast = build();
+            fast.remove_transactions_sorted(&drop);
+            let mut slow = build();
+            slow.retain_rows(|r| drop.binary_search(&(r.transaction as u32)).is_err());
+            assert_eq!(fast, slow, "drop set {drop:?}");
+        }
     }
 
     #[test]

@@ -7,15 +7,30 @@
 
 use crate::embedding::EmbeddingSet;
 use crate::error::{GraphError, GraphResult};
-use crate::graph::LabeledGraph;
+use crate::graph::{LabeledGraph, VertexId};
 use crate::label::Label;
 use crate::subiso::{find_embeddings, has_embedding, SubIsoOptions};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 
 /// A database of graph transactions.
+///
+/// The database is mutable per transaction: the `*_in` methods edit one
+/// transaction's graph in place and record its index in a **dirty set**,
+/// which the incremental mining path drains to re-freeze and re-mine only
+/// what changed.  Transaction indices are stable for the lifetime of the
+/// database — [`GraphDatabase::remove_transaction`] tombstones a slot to an
+/// empty graph instead of shifting later indices.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct GraphDatabase {
     graphs: Vec<LabeledGraph>,
+    /// Indices of transactions mutated since the last [`take_dirty`]
+    /// (ordered, so delta passes walk them deterministically).  Transient
+    /// bookkeeping: a deserialized database starts clean.
+    ///
+    /// [`take_dirty`]: GraphDatabase::take_dirty
+    #[serde(skip)]
+    dirty: BTreeSet<usize>,
 }
 
 impl GraphDatabase {
@@ -26,13 +41,120 @@ impl GraphDatabase {
 
     /// Creates a database from a vector of graphs.
     pub fn from_graphs(graphs: Vec<LabeledGraph>) -> Self {
-        GraphDatabase { graphs }
+        GraphDatabase { graphs, dirty: BTreeSet::new() }
     }
 
     /// Adds a transaction and returns its index.
+    ///
+    /// This is the *construction* path: it does **not** mark the slot dirty.
+    /// Use [`GraphDatabase::add_transaction`] when appending to a database
+    /// that an incremental miner is maintaining.
     pub fn push(&mut self, g: LabeledGraph) -> usize {
         self.graphs.push(g);
         self.graphs.len() - 1
+    }
+
+    // -- update API ---------------------------------------------------------
+
+    /// Appends a transaction as an update: the new slot is marked dirty so
+    /// the incremental path freezes and seeds it on the next refresh.
+    pub fn add_transaction(&mut self, g: LabeledGraph) -> usize {
+        let t = self.push(g);
+        self.dirty.insert(t);
+        t
+    }
+
+    /// Removes transaction `t` by tombstoning it to an empty graph.
+    ///
+    /// Indices of the remaining transactions are unchanged (the occurrence
+    /// stores and snapshots indexed by transaction stay valid); an empty
+    /// graph contributes no vertices, edges or embeddings anywhere.
+    pub fn remove_transaction(&mut self, t: usize) -> GraphResult<LabeledGraph> {
+        self.check_transaction(t)?;
+        let old = std::mem::take(&mut self.graphs[t]);
+        self.dirty.insert(t);
+        Ok(old)
+    }
+
+    /// Replaces transaction `t` wholesale and marks it dirty.
+    pub fn replace_transaction(&mut self, t: usize, g: LabeledGraph) -> GraphResult<LabeledGraph> {
+        self.check_transaction(t)?;
+        let old = std::mem::replace(&mut self.graphs[t], g);
+        self.dirty.insert(t);
+        Ok(old)
+    }
+
+    /// Adds a vertex to transaction `t` and marks it dirty.
+    pub fn add_vertex_in(&mut self, t: usize, label: Label) -> GraphResult<VertexId> {
+        self.check_transaction(t)?;
+        let v = self.graphs[t].add_vertex(label);
+        self.dirty.insert(t);
+        Ok(v)
+    }
+
+    /// Removes every edge incident to `v` in transaction `t` (the vertex
+    /// stays as an isolated tombstone, so ids remain dense and stable) and
+    /// marks the transaction dirty.  Returns the number of removed edges.
+    pub fn remove_vertex_in(&mut self, t: usize, v: VertexId) -> GraphResult<usize> {
+        self.check_transaction(t)?;
+        let removed = self.graphs[t].isolate_vertex(v)?;
+        self.dirty.insert(t);
+        Ok(removed)
+    }
+
+    /// Adds edge `(u, v)` with `label` to transaction `t` and marks it dirty.
+    pub fn add_edge_in(&mut self, t: usize, u: VertexId, v: VertexId, label: Label) -> GraphResult<()> {
+        self.check_transaction(t)?;
+        self.graphs[t].add_edge(u, v, label)?;
+        self.dirty.insert(t);
+        Ok(())
+    }
+
+    /// Removes edge `(u, v)` from transaction `t` and marks it dirty.
+    /// Returns the removed edge's label.
+    pub fn remove_edge_in(&mut self, t: usize, u: VertexId, v: VertexId) -> GraphResult<Label> {
+        self.check_transaction(t)?;
+        let label = self.graphs[t].remove_edge(u, v)?;
+        self.dirty.insert(t);
+        Ok(label)
+    }
+
+    /// Mutable access to transaction `t`'s graph; the transaction is marked
+    /// dirty unconditionally (the caller is assumed to mutate it).
+    pub fn transaction_mut(&mut self, t: usize) -> GraphResult<&mut LabeledGraph> {
+        self.check_transaction(t)?;
+        self.dirty.insert(t);
+        Ok(&mut self.graphs[t])
+    }
+
+    /// The transactions mutated since the last [`GraphDatabase::take_dirty`],
+    /// in ascending order.
+    pub fn dirty_transactions(&self) -> &BTreeSet<usize> {
+        &self.dirty
+    }
+
+    /// True when no transaction has been mutated since the last drain.
+    pub fn is_clean(&self) -> bool {
+        self.dirty.is_empty()
+    }
+
+    /// Drains and returns the dirty set, leaving the database clean.
+    pub fn take_dirty(&mut self) -> BTreeSet<usize> {
+        std::mem::take(&mut self.dirty)
+    }
+
+    /// Clears the dirty set without returning it (e.g. after a full re-mine
+    /// that observed every transaction anyway).
+    pub fn clear_dirty(&mut self) {
+        self.dirty.clear();
+    }
+
+    fn check_transaction(&self, t: usize) -> GraphResult<()> {
+        if t < self.graphs.len() {
+            Ok(())
+        } else {
+            Err(GraphError::TransactionOutOfBounds { index: t, len: self.graphs.len() })
+        }
     }
 
     /// Number of transactions.
@@ -117,7 +239,7 @@ impl GraphDatabase {
 
 impl FromIterator<LabeledGraph> for GraphDatabase {
     fn from_iter<T: IntoIterator<Item = LabeledGraph>>(iter: T) -> Self {
-        GraphDatabase { graphs: iter.into_iter().collect() }
+        GraphDatabase::from_graphs(iter.into_iter().collect())
     }
 }
 
@@ -198,6 +320,47 @@ mod tests {
         let idx = d.push(edge_graph(1, 1));
         assert_eq!(idx, 1);
         assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn update_api_tracks_dirty_transactions() {
+        let mut d = db();
+        assert!(d.is_clean(), "construction leaves the database clean");
+
+        d.add_edge_in(1, crate::VertexId(0), crate::VertexId(2), Label(5)).unwrap();
+        assert_eq!(d.dirty_transactions().iter().copied().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(d[1].edge_count(), 3);
+
+        assert_eq!(d.remove_edge_in(1, crate::VertexId(0), crate::VertexId(2)).unwrap(), Label(5));
+        let v = d.add_vertex_in(0, Label(9)).unwrap();
+        assert_eq!(d[0].label(v), Label(9));
+        d.add_edge_in(0, crate::VertexId(0), v, Label::DEFAULT_EDGE).unwrap();
+        assert_eq!(d.remove_vertex_in(0, v).unwrap(), 1);
+        assert_eq!(d.dirty_transactions().iter().copied().collect::<Vec<_>>(), vec![0, 1]);
+
+        let drained = d.take_dirty();
+        assert_eq!(drained.into_iter().collect::<Vec<_>>(), vec![0, 1]);
+        assert!(d.is_clean());
+
+        // errors do not mark anything dirty
+        assert!(d.add_edge_in(9, crate::VertexId(0), crate::VertexId(1), Label(0)).is_err());
+        assert!(d.remove_edge_in(0, crate::VertexId(0), crate::VertexId(0)).is_err());
+        assert!(d.is_clean());
+
+        // transaction add/remove: stable indices, tombstone semantics
+        let t = d.add_transaction(edge_graph(7, 7));
+        assert_eq!(t, 3);
+        let old = d.remove_transaction(1).unwrap();
+        assert_eq!(old.vertex_count(), 3);
+        assert_eq!(d.len(), 4, "removal tombstones, never shifts");
+        assert!(d[1].is_empty());
+        assert_eq!(d.dirty_transactions().iter().copied().collect::<Vec<_>>(), vec![1, 3]);
+        d.clear_dirty();
+        assert!(d.is_clean());
+
+        // transaction_mut marks dirty unconditionally
+        d.transaction_mut(2).unwrap().add_vertex(Label(4));
+        assert_eq!(d.dirty_transactions().iter().copied().collect::<Vec<_>>(), vec![2]);
     }
 
     #[test]

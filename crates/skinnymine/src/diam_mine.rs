@@ -47,6 +47,12 @@ pub struct DiamMine<'a> {
     sigma: usize,
     support: SupportMeasure,
     threads: usize,
+    /// When set, [`DiamMine::frequent_edges`] returns this pre-computed
+    /// finalized level-1 set instead of scanning the data — the incremental
+    /// miner's injection point for its maintained seed table.  Every higher
+    /// ladder level is a pure function of level 1, so the whole doubling
+    /// ladder flows unchanged from the injected set.
+    level1_override: Option<Vec<PathPattern>>,
 }
 
 /// Collects both directed orientations of every stored path occurrence of
@@ -73,7 +79,7 @@ impl<'a> DiamMine<'a> {
     /// Creates a Stage-I miner over `data` with support threshold `sigma`
     /// under the given support measure.
     pub fn new(data: MiningData<'a>, sigma: usize, support: SupportMeasure) -> Self {
-        DiamMine { data, sigma, support, threads: 1 }
+        DiamMine { data, sigma, support, threads: 1, level1_override: None }
     }
 
     /// Sets the number of worker threads used by the occurrence-level joins
@@ -81,6 +87,18 @@ impl<'a> DiamMine<'a> {
     /// identical for every thread count.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Injects a pre-computed finalized level-1 pattern set: subsequent
+    /// [`DiamMine::frequent_edges`] calls return a clone of `level1` instead
+    /// of scanning the data.  `level1` must be exactly what
+    /// `frequent_edges()` would compute (deduped, σ-filtered, key-sorted with
+    /// sequential occurrence order) — the incremental miner guarantees this
+    /// by maintaining the unfiltered table under transaction deltas and
+    /// finalizing it per refresh.
+    pub fn with_frequent_edges(mut self, level1: Vec<PathPattern>) -> Self {
+        self.level1_override = Some(level1);
         self
     }
 
@@ -99,8 +117,23 @@ impl<'a> DiamMine<'a> {
     /// sequential transaction order — the same argument that keeps the
     /// occurrence joins byte-identical.
     pub fn frequent_edges(&self) -> Vec<PathPattern> {
+        if let Some(level1) = &self.level1_override {
+            return level1.clone();
+        }
+        self.finalize(self.level1_table().into_patterns())
+    }
+
+    /// The **unfiltered** level-1 pattern table: every length-1 occurrence
+    /// accumulated in sequential transaction order, before dedup and the
+    /// σ-filter.  This is the state the incremental miner maintains under
+    /// transaction deltas ([`DiamMine::frequent_edges`] =
+    /// finalize(level1_table())); each slot's rows are in nondecreasing
+    /// transaction order with each transaction's rows contiguous, which is
+    /// what makes per-transaction retain + re-seed + transaction-ordered
+    /// stitch reproduce this table exactly.
+    pub fn level1_table(&self) -> PatternTable {
         let txns = self.data.transaction_count();
-        let table = if self.threads <= 1 || txns < MIN_PARALLEL_TXNS {
+        if self.threads <= 1 || txns < MIN_PARALLEL_TXNS {
             let mut table = PatternTable::new();
             let mut scratch = JoinScratch::new();
             self.seed_transactions(0..txns, &mut table, &mut scratch);
@@ -118,13 +151,13 @@ impl<'a> DiamMine<'a> {
                 merged.merge(partial);
             }
             merged
-        };
-        self.finalize(table.into_patterns())
+        }
     }
 
     /// Seed enumeration over one contiguous transaction shard, accumulating
-    /// into `table` — the per-task body of [`DiamMine::frequent_edges`].
-    fn seed_transactions(
+    /// into `table` — the per-task body of [`DiamMine::frequent_edges`], and
+    /// the incremental miner's per-dirty-transaction re-seed (`t..t + 1`).
+    pub(crate) fn seed_transactions(
         &self,
         range: std::ops::Range<usize>,
         table: &mut PatternTable,
@@ -383,8 +416,13 @@ impl<'a> DiamMine<'a> {
     where
         F: Fn(usize, &mut PatternTable, &mut JoinScratch) + Sync,
     {
-        // Parallelism only pays once there is real join work per chunk.
-        const MIN_PARALLEL_OCCS: usize = 256;
+        // Parallelism only pays once there is real join work per chunk: the
+        // pool spawns scoped workers per run (~half a millisecond at 8
+        // workers), and a few-thousand-row join finishes faster than that
+        // sequentially — measured on the incremental-maintenance corpora,
+        // where small per-refresh ladders at 8 threads spent more time
+        // spawning workers than joining.
+        const MIN_PARALLEL_OCCS: usize = 4096;
         if self.threads <= 1 || occs.len() < MIN_PARALLEL_OCCS {
             let mut table = PatternTable::new();
             let mut scratch = JoinScratch::new();
@@ -566,7 +604,11 @@ impl<'a> DiamMine<'a> {
     }
 
     /// Filters candidates by support and removes duplicate occurrences.
-    fn finalize(&self, patterns: Vec<PathPattern>) -> Vec<PathPattern> {
+    /// Output order is key-sorted, so it is independent of the input's slot
+    /// order — which is why the incremental miner's maintained table (whose
+    /// slot order is historical first-occurrence order, not the current
+    /// corpus's) finalizes to the exact from-scratch result.
+    pub(crate) fn finalize(&self, patterns: Vec<PathPattern>) -> Vec<PathPattern> {
         let mut scratch = SupportScratch::new();
         let mut out: Vec<PathPattern> = patterns
             .into_iter()
@@ -855,6 +897,32 @@ mod tests {
         let len2 = m.mine_exact(2);
         assert_eq!(len2.len(), 1);
         assert_eq!(len2[0].support(SupportMeasure::Transactions), 2);
+    }
+
+    #[test]
+    fn level1_override_reproduces_the_full_ladder() {
+        let g = two_path_copies();
+        let m = miner(&g, 2);
+        // finalize(level1_table()) is exactly frequent_edges()
+        let direct = m.frequent_edges();
+        let via_table = m.finalize(m.level1_table().into_patterns());
+        assert_eq!(direct.len(), via_table.len());
+        for (a, b) in direct.iter().zip(&via_table) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.embeddings, b.embeddings);
+        }
+        // injecting that set reproduces every ladder level byte-identically
+        let injected = miner(&g, 2).with_frequent_edges(direct.clone());
+        assert_eq!(injected.frequent_edges().len(), direct.len());
+        for l in 1..=4usize {
+            let base = m.mine_exact(l);
+            let inj = injected.mine_exact(l);
+            assert_eq!(base.len(), inj.len(), "length {l}");
+            for (a, b) in base.iter().zip(&inj) {
+                assert_eq!(a.key, b.key);
+                assert_eq!(a.embeddings, b.embeddings, "length {l} occurrence stores differ");
+            }
+        }
     }
 
     #[test]

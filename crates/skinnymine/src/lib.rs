@@ -85,6 +85,7 @@ pub mod error;
 pub mod ext_index;
 pub mod framework;
 pub mod grown;
+pub mod incremental;
 pub mod level_grow;
 pub mod miner;
 pub mod path_pattern;
@@ -111,6 +112,7 @@ pub use framework::{
     SkinnyConstraint, SkinnyDirectMiner,
 };
 pub use grown::{Extension, GrowScratch, GrownPattern, StructScratch};
+pub use incremental::IncrementalMiner;
 pub use level_grow::{LevelGrow, Seed};
 pub use miner::{duplicate_pattern_indices, duplicate_pattern_indices_reference, SkinnyMine};
 pub use path_pattern::{PathKey, PathPattern, PatternTable};

@@ -282,6 +282,92 @@ impl PatternTable {
     pub fn into_patterns(self) -> Vec<PathPattern> {
         self.slots
     }
+
+    /// Clones the patterns out of the table in first-occurrence order,
+    /// leaving the table intact — the incremental miner's way of reading the
+    /// maintained level-1 table each refresh without rebuilding it.
+    pub fn to_patterns(&self) -> Vec<PathPattern> {
+        self.slots.clone()
+    }
+
+    /// Clones only the slots whose support reaches `sigma`, in
+    /// first-occurrence order, leaving the table intact.  This is the σ-
+    /// filter hoisted in front of the clone: every support measure counts
+    /// *distinct* images, so the duplicate rows finalization later drops
+    /// never change a slot's verdict, and the slots skipped here are exactly
+    /// those the post-clone filter would discard.  It keeps the incremental
+    /// miner's per-refresh read of the maintained table proportional to the
+    /// frequent set, not to the corpus.
+    pub fn clone_frequent(&self, sigma: usize, support: SupportMeasure) -> Vec<PathPattern> {
+        let mut scratch = skinny_graph::SupportScratch::new();
+        // support never exceeds the row count under any measure, so the
+        // (many) sparse slots are rejected on length alone, no sort
+        self.slots
+            .iter()
+            .filter(|p| {
+                p.embeddings.len() >= sigma && p.embeddings.support_with(support, &mut scratch) >= sigma
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Drops every occurrence row whose transaction fails `keep`, preserving
+    /// slot order and each slot's remaining row order.  Slots whose
+    /// occurrence list becomes empty stay interned (their rows may come back
+    /// on a later refresh), so the slot/lookup structure never changes.
+    pub fn retain_transactions(&mut self, mut keep: impl FnMut(usize) -> bool) {
+        for slot in &mut self.slots {
+            slot.embeddings.retain_rows(|row| keep(row.transaction));
+        }
+    }
+
+    /// Drops every occurrence row of the transactions in `drop` (ascending,
+    /// deduplicated), exploiting the maintained tables' per-slot transaction
+    /// order: slots without a dropped transaction are rejected by binary
+    /// search without touching a row (see
+    /// [`OccurrenceStore::remove_transactions_sorted`]).  Same result as
+    /// [`PatternTable::retain_transactions`] with a membership predicate,
+    /// at a per-slot instead of per-row cost on the clean majority.
+    pub fn remove_transactions(&mut self, drop: &[u32]) {
+        for slot in &mut self.slots {
+            slot.embeddings.remove_transactions_sorted(drop);
+        }
+    }
+
+    /// Merges a re-seeded partial into the maintained table, restoring each
+    /// shared slot's **sequential row order** by transaction-sorted
+    /// two-pointer merge (see [`OccurrenceStore::merge_by_transaction`]).
+    /// Both tables must hold rows in nondecreasing transaction order per
+    /// slot, which holds for tables produced by transaction-ascending seeding.
+    pub fn merge_by_transaction(&mut self, other: PatternTable) {
+        for pattern in other.slots {
+            let slot = self.slot_for(&pattern.key.vertex_labels, &pattern.key.edge_labels);
+            if slot.embeddings.is_empty() {
+                *slot = pattern;
+            } else {
+                slot.embeddings.merge_by_transaction(pattern.embeddings);
+            }
+        }
+    }
+
+    /// Heap footprint of the table in bytes: every slot's key labels and
+    /// occurrence arena plus the lookup buckets (capacity-based, mirroring
+    /// `CsrSnapshot::heap_bytes`).
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let slots: usize = self
+            .slots
+            .iter()
+            .map(|p| {
+                p.key.vertex_labels.capacity() * size_of::<Label>()
+                    + p.key.edge_labels.capacity() * size_of::<Label>()
+                    + p.embeddings.heap_bytes()
+            })
+            .sum();
+        let buckets: usize =
+            self.lookup.values().map(|b| b.capacity() * size_of::<u32>() + size_of::<u64>()).sum();
+        slots + self.slots.capacity() * size_of::<PathPattern>() + buckets
+    }
 }
 
 #[cfg(test)]
@@ -364,6 +450,46 @@ mod tests {
         assert_eq!(g.label(VertexId(1)), l(1));
         assert_eq!(g.edge_label(VertexId(0), VertexId(1)), Some(l(7)));
         assert_eq!(g.edge_label(VertexId(1), VertexId(2)), Some(l(8)));
+    }
+
+    #[test]
+    fn retain_and_merge_by_transaction_restore_sequential_row_order() {
+        // Build a table with rows from transactions 0,1,2 in one slot.
+        let vl = [l(0), l(1)];
+        let el = [l(0)];
+        let mut table = PatternTable::new();
+        for (t, base) in [(0usize, 0u32), (1, 10), (2, 20)] {
+            table.slot_for(&vl, &el).add_occurrence(t, vec![VertexId(base), VertexId(base + 1)], false);
+        }
+        // Dirty transaction 1: drop its rows, re-seed them, stitch back.
+        table.retain_transactions(|t| t != 1);
+        assert_eq!(table.slots[0].embeddings.len(), 2);
+        let mut partial = PatternTable::new();
+        partial.slot_for(&vl, &el).add_occurrence(1, vec![VertexId(77), VertexId(78)], false);
+        // A brand-new pattern appearing only in the dirty transaction.
+        partial.slot_for(&[l(5), l(5)], &el).add_occurrence(1, vec![VertexId(3), VertexId(4)], false);
+        table.merge_by_transaction(partial);
+        // Shared slot rows are back in ascending transaction order.
+        let rows: Vec<usize> = table.slots[0].embeddings.iter().map(|r| r.transaction).collect();
+        assert_eq!(rows, vec![0, 1, 2]);
+        assert_eq!(table.slots[0].embeddings.row(1), &[VertexId(77), VertexId(78)]);
+        // New pattern got its own slot; empty slots stay interned.
+        assert_eq!(table.len(), 2);
+        table.retain_transactions(|_| false);
+        assert_eq!(table.len(), 2);
+        assert!(table.slots.iter().all(|s| s.is_empty()));
+    }
+
+    #[test]
+    fn to_patterns_clones_without_consuming() {
+        let mut table = PatternTable::new();
+        table.slot_for(&[l(0), l(1)], &[l(0)]).add_occurrence(0, vec![VertexId(0), VertexId(1)], false);
+        let cloned = table.to_patterns();
+        assert_eq!(cloned.len(), 1);
+        assert_eq!(cloned[0].embeddings.len(), 1);
+        // Table still usable afterwards.
+        assert_eq!(table.len(), 1);
+        assert!(table.heap_bytes() > 0);
     }
 
     #[test]

@@ -21,7 +21,7 @@ use crate::path_pattern::PathPattern;
 use crate::result::MiningResult;
 use crate::serving::{ServeCache, ServingCacheConfig, ServingRequest, ServingResponse};
 use crate::stats::{MiningStats, ServingStats};
-use skinny_graph::{CsrSnapshot, GraphDatabase, LabeledGraph, SupportMeasure};
+use skinny_graph::{CsrSnapshot, GraphDatabase, LabeledGraph, SnapshotBuilder, SupportMeasure};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -71,6 +71,9 @@ pub struct MinimalPatternIndex {
     /// Frequent `C_{2l+1}` seeds keyed by diameter length `l`, derivable only
     /// for `2l` within the built path-length range.
     cycles_by_diameter: BTreeMap<usize, Vec<CyclePattern>>,
+    /// The `max_len` bound the index was built with, so a database update
+    /// can re-run Stage I over exactly the same length range.
+    max_len: Option<usize>,
     build_time: std::time::Duration,
     cache: ServeCache,
 }
@@ -84,6 +87,7 @@ impl Clone for MinimalPatternIndex {
             support: self.support,
             by_length: self.by_length.clone(),
             cycles_by_diameter: self.cycles_by_diameter.clone(),
+            max_len: self.max_len,
             build_time: self.build_time,
             // cached results come along as cheap Arc copies; counters and
             // in-flight state start fresh (they describe the original's
@@ -142,25 +146,7 @@ impl MinimalPatternIndex {
         // borrow-then-own when the data is already frozen); Stage I and all
         // request serving sweep it
         let snapshot = data.view().to_snapshot_with_threads(threads).into_owned();
-        let (by_length, cycles_by_diameter) = {
-            let view = MiningData::Snapshot(&snapshot);
-            let dm = DiamMine::new(view, sigma, support).with_threads(threads);
-            let by_length = dm.mine_range(1, max_len);
-            // derive C_{2l+1} seeds from the stored length-2l paths; lengths
-            // beyond the built range cannot be served (documented on
-            // `request`)
-            let mut cycles = BTreeMap::new();
-            for (&len, paths) in &by_length {
-                if len % 2 == 0 {
-                    let l = len / 2;
-                    let found = dm.cycles_from_paths(paths, l);
-                    if !found.is_empty() {
-                        cycles.insert(l, found);
-                    }
-                }
-            }
-            (by_length, cycles)
-        };
+        let (by_length, cycles_by_diameter) = Self::stage_one(&snapshot, sigma, support, max_len, threads);
         MinimalPatternIndex {
             data,
             snapshot,
@@ -168,9 +154,38 @@ impl MinimalPatternIndex {
             support,
             by_length,
             cycles_by_diameter,
+            max_len,
             build_time: t0.elapsed(),
             cache: ServeCache::new(ServingCacheConfig::default()),
         }
+    }
+
+    /// Runs Stage I over the frozen snapshot: the frequent paths of every
+    /// length in range, plus the `C_{2l+1}` seeds derived from the stored
+    /// length-`2l` paths (lengths beyond the built range cannot be served —
+    /// documented on `request`).
+    #[allow(clippy::type_complexity)]
+    fn stage_one(
+        snapshot: &CsrSnapshot,
+        sigma: usize,
+        support: SupportMeasure,
+        max_len: Option<usize>,
+        threads: usize,
+    ) -> (BTreeMap<usize, Vec<PathPattern>>, BTreeMap<usize, Vec<CyclePattern>>) {
+        let view = MiningData::Snapshot(snapshot);
+        let dm = DiamMine::new(view, sigma, support).with_threads(threads);
+        let by_length = dm.mine_range(1, max_len);
+        let mut cycles = BTreeMap::new();
+        for (&len, paths) in &by_length {
+            if len % 2 == 0 {
+                let l = len / 2;
+                let found = dm.cycles_from_paths(paths, l);
+                if !found.is_empty() {
+                    cycles.insert(l, found);
+                }
+            }
+        }
+        (by_length, cycles)
     }
 
     /// Replaces the serving cache with a fresh one of the given shape
@@ -299,6 +314,69 @@ impl MinimalPatternIndex {
         self.cache.purge();
     }
 
+    /// The data version stamp the serving cache is at.  Starts at 0 and is
+    /// bumped by every [`MinimalPatternIndex::update_database`] that
+    /// changed at least one transaction; cached results stamped with an
+    /// older version are never served — each is evicted per key on its
+    /// next lookup and re-mined against the updated data.
+    pub fn data_version(&self) -> u64 {
+        self.cache.version()
+    }
+
+    /// Evicts the cached result for exactly this configuration (if any),
+    /// leaving every other cached entry and its recency untouched.
+    /// Returns `true` when an entry was dropped.  The next request for the
+    /// configuration re-mines; unrelated traffic keeps hitting.
+    pub fn invalidate(&self, config: &SkinnyMineConfig) -> bool {
+        self.cache.invalidate(&config.canonical_request_key())
+    }
+
+    /// Applies an update to the owned graph-transaction database, then
+    /// brings the index back in sync: only the dirty transactions are
+    /// re-frozen into the CSR snapshot (the warm
+    /// [`CsrSnapshot::refreeze_transaction`] path), Stage I re-runs over
+    /// the refreshed snapshot, and the data version stamp is bumped so
+    /// every result cached before the update is evicted per key on its
+    /// next lookup instead of being served stale.
+    ///
+    /// Use the marking mutators inside `mutate`
+    /// ([`GraphDatabase::add_transaction`],
+    /// [`GraphDatabase::remove_transaction`],
+    /// [`GraphDatabase::add_edge_in`], ...) — they record which
+    /// transactions changed, and only those are re-frozen.  Returns the new
+    /// data version; a no-op update (nothing marked dirty) leaves the
+    /// version, the snapshot and the cache untouched.
+    ///
+    /// Errors with [`MineError::InvalidInput`] when the index was built
+    /// over a single graph ([`MinimalPatternIndex::build`]) — there is no
+    /// transaction granularity to update at.
+    pub fn update_database(&mut self, mutate: impl FnOnce(&mut GraphDatabase)) -> MineResult<u64> {
+        let OwnedData::Transactions(db) = &mut self.data else {
+            return Err(MineError::InvalidInput {
+                reason: "update_database requires an index built over a transaction database".into(),
+            });
+        };
+        mutate(db);
+        let dirty = db.take_dirty();
+        if dirty.is_empty() {
+            return Ok(self.cache.version());
+        }
+        let mut builder = SnapshotBuilder::new();
+        for &t in &dirty {
+            let graph = db.get(t)?;
+            if t < self.snapshot.len() {
+                self.snapshot.refreeze_transaction(t, graph, &mut builder);
+            } else {
+                let appended = self.snapshot.push_transaction(graph, &mut builder);
+                debug_assert_eq!(appended, t, "appended transactions arrive in index order");
+            }
+        }
+        let (by_length, cycles) = Self::stage_one(&self.snapshot, self.sigma, self.support, self.max_len, 1);
+        self.by_length = by_length;
+        self.cycles_by_diameter = cycles;
+        Ok(self.cache.bump_version())
+    }
+
     fn serve_uncached(&self, config: &SkinnyMineConfig) -> MiningResult {
         let mut stats = MiningStats::default();
         stats.diam_mine.duration = std::time::Duration::ZERO; // already pre-computed
@@ -325,7 +403,7 @@ impl MinimalPatternIndex {
             Representation::Adjacency => self.data.view(),
             Representation::CsrSnapshot => MiningData::Snapshot(&self.snapshot),
         };
-        // cost-ordered schedule, as in `SkinnyMine::grow_parallel`: dispatch
+        // cost-ordered schedule, as in `SkinnyMine::grow_outcomes`: dispatch
         // the biggest cluster (most embedding rows) first so it cannot land
         // at the tail of the queue; merge back in seed order (paths first),
         // keeping the served result byte-identical for any thread count
@@ -555,6 +633,103 @@ mod tests {
         assert_eq!(top.len(), 1);
         let best = top.patterns().next().unwrap().support;
         assert!(all.patterns().all(|p| p.support <= best));
+    }
+
+    #[test]
+    fn invalidate_evicts_exactly_one_key() {
+        let g = data();
+        let idx = MinimalPatternIndex::build(&g, 2, SupportMeasure::DistinctVertexSets, None);
+        let c3 = SkinnyMineConfig::new(3, 2, 2).with_report(ReportMode::All);
+        let c4 = SkinnyMineConfig::new(4, 2, 2).with_report(ReportMode::All);
+        idx.request(&c3).unwrap();
+        let four = idx.request(&c4).unwrap();
+        assert!(idx.invalidate(&c3));
+        assert!(!idx.invalidate(&c3), "the key is already gone");
+        assert_eq!(idx.serving_stats().cached_entries, 1);
+        // the untouched key still hits as the same Arc
+        let again = idx.request(&c4).unwrap();
+        assert!(Arc::ptr_eq(&four, &again));
+        // the invalidated key re-mines
+        idx.request(&c3).unwrap();
+        let stats = idx.serving_stats();
+        assert_eq!(stats.mining_runs, 3);
+        assert_eq!(stats.invalidations, 1);
+    }
+
+    #[test]
+    fn update_database_bumps_the_version_and_serves_fresh_results() {
+        let g = data();
+        let db = GraphDatabase::from_graphs(vec![g.clone(), g.clone()]);
+        let mut idx = MinimalPatternIndex::build_for_database(&db, 2, SupportMeasure::Transactions, None);
+        let config = SkinnyMineConfig::new(2, 2, 2)
+            .with_support_measure(SupportMeasure::Transactions)
+            .with_report(ReportMode::All);
+        let before = idx.request(&config).unwrap();
+        assert!(!before.patterns.is_empty());
+        assert_eq!(idx.data_version(), 0);
+        // a no-op update changes nothing: no dirt, no bump, cache warm
+        let v = idx.update_database(|_| {}).unwrap();
+        assert_eq!(v, 0);
+        assert_eq!(idx.serving_stats().cached_entries, 1);
+        // drop the second transaction: transaction support halves and no
+        // pattern reaches sigma = 2 any more
+        let v = idx
+            .update_database(|db| {
+                db.remove_transaction(1).unwrap();
+            })
+            .unwrap();
+        assert_eq!((v, idx.data_version()), (1, 1));
+        // the stale cached entry is evicted per key on lookup and re-mined
+        // against the updated data
+        let after = idx.request(&config).unwrap();
+        assert!(!Arc::ptr_eq(&before, &after), "a stale Arc must never be served");
+        assert!(after.patterns.is_empty(), "one transaction cannot reach sigma = 2");
+        let stats = idx.serving_stats();
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(stats.mining_runs, 2);
+        assert_eq!(stats.data_version, 1);
+        // the refreshed index answers exactly like one rebuilt from scratch
+        let mut updated = db;
+        updated.remove_transaction(1).unwrap();
+        let rebuilt =
+            MinimalPatternIndex::build_for_database(&updated, 2, SupportMeasure::Transactions, None);
+        let fresh = rebuilt.request(&config).unwrap();
+        assert_eq!(format!("{:?}", after.patterns), format!("{:?}", fresh.patterns));
+    }
+
+    #[test]
+    fn update_database_tracks_edge_level_dirt() {
+        let g = data();
+        let db = GraphDatabase::from_graphs(vec![g.clone(), g.clone()]);
+        let mut idx = MinimalPatternIndex::build_for_database(&db, 2, SupportMeasure::Transactions, None);
+        let config = SkinnyMineConfig::new(1, 2, 2)
+            .with_support_measure(SupportMeasure::Transactions)
+            .with_report(ReportMode::All);
+        let before = idx.request(&config).unwrap();
+        // add one edge with a brand-new label pair to both transactions:
+        // a new frequent length-1 path appears
+        let grow = |db: &mut GraphDatabase| {
+            for t in 0..2 {
+                let v = db.add_vertex_in(t, l(77)).unwrap();
+                db.add_edge_in(t, skinny_graph::VertexId(0), v, l(0)).unwrap();
+            }
+        };
+        idx.update_database(grow).unwrap();
+        let after = idx.request(&config).unwrap();
+        assert!(after.patterns.len() > before.patterns.len(), "the new edge must be mined");
+        let mut updated = db;
+        grow(&mut updated);
+        let rebuilt =
+            MinimalPatternIndex::build_for_database(&updated, 2, SupportMeasure::Transactions, None);
+        let fresh = rebuilt.request(&config).unwrap();
+        assert_eq!(format!("{:?}", after.patterns), format!("{:?}", fresh.patterns));
+    }
+
+    #[test]
+    fn update_database_rejects_a_single_graph_index() {
+        let g = data();
+        let mut idx = MinimalPatternIndex::build(&g, 2, SupportMeasure::DistinctVertexSets, None);
+        assert!(idx.update_database(|_| {}).is_err());
     }
 
     #[test]

@@ -229,6 +229,22 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
         evicted
     }
 
+    /// Removes `key` from its shard, subtracting the entry's cost from the
+    /// shard budget.  Returns `true` when an entry was actually evicted.
+    /// This is the per-key eviction primitive behind serving-layer
+    /// invalidation: dropping one stale result never disturbs the recency
+    /// order (or the cached `Arc`s) of any other entry.
+    pub fn remove(&self, key: &K) -> bool {
+        let mut shard = self.write_shard(self.shard_of(key));
+        match shard.entries.remove(key) {
+            Some(entry) => {
+                shard.cost -= entry.cost;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Number of cached entries across all shards.
     pub fn len(&self) -> usize {
         (0..self.shards.len()).map(|i| self.read_shard(i).entries.len()).sum()
@@ -320,16 +336,28 @@ struct ServingCounters {
     misses: AtomicU64,
     coalesced_waiters: AtomicU64,
     evictions: AtomicU64,
+    invalidations: AtomicU64,
     mining_runs: AtomicU64,
     in_flight: AtomicU64,
 }
 
 /// The request cache of a [`crate::MinimalPatternIndex`]: sharded LRU
-/// storage plus per-key single-flight coalescing and serving counters.
+/// storage plus per-key single-flight coalescing, a **data version stamp**
+/// and serving counters.
+///
+/// Every cached result carries the data version it was mined under.
+/// [`ServeCache::bump_version`] (called when the underlying data changes)
+/// marks every older entry stale *lazily*: the next request for a stale key
+/// evicts exactly that key ([`ShardedLru::remove`]) and re-mines, so an
+/// update never stalls traffic behind a full purge and entries the updated
+/// data never touches again simply age out of the LRU.
 #[derive(Debug)]
 pub(crate) struct ServeCache {
-    lru: ShardedLru<SkinnyMineConfig, Arc<MiningResult>>,
+    lru: ShardedLru<SkinnyMineConfig, (u64, Arc<MiningResult>)>,
     flights: Mutex<HashMap<SkinnyMineConfig, Arc<Flight>>>,
+    /// Data version the cache currently serves; results stamped with an
+    /// older version are evicted per key on their next lookup.
+    version: AtomicU64,
     counters: ServingCounters,
 }
 
@@ -341,6 +369,10 @@ struct FlightGuard<'a> {
     cache: &'a ServeCache,
     key: &'a SkinnyMineConfig,
     flight: &'a Arc<Flight>,
+    /// Data version observed when the leader started mining; the published
+    /// entry is stamped with it, so a version bump mid-flight leaves the
+    /// entry pre-stale and the next request evicts and re-mines it.
+    version: u64,
     result: Option<Arc<MiningResult>>,
 }
 
@@ -353,7 +385,8 @@ impl Drop for FlightGuard<'_> {
                 // (both checked under the flights lock) is then guaranteed
                 // the key was never served, so it can safely lead
                 let cost = (result.patterns.len() as u64).max(1);
-                let evicted = self.cache.lru.insert(self.key.clone(), Arc::clone(&result), cost);
+                let evicted =
+                    self.cache.lru.insert(self.key.clone(), (self.version, Arc::clone(&result)), cost);
                 self.cache.counters.evictions.fetch_add(evicted, Ordering::Relaxed);
                 Ok(result)
             }
@@ -378,8 +411,24 @@ impl ServeCache {
         ServeCache {
             lru: ShardedLru::new(config),
             flights: Mutex::new(HashMap::new()),
+            version: AtomicU64::new(0),
             counters: ServingCounters::default(),
         }
+    }
+
+    /// Looks up `key` and returns it only when its stamp matches the
+    /// current data version.  A stale entry is evicted *per key* on the
+    /// spot (counted as an invalidation) and reported as a miss, so the
+    /// caller re-mines against the updated data.
+    fn fresh_hit(&self, key: &SkinnyMineConfig) -> Option<Arc<MiningResult>> {
+        let (stamped, result) = self.lru.get(key)?;
+        if stamped == self.version.load(Ordering::Acquire) {
+            return Some(result);
+        }
+        if self.lru.remove(key) {
+            self.counters.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+        None
     }
 
     /// Returns the cached result for `key`, or computes it via `serve` with
@@ -391,7 +440,7 @@ impl ServeCache {
         key: &SkinnyMineConfig,
         serve: impl FnOnce() -> MiningResult,
     ) -> MineResult<Arc<MiningResult>> {
-        if let Some(hit) = self.lru.get(key) {
+        if let Some(hit) = self.fresh_hit(key) {
             self.counters.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(hit);
         }
@@ -400,7 +449,7 @@ impl ServeCache {
             // double-check under the flights lock: a finishing leader
             // publishes to the cache before removing its flight (also under
             // this lock), so "absent from both" means genuinely unserved
-            if let Some(hit) = self.lru.get(key) {
+            if let Some(hit) = self.fresh_hit(key) {
                 self.counters.hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(hit);
             }
@@ -421,7 +470,8 @@ impl ServeCache {
             FlightRole::Lead(flight) => {
                 self.counters.misses.fetch_add(1, Ordering::Relaxed);
                 self.counters.in_flight.fetch_add(1, Ordering::Relaxed);
-                let mut guard = FlightGuard { cache: self, key, flight: &flight, result: None };
+                let version = self.version.load(Ordering::Acquire);
+                let mut guard = FlightGuard { cache: self, key, flight: &flight, version, result: None };
                 self.counters.mining_runs.fetch_add(1, Ordering::Relaxed);
                 let result = Arc::new(serve());
                 guard.result = Some(Arc::clone(&result));
@@ -431,6 +481,30 @@ impl ServeCache {
         }
     }
 
+    /// The data version the cache currently serves.
+    pub(crate) fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Bumps the data version stamp, returning the new version.  Every
+    /// result cached before the bump becomes stale and is evicted per key
+    /// on its next lookup; a leader already mining publishes a pre-stale
+    /// entry that meets the same fate.  Nothing blocks: traffic keeps
+    /// flowing through the cache while the stale set drains lazily.
+    pub(crate) fn bump_version(&self) -> u64 {
+        self.version.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Evicts the cached result for exactly `key` (if any), leaving every
+    /// other entry untouched.  Returns `true` when an entry was dropped.
+    pub(crate) fn invalidate(&self, key: &SkinnyMineConfig) -> bool {
+        let removed = self.lru.remove(key);
+        if removed {
+            self.counters.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+        removed
+    }
+
     /// Snapshot of the serving counters and current cache occupancy.
     pub(crate) fn stats(&self) -> ServingStats {
         ServingStats {
@@ -438,10 +512,12 @@ impl ServeCache {
             misses: self.counters.misses.load(Ordering::Relaxed),
             coalesced_waiters: self.counters.coalesced_waiters.load(Ordering::Relaxed),
             evictions: self.counters.evictions.load(Ordering::Relaxed),
+            invalidations: self.counters.invalidations.load(Ordering::Relaxed),
             mining_runs: self.counters.mining_runs.load(Ordering::Relaxed),
             in_flight: self.counters.in_flight.load(Ordering::Relaxed),
             cached_entries: self.lru.len() as u64,
             cached_cost: self.lru.total_cost(),
+            data_version: self.version.load(Ordering::Acquire),
         }
     }
 
@@ -451,11 +527,14 @@ impl ServeCache {
     }
 
     /// A fresh cache holding clones of the cached entries (cheap `Arc`
-    /// copies) with zeroed counters and no in-flight runs.
+    /// copies) with zeroed counters and no in-flight runs.  The data
+    /// version stamp carries over — the cloned entries stay fresh exactly
+    /// when the originals were.
     pub(crate) fn clone_contents(&self) -> Self {
         ServeCache {
             lru: self.lru.clone_contents(),
             flights: Mutex::new(HashMap::new()),
+            version: AtomicU64::new(self.version.load(Ordering::Acquire)),
             counters: ServingCounters::default(),
         }
     }
@@ -811,6 +890,23 @@ mod tests {
     }
 
     #[test]
+    fn lru_remove_is_per_key() {
+        let cache = lru(2, 100);
+        for k in 0..8u32 {
+            cache.insert(k, Arc::new(k), 3);
+        }
+        assert!(cache.remove(&5));
+        assert!(!cache.remove(&5), "a second remove finds nothing");
+        assert!(!cache.remove(&99), "an absent key is not an error");
+        assert_eq!(cache.len(), 7);
+        assert_eq!(cache.total_cost(), 21, "the removed entry's cost is subtracted");
+        assert_eq!(cache.get(&5), None);
+        for k in (0..8u32).filter(|&k| k != 5) {
+            assert_eq!(cache.get(&k).as_deref(), Some(&k), "other keys are untouched");
+        }
+    }
+
+    #[test]
     fn lru_clear_and_clone_contents() {
         let cache = lru(4, 100);
         for k in 0..20u32 {
@@ -889,6 +985,60 @@ mod tests {
         assert_eq!((stats.hits, stats.misses, stats.mining_runs), (1, 1, 1));
         assert_eq!(stats.in_flight, 0);
         assert_eq!(stats.cached_entries, 1);
+    }
+
+    #[test]
+    fn serve_cache_version_bump_evicts_stale_entries_per_key() {
+        let cache = ServeCache::new(ServingCacheConfig::default());
+        let hot = SkinnyMineConfig::new(4, 2, 2);
+        let cold = SkinnyMineConfig::new(3, 2, 2);
+        let stale_hot = cache.get_or_serve(&hot, MiningResult::default).unwrap();
+        cache.get_or_serve(&cold, MiningResult::default).unwrap();
+        assert_eq!(cache.version(), 0);
+        assert_eq!(cache.bump_version(), 1);
+        // both entries are now stale but still occupy the cache — eviction
+        // is lazy and per key, so the cold one just sits there
+        assert_eq!(cache.stats().cached_entries, 2);
+        let fresh_hot = cache.get_or_serve(&hot, MiningResult::default).unwrap();
+        assert!(!Arc::ptr_eq(&stale_hot, &fresh_hot), "a stale Arc must never be served");
+        let stats = cache.stats();
+        assert_eq!(stats.invalidations, 1, "only the requested key was evicted");
+        assert_eq!(stats.mining_runs, 3);
+        assert_eq!(stats.cached_entries, 2, "the fresh result replaced the stale one");
+        assert_eq!(stats.data_version, 1);
+        // the fresh entry now hits at the new version
+        let hit = cache.get_or_serve(&hot, || panic!("must be served from cache")).unwrap();
+        assert!(Arc::ptr_eq(&fresh_hot, &hit));
+    }
+
+    #[test]
+    fn serve_cache_invalidate_is_per_key() {
+        let cache = ServeCache::new(ServingCacheConfig::default());
+        let a = SkinnyMineConfig::new(4, 2, 2);
+        let b = SkinnyMineConfig::new(3, 2, 2);
+        let kept = cache.get_or_serve(&a, MiningResult::default).unwrap();
+        cache.get_or_serve(&b, MiningResult::default).unwrap();
+        assert!(cache.invalidate(&b));
+        assert!(!cache.invalidate(&b));
+        assert_eq!(cache.stats().cached_entries, 1);
+        assert_eq!(cache.stats().invalidations, 1);
+        let hit = cache.get_or_serve(&a, || panic!("must be served from cache")).unwrap();
+        assert!(Arc::ptr_eq(&kept, &hit), "the surviving key still hits");
+        cache.get_or_serve(&b, MiningResult::default).unwrap();
+        assert_eq!(cache.stats().mining_runs, 3, "the invalidated key re-mines");
+    }
+
+    #[test]
+    fn serve_cache_clone_contents_carries_the_version() {
+        let cache = ServeCache::new(ServingCacheConfig::default());
+        let key = SkinnyMineConfig::new(4, 2, 2);
+        cache.get_or_serve(&key, MiningResult::default).unwrap();
+        cache.bump_version();
+        let fresh = cache.get_or_serve(&key, MiningResult::default).unwrap();
+        let copy = cache.clone_contents();
+        assert_eq!(copy.version(), 1, "the clone serves at the original's data version");
+        let hit = copy.get_or_serve(&key, || panic!("must be served from cache")).unwrap();
+        assert!(Arc::ptr_eq(&fresh, &hit), "the cloned entry is still fresh");
     }
 
     #[test]

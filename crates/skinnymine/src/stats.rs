@@ -135,6 +135,18 @@ pub struct MiningStats {
     pub largest_pattern_edges: u64,
     /// Largest reported pattern size in vertices.
     pub largest_pattern_vertices: u64,
+    /// Transactions re-frozen and re-seeded by the last incremental refresh
+    /// (0 for a from-scratch mine).
+    pub transactions_dirty: u64,
+    /// Clusters the last incremental refresh had to re-grow because their
+    /// seed embeddings changed or touched a dirty transaction.
+    pub clusters_regrown: u64,
+    /// Clusters whose mined output the last incremental refresh reused
+    /// verbatim from the previous result.
+    pub clusters_reused: u64,
+    /// Seconds the last incremental refresh spent maintaining the result
+    /// (0 for a from-scratch mine).
+    pub maintain_seconds: f64,
 }
 
 impl MiningStats {
@@ -164,6 +176,10 @@ impl MiningStats {
         self.full_diameter_recomputations += other.full_diameter_recomputations;
         self.level_grow.candidates_examined += other.level_grow.candidates_examined;
         self.level_grow.patterns_out += other.level_grow.patterns_out;
+        self.transactions_dirty += other.transactions_dirty;
+        self.clusters_regrown += other.clusters_regrown;
+        self.clusters_reused += other.clusters_reused;
+        self.maintain_seconds += other.maintain_seconds;
     }
 
     /// Folds the canonical-dedup funnel counters of one cluster into the
@@ -185,7 +201,7 @@ impl MiningStats {
     /// A one-line human readable summary.
     pub fn summary(&self) -> String {
         format!(
-            "freeze {:.1} ms | DiamMine {:.1} ms ({} paths) | LevelGrow {:.1} ms ({} patterns) | checks {} | rejects I/II/III/δ/freq {}/{}/{}/{}/{} | bound-pruned {} | canon fp-hits/keys/aborts {}/{}/{} | recomputes {} | pool tasks/steals {}/{} merge-wait {:.1} ms",
+            "freeze {:.1} ms | DiamMine {:.1} ms ({} paths) | LevelGrow {:.1} ms ({} patterns) | checks {} | rejects I/II/III/δ/freq {}/{}/{}/{}/{} | bound-pruned {} | canon fp-hits/keys/aborts {}/{}/{} | recomputes {} | pool tasks/steals {}/{} merge-wait {:.1} ms | incr dirty/regrown/reused {}/{}/{} maintain {:.1} ms",
             self.freeze_seconds * 1e3,
             self.diam_mine.millis(),
             self.diam_mine.patterns_out,
@@ -205,6 +221,10 @@ impl MiningStats {
             self.pool_tasks_executed,
             self.pool_steals,
             self.pool_merge_wait_seconds * 1e3,
+            self.transactions_dirty,
+            self.clusters_regrown,
+            self.clusters_reused,
+            self.maintain_seconds * 1e3,
         )
     }
 }
@@ -225,6 +245,10 @@ pub struct ServingStats {
     pub coalesced_waiters: u64,
     /// Cached results evicted by the bounded LRU.
     pub evictions: u64,
+    /// Cached results evicted per key by invalidation: explicit
+    /// `invalidate` calls plus stale entries dropped on lookup after a data
+    /// version bump.
+    pub invalidations: u64,
     /// Mining runs actually executed (single-flight makes this equal to
     /// `misses`: one run per distinct uncached configuration).
     pub mining_runs: u64,
@@ -234,6 +258,10 @@ pub struct ServingStats {
     pub cached_entries: u64,
     /// Total cost (pattern count) currently cached.
     pub cached_cost: u64,
+    /// Data version the cache currently serves (bumped on every database
+    /// update; results stamped older are served stale never — they are
+    /// evicted per key on their next lookup).
+    pub data_version: u64,
 }
 
 impl ServingStats {
@@ -245,16 +273,18 @@ impl ServingStats {
     /// A one-line human readable summary.
     pub fn summary(&self) -> String {
         format!(
-            "serving: {} requests | hits {} | misses {} | coalesced {} | runs {} | evictions {} | in-flight {} | cached {} entries / cost {}",
+            "serving: {} requests | hits {} | misses {} | coalesced {} | runs {} | evictions {} | invalidated {} | in-flight {} | cached {} entries / cost {} | data v{}",
             self.requests(),
             self.hits,
             self.misses,
             self.coalesced_waiters,
             self.mining_runs,
             self.evictions,
+            self.invalidations,
             self.in_flight,
             self.cached_entries,
             self.cached_cost,
+            self.data_version,
         )
     }
 }
@@ -373,5 +403,29 @@ mod tests {
     fn summary_contains_counts() {
         let s = MiningStats { reported_patterns: 42, ..Default::default() };
         assert!(s.summary().contains("42 patterns"));
+    }
+
+    #[test]
+    fn incremental_counters_merge_and_report() {
+        let mut a = MiningStats {
+            transactions_dirty: 2,
+            clusters_regrown: 3,
+            clusters_reused: 40,
+            maintain_seconds: 0.25,
+            ..Default::default()
+        };
+        let b = MiningStats {
+            transactions_dirty: 1,
+            clusters_regrown: 1,
+            clusters_reused: 2,
+            maintain_seconds: 0.5,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.transactions_dirty, 3);
+        assert_eq!(a.clusters_regrown, 4);
+        assert_eq!(a.clusters_reused, 42);
+        assert!((a.maintain_seconds - 0.75).abs() < 1e-12);
+        assert!(a.summary().contains("incr dirty/regrown/reused 3/4/42 maintain 750.0 ms"));
     }
 }

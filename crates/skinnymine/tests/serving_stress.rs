@@ -9,7 +9,7 @@
 //! (the pre-single-flight race dropped a freshly computed result whenever
 //! another thread inserted first — its `mining_runs` would exceed `misses`).
 
-use skinny_graph::{Label, LabeledGraph, SupportMeasure};
+use skinny_graph::{GraphDatabase, Label, LabeledGraph, SupportMeasure, VertexId};
 use skinnymine::{
     LengthConstraint, MinimalPatternIndex, MiningResult, ReportMode, ServingCacheConfig, SkinnyMine,
     SkinnyMineConfig,
@@ -130,6 +130,133 @@ fn hammering_mixed_configs_mines_each_distinct_config_exactly_once() {
     assert_eq!(stats.requests(), (THREADS * ROUNDS * LENGTHS) as u64);
     assert_eq!(stats.evictions, 0, "the working set fits the default cache bound");
     assert_eq!(stats.cached_entries, LENGTHS as u64);
+    assert_eq!(stats.in_flight, 0);
+}
+
+/// An invalidator thread hammers per-key eviction of every configuration
+/// while 8 reader threads hammer requests for them: every served result is
+/// still identical to a fresh sequential mine (an invalidation can race a
+/// lookup, never corrupt it), no computed result is discarded
+/// (`mining_runs == misses`), and the invalidator actually evicted entries.
+#[test]
+fn concurrent_invalidation_never_serves_a_wrong_result() {
+    const ROUNDS: usize = 25;
+    const LENGTHS: usize = 4;
+    let g = data();
+    let index = MinimalPatternIndex::build(&g, 2, SupportMeasure::DistinctVertexSets, None);
+    let expected: Vec<Vec<(usize, usize, usize)>> = (1..=LENGTHS)
+        .map(|l| summary(&SkinnyMine::new(request_config(l)).mine(&g).expect("mining succeeds")))
+        .collect();
+    let barrier = Barrier::new(THREADS + 1);
+    let done = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let (index, barrier, done) = (&index, &barrier, &done);
+        scope.spawn(move || {
+            barrier.wait();
+            // race eviction against the readers for as long as they run,
+            // then sweep once more: the readers' final results are cached by
+            // then, so the invalidator deterministically evicts something —
+            // either here or already during the race
+            while !done.load(std::sync::atomic::Ordering::Acquire) {
+                for l in 1..=LENGTHS {
+                    index.invalidate(&request_config(l));
+                }
+            }
+            for l in 1..=LENGTHS {
+                index.invalidate(&request_config(l));
+            }
+        });
+        let readers: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let expected = &expected;
+                scope.spawn(move || {
+                    barrier.wait();
+                    for round in 0..ROUNDS {
+                        for i in 0..LENGTHS {
+                            let l = 1 + (i + t) % LENGTHS;
+                            let got = index.request(&request_config(l)).expect("request succeeds");
+                            assert_eq!(
+                                summary(&got),
+                                expected[l - 1],
+                                "thread {t} round {round}: l = {l} differs from a sequential mine"
+                            );
+                        }
+                    }
+                })
+            })
+            .collect();
+        for r in readers {
+            r.join().expect("no reader panic");
+        }
+        done.store(true, std::sync::atomic::Ordering::Release);
+    });
+    let stats = index.serving_stats();
+    assert!(stats.invalidations > 0, "the invalidator must have evicted entries");
+    assert_eq!(stats.mining_runs, stats.misses, "no computed result was discarded");
+    assert_eq!(stats.in_flight, 0);
+}
+
+/// Update-then-serve rounds against a transaction-database index: each
+/// round warms the cache with concurrent traffic, mutates one transaction
+/// through `update_database` (bumping the data version), and then requires
+/// every subsequent request to match an index rebuilt from scratch over the
+/// mirrored database — a stale pre-update `Arc` must never be served, and
+/// the stale entries drain per key through the invalidation counter.
+#[test]
+fn database_updates_invalidate_stale_results_between_traffic_bursts() {
+    const ROUNDS: usize = 4;
+    const LENGTHS: usize = 4;
+    let g = data();
+    let db = GraphDatabase::from_graphs(vec![g.clone(), g.clone(), g.clone()]);
+    let mut index = MinimalPatternIndex::build_for_database(&db, 2, SupportMeasure::Transactions, None);
+    let mut mirror = db;
+    let config = |l: usize| request_config(l).with_support_measure(SupportMeasure::Transactions);
+    for round in 0..ROUNDS {
+        // concurrent traffic warms the cache with the current-version results
+        let barrier = Barrier::new(THREADS);
+        std::thread::scope(|scope| {
+            let (index, barrier) = (&index, &barrier);
+            for t in 0..THREADS {
+                scope.spawn(move || {
+                    barrier.wait();
+                    for i in 0..LENGTHS {
+                        let l = 1 + (i + t) % LENGTHS;
+                        index.request(&config(l)).expect("request succeeds");
+                    }
+                });
+            }
+        });
+        assert_eq!(index.serving_stats().cached_entries, LENGTHS as u64);
+        // hang a fresh twig off one transaction; mirror the same mutation
+        let t = round % 3;
+        let twig = Label(100 + round as u32);
+        let grow = |db: &mut GraphDatabase| {
+            let v = db.add_vertex_in(t, twig).expect("transaction exists");
+            db.add_edge_in(t, VertexId(0), v, Label(0)).expect("vertices exist");
+        };
+        let version = index.update_database(grow).expect("transactional index");
+        assert_eq!(version, round as u64 + 1, "every effective update bumps the version once");
+        grow(&mut mirror);
+        // after the update every request must match a from-scratch rebuild
+        let rebuilt = MinimalPatternIndex::build_for_database(&mirror, 2, SupportMeasure::Transactions, None);
+        for l in 1..=LENGTHS {
+            let got = index.request(&config(l)).expect("request succeeds");
+            let want = rebuilt.request(&config(l)).expect("request succeeds");
+            assert_eq!(
+                format!("{:?}", got.patterns),
+                format!("{:?}", want.patterns),
+                "round {round}: l = {l} served a stale or divergent result"
+            );
+        }
+    }
+    let stats = index.serving_stats();
+    assert_eq!(stats.data_version, ROUNDS as u64);
+    assert_eq!(
+        stats.invalidations,
+        (ROUNDS * LENGTHS) as u64,
+        "every warmed entry of every round drains per key after its update"
+    );
+    assert_eq!(stats.mining_runs, stats.misses, "no computed result was discarded");
     assert_eq!(stats.in_flight, 0);
 }
 

@@ -19,8 +19,8 @@ use skinny_graph::{
     VertexMarks,
 };
 use skinnymine::{
-    DiamMine, Extension, ExtensionScratch, GrownPattern, MinimalPatternIndex, MiningData, PatternTable,
-    ReportMode, SkinnyMineConfig, StructScratch,
+    DiamMine, Extension, ExtensionScratch, GrownPattern, IncrementalMiner, MinimalPatternIndex, MiningData,
+    PatternTable, ReportMode, SkinnyMineConfig, StructScratch,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -351,6 +351,26 @@ fn hot_loops_allocate_per_pattern_not_per_row() {
         freeze_allocs, 0,
         "warm snapshot re-freeze allocated {freeze_allocs} times — \
          the counting-sort build must reuse its arenas and output columns"
+    );
+
+    // ---- incremental maintenance: a no-op refresh is allocation-free ----
+    // with nothing dirty, `refresh` must hand back the maintained result
+    // without touching the heap — the steady state of a serving deployment
+    // polling an unchanged database
+    let db = skinny_graph::GraphDatabase::from_graphs(vec![labeled_paths_graph(10)]);
+    let config = SkinnyMineConfig::new(2, 2, 1).with_report(ReportMode::All);
+    let mut incremental = IncrementalMiner::new(config, db).expect("a valid database mines");
+    let polls = 200u64;
+    let (noop_refresh_allocs, ()) = counted(|| {
+        for _ in 0..polls {
+            incremental.refresh().expect("a no-op refresh succeeds");
+        }
+    });
+    assert!(!incremental.result().patterns.is_empty());
+    assert_eq!(
+        noop_refresh_allocs, 0,
+        "no-op incremental refresh allocated {noop_refresh_allocs} times for {polls} polls — \
+         an empty dirty set must short-circuit without touching the heap"
     );
 
     // ---- Stage I shard merge: warm merge is allocation-free -------------
