@@ -6,8 +6,9 @@
 //!
 //!   --divisor N   down-scaling divisor for the preset graph (default 10)
 //!   --seed S      RNG seed (default 20130622)
-//!   --threads T   worker count of the headline run (default 1); the
-//!                 scaling sweep always covers {1, 2, 4, 8, 16}
+//!   --threads T   worker count of the headline run (default 1); the grow
+//!                 scaling sweep always covers {1, 2, 4, 8, 16} and the
+//!                 Stage-I ladder sweep {1, 2, 8}
 //!   --scale X     transaction-count divisor of the ingest section's XL
 //!                 corpus (default: the --divisor value; 1 = the full
 //!                 100k-transaction tier)
@@ -98,9 +99,21 @@ fn main() {
     );
     for j in &bench.joins {
         eprintln!(
-            "  join {}: hashmap {:.4}s -> indexed {:.4}s ({:.2}x)",
-            j.join, j.before_hashmap_seconds, j.after_indexed_seconds, j.speedup
+            "  join {}: reference {:.4}s -> current {:.4}s ({:.2}x; probe {:.3}s, gather {:.3}s, \
+             intern {:.3}s, support {:.3}s)",
+            j.join,
+            j.before_reference_seconds,
+            j.after_current_seconds,
+            j.speedup,
+            j.phases.probe.as_secs_f64(),
+            j.phases.gather.as_secs_f64(),
+            j.phases.intern.as_secs_f64(),
+            j.phases.support.as_secs_f64(),
         );
+    }
+    eprintln!("  ladder scaling (mine_range 1..=6):");
+    for p in &bench.ladder_scaling {
+        eprintln!("    t={:<2} ladder {:.4}s ({:.2}x)", p.threads, p.ladder_seconds, p.speedup);
     }
     eprintln!(
         "  grow: reference {:.4}s -> indexed {:.4}s ({:.2}x; candidates {:.3}s, check {:.3}s, \

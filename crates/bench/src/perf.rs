@@ -38,8 +38,8 @@
 use crate::experiments::Scale;
 use skinny_graph::SupportMeasure;
 use skinnymine::{
-    DiamMine, Exploration, GrowEngine, GrowPhaseStats, LengthConstraint, MiningData, MiningResult,
-    PathPattern, ReportMode, SkinnyMine, SkinnyMineConfig,
+    DiamMine, Exploration, GrowEngine, GrowPhaseStats, JoinPhaseStats, LengthConstraint, MiningData,
+    MiningResult, MiningStats, PathPattern, ReportMode, SkinnyMine, SkinnyMineConfig,
 };
 use std::time::Instant;
 
@@ -56,16 +56,36 @@ pub struct PhaseTiming {
     pub rows: usize,
 }
 
-/// Before/after wall-clock comparison of one Stage-I join.
+/// Before/after wall-clock comparison of one Stage-I ladder level (schema
+/// v7): the retained reference hash-map join against the current kernel
+/// (level-carried prefix index + pattern-pair memo + σ-pruned finalize),
+/// with the current kernel's phase breakdown.
 #[derive(Debug, Clone)]
 pub struct JoinComparison {
-    /// Join id (`concat` or `merge`).
+    /// Ladder level id (`concat2`, `concat4` or `merge6`).
     pub join: String,
     /// Seconds of the reference hash-map join (best of repetitions).
-    pub before_hashmap_seconds: f64,
-    /// Seconds of the endpoint-indexed join (best of repetitions).
-    pub after_indexed_seconds: f64,
+    pub before_reference_seconds: f64,
+    /// Seconds of the current kernel (best of repetitions).
+    pub after_current_seconds: f64,
     /// `before / after`.
+    pub speedup: f64,
+    /// Join sub-timings (probe / gather / intern / support) of the best
+    /// current-kernel run.
+    pub phases: JoinPhaseStats,
+}
+
+/// One point of the Stage-I ladder thread-scaling sweep (schema v7): the
+/// best wall-clock of a full `mine_range(1, 6)` doubling-ladder run at a
+/// given worker count, asserted byte-identical to the 1-thread point.
+#[derive(Debug, Clone)]
+pub struct LadderScalingPoint {
+    /// Worker count of this point.
+    pub threads: usize,
+    /// Best ladder wall-clock seconds over the repetitions.
+    pub ladder_seconds: f64,
+    /// `ladder_seconds(threads = 1) / ladder_seconds` — exactly 1.0 for the
+    /// first point.
     pub speedup: f64,
 }
 
@@ -266,8 +286,11 @@ pub struct Stage1Bench {
     pub logical_cores: usize,
     /// Per-phase timings.
     pub phases: Vec<PhaseTiming>,
-    /// Before/after join comparisons.
+    /// Before/after join comparisons, one per Stage-I ladder level.
     pub joins: Vec<JoinComparison>,
+    /// Stage-I ladder thread-scaling sweep, ascending worker counts, first
+    /// point at 1 thread (schema v7).
+    pub ladder_scaling: Vec<LadderScalingPoint>,
     /// Before/after Stage-II grow-engine comparison.
     pub grow: GrowComparison,
     /// Stage-II thread-scaling sweep, ascending worker counts, first point
@@ -329,7 +352,7 @@ pub fn run_stage1_perf(scale: Scale, threads: usize, xl_scale: usize) -> Stage1B
     let graph = skinny_datagen::erdos_renyi(&skinny_datagen::ErConfig::new(vertices, 3.0, 10, scale.seed));
     let snapshot = skinny_graph::CsrSnapshot::from_graph(&graph);
     let data = MiningData::Snapshot(&snapshot);
-    let dm = DiamMine::new(data.clone(), sigma, SupportMeasure::MinimumImage);
+    let dm = DiamMine::new(data.clone(), sigma, SupportMeasure::MinimumImage).with_threads(threads);
 
     let mut phases = Vec::new();
     let mut phase = |name: &str, seconds: f64, paths: &[PathPattern]| {
@@ -341,13 +364,33 @@ pub fn run_stage1_perf(scale: Scale, threads: usize, xl_scale: usize) -> Stage1B
         });
     };
 
+    // Each ladder level runs through the `_with_stats` kernel so the best
+    // repetition's probe/gather/intern/support split rides into the per-level
+    // join comparison below.
+    let time_best_join = |f: &dyn Fn(&mut MiningStats) -> Vec<PathPattern>| {
+        let mut best = f64::INFINITY;
+        let mut out = None;
+        for _ in 0..REPS {
+            let mut stats = MiningStats::default();
+            let t0 = Instant::now();
+            let paths = f(&mut stats);
+            let seconds = t0.elapsed().as_secs_f64();
+            if seconds < best {
+                best = seconds;
+                out = Some((paths, stats.join_phases));
+            }
+        }
+        let (paths, join_phases) = out.expect("REPS >= 1");
+        (best, paths, join_phases)
+    };
+
     let (t_seed, len1) = time_best(|| dm.frequent_edges());
     phase("seed", t_seed, &len1);
-    let (t_concat2, len2) = time_best(|| dm.concat_double(&len1));
+    let (t_concat2, len2, ph_concat2) = time_best_join(&|stats| dm.concat_double_with_stats(&len1, stats));
     phase("concat2", t_concat2, &len2);
-    let (t_concat4, len4) = time_best(|| dm.concat_double(&len2));
+    let (t_concat4, len4, ph_concat4) = time_best_join(&|stats| dm.concat_double_with_stats(&len2, stats));
     phase("concat4", t_concat4, &len4);
-    let (t_merge6, len6) = time_best(|| dm.merge_to_length(&len4, 6));
+    let (t_merge6, len6, ph_merge6) = time_best_join(&|stats| dm.merge_to_length_with_stats(&len4, 6, stats));
     phase("merge6", t_merge6, &len6);
 
     let config = SkinnyMineConfig::new(6, 2, sigma)
@@ -456,26 +499,57 @@ pub fn run_stage1_perf(scale: Scale, threads: usize, xl_scale: usize) -> Stage1B
     // new: incremental into warm scratch).
     let canon = canon_comparison(&indexed_result, &len6, &len4, &len1);
 
-    // before/after: the reference hash-map joins vs the indexed engine, on
-    // identical inputs; outputs are asserted byte-identical as a side check
-    let (before_concat, ref_len2) = time_best(|| dm.concat_double_reference(&len1));
-    assert_joins_agree("concat", &ref_len2, &len2);
-    let (before_merge, ref_len6) = time_best(|| dm.merge_to_length_reference(&len4, 6));
-    assert_joins_agree("merge", &ref_len6, &len6);
+    // before/after per ladder level: the reference hash-map joins vs the
+    // current kernels, on identical inputs.  Reference parity is asserted
+    // BEFORE the timings are recorded, so a kernel that diverges can never
+    // produce an artifact.
+    let (before_concat2, ref_len2) = time_best(|| dm.concat_double_reference(&len1));
+    assert_joins_agree("concat2", &ref_len2, &len2);
+    let (before_concat4, ref_len4) = time_best(|| dm.concat_double_reference(&len2));
+    assert_joins_agree("concat4", &ref_len4, &len4);
+    let (before_merge6, ref_len6) = time_best(|| dm.merge_to_length_reference(&len4, 6));
+    assert_joins_agree("merge6", &ref_len6, &len6);
+    let join_cmp = |join: &str, before: f64, after: f64, phases: JoinPhaseStats| JoinComparison {
+        join: join.to_string(),
+        before_reference_seconds: before,
+        after_current_seconds: after,
+        speedup: before / after.max(f64::MIN_POSITIVE),
+        phases,
+    };
     let joins = vec![
-        JoinComparison {
-            join: "concat".to_string(),
-            before_hashmap_seconds: before_concat,
-            after_indexed_seconds: t_concat2,
-            speedup: before_concat / t_concat2.max(f64::MIN_POSITIVE),
-        },
-        JoinComparison {
-            join: "merge".to_string(),
-            before_hashmap_seconds: before_merge,
-            after_indexed_seconds: t_merge6,
-            speedup: before_merge / t_merge6.max(f64::MIN_POSITIVE),
-        },
+        join_cmp("concat2", before_concat2, t_concat2, ph_concat2),
+        join_cmp("concat4", before_concat4, t_concat4, ph_concat4),
+        join_cmp("merge6", before_merge6, t_merge6, ph_merge6),
     ];
+
+    // Stage-I ladder thread-scaling sweep: a full doubling-ladder run
+    // (`mine_range(1, 6)`, one carried ladder shared across the length
+    // sweep) at each worker count, best-of-REPS per point, every point
+    // asserted byte-identical to the 1-thread output.
+    let mut ladder_scaling = Vec::new();
+    let mut ladder_serial = None;
+    for &t in &[1usize, 2, 8] {
+        let dm_t = DiamMine::new(data.clone(), sigma, SupportMeasure::MinimumImage).with_threads(t);
+        let (ladder_seconds, ranged) = time_best(|| dm_t.mine_range(1, Some(6)));
+        match &ladder_serial {
+            None => ladder_serial = Some(ranged),
+            Some(serial) => {
+                assert_eq!(
+                    serial.keys().collect::<Vec<_>>(),
+                    ranged.keys().collect::<Vec<_>>(),
+                    "ladder: mined lengths diverge at {t} threads"
+                );
+                for (l, paths) in serial {
+                    assert_joins_agree(&format!("ladder length {l} at {t} threads"), paths, &ranged[l]);
+                }
+            }
+        }
+        ladder_scaling.push(LadderScalingPoint { threads: t, ladder_seconds, speedup: 1.0 });
+    }
+    let ladder_base = ladder_scaling[0].ladder_seconds;
+    for p in ladder_scaling.iter_mut().skip(1) {
+        p.speedup = ladder_base / p.ladder_seconds.max(f64::MIN_POSITIVE);
+    }
 
     // front of the pipeline: arena build before/after + the XL scale tier
     let ingest = ingest_bench(&graph, threads, xl_scale, logical_cores);
@@ -484,7 +558,7 @@ pub fn run_stage1_perf(scale: Scale, threads: usize, xl_scale: usize) -> Stage1B
     let incremental = incremental_bench(scale.divisor, threads, xl_scale);
 
     Stage1Bench {
-        schema_version: 6,
+        schema_version: 7,
         preset: "fig16-er-deg3-f10".to_string(),
         divisor: scale.divisor,
         seed: scale.seed,
@@ -495,6 +569,7 @@ pub fn run_stage1_perf(scale: Scale, threads: usize, xl_scale: usize) -> Stage1B
         logical_cores,
         phases,
         joins,
+        ladder_scaling,
         grow,
         grow_scaling,
         scaling_note,
@@ -848,13 +923,30 @@ impl Stage1Bench {
         s.push_str("  \"joins\": [\n");
         for (i, j) in self.joins.iter().enumerate() {
             s.push_str(&format!(
-                "    {{\"join\": \"{}\", \"before_hashmap_seconds\": {:.6}, \
-                 \"after_indexed_seconds\": {:.6}, \"speedup\": {:.3}}}{}\n",
+                "    {{\"join\": \"{}\", \"before_reference_seconds\": {:.6}, \
+                 \"after_current_seconds\": {:.6}, \"speedup\": {:.3}, \
+                 \"phases\": {{\"probe_seconds\": {:.6}, \"gather_seconds\": {:.6}, \
+                 \"intern_seconds\": {:.6}, \"support_seconds\": {:.6}}}}}{}\n",
                 j.join,
-                j.before_hashmap_seconds,
-                j.after_indexed_seconds,
+                j.before_reference_seconds,
+                j.after_current_seconds,
                 j.speedup,
+                j.phases.probe.as_secs_f64(),
+                j.phases.gather.as_secs_f64(),
+                j.phases.intern.as_secs_f64(),
+                j.phases.support.as_secs_f64(),
                 if i + 1 < self.joins.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"ladder_scaling\": [\n");
+        for (i, p) in self.ladder_scaling.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"threads\": {}, \"ladder_seconds\": {:.6}, \"speedup\": {:.3}}}{}\n",
+                p.threads,
+                p.ladder_seconds,
+                p.speedup,
+                if i + 1 < self.ladder_scaling.len() { "," } else { "" }
             ));
         }
         s.push_str("  ],\n");
@@ -1022,7 +1114,7 @@ pub fn check_schema(text: &str) -> Result<(), String> {
             .filter(|x| x.is_finite() && *x >= 0.0)
             .ok_or_else(|| format!("missing or invalid numeric field \"{key}\""))
     };
-    if num_field(&doc, "schema_version")? != 6.0 {
+    if num_field(&doc, "schema_version")? != 7.0 {
         return Err("unsupported schema_version".to_string());
     }
     match doc.get("experiment") {
@@ -1059,13 +1151,44 @@ pub fn check_schema(text: &str) -> Result<(), String> {
             Some(Json::Str(n)) => join_ids.push(n.clone()),
             _ => return Err("join comparison without a \"join\" id".to_string()),
         }
-        for key in ["before_hashmap_seconds", "after_indexed_seconds", "speedup"] {
+        for key in ["before_reference_seconds", "after_current_seconds", "speedup"] {
             num_field(j, key)?;
         }
+        let Some(join_phases @ Json::Obj(_)) = j.get("phases") else {
+            return Err("join comparison without a \"phases\" object".to_string());
+        };
+        for key in ["probe_seconds", "gather_seconds", "intern_seconds", "support_seconds"] {
+            num_field(join_phases, key)?;
+        }
     }
-    for required in ["concat", "merge"] {
+    for required in ["concat2", "concat4", "merge6"] {
         if !join_ids.iter().any(|n| n == required) {
             return Err(format!("missing join comparison \"{required}\""));
+        }
+    }
+    let Some(Json::Arr(ladder)) = doc.get("ladder_scaling") else {
+        return Err("missing \"ladder_scaling\" array".to_string());
+    };
+    if ladder.is_empty() {
+        return Err("\"ladder_scaling\" must contain at least the 1-thread point".to_string());
+    }
+    let mut prev_ladder_threads = 0.0;
+    for (i, p) in ladder.iter().enumerate() {
+        for key in ["threads", "ladder_seconds", "speedup"] {
+            num_field(p, key)?;
+        }
+        let t = num_field(p, "threads")?;
+        if t <= prev_ladder_threads {
+            return Err("ladder_scaling worker counts must be strictly ascending".to_string());
+        }
+        prev_ladder_threads = t;
+        if i == 0 {
+            if t != 1.0 {
+                return Err("the first ladder_scaling point must be the 1-thread baseline".to_string());
+            }
+            if num_field(p, "speedup")? != 1.0 {
+                return Err("the 1-thread ladder_scaling point must have speedup 1.0".to_string());
+            }
         }
     }
     let Some(grow @ Json::Obj(_)) = doc.get("grow") else {
@@ -1285,7 +1408,8 @@ mod tests {
         assert!(check_schema("{\"schema_version\": 3}").is_err());
         assert!(check_schema("{\"schema_version\": 4}").is_err());
         assert!(check_schema("{\"schema_version\": 5}").is_err());
-        let truncated = "{\"schema_version\": 6, \"experiment\": \"stage1_perf\"}";
+        assert!(check_schema("{\"schema_version\": 6}").is_err());
+        let truncated = "{\"schema_version\": 7, \"experiment\": \"stage1_perf\"}";
         assert!(check_schema(truncated).is_err());
     }
 
@@ -1297,9 +1421,14 @@ mod tests {
             |n: &str| format!("{{\"name\": \"{n}\", \"seconds\": 0.1, \"patterns\": 1, \"rows\": 1}}");
         let join = |n: &str| {
             format!(
-                "{{\"join\": \"{n}\", \"before_hashmap_seconds\": 0.2, \
-                 \"after_indexed_seconds\": 0.1, \"speedup\": 2.0}}"
+                "{{\"join\": \"{n}\", \"before_reference_seconds\": 0.2, \
+                 \"after_current_seconds\": 0.1, \"speedup\": 2.0, \
+                 \"phases\": {{\"probe_seconds\": 0.01, \"gather_seconds\": 0.01, \
+                 \"intern_seconds\": 0.05, \"support_seconds\": 0.03}}}}"
             )
+        };
+        let ladder_point = |threads: usize, speedup: f64| {
+            format!("{{\"threads\": {threads}, \"ladder_seconds\": 0.2, \"speedup\": {speedup:.1}}}")
         };
         let point = |threads: usize, speedup: f64| {
             format!(
@@ -1318,9 +1447,10 @@ mod tests {
             )
         };
         let valid = format!(
-            "{{\"schema_version\": 6, \"experiment\": \"stage1_perf\", \"divisor\": 4, \"seed\": 1, \
+            "{{\"schema_version\": 7, \"experiment\": \"stage1_perf\", \"divisor\": 4, \"seed\": 1, \
              \"vertices\": 10, \"edges\": 9, \"sigma\": 2, \"threads\": 1, \"logical_cores\": 8, \
-             \"phases\": [{}], \"joins\": [{}, {}], \
+             \"phases\": [{}], \"joins\": [{}, {}, {}], \
+             \"ladder_scaling\": [{}, {}], \
              \"grow\": {{\"before_reference_seconds\": 0.4, \"after_indexed_seconds\": 0.2, \
              \"speedup\": 2.0, \"phases\": {{\"candidates_seconds\": 0.1, \"check_seconds\": 0.02, \
              \"extend_seconds\": 0.05, \"support_seconds\": 0.03, \"canon_seconds\": 0.01}}}}, \
@@ -1344,8 +1474,11 @@ mod tests {
              \"vertices\": 6080, \"edges\": 8640, \"sigma\": 5, \
              \"maintained_state_bytes\": 654321, \"deltas\": [{}, {}]}}]}}",
             ["seed", "concat2", "concat4", "merge6", "grow"].map(phase).join(", "),
-            join("concat"),
-            join("merge"),
+            join("concat2"),
+            join("concat4"),
+            join("merge6"),
+            ladder_point(1, 1.0),
+            ladder_point(2, 1.9),
             point(1, 1.0),
             point(2, 1.8),
             delta(1),
@@ -1354,7 +1487,8 @@ mod tests {
         check_schema(&valid).expect("handwritten document must satisfy the schema");
         let without_grow = valid.replace("\"grow\": {\"before", "\"grown\": {\"before");
         assert!(check_schema(&without_grow).unwrap_err().contains("grow"));
-        // the first object-valued "phases" key is the grow sub-timings
+        // the first "phases" object keyed by candidates_seconds is the grow
+        // sub-timings (the join phase objects are keyed by probe_seconds)
         let without_phases =
             valid.replacen("\"phases\": {\"candidates_seconds\"", "\"p\": {\"candidates_seconds\"", 1);
         assert!(check_schema(&without_phases).is_err());
@@ -1427,5 +1561,18 @@ mod tests {
         assert!(check_schema(&unsorted_deltas).unwrap_err().contains("ascending"));
         let without_regrown = valid.replace("\"clusters_regrown\": 1, ", "");
         assert!(check_schema(&without_regrown).unwrap_err().contains("clusters_regrown"));
+        // schema v7 gates: per-level join comparisons with phase objects and
+        // the Stage-I ladder scaling sweep
+        let without_join_phases =
+            valid.replacen("\"phases\": {\"probe_seconds\"", "\"p\": {\"probe_seconds\"", 1);
+        assert!(check_schema(&without_join_phases).unwrap_err().contains("phases"));
+        let without_merge6 = valid.replacen(&join("merge6"), &join("merge"), 1);
+        assert!(check_schema(&without_merge6).unwrap_err().contains("merge6"));
+        let without_ladder = valid.replace("\"ladder_scaling\"", "\"ladder\"");
+        assert!(check_schema(&without_ladder).unwrap_err().contains("ladder_scaling"));
+        let wrong_ladder_baseline = valid.replacen(&ladder_point(1, 1.0), &ladder_point(1, 0.9), 1);
+        assert!(check_schema(&wrong_ladder_baseline).unwrap_err().contains("speedup 1.0"));
+        let ladder_not_ascending = valid.replacen(&ladder_point(2, 1.9), &ladder_point(1, 1.0), 1);
+        assert!(check_schema(&ladder_not_ascending).unwrap_err().contains("ascending"));
     }
 }

@@ -313,6 +313,276 @@ impl GroupSorter {
     }
 }
 
+/// An **owned** prefix-grouped posting index over [`OccurrenceStore`] rows —
+/// the level-carried sibling of [`OccurrenceIndex`].
+///
+/// Where [`OccurrenceIndex`] borrows its keys from the store (and therefore
+/// must be rebuilt from a fresh `HashMap` every time the store it borrows
+/// from is replaced), `PrefixIndex` owns all of its arenas: group lookup runs
+/// on an epoch-stamped open-addressing table keyed by a multiply-fold hash of
+/// `(transaction, prefix)` with collisions verified against each group's
+/// **representative row** in the store, so a warm rebuild over a new store
+/// touches no allocator at all (pinned in `tests/alloc_hot_loops.rs` via the
+/// ladder-level rebuild).  Group ids are assigned in first-occurrence scan
+/// order and every posting list keeps the global row order — the same
+/// iteration contract as [`OccurrenceIndex::by_prefix`], property-tested
+/// byte-identical in `crates/graph/tests/occ_index_properties.rs`.
+#[derive(Debug, Default)]
+pub struct PrefixIndex {
+    /// Prefix length (in vertices) the rows are grouped by.
+    prefix_len: usize,
+    /// Epoch of the open-addressing table (starts at 1 like [`KeyMarks`]).
+    epoch: u32,
+    /// Per-slot epoch stamp of the lookup table.
+    stamp: Vec<u32>,
+    /// Per-slot group id of the lookup table.
+    slot_group: Vec<u32>,
+    /// Representative (first) row id per group — the collision verifier.
+    first_row: Vec<u32>,
+    /// Transaction per group (saves re-reading the store on verify).
+    group_txn: Vec<u32>,
+    /// Group id per row of the last built store.
+    group_of_row: Vec<u32>,
+    /// Start offset of each group's posting list (`groups + 1` entries).
+    offsets: Vec<u32>,
+    /// Row ids, grouped by group id, global row order inside each group.
+    postings: Vec<u32>,
+    /// Reused counting-sort kernel for the posting scatter.
+    sorter: GroupSorter,
+}
+
+impl PrefixIndex {
+    /// Creates an empty index (arenas grow on first build, then stay).
+    pub fn new() -> Self {
+        PrefixIndex { epoch: 1, ..Default::default() }
+    }
+
+    /// Multiply-fold hash of a `(transaction, prefix)` key.
+    #[inline]
+    fn hash_key(transaction: u32, prefix: &[VertexId]) -> u64 {
+        let mut h = (transaction as u64).wrapping_add(0x9e37_79b9_7f4a_7c15);
+        for &v in prefix {
+            h = (h ^ v.0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+        h ^ (h >> 32)
+    }
+
+    /// (Re)builds the index over `store`, grouping rows by transaction and
+    /// their first `prefix_len` vertices.  Group numbering is
+    /// first-occurrence scan order, posting lists keep global row order.
+    /// Warm rebuilds (table already sized for the row count) allocate
+    /// nothing.
+    ///
+    /// # Panics
+    /// Panics when `prefix_len` is zero or exceeds the store arity (for a
+    /// non-empty store).
+    pub fn build(&mut self, store: &OccurrenceStore, prefix_len: usize) {
+        if !store.is_empty() {
+            assert!(
+                prefix_len >= 1 && prefix_len <= store.arity(),
+                "prefix length {prefix_len} out of range for arity {}",
+                store.arity()
+            );
+        }
+        self.prefix_len = prefix_len;
+        let rows = store.len();
+        // size the lookup table for the worst case (every row its own group)
+        // up front, so the insert loop never rehashes mid-build
+        let cap = (rows * 2).next_power_of_two().max(64);
+        if self.stamp.len() < cap {
+            self.stamp.clear();
+            self.stamp.resize(cap, 0);
+            self.slot_group.resize(cap, 0);
+            self.epoch = 1;
+        } else if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+        self.first_row.clear();
+        self.group_txn.clear();
+        self.group_of_row.clear();
+        let mask = self.stamp.len() - 1;
+        for i in 0..rows {
+            let t = store.transaction(i) as u32;
+            let prefix = &store.row(i)[..prefix_len];
+            let mut s = (Self::hash_key(t, prefix) as usize) & mask;
+            let g = loop {
+                if self.stamp[s] != self.epoch {
+                    // first occurrence of this (transaction, prefix)
+                    let g = self.first_row.len() as u32;
+                    self.stamp[s] = self.epoch;
+                    self.slot_group[s] = g;
+                    self.first_row.push(i as u32);
+                    self.group_txn.push(t);
+                    break g;
+                }
+                let g = self.slot_group[s];
+                if self.group_txn[g as usize] == t
+                    && &store.row(self.first_row[g as usize] as usize)[..prefix_len] == prefix
+                {
+                    break g;
+                }
+                s = (s + 1) & mask;
+            };
+            self.group_of_row.push(g);
+        }
+        self.sorter.group_into(
+            &self.group_of_row,
+            self.first_row.len(),
+            &mut self.offsets,
+            &mut self.postings,
+        );
+    }
+
+    /// Prefix length the index groups by.
+    #[inline]
+    pub fn prefix_len(&self) -> usize {
+        self.prefix_len
+    }
+
+    /// Number of distinct `(transaction, prefix)` groups.
+    #[inline]
+    pub fn group_count(&self) -> usize {
+        self.first_row.len()
+    }
+
+    /// The posting list (row ids in global row order) of `(transaction,
+    /// key)` in `store` — which must be the store the index was built over;
+    /// empty when the group does not exist.  `key` can be any vertex slice of
+    /// the index's prefix length, typically a suffix of another row.
+    #[inline]
+    pub fn postings<'s>(
+        &'s self,
+        store: &OccurrenceStore,
+        transaction: usize,
+        key: &[VertexId],
+    ) -> &'s [u32] {
+        debug_assert_eq!(key.len(), self.prefix_len, "lookup key length mismatch");
+        if self.stamp.is_empty() {
+            return &[];
+        }
+        let t = transaction as u32;
+        let mask = self.stamp.len() - 1;
+        let mut s = (Self::hash_key(t, key) as usize) & mask;
+        loop {
+            if self.stamp[s] != self.epoch {
+                return &[];
+            }
+            let g = self.slot_group[s] as usize;
+            if self.group_txn[g] == t && &store.row(self.first_row[g] as usize)[..self.prefix_len] == key {
+                let (lo, hi) = (self.offsets[g] as usize, self.offsets[g + 1] as usize);
+                return &self.postings[lo..hi];
+            }
+            s = (s + 1) & mask;
+        }
+    }
+}
+
+/// A dense epoch-stamped `u64 → u32` memo table (open addressing, linear
+/// probing): `O(1)` get/insert, `O(1)` reset via epoch bump, zero allocation
+/// after warm-up.
+///
+/// This is the Stage-I joins' **pattern-pair memo**: every directed
+/// occurrence row's label sequence is fully determined by its source
+/// `(pattern, direction)`, so all join products of one source pair share one
+/// canonical key — the memo caches `(packed source pair) → (pattern slot,
+/// orientation)` so only the *first* product of a pair pays label assembly,
+/// canonicalization and the interning hash; every later product is routed to
+/// its slot by one probe of this table.
+#[derive(Debug, Clone)]
+pub struct PairMemo {
+    /// Current epoch; starts at 1 so zero-initialized stamps are unmarked.
+    epoch: u32,
+    stamp: Vec<u32>,
+    key: Vec<u64>,
+    value: Vec<u32>,
+    /// Entries inserted in the current epoch (drives load-factor growth).
+    live: usize,
+}
+
+impl Default for PairMemo {
+    fn default() -> Self {
+        PairMemo { epoch: 1, stamp: Vec::new(), key: Vec::new(), value: Vec::new(), live: 0 }
+    }
+}
+
+impl PairMemo {
+    /// Creates an empty memo (the table grows on demand).
+    pub fn new() -> Self {
+        PairMemo::default()
+    }
+
+    /// Starts a fresh empty memo: O(1) except on epoch wrap-around.
+    pub fn reset(&mut self) {
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.live = 0;
+    }
+
+    #[inline]
+    fn slot(stamp: &[u32], key: &[u64], epoch: u32, k: u64) -> (usize, bool) {
+        let mask = stamp.len() - 1;
+        let h = k.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut i = (h >> 32) as usize & mask;
+        loop {
+            if stamp[i] != epoch {
+                return (i, false);
+            }
+            if key[i] == k {
+                return (i, true);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// The memoized value of `k` in the current epoch, if any.
+    #[inline]
+    pub fn get(&self, k: u64) -> Option<u32> {
+        if self.stamp.is_empty() {
+            return None;
+        }
+        let (i, present) = Self::slot(&self.stamp, &self.key, self.epoch, k);
+        present.then(|| self.value[i])
+    }
+
+    /// Memoizes `k → value` (first write wins within an epoch).
+    pub fn insert(&mut self, k: u64, value: u32) {
+        if self.stamp.is_empty() || self.live * 8 >= self.stamp.len() * 7 {
+            self.grow();
+        }
+        let (i, present) = Self::slot(&self.stamp, &self.key, self.epoch, k);
+        if present {
+            return;
+        }
+        self.stamp[i] = self.epoch;
+        self.key[i] = k;
+        self.value[i] = value;
+        self.live += 1;
+    }
+
+    /// Doubles the table, re-inserting the current epoch's entries.
+    fn grow(&mut self) {
+        let cap = (self.stamp.len() * 2).max(64);
+        let old_stamp = std::mem::replace(&mut self.stamp, vec![0; cap]);
+        let old_key = std::mem::replace(&mut self.key, vec![0; cap]);
+        let old_value = std::mem::replace(&mut self.value, vec![0; cap]);
+        for ((s, k), v) in old_stamp.into_iter().zip(old_key).zip(old_value) {
+            if s == self.epoch {
+                let (i, present) = Self::slot(&self.stamp, &self.key, self.epoch, k);
+                debug_assert!(!present, "rehash re-inserts distinct keys");
+                self.stamp[i] = self.epoch;
+                self.key[i] = k;
+                self.value[i] = v;
+            }
+        }
+    }
+}
+
 /// A dense epoch-stamped set of `u128` keys (open addressing, linear
 /// probing): `O(1)` insert/test, `O(1)` reset via epoch bump, zero
 /// allocation after warm-up.
@@ -424,6 +694,8 @@ pub struct JoinScratch {
     pub vertex_labels: Vec<Label>,
     /// Reusable edge-label buffer of the combined row.
     pub edge_labels: Vec<Label>,
+    /// Pattern-pair interning memo for the Stage-I join kernels.
+    pub pair_memo: PairMemo,
 }
 
 impl JoinScratch {

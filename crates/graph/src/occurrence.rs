@@ -35,6 +35,9 @@ pub struct SupportScratch {
     rows: Vec<u32>,
     /// `(transaction, image)` buffer for the MNI column counts.
     keys: Vec<(u32, VertexId)>,
+    /// Epoch-stamped `(transaction, image)` accumulator for the σ-pruned
+    /// MNI column scans ([`OccurrenceStore::support_pruned`]).
+    key_marks: KeyMarks,
 }
 
 impl SupportScratch {
@@ -489,6 +492,70 @@ impl OccurrenceStore {
             SupportMeasure::MinimumImage => self.mni_support_with(scratch),
             SupportMeasure::Transactions => self.transaction_support_with(scratch),
         }
+    }
+
+    /// [`OccurrenceStore::support_with`] with a frequency-threshold early
+    /// exit — the Stage-I join kernels' σ-pruned evaluator, the direct-store
+    /// sibling of [`SupportBatch::support_extended_pruned`].
+    ///
+    /// The returned value equals the exact support whenever that support is
+    /// at least `sigma`; below `sigma` the evaluation stops at the first
+    /// certificate and only promises to return *some* value `< sigma`, so a
+    /// caller's `support < sigma` test decides identically to the exact
+    /// evaluation (property-tested across all four measures in
+    /// `crates/graph/tests`):
+    ///
+    /// * every measure's support is bounded by the row count, so a store
+    ///   with fewer than `sigma` rows is rejected without touching a single
+    ///   vertex — the dominant reject shape of the join kernels, where the
+    ///   row cap fires before the per-pattern dedup is even attempted;
+    /// * a minimum-image evaluation replaces the per-column sorts with
+    ///   epoch-marked counting whose running minimum starts at the row
+    ///   count: each column scan breaks the moment its distinct count
+    ///   reaches the minimum so far (it provably cannot lower it), and the
+    ///   whole evaluation bails after the first column that drops below
+    ///   `sigma`.
+    pub fn support_pruned(
+        &self,
+        measure: SupportMeasure,
+        sigma: usize,
+        scratch: &mut SupportScratch,
+    ) -> usize {
+        if self.len() < sigma {
+            return self.len();
+        }
+        match measure {
+            SupportMeasure::EmbeddingCount => self.len(),
+            SupportMeasure::DistinctVertexSets => self.distinct_vertex_sets_with(scratch),
+            SupportMeasure::MinimumImage => self.mni_support_pruned(sigma, scratch),
+            SupportMeasure::Transactions => self.transaction_support_with(scratch),
+        }
+    }
+
+    /// σ-pruned minimum-image count: exact whenever the result reaches
+    /// `sigma`, early-exit below it.  `min` starts at the row count because
+    /// no column's distinct `(transaction, image)` count can exceed it.
+    fn mni_support_pruned(&self, sigma: usize, scratch: &mut SupportScratch) -> usize {
+        let mut min = self.len();
+        for p in 0..self.arity {
+            scratch.key_marks.reset();
+            let mut distinct = 0usize;
+            for i in 0..self.len() {
+                let key = ((self.transactions[i] as u128) << 32) | self.arena[i * self.arity + p].0 as u128;
+                if scratch.key_marks.insert(key) {
+                    distinct += 1;
+                    if distinct >= min {
+                        // the column cannot lower the minimum any more
+                        break;
+                    }
+                }
+            }
+            min = min.min(distinct);
+            if min < sigma {
+                return min;
+            }
+        }
+        min
     }
 
     /// Materializes the store as an [`EmbeddingSet`] (cold reporting path).

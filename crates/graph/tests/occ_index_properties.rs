@@ -6,7 +6,7 @@
 //! guarantee of the miner rests on).
 
 use proptest::prelude::*;
-use skinny_graph::{OccurrenceIndex, OccurrenceStore, VertexId};
+use skinny_graph::{OccurrenceIndex, OccurrenceStore, PrefixIndex, SupportMeasure, SupportScratch, VertexId};
 use std::collections::HashMap;
 
 /// Strategy: a random occurrence store (arity 2–4, small vertex-id alphabet
@@ -48,6 +48,71 @@ proptest! {
         let absent = vec![VertexId(99); prefix_len];
         prop_assert!(index.postings(0, &absent).is_empty());
         prop_assert!(index.postings(77, &absent).is_empty());
+    }
+
+    #[test]
+    fn prefix_index_matches_borrowing_index((store, prefix_len) in any_store_and_prefix(40)) {
+        // the owned epoch-stamped PrefixIndex (the level-carried index the
+        // Stage-I join kernels probe) must answer every lookup exactly like
+        // the borrowing OccurrenceIndex it generalizes — same groups, same
+        // members, same global row order — including after a warm rebuild
+        // over a different store
+        let reference = OccurrenceIndex::by_prefix(&store, prefix_len);
+        let mut index = PrefixIndex::new();
+        index.build(&store, prefix_len);
+        prop_assert_eq!(index.group_count(), reference.group_count());
+        prop_assert_eq!(index.prefix_len(), prefix_len);
+        for i in 0..store.len() {
+            let key = &store.row(i)[..prefix_len];
+            let t = store.transaction(i);
+            prop_assert_eq!(index.postings(&store, t, key), reference.postings(t, key));
+        }
+        let absent = vec![VertexId(99); prefix_len];
+        prop_assert!(index.postings(&store, 0, &absent).is_empty());
+        // warm rebuild over a shuffled view: reversing the push order changes
+        // every global row id, so stale entries from the first build would
+        // surface immediately if the epoch stamping leaked
+        let mut reversed = OccurrenceStore::new(store.arity());
+        for i in (0..store.len()).rev() {
+            reversed.push_row(store.transaction(i), store.row(i));
+        }
+        index.build(&reversed, prefix_len);
+        let reference2 = OccurrenceIndex::by_prefix(&reversed, prefix_len);
+        for i in 0..reversed.len() {
+            let key = &reversed.row(i)[..prefix_len];
+            let t = reversed.transaction(i);
+            prop_assert_eq!(index.postings(&reversed, t, key), reference2.postings(t, key));
+        }
+    }
+
+    #[test]
+    fn pruned_support_is_verdict_equivalent(
+        (store, _) in any_store_and_prefix(40),
+        sigma in 0..12usize,
+    ) {
+        // the σ-pruned evaluator must decide `support < sigma` exactly like
+        // the exact evaluator for every measure, and must return the exact
+        // value whenever that value reaches sigma
+        let mut scratch = SupportScratch::new();
+        for measure in [
+            SupportMeasure::EmbeddingCount,
+            SupportMeasure::DistinctVertexSets,
+            SupportMeasure::MinimumImage,
+            SupportMeasure::Transactions,
+        ] {
+            let exact = store.support_with(measure, &mut scratch);
+            let pruned = store.support_pruned(measure, sigma, &mut scratch);
+            prop_assert_eq!(pruned < sigma, exact < sigma,
+                "verdict diverges: measure {:?} sigma {} exact {} pruned {}",
+                measure, sigma, exact, pruned);
+            if exact >= sigma {
+                prop_assert_eq!(pruned, exact,
+                    "pruned value inexact above sigma: measure {:?} sigma {}",
+                    measure, sigma);
+            } else {
+                prop_assert!(pruned <= exact || pruned < sigma);
+            }
+        }
     }
 
     #[test]

@@ -25,15 +25,43 @@
 //! Beyond paths, [`DiamMine::frequent_cycles`] seeds the frequent odd cycles
 //! `C_{2l+1}` — the minimal *non-path* constraint-satisfying patterns that
 //! Stage II cannot reach from path seeds (e.g. C₅ for `l = 2`).
+//!
+//! The ladder joins run on three raw-speed kernels (mirroring the grow
+//! engine's):
+//!
+//! * **level-carried arenas** — each finalized level is wrapped in a
+//!   [`LadderLevel`] whose directed-occurrence store, `(pattern, direction)`
+//!   row sources and owned [`PrefixIndex`] are built once per level (one
+//!   pass + one scatter) and re-probed by every join that consumes the
+//!   level, instead of a per-join rebuild of borrowed-key hash maps;
+//! * a **pattern-pair memo** — a directed row's label sequence is fully
+//!   determined by its source `(pattern, direction)`, so all products of one
+//!   source pair share one canonical key: only the first product pays label
+//!   assembly (graph-free, straight from the parents' keys),
+//!   canonicalization and the interning hash, every later product is routed
+//!   by one probe of an epoch-stamped memo;
+//! * a **σ-pruned finalize** — a product pattern with fewer raw rows than σ
+//!   is rejected before its occurrence dedup is even attempted (support is
+//!   bounded by the row count under every measure), and survivors are
+//!   filtered by [`OccurrenceStore::support_pruned`], exact whenever the
+//!   result reaches σ.
+//!
+//! All three preserve the sequential emission order exactly, so mined output
+//! stays byte-identical to the retained reference kernels
+//! ([`DiamMine::concat_double_reference`] /
+//! [`DiamMine::merge_to_length_reference`]) for every thread count.
 
 use crate::cycle::CyclePattern;
 use crate::data::MiningData;
+use crate::level_grow::phase_ticks;
 use crate::path_pattern::{PathKey, PathPattern, PatternTable};
+use crate::stats::{JoinPhaseStats, MiningStats};
 use skinny_graph::{
-    all_distinct_marked, disjoint_except_shared_marked, GraphView, JoinScratch, Label, OccurrenceIndex,
-    OccurrenceStore, SupportMeasure, SupportScratch, VertexId,
+    all_distinct_marked, disjoint_except_shared_marked, GraphView, JoinScratch, Label, OccurrenceStore,
+    PrefixIndex, SupportMeasure, SupportScratch, VertexId,
 };
 use std::collections::{BTreeMap, HashMap};
+use std::time::{Duration, Instant};
 
 /// Minimum transaction count before Stage-I seed enumeration shards the
 /// transaction walk across pool workers — below this the per-task dispatch
@@ -73,6 +101,243 @@ fn directed_occurrences(patterns: &[PathPattern]) -> OccurrenceStore {
         }
     }
     occs
+}
+
+/// The owned join arenas of one ladder level: the directed-occurrence store
+/// (forward row then reversed row per occurrence, pattern-major), the packed
+/// `(pattern index << 1) | direction` source of every directed row, and the
+/// carried [`PrefixIndex`] the consuming join probes.  All three rebuild in
+/// place with zero allocations once warm.
+#[derive(Debug, Default)]
+struct LevelArenas {
+    occs: OccurrenceStore,
+    source: Vec<u32>,
+    index: PrefixIndex,
+}
+
+impl LevelArenas {
+    /// One pass over the finalized patterns filling the directed store and
+    /// row sources, then one scatter building the prefix index — the carried
+    /// replacement for the per-join `directed_occurrences` + hash-map index
+    /// rebuild.  Row order is byte-identical to [`directed_occurrences`].
+    fn rebuild(&mut self, patterns: &[PathPattern], prefix_len: usize) {
+        let arity = patterns.first().map_or(0, |p| p.key.vertex_labels.len());
+        let rows: usize = patterns.iter().map(|p| p.embeddings.len()).sum();
+        self.occs.reset(arity);
+        self.occs.reserve_rows(2 * rows);
+        self.source.clear();
+        self.source.reserve(2 * rows);
+        for (pi, p) in patterns.iter().enumerate() {
+            let src = (pi as u32) << 1;
+            for occ in p.embeddings.iter() {
+                self.occs.push_row(occ.transaction, occ.vertices);
+                self.source.push(src);
+                self.occs.push_row_reversed(occ.transaction, occ.vertices);
+                self.source.push(src | 1);
+            }
+        }
+        self.index.build(&self.occs, prefix_len);
+    }
+
+    /// Rebuilds only the prefix index over the carried rows — the path taken
+    /// when the same level is consumed at a different overlap width (e.g. a
+    /// concat followed by merges to several targets).
+    fn reindex(&mut self, prefix_len: usize) {
+        self.index.build(&self.occs, prefix_len);
+    }
+}
+
+/// One finalized level of the Stage-I doubling ladder, carried between
+/// joins: the level's patterns plus lazily-materialized join arenas (the
+/// directed occurrence rows, their `(pattern, direction)` sources, and the
+/// owned prefix index the next join probes).
+///
+/// Carrying the level means `l → 2l` pays one pass + one scatter over the
+/// finalized rows instead of a from-scratch posting rebuild per join, and a
+/// warm [`LadderLevel::rebuild`] reuses every arena without touching the
+/// allocator (pinned in `tests/alloc_hot_loops.rs`).
+#[derive(Debug, Default)]
+pub struct LadderLevel {
+    patterns: Vec<PathPattern>,
+    arenas: LevelArenas,
+    arenas_built: bool,
+}
+
+impl LadderLevel {
+    /// Wraps finalized `patterns` without building the join arenas — they
+    /// are built on first use, so a ladder's top level (which no further
+    /// join consumes) never pays for them.
+    pub fn lazy(patterns: Vec<PathPattern>) -> Self {
+        LadderLevel { patterns, arenas: LevelArenas::default(), arenas_built: false }
+    }
+
+    /// Builds a level over `patterns` with its join arenas materialized
+    /// eagerly at the given index prefix length.
+    pub fn from_patterns(patterns: Vec<PathPattern>, prefix_len: usize) -> Self {
+        let mut level = LadderLevel::lazy(patterns);
+        level.ensure_prefix(prefix_len);
+        level
+    }
+
+    /// Replaces the level's patterns and rebuilds the join arenas in place;
+    /// a warm rebuild of the same shape performs zero allocations.
+    pub fn rebuild(&mut self, patterns: Vec<PathPattern>, prefix_len: usize) {
+        self.patterns = patterns;
+        self.arenas.rebuild(&self.patterns, prefix_len);
+        self.arenas_built = true;
+    }
+
+    /// The level's finalized patterns.
+    pub fn patterns(&self) -> &[PathPattern] {
+        &self.patterns
+    }
+
+    /// Consumes the level, returning its patterns.
+    pub fn into_patterns(self) -> Vec<PathPattern> {
+        self.patterns
+    }
+
+    /// Ensures the arenas exist and the carried index groups by
+    /// `prefix_len` vertices: a full single-pass build when the arenas were
+    /// never materialized, an index-only rebuild over the carried rows when
+    /// only the prefix width changed, nothing when already correct.
+    fn ensure_prefix(&mut self, prefix_len: usize) {
+        if !self.arenas_built {
+            self.arenas.rebuild(&self.patterns, prefix_len);
+            self.arenas_built = true;
+        } else if self.arenas.index.prefix_len() != prefix_len {
+            self.arenas.reindex(prefix_len);
+        }
+    }
+}
+
+/// Per-chunk join phase-tick accumulators, settled into wall-clock
+/// durations once per chunk against the chunk's own `(Instant, ticks)`
+/// calibration window — the ladder sibling of the grow engine's
+/// `PhaseTicks`.
+#[derive(Debug, Default, Clone, Copy)]
+struct JoinTicks {
+    probe: u64,
+    gather: u64,
+    intern: u64,
+}
+
+impl JoinTicks {
+    /// Settles the accumulated ticks into `phases` using the chunk's own
+    /// calibration window: `wall` wall-clock elapsed over `ticks` raw ticks.
+    fn settle(self, phases: &mut JoinPhaseStats, wall: Duration, ticks: u64) {
+        let per = wall.as_secs_f64() / ticks.max(1) as f64;
+        let d = |t: u64| Duration::from_secs_f64(t as f64 * per);
+        phases.probe += d(self.probe);
+        phases.gather += d(self.gather);
+        phases.intern += d(self.intern);
+    }
+}
+
+/// Chained phase-boundary sample: adds the ticks since `last` to `bucket`
+/// and advances `last`, so each boundary is read once.
+#[inline]
+fn bump(last: &mut u64, bucket: &mut u64) {
+    let now = phase_ticks();
+    *bucket += now.wrapping_sub(*last);
+    *last = now;
+}
+
+/// Appends the label sequences of one directed parent row (its pattern's
+/// canonical key read in `rev` orientation), skipping the first `skip_v`
+/// vertex labels and `skip_e` edge labels — the graph-free label assembly of
+/// the pattern-pair memo's miss path.
+#[inline]
+fn push_directed_labels(
+    key: &PathKey,
+    rev: bool,
+    skip_v: usize,
+    skip_e: usize,
+    vertex_labels: &mut Vec<Label>,
+    edge_labels: &mut Vec<Label>,
+) {
+    if rev {
+        vertex_labels.extend(key.vertex_labels.iter().rev().skip(skip_v));
+        edge_labels.extend(key.edge_labels.iter().rev().skip(skip_e));
+    } else {
+        vertex_labels.extend_from_slice(&key.vertex_labels[skip_v..]);
+        edge_labels.extend_from_slice(&key.edge_labels[skip_e..]);
+    }
+}
+
+/// Routes the assembled product row in `scratch.row` to its pattern slot via
+/// the pattern-pair memo: a directed row's labels are fully determined by
+/// its packed source, so all products of the source pair `(src_a, src_b)`
+/// share one `(slot, orientation)`.  Only the first product assembles the
+/// directed labels (from the parents' keys — no graph lookups),
+/// canonicalizes them and pays the interning hash; later products are one
+/// memo probe plus the row append.
+///
+/// A stored row's labels equal its pattern's canonical key read in the
+/// row's direction (palindromic keys read the same both ways), so the memo
+/// value is exactly what per-product `canonical_labels_into` + `slot_for`
+/// would have produced — emission order is unchanged.
+#[inline]
+#[allow(clippy::too_many_arguments)] // a free fn on the join hot path; the args are the join row
+fn intern_product(
+    patterns: &[PathPattern],
+    table: &mut PatternTable,
+    scratch: &mut JoinScratch,
+    t: usize,
+    src_a: u32,
+    src_b: u32,
+    skip_v: usize,
+    skip_e: usize,
+) {
+    let memo_key = ((src_a as u64) << 32) | src_b as u64;
+    let packed = match scratch.pair_memo.get(memo_key) {
+        Some(p) => p,
+        None => {
+            scratch.vertex_labels.clear();
+            scratch.edge_labels.clear();
+            let a = &patterns[(src_a >> 1) as usize].key;
+            let b = &patterns[(src_b >> 1) as usize].key;
+            push_directed_labels(
+                a,
+                src_a & 1 == 1,
+                0,
+                0,
+                &mut scratch.vertex_labels,
+                &mut scratch.edge_labels,
+            );
+            push_directed_labels(
+                b,
+                src_b & 1 == 1,
+                skip_v,
+                skip_e,
+                &mut scratch.vertex_labels,
+                &mut scratch.edge_labels,
+            );
+            let reversed =
+                PathPattern::canonicalize_labels(&mut scratch.vertex_labels, &mut scratch.edge_labels);
+            // the palindromic bit rides in the memo so the per-row store
+            // below never re-derives it from the key's label vectors
+            let palindromic = scratch.vertex_labels.iter().rev().eq(scratch.vertex_labels.iter())
+                && scratch.edge_labels.iter().rev().eq(scratch.edge_labels.iter());
+            let slot = table.slot_index_for(&scratch.vertex_labels, &scratch.edge_labels);
+            let packed = (slot << 2) | ((palindromic as u32) << 1) | reversed as u32;
+            scratch.pair_memo.insert(memo_key, packed);
+            packed
+        }
+    };
+    let embeddings = &mut table.slot_mut(packed >> 2).embeddings;
+    let flip = if packed & 2 != 0 {
+        // palindromic pattern: both orientations match the key, pick the
+        // id-smaller one so each undirected occurrence is stored once
+        scratch.row.iter().rev().lt(scratch.row.iter())
+    } else {
+        packed & 1 == 1
+    };
+    if flip {
+        embeddings.push_row_reversed(t, &scratch.row);
+    } else {
+        embeddings.push_row(t, &scratch.row);
+    }
 }
 
 impl<'a> DiamMine<'a> {
@@ -117,10 +382,16 @@ impl<'a> DiamMine<'a> {
     /// sequential transaction order — the same argument that keeps the
     /// occurrence joins byte-identical.
     pub fn frequent_edges(&self) -> Vec<PathPattern> {
+        self.frequent_edges_with_stats(&mut MiningStats::default())
+    }
+
+    /// [`DiamMine::frequent_edges`] recording the σ-filter's timing and
+    /// pruning counters into `stats`.
+    pub fn frequent_edges_with_stats(&self, stats: &mut MiningStats) -> Vec<PathPattern> {
         if let Some(level1) = &self.level1_override {
             return level1.clone();
         }
-        self.finalize(self.level1_table().into_patterns())
+        self.finalize_with_stats(self.level1_table().into_patterns(), stats)
     }
 
     /// The **unfiltered** level-1 pattern table: every length-1 occurrence
@@ -233,45 +504,87 @@ impl<'a> DiamMine<'a> {
     /// length `2n` by joining occurrences at a shared end vertex
     /// (`CheckConcat` of Algorithm 2).
     ///
-    /// The join runs on the endpoint-indexed engine: one
-    /// [`OccurrenceIndex`] build over `(transaction, head vertex)` replaces
-    /// the per-join hash-map grouping, per-row disjointness is an
-    /// epoch-marked probe, and the combined row / its canonical labels live
-    /// in per-worker [`JoinScratch`] buffers — a rejected row pair touches
-    /// no allocator.
+    /// The join probes the level's carried [`PrefixIndex`] over
+    /// `(transaction, head vertex)`, per-row disjointness is an epoch-marked
+    /// probe, products are routed to their pattern slot by the pattern-pair
+    /// memo (graph-free), and the σ-filter runs the pruned evaluator — a
+    /// rejected row pair touches no allocator.
     pub fn concat_double(&self, current: &[PathPattern]) -> Vec<PathPattern> {
+        self.concat_double_with_stats(current, &mut MiningStats::default())
+    }
+
+    /// [`DiamMine::concat_double`] recording phase timings and pruning
+    /// counters into `stats`.
+    pub fn concat_double_with_stats(
+        &self,
+        current: &[PathPattern],
+        stats: &mut MiningStats,
+    ) -> Vec<PathPattern> {
         if current.is_empty() {
             return Vec::new();
         }
-        let occs = directed_occurrences(current);
-        let by_head = OccurrenceIndex::by_prefix(&occs, 1);
-        let table = self.join_occurrences(&occs, |i, table, scratch| {
-            let a = occs.row(i);
-            let t = occs.transaction(i);
-            let tail = &a[a.len() - 1..];
-            for &bi in by_head.postings(t, tail) {
-                let b = occs.row(bi as usize);
-                if !disjoint_except_shared_marked(a, b, &mut scratch.marks) {
-                    continue;
+        let mut arenas = LevelArenas::default();
+        let wall = Instant::now();
+        arenas.rebuild(current, 1);
+        stats.join_phases.intern += wall.elapsed();
+        self.concat_join(current, &arenas, stats)
+    }
+
+    /// The concat join over a level's carried arenas: probe the prefix-1
+    /// index, check disjointness, gather the combined row, intern via the
+    /// pattern-pair memo, then σ-filter with the pruned evaluator.
+    fn concat_join(
+        &self,
+        patterns: &[PathPattern],
+        arenas: &LevelArenas,
+        stats: &mut MiningStats,
+    ) -> Vec<PathPattern> {
+        debug_assert_eq!(arenas.index.prefix_len(), 1);
+        let (occs, source, index) = (&arenas.occs, &arenas.source, &arenas.index);
+        let (table, phases) = self.join_occurrences(occs.len(), |range, table, scratch| {
+            let wall = Instant::now();
+            let t0 = phase_ticks();
+            scratch.pair_memo.reset();
+            let mut tk = JoinTicks::default();
+            let mut last = t0;
+            for i in range {
+                let a = occs.row(i);
+                let t = occs.transaction(i);
+                let tail = &a[a.len() - 1..];
+                let postings = index.postings(occs, t, tail);
+                bump(&mut last, &mut tk.probe);
+                for &bi in postings {
+                    let bi = bi as usize;
+                    // Mirror pruning: the directed row set is closed under
+                    // reversal with partner row `k ^ 1`, so the product of
+                    // (i, bi) is rediscovered — reversed — as (bi^1, i^1) and
+                    // both intern to the same stored row.  Emit only the
+                    // loop-order-earlier twin: the duplicate the exact dedup
+                    // used to remove is never materialized, and the kept
+                    // row's first-occurrence position is unchanged.
+                    if (bi ^ 1, i ^ 1) < (i, bi) {
+                        continue;
+                    }
+                    let b = occs.row(bi);
+                    if !disjoint_except_shared_marked(a, b, &mut scratch.marks) {
+                        bump(&mut last, &mut tk.probe);
+                        continue;
+                    }
+                    bump(&mut last, &mut tk.probe);
+                    scratch.row.clear();
+                    scratch.row.extend_from_slice(a);
+                    scratch.row.extend_from_slice(&b[1..]);
+                    bump(&mut last, &mut tk.gather);
+                    intern_product(patterns, table, scratch, t, source[i], source[bi], 1, 0);
+                    bump(&mut last, &mut tk.intern);
                 }
-                scratch.row.clear();
-                scratch.row.extend_from_slice(a);
-                scratch.row.extend_from_slice(&b[1..]);
-                let view = self.data.view(t);
-                let reversed = PathPattern::canonical_labels_into(
-                    &view,
-                    &scratch.row,
-                    &mut scratch.vertex_labels,
-                    &mut scratch.edge_labels,
-                );
-                table.slot_for(&scratch.vertex_labels, &scratch.edge_labels).add_occurrence_slice(
-                    t,
-                    &scratch.row,
-                    reversed,
-                );
             }
+            let mut phases = JoinPhaseStats::default();
+            tk.settle(&mut phases, wall.elapsed(), phase_ticks().wrapping_sub(t0));
+            phases
         });
-        self.finalize(table.into_patterns())
+        stats.join_phases.merge(&phases);
+        self.finalize_joined(table.into_patterns(), stats)
     }
 
     /// Merges frequent paths of length `n` into candidate paths of length
@@ -279,47 +592,99 @@ impl<'a> DiamMine<'a> {
     /// with a prefix of another (`CheckMergeHead` / `CheckMergeTail` of
     /// Algorithm 2).
     ///
-    /// Like [`DiamMine::concat_double`], the join probes one
-    /// [`OccurrenceIndex`] — here over `(transaction, overlap prefix)`, with
-    /// the lookup key borrowed straight from the probing row's suffix — and
-    /// does all per-row work in [`JoinScratch`] buffers.
+    /// Like [`DiamMine::concat_double`], the join probes a carried
+    /// [`PrefixIndex`] — here over `(transaction, overlap prefix)`, with the
+    /// lookup key borrowed straight from the probing row's suffix — interns
+    /// products through the pattern-pair memo, and σ-filters with the pruned
+    /// evaluator.
     pub fn merge_to_length(&self, base: &[PathPattern], target: usize) -> Vec<PathPattern> {
+        self.merge_to_length_with_stats(base, target, &mut MiningStats::default())
+    }
+
+    /// [`DiamMine::merge_to_length`] recording phase timings and pruning
+    /// counters into `stats`.
+    pub fn merge_to_length_with_stats(
+        &self,
+        base: &[PathPattern],
+        target: usize,
+        stats: &mut MiningStats,
+    ) -> Vec<PathPattern> {
         if base.is_empty() {
             return Vec::new();
         }
         let n = base[0].len();
         assert!(target > n && target < 2 * n, "merge target must satisfy n < target < 2n");
-        let overlap_edges = 2 * n - target;
-        let overlap_vertices = overlap_edges + 1;
-        let occs = directed_occurrences(base);
-        let by_prefix = OccurrenceIndex::by_prefix(&occs, overlap_vertices);
-        let table = self.join_occurrences(&occs, |i, table, scratch| {
-            let a = occs.row(i);
-            let t = occs.transaction(i);
-            let suffix = &a[a.len() - overlap_vertices..];
-            for &bi in by_prefix.postings(t, suffix) {
-                let b = occs.row(bi as usize);
-                scratch.row.clear();
-                scratch.row.extend_from_slice(a);
-                scratch.row.extend_from_slice(&b[overlap_vertices..]);
-                if !all_distinct_marked(&scratch.row, &mut scratch.marks) {
-                    continue;
+        let overlap_vertices = 2 * n - target + 1;
+        let mut arenas = LevelArenas::default();
+        let wall = Instant::now();
+        arenas.rebuild(base, overlap_vertices);
+        stats.join_phases.intern += wall.elapsed();
+        self.merge_join(base, &arenas, target, stats)
+    }
+
+    /// The merge join over a level's carried arenas (index prefix =
+    /// overlap width): probe, gather, simplicity check, memo intern, pruned
+    /// σ-filter.
+    fn merge_join(
+        &self,
+        patterns: &[PathPattern],
+        arenas: &LevelArenas,
+        target: usize,
+        stats: &mut MiningStats,
+    ) -> Vec<PathPattern> {
+        let n = patterns[0].len();
+        let overlap_vertices = 2 * n - target + 1;
+        debug_assert_eq!(arenas.index.prefix_len(), overlap_vertices);
+        let (occs, source, index) = (&arenas.occs, &arenas.source, &arenas.index);
+        let (table, phases) = self.join_occurrences(occs.len(), |range, table, scratch| {
+            let wall = Instant::now();
+            let t0 = phase_ticks();
+            scratch.pair_memo.reset();
+            let mut tk = JoinTicks::default();
+            let mut last = t0;
+            for i in range {
+                let a = occs.row(i);
+                let t = occs.transaction(i);
+                let suffix = &a[a.len() - overlap_vertices..];
+                let postings = index.postings(occs, t, suffix);
+                bump(&mut last, &mut tk.probe);
+                for &bi in postings {
+                    let bi = bi as usize;
+                    // Mirror pruning, exactly as in the concat join: the
+                    // reversed rediscovery (bi^1, i^1) stores the same row,
+                    // so only the loop-order-earlier twin is emitted.
+                    if (bi ^ 1, i ^ 1) < (i, bi) {
+                        continue;
+                    }
+                    let b = occs.row(bi);
+                    scratch.row.clear();
+                    scratch.row.extend_from_slice(a);
+                    scratch.row.extend_from_slice(&b[overlap_vertices..]);
+                    bump(&mut last, &mut tk.gather);
+                    if !all_distinct_marked(&scratch.row, &mut scratch.marks) {
+                        bump(&mut last, &mut tk.probe);
+                        continue;
+                    }
+                    bump(&mut last, &mut tk.probe);
+                    intern_product(
+                        patterns,
+                        table,
+                        scratch,
+                        t,
+                        source[i],
+                        source[bi],
+                        overlap_vertices,
+                        overlap_vertices - 1,
+                    );
+                    bump(&mut last, &mut tk.intern);
                 }
-                let view = self.data.view(t);
-                let reversed = PathPattern::canonical_labels_into(
-                    &view,
-                    &scratch.row,
-                    &mut scratch.vertex_labels,
-                    &mut scratch.edge_labels,
-                );
-                table.slot_for(&scratch.vertex_labels, &scratch.edge_labels).add_occurrence_slice(
-                    t,
-                    &scratch.row,
-                    reversed,
-                );
             }
+            let mut phases = JoinPhaseStats::default();
+            tk.settle(&mut phases, wall.elapsed(), phase_ticks().wrapping_sub(t0));
+            phases
         });
-        self.finalize(table.into_patterns())
+        stats.join_phases.merge(&phases);
+        self.finalize_joined(table.into_patterns(), stats)
     }
 
     /// Reference (pre-engine) implementation of [`DiamMine::concat_double`]:
@@ -402,19 +767,23 @@ impl<'a> DiamMine<'a> {
         self.finalize_reference(by_key)
     }
 
-    /// Runs the per-occurrence join body over all rows of `occs`,
+    /// Runs the per-chunk join body over all `rows` directed rows,
     /// sequentially with one accumulator table when `threads == 1`, or on
-    /// the work-stealing pool over contiguous row chunks otherwise.  Every
-    /// worker reuses one [`JoinScratch`] across all the chunks it executes
-    /// or steals.
+    /// the work-stealing pool over contiguous row chunks otherwise (the
+    /// sharded ladder level: each chunk of the base rows accumulates its own
+    /// [`PatternTable`] plus phase breakdown).  Every worker reuses one
+    /// [`JoinScratch`] across all the chunks it executes or steals; the body
+    /// resets the pattern-pair memo per chunk because memoized slot indices
+    /// are local to the chunk's table.
     ///
     /// The per-chunk partial tables are merged **in chunk order**, so every
     /// pattern's occurrence list ends up in the exact order the sequential
     /// loop would have produced — Stage I is deterministic for any thread
-    /// count.
-    fn join_occurrences<F>(&self, occs: &OccurrenceStore, body: F) -> PatternTable
+    /// count.  The per-chunk phase breakdowns are summed in chunk order too
+    /// (summed CPU time across workers, the [`JoinPhaseStats`] convention).
+    fn join_occurrences<F>(&self, rows: usize, body: F) -> (PatternTable, JoinPhaseStats)
     where
-        F: Fn(usize, &mut PatternTable, &mut JoinScratch) + Sync,
+        F: Fn(std::ops::Range<usize>, &mut PatternTable, &mut JoinScratch) -> JoinPhaseStats + Sync,
     {
         // Parallelism only pays once there is real join work per chunk: the
         // pool spawns scoped workers per run (~half a millisecond at 8
@@ -423,89 +792,127 @@ impl<'a> DiamMine<'a> {
         // where small per-refresh ladders at 8 threads spent more time
         // spawning workers than joining.
         const MIN_PARALLEL_OCCS: usize = 4096;
-        if self.threads <= 1 || occs.len() < MIN_PARALLEL_OCCS {
+        if self.threads <= 1 || rows < MIN_PARALLEL_OCCS {
             let mut table = PatternTable::new();
             let mut scratch = JoinScratch::new();
-            for i in 0..occs.len() {
-                body(i, &mut table, &mut scratch);
-            }
-            return table;
+            let phases = body(0..rows, &mut table, &mut scratch);
+            return (table, phases);
         }
-        let ranges = skinny_pool::chunk_ranges(occs.len(), self.threads, 4);
+        let ranges = skinny_pool::chunk_ranges(rows, self.threads, 4);
         let partials = skinny_pool::run_with(self.threads, ranges.len(), JoinScratch::new, |scratch, c| {
             let mut local = PatternTable::new();
-            for i in ranges[c].clone() {
-                body(i, &mut local, scratch);
-            }
-            local
+            let phases = body(ranges[c].clone(), &mut local, scratch);
+            (local, phases)
         });
         let mut merged = PatternTable::new();
-        for partial in partials {
+        let mut phases = JoinPhaseStats::default();
+        for (partial, chunk_phases) in partials {
             merged.merge(partial);
+            phases.merge(&chunk_phases);
         }
-        merged
+        (merged, phases)
+    }
+
+    /// Extends a carried ladder (`levels[i]` = frequent paths of length
+    /// `2^i`) up to exponent `max_exp`, seeding level 0 from
+    /// [`DiamMine::frequent_edges`] when the ladder is empty.  Each new
+    /// level is produced by one concat join probing the previous level's
+    /// carried arenas; exhausted levels stay as empty placeholders.
+    fn extend_ladder(&self, levels: &mut Vec<LadderLevel>, max_exp: usize, stats: &mut MiningStats) {
+        if levels.is_empty() {
+            levels.push(LadderLevel::lazy(self.frequent_edges_with_stats(stats)));
+        }
+        while levels.len() <= max_exp {
+            let prev_idx = levels.len() - 1;
+            if levels[prev_idx].patterns.is_empty() {
+                levels.push(LadderLevel::default());
+                continue;
+            }
+            let wall = Instant::now();
+            levels[prev_idx].ensure_prefix(1);
+            stats.join_phases.intern += wall.elapsed();
+            let prev = &levels[prev_idx];
+            let next = self.concat_join(&prev.patterns, &prev.arenas, stats);
+            levels.push(LadderLevel::lazy(next));
+        }
+    }
+
+    /// Mines length `l` from a carried ladder, extending it as needed: a
+    /// power-of-two length is the ladder level itself, any other length is
+    /// one merge join probing level `⌊log2 l⌋`'s carried rows at the overlap
+    /// width (an index-only rebuild when the level was last probed at a
+    /// different width).
+    fn mine_length(
+        &self,
+        levels: &mut Vec<LadderLevel>,
+        l: usize,
+        stats: &mut MiningStats,
+    ) -> Vec<PathPattern> {
+        let k = floor_log2(l);
+        self.extend_ladder(levels, k, stats);
+        let n = 1usize << k;
+        if l == n {
+            return levels[k].patterns.clone();
+        }
+        if levels[k].patterns.is_empty() {
+            return Vec::new();
+        }
+        let overlap_vertices = 2 * n - l + 1;
+        let wall = Instant::now();
+        levels[k].ensure_prefix(overlap_vertices);
+        stats.join_phases.intern += wall.elapsed();
+        let level = &levels[k];
+        self.merge_join(&level.patterns, &level.arenas, l, stats)
     }
 
     /// Frequent paths of every power-of-two length `2^0 .. 2^max_exp`,
     /// indexed by exponent.  Stops early (with empty trailing levels) once a
     /// level yields no frequent path.
     pub fn powers_up_to(&self, max_exp: usize) -> Vec<Vec<PathPattern>> {
-        let mut levels: Vec<Vec<PathPattern>> = Vec::with_capacity(max_exp + 1);
-        levels.push(self.frequent_edges());
-        for i in 1..=max_exp {
-            let prev = &levels[i - 1];
-            if prev.is_empty() {
-                levels.push(Vec::new());
-                continue;
-            }
-            let next = self.concat_double(prev);
-            levels.push(next);
-        }
-        levels
+        let mut levels = Vec::new();
+        self.extend_ladder(&mut levels, max_exp, &mut MiningStats::default());
+        levels.into_iter().map(LadderLevel::into_patterns).collect()
     }
 
     /// All frequent simple paths of length exactly `l` (`DiamMine` in
     /// Algorithm 2).
     pub fn mine_exact(&self, l: usize) -> Vec<PathPattern> {
+        self.mine_exact_with_stats(l, &mut MiningStats::default())
+    }
+
+    /// [`DiamMine::mine_exact`] recording join phase timings and pruning
+    /// counters into `stats`.
+    pub fn mine_exact_with_stats(&self, l: usize, stats: &mut MiningStats) -> Vec<PathPattern> {
         if l == 0 {
             return Vec::new();
         }
-        let k = floor_log2(l);
-        let levels = self.powers_up_to(k);
-        let base = &levels[k];
-        if l == 1 << k {
-            return base.clone();
-        }
-        if base.is_empty() {
-            return Vec::new();
-        }
-        self.merge_to_length(base, l)
+        let mut levels = Vec::new();
+        self.mine_length(&mut levels, l, stats)
     }
 
     /// [`DiamMine::mine_exact`] for several lengths at once, sharing one
-    /// power-of-two doubling ladder across all of them instead of rebuilding
-    /// it per length (the ladder up to `2^k <= max(lengths)` dominates the
-    /// cost when the lengths are close together, as in cycle seeding).
+    /// carried power-of-two doubling ladder across all of them instead of
+    /// rebuilding it per length (the ladder up to `2^k <= max(lengths)`
+    /// dominates the cost when the lengths are close together, as in cycle
+    /// seeding).
     pub fn mine_exact_many(&self, lengths: &[usize]) -> BTreeMap<usize, Vec<PathPattern>> {
+        self.mine_exact_many_with_stats(lengths, &mut MiningStats::default())
+    }
+
+    /// [`DiamMine::mine_exact_many`] recording join phase timings and
+    /// pruning counters into `stats`.
+    pub fn mine_exact_many_with_stats(
+        &self,
+        lengths: &[usize],
+        stats: &mut MiningStats,
+    ) -> BTreeMap<usize, Vec<PathPattern>> {
         let mut out = BTreeMap::new();
-        let Some(&max) = lengths.iter().filter(|&&l| l >= 1).max() else {
-            return out;
-        };
-        let levels = self.powers_up_to(floor_log2(max));
+        let mut levels = Vec::new();
         for &l in lengths {
             if l == 0 || out.contains_key(&l) {
                 continue;
             }
-            let k = floor_log2(l);
-            let base = &levels[k];
-            let paths = if l == 1 << k {
-                base.clone()
-            } else if base.is_empty() {
-                Vec::new()
-            } else {
-                self.merge_to_length(base, l)
-            };
-            out.insert(l, paths);
+            out.insert(l, self.mine_length(&mut levels, l, stats));
         }
         out
     }
@@ -577,10 +984,25 @@ impl<'a> DiamMine<'a> {
     /// (`hi = None` means "until no frequent path of that length exists",
     /// implementing the "length at least l" adaptation).
     pub fn mine_range(&self, lo: usize, hi: Option<usize>) -> BTreeMap<usize, Vec<PathPattern>> {
+        self.mine_range_with_stats(lo, hi, &mut MiningStats::default())
+    }
+
+    /// [`DiamMine::mine_range`] recording join phase timings and pruning
+    /// counters into `stats`.  One carried doubling ladder is shared across
+    /// the whole length sweep, so consecutive lengths under the same
+    /// power-of-two level pay only their merge join (plus an index-only
+    /// re-prefix), never a ladder rebuild.
+    pub fn mine_range_with_stats(
+        &self,
+        lo: usize,
+        hi: Option<usize>,
+        stats: &mut MiningStats,
+    ) -> BTreeMap<usize, Vec<PathPattern>> {
         let mut out = BTreeMap::new();
         if lo == 0 {
             return out;
         }
+        let mut levels = Vec::new();
         let mut l = lo;
         loop {
             if let Some(hi) = hi {
@@ -588,7 +1010,7 @@ impl<'a> DiamMine<'a> {
                     break;
                 }
             }
-            let paths = self.mine_exact(l);
+            let paths = self.mine_length(&mut levels, l, stats);
             let empty = paths.is_empty();
             if !empty {
                 out.insert(l, paths);
@@ -609,6 +1031,68 @@ impl<'a> DiamMine<'a> {
     /// slot order is historical first-occurrence order, not the current
     /// corpus's) finalizes to the exact from-scratch result.
     pub(crate) fn finalize(&self, patterns: Vec<PathPattern>) -> Vec<PathPattern> {
+        self.finalize_with_stats(patterns, &mut MiningStats::default())
+    }
+
+    /// [`DiamMine::finalize`] with σ-pruned support evaluation: a pattern
+    /// whose raw row count is already below σ is rejected before paying
+    /// dedup (support under every measure is bounded by the row count, and
+    /// dedup only removes rows), and surviving patterns are measured with
+    /// [`OccurrenceStore::support_pruned`], which is exact whenever the
+    /// result is ≥ σ — so the kept set, and therefore the output bytes, are
+    /// identical to the exact evaluator's.
+    fn finalize_with_stats(&self, patterns: Vec<PathPattern>, stats: &mut MiningStats) -> Vec<PathPattern> {
+        self.finalize_pruned(patterns, stats, true)
+    }
+
+    /// [`DiamMine::finalize_with_stats`] for the mirror-pruned join kernels:
+    /// the join never materializes the reversed rediscovery of a product row,
+    /// and within one pattern slot two distinct surviving source pairs cannot
+    /// store equal rows (equal rows + one slot force equal directed labels,
+    /// and the per-pattern stores the arenas were built from are themselves
+    /// deduplicated), so the exact-duplicate scan is skipped outright.
+    fn finalize_joined(&self, patterns: Vec<PathPattern>, stats: &mut MiningStats) -> Vec<PathPattern> {
+        self.finalize_pruned(patterns, stats, false)
+    }
+
+    fn finalize_pruned(
+        &self,
+        patterns: Vec<PathPattern>,
+        stats: &mut MiningStats,
+        dedup: bool,
+    ) -> Vec<PathPattern> {
+        let wall = Instant::now();
+        let mut scratch = SupportScratch::new();
+        let mut rows_pruned = 0u64;
+        let mut rejected = 0u64;
+        let mut out: Vec<PathPattern> = patterns
+            .into_iter()
+            .filter_map(|mut p| {
+                if p.embeddings.len() < self.sigma {
+                    rows_pruned += p.embeddings.len() as u64;
+                    rejected += 1;
+                    return None;
+                }
+                if dedup {
+                    p.dedup_with(&mut scratch);
+                }
+                if p.embeddings.support_pruned(self.support, self.sigma, &mut scratch) < self.sigma {
+                    rejected += 1;
+                    return None;
+                }
+                Some(p)
+            })
+            .collect();
+        out.sort_by(|a, b| a.key.cmp(&b.key));
+        stats.join_phases.support += wall.elapsed();
+        stats.join_rows_pruned += rows_pruned;
+        stats.join_products_rejected_sigma += rejected;
+        out
+    }
+
+    /// Exact (unpruned) finalize: the reference evaluator the pruned path is
+    /// verdict-checked against in tests and benchmarks.
+    fn finalize_exact(&self, patterns: Vec<PathPattern>) -> Vec<PathPattern> {
         let mut scratch = SupportScratch::new();
         let mut out: Vec<PathPattern> = patterns
             .into_iter()
@@ -621,9 +1105,10 @@ impl<'a> DiamMine<'a> {
         out
     }
 
-    /// [`DiamMine::finalize`] over the reference joins' hash-map accumulator.
+    /// [`DiamMine::finalize_exact`] over the reference joins' hash-map
+    /// accumulator.
     fn finalize_reference(&self, by_key: HashMap<PathKey, PathPattern>) -> Vec<PathPattern> {
-        self.finalize(by_key.into_values().collect())
+        self.finalize_exact(by_key.into_values().collect())
     }
 }
 

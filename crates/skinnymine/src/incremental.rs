@@ -164,7 +164,7 @@ impl IncrementalMiner {
         let dm = DiamMine::new(data.clone(), config.sigma, config.support).with_threads(config.threads);
         let level1 = dm.level1_table();
         let finalized = dm.finalize(level1.clone_frequent(config.sigma, config.support));
-        let seeds = miner.mine_seeds(&data, Some(finalized));
+        let seeds = miner.mine_seeds(&data, Some(finalized), &mut stats);
         stats.diam_mine.duration = t0.elapsed();
         stats.diam_mine.patterns_out = seeds.len() as u64;
         stats.clusters = seeds.len() as u64;
@@ -288,7 +288,7 @@ impl IncrementalMiner {
         // σ-filter before cloning: the read of the maintained table costs
         // O(frequent set), not O(corpus)
         let finalized = dm.finalize(self.level1.clone_frequent(config.sigma, config.support));
-        let seeds = self.miner.mine_seeds(&data, Some(finalized));
+        let seeds = self.miner.mine_seeds(&data, Some(finalized), &mut stats);
         stats.diam_mine.duration = t0.elapsed();
         stats.diam_mine.patterns_out = seeds.len() as u64;
         stats.clusters = seeds.len() as u64;

@@ -59,7 +59,7 @@ use std::time::{Duration, Instant};
 /// for any tick rate.
 #[cfg(target_arch = "x86_64")]
 #[inline]
-fn phase_ticks() -> u64 {
+pub(crate) fn phase_ticks() -> u64 {
     // SAFETY: `rdtsc` is unprivileged and available on every x86-64.
     unsafe { core::arch::x86_64::_rdtsc() }
 }
@@ -68,7 +68,7 @@ fn phase_ticks() -> u64 {
 /// epoch.
 #[cfg(not(target_arch = "x86_64"))]
 #[inline]
-fn phase_ticks() -> u64 {
+pub(crate) fn phase_ticks() -> u64 {
     use std::sync::OnceLock;
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64

@@ -119,4 +119,4 @@ pub use path_pattern::{PathKey, PathPattern, PatternTable};
 pub use pattern_index::MinimalPatternIndex;
 pub use result::{MiningResult, SkinnyPattern};
 pub use serving::{ServingCacheConfig, ServingRequest, ServingResponse, ShardedLru};
-pub use stats::{GrowPhaseStats, MiningStats, ServingStats, StageStats};
+pub use stats::{GrowPhaseStats, JoinPhaseStats, MiningStats, ServingStats, StageStats};

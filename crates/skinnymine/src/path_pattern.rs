@@ -182,6 +182,21 @@ impl PathPattern {
         }
         reversed
     }
+
+    /// Canonicalizes already-assembled directed label sequences in place —
+    /// the graph-free tail of [`PathPattern::canonical_labels_into`], used by
+    /// the join kernels' pattern-pair memo where the directed labels are
+    /// assembled from the parents' canonical keys instead of looked up in the
+    /// graph.  Returns whether the input orientation reads reversed relative
+    /// to the canonical result.
+    pub fn canonicalize_labels(vertex_labels: &mut [Label], edge_labels: &mut [Label]) -> bool {
+        let reversed = reversed_is_smaller(vertex_labels, edge_labels);
+        if reversed {
+            vertex_labels.reverse();
+            edge_labels.reverse();
+        }
+        reversed
+    }
 }
 
 /// An interning pattern table — the accumulator of the Stage-I occurrence
@@ -229,6 +244,15 @@ impl PatternTable {
     /// The pattern slot of the canonical key given as borrowed label slices,
     /// created empty on first occurrence (the only point that allocates).
     pub fn slot_for(&mut self, vertex_labels: &[Label], edge_labels: &[Label]) -> &mut PathPattern {
+        let idx = self.slot_index_for(vertex_labels, edge_labels);
+        &mut self.slots[idx as usize]
+    }
+
+    /// Like [`PatternTable::slot_for`], but returns the dense slot *index* —
+    /// the stable handle the join kernels' pattern-pair memo caches so later
+    /// products of the same source pair skip the label hash and bucket scan
+    /// entirely ([`PatternTable::slot_mut`] turns it back into the pattern).
+    pub fn slot_index_for(&mut self, vertex_labels: &[Label], edge_labels: &[Label]) -> u32 {
         let h = Self::hash_labels(vertex_labels, edge_labels);
         let found = self.lookup.get(&h).and_then(|bucket| {
             bucket.iter().copied().find(|&i| {
@@ -236,19 +260,28 @@ impl PatternTable {
                 key.vertex_labels.as_slice() == vertex_labels && key.edge_labels.as_slice() == edge_labels
             })
         });
-        let idx = match found {
-            Some(i) => i as usize,
+        match found {
+            Some(i) => i,
             None => {
-                let idx = self.slots.len();
+                let idx = self.slots.len() as u32;
                 self.slots.push(PathPattern::new(PathKey {
                     vertex_labels: vertex_labels.to_vec(),
                     edge_labels: edge_labels.to_vec(),
                 }));
-                self.lookup.entry(h).or_default().push(idx as u32);
+                self.lookup.entry(h).or_default().push(idx);
                 idx
             }
-        };
-        &mut self.slots[idx]
+        }
+    }
+
+    /// The pattern at dense slot `i` (as handed out by
+    /// [`PatternTable::slot_index_for`]).
+    ///
+    /// # Panics
+    /// Panics when `i` is not a live slot index of this table.
+    #[inline]
+    pub fn slot_mut(&mut self, i: u32) -> &mut PathPattern {
+        &mut self.slots[i as usize]
     }
 
     /// Merges `other` into this table **in `other`'s slot order**, appending

@@ -73,6 +73,41 @@ impl GrowPhaseStats {
     }
 }
 
+/// Wall-clock breakdown of Stage I's doubling-ladder join work, summed
+/// across ladder levels (and merged across workers, same summed-CPU-time
+/// convention as [`GrowPhaseStats::merge`]): posting-list probes, product row
+/// gathers, pattern-slot interning, and the σ-filter's dedup + support
+/// evaluation.
+///
+/// The `perf` harness reports these as the per-level join sub-timings of
+/// `BENCH_stage1.json` (schema v7); collection uses the same chained
+/// TSC/monotonic sampling as the grow phases.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct JoinPhaseStats {
+    /// Looking up posting lists and testing row-pair disjointness.
+    pub probe: Duration,
+    /// Assembling and appending product occurrence rows.
+    pub gather: Duration,
+    /// Routing product rows to pattern slots (pattern-pair memo, label
+    /// assembly + canonicalization on memo misses) and building the next
+    /// level's carried occurrence index.
+    pub intern: Duration,
+    /// The σ-filter: per-pattern occurrence dedup plus the pruned support
+    /// evaluation.
+    pub support: Duration,
+}
+
+impl JoinPhaseStats {
+    /// Accumulates another breakdown into this one (summed CPU time across
+    /// workers — see [`GrowPhaseStats::merge`] for the convention).
+    pub fn merge(&mut self, other: &JoinPhaseStats) {
+        self.probe += other.probe;
+        self.gather += other.gather;
+        self.intern += other.intern;
+        self.support += other.support;
+    }
+}
+
 /// Full statistics of a SkinnyMine run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct MiningStats {
@@ -114,6 +149,16 @@ pub struct MiningStats {
     /// Breakdown of Stage II's candidate evaluation (summed CPU time
     /// across workers; see [`GrowPhaseStats::merge`]).
     pub grow_phases: GrowPhaseStats,
+    /// Breakdown of Stage I's ladder joins (summed CPU time across workers;
+    /// see [`JoinPhaseStats`]).
+    pub join_phases: JoinPhaseStats,
+    /// Product occurrence rows whose σ-filter work (dedup + support) was
+    /// skipped entirely because their pattern's raw row count was already
+    /// below σ.
+    pub join_rows_pruned: u64,
+    /// Join product patterns rejected by the σ-filter (row-cap fast path and
+    /// pruned support evaluation combined).
+    pub join_products_rejected_sigma: u64,
     /// Work items executed by the worker pool across all parallel regions
     /// (Stage-II cluster growth; one item per seed).
     pub pool_tasks_executed: u64,
@@ -170,6 +215,9 @@ impl MiningStats {
         self.canon_full_keys += other.canon_full_keys;
         self.canon_early_aborts += other.canon_early_aborts;
         self.grow_phases.merge(&other.grow_phases);
+        self.join_phases.merge(&other.join_phases);
+        self.join_rows_pruned += other.join_rows_pruned;
+        self.join_products_rejected_sigma += other.join_products_rejected_sigma;
         self.pool_tasks_executed += other.pool_tasks_executed;
         self.pool_steals += other.pool_steals;
         self.pool_merge_wait_seconds += other.pool_merge_wait_seconds;
@@ -201,10 +249,16 @@ impl MiningStats {
     /// A one-line human readable summary.
     pub fn summary(&self) -> String {
         format!(
-            "freeze {:.1} ms | DiamMine {:.1} ms ({} paths) | LevelGrow {:.1} ms ({} patterns) | checks {} | rejects I/II/III/δ/freq {}/{}/{}/{}/{} | bound-pruned {} | canon fp-hits/keys/aborts {}/{}/{} | recomputes {} | pool tasks/steals {}/{} merge-wait {:.1} ms | incr dirty/regrown/reused {}/{}/{} maintain {:.1} ms",
+            "freeze {:.1} ms | DiamMine {:.1} ms ({} paths) | joins probe/gather/intern/support {:.1}/{:.1}/{:.1}/{:.1} ms rows-pruned {} σ-rejects {} | LevelGrow {:.1} ms ({} patterns) | checks {} | rejects I/II/III/δ/freq {}/{}/{}/{}/{} | bound-pruned {} | canon fp-hits/keys/aborts {}/{}/{} | recomputes {} | pool tasks/steals {}/{} merge-wait {:.1} ms | incr dirty/regrown/reused {}/{}/{} maintain {:.1} ms",
             self.freeze_seconds * 1e3,
             self.diam_mine.millis(),
             self.diam_mine.patterns_out,
+            self.join_phases.probe.as_secs_f64() * 1e3,
+            self.join_phases.gather.as_secs_f64() * 1e3,
+            self.join_phases.intern.as_secs_f64() * 1e3,
+            self.join_phases.support.as_secs_f64() * 1e3,
+            self.join_rows_pruned,
+            self.join_products_rejected_sigma,
             self.level_grow.millis(),
             self.reported_patterns,
             self.constraint_checks,
@@ -397,6 +451,36 @@ mod tests {
         assert_eq!(s.canon_full_keys, 2);
         assert_eq!(s.canon_early_aborts, 8);
         assert!(s.summary().contains("canon fp-hits/keys/aborts 4/2/8"));
+    }
+
+    #[test]
+    fn join_phase_counters_merge_and_report() {
+        let mut a = MiningStats {
+            join_rows_pruned: 100,
+            join_products_rejected_sigma: 7,
+            join_phases: JoinPhaseStats { probe: Duration::from_millis(4), ..Default::default() },
+            ..Default::default()
+        };
+        let b = MiningStats {
+            join_rows_pruned: 20,
+            join_products_rejected_sigma: 3,
+            join_phases: JoinPhaseStats {
+                probe: Duration::from_millis(1),
+                gather: Duration::from_millis(2),
+                intern: Duration::from_millis(3),
+                support: Duration::from_millis(5),
+            },
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.join_rows_pruned, 120);
+        assert_eq!(a.join_products_rejected_sigma, 10);
+        assert_eq!(a.join_phases.probe, Duration::from_millis(5));
+        assert_eq!(a.join_phases.gather, Duration::from_millis(2));
+        assert_eq!(a.join_phases.intern, Duration::from_millis(3));
+        assert_eq!(a.join_phases.support, Duration::from_millis(5));
+        assert!(a.summary().contains("rows-pruned 120 σ-rejects 10"));
+        assert!(a.summary().contains("joins probe/gather/intern/support 5.0/2.0/3.0/5.0 ms"));
     }
 
     #[test]

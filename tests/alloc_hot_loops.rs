@@ -15,9 +15,10 @@
 //! concurrent test thread can pollute the counter.
 
 use skinny_graph::{
-    CanonSet, GroupSorter, Label, LabeledGraph, SnapshotBuilder, SupportBatch, SupportMeasure, VertexId,
-    VertexMarks,
+    CanonSet, GroupSorter, Label, LabeledGraph, SnapshotBuilder, SupportBatch, SupportMeasure,
+    SupportScratch, VertexId, VertexMarks,
 };
+use skinnymine::diam_mine::LadderLevel;
 use skinnymine::{
     DiamMine, Extension, ExtensionScratch, GrownPattern, IncrementalMiner, MinimalPatternIndex, MiningData,
     PatternTable, ReportMode, SkinnyMineConfig, StructScratch,
@@ -131,6 +132,44 @@ fn hot_loops_allocate_per_pattern_not_per_row() {
         merge_allocs < scanned_rows / 4,
         "merge reject path allocated {merge_allocs} times for {scanned_rows} scanned rows — \
          the reject path must not allocate per row"
+    );
+
+    // ---- Stage I ladder level: warm arena rebuild is allocation-free ----
+    // the level-carried join index's steady state (same level shape, fresh
+    // patterns — as on every incremental refresh of a maintained ladder):
+    // once the directed-row arena, source column and prefix index have seen
+    // the shape, a rebuild must not touch the heap
+    let mut level = LadderLevel::from_patterns(len2.clone(), 1);
+    let next_patterns = len2.clone(); // the handoff itself is a move
+    let (level_allocs, ()) = counted(|| level.rebuild(next_patterns, 1));
+    assert_eq!(level.patterns().len(), 1);
+    assert_eq!(
+        level_allocs, 0,
+        "warm ladder-level rebuild allocated {level_allocs} times for {scanned_rows} directed \
+         rows — arena, source column and prefix index must all be reused"
+    );
+
+    // ---- Stage I σ-pruned support: warm evaluation is allocation-free ---
+    // both verdicts of the pruned evaluator — the bail below σ and the
+    // exact value at or above it — must run entirely in the epoch-stamped
+    // scratch once it has seen the row count
+    let store = &len2[0].embeddings;
+    let mut support_scratch = SupportScratch::new();
+    let exact = store.support_with(SupportMeasure::MinimumImage, &mut support_scratch);
+    assert!(exact >= 1);
+    let _warm = store.support_pruned(SupportMeasure::MinimumImage, exact + 1, &mut support_scratch);
+    let (pruned_support_allocs, ()) = counted(|| {
+        let rejected = store.support_pruned(SupportMeasure::MinimumImage, exact + 1, &mut support_scratch);
+        assert!(rejected < exact + 1);
+        let accepted = store.support_pruned(SupportMeasure::MinimumImage, exact, &mut support_scratch);
+        assert_eq!(accepted, exact);
+    });
+    assert_eq!(
+        pruned_support_allocs,
+        0,
+        "warm σ-pruned support allocated {pruned_support_allocs} times over {} rows — \
+         the epoch-marked counting must reuse the scratch entirely",
+        store.len()
     );
 
     // ---- Stage II extension enumeration: reject path --------------------
